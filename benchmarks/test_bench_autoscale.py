@@ -1,0 +1,106 @@
+"""RW-2 — elasticity: the Keidl-style auto-replication extension under a burst.
+
+§1.4's Keidl et al. dispatcher "generates a new service instance on a
+service host with low load" when the whole pool is overloaded.  This bench
+deploys the app on 2 of 4 monitored hosts, drives a sustained burst that
+overloads both, and compares the static thesis scheme against the same
+scheme with the AutoScaler attached: the deployment grows onto the spare
+hosts and queueing collapses.
+"""
+
+from repro.bench import format_table
+from repro.core import attach_autoscaler, attach_load_balancer
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Association, AssociationType, Organization, Service, ServiceBinding
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+HOSTS = [f"node{i}.x" for i in range(4)]
+DEPLOYED = HOSTS[:2]
+CONSTRAINT = "<constraint><cpuLoad>load ls 3.0</cpuLoad></constraint>"
+URI_TEMPLATE = "http://{host}:8080/Burst/invoke"
+
+
+def run_burst(*, autoscale: bool):
+    engine = SimEngine(start=10 * 3600.0)
+    registry = RegistryServer(RegistryConfig(seed=151), clock=SimClockAdapter(engine))
+    cluster = Cluster(engine)
+    cluster.add_hosts([HostSpec(h, cores=2) for h in HOSTS])
+    transport = SimTransport()
+    for monitor in cluster.monitors():
+        transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+    _, cred = registry.register_user("admin", roles={"RegistryAdministrator"})
+    session = registry.login(cred)
+
+    node_status = Service(registry.ids.new_id(), name="NodeStatus")
+    app = Service(registry.ids.new_id(), name="Burst", description=CONSTRAINT)
+    registry.lcm.submit_objects(session, [node_status, app])
+    batch = [
+        ServiceBinding(registry.ids.new_id(), service=node_status.id, access_uri=nodestatus_uri(h))
+        for h in HOSTS
+    ] + [
+        ServiceBinding(registry.ids.new_id(), service=app.id, access_uri=URI_TEMPLATE.format(host=h))
+        for h in DEPLOYED
+    ]
+    registry.lcm.submit_objects(session, batch)
+    cluster.deploy_service("Burst", DEPLOYED)
+
+    balancer = attach_load_balancer(registry, transport, engine, period=10.0)
+    scaler = None
+    if autoscale:
+        scaler = attach_autoscaler(
+            balancer, registry, cluster, session, trigger_sweeps=2, cooldown=30.0
+        )
+        scaler.watch(app.id, uri_template=URI_TEMPLATE)
+
+    # sustained burst: 1 task/s of 12 cpu-s work → 6 cores needed, 4 deployed
+    tasks: list[Task] = []
+
+    def dispatch():
+        uris = registry.qm.get_access_uris(app.id)
+        host = uris[0].split("//")[1].split(":")[0]
+        task = Task(cpu_seconds=12.0, memory=128 << 20)
+        task.submitted_at = engine.now
+        cluster.submit_task(host, task)
+        tasks.append(task)
+
+    start = engine.now
+    for i in range(600):
+        engine.schedule_at(start + (i + 1) * 1.0, dispatch)
+    engine.run_until(start + 600.0)
+    engine.run_until(start + 4000.0)  # drain
+
+    finished = [t for t in tasks if t.response_time is not None]
+    mean_resp = sum(t.response_time for t in finished) / len(finished)
+    p95 = sorted(t.response_time for t in finished)[int(0.95 * len(finished))]
+    return {
+        "variant": "with autoscaler" if autoscale else "static deployment",
+        "instances_end": len(
+            registry.daos.service_bindings.for_service(registry.daos.services.require(app.id))
+        ),
+        "scale_events": len(scaler.events) if scaler else 0,
+        "resp_mean_s": round(mean_resp, 1),
+        "resp_p95_s": round(p95, 1),
+        "completed": len(finished),
+    }
+
+
+def test_rw2_elasticity(save_artifact, benchmark):
+    def run_both():
+        return [run_burst(autoscale=False), run_burst(autoscale=True)]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_artifact(
+        "RW2_elasticity",
+        format_table(rows, title="RW-2 — burst on a 2-host deployment, 4 monitored hosts"),
+    )
+    static, elastic = rows
+    assert static["instances_end"] == 2
+    assert elastic["scale_events"] >= 1
+    assert elastic["instances_end"] > 2
+    # growing the pool must cut response times materially and complete more
+    # of the burst (the static pool exhausts its hosts' memory and rejects)
+    assert elastic["resp_mean_s"] < static["resp_mean_s"] * 0.7
+    assert elastic["completed"] > static["completed"]

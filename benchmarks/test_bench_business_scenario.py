@@ -1,0 +1,76 @@
+"""F1.13 — the ebXML business scenario, regenerated step by step.
+
+Two companies meet through the registry exactly as thesis Figure 1.13 draws
+it: core-library review, CPP submission, discovery, CPA proposal and
+acceptance, then reliable ebMS message exchange — including a transient
+network failure absorbed by the CPA's retry policy.
+"""
+
+from repro.bench import format_table
+from repro.ebxml import BusinessScenario, CollaborationProtocolProfile
+from repro.registry import RegistryConfig, RegistryServer
+from repro.util.clock import ManualClock
+from repro.util.errors import TransportError
+
+
+def run_scenario():
+    registry = RegistryServer(RegistryConfig(seed=113), clock=ManualClock())
+    _, cred = registry.register_user("operator", roles={"RegistryAdministrator"})
+    session = registry.login(cred)
+    scenario = BusinessScenario(registry)
+    scenario.seed_core_library(session, ["OrderManagement", "Invoicing", "Shipping"])
+
+    acme = CollaborationProtocolProfile(
+        party_id="urn:party:acme",
+        party_name="Acme",
+        endpoint="http://acme.example:8080/msh",
+        processes=frozenset({"OrderManagement", "Invoicing"}),
+    )
+    globex = CollaborationProtocolProfile(
+        party_id="urn:party:globex",
+        party_name="Globex",
+        endpoint="http://globex.example:8080/msh",
+        processes=frozenset({"OrderManagement"}),
+    )
+
+    scenario.review_core_library("Acme")                      # step 1
+    scenario.log.record(2, "Acme", "implement / configure application")
+    scenario.publish_cpp(session, acme)                       # step 3
+    [partner] = scenario.discover_partners("Globex", "OrderManagement")  # step 4
+    cpa = scenario.propose_cpa(globex, partner, "OrderManagement")       # step 5
+    agreed = scenario.accept_cpa("Acme", cpa)                 # step 6
+
+    msh_acme = scenario.build_msh(acme.party_id)
+    msh_globex = scenario.build_msh(globex.party_id)
+    msh_acme.install_agreement(agreed)
+    msh_globex.install_agreement(agreed)
+    received = []
+    msh_acme.on_action("PlaceOrder", lambda m: received.append(m))
+
+    # trade, with one transient failure the retry policy must absorb
+    calls = {"n": 0}
+    original = scenario.transport._endpoints[agreed.endpoint_of(acme.party_id)]
+
+    def flaky(message):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise TransportError("transient network failure")
+        return original(message)
+
+    scenario.transport.register_endpoint(agreed.endpoint_of(acme.party_id), flaky)
+    report = scenario.exchange(msh_globex, agreed, "PlaceOrder", {"sku": "anvil", "qty": 2})
+    assert report.delivered and report.acknowledged and report.attempts == 2
+    assert len(received) == 1
+
+    confirm = scenario.exchange(msh_acme, agreed, "OrderConfirmed", {"order": 1})
+    assert confirm.delivered
+    return scenario.log.steps
+
+
+def test_figure_1_13_business_scenario(save_artifact, benchmark):
+    steps = benchmark.pedantic(run_scenario, rounds=3, iterations=1)
+    assert {entry["Step"] for entry in steps} == {1, 2, 3, 4, 5, 6}
+    save_artifact(
+        "F1.13_business_scenario",
+        format_table(steps, title="Figure 1.13 — ebXML business scenario (reproduced)"),
+    )

@@ -1,0 +1,67 @@
+"""T3.5 — Table 3.5: the constraint-operator matrix, plus parser throughput.
+
+Regenerates the thesis' symbol table by evaluating every operator against
+probe values, and benchmarks constraint parsing/evaluation (the hot path of
+every balanced discovery).
+"""
+
+from repro.bench import format_table
+from repro.core.constraints import Operator, parse_constraints
+from repro.persistence.nodestate import NodeSample
+from repro.util.units import parse_memory_size
+
+THESIS_EXAMPLES = [
+    ("gt", ">", "Greater than", "load gt 0.01", 0.02, True),
+    ("geq", ">=", "Greater than or equals", "memory geq 5MB", 5 * 1024**2, True),
+    ("ls", "<", "Less than", "load ls 0.05", 0.01, True),
+    ("leq", "<=", "Less than or equals", "swapmemory leq 3KB", 3 * 1024, True),
+    ("eq", "=", "Equals", "memory eq 5MB", 5 * 1024**2, True),
+]
+
+DESCRIPTION = (
+    "Service to add numbers. "
+    "<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 3GB</memory>"
+    "<swapmemory>swapmemory gr 5MB</swapmemory>"
+    "<starttime>1000</starttime><endtime>1200</endtime></constraint>"
+)
+
+
+def test_table_3_5_operator_matrix(save_artifact, benchmark):
+    rows = []
+    for symbol, arith, stands_for, example, probe, expected in THESIS_EXAMPLES:
+        op = Operator.from_symbol(symbol)
+        keyword, _, value_text = example.partition(f" {symbol} ")
+        bound = float(value_text) if keyword == "load" else parse_memory_size(value_text)
+        rows.append(
+            {
+                "Symbol": symbol,
+                "Arithmetic": arith,
+                "Stands for": stands_for,
+                "Example": example,
+                "probe": probe,
+                "satisfied": op.compare(probe, bound),
+            }
+        )
+    for row, (_, _, _, _, _, expected) in zip(rows, THESIS_EXAMPLES):
+        assert row["satisfied"] is expected
+    table = format_table(rows, title="Table 3.5 — constraint symbols (reproduced)")
+    save_artifact("T3.5_operators", table)
+
+    # parser throughput: the balanced-discovery hot path
+    sample = NodeSample(host="h", load=0.5, memory=4 << 30, swap_memory=6 << 20, updated=0.0)
+
+    def parse_and_evaluate():
+        constraints = parse_constraints(DESCRIPTION)
+        return constraints.satisfied_by(sample)
+
+    result = benchmark(parse_and_evaluate)
+    assert result is True
+
+
+def test_operator_gr_alias_matches_gt(save_artifact, benchmark):
+    """§3.2 spells greater-than 'gr'; Table 3.5 spells it 'gt' — same operator."""
+    resolved = benchmark(lambda: Operator.from_symbol("gr"))
+    assert resolved is Operator.from_symbol("gt")
+    save_artifact(
+        "T3.5_gr_alias", "gr and gt both parse to Operator.GT (thesis uses both spellings)"
+    )

@@ -1,0 +1,184 @@
+"""T3.9 — Table 3.9: the JUnit test-case matrix, regenerated as a pass table.
+
+Runs all eleven thesis test cases through the Python AccessRegistry/JAXR
+APIs and emits the same rows Table 3.9 lists, each with its reproduced
+verdict (the thesis' Figure 3.59 shows all green; so must this).
+"""
+
+from repro.bench import format_table
+from repro.client.access import ClientEnvironment, Registry
+from repro.client.jaxr import ConnectionFactory
+from repro.registry import RegistryConfig, RegistryServer
+from repro.util.clock import ManualClock
+
+PUBLISH = """<root><action type="publish"><organization>
+  <name>Test Organization</name>
+  <service><name>TestWebServiceService</name>
+    <accessuri>http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService</accessuri>
+  </service>
+</organization></action></root>"""
+
+
+def world():
+    registry = RegistryServer(RegistryConfig(seed=59), clock=ManualClock())
+    env = ClientEnvironment.for_registry(registry)
+    connection = env.register_client("gold", "gold123")
+    return registry, env, connection
+
+
+def modify(env, connection, body):
+    xml = (
+        '<root><action type="modify"><organization><name>Test Organization</name>'
+        f"{body}</organization></action></root>"
+    )
+    return Registry(connection, xml, environment=env).execute()
+
+
+def run_matrix():
+    """Execute all Table 3.9 cases; returns (name, suite, ok) triples."""
+    results = []
+
+    registry, env, connection = world()
+    _, cred = registry.register_user("junit")
+    jaxr = ConnectionFactory(registry).create_connection(cred).get_registry_service()
+    results.append(
+        (
+            "testGetBusinessLifeCycleManager",
+            "RegistryTest",
+            jaxr.get_business_life_cycle_manager() is not None,
+        )
+    )
+    results.append(
+        (
+            "testGetBusinessQueryManager",
+            "RegistryTest",
+            jaxr.get_business_query_manager() is not None,
+        )
+    )
+
+    out = Registry(connection, PUBLISH, environment=env).execute()
+    results.append(("testExecute (publish)", "PublishTest", len(out[0]) == 1))
+
+    qm = registry.qm
+
+    modify(
+        env,
+        connection,
+        '<service type="edit"><name>TestWebServiceService</name>'
+        '<accessuri type="add">http://volta.sdsu.edu:8080/T/x</accessuri></service>',
+    )
+    svc = qm.find_service_by_name("TestWebServiceService")
+    results.append(
+        (
+            "testExecute_AddAccessURI",
+            "ModifyTest",
+            "http://volta.sdsu.edu:8080/T/x" in qm.get_access_uris(svc.id),
+        )
+    )
+
+    modify(
+        env,
+        connection,
+        '<service type="edit"><name>TestWebServiceService</name>'
+        '<accessuri type="add">http://volta.sdsu.edu:8080/T/x</accessuri></service>',
+    )
+    results.append(
+        (
+            "testExecute_DuplicateAccessURI",
+            "ModifyTest",
+            len(qm.get_access_uris(svc.id)) == 2,  # duplicate was not added
+        )
+    )
+
+    modify(
+        env,
+        connection,
+        '<service type="edit"><name>TestWebServiceService</name>'
+        '<accessuri type="delete">http://volta.sdsu.edu:8080/T/x</accessuri></service>',
+    )
+    results.append(
+        (
+            "testExecute_DeleteAccessURI",
+            "ModifyTest",
+            qm.get_access_uris(svc.id)
+            == ["http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService"],
+        )
+    )
+
+    modify(
+        env,
+        connection,
+        '<service type="add"><name>AddedService</name>'
+        "<accessuri>http://eon.sdsu.edu:8080/Added/x</accessuri></service>",
+    )
+    results.append(
+        ("testExecute_AddService", "ModifyTest", qm.find_service_by_name("AddedService") is not None)
+    )
+
+    modify(
+        env,
+        connection,
+        '<service type="edit"><name>TestWebServiceService</name>'
+        '<description type="add"><constraint><cpuLoad>load ls 1.0</cpuLoad>'
+        "<memory>memory geq 5MB</memory><swapmemory>swapmemory geq 1GB</swapmemory>"
+        "<starttime>0700</starttime><endtime>2200</endtime></constraint></description></service>",
+    )
+    results.append(
+        (
+            "testExecute_AddServiceDescription",
+            "ModifyTest",
+            "swapmemory geq 1GB"
+            in qm.find_service_by_name("TestWebServiceService").description.value,
+        )
+    )
+
+    modify(env, connection, '<service type="delete"><name>TestWebServiceService</name></service>')
+    results.append(
+        (
+            "testExecute_DeleteService",
+            "ModifyTest",
+            qm.find_service_by_name("TestWebServiceService") is None,
+        )
+    )
+
+    # access (AccessTest) against the service that remains
+    access = (
+        '<root><action type="access"><organization><name>Test Organization</name>'
+        "<service><name>AddedService</name></service></organization></action></root>"
+    )
+    out = Registry(connection, access, environment=env).execute()
+    results.append(
+        ("testExecute (access)", "AccessTest", out[2] == ["http://eon.sdsu.edu:8080/Added/x"])
+    )
+
+    delete_org = (
+        '<root><action type="modify"><organization type="delete">'
+        "<name>Test Organization</name></organization></action></root>"
+    )
+    Registry(connection, delete_org, environment=env).execute()
+    results.append(
+        (
+            "testExecute_DeleteOrg",
+            "ModifyTest",
+            qm.find_organization_by_name("Test Organization") is None
+            and qm.find_service_by_name("AddedService") is None,
+        )
+    )
+    return results
+
+
+def test_table_3_9_junit_matrix(save_artifact, benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=3, iterations=1)
+    rows = [
+        {"Test Case": name, "Suite": suite, "Result": "pass" if ok else "FAIL"}
+        for name, suite, ok in results
+    ]
+    assert all(ok for _, _, ok in results), rows
+    assert len(rows) == 11
+    save_artifact(
+        "T3.9_junit_matrix",
+        format_table(
+            rows,
+            title="Table 3.9 — JUnit test-case matrix (all pass, as in thesis Fig. 3.59)",
+        ),
+    )

@@ -1,0 +1,94 @@
+"""LB-1 — the headline experiment: uniform load & memory under the scheme.
+
+Reproduces the abstract/§5.1 claim: "it is possible to implement a MTC
+application using distributed Web Services … across multiple hosts where the
+CPU load and system memory is uniformly maintained."
+
+Two tables:
+
+* homogeneous cluster — the scheme must crush the no-LB baseline (first-URI)
+  on every uniformity metric and complete all tasks;
+* heterogeneous cluster (background load on two hosts) — the scheme must
+  additionally beat the oblivious baselines (random, round-robin), because
+  only it sees live host state.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.mtc import BackgroundLoad, ExperimentConfig, compare_policies
+
+POLICIES = ["first-uri", "random", "round-robin", "constraint-lb", "oracle-lb"]
+
+
+def run_homogeneous():
+    return compare_policies(ExperimentConfig(duration=1800.0), POLICIES)
+
+
+def run_heterogeneous():
+    background = (
+        BackgroundLoad("host0.cluster", rate=0.08, cpu_seconds=60.0, memory=1 << 30),
+        BackgroundLoad("host1.cluster", rate=0.04, cpu_seconds=60.0, memory=1 << 30),
+    )
+    config = ExperimentConfig(duration=1800.0, background=background, monitor_period=10.0)
+    return compare_policies(config, POLICIES)
+
+
+def test_lb1_homogeneous(save_artifact, benchmark):
+    results = benchmark.pedantic(run_homogeneous, rounds=1, iterations=1)
+    rows = [results[p].metrics.row() for p in POLICIES]
+    save_artifact(
+        "LB1_homogeneous",
+        format_table(rows, title="LB-1a — homogeneous cluster, 0.4 tasks/s Poisson, 30 min")
+        + "\n\ndispatch counts:\n"
+        + "\n".join(f"  {p:14s} {results[p].dispatch_counts}" for p in POLICIES),
+    )
+    lb = results["constraint-lb"].metrics
+    no_lb = results["first-uri"].metrics
+    rr = results["round-robin"].metrics
+    # headline shape: the scheme dramatically out-balances no-LB…
+    assert lb.uniformity.load_stddev < no_lb.uniformity.load_stddev / 5
+    assert lb.uniformity.memory_spread < no_lb.uniformity.memory_spread / 2
+    assert lb.fairness > no_lb.fairness * 2
+    # …completes everything where no-LB overflows one host's memory…
+    assert lb.tasks_rejected == 0
+    assert no_lb.tasks_rejected > 0
+    assert lb.responses.mean < no_lb.responses.mean / 3
+    # …while a clairvoyant-free client-side round-robin stays the hardest
+    # baseline on a homogeneous cluster (stale samples cost the scheme some
+    # uniformity — quantified in the LB-2 period ablation).
+    assert rr.uniformity.load_stddev <= lb.uniformity.load_stddev
+    # the zero-staleness oracle bounds what any sampling design could do:
+    # the scheme's gap to the oracle is the price of 25 s monitoring
+    oracle = results["oracle-lb"].metrics
+    assert oracle.uniformity.load_stddev <= lb.uniformity.load_stddev
+    benchmark.extra_info["lb_load_std"] = lb.uniformity.load_stddev
+    benchmark.extra_info["no_lb_load_std"] = no_lb.uniformity.load_stddev
+    benchmark.extra_info["oracle_load_std"] = oracle.uniformity.load_stddev
+
+
+def test_lb1_heterogeneous(save_artifact, benchmark):
+    results = benchmark.pedantic(run_heterogeneous, rounds=1, iterations=1)
+    rows = [results[p].metrics.row() for p in POLICIES]
+    save_artifact(
+        "LB1_heterogeneous",
+        format_table(
+            rows,
+            title="LB-1b — heterogeneous cluster (background load on host0/host1), 30 min",
+        )
+        + "\n\ndispatch counts:\n"
+        + "\n".join(f"  {p:14s} {results[p].dispatch_counts}" for p in POLICIES),
+    )
+    lb = results["constraint-lb"].metrics
+    # the scheme beats every realizable baseline when hosts differ — its
+    # raison d'être (the oracle is an unrealizable upper bound, not a baseline)
+    for baseline in ("first-uri", "random", "round-robin"):
+        other = results[baseline].metrics
+        assert lb.uniformity.load_stddev < other.uniformity.load_stddev, baseline
+        assert lb.responses.mean < other.responses.mean, baseline
+    # and it moves work off the loaded hosts
+    lb_counts = results["constraint-lb"].dispatch_counts
+    rr_counts = results["round-robin"].dispatch_counts
+    assert lb_counts.get("host0.cluster", 0) + lb_counts.get("host1.cluster", 0) < (
+        rr_counts["host0.cluster"] + rr_counts["host1.cluster"]
+    )

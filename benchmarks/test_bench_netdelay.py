@@ -1,0 +1,107 @@
+"""LB-5 — the §5.2 future-work extension: network-delay-ranked access URIs.
+
+"Parameters such as network delay can be added as one of the constraints
+used to rank the access URIs."  The bench builds a cluster whose hosts sit
+at different network distances from the client, enables the
+NetworkAwareResolver on top of the constraint resolver, and shows URIs
+ranked by estimated access time — including the interaction with live load
+(a near-but-overloaded host loses to a slightly-farther idle one).
+"""
+
+from repro.bench import format_table
+from repro.core import (
+    NETWORK_DELAY_SLOT,
+    LoadStatus,
+    NetworkAwareResolver,
+    attach_load_balancer,
+)
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Service, ServiceBinding
+from repro.sim import Cluster, HostSpec, LatencyModel, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+HOSTS = ["near.x", "mid.x", "far.x"]
+DELAYS = {"near.x": 0.002, "mid.x": 0.020, "far.x": 0.150}
+
+
+def run_scenario():
+    engine = SimEngine(start=10 * 3600.0)
+    registry = RegistryServer(RegistryConfig(seed=55), clock=SimClockAdapter(engine))
+    cluster = Cluster(engine)
+    cluster.add_hosts([HostSpec(h, cores=2) for h in HOSTS])
+    latency = LatencyModel(default_latency=0.010)
+    for host, delay in DELAYS.items():
+        latency.set_latency("client", host, delay)
+    transport = SimTransport(latency=latency)
+    for monitor in cluster.monitors():
+        transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+    _, cred = registry.register_user("admin", roles={"RegistryAdministrator"})
+    session = registry.login(cred)
+    node_status = Service(registry.ids.new_id(), name="NodeStatus")
+    app = Service(
+        registry.ids.new_id(),
+        name="LatencySensitive",
+        description="<constraint><cpuLoad>load ls 8.0</cpuLoad></constraint>",
+    )
+    app.add_slot(NETWORK_DELAY_SLOT, "networkdelay ls 0.1")
+    registry.lcm.submit_objects(session, [node_status, app])
+    bindings = []
+    for host in HOSTS:
+        bindings.append(
+            ServiceBinding(registry.ids.new_id(), service=node_status.id, access_uri=nodestatus_uri(host))
+        )
+        bindings.append(
+            ServiceBinding(registry.ids.new_id(), service=app.id, access_uri=f"http://{host}:8080/svc")
+        )
+    registry.lcm.submit_objects(session, bindings)
+
+    balancer = attach_load_balancer(registry, transport, engine)
+    network_resolver = NetworkAwareResolver(
+        balancer.resolver,
+        transport,
+        load_status=balancer.load_status,
+        load_weight=0.010,  # 10 ms of estimated queueing per unit load
+    )
+    registry.daos.services.set_resolver(network_resolver)
+
+    rows = []
+
+    def observe(stage):
+        uris = registry.qm.get_access_uris(app.id)
+        hosts = [u.split("//")[1].split(":")[0] for u in uris]
+        estimates = {
+            h: round(
+                network_resolver.estimated_access_time(
+                    next(
+                        b
+                        for b in registry.daos.service_bindings.find_by_host(h)
+                        if b.service == app.id
+                    )
+                ),
+                4,
+            )
+            for h in HOSTS
+        }
+        rows.append({"Stage": stage, "URI order": " > ".join(hosts), "est. access s": str(estimates)})
+        return hosts
+
+    idle = observe("all idle")
+    assert idle == ["near.x", "mid.x"]  # far.x exceeds the 0.1 s delay cap
+
+    # overload the near host: queueing estimate pushes it behind mid.x
+    for _ in range(8):
+        cluster.host("near.x").submit(Task(cpu_seconds=10_000, memory=0))
+    engine.run_until(engine.now + 30)
+    loaded = observe("near.x overloaded")
+    assert loaded[0] == "mid.x"
+    return rows
+
+
+def test_lb5_network_delay(save_artifact, benchmark):
+    rows = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
+    save_artifact(
+        "LB5_network_delay",
+        format_table(rows, title="LB-5 — §5.2 extension: delay-ranked access URIs"),
+    )

@@ -1,0 +1,135 @@
+"""F4.1–F4.5 / §4.6 — the Chapter 4 Results scenarios, regenerated.
+
+Each thesis figure shows the Web-UI search result after one operation;
+here each step's observable registry state is rendered as a row and the
+figure's outcome is asserted.
+"""
+
+from repro.bench import format_table
+from repro.client.access import ClientEnvironment, Registry
+from repro.registry import RegistryConfig, RegistryServer
+from repro.util.clock import ManualClock
+
+PUBLISH = """<root><action type="publish"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <description>San Diego State University (SDSU), founded in 1897.</description>
+  <postaladdress><streetnumber>5500</streetnumber><street>Campanile Drive</street>
+    <city>San Diego</city><postalcode>92182</postalcode><state>CA</state><country>US</country>
+  </postaladdress>
+  <telephone><countrycode>1</countrycode><areacode>619</areacode>
+    <number>5945200</number><type>OfficePhone</type></telephone>
+  <service><name>NodeStatus</name>
+    <description>Service to monitor node status</description>
+    <accessuri>http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService
+               http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService</accessuri>
+  </service>
+</organization></action></root>"""
+
+ADD_SERVICE = """<root><action type="modify"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <service type="add"><name>ServiceAdder</name>
+    <accessuri>http://thermo.sdsu.edu:8080/Adder/addService
+               http://exergy.sdsu.edu:8080/Adder/addService</accessuri>
+  </service></organization></action></root>"""
+
+EDIT_DESCRIPTION = """<root><action type="modify"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <service type="edit"><name>ServiceAdder</name>
+    <description type="edit"><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>
+  </service></organization></action></root>"""
+
+ACCESS = """<root><action type="access"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <service><name>ServiceAdder</name></service>
+</organization></action></root>"""
+
+DELETE_SERVICE = """<root><action type="modify"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <service type="delete"><name>ServiceAdder</name></service>
+</organization></action></root>"""
+
+DELETE_ORG = """<root><action type="modify">
+  <organization type="delete"><name>San Diego State University (SDSU)</name></organization>
+</action></root>"""
+
+
+def run_chapter4():
+    registry = RegistryServer(RegistryConfig(seed=41), clock=ManualClock())
+    env = ClientEnvironment.for_registry(registry)
+    connection = env.register_client("gold", "gold123")
+    qm = registry.qm
+    rows = []
+
+    def snapshot(step, expected_ok, extra=""):
+        orgs = [o.name.value for o in registry.daos.organizations.all()]
+        services = sorted(s.name.value for s in registry.daos.services.all())
+        rows.append(
+            {
+                "Step": step,
+                "Organizations": ", ".join(orgs) or "-",
+                "Services": ", ".join(services) or "-",
+                "Check": "ok" if expected_ok else "FAIL",
+                "Detail": extra,
+            }
+        )
+        assert expected_ok, step
+
+    Registry(connection, PUBLISH, environment=env).execute()
+    org = qm.find_organization_by_name("San Diego State University (SDSU)")
+    snapshot(
+        "4.1 publish org + NodeStatus",
+        org is not None and qm.find_service_by_name("NodeStatus") is not None,
+        f"org address: {org.addresses[0].one_line()}",
+    )
+
+    Registry(connection, ADD_SERVICE, environment=env).execute()
+    adder = qm.find_service_by_name("ServiceAdder")
+    snapshot(
+        "4.2 add ServiceAdder",
+        adder is not None and adder.provider == org.id,
+        f"{len(qm.get_access_uris(adder.id))} access URIs",
+    )
+
+    Registry(connection, EDIT_DESCRIPTION, environment=env).execute()
+    adder = qm.find_service_by_name("ServiceAdder")
+    snapshot(
+        "4.3 edit description",
+        "load ls 1.0" in adder.description.value,
+        adder.description.value,
+    )
+
+    uris = Registry(connection, ACCESS, environment=env).execute()[2]
+    snapshot(
+        "4.6 access ServiceAdder",
+        uris
+        == [
+            "http://thermo.sdsu.edu:8080/Adder/addService",
+            "http://exergy.sdsu.edu:8080/Adder/addService",
+        ],
+        f"{len(uris)} URIs returned",
+    )
+
+    Registry(connection, DELETE_SERVICE, environment=env).execute()
+    snapshot(
+        "4.4 delete ServiceAdder",
+        qm.find_service_by_name("ServiceAdder") is None
+        and qm.find_service_by_name("NodeStatus") is not None,
+    )
+
+    Registry(connection, DELETE_ORG, environment=env).execute()
+    snapshot(
+        "4.5 delete organization",
+        registry.daos.organizations.count() == 0
+        and registry.daos.services.count() == 0,
+        "services cascade-deleted",
+    )
+    return rows
+
+
+def test_chapter4_results(save_artifact, benchmark):
+    rows = benchmark.pedantic(run_chapter4, rounds=3, iterations=1)
+    assert len(rows) == 6
+    save_artifact(
+        "F4.x_results_chapter",
+        format_table(rows, title="Chapter 4 Results — Figures 4.1–4.5 and §4.6 (reproduced)"),
+    )

@@ -1,0 +1,80 @@
+"""LB-4 — the time-of-day constraint (§3.2's starttime/endtime window).
+
+A service constrained to 10:00–12:00 is queried across the virtual day.
+Inside the window the registry balances on live load; outside it, per the
+thesis' ServiceConstraint contract, balancing is bypassed and discovery
+reverts to publisher order.  The bench renders the per-hour behaviour.
+"""
+
+from repro.bench import format_table
+from repro.core import attach_load_balancer
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Service, ServiceBinding
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+HOSTS = ["alpha.x", "beta.x", "gamma.x"]
+WINDOWED = (
+    "<constraint><cpuLoad>load ls 2.0</cpuLoad>"
+    "<starttime>1000</starttime><endtime>1200</endtime></constraint>"
+)
+
+
+def run_day():
+    engine = SimEngine(start=8 * 3600.0)  # 08:00
+    registry = RegistryServer(RegistryConfig(seed=44), clock=SimClockAdapter(engine))
+    cluster = Cluster(engine)
+    cluster.add_hosts([HostSpec(h, cores=2) for h in HOSTS])
+    transport = SimTransport()
+    for monitor in cluster.monitors():
+        transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+    _, cred = registry.register_user("admin", roles={"RegistryAdministrator"})
+    session = registry.login(cred)
+    node_status = Service(registry.ids.new_id(), name="NodeStatus")
+    windowed = Service(registry.ids.new_id(), name="Windowed", description=WINDOWED)
+    registry.lcm.submit_objects(session, [node_status, windowed])
+    bindings = []
+    for host in HOSTS:
+        bindings.append(
+            ServiceBinding(registry.ids.new_id(), service=node_status.id, access_uri=nodestatus_uri(host))
+        )
+        bindings.append(
+            ServiceBinding(registry.ids.new_id(), service=windowed.id, access_uri=f"http://{host}:8080/svc")
+        )
+    registry.lcm.submit_objects(session, bindings)
+    balancer = attach_load_balancer(registry, transport, engine)
+
+    # keep alpha permanently overloaded so balancing is visible when active
+    for _ in range(6):
+        cluster.host(HOSTS[0]).submit(Task(cpu_seconds=10**7, memory=0))
+
+    rows = []
+    for hour in range(8, 15):
+        engine.run_until(hour * 3600.0 + 60)  # one minute past the hour
+        uris = registry.qm.get_access_uris(windowed.id)
+        first = uris[0].split("//")[1].split(":")[0]
+        in_window = 10 * 60 <= registry.clock.minutes_of_day() <= 12 * 60
+        rows.append(
+            {
+                "time": f"{hour:02d}:01",
+                "in_window": in_window,
+                "balancing_active": first != HOSTS[0],
+                "first_uri_host": first,
+            }
+        )
+    return rows
+
+
+def test_lb4_time_of_day(save_artifact, benchmark):
+    rows = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    save_artifact(
+        "LB4_time_of_day",
+        format_table(rows, title="LB-4 — 10:00–12:00 availability window across the day"),
+    )
+    for row in rows:
+        # balancing happens exactly when the window contains 'now'
+        assert row["balancing_active"] == row["in_window"], row
+        if not row["in_window"]:
+            assert row["first_uri_host"] == HOSTS[0]  # publisher order

@@ -1,0 +1,110 @@
+"""F3.8–F3.50 — the Web-UI walkthrough of thesis §3.4.2/§3.4.4.1, scripted.
+
+Drives the headless Web UI through the full browser story: registration
+wizard (Figures 3.10–3.14), organization creation with its tabbed form
+(3.15–3.33, including the Save-vs-Apply hazard), service + service-binding
+creation (3.34–3.40), FindAllMyObjects and the relate flow (3.41–3.47),
+details-based modification (3.49), and deletion (3.50).
+"""
+
+from repro.bench import format_table
+from repro.registry import RegistryConfig, RegistryServer
+from repro.ui import WebUI
+from repro.util.clock import ManualClock
+
+
+def run_walkthrough():
+    registry = RegistryServer(RegistryConfig(seed=131), clock=ManualClock())
+    ui = WebUI(registry)
+    stages = []
+
+    def stage(figures, action, observed):
+        stages.append({"Figures": figures, "Action": action, "Observed": observed})
+
+    # -- registration wizard -------------------------------------------------
+    wizard = ui.create_user_account()
+    wizard.step1_requirements()
+    wizard.step2_user_details(first_name="Sadhana", last_name="Sahasrabudhe")
+    wizard.step3_credentials("gold", "gold123")
+    credential = wizard.step4_download()
+    session = ui.login(credential)
+    stage("3.10–3.14", "user registration wizard + login", f"session for {session.alias!r}")
+
+    # -- organization form with tabs ----------------------------------------------
+    org_form = ui.create_registry_object("Organization")
+    org_form.set_name("San Diego State University (SDSU)")
+    org_form.set_description("A university in southern California")
+    org_form.postal_address_tab_add(
+        street_number="5500", street="Campanile Drive", city="San Diego",
+        state="CA", country="US", postal_code="92182",
+    )
+    org_form.email_tab_add("info@sdsu.edu")
+    org_form.telephone_tab_add("594-5200", country_code="1", area_code="619")
+    org_form.save()
+    in_registry = registry.qm.find_organization_by_name("San Diego State University (SDSU)")
+    stage("3.17–3.30", "fill org tabs, click Save (memory only)", f"in registry: {in_registry is not None}")
+    assert in_registry is None  # the thesis' Save-vs-Apply hazard
+
+    message = org_form.apply()
+    org = registry.qm.find_organization_by_name("San Diego State University (SDSU)")
+    stage("3.22/3.33", "click Apply", f"{message!r}; address: {org.addresses[0].one_line()}")
+    assert message == "Apply Successful"
+
+    # -- service + binding form ------------------------------------------------------
+    svc_form = ui.create_registry_object("Service")
+    svc_form.set_name("NodeStatus")
+    svc_form.set_description("Service to monitor node status")
+    svc_form.service_binding_tab_add(
+        "http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService"
+    )
+    svc_form.service_binding_tab_add(
+        "http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService"
+    )
+    svc_form.apply()
+    svc = registry.qm.find_service_by_name("NodeStatus")
+    stage(
+        "3.34–3.40",
+        "create Service + ServiceBinding tab, Apply",
+        f"{len(registry.qm.get_access_uris(svc.id))} access URIs",
+    )
+
+    # -- FindAllMyObjects + relate ----------------------------------------------------------
+    mine = ui.search().find_all_my_objects()
+    stage("3.41", "FindAllMyObjects", f"{len(mine)} objects owned")
+    assoc = ui.relate(org.id, svc.id, "OffersService")
+    stage(
+        "3.42–3.47",
+        "select org + service, Relate (OffersService)",
+        f"association confirmed: {registry.daos.associations.require(assoc.id).is_confirmed}",
+    )
+    assert registry.daos.organizations.require(org.id).service_ids == [svc.id]
+
+    # -- details modification ---------------------------------------------------------------------
+    details = ui.details(svc.id)
+    details.set_description("<constraint><cpuLoad>load ls 1.0</cpuLoad></constraint>")
+    details.apply()
+    stage(
+        "3.49",
+        "Details → edit description → Apply",
+        registry.qm.get_registry_object(svc.id).description.value,
+    )
+
+    # -- delete -------------------------------------------------------------------------------------------
+    removed = ui.delete(org.id)
+    stage(
+        "3.50",
+        "select organization, Delete",
+        f"{len(removed)} objects removed (cascade)",
+    )
+    assert ui.search().find_organizations() == []
+    assert ui.search().find_services() == []
+    return stages
+
+
+def test_webui_walkthrough(save_artifact, benchmark):
+    stages = benchmark.pedantic(run_walkthrough, rounds=3, iterations=1)
+    assert len(stages) == 8
+    save_artifact(
+        "F3.x_webui_walkthrough",
+        format_table(stages, title="Figures 3.8–3.50 — Web UI walkthrough (reproduced)"),
+    )

@@ -1,0 +1,88 @@
+"""Federation and content-based notification — the ebXML 'advanced features'.
+
+Shows two Table-1.1 differentiators the library implements beyond the core
+load-balancing scheme:
+
+1. **Federation**: two registries join a federation; a federated query merges
+   tagged results; an object is selectively replicated across registries.
+2. **Content-based notification** (§1.3.2.5): a client subscribes with a
+   selector query and receives notifications (to a simulated Web Service
+   endpoint and an email address) when matching content changes.
+
+Run:  python examples/federation_and_notification.py
+"""
+
+from repro.events import RecordingChannel
+from repro.registry import RegistryConfig, RegistryFederation, RegistryServer
+from repro.rim import AdhocQuery, NotifyAction, Organization, Service, Subscription
+from repro.util.clock import ManualClock
+
+
+def make_registry(index: int) -> RegistryServer:
+    return RegistryServer(
+        RegistryConfig(seed=index, home=f"http://reg{index}.sdsu.edu:8080/omar/registry"),
+        clock=ManualClock(),
+    )
+
+
+def main() -> None:
+    # --- federation ----------------------------------------------------------
+    west, east = make_registry(1), make_registry(2)
+    federation = RegistryFederation("sdsu-federation")
+    federation.join(west)
+    federation.join(east)
+
+    _, wcred = west.register_user("west-admin")
+    wsession = west.login(wcred)
+    _, ecred = east.register_user("east-admin")
+    esession = east.login(ecred)
+
+    west.lcm.submit_objects(
+        wsession, [Organization(west.ids.new_id(), name="West Coast Publishers")]
+    )
+    east.lcm.submit_objects(
+        esession, [Organization(east.ids.new_id(), name="East Coast Publishers")]
+    )
+
+    print("federated query over both registries:")
+    for row in federation.federated_query("SELECT name FROM Organization"):
+        print(f"   {row.home:45s} {row.row['name']}")
+
+    org = west.qm.find_organization_by_name("West Coast Publishers")
+    replica = federation.replicate(org.id, to=east, session=esession)
+    print(f"\nreplicated {replica.name.value!r} to {east.home}")
+    print(f"   replica remembers its home registry: {replica.home}")
+
+    holder, _ = federation.resolve(org.id)
+    print(f"   federation resolve finds it first on: {holder.home}")
+
+    # --- content-based notification ---------------------------------------------
+    print("\nsubscribing to changes on services named 'Billing%':")
+    email_channel = RecordingChannel()
+    west.subscriptions.set_channel("email", email_channel)
+    selector = AdhocQuery(
+        west.ids.new_id(), query="SELECT id FROM Service WHERE name LIKE 'Billing%'"
+    )
+    subscription = Subscription(
+        west.ids.new_id(),
+        selector=selector.id,
+        actions=[
+            NotifyAction(mode="email", endpoint="ops@sdsu.edu"),
+            NotifyAction(mode="service", endpoint="http://listener.sdsu.edu/notify"),
+        ],
+    )
+    west.lcm.submit_objects(wsession, [selector, subscription])
+
+    billing = Service(west.ids.new_id(), name="BillingService")
+    west.lcm.submit_objects(wsession, [billing])
+    billing_fresh = west.daos.services.require(billing.id)
+    billing_fresh.description.set("v2 of the billing API")
+    west.lcm.update_objects(wsession, [billing_fresh])
+
+    for notification in email_channel.for_endpoint("ops@sdsu.edu"):
+        event = notification.event
+        print(f"   email to ops@sdsu.edu: {event.event_type.value} {event.affected_object}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The headline experiment: MTC workload under four dispatch policies.
+
+Reproduces the thesis' claim (abstract / §5.1) that with the scheme "the CPU
+load and system memory is uniformly maintained": runs the same Poisson MTC
+workload on a 4-host cluster under
+
+* ``first-uri``      (unmodified freebXML: everything lands on one host),
+* ``random``,
+* ``round-robin``,
+* ``constraint-lb``  (the thesis scheme),
+
+and prints load-uniformity, fairness, and response-time metrics per policy,
+both on a homogeneous cluster and with background load on two hosts (where
+oblivious baselines suffer and the constraint scheme shines).
+
+Run:  python examples/mtc_load_balancing.py
+"""
+
+from repro.bench import print_table
+from repro.mtc import BackgroundLoad, ExperimentConfig, compare_policies
+
+
+def main() -> None:
+    print("=== homogeneous cluster, 0.4 tasks/s Poisson, 30 min ===")
+    base = ExperimentConfig(duration=1800.0)
+    results = compare_policies(base)
+    print_table([r.metrics.row() for r in results.values()])
+    print("\nper-host dispatch counts:")
+    for policy, result in results.items():
+        print(f"  {policy:14s} {result.dispatch_counts}")
+
+    print("\n=== heterogeneous: background load on host0 (heavy) and host1 ===")
+    background = (
+        BackgroundLoad("host0.cluster", rate=0.08, cpu_seconds=60.0, memory=1 << 30),
+        BackgroundLoad("host1.cluster", rate=0.04, cpu_seconds=60.0, memory=1 << 30),
+    )
+    hetero = ExperimentConfig(duration=1800.0, background=background, monitor_period=10.0)
+    results = compare_policies(hetero)
+    print_table([r.metrics.row() for r in results.values()])
+    print(
+        "\nNote how constraint-lb steers work away from the loaded hosts while"
+        "\nround-robin and random split evenly regardless — the scheme's edge."
+    )
+
+
+if __name__ == "__main__":
+    main()

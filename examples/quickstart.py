@@ -1,0 +1,93 @@
+"""Quickstart: publish, discover, and load-balance a Web Service.
+
+Walks the thesis' core flow in ~60 lines:
+
+1. stand up a registry and a simulated 3-host cluster;
+2. publish the NodeStatus monitoring service and a constrained app service;
+3. attach the load-balancing scheme (constraint resolver + TimeHits);
+4. overload one host and watch the discovery answer reorder.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import attach_load_balancer
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Organization, Service, ServiceBinding, Association, AssociationType
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+HOSTS = ["exergy.sdsu.edu", "thermo.sdsu.edu", "romulus.sdsu.edu"]
+
+
+def main() -> None:
+    # --- infrastructure: engine, registry, cluster, transport -----------------
+    engine = SimEngine(start=10 * 3600.0)  # virtual clock at 10:00
+    registry = RegistryServer(RegistryConfig(seed=42), clock=SimClockAdapter(engine))
+    cluster = Cluster(engine)
+    cluster.add_hosts([HostSpec(h, cores=2) for h in HOSTS])
+    transport = SimTransport()
+    for monitor in cluster.monitors():
+        transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+
+    # --- register a user and publish (thesis §3.4) ------------------------------
+    _, credential = registry.register_user("gold")
+    session = registry.login(credential)
+
+    org = Organization(registry.ids.new_id(), name="San Diego State University (SDSU)")
+    node_status = Service(
+        registry.ids.new_id(), name="NodeStatus", description="Service to monitor node status"
+    )
+    adder = Service(
+        registry.ids.new_id(),
+        name="ServiceAdder",
+        description=(
+            "<constraint><cpuLoad>load ls 2.0</cpuLoad>"
+            "<memory>memory gr 1GB</memory></constraint>"
+        ),
+    )
+    registry.lcm.submit_objects(session, [org, node_status, adder])
+    bindings = []
+    for host in HOSTS:
+        bindings.append(
+            ServiceBinding(registry.ids.new_id(), service=node_status.id, access_uri=nodestatus_uri(host))
+        )
+        bindings.append(
+            ServiceBinding(
+                registry.ids.new_id(), service=adder.id,
+                access_uri=f"http://{host}:8080/Adder/addService",
+            )
+        )
+    bindings.append(
+        Association(
+            registry.ids.new_id(), source_object=org.id, target_object=adder.id,
+            association_type=AssociationType.OFFERS_SERVICE,
+        )
+    )
+    registry.lcm.submit_objects(session, bindings)
+
+    # --- attach the load-balancing scheme --------------------------------------
+    balancer = attach_load_balancer(registry, transport, engine)  # 25 s TimeHits
+    print("monitoring targets:", balancer.monitor.target_uris(), sep="\n  ")
+
+    print("\ndiscovery with all hosts idle:")
+    for uri in registry.qm.get_access_uris(adder.id):
+        print("  ", uri)
+
+    # --- overload exergy and re-discover ------------------------------------------
+    for _ in range(6):
+        cluster.host(HOSTS[0]).submit(Task(cpu_seconds=10_000, memory=1 << 30))
+    engine.run_until(engine.now + 30)  # one monitoring sweep later
+
+    print(f"\nnodestate after overloading {HOSTS[0]}:")
+    for sample in registry.node_state.all_samples():
+        print(f"   {sample.host:20s} load={sample.load:5.2f} mem={sample.memory >> 30}GB")
+
+    print("\ndiscovery now (overloaded host demoted):")
+    for uri in registry.qm.get_access_uris(adder.id):
+        print("  ", uri)
+
+
+if __name__ == "__main__":
+    main()

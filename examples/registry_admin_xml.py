@@ -1,0 +1,111 @@
+"""The AccessRegistry XML API walkthrough — thesis Chapter 4 verbatim.
+
+Replays the Results chapter end to end using connection.xml / action.xml
+documents: publish the SDSU organization with the NodeStatus service (§4.1),
+add ServiceAdder (§4.2), edit its description to a constraint (§4.3), delete
+the service (§4.4), delete the organization (§4.5), and access a service's
+URIs (§4.6).
+
+Run:  python examples/registry_admin_xml.py
+"""
+
+from repro.client.access import ClientEnvironment, Registry
+from repro.registry import RegistryConfig, RegistryServer
+from repro.util.clock import ManualClock
+
+
+def show(step: str, result: list[list[str]]) -> None:
+    published, modified, uris = result
+    print(f"--- {step}")
+    for oid in published:
+        print(f"    published organization id: {oid}")
+    for oid in modified:
+        print(f"    modified organization id:  {oid}")
+    for uri in uris:
+        print(f"    access URI: {uri}")
+
+
+def main() -> None:
+    registry = RegistryServer(RegistryConfig(seed=2011), clock=ManualClock())
+    env = ClientEnvironment.for_registry(registry)
+    # user onboarding: wizard + KeystoreMover + registryOperator import
+    connection = env.register_client("gold", "gold123")
+
+    # §4.1 publish organization and Web Service
+    publish = """<root><action type="publish"><organization>
+      <name>San Diego State University (SDSU)</name>
+      <description>San Diego State University (SDSU), founded in 1897 as San Diego
+        Normal School, is the largest and oldest higher education facility in the
+        greater San Diego area.</description>
+      <postaladdress>
+        <streetnumber>5500</streetnumber><street>Campanile Drive</street>
+        <city>San Diego</city><postalcode>92182</postalcode>
+        <state>CA</state><country>US</country>
+      </postaladdress>
+      <telephone>
+        <countrycode>1</countrycode><areacode>619</areacode>
+        <number>5945200</number><type>OfficePhone</type>
+      </telephone>
+      <service>
+        <name>NodeStatus</name>
+        <description>Service to monitor node status</description>
+        <accessuri>
+          http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService
+          http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService
+        </accessuri>
+      </service>
+    </organization></action></root>"""
+    show("4.1 publish organization + NodeStatus", Registry(connection, publish, environment=env).execute())
+
+    # §4.2 add the ServiceAdder Web Service
+    add = """<root><action type="modify"><organization>
+      <name>San Diego State University (SDSU)</name>
+      <service type="add">
+        <name>ServiceAdder</name>
+        <accessuri>
+          http://thermo.sdsu.edu:8080/Adder/addService
+          http://exergy.sdsu.edu:8080/Adder/addService
+        </accessuri>
+      </service>
+    </organization></action></root>"""
+    show("4.2 add ServiceAdder", Registry(connection, add, environment=env).execute())
+
+    # §4.3 edit the Web Service description (attach a load constraint)
+    edit = """<root><action type="modify"><organization>
+      <name>San Diego State University (SDSU)</name>
+      <service type="edit"><name>ServiceAdder</name>
+        <description type="edit"><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>
+      </service>
+    </organization></action></root>"""
+    show("4.3 edit ServiceAdder description", Registry(connection, edit, environment=env).execute())
+    svc = registry.qm.find_service_by_name("ServiceAdder")
+    print(f"    description now: {svc.description.value}")
+
+    # §4.6 access the Web Service (before deleting it)
+    access = """<root><action type="access"><organization>
+      <name>San Diego State University (SDSU)</name>
+      <service><name>ServiceAdder</name></service>
+    </organization></action></root>"""
+    show("4.6 access ServiceAdder", Registry(connection, access, environment=env).execute())
+
+    # §4.4 delete the Web Service
+    delete_svc = """<root><action type="modify"><organization>
+      <name>San Diego State University (SDSU)</name>
+      <service type="delete"><name>ServiceAdder</name></service>
+    </organization></action></root>"""
+    show("4.4 delete ServiceAdder", Registry(connection, delete_svc, environment=env).execute())
+    print(f"    ServiceAdder now resolves to: {registry.qm.find_service_by_name('ServiceAdder')}")
+
+    # §4.5 delete the organization (cascades to its services)
+    delete_org = """<root><action type="modify">
+      <organization type="delete"><name>San Diego State University (SDSU)</name></organization>
+    </action></root>"""
+    show("4.5 delete organization", Registry(connection, delete_org, environment=env).execute())
+    print(
+        f"    organizations left: {registry.daos.organizations.count()}, "
+        f"services left: {registry.daos.services.count()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "A Load Balancing Scheme for ebXML Registries".
+
+A pure-Python ebXML registry/repository (ebRIM model, LifeCycleManager /
+QueryManager services, SQL-92 AdhocQuery engine, XACML-lite security, SOAP /
+HTTP bindings) extended with the thesis' constraint-based load-balancing
+scheme, plus the host/cluster simulator and MTC workload harness that
+evaluate it.
+
+Quick start::
+
+    from repro.mtc import ExperimentConfig, compare_policies
+    results = compare_policies(ExperimentConfig(duration=600.0))
+    for policy, result in results.items():
+        print(policy, result.metrics.row())
+
+Package map (see DESIGN.md for the full inventory):
+
+=================  ======================================================
+``repro.core``     the contribution: constraints, LoadStatus, TimeHits,
+                   the constraint-aware binding resolver
+``repro.rim``      the ebRIM information model (~25 classes)
+``repro.registry`` LifeCycleManager, QueryManager, repository, federation
+``repro.persistence``  datastore, DAOs, the NodeState table
+``repro.query``    SQL-92 subset + XML filter query engine
+``repro.security`` simulated PKI, keystores, authn, XACML-lite
+``repro.events``   subscriptions and content-based notification
+``repro.soap``     envelopes, protocol messages, transport, bindings
+``repro.sim``      discrete-event hosts, NodeStatus, network latency
+``repro.client``   JAXR-style API + the AccessRegistry XML API
+``repro.mtc``      workloads, policies, metrics, experiment runner
+=================  ======================================================
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Benchmark harness helpers (table/series rendering)."""
+
+from repro.bench.tables import format_series, format_table, print_series, print_table
+
+__all__ = ["format_series", "format_table", "print_series", "print_table"]

@@ -1,0 +1,73 @@
+"""ASCII table / series printers for the benchmark harness.
+
+Every bench regenerates a thesis table or figure as rows; these helpers
+render them uniformly so EXPERIMENTS.md can quote bench output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = ["" if row.get(c) is None else str(row.get(c)) for c in columns]
+        rendered.append(cells)
+        for column, cell in zip(columns, cells):
+            widths[column] = max(widths[column], len(cell))
+    sep = "+" + "+".join("-" * (widths[c] + 2) for c in columns) + "+"
+    header = "|" + "|".join(f" {c:<{widths[c]}} " for c in columns) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines += [sep, header, sep]
+    for cells in rendered:
+        lines.append(
+            "|" + "|".join(f" {cell:<{widths[c]}} " for c, cell in zip(columns, cells)) + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Iterable[tuple[Any, Any]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series as a labelled ASCII bar chart (figure stand-in)."""
+    pts = list(points)
+    if not pts:
+        return (title + "\n" if title else "") + "(no points)"
+    values = [float(y) for _, y in pts]
+    peak = max(values) if max(values) > 0 else 1.0
+    x_width = max(len(str(x)) for x, _ in pts + [(x_label, 0)])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:<{x_width}} | {y_label}")
+    for (x, y), value in zip(pts, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{str(x):<{x_width}} | {float(y):<10.4g} {bar}")
+    return "\n".join(lines)
+
+
+def print_table(rows, **kwargs) -> None:  # pragma: no cover - thin wrapper
+    print(format_table(rows, **kwargs))
+
+
+def print_series(points, **kwargs) -> None:  # pragma: no cover - thin wrapper
+    print(format_series(points, **kwargs))

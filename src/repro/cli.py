@@ -1,0 +1,244 @@
+"""Command-line administrative tools (thesis §2.2.1 / §3.4.5).
+
+freebXML ships command-line utilities; the thesis drives its API with
+``java SampleProject "action.xml" "connection.xml"``.  This CLI reproduces
+that workflow plus the experiment harness:
+
+``repro init <state.json>``
+    create a fresh registry state file;
+``repro register <state.json> <alias> <password> [--keystore ks.json]``
+    run user registration and write the credential into a client keystore
+    (the wizard + KeystoreMover flow in one step);
+``repro execute <state.json> <connection.xml> <action.xml> [--keystore ks.json]``
+    the SampleProject equivalent: run an AccessRegistry action document and
+    print the thesis-style output (``Organization id :- urn:uuid:…``);
+``repro query <state.json> "<SQL>"``
+    run an ad hoc query and print rows;
+``repro experiment [--duration N] [--policies a,b,c]``
+    run the LB-1 policy comparison and print the metrics table;
+``repro sweep-period [--periods 5,10,25,60]``
+    run the LB-2 staleness ablation.
+
+State files are JSON registry snapshots (:mod:`repro.persistence.snapshot`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench import format_table
+from repro.client.access import ClientEnvironment, Registry
+from repro.persistence.snapshot import load_registry_file, save_registry_file
+from repro.registry import RegistryConfig, RegistryServer
+from repro.security.keystore import Keystore, load_keystore, save_keystore
+from repro.util.clock import WallClock
+from repro.util.errors import RegistryError
+
+DEFAULT_URL = "http://localhost:8080/omar/registry"
+
+
+def _open_registry(path: str, *, must_exist: bool = True) -> RegistryServer:
+    registry = RegistryServer(RegistryConfig(home=DEFAULT_URL), clock=WallClock())
+    if os.path.exists(path):
+        load_registry_file(registry, path)
+    elif must_exist:
+        raise SystemExit(f"error: no registry state at {path!r}; run 'repro init' first")
+    return registry
+
+
+def _open_keystore(path: str | None) -> tuple[Keystore, str]:
+    resolved = path or os.path.expanduser("~/.repro-keystore.json")
+    if os.path.exists(resolved):
+        return load_keystore(resolved), resolved
+    return Keystore(), resolved
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    registry = RegistryServer(RegistryConfig(home=DEFAULT_URL), clock=WallClock())
+    save_registry_file(registry, args.state)
+    print(f"initialized empty registry state at {args.state}")
+    return 0
+
+
+def cmd_register(args: argparse.Namespace) -> int:
+    registry = _open_registry(args.state)
+    keystore, keystore_path = _open_keystore(args.keystore)
+    _, credential = registry.register_user(args.alias)
+    keystore.set_entry(args.alias, credential, args.password)
+    keystore.import_trusted("registryOperator", registry.authority.certificate)
+    save_registry_file(registry, args.state)
+    save_keystore(keystore, keystore_path)
+    print(f"registered user {args.alias!r}")
+    print(f"credential stored in {keystore_path} (alias {args.alias!r})")
+    return 0
+
+
+def cmd_execute(args: argparse.Namespace) -> int:
+    registry = _open_registry(args.state)
+    keystore, keystore_path = _open_keystore(args.keystore)
+    env = ClientEnvironment(
+        registries={DEFAULT_URL: registry},
+        keystores={keystore_path: keystore},
+        default_keystore_path=keystore_path,
+    )
+    try:
+        api = Registry(args.connection, args.action, environment=env)
+        published, modified, uris = api.execute()
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # thesis §3.4.5 output format
+    for org_id in published:
+        print(f"Organization id :- {org_id}")
+    for org_id in modified:
+        print(f"Organization Modified :- {org_id}")
+    for uri in uris:
+        print(uri)
+    save_registry_file(registry, args.state)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    registry = _open_registry(args.state)
+    try:
+        response = registry.qm.execute_adhoc_query(args.sql)
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if response.rows:
+        print(format_table(response.rows))
+    print(f"{response.total_result_count} row(s)")
+    return 0
+
+
+def cmd_keystoremover(args: argparse.Namespace) -> int:
+    """The thesis §3.4.3 KeystoreMover, option-for-option (Table 3.2)."""
+    from repro.security.keystore import KeystoreMover
+
+    source = load_keystore(args.sourceKeystorePath)
+    if os.path.exists(args.destinationKeystorePath):
+        destination = load_keystore(args.destinationKeystorePath)
+    else:
+        destination = Keystore()
+    try:
+        KeystoreMover.move(
+            source=source,
+            source_alias=args.sourceAlias,
+            source_key_password=args.sourceKeyPassword,
+            destination=destination,
+            destination_alias=args.destinationAlias,
+            destination_key_password=args.destinationKeyPassword,
+        )
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # trusted certificates travel too (the registryOperator import step)
+    for alias in ("registryOperator",):
+        cert = source.trusted(alias)
+        if cert is not None:
+            destination.import_trusted(alias, cert)
+    save_keystore(destination, args.destinationKeystorePath)
+    print(
+        f"moved alias {args.sourceAlias!r} into {args.destinationKeystorePath}"
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.mtc import ExperimentConfig, compare_policies
+
+    policies = args.policies.split(",")
+    config = ExperimentConfig(duration=args.duration, monitor_period=args.period)
+    results = compare_policies(config, policies)
+    print(format_table([results[p].metrics.row() for p in policies]))
+    for policy in policies:
+        print(f"  {policy:20s} dispatch: {results[policy].dispatch_counts}")
+    return 0
+
+
+def cmd_sweep_period(args: argparse.Namespace) -> int:
+    from repro.mtc import ExperimentConfig, run_experiment
+
+    rows = []
+    for period in (float(p) for p in args.periods.split(",")):
+        result = run_experiment(
+            ExperimentConfig(duration=args.duration, monitor_period=period)
+        )
+        metrics = result.metrics
+        rows.append(
+            {
+                "period_s": period,
+                "load_std": round(metrics.uniformity.load_stddev, 3),
+                "fairness": round(metrics.fairness, 3),
+                "resp_mean_s": round(metrics.responses.mean, 2),
+            }
+        )
+    print(format_table(rows, title="TimeHits period sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ebXML registry load-balancing toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create an empty registry state file")
+    p.add_argument("state")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("register", help="register a user and write the keystore")
+    p.add_argument("state")
+    p.add_argument("alias")
+    p.add_argument("password")
+    p.add_argument("--keystore")
+    p.set_defaults(func=cmd_register)
+
+    p = sub.add_parser("execute", help="run an action.xml against the registry")
+    p.add_argument("state")
+    p.add_argument("connection")
+    p.add_argument("action")
+    p.add_argument("--keystore")
+    p.set_defaults(func=cmd_execute)
+
+    p = sub.add_parser("query", help="run an ad hoc SQL query")
+    p.add_argument("state")
+    p.add_argument("sql")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "keystoremover", help="copy a credential between keystores (thesis §3.4.3)"
+    )
+    p.add_argument("--sourceKeystorePath", required=True)
+    p.add_argument("--sourceAlias", required=True)
+    p.add_argument("--sourceKeyPassword", required=True)
+    p.add_argument("--destinationKeystorePath", required=True)
+    p.add_argument("--destinationAlias")
+    p.add_argument("--destinationKeyPassword")
+    p.set_defaults(func=cmd_keystoremover)
+
+    p = sub.add_parser("experiment", help="run the policy-comparison experiment")
+    p.add_argument("--duration", type=float, default=900.0)
+    p.add_argument("--period", type=float, default=25.0)
+    p.add_argument(
+        "--policies", default="first-uri,random,round-robin,constraint-lb"
+    )
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("sweep-period", help="run the monitoring-period ablation")
+    p.add_argument("--duration", type=float, default=900.0)
+    p.add_argument("--periods", default="5,10,25,60,120")
+    p.set_defaults(func=cmd_sweep_period)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Client APIs: the JAXR-style provider and the AccessRegistry XML API."""
+
+from repro.client.access import ClientEnvironment, Registry
+from repro.client.jaxr import (
+    BusinessLifeCycleManager,
+    BusinessQueryManager,
+    Connection,
+    ConnectionFactory,
+    RegistryService,
+)
+
+__all__ = [
+    "ClientEnvironment",
+    "Registry",
+    "BusinessLifeCycleManager",
+    "BusinessQueryManager",
+    "Connection",
+    "ConnectionFactory",
+    "RegistryService",
+]

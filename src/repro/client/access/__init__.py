@@ -1,0 +1,32 @@
+"""The AccessRegistry API: XML-driven registry access (thesis §3.4.4.2–3.4.5)."""
+
+from repro.client.access.action_xml import (
+    AccessUriSpec,
+    ActionDocument,
+    ActionSpec,
+    DescriptionSpec,
+    OrganizationSpec,
+    ServiceSpec,
+    parse_action_xml,
+)
+from repro.client.access.connection_xml import ConnectionSpec, parse_connection_xml
+from repro.client.access.registry_api import (
+    DEFAULT_KEYSTORE_PATH,
+    ClientEnvironment,
+    Registry,
+)
+
+__all__ = [
+    "AccessUriSpec",
+    "ActionDocument",
+    "ActionSpec",
+    "DescriptionSpec",
+    "OrganizationSpec",
+    "ServiceSpec",
+    "parse_action_xml",
+    "ConnectionSpec",
+    "parse_connection_xml",
+    "DEFAULT_KEYSTORE_PATH",
+    "ClientEnvironment",
+    "Registry",
+]

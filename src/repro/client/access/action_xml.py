@@ -1,0 +1,201 @@
+"""action.xml parsing — the RegistryAccess.dtd document model.
+
+Implements the structure of thesis §3.4.4.2 (Tables 3.3–3.6)::
+
+    <root>
+      <action type="publish|access|modify">     <!-- default "access" -->
+        <organization [type="delete"]>
+          <name>…</name>                         <!-- mandatory -->
+          <description [type="add|edit|delete"]> text | <constraint>…</constraint>
+          <postaladdress> streetnumber|street|city|state|country|postalcode|type
+          <telephone> type|number|areacode|countrycode
+          <service [type="add|delete|edit"]>
+            <name>…</name>                       <!-- mandatory -->
+            <description [type=…]> … </description>
+            <accessuri [type="add|delete"]> URI whitespace-separated URIs </accessuri>
+          </service>
+        </organization>
+      </action>
+    </root>
+
+Several documents in the thesis whitespace-separate multiple endpoint URLs
+inside one ``<accessuri>`` element; the parser splits them.  Both
+``<constraint>`` and the DTD's ``<constrain>`` spellings are preserved
+verbatim into the description text so the core parser sees them unchanged.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.rim import EmailAddress, PostalAddress, TelephoneNumber
+from repro.util.errors import AccessXmlError
+from repro.util.xmlutil import inner_xml, parse_xml
+
+ACTION_TYPES = ("publish", "access", "modify")
+DESCRIPTION_MOD_TYPES = ("add", "edit", "modify", "delete")
+SERVICE_MOD_TYPES = ("add", "edit", "delete")
+URI_MOD_TYPES = ("add", "delete")
+
+
+@dataclass(frozen=True)
+class DescriptionSpec:
+    """A <description> element: raw text (with any constraint block) + mod type."""
+
+    text: str
+    mod_type: str | None = None
+
+
+@dataclass(frozen=True)
+class AccessUriSpec:
+    """One <accessuri> element (may carry several whitespace-separated URIs)."""
+
+    uris: tuple[str, ...]
+    mod_type: str | None = None
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    name: str
+    mod_type: str | None = None
+    description: DescriptionSpec | None = None
+    access_uris: tuple[AccessUriSpec, ...] = ()
+
+    def all_uris(self) -> list[str]:
+        return [uri for spec in self.access_uris for uri in spec.uris]
+
+
+@dataclass(frozen=True)
+class OrganizationSpec:
+    name: str
+    mod_type: str | None = None
+    description: DescriptionSpec | None = None
+    postal_address: PostalAddress | None = None
+    telephone: TelephoneNumber | None = None
+    email: EmailAddress | None = None
+    services: tuple[ServiceSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    action_type: str
+    organizations: tuple[OrganizationSpec, ...]
+
+
+@dataclass(frozen=True)
+class ActionDocument:
+    actions: tuple[ActionSpec, ...]
+
+
+def _text(element: ET.Element | None) -> str:
+    return (element.text or "").strip() if element is not None else ""
+
+
+def _parse_description(element: ET.Element) -> DescriptionSpec:
+    mod_type = element.get("type")
+    if mod_type is not None and mod_type not in DESCRIPTION_MOD_TYPES:
+        raise AccessXmlError(f"invalid description type attribute: {mod_type!r}")
+    return DescriptionSpec(text=inner_xml(element), mod_type=mod_type)
+
+
+def _parse_postal_address(element: ET.Element) -> PostalAddress:
+    return PostalAddress(
+        street_number=_text(element.find("streetnumber")),
+        street=_text(element.find("street")),
+        city=_text(element.find("city")),
+        state=_text(element.find("state")),
+        country=_text(element.find("country")),
+        postal_code=_text(element.find("postalcode")),
+        type=_text(element.find("type")),
+    )
+
+
+def _parse_telephone(element: ET.Element) -> TelephoneNumber:
+    number = _text(element.find("number"))
+    if not number:
+        raise AccessXmlError("<telephone> requires a <number> element")
+    return TelephoneNumber(
+        number=number,
+        country_code=_text(element.find("countrycode")),
+        area_code=_text(element.find("areacode")),
+        type=_text(element.find("type")) or "OfficePhone",
+    )
+
+
+def _parse_accessuri(element: ET.Element) -> AccessUriSpec:
+    mod_type = element.get("type")
+    if mod_type is not None and mod_type not in URI_MOD_TYPES:
+        raise AccessXmlError(f"invalid accessuri type attribute: {mod_type!r}")
+    uris = tuple((element.text or "").split())
+    if not uris:
+        raise AccessXmlError("<accessuri> requires at least one URI")
+    return AccessUriSpec(uris=uris, mod_type=mod_type)
+
+
+def _parse_service(element: ET.Element) -> ServiceSpec:
+    mod_type = element.get("type")
+    if mod_type is not None and mod_type not in SERVICE_MOD_TYPES:
+        raise AccessXmlError(f"invalid service type attribute: {mod_type!r}")
+    name = _text(element.find("name"))
+    if not name:
+        raise AccessXmlError("<service> requires a non-empty <name>")
+    description_el = element.find("description")
+    description = _parse_description(description_el) if description_el is not None else None
+    access_uris = tuple(_parse_accessuri(el) for el in element.findall("accessuri"))
+    return ServiceSpec(
+        name=name, mod_type=mod_type, description=description, access_uris=access_uris
+    )
+
+
+def _parse_email(element: ET.Element) -> EmailAddress:
+    address = _text(element.find("address")) or (element.text or "").strip()
+    if not address:
+        raise AccessXmlError("<email> requires an address")
+    return EmailAddress(address=address, type=_text(element.find("type")) or "OfficeEmail")
+
+
+def _parse_organization(element: ET.Element) -> OrganizationSpec:
+    mod_type = element.get("type")
+    if mod_type is not None and mod_type != "delete":
+        raise AccessXmlError(
+            f"organization type attribute supports only 'delete', got {mod_type!r}"
+        )
+    name = _text(element.find("name"))
+    if not name:
+        raise AccessXmlError("<organization> requires a non-empty <name>")
+    description_el = element.find("description")
+    postal_el = element.find("postaladdress")
+    telephone_el = element.find("telephone")
+    email_el = element.find("email")
+    return OrganizationSpec(
+        name=name,
+        mod_type=mod_type,
+        description=_parse_description(description_el) if description_el is not None else None,
+        postal_address=_parse_postal_address(postal_el) if postal_el is not None else None,
+        telephone=_parse_telephone(telephone_el) if telephone_el is not None else None,
+        email=_parse_email(email_el) if email_el is not None else None,
+        services=tuple(_parse_service(el) for el in element.findall("service")),
+    )
+
+
+def parse_action_xml(text: str) -> ActionDocument:
+    """Parse an action.xml document into its spec tree."""
+    root = parse_xml(text, what="action.xml")
+    if root.tag != "root":
+        raise AccessXmlError(f"action.xml root element must be <root>, got <{root.tag}>")
+    actions: list[ActionSpec] = []
+    action_elements = root.findall("action")
+    if not action_elements:
+        raise AccessXmlError("action.xml requires at least one <action>")
+    for action_el in action_elements:
+        action_type = action_el.get("type", "access")
+        if action_type not in ACTION_TYPES:
+            raise AccessXmlError(f"invalid action type attribute: {action_type!r}")
+        organizations = tuple(
+            _parse_organization(el) for el in action_el.findall("organization")
+        )
+        if not organizations:
+            raise AccessXmlError("<action> requires at least one <organization>")
+        actions.append(ActionSpec(action_type=action_type, organizations=organizations))
+    return ActionDocument(actions=tuple(actions))

@@ -1,0 +1,56 @@
+"""connection.xml parsing (thesis §3.4.4.2).
+
+The AccessRegistry API reads its registry connection details from a
+connection.xml document::
+
+    <connection>
+      <user>
+        <alias>gold</alias>
+        <password>gold123</password>
+      </user>
+      <url>https://volta.sdsu.edu:8443/omar/registry/soap</url>
+      <keystore>/home/sadhana/omar/3.1/jaxr-ebxml/security/keystore.jks</keystore>
+    </connection>
+
+``alias``/``password`` select the credential entry in the client keystore
+(the one KeystoreMover placed there); ``url`` names the registry's SOAP
+endpoint.  The ``<keystore>`` element is optional — when absent, the
+environment's default keystore is used, matching the Java default-keystore
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import AccessXmlError
+from repro.util.xmlutil import child_text, parse_xml, required_child_text
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """Parsed connection.xml contents."""
+
+    alias: str
+    password: str
+    url: str
+    keystore_path: str | None = None
+
+
+def parse_connection_xml(text: str) -> ConnectionSpec:
+    """Parse a connection.xml document."""
+    root = parse_xml(text, what="connection.xml")
+    if root.tag != "connection":
+        raise AccessXmlError(
+            f"connection.xml root element must be <connection>, got <{root.tag}>"
+        )
+    user = root.find("user")
+    if user is None:
+        raise AccessXmlError("connection.xml requires a <user> element")
+    alias = required_child_text(user, "alias", what="user")
+    password = required_child_text(user, "password", what="user")
+    url = required_child_text(root, "url", what="connection")
+    keystore = child_text(root, "keystore")
+    return ConnectionSpec(
+        alias=alias, password=password, url=url, keystore_path=keystore or None
+    )

@@ -1,0 +1,325 @@
+"""The AccessRegistry ``Registry`` class (thesis §3.4.4.2 / §3.4.5).
+
+Usage mirrors the thesis' Java API exactly::
+
+    registry = Registry("connection.xml", "action.xml", environment=env)
+    result = registry.execute()
+
+``execute()`` carries out every action in the action document and returns
+the thesis' container-of-lists (Figure 3.51):
+
+* ``result[0]`` — organization ids of organizations **published**;
+* ``result[1]`` — organization ids of organizations **modified**;
+* ``result[2]`` — **access URIs** fetched by access actions (in the
+  load-balanced order the registry returned them).
+
+Sources may be file paths or raw XML text (anything starting with ``<``).
+The :class:`ClientEnvironment` replaces the Java runtime environment: it
+holds the simulated registry endpoints and the client keystores the
+connection.xml references.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.client.access.action_xml import (
+    ActionDocument,
+    DescriptionSpec,
+    OrganizationSpec,
+    ServiceSpec,
+    parse_action_xml,
+)
+from repro.client.access.connection_xml import ConnectionSpec, parse_connection_xml
+from repro.registry.server import RegistryServer
+from repro.rim import (
+    Association,
+    AssociationType,
+    Organization,
+    RegistryObject,
+    Service,
+    ServiceBinding,
+)
+from repro.security.authn import Session
+from repro.security.keystore import Keystore
+from repro.util.errors import AccessXmlError, ObjectNotFoundError
+
+DEFAULT_KEYSTORE_PATH = "~/.keystore"
+
+
+@dataclass
+class ClientEnvironment:
+    """The client's runtime environment: registries by URL + keystores by path."""
+
+    registries: dict[str, RegistryServer] = field(default_factory=dict)
+    keystores: dict[str, Keystore] = field(default_factory=dict)
+    default_keystore_path: str = DEFAULT_KEYSTORE_PATH
+
+    @classmethod
+    def for_registry(
+        cls, registry: RegistryServer, *, url: str | None = None
+    ) -> "ClientEnvironment":
+        """Environment with one registry and an empty default keystore."""
+        env = cls()
+        env.add_registry(registry, url=url)
+        env.keystores[env.default_keystore_path] = Keystore()
+        return env
+
+    def add_registry(self, registry: RegistryServer, *, url: str | None = None) -> None:
+        self.registries[url or registry.home] = registry
+
+    def registry_for(self, url: str) -> RegistryServer:
+        registry = self.registries.get(url)
+        if registry is None:
+            raise AccessXmlError(f"no registry reachable at {url!r}")
+        return registry
+
+    def keystore_at(self, path: str | None) -> Keystore:
+        keystore = self.keystores.get(path or self.default_keystore_path)
+        if keystore is None:
+            raise AccessXmlError(f"no client keystore at {path!r}")
+        return keystore
+
+    def register_client(
+        self,
+        alias: str,
+        password: str,
+        *,
+        url: str | None = None,
+        keystore_path: str | None = None,
+    ) -> ConnectionSpec:
+        """Run the full thesis onboarding: wizard + KeystoreMover import.
+
+        Registers *alias* with the registry, stores the issued credential in
+        the client keystore under *password*, imports the registryOperator
+        trust anchor, and returns a ready ConnectionSpec.
+        """
+        if url is None:
+            if len(self.registries) != 1:
+                raise AccessXmlError("url required when multiple registries are known")
+            url = next(iter(self.registries))
+        registry = self.registry_for(url)
+        _, credential = registry.register_user(alias)
+        keystore = self.keystore_at(keystore_path)
+        keystore.set_entry(alias, credential, password)
+        keystore.import_trusted("registryOperator", registry.authority.certificate)
+        return ConnectionSpec(
+            alias=alias, password=password, url=url, keystore_path=keystore_path
+        )
+
+
+def _load_source(source: str) -> str:
+    """Accept a file path or raw XML text."""
+    if source.lstrip().startswith("<"):
+        return source
+    with open(os.path.expanduser(source), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class Registry:
+    """The AccessRegistry entry point: parse inputs, connect, execute()."""
+
+    def __init__(
+        self,
+        connection_source: str | ConnectionSpec,
+        action_source: str | ActionDocument,
+        *,
+        environment: ClientEnvironment,
+    ) -> None:
+        self.environment = environment
+        if isinstance(connection_source, ConnectionSpec):
+            self.connection_spec = connection_source
+        else:
+            self.connection_spec = parse_connection_xml(_load_source(connection_source))
+        if isinstance(action_source, ActionDocument):
+            self.action_document = action_source
+        else:
+            self.action_document = parse_action_xml(_load_source(action_source))
+        self.registry = environment.registry_for(self.connection_spec.url)
+        self._session: Session | None = None
+
+    # -- connection ---------------------------------------------------------
+
+    def _connect(self) -> Session:
+        """Authenticate with the keystore credential (trust chain included)."""
+        if self._session is not None:
+            return self._session
+        keystore = self.environment.keystore_at(self.connection_spec.keystore_path)
+        credential = keystore.get_entry(
+            self.connection_spec.alias, self.connection_spec.password
+        )
+        if not keystore.trusts(self.registry.authority.certificate):
+            raise AccessXmlError(
+                "client keystore does not trust the registryOperator certificate; "
+                "import Servier.cer first (thesis §3.4.3)"
+            )
+        self._session = self.registry.login(credential)
+        return self._session
+
+    # -- execute ---------------------------------------------------------------
+
+    def execute(self) -> list[list[str]]:
+        """Run all actions; returns [published_org_ids, modified_org_ids, uris]."""
+        published: list[str] = []
+        modified: list[str] = []
+        uris: list[str] = []
+        for action in self.action_document.actions:
+            if action.action_type == "publish":
+                for org_spec in action.organizations:
+                    published.append(self._publish_organization(org_spec))
+            elif action.action_type == "modify":
+                for org_spec in action.organizations:
+                    modified.append(self._modify_organization(org_spec))
+            else:  # access
+                for org_spec in action.organizations:
+                    uris.extend(self._access_organization(org_spec))
+        return [published, modified, uris]
+
+    # -- publish -------------------------------------------------------------------
+
+    def _publish_organization(self, spec: OrganizationSpec) -> str:
+        session = self._connect()
+        lcm = self.registry.lcm
+        org = Organization(
+            self.registry.ids.new_id(),
+            name=spec.name,
+            description=spec.description.text if spec.description else "",
+        )
+        if spec.postal_address is not None:
+            org.addresses.append(spec.postal_address)
+        if spec.telephone is not None:
+            org.telephones.append(spec.telephone)
+        if spec.email is not None:
+            org.emails.append(spec.email)
+        batch: list[RegistryObject] = [org]
+        lcm.submit_objects(session, batch)
+        for service_spec in spec.services:
+            self._publish_service(session, org, service_spec)
+        return org.id
+
+    def _publish_service(self, session: Session, org: Organization, spec: ServiceSpec) -> str:
+        lcm = self.registry.lcm
+        service = Service(
+            self.registry.ids.new_id(),
+            name=spec.name,
+            description=spec.description.text if spec.description else "",
+        )
+        objects: list[RegistryObject] = [service]
+        for uri in spec.all_uris():
+            objects.append(
+                ServiceBinding(self.registry.ids.new_id(), service=service.id, access_uri=uri)
+            )
+        objects.append(
+            Association(
+                self.registry.ids.new_id(),
+                source_object=org.id,
+                target_object=service.id,
+                association_type=AssociationType.OFFERS_SERVICE,
+            )
+        )
+        lcm.submit_objects(session, objects)
+        return service.id
+
+    # -- modify ----------------------------------------------------------------------
+
+    def _find_organization(self, name: str) -> Organization:
+        org = self.registry.qm.find_organization_by_name(name)
+        if org is None:
+            raise AccessXmlError(
+                f"organization {name!r} is not published; publish it before modifying"
+            )
+        return org
+
+    def _find_service(self, org: Organization, name: str) -> Service:
+        service = self.registry.qm.find_service_by_name(name, organization=org)
+        if service is None:
+            raise AccessXmlError(
+                f"service {name!r} is not published under organization {org.name.value!r}"
+            )
+        return service
+
+    def _modify_organization(self, spec: OrganizationSpec) -> str:
+        session = self._connect()
+        lcm = self.registry.lcm
+        org = self._find_organization(spec.name)
+        if spec.mod_type == "delete":
+            lcm.remove_objects(session, [org.id])
+            return org.id
+        if spec.description is not None:
+            self._modify_description(session, org, spec.description)
+        for service_spec in spec.services:
+            self._modify_service(session, org, service_spec)
+        return org.id
+
+    def _modify_description(
+        self, session: Session, obj: RegistryObject, spec: DescriptionSpec
+    ) -> None:
+        fresh = self.registry.qm.get_registry_object(obj.id)
+        if spec.mod_type == "delete":
+            fresh.description = type(fresh.description)("")
+        else:  # add / edit / modify all rewrite the whole description (Table 3.6 note)
+            fresh.description = type(fresh.description)(spec.text)
+        self.registry.lcm.update_objects(session, [fresh])
+
+    def _modify_service(self, session: Session, org: Organization, spec: ServiceSpec) -> None:
+        lcm = self.registry.lcm
+        if spec.mod_type == "add":
+            existing = self.registry.qm.find_service_by_name(spec.name, organization=org)
+            if existing is not None:
+                raise AccessXmlError(
+                    f"service {spec.name!r} already exists; cannot add it again"
+                )
+            self._publish_service(session, org, spec)
+            return
+        service = self._find_service(org, spec.name)
+        if spec.mod_type == "delete":
+            lcm.remove_objects(session, [service.id])
+            return
+        # edit (explicit or implied): apply child modifications
+        if spec.description is not None:
+            self._modify_description(session, service, spec.description)
+        for uri_spec in spec.access_uris:
+            if uri_spec.mod_type == "delete":
+                self._delete_uris(session, service, uri_spec.uris)
+            else:  # add (default)
+                self._add_uris(session, service, uri_spec.uris)
+
+    def _add_uris(self, session: Session, service: Service, uris: tuple[str, ...]) -> None:
+        existing = {
+            b.access_uri
+            for b in self.registry.daos.service_bindings.for_service(
+                self.registry.daos.services.require(service.id)
+            )
+        }
+        new_bindings = [
+            ServiceBinding(self.registry.ids.new_id(), service=service.id, access_uri=uri)
+            for uri in uris
+            if uri not in existing  # duplicate URIs are ignored (testExecute_DuplicateAccessURI)
+        ]
+        if new_bindings:
+            self.registry.lcm.submit_objects(session, new_bindings)
+
+    def _delete_uris(self, session: Session, service: Service, uris: tuple[str, ...]) -> None:
+        fresh = self.registry.daos.services.require(service.id)
+        bindings = self.registry.daos.service_bindings.for_service(fresh)
+        to_delete = [b.id for b in bindings if b.access_uri in uris]
+        if not to_delete:
+            raise AccessXmlError(
+                f"no bindings with the given URIs on service {service.name.value!r}"
+            )
+        self.registry.lcm.remove_objects(session, to_delete)
+
+    # -- access -----------------------------------------------------------------------
+
+    def _access_organization(self, spec: OrganizationSpec) -> list[str]:
+        org = self._find_organization(spec.name)
+        if not spec.services:
+            raise AccessXmlError(
+                "access actions must name the service(s) to fetch URIs for"
+            )
+        uris: list[str] = []
+        for service_spec in spec.services:
+            service = self._find_service(org, service_spec.name)
+            uris.extend(self.registry.qm.get_access_uris(service.id))
+        return uris

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: constraint-based registry load balancing.
+
+Reproduces thesis Chapter 3's scheme end to end:
+
+* the **constraint language** embedded in service descriptions
+  (:mod:`~repro.core.constraints`);
+* **ServiceConstraint** — discovery-time validation including the
+  time-of-day window (:mod:`~repro.core.service_constraint`);
+* **LoadStatus** — NodeState lookup and load-ranked host selection
+  (:mod:`~repro.core.load_status`);
+* **TimeHits** — the periodic NodeStatus collector, default 25 s
+  (:mod:`~repro.core.monitor`);
+* **ConstraintBindingResolver** / :func:`attach_load_balancer` — the
+  modified ServiceDAO discovery path (:mod:`~repro.core.balancer`);
+* the §5.2 future-work **network-delay ranking** extension
+  (:mod:`~repro.core.netdelay`).
+"""
+
+from repro.core.autoscale import AutoScaler, ScaleEvent, attach_autoscaler
+from repro.core.balancer import (
+    BalanceMode,
+    ConstraintBindingResolver,
+    LoadBalancer,
+    attach_load_balancer,
+)
+from repro.core.constraints import (
+    ConstraintSet,
+    Operator,
+    ScalarConstraint,
+    TimeWindow,
+    parse_constraint_block,
+    parse_constraints,
+)
+from repro.core.load_status import LoadStatus
+from repro.core.monitor import DEFAULT_PERIOD, TimeHits
+from repro.core.netdelay import (
+    NETWORK_DELAY_SLOT,
+    NetworkAwareResolver,
+    NetworkDelayCap,
+    parse_delay_cap,
+)
+from repro.core.service_constraint import ConstraintCheck, ServiceConstraint
+
+__all__ = [
+    "AutoScaler",
+    "ScaleEvent",
+    "attach_autoscaler",
+    "BalanceMode",
+    "ConstraintBindingResolver",
+    "LoadBalancer",
+    "attach_load_balancer",
+    "ConstraintSet",
+    "Operator",
+    "ScalarConstraint",
+    "TimeWindow",
+    "parse_constraint_block",
+    "parse_constraints",
+    "LoadStatus",
+    "DEFAULT_PERIOD",
+    "TimeHits",
+    "NETWORK_DELAY_SLOT",
+    "NetworkAwareResolver",
+    "NetworkDelayCap",
+    "parse_delay_cap",
+    "ConstraintCheck",
+    "ServiceConstraint",
+]

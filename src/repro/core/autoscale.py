@@ -1,0 +1,211 @@
+"""Automatic service replication — the Keidl-style elasticity extension.
+
+Thesis §1.4 summarizes Keidl et al. [11]: a dispatcher monitors service
+hosts and "in case all service hosts are experiencing heavy load, the
+dispatcher generates a new service instance on a service host with low
+load."  The thesis scheme itself never grows the deployment; this extension
+composes the two ideas on top of the reproduction's registry:
+
+* the :class:`AutoScaler` watches the NodeState table after every TimeHits
+  sweep;
+* when **every** host currently deployed for a watched service has violated
+  the service's constraints for ``trigger_sweeps`` consecutive sweeps, it
+  picks the least-loaded *spare* host (monitored but not yet deploying the
+  service), deploys the service there (cluster-side), and publishes a new
+  ServiceBinding for it (registry-side);
+* scale-ups respect ``max_instances`` and a per-service cooldown so one
+  burst cannot exhaust the spare pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.load_status import LoadStatus
+from repro.core.service_constraint import ServiceConstraint
+from repro.registry.server import RegistryServer
+from repro.rim import Service, ServiceBinding
+from repro.rim.service import host_of_uri
+from repro.security.authn import Session
+from repro.sim.cluster import Cluster
+from repro.util.errors import InvalidRequestError
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One scale-up decision."""
+
+    time: float
+    service_id: str
+    host: str
+    access_uri: str
+    reason: str
+
+
+@dataclass
+class WatchedService:
+    service_id: str
+    uri_template: str  # e.g. "http://{host}:8080/Adder/addService"
+    max_instances: int
+    overloaded_sweeps: int = 0
+    last_scale_time: float | None = None
+
+
+class AutoScaler:
+    """Grows a service's deployment when its whole pool is overloaded."""
+
+    def __init__(
+        self,
+        registry: RegistryServer,
+        cluster: Cluster,
+        session: Session,
+        *,
+        load_status: LoadStatus,
+        trigger_sweeps: int = 2,
+        cooldown: float = 60.0,
+    ) -> None:
+        self.registry = registry
+        self.cluster = cluster
+        self.session = session
+        self.load_status = load_status
+        self.service_constraint = ServiceConstraint(registry.clock)
+        self.trigger_sweeps = trigger_sweeps
+        self.cooldown = cooldown
+        self._watched: dict[str, WatchedService] = {}
+        self.events: list[ScaleEvent] = []
+
+    # -- configuration ----------------------------------------------------------
+
+    def watch(
+        self, service_id: str, *, uri_template: str, max_instances: int | None = None
+    ) -> None:
+        if "{host}" not in uri_template:
+            raise InvalidRequestError("uri_template must contain a {host} placeholder")
+        self._watched[service_id] = WatchedService(
+            service_id=service_id,
+            uri_template=uri_template,
+            max_instances=max_instances or len(self.cluster),
+        )
+
+    # -- the sweep hook ------------------------------------------------------------
+
+    def on_sweep(self) -> list[ScaleEvent]:
+        """Evaluate every watched service; returns scale events fired now."""
+        fired: list[ScaleEvent] = []
+        for watched in self._watched.values():
+            event = self._evaluate(watched)
+            if event is not None:
+                fired.append(event)
+        return fired
+
+    def _evaluate(self, watched: WatchedService) -> ScaleEvent | None:
+        service = self.registry.daos.services.get(watched.service_id)
+        if service is None:
+            return None
+        check = self.service_constraint.check(service)
+        if not check.active:
+            watched.overloaded_sweeps = 0
+            return None
+        assert check.constraints is not None
+        deployed = self._deployed_hosts(service)
+        if not deployed:
+            return None
+        satisfying = self.load_status.satisfying_hosts(deployed, check.constraints)
+        if satisfying:
+            watched.overloaded_sweeps = 0
+            return None
+        watched.overloaded_sweeps += 1
+        if watched.overloaded_sweeps < self.trigger_sweeps:
+            return None
+        now = self.registry.clock.now()
+        if (
+            watched.last_scale_time is not None
+            and now - watched.last_scale_time < self.cooldown
+        ):
+            return None
+        if len(deployed) >= watched.max_instances:
+            return None
+        spare = self._pick_spare(deployed, check.constraints)
+        if spare is None:
+            return None
+        event = self._scale_up(watched, service, spare, now, pool_size=len(deployed))
+        watched.overloaded_sweeps = 0
+        watched.last_scale_time = now
+        return event
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _deployed_hosts(self, service: Service) -> list[str]:
+        hosts: list[str] = []
+        for binding in self.registry.daos.service_bindings.for_service(service):
+            if binding.access_uri:
+                host = host_of_uri(binding.access_uri)
+                if host not in hosts:
+                    hosts.append(host)
+        return hosts
+
+    def _pick_spare(self, deployed: list[str], constraints) -> str | None:
+        """Least-loaded monitored host not yet deploying the service."""
+        candidates = [
+            host for host in self.cluster.host_names() if host not in deployed
+        ]
+        ranked = self.load_status.rank(candidates, constraints)
+        if ranked:
+            return ranked[0]
+        # no spare *satisfies* the constraints; Keidl's rule says "a host
+        # with low load" — take the least-loaded monitored spare if any
+        monitored = [
+            h for h in candidates if self.load_status.current_sample(h) is not None
+        ]
+        if not monitored:
+            return None
+        return min(
+            monitored, key=lambda h: self.load_status.current_sample(h).load
+        )
+
+    def _scale_up(
+        self,
+        watched: WatchedService,
+        service: Service,
+        host: str,
+        now: float,
+        *,
+        pool_size: int,
+    ) -> ScaleEvent:
+        access_uri = watched.uri_template.format(host=host)
+        binding = ServiceBinding(
+            self.registry.ids.new_id(), service=service.id, access_uri=access_uri
+        )
+        self.registry.lcm.submit_objects(self.session, [binding])
+        self.cluster.deploy_service(service.name.value, [host])
+        event = ScaleEvent(
+            time=now,
+            service_id=service.id,
+            host=host,
+            access_uri=access_uri,
+            reason=f"all {pool_size} deployed hosts violated constraints",
+        )
+        self.events.append(event)
+        return event
+
+
+def attach_autoscaler(
+    balancer,
+    registry: RegistryServer,
+    cluster: Cluster,
+    session: Session,
+    *,
+    trigger_sweeps: int = 2,
+    cooldown: float = 60.0,
+) -> AutoScaler:
+    """Wire an AutoScaler to run after every TimeHits sweep."""
+    scaler = AutoScaler(
+        registry,
+        cluster,
+        session,
+        load_status=balancer.load_status,
+        trigger_sweeps=trigger_sweeps,
+        cooldown=cooldown,
+    )
+    balancer.monitor.post_sweep_hooks.append(scaler.on_sweep)
+    return scaler

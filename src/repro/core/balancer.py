@@ -1,0 +1,148 @@
+"""ConstraintBindingResolver — the modified ServiceDAO discovery path.
+
+This is the thesis' actual change to freebXML (Figures 3.5/3.6): when a
+service is discovered, ServiceDAO populates the ServiceBindingDAO results
+through this resolver instead of returning publisher order:
+
+1. **ServiceConstraint** parses/validates constraints from the description
+   and checks the time-of-day window.  No valid constraints, or the window
+   not satisfied → vanilla behaviour (all bindings, publisher order) —
+   keeping the scheme transparent to unconstrained services.
+2. **LoadStatus** queries the NodeState table for hosts satisfying the
+   performance constraints, ranked by ascending load.
+3. The returned binding list puts satisfying hosts first (best host first);
+   in ``filter`` mode non-satisfying hosts are dropped entirely, in the
+   default ``prefer`` mode they trail the list (the thesis' "hosts that
+   currently provide optimal service conditions are given preference").
+
+``attach_load_balancer`` wires the whole scheme onto a RegistryServer: it
+installs this resolver on the ServiceDAO and builds the TimeHits collector —
+the one-call equivalent of deploying the thesis' modified freebXML build.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.load_status import LoadStatus
+from repro.core.monitor import DEFAULT_PERIOD, TimeHits
+from repro.core.service_constraint import ServiceConstraint
+from repro.rim import Service, ServiceBinding
+from repro.sim.engine import SimEngine
+from repro.soap.transport import SimTransport
+from repro.util.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.server import RegistryServer
+
+
+class BalanceMode(enum.Enum):
+    """How non-satisfying hosts are treated."""
+
+    #: satisfying hosts first (ranked), others after in publisher order
+    PREFER = "prefer"
+    #: only satisfying hosts are returned; empty result falls back to all
+    FILTER = "filter"
+
+
+class ConstraintBindingResolver:
+    """The load-balanced implementation of the ServiceDAO binding resolver."""
+
+    def __init__(
+        self,
+        service_constraint: ServiceConstraint,
+        load_status: LoadStatus,
+        *,
+        mode: BalanceMode = BalanceMode.PREFER,
+    ) -> None:
+        self.service_constraint = service_constraint
+        self.load_status = load_status
+        self.mode = mode
+        self.resolutions = 0
+        self.balanced_resolutions = 0
+
+    def resolve(
+        self, service: Service, bindings: Sequence[ServiceBinding]
+    ) -> list[ServiceBinding]:
+        self.resolutions += 1
+        check = self.service_constraint.check(service)
+        if not check.active:
+            # no valid constraints / time window unsatisfied → vanilla order
+            return list(bindings)
+        assert check.constraints is not None
+        self.balanced_resolutions += 1
+        with_host = [b for b in bindings if b.host is not None]
+        hosts = [b.host for b in with_host]  # type: ignore[misc]
+        ranked_hosts = self.load_status.rank(hosts, check.constraints)
+        by_host: dict[str, list[ServiceBinding]] = {}
+        for binding in with_host:
+            by_host.setdefault(binding.host, []).append(binding)  # type: ignore[arg-type]
+        satisfying: list[ServiceBinding] = []
+        for host in ranked_hosts:
+            satisfying.extend(by_host.pop(host, ()))
+        if self.mode is BalanceMode.FILTER:
+            if satisfying:
+                return satisfying
+            # per the thesis' "preference" language a fully-overloaded pool
+            # still answers — fall back to publisher order rather than
+            # rendering the service undiscoverable.
+            return list(bindings)
+        rest = [b for b in bindings if b not in satisfying]
+        return satisfying + rest
+
+
+@dataclass
+class LoadBalancer:
+    """Handle on an attached load-balancing scheme."""
+
+    resolver: ConstraintBindingResolver
+    load_status: LoadStatus
+    service_constraint: ServiceConstraint
+    monitor: TimeHits
+
+    def detach(self, registry: "RegistryServer") -> None:
+        """Restore vanilla discovery and stop monitoring."""
+        from repro.persistence.dao import DefaultBindingResolver
+
+        registry.daos.services.set_resolver(DefaultBindingResolver())
+        self.monitor.stop()
+
+
+def attach_load_balancer(
+    registry: "RegistryServer",
+    transport: SimTransport,
+    engine: SimEngine,
+    *,
+    clock: Clock | None = None,
+    period: float = DEFAULT_PERIOD,
+    mode: BalanceMode = BalanceMode.PREFER,
+    max_sample_age: float | None = None,
+    start_monitor: bool = True,
+) -> LoadBalancer:
+    """Install the thesis' load-balancing scheme on a registry.
+
+    ``max_sample_age`` defaults to 4× the monitoring period: a host missing
+    four consecutive sweeps is treated as unmonitored.
+    """
+    clock = clock or registry.clock
+    if max_sample_age is None:
+        max_sample_age = registry.config.nodestate_max_age
+    if max_sample_age is None:
+        max_sample_age = 4.0 * period
+    service_constraint = ServiceConstraint(clock)
+    load_status = LoadStatus(
+        registry.node_state, clock=clock, max_age=max_sample_age
+    )
+    resolver = ConstraintBindingResolver(service_constraint, load_status, mode=mode)
+    registry.daos.services.set_resolver(resolver)
+    monitor = TimeHits(registry, transport, engine, period=period)
+    if start_monitor:
+        monitor.start()
+    return LoadBalancer(
+        resolver=resolver,
+        load_status=load_status,
+        service_constraint=service_constraint,
+        monitor=monitor,
+    )

@@ -1,0 +1,76 @@
+"""LoadStatus — NodeState lookup and host ranking (thesis §3.2, Figure 3.5).
+
+*"Class LoadStatus is responsible for identifying hosts that deploy the Web
+Service and satisfy the performance constraints.  This is done by querying
+the NodeState table in the database for hosts that satisfy the
+constraints."*
+
+:meth:`LoadStatus.satisfying_hosts` is that query; :meth:`rank` additionally
+orders the satisfying hosts by ascending load so the *first* access URI a
+client takes points at the currently least-loaded satisfying host — the
+"hosts that currently provide optimal service conditions are given
+preference" ordering.
+
+Staleness: samples older than ``max_age`` (when configured) are treated as
+missing; hosts without a fresh sample are *not* considered satisfying —
+an unmonitored host cannot be certified against the constraints.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import ConstraintSet
+from repro.persistence.nodestate import NodeSample, NodeStateStore
+from repro.util.clock import Clock
+
+
+class LoadStatus:
+    """Constraint evaluation against the NodeState monitoring table."""
+
+    def __init__(
+        self,
+        node_state: NodeStateStore,
+        *,
+        clock: Clock,
+        max_age: float | None = None,
+    ) -> None:
+        self.node_state = node_state
+        self.clock = clock
+        self.max_age = max_age
+
+    # -- sample access -----------------------------------------------------------
+
+    def current_sample(self, host: str) -> NodeSample | None:
+        """The host's sample, or None when absent/stale."""
+        sample = self.node_state.get(host)
+        if sample is None:
+            return None
+        if self.max_age is not None and self.clock.now() - sample.updated > self.max_age:
+            return None
+        return sample
+
+    # -- constraint evaluation ------------------------------------------------------
+
+    def host_satisfies(self, host: str, constraints: ConstraintSet) -> bool:
+        sample = self.current_sample(host)
+        if sample is None:
+            return False
+        return constraints.satisfied_by(sample)
+
+    def satisfying_hosts(
+        self, hosts: list[str], constraints: ConstraintSet
+    ) -> list[str]:
+        """The subset of *hosts* whose current sample satisfies *constraints*."""
+        return [h for h in hosts if self.host_satisfies(h, constraints)]
+
+    def rank(self, hosts: list[str], constraints: ConstraintSet) -> list[str]:
+        """Satisfying hosts ordered by ascending current load.
+
+        Ties (equal load) keep the input (publisher) order, so the ordering
+        is deterministic.
+        """
+        satisfying = self.satisfying_hosts(hosts, constraints)
+        def load_of(host: str) -> float:
+            sample = self.current_sample(host)
+            return sample.load if sample is not None else float("inf")
+
+        return sorted(satisfying, key=lambda h: (load_of(h), hosts.index(h)))

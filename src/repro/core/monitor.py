@@ -1,0 +1,129 @@
+"""TimeHits — the registry's periodic monitoring collector (thesis §3.2).
+
+Figure 3.1's TimeHits class "is responsible for two things: to invoke the
+NodeStatus Web Service periodically and to collect and store current host
+performance data into the database."  The data is collected every **25
+seconds** by default, "however this period can be reconfigured by the
+freebXML administrator."
+
+This implementation discovers its targets the way the thesis deploys them:
+the administrator publishes the **NodeStatus** service to the registry with
+one access URI per monitored host (Figure 3.7), and TimeHits invokes each
+URI through the transport.  Unreachable hosts are skipped (and their stale
+NodeState rows age out via LoadStatus's ``max_age``); one dead host must not
+stall monitoring of the rest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.persistence.nodestate import NodeSample, NodeStateStore
+from repro.rim.service import host_of_uri
+from repro.sim.engine import PeriodicTask, SimEngine
+from repro.sim.nodestatus import NODESTATUS_SERVICE_NAME, NodeStatusReading
+from repro.soap.transport import SimTransport
+from repro.util.errors import TransportError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.server import RegistryServer
+
+#: the thesis' default collection period, seconds
+DEFAULT_PERIOD = 25.0
+
+
+class TimeHits:
+    """Periodic NodeStatus collection into the NodeState table."""
+
+    def __init__(
+        self,
+        registry: "RegistryServer",
+        transport: SimTransport,
+        engine: SimEngine,
+        *,
+        period: float = DEFAULT_PERIOD,
+        monitor_service_name: str = NODESTATUS_SERVICE_NAME,
+    ) -> None:
+        self.registry = registry
+        self.transport = transport
+        self.engine = engine
+        self.period = period
+        self.monitor_service_name = monitor_service_name
+        self.node_state: NodeStateStore = registry.node_state
+        self._task: PeriodicTask | None = None
+        self.collections = 0
+        self.samples_stored = 0
+        self.failures = 0
+        #: callables invoked after every sweep (e.g. the AutoScaler)
+        self.post_sweep_hooks: list = []
+
+    # -- target discovery ----------------------------------------------------
+
+    def target_uris(self) -> list[str]:
+        """Access URIs of every published NodeStatus deployment.
+
+        Reads the *raw* binding list (publisher order, no resolver) — the
+        monitor must see every host, including overloaded ones.
+        """
+        services = self.registry.daos.services.find_by_name(self.monitor_service_name)
+        uris: list[str] = []
+        for service in services:
+            for binding in self.registry.daos.service_bindings.for_service(service):
+                if binding.access_uri and binding.access_uri not in uris:
+                    uris.append(binding.access_uri)
+        return uris
+
+    # -- collection ---------------------------------------------------------------
+
+    def collect_once(self) -> int:
+        """One monitoring sweep; returns the number of samples stored."""
+        self.collections += 1
+        stored = 0
+        for uri in self.target_uris():
+            try:
+                reading = self.transport.request(uri, "getNodeStatus")
+            except TransportError:
+                self.failures += 1
+                continue
+            if not isinstance(reading, NodeStatusReading):
+                self.failures += 1
+                continue
+            self.node_state.record_sample(
+                NodeSample(
+                    host=host_of_uri(uri),
+                    load=reading.cpu_load,
+                    memory=reading.memory_available,
+                    swap_memory=reading.swap_available,
+                    updated=self.engine.now,
+                )
+            )
+            stored += 1
+        self.samples_stored += stored
+        for hook in self.post_sweep_hooks:
+            hook()
+        return stored
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def start(self, *, immediate: bool = True) -> None:
+        """Begin periodic collection on the simulation engine."""
+        if self._task is not None:
+            return
+        if immediate:
+            self.collect_once()
+        self._task = self.engine.schedule_periodic(self.period, self.collect_once)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def set_period(self, period: float) -> None:
+        """Reconfigure the collection period (the administrator's knob)."""
+        self.period = period
+        if self._task is not None:
+            self._task.set_period(period)
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None

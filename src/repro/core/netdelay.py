@@ -1,0 +1,99 @@
+"""Network-delay ranking — the thesis' future-work extension (§5.2).
+
+*"Parameters such as network delay can be added as one of the constraints
+used to rank the access URIs.  Network delay takes into account network
+traffic and packet latency, thus access URIs for a Web Service are ranked on
+an estimated time required to access a particular Web Service deployed on
+multiple hosts."*
+
+:class:`NetworkAwareResolver` decorates any binding resolver: after the base
+resolver produces its (possibly constraint-filtered) list, bindings are
+re-ranked by **estimated access time** = one-way network delay to the host +
+an optional queueing estimate derived from the host's monitored load.  A
+``networkdelay`` slot on the service (``networkdelay ls 0.05`` style clause)
+acts as a hard cap, mirroring how the scalar constraints work.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.constraints import Operator
+from repro.core.load_status import LoadStatus
+from repro.persistence.dao import BindingResolver
+from repro.rim import Service, ServiceBinding
+from repro.soap.transport import SimTransport
+from repro.util.errors import ConstraintSyntaxError
+
+#: slot the cap clause is read from
+NETWORK_DELAY_SLOT = "urn:repro:constraint:networkdelay"
+
+_CLAUSE_RE = re.compile(
+    r"^\s*networkdelay\s+(?P<op>[A-Za-z]+)\s+(?P<value>\d+(?:\.\d+)?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class NetworkDelayCap:
+    """A hard bound on acceptable one-way delay, in seconds."""
+
+    op: Operator
+    seconds: float
+
+    def satisfied_by(self, delay: float) -> bool:
+        return self.op.compare(delay, self.seconds)
+
+
+def parse_delay_cap(text: str) -> NetworkDelayCap:
+    """Parse a ``networkdelay <op> <seconds>`` clause."""
+    match = _CLAUSE_RE.match(text)
+    if match is None:
+        raise ConstraintSyntaxError(f"malformed networkdelay clause: {text!r}")
+    return NetworkDelayCap(
+        op=Operator.from_symbol(match.group("op")),
+        seconds=float(match.group("value")),
+    )
+
+
+class NetworkAwareResolver:
+    """Decorate a resolver with estimated-access-time ranking."""
+
+    def __init__(
+        self,
+        base: BindingResolver,
+        transport: SimTransport,
+        *,
+        load_status: LoadStatus | None = None,
+        load_weight: float = 0.0,
+    ) -> None:
+        self.base = base
+        self.transport = transport
+        self.load_status = load_status
+        #: seconds of estimated queueing delay per unit of load average
+        self.load_weight = load_weight
+
+    def estimated_access_time(self, binding: ServiceBinding) -> float:
+        if not binding.access_uri:
+            return float("inf")
+        delay = self.transport.estimated_delay(binding.access_uri)
+        if self.load_status is not None and self.load_weight > 0 and binding.host:
+            sample = self.load_status.current_sample(binding.host)
+            if sample is not None:
+                delay += self.load_weight * sample.load
+        return delay
+
+    def resolve(
+        self, service: Service, bindings: Sequence[ServiceBinding]
+    ) -> list[ServiceBinding]:
+        resolved = self.base.resolve(service, bindings)
+        cap_text = service.slot_value(NETWORK_DELAY_SLOT)
+        cap = parse_delay_cap(cap_text) if cap_text else None
+        scored = [(self.estimated_access_time(b), i, b) for i, b in enumerate(resolved)]
+        if cap is not None:
+            kept = [(d, i, b) for d, i, b in scored if cap.satisfied_by(d)]
+            # like the balancer, never render the service undiscoverable
+            scored = kept or scored
+        scored.sort(key=lambda entry: (entry[0], entry[1]))
+        return [b for _, _, b in scored]

@@ -1,0 +1,62 @@
+"""ServiceConstraint — constraint validation at discovery time (thesis §3.2).
+
+Figure 3.5's collaboration: *"A ServiceConstraint instance validates Web
+Service constraints that are part of the service description field …
+ServiceConstraint returns false if no valid service constraints are
+specified or if the time constraint is not satisfied."*
+
+:meth:`ServiceConstraint.check` reproduces exactly that contract: it parses
+the service description leniently (malformed → treated as absent) and
+returns the active :class:`ConstraintSet` only when performance constraints
+exist *and* the time window (if any) contains "now"; otherwise ``None``,
+which tells ServiceDAO to fall back to vanilla behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import ConstraintSet, parse_constraints
+from repro.rim import Service
+from repro.util.clock import Clock
+
+
+@dataclass(frozen=True)
+class ConstraintCheck:
+    """Outcome of validating one service's constraints at query time."""
+
+    constraints: ConstraintSet | None
+    #: parsed constraints were found in the description
+    present: bool
+    #: the time window (if any) contains the query time
+    time_satisfied: bool
+
+    @property
+    def active(self) -> bool:
+        """True when performance filtering should happen (the thesis' True path)."""
+        return (
+            self.present
+            and self.time_satisfied
+            and self.constraints is not None
+            and self.constraints.has_performance_constraints()
+        )
+
+
+class ServiceConstraint:
+    """Validates a service's embedded constraints against the current time."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+
+    def check(self, service: Service) -> ConstraintCheck:
+        constraints = parse_constraints(service.description.value)
+        if constraints is None:
+            return ConstraintCheck(constraints=None, present=False, time_satisfied=True)
+        time_ok = constraints.time_satisfied(self.clock.minutes_of_day())
+        return ConstraintCheck(
+            constraints=constraints, present=True, time_satisfied=time_ok
+        )
+
+    def validate(self, service: Service) -> bool:
+        """The thesis' boolean contract: constraints valid *and* time satisfied."""
+        return self.check(service).active

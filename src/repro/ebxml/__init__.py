@@ -1,0 +1,67 @@
+"""ebXML business collaboration: CPP/CPA (ebCPPA) and messaging (ebMS).
+
+Reproduces thesis §1.3.2.1–1.3.2.2: Collaboration Protocol Profiles,
+negotiated Agreements, the reliable ebXML Message Service (acks, retries,
+duplicate elimination), and the Figure 1.13 end-to-end business scenario
+driven through the registry.
+"""
+
+from repro.ebxml.bpss import (
+    FAILURE,
+    SUCCESS,
+    BinaryCollaboration,
+    BusinessTransaction,
+    CollaborationExecution,
+    ExecutionState,
+    ProtocolViolation,
+    Role,
+    Transition,
+    bind_to_msh,
+)
+from repro.ebxml.cpa import (
+    CollaborationProtocolAgreement,
+    CollaborationProtocolProfile,
+    MessagingRequirements,
+    SecurityLevel,
+    Transport,
+    negotiate,
+)
+from repro.ebxml.messaging import (
+    Acknowledgment,
+    DeliveryReport,
+    EbxmlMessage,
+    MessageServiceHandler,
+)
+from repro.ebxml.scenario import (
+    CORE_LIBRARY_PACKAGE,
+    CPP_MIME,
+    BusinessScenario,
+    ScenarioLog,
+)
+
+__all__ = [
+    "FAILURE",
+    "SUCCESS",
+    "BinaryCollaboration",
+    "BusinessTransaction",
+    "CollaborationExecution",
+    "ExecutionState",
+    "ProtocolViolation",
+    "Role",
+    "Transition",
+    "bind_to_msh",
+    "CollaborationProtocolAgreement",
+    "CollaborationProtocolProfile",
+    "MessagingRequirements",
+    "SecurityLevel",
+    "Transport",
+    "negotiate",
+    "Acknowledgment",
+    "DeliveryReport",
+    "EbxmlMessage",
+    "MessageServiceHandler",
+    "CORE_LIBRARY_PACKAGE",
+    "CPP_MIME",
+    "BusinessScenario",
+    "ScenarioLog",
+]

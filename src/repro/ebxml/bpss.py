@@ -1,0 +1,297 @@
+"""ebBPSS — the Business Process Specification Schema (thesis §1.1, item 3).
+
+"ebBPSS provides a framework by which business systems may be configured to
+support execution of business collaborations consisting of business
+transactions."  This module implements the executable core:
+
+* a **BusinessTransaction** pairs a requesting document with an optional
+  responding document and a time-to-perform;
+* a **BinaryCollaboration** arranges transactions as named activities with
+  transitions, a start activity, and success/failure completions;
+* a **CollaborationExecution** tracks one conversation's progress through
+  the collaboration, validating each document against the current activity
+  (wrong document / wrong direction / expired timer → protocol failure);
+* :func:`bind_to_msh` wires an execution pair onto two MessageServiceHandler
+  instances so that ebMS traffic is validated against the process — the
+  "Business Service Interfaces" of the thesis' Figure 1.14 stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.clock import Clock
+from repro.util.errors import InvalidRequestError
+
+
+class Role(enum.Enum):
+    INITIATOR = "initiator"
+    RESPONDER = "responder"
+
+    @property
+    def other(self) -> "Role":
+        return Role.RESPONDER if self is Role.INITIATOR else Role.INITIATOR
+
+
+@dataclass(frozen=True)
+class BusinessTransaction:
+    """One request(/response) exchange."""
+
+    name: str
+    requesting_document: str
+    responding_document: str | None = None
+    #: seconds the responder has to answer (None = no timer)
+    time_to_perform: float | None = None
+
+
+@dataclass(frozen=True)
+class Transition:
+    from_activity: str
+    to_activity: str  # activity name, or "Success" / "Failure"
+
+
+SUCCESS = "Success"
+FAILURE = "Failure"
+
+
+@dataclass
+class BinaryCollaboration:
+    """A two-party business process definition."""
+
+    name: str
+    transactions: dict[str, BusinessTransaction] = field(default_factory=dict)
+    #: activity name → transaction name (an activity *performs* a transaction)
+    activities: dict[str, str] = field(default_factory=dict)
+    #: activity performed first
+    start_activity: str | None = None
+    transitions: list[Transition] = field(default_factory=list)
+
+    # -- construction helpers ---------------------------------------------------
+
+    def add_transaction(self, transaction: BusinessTransaction) -> None:
+        if transaction.name in self.transactions:
+            raise InvalidRequestError(f"duplicate transaction {transaction.name!r}")
+        self.transactions[transaction.name] = transaction
+
+    def add_activity(self, activity: str, transaction_name: str, *, start: bool = False) -> None:
+        if transaction_name not in self.transactions:
+            raise InvalidRequestError(f"unknown transaction {transaction_name!r}")
+        if activity in self.activities:
+            raise InvalidRequestError(f"duplicate activity {activity!r}")
+        self.activities[activity] = transaction_name
+        if start:
+            self.start_activity = activity
+
+    def add_transition(self, from_activity: str, to_activity: str) -> None:
+        if from_activity not in self.activities:
+            raise InvalidRequestError(f"unknown activity {from_activity!r}")
+        if to_activity not in self.activities and to_activity not in (SUCCESS, FAILURE):
+            raise InvalidRequestError(f"unknown target activity {to_activity!r}")
+        self.transitions.append(Transition(from_activity, to_activity))
+
+    def next_activities(self, from_activity: str) -> list[str]:
+        return [t.to_activity for t in self.transitions if t.from_activity == from_activity]
+
+    def validate(self) -> None:
+        """Static checks: a start exists and every activity can reach completion."""
+        if self.start_activity is None:
+            raise InvalidRequestError(f"collaboration {self.name!r} has no start activity")
+        # reachability of a completion state from every reachable activity
+        reachable = {self.start_activity}
+        frontier = [self.start_activity]
+        while frontier:
+            current = frontier.pop()
+            for target in self.next_activities(current):
+                if target in (SUCCESS, FAILURE):
+                    continue
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        for activity in reachable:
+            if not self._completes(activity, set()):
+                raise InvalidRequestError(
+                    f"activity {activity!r} cannot reach Success/Failure"
+                )
+
+    def _completes(self, activity: str, seen: set[str]) -> bool:
+        if activity in seen:
+            return False
+        seen.add(activity)
+        for target in self.next_activities(activity):
+            if target in (SUCCESS, FAILURE):
+                return True
+            if self._completes(target, seen):
+                return True
+        return False
+
+
+class ExecutionState(enum.Enum):
+    AWAITING_REQUEST = "awaiting-request"
+    AWAITING_RESPONSE = "awaiting-response"
+    CHOOSING_NEXT = "choosing-next"
+    COMPLETED_SUCCESS = "completed-success"
+    COMPLETED_FAILURE = "completed-failure"
+
+
+class ProtocolViolation(InvalidRequestError):
+    """A document that the process definition does not allow right now."""
+
+    code = "urn:repro:error:ProtocolViolation"
+
+
+class CollaborationExecution:
+    """One conversation's walk through a BinaryCollaboration."""
+
+    def __init__(
+        self, collaboration: BinaryCollaboration, *, clock: Clock, role: Role
+    ) -> None:
+        collaboration.validate()
+        self.collaboration = collaboration
+        self.clock = clock
+        self.role = role
+        self.current_activity: str | None = collaboration.start_activity
+        self.state = ExecutionState.AWAITING_REQUEST
+        self._deadline: float | None = None
+        self.history: list[tuple[str, str]] = []  # (activity, document)
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def transaction(self) -> BusinessTransaction:
+        assert self.current_activity is not None
+        return self.collaboration.transactions[
+            self.collaboration.activities[self.current_activity]
+        ]
+
+    @property
+    def completed(self) -> bool:
+        return self.state in (
+            ExecutionState.COMPLETED_SUCCESS,
+            ExecutionState.COMPLETED_FAILURE,
+        )
+
+    def _check_timer(self) -> None:
+        if self._deadline is not None and self.clock.now() > self._deadline:
+            self.state = ExecutionState.COMPLETED_FAILURE
+            raise ProtocolViolation(
+                f"time-to-perform expired for transaction {self.transaction.name!r}"
+            )
+
+    # -- document flow -------------------------------------------------------------
+
+    def handle_document(self, document: str, *, sender: Role) -> None:
+        """Validate one business document against the current activity.
+
+        The initiator sends requesting documents; the responder sends
+        responding documents.  Anything else is a protocol violation and
+        fails the collaboration.
+        """
+        if self.completed:
+            raise ProtocolViolation(
+                f"collaboration already completed ({self.state.value})"
+            )
+        assert self.current_activity is not None
+        transaction = self.transaction
+        if self.state is ExecutionState.AWAITING_REQUEST:
+            if sender is not Role.INITIATOR:
+                self._fail(f"responder may not open transaction {transaction.name!r}")
+            if document != transaction.requesting_document:
+                self._fail(
+                    f"expected requesting document {transaction.requesting_document!r}, "
+                    f"got {document!r}"
+                )
+            self.history.append((self.current_activity, document))
+            if transaction.responding_document is None:
+                self._advance()
+            else:
+                self.state = ExecutionState.AWAITING_RESPONSE
+                if transaction.time_to_perform is not None:
+                    self._deadline = self.clock.now() + transaction.time_to_perform
+            return
+        if self.state is ExecutionState.AWAITING_RESPONSE:
+            self._check_timer()
+            if sender is not Role.RESPONDER:
+                self._fail(
+                    f"initiator may not answer its own request in {transaction.name!r}"
+                )
+            if document != transaction.responding_document:
+                self._fail(
+                    f"expected responding document {transaction.responding_document!r}, "
+                    f"got {document!r}"
+                )
+            self.history.append((self.current_activity, document))
+            self._deadline = None
+            self._advance()
+            return
+        raise ProtocolViolation(f"unexpected document in state {self.state.value}")
+
+    def choose_next(self, activity_or_completion: str) -> None:
+        """Pick the next activity when several transitions are available."""
+        if self.state is not ExecutionState.CHOOSING_NEXT:
+            raise ProtocolViolation("no transition pending")
+        assert self.current_activity is not None
+        options = self.collaboration.next_activities(self.current_activity)
+        if activity_or_completion not in options:
+            raise ProtocolViolation(
+                f"transition to {activity_or_completion!r} not allowed from "
+                f"{self.current_activity!r}; options: {options}"
+            )
+        self._enter(activity_or_completion)
+
+    def _advance(self) -> None:
+        assert self.current_activity is not None
+        options = self.collaboration.next_activities(self.current_activity)
+        if not options:
+            self.state = ExecutionState.COMPLETED_SUCCESS
+            self.current_activity = None
+            return
+        if len(options) == 1:
+            self._enter(options[0])
+        else:
+            self.state = ExecutionState.CHOOSING_NEXT
+
+    def _enter(self, target: str) -> None:
+        if target == SUCCESS:
+            self.state = ExecutionState.COMPLETED_SUCCESS
+            self.current_activity = None
+        elif target == FAILURE:
+            self.state = ExecutionState.COMPLETED_FAILURE
+            self.current_activity = None
+        else:
+            self.current_activity = target
+            self.state = ExecutionState.AWAITING_REQUEST
+
+    def _fail(self, reason: str) -> None:
+        self.state = ExecutionState.COMPLETED_FAILURE
+        raise ProtocolViolation(reason)
+
+
+def bind_to_msh(
+    execution: CollaborationExecution, msh, *, initiator_party: str
+) -> None:
+    """Validate incoming ebMS messages against the process definition.
+
+    Installs an action handler for every document of the collaboration: a
+    message whose action is a known document is checked against the current
+    activity; violations raise (and the MSH's transport surfaces them).
+    """
+    documents = set()
+    for transaction in execution.collaboration.transactions.values():
+        documents.add(transaction.requesting_document)
+        if transaction.responding_document:
+            documents.add(transaction.responding_document)
+
+    def make_handler(document: str):
+        def handler(message) -> None:
+            sender = (
+                Role.INITIATOR
+                if message.from_party == initiator_party
+                else Role.RESPONDER
+            )
+            execution.handle_document(document, sender=sender)
+
+        return handler
+
+    for document in documents:
+        msh.on_action(document, make_handler(document))

@@ -1,0 +1,158 @@
+"""Collaboration Protocol Profiles and Agreements (ebCPPA, thesis §1.3.2.2).
+
+A **CPP** states one party's capabilities: the business processes it
+supports, its message-service endpoint, acceptable transports, and
+messaging/security requirements.  A **CPA** is the *intersection* two
+parties negotiate before trading (Figure 1.15 step 3): a shared process,
+mutually supported transport and security level, and the reliability
+parameters both can honour.
+
+``negotiate`` implements the intersection rules; incompatibilities raise
+with a reason, matching the scenario where Company B's proposal can be
+rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import InvalidRequestError
+
+
+class Transport(enum.Enum):
+    HTTP = "HTTP"
+    HTTPS = "HTTPS"
+    SMTP = "SMTP"
+
+
+class SecurityLevel(enum.Enum):
+    """Ordered: later members satisfy earlier requirements."""
+
+    NONE = 0
+    SIGNED = 1
+    SIGNED_AND_ENCRYPTED = 2
+
+    def satisfies(self, required: "SecurityLevel") -> bool:
+        return self.value >= required.value
+
+
+@dataclass(frozen=True)
+class MessagingRequirements:
+    """Reliable-messaging parameters a party supports/insists on."""
+
+    retries: int = 3
+    retry_interval: float = 10.0
+    duplicate_elimination: bool = True
+    ack_requested: bool = True
+
+
+@dataclass(frozen=True)
+class CollaborationProtocolProfile:
+    """One party's published capabilities."""
+
+    party_id: str
+    party_name: str
+    endpoint: str
+    processes: frozenset[str]
+    transports: frozenset[Transport] = frozenset({Transport.HTTPS, Transport.HTTP})
+    #: minimum security the party accepts from a partner
+    required_security: SecurityLevel = SecurityLevel.NONE
+    #: maximum security the party can provide
+    offered_security: SecurityLevel = SecurityLevel.SIGNED_AND_ENCRYPTED
+    messaging: MessagingRequirements = field(default_factory=MessagingRequirements)
+
+    def __post_init__(self) -> None:
+        if not self.party_id or not self.endpoint:
+            raise InvalidRequestError("CPP requires party id and endpoint")
+        if not self.processes:
+            raise InvalidRequestError("CPP must support at least one business process")
+
+
+@dataclass(frozen=True)
+class CollaborationProtocolAgreement:
+    """The negotiated agreement between exactly two parties."""
+
+    agreement_id: str
+    process: str
+    party_a: str
+    party_b: str
+    endpoint_a: str
+    endpoint_b: str
+    transport: Transport
+    security: SecurityLevel
+    messaging: MessagingRequirements
+    status: str = "proposed"  # proposed | agreed | terminated
+
+    def endpoint_of(self, party_id: str) -> str:
+        if party_id == self.party_a:
+            return self.endpoint_a
+        if party_id == self.party_b:
+            return self.endpoint_b
+        raise InvalidRequestError(f"party {party_id!r} is not in agreement {self.agreement_id}")
+
+    def counterparty(self, party_id: str) -> str:
+        if party_id == self.party_a:
+            return self.party_b
+        if party_id == self.party_b:
+            return self.party_a
+        raise InvalidRequestError(f"party {party_id!r} is not in agreement {self.agreement_id}")
+
+    def agreed(self) -> "CollaborationProtocolAgreement":
+        from dataclasses import replace
+
+        return replace(self, status="agreed")
+
+
+#: preference order for negotiated transport
+_TRANSPORT_PREFERENCE = [Transport.HTTPS, Transport.HTTP, Transport.SMTP]
+
+
+def negotiate(
+    a: CollaborationProtocolProfile,
+    b: CollaborationProtocolProfile,
+    process: str,
+    *,
+    agreement_id: str,
+) -> CollaborationProtocolAgreement:
+    """Intersect two CPPs into a proposed CPA for *process*.
+
+    Raises :class:`InvalidRequestError` with the incompatibility when the
+    profiles cannot trade.
+    """
+    if process not in a.processes:
+        raise InvalidRequestError(f"{a.party_name} does not support process {process!r}")
+    if process not in b.processes:
+        raise InvalidRequestError(f"{b.party_name} does not support process {process!r}")
+    common_transports = a.transports & b.transports
+    if not common_transports:
+        raise InvalidRequestError(
+            f"no common transport between {a.party_name} and {b.party_name}"
+        )
+    transport = next(t for t in _TRANSPORT_PREFERENCE if t in common_transports)
+    # the agreed security level must satisfy both parties' requirements and
+    # be providable by both
+    needed = max(a.required_security, b.required_security, key=lambda s: s.value)
+    providable = min(a.offered_security, b.offered_security, key=lambda s: s.value)
+    if not providable.satisfies(needed):
+        raise InvalidRequestError(
+            f"security mismatch: required {needed.name}, providable {providable.name}"
+        )
+    messaging = MessagingRequirements(
+        retries=min(a.messaging.retries, b.messaging.retries),
+        retry_interval=max(a.messaging.retry_interval, b.messaging.retry_interval),
+        duplicate_elimination=a.messaging.duplicate_elimination
+        or b.messaging.duplicate_elimination,
+        ack_requested=a.messaging.ack_requested or b.messaging.ack_requested,
+    )
+    return CollaborationProtocolAgreement(
+        agreement_id=agreement_id,
+        process=process,
+        party_a=a.party_id,
+        party_b=b.party_id,
+        endpoint_a=a.endpoint,
+        endpoint_b=b.endpoint,
+        transport=transport,
+        security=needed,
+        messaging=messaging,
+    )

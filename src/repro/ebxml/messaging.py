@@ -1,0 +1,207 @@
+"""ebMS — the ebXML Message Service (thesis §1.3.2.2's messaging layer).
+
+Implements the reliable-messaging behaviours the spec is known for, over
+the simulated transport:
+
+* messages carry conversation / message ids and the governing CPA id;
+* **acknowledgements** when the CPA requests them;
+* **retries** with the CPA's retry count on transport failure;
+* **duplicate elimination** keyed by message id at the receiver;
+* delivery to the party's registered MessageServiceHandler.
+
+Messages between the two CPA endpoints only; anything else is rejected, as
+an MSH enforces its agreements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ebxml.cpa import CollaborationProtocolAgreement
+from repro.soap.transport import SimTransport
+from repro.util.errors import InvalidRequestError, TransportError
+from repro.util.ids import IdFactory
+
+
+@dataclass(frozen=True)
+class EbxmlMessage:
+    """One business message."""
+
+    message_id: str
+    conversation_id: str
+    cpa_id: str
+    from_party: str
+    to_party: str
+    action: str
+    payload: dict
+    #: per-(conversation, sender) sequence for ordered delivery (0 = unordered)
+    sequence_number: int = 0
+
+    def ack(self) -> "Acknowledgment":
+        return Acknowledgment(ref_message_id=self.message_id, by_party=self.to_party)
+
+
+@dataclass(frozen=True)
+class Acknowledgment:
+    ref_message_id: str
+    by_party: str
+
+
+@dataclass
+class DeliveryReport:
+    """What send() reports back to the application."""
+
+    message: EbxmlMessage
+    delivered: bool
+    attempts: int
+    acknowledged: bool
+    duplicate: bool = False
+
+
+Handler = Callable[[EbxmlMessage], None]
+
+
+class MessageServiceHandler:
+    """One party's MSH: sends under a CPA, receives at its endpoint."""
+
+    def __init__(
+        self,
+        party_id: str,
+        transport: SimTransport,
+        *,
+        ids: IdFactory | None = None,
+    ) -> None:
+        self.party_id = party_id
+        self.transport = transport
+        self.ids = ids or IdFactory()
+        self._agreements: dict[str, CollaborationProtocolAgreement] = {}
+        self._handlers: dict[str, Handler] = {}
+        self._seen_message_ids: set[str] = set()
+        self.inbox: list[EbxmlMessage] = []
+        self.acks_sent: list[Acknowledgment] = []
+        self._conversation_counter = itertools.count(1)
+        self._endpoint_registered = False
+        #: ordered delivery: (conversation, from_party) → next send sequence
+        self._send_sequences: dict[tuple[str, str], int] = {}
+        #: ordered delivery: (conversation, from_party) → next expected sequence
+        self._recv_expected: dict[tuple[str, str], int] = {}
+        #: out-of-order messages parked until their predecessors arrive
+        self._reorder_buffer: dict[tuple[str, str], dict[int, EbxmlMessage]] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def install_agreement(self, cpa: CollaborationProtocolAgreement) -> None:
+        if cpa.status != "agreed":
+            raise InvalidRequestError("only agreed CPAs can be installed in an MSH")
+        cpa.endpoint_of(self.party_id)  # validates membership
+        self._agreements[cpa.agreement_id] = cpa
+        if not self._endpoint_registered:
+            self.transport.register_endpoint(
+                cpa.endpoint_of(self.party_id), self._receive
+            )
+            self._endpoint_registered = True
+
+    def on_action(self, action: str, handler: Handler) -> None:
+        self._handlers[action] = handler
+
+    def new_conversation(self) -> str:
+        return f"conv-{self.party_id}-{next(self._conversation_counter)}"
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(
+        self,
+        cpa_id: str,
+        action: str,
+        payload: dict,
+        *,
+        conversation_id: str | None = None,
+        ordered: bool = False,
+    ) -> DeliveryReport:
+        cpa = self._agreements.get(cpa_id)
+        if cpa is None:
+            raise InvalidRequestError(f"no installed agreement {cpa_id!r}")
+        to_party = cpa.counterparty(self.party_id)
+        conversation = conversation_id or self.new_conversation()
+        sequence = 0
+        if ordered:
+            key = (conversation, self.party_id)
+            sequence = self._send_sequences.get(key, 0) + 1
+            self._send_sequences[key] = sequence
+        message = EbxmlMessage(
+            message_id=self.ids.new_id(),
+            conversation_id=conversation,
+            cpa_id=cpa_id,
+            from_party=self.party_id,
+            to_party=to_party,
+            action=action,
+            payload=dict(payload),
+            sequence_number=sequence,
+        )
+        endpoint = cpa.endpoint_of(to_party)
+        attempts = 0
+        last_error: TransportError | None = None
+        while attempts <= cpa.messaging.retries:
+            attempts += 1
+            try:
+                response = self.transport.request(endpoint, message, source=self.party_id)
+            except TransportError as exc:
+                last_error = exc
+                continue
+            acknowledged = isinstance(response, Acknowledgment)
+            return DeliveryReport(
+                message=message,
+                delivered=True,
+                attempts=attempts,
+                acknowledged=acknowledged,
+            )
+        return DeliveryReport(
+            message=message, delivered=False, attempts=attempts, acknowledged=False
+        )
+
+    # -- receiving -------------------------------------------------------------------
+
+    def _receive(self, message: EbxmlMessage) -> Acknowledgment | None:
+        if not isinstance(message, EbxmlMessage):
+            raise TransportError("MSH endpoints accept only ebXML messages")
+        cpa = self._agreements.get(message.cpa_id)
+        if cpa is None or message.to_party != self.party_id:
+            raise TransportError(
+                f"no agreement {message.cpa_id!r} for party {self.party_id!r}"
+            )
+        duplicate = (
+            cpa.messaging.duplicate_elimination
+            and message.message_id in self._seen_message_ids
+        )
+        if not duplicate:
+            self._seen_message_ids.add(message.message_id)
+            if message.sequence_number > 0:
+                self._deliver_ordered(message)
+            else:
+                self._deliver(message)
+        if cpa.messaging.ack_requested:
+            ack = message.ack()
+            self.acks_sent.append(ack)
+            return ack
+        return None
+
+    def _deliver(self, message: EbxmlMessage) -> None:
+        self.inbox.append(message)
+        handler = self._handlers.get(message.action)
+        if handler is not None:
+            handler(message)
+
+    def _deliver_ordered(self, message: EbxmlMessage) -> None:
+        """Hold out-of-order messages until their predecessors arrive."""
+        key = (message.conversation_id, message.from_party)
+        expected = self._recv_expected.get(key, 1)
+        if message.sequence_number < expected:
+            return  # late duplicate of an already-delivered sequence slot
+        buffer = self._reorder_buffer.setdefault(key, {})
+        buffer[message.sequence_number] = message
+        while expected in buffer:
+            self._deliver(buffer.pop(expected))
+            expected += 1
+        self._recv_expected[key] = expected

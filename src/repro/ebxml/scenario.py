@@ -1,0 +1,221 @@
+"""The Figure 1.13 business scenario: two companies meet through the registry.
+
+Thesis steps:
+
+1. Company A reviews the registry's Core Library;
+2. A builds/configures its implementation;
+3. A submits its business profile (CPP) to the registry;
+4. Company B discovers A's supported scenarios through the registry;
+5. B proposes a business arrangement (CPA) directly to A;
+6. A accepts; the companies do business over the ebXML Messaging Service.
+
+:class:`BusinessScenario` drives these steps against a real
+:class:`~repro.registry.server.RegistryServer` (the CPP is stored as an
+ExtrinsicObject repository item, classified under the canonical core-library
+package) and a pair of :class:`MessageServiceHandler` instances.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.ebxml.cpa import (
+    CollaborationProtocolAgreement,
+    CollaborationProtocolProfile,
+    SecurityLevel,
+    Transport,
+    negotiate,
+)
+from repro.ebxml.messaging import DeliveryReport, MessageServiceHandler
+from repro.registry.server import RegistryServer
+from repro.rim import ExtrinsicObject
+from repro.security.authn import Session
+from repro.soap.transport import SimTransport
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+CORE_LIBRARY_PACKAGE = "urn:repro:ebxml:core-library"
+CPP_MIME = "application/vnd.ebxml-cpp+json"
+
+
+def _cpp_to_json(cpp: CollaborationProtocolProfile) -> bytes:
+    return json.dumps(
+        {
+            "partyId": cpp.party_id,
+            "partyName": cpp.party_name,
+            "endpoint": cpp.endpoint,
+            "processes": sorted(cpp.processes),
+            "transports": sorted(t.value for t in cpp.transports),
+            "requiredSecurity": cpp.required_security.name,
+            "offeredSecurity": cpp.offered_security.name,
+            "messaging": {
+                "retries": cpp.messaging.retries,
+                "retryInterval": cpp.messaging.retry_interval,
+                "duplicateElimination": cpp.messaging.duplicate_elimination,
+                "ackRequested": cpp.messaging.ack_requested,
+            },
+        }
+    ).encode("utf-8")
+
+
+def _cpp_from_json(data: bytes) -> CollaborationProtocolProfile:
+    from repro.ebxml.cpa import MessagingRequirements
+
+    raw = json.loads(data.decode("utf-8"))
+    return CollaborationProtocolProfile(
+        party_id=raw["partyId"],
+        party_name=raw["partyName"],
+        endpoint=raw["endpoint"],
+        processes=frozenset(raw["processes"]),
+        transports=frozenset(Transport(t) for t in raw["transports"]),
+        required_security=SecurityLevel[raw["requiredSecurity"]],
+        offered_security=SecurityLevel[raw["offeredSecurity"]],
+        messaging=MessagingRequirements(
+            retries=raw["messaging"]["retries"],
+            retry_interval=raw["messaging"]["retryInterval"],
+            duplicate_elimination=raw["messaging"]["duplicateElimination"],
+            ack_requested=raw["messaging"]["ackRequested"],
+        ),
+    )
+
+
+@dataclass
+class ScenarioLog:
+    """Step-by-step record for the bench artifact."""
+
+    steps: list[dict] = field(default_factory=list)
+
+    def record(self, step: int, actor: str, action: str, detail: str = "") -> None:
+        self.steps.append(
+            {"Step": step, "Actor": actor, "Action": action, "Detail": detail}
+        )
+
+
+class BusinessScenario:
+    """Drives the Figure 1.13 flow for two companies over one registry."""
+
+    def __init__(
+        self,
+        registry: RegistryServer,
+        transport: SimTransport | None = None,
+    ) -> None:
+        self.registry = registry
+        self.transport = transport or SimTransport()
+        self.log = ScenarioLog()
+
+    # -- step 1: review the core library -------------------------------------
+
+    def review_core_library(self, company: str) -> list[str]:
+        """List core-library content names (business-process definitions)."""
+        rows = self.registry.qm.execute_adhoc_query(
+            "SELECT name FROM ExtrinsicObject WHERE description "
+            f"LIKE '%{CORE_LIBRARY_PACKAGE}%' ORDER BY name"
+        ).rows
+        names = [row["name"] for row in rows]
+        self.log.record(1, company, "review Core Library", f"{len(names)} artifacts")
+        return names
+
+    def seed_core_library(self, session: Session, processes: list[str]) -> None:
+        """Administrator publishes business-process definitions (pre-scenario)."""
+        for process in processes:
+            meta = ExtrinsicObject(
+                self.registry.ids.new_id(),
+                name=process,
+                description=f"Business process definition ({CORE_LIBRARY_PACKAGE})",
+                mime_type="text/xml",
+            )
+            self.registry.lcm.submit_objects(session, [meta])
+            self.registry.repository.store(
+                meta, f'<ProcessSpecification name="{process}"/>'.encode()
+            )
+
+    # -- step 3: submit the business profile -------------------------------------
+
+    def publish_cpp(
+        self, session: Session, cpp: CollaborationProtocolProfile
+    ) -> ExtrinsicObject:
+        meta = ExtrinsicObject(
+            self.registry.ids.new_id(),
+            name=f"CPP:{cpp.party_name}",
+            description=f"Collaboration Protocol Profile of {cpp.party_name}; "
+            f"processes: {', '.join(sorted(cpp.processes))}",
+            mime_type=CPP_MIME,
+        )
+        self.registry.lcm.submit_objects(session, [meta])
+        self.registry.repository.store(meta, _cpp_to_json(cpp))
+        self.log.record(
+            3,
+            cpp.party_name,
+            "submit business profile (CPP)",
+            f"supports {', '.join(sorted(cpp.processes))}",
+        )
+        return meta
+
+    # -- step 4: discover partners ---------------------------------------------------
+
+    def discover_partners(
+        self, company: str, process: str
+    ) -> list[CollaborationProtocolProfile]:
+        """Find CPPs supporting *process* via the registry."""
+        rows = self.registry.qm.execute_adhoc_query(
+            "SELECT id FROM ExtrinsicObject WHERE name LIKE 'CPP:%' "
+            f"AND description LIKE '%{process}%'"
+        ).rows
+        profiles = []
+        for row in rows:
+            item = self.registry.repository.retrieve(row["id"])
+            profiles.append(_cpp_from_json(item.content))
+        self.log.record(
+            4,
+            company,
+            f"discover partners for {process!r}",
+            ", ".join(p.party_name for p in profiles) or "none",
+        )
+        return profiles
+
+    # -- steps 5–6: propose and accept the arrangement -------------------------------------
+
+    def propose_cpa(
+        self,
+        proposer: CollaborationProtocolProfile,
+        partner: CollaborationProtocolProfile,
+        process: str,
+    ) -> CollaborationProtocolAgreement:
+        cpa = negotiate(
+            partner, proposer, process, agreement_id=self.registry.ids.new_id()
+        )
+        self.log.record(
+            5,
+            proposer.party_name,
+            "propose business arrangement (CPA)",
+            f"process={process}, transport={cpa.transport.value}, security={cpa.security.name}",
+        )
+        return cpa
+
+    def accept_cpa(
+        self, acceptor_name: str, cpa: CollaborationProtocolAgreement
+    ) -> CollaborationProtocolAgreement:
+        agreed = cpa.agreed()
+        self.log.record(6, acceptor_name, "accept CPA — ready for eBusiness", cpa.agreement_id)
+        return agreed
+
+    # -- step 6: trade over ebMS -----------------------------------------------------------
+
+    def build_msh(self, party_id: str) -> MessageServiceHandler:
+        return MessageServiceHandler(party_id, self.transport, ids=self.registry.ids)
+
+    def exchange(
+        self,
+        sender: MessageServiceHandler,
+        cpa: CollaborationProtocolAgreement,
+        action: str,
+        payload: dict,
+    ) -> DeliveryReport:
+        report = sender.send(cpa.agreement_id, action, payload)
+        self.log.record(
+            6,
+            sender.party_id,
+            f"ebMS {action}",
+            f"delivered={report.delivered} ack={report.acknowledged} attempts={report.attempts}",
+        )
+        return report

@@ -1,0 +1,15 @@
+"""Event subscription and content-based notification subsystem."""
+
+from repro.events.notifier import (
+    DeliveryChannel,
+    Notification,
+    RecordingChannel,
+    SubscriptionManager,
+)
+
+__all__ = [
+    "DeliveryChannel",
+    "Notification",
+    "RecordingChannel",
+    "SubscriptionManager",
+]

@@ -1,0 +1,134 @@
+"""Content-based event notification (thesis §1.3.2.5, Figure 1.20).
+
+Clients create Subscriptions pairing a **selector query** (a stored
+AdhocQuery whose result set defines the objects of interest) with one or
+more **delivery actions** (invoke a registered Web Service endpoint, or send
+an email).  The SubscriptionManager listens on the LifeCycleManager's event
+bus: for each AuditableEvent it re-runs active selectors and, when the
+affected object matches, delivers a notification through every action.
+
+Delivery channels are pluggable; the default sinks record deliveries so
+tests and the simulator can observe them, and the SOAP transport layer can
+register real (simulated) endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.persistence.dao import DAORegistry
+from repro.query import QueryEngine, parse_filter_query
+from repro.rim import (
+    QUERY_LANGUAGE_FILTER,
+    AdhocQuery,
+    AuditableEvent,
+    NotifyAction,
+    Subscription,
+)
+from repro.util.clock import Clock
+from repro.util.errors import ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One delivered notification."""
+
+    subscription_id: str
+    event: AuditableEvent
+    action: NotifyAction
+    delivered_at: float
+
+
+class DeliveryChannel(Protocol):
+    """Transport for one notification mode ("service" or "email")."""
+
+    def deliver(self, endpoint: str, notification: Notification) -> None:
+        ...
+
+
+class RecordingChannel:
+    """Default channel: records notifications for inspection."""
+
+    def __init__(self) -> None:
+        self.delivered: list[tuple[str, Notification]] = []
+
+    def deliver(self, endpoint: str, notification: Notification) -> None:
+        self.delivered.append((endpoint, notification))
+
+    def for_endpoint(self, endpoint: str) -> list[Notification]:
+        return [n for e, n in self.delivered if e == endpoint]
+
+
+class SubscriptionManager:
+    """Matches audit events against subscriptions and dispatches notifications."""
+
+    def __init__(
+        self,
+        daos: DAORegistry,
+        engine: QueryEngine,
+        *,
+        clock: Clock,
+    ) -> None:
+        self.daos = daos
+        self.engine = engine
+        self.clock = clock
+        self.channels: dict[str, DeliveryChannel] = {
+            "service": RecordingChannel(),
+            "email": RecordingChannel(),
+        }
+        self.delivered: list[Notification] = []
+
+    def set_channel(self, mode: str, channel: DeliveryChannel) -> None:
+        self.channels[mode] = channel
+
+    # -- event-bus listener ---------------------------------------------------
+
+    def on_event(self, event: AuditableEvent) -> None:
+        """LifeCycleManager event-bus callback."""
+        now = self.clock.now()
+        for subscription in self.daos.subscriptions.all():
+            if not subscription.active_at(now):
+                continue
+            if self._matches(subscription, event):
+                self._deliver(subscription, event, now)
+
+    # -- matching ----------------------------------------------------------------
+
+    def _matches(self, subscription: Subscription, event: AuditableEvent) -> bool:
+        selector = self.daos.adhoc_queries.get(subscription.selector)
+        if selector is None:
+            return False
+        try:
+            matched_ids = set(self._run_selector(selector))
+        except Exception:
+            # a broken selector must not take the registry down
+            return False
+        if event.affected_object in matched_ids:
+            return True
+        # deletion events: the object is gone, so the selector can no longer
+        # match it; fall back to matching the event row itself.
+        return event.id in matched_ids
+
+    def _run_selector(self, selector: AdhocQuery) -> list[str]:
+        if selector.query_language == QUERY_LANGUAGE_FILTER:
+            return self.engine.execute_ids(parse_filter_query(selector.query))
+        return self.engine.execute_ids(selector.query)
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def _deliver(self, subscription: Subscription, event: AuditableEvent, now: float) -> None:
+        for action in subscription.actions:
+            channel = self.channels.get(action.mode)
+            if channel is None:
+                raise ObjectNotFoundError(
+                    action.mode, f"no delivery channel for mode {action.mode!r}"
+                )
+            notification = Notification(
+                subscription_id=subscription.id,
+                event=event,
+                action=action,
+                delivered_at=now,
+            )
+            channel.deliver(action.endpoint, notification)
+            self.delivered.append(notification)

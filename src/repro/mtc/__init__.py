@@ -1,0 +1,66 @@
+"""Many-Task Computing workload harness.
+
+Builds the thesis' motivating application (§3.1): many short tasks
+dispatched across hosts through registry discovery.  Contains the selection
+policies (the no-LB / random / round-robin baselines vs the constraint
+scheme), deterministic workload generation, the dispatch client, uniformity
+and response metrics, and the experiment runner the benches call.
+"""
+
+from repro.mtc.client import DispatchRecord, MTCClient
+from repro.mtc.experiment import (
+    DEFAULT_CONSTRAINT,
+    BackgroundLoad,
+    ExperimentConfig,
+    ExperimentHarness,
+    ExperimentResult,
+    HostFailure,
+    compare_policies,
+    run_experiment,
+)
+from repro.mtc.metrics import (
+    ClusterSampler,
+    LoadUniformity,
+    ResponseSummary,
+    RunMetrics,
+    jain_fairness,
+)
+from repro.mtc.policies import (
+    POLICY_FACTORIES,
+    REGISTRY_BALANCED_POLICIES,
+    FirstUriPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SelectionPolicy,
+    make_policy,
+)
+from repro.mtc.workload import Arrival, Distribution, WorkloadSpec, generate_workload
+
+__all__ = [
+    "DispatchRecord",
+    "MTCClient",
+    "DEFAULT_CONSTRAINT",
+    "BackgroundLoad",
+    "ExperimentConfig",
+    "ExperimentHarness",
+    "ExperimentResult",
+    "HostFailure",
+    "compare_policies",
+    "run_experiment",
+    "ClusterSampler",
+    "LoadUniformity",
+    "ResponseSummary",
+    "RunMetrics",
+    "jain_fairness",
+    "POLICY_FACTORIES",
+    "REGISTRY_BALANCED_POLICIES",
+    "FirstUriPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SelectionPolicy",
+    "make_policy",
+    "Arrival",
+    "Distribution",
+    "WorkloadSpec",
+    "generate_workload",
+]

@@ -1,0 +1,95 @@
+"""The MTC dispatch client: discover through the registry, invoke on a host.
+
+Reproduces the thesis Figure 3.3 data flow per task: the client queries the
+registry for the application service's access URIs, applies its selection
+policy (for the thesis scheme that is simply "take the first URI"), and
+invokes the Web Service — here, submits the task to the chosen simulated
+host.  Discovery happens **per task**, which is what makes the registry-side
+reordering effective at balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mtc.policies import SelectionPolicy
+from repro.mtc.workload import Arrival
+from repro.registry.server import RegistryServer
+from repro.rim.service import host_of_uri
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimEngine
+from repro.sim.task import Task
+
+
+@dataclass
+class DispatchRecord:
+    """One discovery + dispatch decision."""
+
+    time: float
+    task_name: str
+    chosen_uri: str
+    host: str
+    accepted: bool
+
+
+class MTCClient:
+    """Submits an arrival schedule through registry discovery."""
+
+    def __init__(
+        self,
+        registry: RegistryServer,
+        cluster: Cluster,
+        engine: SimEngine,
+        *,
+        service_id: str,
+        policy: SelectionPolicy,
+    ) -> None:
+        self.registry = registry
+        self.cluster = cluster
+        self.engine = engine
+        self.service_id = service_id
+        self.policy = policy
+        self.records: list[DispatchRecord] = []
+        self.tasks: list[Task] = []
+        self.discovery_failures = 0
+
+    def schedule_arrivals(self, arrivals: list[Arrival]) -> None:
+        """Register every arrival with the simulation engine."""
+        for arrival in arrivals:
+            self.engine.schedule_at(
+                arrival.time, lambda task=arrival.task: self.dispatch(task)
+            )
+
+    def dispatch(self, task: Task) -> bool:
+        """Discover, choose, invoke — one task."""
+        uris = self.registry.qm.get_access_uris(self.service_id)
+        if not uris:
+            self.discovery_failures += 1
+            return False
+        uri = self.policy.choose(uris)
+        host = host_of_uri(uri)
+        task.submitted_at = self.engine.now
+        accepted = self.cluster.submit_task(host, task)
+        self.tasks.append(task)
+        self.records.append(
+            DispatchRecord(
+                time=self.engine.now,
+                task_name=task.name,
+                chosen_uri=uri,
+                host=host,
+                accepted=accepted,
+            )
+        )
+        return accepted
+
+    # -- accounting ---------------------------------------------------------------
+
+    def dispatch_counts(self) -> dict[str, int]:
+        """host → number of tasks sent there."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.host] = counts.get(record.host, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def completed_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.completed_at is not None]

@@ -1,0 +1,306 @@
+"""End-to-end experiment runner: registry + cluster + workload + metrics.
+
+One :func:`run_experiment` call builds the whole thesis deployment
+(Figure 3.7): a simulated cluster, a registry with the NodeStatus service
+published per host, the application service published with its constraint
+block, the TimeHits monitor, and an MTC client dispatching a workload
+through registry discovery under a chosen policy.  Deterministic under the
+config seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import BalanceMode, attach_load_balancer
+from repro.core.monitor import DEFAULT_PERIOD
+from repro.mtc.client import MTCClient
+from repro.mtc.metrics import (
+    ClusterSampler,
+    LoadUniformity,
+    ResponseSummary,
+    RunMetrics,
+    jain_fairness,
+)
+from repro.mtc.policies import (
+    ORACLE_POLICIES,
+    REGISTRY_BALANCED_POLICIES,
+    OracleLeastLoadedPolicy,
+    make_policy,
+)
+from repro.mtc.workload import Distribution, WorkloadSpec, generate_workload
+from repro.registry.server import RegistryConfig, RegistryServer
+from repro.rim import Association, AssociationType, Organization, Service, ServiceBinding
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+#: default application-service constraint used by the load-balance benches
+DEFAULT_CONSTRAINT = (
+    "<constraint>"
+    "<cpuLoad>load ls 4.0</cpuLoad>"
+    "<memory>memory gr 512MB</memory>"
+    "</constraint>"
+)
+
+
+@dataclass(frozen=True)
+class HostFailure:
+    """A crash/recovery episode injected into one host mid-run.
+
+    Times are relative to workload start.  While down, the host rejects
+    submissions, loses its running tasks, and stops answering NodeStatus.
+    """
+
+    host: str
+    fail_at: float
+    recover_at: float | None = None
+
+
+@dataclass(frozen=True)
+class BackgroundLoad:
+    """External load injected on one host (what makes hosts heterogeneous)."""
+
+    host: str
+    #: tasks per second of background arrivals
+    rate: float
+    cpu_seconds: float = 30.0
+    memory: int = 512 << 20
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one load-balancing experiment run."""
+
+    policy: str = "constraint-lb"
+    hosts: tuple[HostSpec, ...] = (
+        HostSpec("host0.cluster", cores=2),
+        HostSpec("host1.cluster", cores=2),
+        HostSpec("host2.cluster", cores=2),
+        HostSpec("host3.cluster", cores=2),
+    )
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec(
+            arrival_rate=0.4,
+            cpu_seconds=Distribution.fixed(10.0),
+            memory=Distribution.fixed(256 << 20),
+            seed=0,
+        )
+    )
+    duration: float = 1800.0
+    monitor_period: float = DEFAULT_PERIOD
+    #: what the NodeStatus LOAD field reports: "runqueue" (thesis) or "loadavg"
+    load_metric: str = "runqueue"
+    constraint_xml: str = DEFAULT_CONSTRAINT
+    balance_mode: BalanceMode = BalanceMode.PREFER
+    background: tuple[BackgroundLoad, ...] = ()
+    failures: tuple[HostFailure, ...] = ()
+    sample_period: float = 5.0
+    warmup: float = 120.0
+    #: virtual start-of-day offset in seconds (affects time-of-day constraints)
+    start_of_day: float = 10 * 3600.0
+    seed: int = 0
+    service_name: str = "MTCService"
+    organization_name: str = "MTC Organization"
+
+    def with_policy(self, policy: str) -> "ExperimentConfig":
+        return replace(self, policy=policy)
+
+
+@dataclass
+class ExperimentResult:
+    config: ExperimentConfig
+    metrics: RunMetrics
+    dispatch_counts: dict[str, int]
+    node_samples: int
+    monitor_collections: int
+
+
+class ExperimentHarness:
+    """Builds the full deployment for one config; reusable by the benches."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.engine = SimEngine(start=config.start_of_day)
+        self.clock = SimClockAdapter(self.engine)
+        self.registry = RegistryServer(RegistryConfig(seed=config.seed), clock=self.clock)
+        self.cluster = Cluster(self.engine, load_metric=config.load_metric)
+        self.cluster.add_hosts(list(config.hosts))
+        self.transport = SimTransport()
+        self._register_monitors()
+        self.session = self._admin_session()
+        self.service_id = self._publish_services()
+        self.balancer = None
+        if config.policy in REGISTRY_BALANCED_POLICIES:
+            self.balancer = attach_load_balancer(
+                self.registry,
+                self.transport,
+                self.engine,
+                period=config.monitor_period,
+                mode=config.balance_mode,
+            )
+        if config.policy in ORACLE_POLICIES:
+            policy = OracleLeastLoadedPolicy(self.cluster)
+        else:
+            policy = make_policy(config.policy, seed=config.seed)
+        self.client = MTCClient(
+            self.registry,
+            self.cluster,
+            self.engine,
+            service_id=self.service_id,
+            policy=policy,
+        )
+        self.sampler = ClusterSampler(
+            self.cluster, self.engine, period=config.sample_period
+        )
+
+    # -- deployment ------------------------------------------------------------
+
+    def _register_monitors(self) -> None:
+        for monitor in self.cluster.monitors():
+            self.transport.register_endpoint(
+                monitor.access_uri, lambda req, m=monitor: m.invoke()
+            )
+
+    def _admin_session(self):
+        _, credential = self.registry.register_user(
+            "mtc-admin", roles={"RegistryAdministrator"}
+        )
+        return self.registry.login(credential)
+
+    def _publish_services(self) -> str:
+        cfg = self.config
+        ids = self.registry.ids
+        org = Organization(ids.new_id(), name=cfg.organization_name)
+        node_status = Service(
+            ids.new_id(), name="NodeStatus", description="Service to monitor node status"
+        )
+        app = Service(ids.new_id(), name=cfg.service_name, description=cfg.constraint_xml)
+        self.registry.lcm.submit_objects(self.session, [org, node_status, app])
+        bindings: list = []
+        host_names = self.cluster.host_names()
+        for host in host_names:
+            bindings.append(
+                ServiceBinding(
+                    ids.new_id(), service=node_status.id, access_uri=nodestatus_uri(host)
+                )
+            )
+            bindings.append(
+                ServiceBinding(
+                    ids.new_id(),
+                    service=app.id,
+                    access_uri=f"http://{host}:8080/{cfg.service_name}/invoke",
+                )
+            )
+        bindings.append(
+            Association(
+                ids.new_id(),
+                source_object=org.id,
+                target_object=app.id,
+                association_type=AssociationType.OFFERS_SERVICE,
+            )
+        )
+        self.registry.lcm.submit_objects(self.session, bindings)
+        self.cluster.deploy_service("NodeStatus", host_names)
+        self.cluster.deploy_service(cfg.service_name, host_names)
+        return app.id
+
+    def _schedule_failures(self) -> None:
+        for failure in self.config.failures:
+            host = self.cluster.host(failure.host)
+
+            def crash(h=host, name=failure.host):
+                h.crash()
+                self.transport.set_host_down(name)
+
+            self.engine.schedule_at(
+                self.config.start_of_day + failure.fail_at, crash
+            )
+            if failure.recover_at is not None:
+
+                def recover(h=host, name=failure.host):
+                    h.recover()
+                    self.transport.set_host_down(name, down=False)
+
+                self.engine.schedule_at(
+                    self.config.start_of_day + failure.recover_at, recover
+                )
+
+    def _schedule_background(self) -> None:
+        for bg in self.config.background:
+            host = self.cluster.host(bg.host)
+            interval = 1.0 / bg.rate
+            time = self.config.start_of_day + interval
+            end = self.config.start_of_day + self.config.duration
+            index = 0
+            while time < end:
+                index += 1
+                self.engine.schedule_at(
+                    time,
+                    lambda h=host, i=index, b=bg: h.submit(
+                        Task(cpu_seconds=b.cpu_seconds, memory=b.memory, name=f"bg-{h.name}-{i}")
+                    ),
+                )
+                time += interval
+
+    # -- run -----------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        cfg = self.config
+        arrivals = generate_workload(cfg.workload, duration=cfg.duration)
+        shifted = [
+            type(a)(time=cfg.start_of_day + a.time, task=a.task) for a in arrivals
+        ]
+        self.client.schedule_arrivals(shifted)
+        self._schedule_background()
+        self._schedule_failures()
+        self.sampler.start()
+        end = cfg.start_of_day + cfg.duration
+        self.engine.run_until(end)
+        # measurement window ends with the workload: the drain below would
+        # otherwise dilute the uniformity metrics with idle samples
+        self.sampler.stop()
+        # drain: let in-flight tasks finish (bounded)
+        self.engine.run_until(end + 10 * 3600)
+        uniformity = LoadUniformity.from_sampler(
+            self.sampler, warmup=cfg.start_of_day + cfg.warmup
+        )
+        responses = ResponseSummary.from_tasks(self.client.tasks)
+        per_host_completed = {
+            h.name: h.tasks_completed for h in self.cluster.hosts()
+        }
+        work = [h.work_done for h in self.cluster.hosts()]
+        metrics = RunMetrics(
+            policy=cfg.policy,
+            uniformity=uniformity,
+            responses=responses,
+            fairness=jain_fairness(work),
+            tasks_submitted=len(self.client.tasks),
+            tasks_completed=self.cluster.total_completed(),
+            tasks_rejected=self.cluster.total_rejected(),
+            makespan=self.engine.now - cfg.start_of_day,
+            per_host_completed=per_host_completed,
+        )
+        return ExperimentResult(
+            config=cfg,
+            metrics=metrics,
+            dispatch_counts=self.client.dispatch_counts(),
+            node_samples=len(self.registry.node_state),
+            monitor_collections=(
+                self.balancer.monitor.collections if self.balancer else 0
+            ),
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build and run one experiment."""
+    return ExperimentHarness(config).run()
+
+
+def compare_policies(
+    base: ExperimentConfig, policies: list[str] | None = None
+) -> dict[str, ExperimentResult]:
+    """Run the same workload under several policies (the LB-1 table)."""
+    policies = policies or ["first-uri", "random", "round-robin", "constraint-lb"]
+    return {policy: run_experiment(base.with_policy(policy)) for policy in policies}

@@ -1,0 +1,175 @@
+"""Experiment metrics: load uniformity, fairness, and response-time summaries.
+
+The headline claim under test (thesis abstract / §5.1) is that with the
+scheme "the CPU load and system memory is uniformly maintained" across
+hosts.  Uniformity metrics:
+
+* **time-averaged cross-host load std-dev** — sample every host's load
+  average on a fixed grid, take the std-dev *across hosts* at each instant,
+  then average over time (lower = more uniform);
+* **imbalance factor** — time-average of ``max(load) / mean(load)`` (1.0 is
+  perfect balance);
+* **Jain fairness index** on per-host completed work, ``(Σx)² / (n·Σx²)``
+  (1.0 = perfectly fair);
+* **memory spread** — time-averaged cross-host std-dev of memory in use.
+
+Plus the service-quality side: response-time mean/median/p95/max, slowdown,
+makespan, and completion/rejection counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimEngine
+from repro.sim.task import Task
+
+
+class ClusterSampler:
+    """Periodic sampling of per-host load and memory-in-use."""
+
+    def __init__(self, cluster: Cluster, engine: SimEngine, *, period: float = 5.0) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.period = period
+        self.times: list[float] = []
+        self.loads: list[list[float]] = []
+        self.memory_used: list[list[int]] = []
+        self._hosts = cluster.host_names()
+        self._task = None
+
+    def start(self) -> None:
+        self.sample()
+        self._task = self.engine.schedule_periodic(self.period, self.sample)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def sample(self) -> None:
+        self.times.append(self.engine.now)
+        loads = self.cluster.load_snapshot()
+        memory = self.cluster.memory_snapshot()
+        self.loads.append([loads[h] for h in self._hosts])
+        self.memory_used.append(
+            [self.cluster.host(h).memory_total - memory[h] for h in self._hosts]
+        )
+
+    # -- arrays ----------------------------------------------------------------
+
+    def load_matrix(self) -> np.ndarray:
+        """(samples × hosts) load-average matrix."""
+        return np.asarray(self.loads, dtype=float)
+
+    def memory_matrix(self) -> np.ndarray:
+        return np.asarray(self.memory_used, dtype=float)
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
+
+
+@dataclass(frozen=True)
+class LoadUniformity:
+    """Cross-host uniformity summary over one run."""
+
+    mean_load: float
+    load_stddev: float  # time-averaged cross-host std
+    imbalance_factor: float  # time-averaged max/mean (1.0 = perfect)
+    memory_spread: float  # time-averaged cross-host std of memory used, bytes
+    per_host_mean_load: dict[str, float]
+
+    @classmethod
+    def from_sampler(cls, sampler: ClusterSampler, *, warmup: float = 0.0) -> "LoadUniformity":
+        times = np.asarray(sampler.times)
+        keep = times >= warmup
+        loads = sampler.load_matrix()[keep]
+        memory = sampler.memory_matrix()[keep]
+        if loads.size == 0:
+            raise ValueError("no samples after warmup")
+        per_instant_std = loads.std(axis=1)
+        means = loads.mean(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            imbalance = np.where(means > 1e-9, loads.max(axis=1) / means, 1.0)
+        return cls(
+            mean_load=float(loads.mean()),
+            load_stddev=float(per_instant_std.mean()),
+            imbalance_factor=float(imbalance.mean()),
+            memory_spread=float(memory.std(axis=1).mean()),
+            per_host_mean_load={
+                host: float(loads[:, i].mean()) for i, host in enumerate(sampler.hosts)
+            },
+        )
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = maximally skewed."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("fairness of an empty vector is undefined")
+    total_sq = x.sum() ** 2
+    denom = x.size * (x**2).sum()
+    if denom == 0:
+        return 1.0
+    return float(total_sq / denom)
+
+
+@dataclass(frozen=True)
+class ResponseSummary:
+    """Response-time statistics over completed tasks."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    max: float
+    mean_slowdown: float
+
+    @classmethod
+    def from_tasks(cls, tasks: list[Task]) -> "ResponseSummary":
+        finished = [t for t in tasks if t.response_time is not None]
+        if not finished:
+            return cls(count=0, mean=0.0, median=0.0, p95=0.0, max=0.0, mean_slowdown=0.0)
+        rts = np.asarray([t.response_time for t in finished], dtype=float)
+        slowdowns = np.asarray([t.slowdown for t in finished], dtype=float)
+        return cls(
+            count=len(finished),
+            mean=float(rts.mean()),
+            median=float(np.median(rts)),
+            p95=float(np.percentile(rts, 95)),
+            max=float(rts.max()),
+            mean_slowdown=float(slowdowns.mean()),
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Everything one experiment run reports."""
+
+    policy: str
+    uniformity: LoadUniformity
+    responses: ResponseSummary
+    fairness: float
+    tasks_submitted: int
+    tasks_completed: int
+    tasks_rejected: int
+    makespan: float
+    per_host_completed: dict[str, int] = field(default_factory=dict)
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for the bench table printers."""
+        return {
+            "policy": self.policy,
+            "load_std": round(self.uniformity.load_stddev, 3),
+            "imbalance": round(self.uniformity.imbalance_factor, 3),
+            "fairness": round(self.fairness, 3),
+            "mem_spread_MB": round(self.uniformity.memory_spread / (1 << 20), 1),
+            "resp_mean_s": round(self.responses.mean, 2),
+            "resp_p95_s": round(self.responses.p95, 2),
+            "completed": self.tasks_completed,
+            "rejected": self.tasks_rejected,
+        }

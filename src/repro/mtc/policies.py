@@ -1,0 +1,135 @@
+"""Endpoint selection policies — the baselines the scheme is measured against.
+
+The thesis' scheme is *transparent*: the client always takes the **first**
+access URI the registry returns, and balancing happens registry-side by
+reordering.  The baselines therefore combine a vanilla registry (publisher
+order) with client-side pick strategies:
+
+* ``first-uri`` — what an unmodified freebXML client does: always the first
+  published URI (the overload scenario motivating §3.2);
+* ``random`` — uniform random pick;
+* ``round-robin`` — client-side rotation (the strongest oblivious baseline);
+* ``constraint-lb`` — the thesis scheme: first URI of the *reordered* list.
+
+Every policy sees the URI list the registry returned for this request and
+returns one URI.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.util.errors import InvalidRequestError
+
+
+class SelectionPolicy(Protocol):
+    """Picks the endpoint to invoke from the registry's answer."""
+
+    name: str
+
+    def choose(self, uris: list[str]) -> str:
+        ...
+
+
+class FirstUriPolicy:
+    """Always the first URI returned (the thesis' transparent client)."""
+
+    name = "first-uri"
+
+    def choose(self, uris: list[str]) -> str:
+        if not uris:
+            raise InvalidRequestError("no access URIs to choose from")
+        return uris[0]
+
+
+class RandomPolicy:
+    """Uniform random pick."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, uris: list[str]) -> str:
+        if not uris:
+            raise InvalidRequestError("no access URIs to choose from")
+        return self._rng.choice(uris)
+
+
+class RoundRobinPolicy:
+    """Client-side rotation over the URI list (stable across reorderings).
+
+    Rotation is keyed by sorted URI identity so a reordered answer does not
+    reset the cycle.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, uris: list[str]) -> str:
+        if not uris:
+            raise InvalidRequestError("no access URIs to choose from")
+        ordered = sorted(uris)
+        choice = ordered[self._counter % len(ordered)]
+        self._counter += 1
+        return choice
+
+
+#: policy-name → factory; "constraint-lb" uses FirstUri because the balancing
+#: is registry-side (the whole point of the scheme's transparency);
+#: "constraint-lb-random" randomizes among the registry's (filtered) answer —
+#: a herd-mitigation variant studied in bench LB-6.
+POLICY_FACTORIES = {
+    "first-uri": lambda seed: FirstUriPolicy(),
+    "random": lambda seed: RandomPolicy(seed),
+    "round-robin": lambda seed: RoundRobinPolicy(),
+    "constraint-lb": lambda seed: FirstUriPolicy(),
+    "constraint-lb-random": lambda seed: RandomPolicy(seed),
+}
+
+class OracleLeastLoadedPolicy:
+    """Upper-bound baseline: perfect, zero-staleness knowledge of host queues.
+
+    Not realizable in the thesis architecture (it would need a monitoring
+    round-trip per request); used to quantify how much of the remaining gap
+    to ideal is due to the periodic-sampling design.
+    """
+
+    name = "oracle-lb"
+
+    def __init__(self, cluster) -> None:
+        from repro.rim.service import host_of_uri
+
+        self._cluster = cluster
+        self._host_of = host_of_uri
+
+    def choose(self, uris: list[str]) -> str:
+        if not uris:
+            raise InvalidRequestError("no access URIs to choose from")
+        return min(
+            uris,
+            key=lambda uri: (
+                self._cluster.host(self._host_of(uri)).run_queue_length,
+                uris.index(uri),
+            ),
+        )
+
+
+#: policies that require the constraint resolver attached registry-side
+REGISTRY_BALANCED_POLICIES = frozenset({"constraint-lb", "constraint-lb-random"})
+
+#: policies needing direct cluster visibility (wired specially by the harness)
+ORACLE_POLICIES = frozenset({"oracle-lb"})
+
+
+def make_policy(name: str, *, seed: int | None = None) -> SelectionPolicy:
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise InvalidRequestError(
+            f"unknown policy {name!r}; choose from {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,102 @@
+"""MTC workload generation.
+
+Many-Task Computing (thesis §3.1) issues large numbers of short tasks whose
+"primary metrics are measured in seconds".  The generator produces a
+deterministic arrival schedule: Poisson (exponential inter-arrival) or
+uniform arrivals, with task service demand and memory footprint drawn from
+configurable distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim.task import Task
+from repro.util.errors import InvalidRequestError
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A 1-D random variate spec: kind ∈ {fixed, uniform, exponential, lognormal}."""
+
+    kind: str
+    a: float  # fixed value / low / mean / mu
+    b: float = 0.0  # high / sigma
+
+    def sample(self, rng: random.Random) -> float:
+        if self.kind == "fixed":
+            return self.a
+        if self.kind == "uniform":
+            return rng.uniform(self.a, self.b)
+        if self.kind == "exponential":
+            return rng.expovariate(1.0 / self.a)
+        if self.kind == "lognormal":
+            return rng.lognormvariate(self.a, self.b)
+        raise InvalidRequestError(f"unknown distribution kind: {self.kind!r}")
+
+    @classmethod
+    def fixed(cls, value: float) -> "Distribution":
+        return cls("fixed", value)
+
+    @classmethod
+    def uniform(cls, low: float, high: float) -> "Distribution":
+        return cls("uniform", low, high)
+
+    @classmethod
+    def exponential(cls, mean: float) -> "Distribution":
+        return cls("exponential", mean)
+
+    @classmethod
+    def lognormal(cls, mu: float, sigma: float) -> "Distribution":
+        return cls("lognormal", mu, sigma)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one MTC workload."""
+
+    #: mean tasks per second (Poisson arrivals)
+    arrival_rate: float
+    #: processor seconds demanded by each task
+    cpu_seconds: Distribution = field(default_factory=lambda: Distribution.fixed(5.0))
+    #: bytes held while running
+    memory: Distribution = field(default_factory=lambda: Distribution.fixed(256 << 20))
+    #: "poisson" or "uniform" arrival process
+    arrivals: str = "poisson"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    time: float
+    task: Task
+
+
+def generate_workload(spec: WorkloadSpec, *, duration: float) -> list[Arrival]:
+    """Generate the full arrival schedule for [0, duration)."""
+    if duration <= 0:
+        raise InvalidRequestError("workload duration must be positive")
+    if spec.arrival_rate <= 0:
+        raise InvalidRequestError("arrival rate must be positive")
+    rng = random.Random(spec.seed)
+    arrivals: list[Arrival] = []
+    time = 0.0
+    index = 0
+    while True:
+        if spec.arrivals == "poisson":
+            time += rng.expovariate(spec.arrival_rate)
+        elif spec.arrivals == "uniform":
+            time += 1.0 / spec.arrival_rate
+        else:
+            raise InvalidRequestError(f"unknown arrival process: {spec.arrivals!r}")
+        if time >= duration:
+            break
+        index += 1
+        cpu = max(0.01, spec.cpu_seconds.sample(rng))
+        memory = max(0, int(spec.memory.sample(rng)))
+        arrivals.append(
+            Arrival(time=time, task=Task(cpu_seconds=cpu, memory=memory, name=f"mtc-{index}"))
+        )
+    return arrivals

@@ -1,0 +1,33 @@
+"""Persistence substrate: in-memory datastore, tables, DAO layer, NodeState.
+
+Replaces freebXML's Apache-Derby-backed ``SQLPersistenceManagerImpl`` with an
+in-memory equivalent that preserves the behaviours the registry relies on:
+per-request transactions, primary-key uniqueness, per-class DAO access, and
+the load-balancing scheme's ``NodeState`` table.
+"""
+
+from repro.persistence.datastore import DataStore
+from repro.persistence.dao import (
+    BindingResolver,
+    DAORegistry,
+    DefaultBindingResolver,
+    GenericDAO,
+    ServiceBindingDAO,
+    ServiceDAO,
+)
+from repro.persistence.nodestate import NODESTATE_TABLE, NodeSample, NodeStateStore
+from repro.persistence.table import Table
+
+__all__ = [
+    "DataStore",
+    "BindingResolver",
+    "DAORegistry",
+    "DefaultBindingResolver",
+    "GenericDAO",
+    "ServiceBindingDAO",
+    "ServiceDAO",
+    "NODESTATE_TABLE",
+    "NodeSample",
+    "NodeStateStore",
+    "Table",
+]

@@ -1,0 +1,171 @@
+"""The registry's persistent store: object heap + relational tables + transactions.
+
+freebXML persists ebRIM objects through ``SQLPersistenceManagerImpl`` over
+JDBC; here a :class:`DataStore` provides the same contract in memory:
+
+* an **object heap** keyed by registry-object id, partitioned by type so the
+  SQL-92 engine can treat each ebRIM class as a virtual table;
+* named relational :class:`~repro.persistence.table.Table` instances for the
+  genuinely tabular state (``NodeState``, repository items);
+* per-request **transactions** with commit/rollback, giving the ACID-at-
+  request-granularity behaviour the registry needs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.persistence.table import Row, Table
+from repro.rim.base import RegistryObject
+from repro.util.errors import (
+    InvalidRequestError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+)
+
+
+class DataStore:
+    """In-memory persistence for one registry instance."""
+
+    def __init__(self) -> None:
+        #: id → stored object (the store owns these; accessors get copies)
+        self._objects: dict[str, RegistryObject] = {}
+        #: type name → set of ids (virtual-table partitions)
+        self._by_type: dict[str, set[str]] = {}
+        self._tables: dict[str, Table] = {}
+        self._txn_depth = 0
+        self._txn_object_snapshot: dict[str, RegistryObject] | None = None
+        self._txn_table_snapshots: dict[str, dict[Any, Row]] | None = None
+
+    # -- relational tables ---------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[str],
+        *,
+        primary_key: str,
+        indexes: list[str] | None = None,
+    ) -> Table:
+        if name in self._tables:
+            raise InvalidRequestError(f"table already exists: {name!r}")
+        table = Table(name, columns, primary_key=primary_key, indexes=indexes or ())
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ObjectNotFoundError(name, f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- object heap ---------------------------------------------------------
+
+    def insert_object(self, obj: RegistryObject) -> None:
+        if obj.id in self._objects:
+            raise ObjectExistsError(obj.id)
+        self._objects[obj.id] = obj.copy()
+        self._by_type.setdefault(obj.type_name, set()).add(obj.id)
+
+    def save_object(self, obj: RegistryObject) -> None:
+        """Insert-or-replace; type changes for an existing id are rejected."""
+        existing = self._objects.get(obj.id)
+        if existing is not None and type(existing) is not type(obj):
+            raise InvalidRequestError(
+                f"object {obj.id} cannot change type "
+                f"{existing.type_name} → {obj.type_name}"
+            )
+        self._objects[obj.id] = obj.copy()
+        self._by_type.setdefault(obj.type_name, set()).add(obj.id)
+
+    def get_object(self, object_id: str) -> RegistryObject | None:
+        obj = self._objects.get(object_id)
+        return obj.copy() if obj is not None else None
+
+    def require_object(self, object_id: str) -> RegistryObject:
+        obj = self.get_object(object_id)
+        if obj is None:
+            raise ObjectNotFoundError(object_id)
+        return obj
+
+    def delete_object(self, object_id: str) -> None:
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise ObjectNotFoundError(object_id)
+        self._by_type.get(obj.type_name, set()).discard(object_id)
+
+    def contains(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def objects_of_type(self, type_name: str) -> list[RegistryObject]:
+        """All stored objects of one ebRIM class (copies), in id order."""
+        ids = sorted(self._by_type.get(type_name, ()))
+        return [self._objects[i].copy() for i in ids]
+
+    def select_objects(
+        self,
+        type_name: str,
+        predicate: Callable[[RegistryObject], bool] | None = None,
+    ) -> list[RegistryObject]:
+        objs = self.objects_of_type(type_name)
+        if predicate is None:
+            return objs
+        return [o for o in objs if predicate(o)]
+
+    def all_ids(self) -> list[str]:
+        return sorted(self._objects)
+
+    def count(self, type_name: str | None = None) -> int:
+        if type_name is None:
+            return len(self._objects)
+        return len(self._by_type.get(type_name, ()))
+
+    def type_names(self) -> list[str]:
+        return sorted(name for name, ids in self._by_type.items() if ids)
+
+    # -- transactions ----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["DataStore"]:
+        """Commit on success, roll back object heap *and* tables on error.
+
+        Nested transactions join the outermost one (savepoints are not
+        needed by the registry's request granularity).
+        """
+        if self._txn_depth == 0:
+            self._txn_object_snapshot = {
+                oid: obj.copy() for oid, obj in self._objects.items()
+            }
+            self._txn_table_snapshots = {
+                name: table.snapshot() for name, table in self._tables.items()
+            }
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._txn_object_snapshot = None
+                self._txn_table_snapshots = None
+
+    def _rollback(self) -> None:
+        assert self._txn_object_snapshot is not None
+        assert self._txn_table_snapshots is not None
+        self._objects = self._txn_object_snapshot
+        self._by_type = {}
+        for oid, obj in self._objects.items():
+            self._by_type.setdefault(obj.type_name, set()).add(oid)
+        for name, snapshot in self._txn_table_snapshots.items():
+            if name in self._tables:
+                self._tables[name].restore(snapshot)
+        self._txn_object_snapshot = None
+        self._txn_table_snapshots = None

@@ -1,0 +1,93 @@
+"""The NodeState table — the load-balancing scheme's monitoring store.
+
+Thesis Figure 3.2: ``NodeState(HOST pk, LOAD, MEMORY, SWAPMEMORY)`` holds the
+most recent performance sample per monitored host.  We add an ``UPDATED``
+timestamp column (the registry needs it to age out dead hosts and it is what
+the staleness ablation LB-2 measures) — freebXML overwrote rows in place,
+which is exactly ``record_sample``'s upsert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.persistence.datastore import DataStore
+from repro.persistence.table import Table
+
+NODESTATE_TABLE = "NodeState"
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """One monitoring sample for one host.
+
+    ``load`` is the CPU load (run-queue length, like ``uptime``'s 1-minute
+    load average); ``memory`` and ``swap_memory`` are *available* bytes.
+    """
+
+    host: str
+    load: float
+    memory: int
+    swap_memory: int
+    updated: float
+
+    def as_row(self) -> dict:
+        return {
+            "HOST": self.host,
+            "LOAD": self.load,
+            "MEMORY": self.memory,
+            "SWAPMEMORY": self.swap_memory,
+            "UPDATED": self.updated,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "NodeSample":
+        return cls(
+            host=row["HOST"],
+            load=row["LOAD"],
+            memory=row["MEMORY"],
+            swap_memory=row["SWAPMEMORY"],
+            updated=row["UPDATED"],
+        )
+
+
+class NodeStateStore:
+    """Typed facade over the NodeState table."""
+
+    def __init__(self, store: DataStore) -> None:
+        if store.has_table(NODESTATE_TABLE):
+            self._table: Table = store.table(NODESTATE_TABLE)
+        else:
+            self._table = store.create_table(
+                NODESTATE_TABLE,
+                ["HOST", "LOAD", "MEMORY", "SWAPMEMORY", "UPDATED"],
+                primary_key="HOST",
+            )
+
+    def record_sample(self, sample: NodeSample) -> None:
+        """Store the latest sample for a host (overwrites the previous row)."""
+        self._table.upsert(sample.as_row())
+
+    def get(self, host: str) -> NodeSample | None:
+        row = self._table.get(host)
+        return NodeSample.from_row(row) if row is not None else None
+
+    def remove(self, host: str) -> None:
+        if host in self._table:
+            self._table.delete(host)
+
+    def hosts(self) -> list[str]:
+        return sorted(self._table.keys())
+
+    def all_samples(self) -> list[NodeSample]:
+        return [NodeSample.from_row(row) for row in self._table.select()]
+
+    def fresh_samples(self, *, now: float, max_age: float | None) -> list[NodeSample]:
+        """Samples no older than *max_age* seconds (all samples if None)."""
+        samples = self.all_samples()
+        if max_age is None:
+            return samples
+        return [s for s in samples if now - s.updated <= max_age]
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,182 @@
+"""An in-memory relational-style table.
+
+Replaces Apache Derby for this reproduction: each table has a schema (ordered
+column names), a primary key, optional secondary indexes, and predicate-based
+selects.  Rows are plain dicts; the table owns copies so callers can't mutate
+stored state behind its back.  The registry's metadata itself is stored as
+Python objects by the DAO layer — tables carry the *relational* pieces the
+thesis calls out explicitly (NodeState, audit rows) and back the SQL-92
+query engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.util.errors import InvalidRequestError, ObjectExistsError, ObjectNotFoundError
+
+Row = dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+class Table:
+    """A named table with a primary key and optional secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[str],
+        *,
+        primary_key: str,
+        indexes: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if primary_key not in self.columns:
+            raise InvalidRequestError(
+                f"primary key {primary_key!r} not among columns of table {name!r}"
+            )
+        self.primary_key = primary_key
+        self._rows: dict[Any, Row] = {}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        for column in indexes:
+            self.add_index(column)
+
+    # -- schema ----------------------------------------------------------
+
+    def add_index(self, column: str) -> None:
+        """Create a secondary (non-unique) index over *column*."""
+        if column not in self.columns:
+            raise InvalidRequestError(f"no column {column!r} in table {self.name!r}")
+        index: dict[Any, set[Any]] = {}
+        for key, row in self._rows.items():
+            index.setdefault(row.get(column), set()).add(key)
+        self._indexes[column] = index
+
+    def _check_row(self, row: Row) -> Row:
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        if self.primary_key not in row or row[self.primary_key] is None:
+            raise InvalidRequestError(
+                f"row for table {self.name!r} missing primary key {self.primary_key!r}"
+            )
+        # Normalize: absent columns become None.
+        return {column: row.get(column) for column in self.columns}
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, row: Row) -> None:
+        """Insert a new row; duplicate primary key raises ObjectExistsError."""
+        row = self._check_row(row)
+        key = row[self.primary_key]
+        if key in self._rows:
+            raise ObjectExistsError(str(key), f"duplicate key in {self.name!r}: {key!r}")
+        self._rows[key] = row
+        self._index_add(key, row)
+
+    def upsert(self, row: Row) -> bool:
+        """Insert-or-replace; returns True if a row was replaced."""
+        row = self._check_row(row)
+        key = row[self.primary_key]
+        existed = key in self._rows
+        if existed:
+            self._index_remove(key, self._rows[key])
+        self._rows[key] = row
+        self._index_add(key, row)
+        return existed
+
+    def update(self, key: Any, changes: Row) -> Row:
+        """Apply a partial update to the row with primary key *key*."""
+        if key not in self._rows:
+            raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
+        unknown = set(changes) - set(self.columns)
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        if changes.get(self.primary_key, key) != key:
+            raise InvalidRequestError("primary key updates are not supported")
+        old = self._rows[key]
+        self._index_remove(key, old)
+        new = {**old, **changes}
+        self._rows[key] = new
+        self._index_add(key, new)
+        return dict(new)
+
+    def delete(self, key: Any) -> None:
+        if key not in self._rows:
+            raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
+        self._index_remove(key, self._rows[key])
+        del self._rows[key]
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, key: Any) -> Row | None:
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def require(self, key: Any) -> Row:
+        row = self.get(key)
+        if row is None:
+            raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
+        return row
+
+    def select(self, predicate: Predicate | None = None) -> list[Row]:
+        """Return copies of all rows matching *predicate* (all rows if None)."""
+        if predicate is None:
+            return [dict(row) for row in self._rows.values()]
+        return [dict(row) for row in self._rows.values() if predicate(row)]
+
+    def select_eq(self, column: str, value: Any) -> list[Row]:
+        """Equality select, using the secondary index when one exists."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return [dict(self._rows[key]) for key in sorted(index.get(value, ()), key=str)]
+        return self.select(lambda row: row.get(column) == value)
+
+    def keys(self) -> list[Any]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter([dict(row) for row in self._rows.values()])
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    # -- snapshot support (transactions) ------------------------------------
+
+    def snapshot(self) -> dict[Any, Row]:
+        """Cheap copy of table state for transaction rollback."""
+        return {key: dict(row) for key, row in self._rows.items()}
+
+    def restore(self, snapshot: dict[Any, Row]) -> None:
+        self._rows = {key: dict(row) for key, row in snapshot.items()}
+        columns = list(self._indexes)
+        self._indexes.clear()
+        for column in columns:
+            self.add_index(column)
+
+    # -- index maintenance ---------------------------------------------------
+
+    def _index_add(self, key: Any, row: Row) -> None:
+        for column, index in self._indexes.items():
+            index.setdefault(row.get(column), set()).add(key)
+
+    def _index_remove(self, key: Any, row: Row) -> None:
+        for column, index in self._indexes.items():
+            bucket = index.get(row.get(column))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del index[row.get(column)]

@@ -1,0 +1,117 @@
+"""AST node types for the SQL-92 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Value = Union[str, float, int, None]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column reference, optionally qualified (``s.name`` → name)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Value
+
+
+Expr = Union[Column, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op ∈ {=, <>, <, <=, >, >=}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Like:
+    """``column LIKE pattern`` with SQL ``%``/``_`` wildcards."""
+
+    column: Column
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    column: Column
+    values: tuple[Value, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``column IN (SELECT single-column FROM …)`` — uncorrelated only.
+
+    The engine resolves the subquery once per statement and rewrites this
+    node into an :class:`InList` before row evaluation.
+    """
+
+    column: Column
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    column: Column
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    column: Column
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Predicate"
+    right: "Predicate"
+
+
+Predicate = Union[
+    Comparison, Like, InList, InSubquery, Between, IsNull, Not, And, Or
+]
+
+
+@dataclass(frozen=True)
+class OrderTerm:
+    column: Column
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A parsed SELECT statement."""
+
+    table: str
+    columns: tuple[str, ...] | None  # None means SELECT *
+    where: Predicate | None = None
+    order_by: tuple[OrderTerm, ...] = field(default_factory=tuple)
+    distinct: bool = False
+    limit: int | None = None
+    #: SELECT COUNT(*): result is one row {"count": n}
+    count: bool = False

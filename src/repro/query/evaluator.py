@@ -1,0 +1,250 @@
+"""Predicate evaluation and SELECT execution over the datastore.
+
+The engine executes a parsed :class:`~repro.query.ast.Select` against
+
+* the ebRIM **virtual tables** (one per RIM class, plus the
+  ``RegistryObject`` union view), or
+* any **relational table** in the datastore (``NodeState`` — the thesis'
+  LoadStatus class runs exactly such queries).
+
+SQL three-valued logic is approximated conservatively: comparisons against
+NULL are false, which matches how the registry's discovery queries use it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.persistence.datastore import DataStore
+from repro.query.ast import (
+    And,
+    Between,
+    Column,
+    Comparison,
+    Expr,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Select,
+)
+from repro.query.parser import parse_select
+from repro.query.virtual import VIRTUAL_TABLES, Row
+from repro.util.errors import QuerySyntaxError
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _coerce_pair(left: Any, right: Any) -> tuple[Any, Any]:
+    """Allow number-vs-numeric-string comparison, as SQL engines coerce."""
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        try:
+            return left, float(right)
+        except ValueError:
+            return left, right
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        try:
+            return float(left), right
+        except ValueError:
+            return left, right
+    return left, right
+
+
+def _value_of(expr: Expr, row: Row) -> Any:
+    if isinstance(expr, Column):
+        key = expr.name.lower()
+        if key not in row:
+            raise QuerySyntaxError(f"unknown column: {expr.name!r}")
+        return row[key]
+    return expr.value
+
+
+def like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern (% and _) to an anchored regex."""
+    out: list[str] = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def eval_predicate(predicate: Predicate, row: Row) -> bool:
+    """Evaluate one predicate against one row."""
+    if isinstance(predicate, Comparison):
+        left = _value_of(predicate.left, row)
+        right = _value_of(predicate.right, row)
+        if left is None or right is None:
+            return False
+        left, right = _coerce_pair(left, right)
+        try:
+            return _OPS[predicate.op](left, right)
+        except TypeError:
+            return False
+    if isinstance(predicate, Like):
+        value = _value_of(predicate.column, row)
+        if value is None:
+            return False
+        matched = bool(like_to_regex(predicate.pattern).match(str(value)))
+        return matched != predicate.negated
+    if isinstance(predicate, InList):
+        value = _value_of(predicate.column, row)
+        if value is None:
+            return False
+        found = value in predicate.values
+        return found != predicate.negated
+    if isinstance(predicate, Between):
+        value = _value_of(predicate.column, row)
+        low = _value_of(predicate.low, row)
+        high = _value_of(predicate.high, row)
+        if value is None or low is None or high is None:
+            return False
+        value, low = _coerce_pair(value, low)
+        value, high = _coerce_pair(value, high)
+        try:
+            inside = low <= value <= high
+        except TypeError:
+            return False
+        return inside != predicate.negated
+    if isinstance(predicate, IsNull):
+        value = _value_of(predicate.column, row)
+        return (value is None) != predicate.negated
+    if isinstance(predicate, Not):
+        return not eval_predicate(predicate.operand, row)
+    if isinstance(predicate, And):
+        return eval_predicate(predicate.left, row) and eval_predicate(
+            predicate.right, row
+        )
+    if isinstance(predicate, Or):
+        return eval_predicate(predicate.left, row) or eval_predicate(
+            predicate.right, row
+        )
+    raise QuerySyntaxError(f"unsupported predicate node: {predicate!r}")
+
+
+class QueryEngine:
+    """Executes SELECT statements against one datastore."""
+
+    def __init__(self, store: DataStore) -> None:
+        self.store = store
+
+    # -- row sources -----------------------------------------------------------
+
+    def _rows_for_table(self, table_name: str) -> list[Row]:
+        key = table_name.lower()
+        if key in VIRTUAL_TABLES:
+            type_name, project = VIRTUAL_TABLES[key]
+            if type_name == "*":
+                rows: list[Row] = []
+                for tname in self.store.type_names():
+                    rows.extend(project(obj) for obj in self.store.objects_of_type(tname))
+                return rows
+            return [project(obj) for obj in self.store.objects_of_type(type_name)]
+        if self.store.has_table(table_name):
+            # relational tables keep their declared (upper-case) column names;
+            # expose both original and lower-case keys for predicate access.
+            out = []
+            for row in self.store.table(table_name).select():
+                merged = dict(row)
+                merged.update({k.lower(): v for k, v in row.items()})
+                out.append(merged)
+            return out
+        raise QuerySyntaxError(f"unknown table: {table_name!r}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, query: str | Select) -> list[Row]:
+        """Run a query, returning projected rows."""
+        select = parse_select(query) if isinstance(query, str) else query
+        rows = self._rows_for_table(select.table)
+        where = (
+            self._resolve_subqueries(select.where)
+            if select.where is not None
+            else None
+        )
+        if where is not None:
+            rows = [row for row in rows if eval_predicate(where, row)]
+        if select.count:
+            return [{"count": len(rows)}]
+        if select.order_by:
+            # apply terms right-to-left for stable multi-key ordering
+            for term in reversed(select.order_by):
+                key = term.column.name.lower()
+                rows.sort(
+                    key=lambda row: (row.get(key) is None, row.get(key)),
+                    reverse=term.descending,
+                )
+        else:
+            rows.sort(key=lambda row: str(row.get("id", "")))
+        if select.columns is not None:
+            projected = []
+            for row in rows:
+                out: Row = {}
+                for name in select.columns:
+                    key = name.lower()
+                    if key not in row:
+                        raise QuerySyntaxError(f"unknown column: {name!r}")
+                    out[name] = row[key]
+                projected.append(out)
+            rows = projected
+        if select.distinct:
+            seen: set[tuple] = set()
+            unique: list[Row] = []
+            for row in rows:
+                signature = tuple(sorted((k, repr(v)) for k, v in row.items()))
+                if signature not in seen:
+                    seen.add(signature)
+                    unique.append(row)
+            rows = unique
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return rows
+
+    def _resolve_subqueries(self, predicate: Predicate) -> Predicate:
+        """Rewrite InSubquery nodes into InList by running the subqueries.
+
+        Subqueries are uncorrelated (no access to the outer row), so one
+        execution per statement suffices.
+        """
+        if isinstance(predicate, InSubquery):
+            sub_rows = self.execute(predicate.subquery)
+            column = predicate.subquery.columns[0]  # validated by the parser
+            values = tuple(
+                row[column] for row in sub_rows if row.get(column) is not None
+            )
+            return InList(
+                column=predicate.column, values=values, negated=predicate.negated
+            )
+        if isinstance(predicate, Not):
+            return Not(self._resolve_subqueries(predicate.operand))
+        if isinstance(predicate, And):
+            return And(
+                self._resolve_subqueries(predicate.left),
+                self._resolve_subqueries(predicate.right),
+            )
+        if isinstance(predicate, Or):
+            return Or(
+                self._resolve_subqueries(predicate.left),
+                self._resolve_subqueries(predicate.right),
+            )
+        return predicate
+
+    def execute_ids(self, query: str | Select) -> list[str]:
+        """Run a query and return the ``id`` column (object discovery helper)."""
+        rows = self.execute(query)
+        return [row["id"] for row in rows if "id" in row and row["id"] is not None]

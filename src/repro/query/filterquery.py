@@ -1,0 +1,106 @@
+"""XML Filter Query — the second AdhocQuery syntax (discouraged but supported).
+
+freebXML supports ebRS XML filter queries alongside SQL (thesis §2.2.3:
+"XML Filter Query syntax (discouraged, used rarely)").  A filter query names
+a target RIM class and nests clauses; this implementation covers the shape
+the registry actually receives::
+
+    <FilterQuery target="Service">
+      <Clause leftArgument="name" logicalPredicate="Equal" rightArgument="NodeStatus"/>
+      <Or>
+        <Clause leftArgument="status" logicalPredicate="Equal" rightArgument="Approved"/>
+        <Clause leftArgument="name" logicalPredicate="StartsWith" rightArgument="Demo"/>
+      </Or>
+    </FilterQuery>
+
+Top-level clauses AND together; ``<And>``/``<Or>``/``<Not>`` nest.  The
+translation target is the SQL AST, so both syntaxes share one evaluator.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.query.ast import (
+    And,
+    Column,
+    Comparison,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Select,
+)
+from repro.util.errors import QuerySyntaxError
+from repro.util.xmlutil import parse_xml
+
+#: logicalPredicate attribute → builder(column, value)
+_PREDICATES = {
+    "Equal": lambda col, val: Comparison("=", Column(col), Literal(val)),
+    "NotEqual": lambda col, val: Comparison("<>", Column(col), Literal(val)),
+    "LessThan": lambda col, val: Comparison("<", Column(col), Literal(val)),
+    "LessOrEqual": lambda col, val: Comparison("<=", Column(col), Literal(val)),
+    "GreaterThan": lambda col, val: Comparison(">", Column(col), Literal(val)),
+    "GreaterOrEqual": lambda col, val: Comparison(">=", Column(col), Literal(val)),
+    "Like": lambda col, val: Like(Column(col), str(val)),
+    "StartsWith": lambda col, val: Like(Column(col), str(val) + "%"),
+    "EndsWith": lambda col, val: Like(Column(col), "%" + str(val)),
+    "Contains": lambda col, val: Like(Column(col), "%" + str(val) + "%"),
+}
+
+
+def _coerce(value: str) -> str | int | float:
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+
+def _parse_clause(element: ET.Element) -> Predicate:
+    tag = element.tag
+    if tag == "Clause":
+        column = element.get("leftArgument")
+        predicate_name = element.get("logicalPredicate")
+        right = element.get("rightArgument")
+        if not column or not predicate_name or right is None:
+            raise QuerySyntaxError(
+                "Clause requires leftArgument, logicalPredicate, rightArgument"
+            )
+        builder = _PREDICATES.get(predicate_name)
+        if builder is None:
+            raise QuerySyntaxError(f"unknown logicalPredicate: {predicate_name!r}")
+        return builder(column, _coerce(right))
+    if tag in ("And", "Or"):
+        children = [_parse_clause(child) for child in element]
+        if len(children) < 2:
+            raise QuerySyntaxError(f"<{tag}> requires at least two children")
+        combiner = And if tag == "And" else Or
+        result = children[0]
+        for child in children[1:]:
+            result = combiner(result, child)
+        return result
+    if tag == "Not":
+        children = [_parse_clause(child) for child in element]
+        if len(children) != 1:
+            raise QuerySyntaxError("<Not> requires exactly one child")
+        return Not(children[0])
+    raise QuerySyntaxError(f"unknown filter-query element: <{tag}>")
+
+
+def parse_filter_query(xml_text: str) -> Select:
+    """Translate a FilterQuery document into a ``SELECT * FROM target``."""
+    root = parse_xml(xml_text, what="filter query")
+    if root.tag != "FilterQuery":
+        raise QuerySyntaxError("filter query root element must be <FilterQuery>")
+    target = root.get("target")
+    if not target:
+        raise QuerySyntaxError("<FilterQuery> requires a target attribute")
+    clauses = [_parse_clause(child) for child in root]
+    where: Predicate | None = None
+    for clause in clauses:
+        where = clause if where is None else And(where, clause)
+    return Select(table=target, columns=None, where=where)

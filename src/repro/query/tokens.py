@@ -1,0 +1,119 @@
+"""Tokenizer for the SQL-92 subset accepted by the AdhocQuery engine.
+
+freebXML's preferred AdhocQuery syntax is SQL-92 over the ebRIM virtual
+tables (thesis §2.2.3).  This tokenizer covers the slice the registry
+actually uses: SELECT statements with comparison/LIKE/IN/BETWEEN/NULL
+predicates, boolean connectives, parentheses, and ORDER BY.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import QuerySyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "LIKE",
+    "IN",
+    "IS",
+    "NULL",
+    "BETWEEN",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "DISTINCT",
+    "LIMIT",
+    "COUNT",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    STAR = "*"
+    DOT = "."
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<operator><>|<=|>=|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<star>\*)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query string, raising QuerySyntaxError on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r}", position=pos
+            )
+        if match.lastgroup == "ws":
+            pos = match.end()
+            continue
+        value = match.group()
+        if match.lastgroup == "string":
+            # strip quotes, unescape doubled quotes
+            tokens.append(
+                Token(TokenType.STRING, value[1:-1].replace("''", "'"), pos)
+            )
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenType.NUMBER, value, pos))
+        elif match.lastgroup == "operator":
+            tokens.append(Token(TokenType.OPERATOR, value, pos))
+        elif match.lastgroup == "lparen":
+            tokens.append(Token(TokenType.LPAREN, value, pos))
+        elif match.lastgroup == "rparen":
+            tokens.append(Token(TokenType.RPAREN, value, pos))
+        elif match.lastgroup == "comma":
+            tokens.append(Token(TokenType.COMMA, value, pos))
+        elif match.lastgroup == "star":
+            tokens.append(Token(TokenType.STAR, value, pos))
+        else:  # word
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenType.IDENT, value, pos))
+        pos = match.end()
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

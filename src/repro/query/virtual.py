@@ -1,0 +1,232 @@
+"""Virtual tables: ebRIM classes exposed as relational rows for SQL queries.
+
+freebXML ships a normative SQL schema in which each ebRIM class is a table.
+Here each class maps to a row-projection function; the evaluator runs
+predicates over those rows.  Column names follow the freebXML schema
+conventions (lower-case, e.g. ``id``, ``name_``, ``description``), with
+pragmatic aliases so queries can say either ``name`` or ``name_``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.rim import (
+    AdhocQuery,
+    Association,
+    AuditableEvent,
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+    ExternalIdentifier,
+    ExternalLink,
+    ExtrinsicObject,
+    Organization,
+    RegistryObject,
+    RegistryPackage,
+    Service,
+    ServiceBinding,
+    SpecificationLink,
+    Subscription,
+    User,
+)
+
+Row = dict[str, Any]
+
+
+def _base_row(obj: RegistryObject) -> Row:
+    row: Row = {
+        "id": obj.id,
+        "lid": obj.lid,
+        "name": obj.name.value,
+        "name_": obj.name.value,
+        "description": obj.description.value,
+        "status": obj.status.value,
+        "objecttype": obj.object_type,
+        "owner": obj.owner,
+        "versionname": obj.version.version_name,
+        "home": obj.home,
+    }
+    return row
+
+
+def _organization_row(obj: Organization) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "parent": obj.parent,
+            "primarycontact": obj.primary_contact,
+            "city": obj.addresses[0].city if obj.addresses else None,
+            "country": obj.addresses[0].country if obj.addresses else None,
+        }
+    )
+    return row
+
+
+def _service_row(obj: Service) -> Row:
+    row = _base_row(obj)
+    row["provider"] = obj.provider
+    return row
+
+
+def _binding_row(obj: ServiceBinding) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "service": obj.service,
+            "accessuri": obj.access_uri,
+            "targetbinding": obj.target_binding,
+            "host": obj.host,
+        }
+    )
+    return row
+
+
+def _association_row(obj: Association) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "sourceobject": obj.source_object,
+            "targetobject": obj.target_object,
+            "associationtype": obj.association_type.value,
+        }
+    )
+    return row
+
+
+def _classification_row(obj: Classification) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "classifiedobject": obj.classified_object,
+            "classificationnode": obj.classification_node,
+            "classificationscheme": obj.classification_scheme,
+            "noderepresentation": obj.node_representation,
+        }
+    )
+    return row
+
+
+def _node_row(obj: ClassificationNode) -> Row:
+    row = _base_row(obj)
+    row.update({"code": obj.code, "parent": obj.parent, "path": obj.path})
+    return row
+
+
+def _scheme_row(obj: ClassificationScheme) -> Row:
+    row = _base_row(obj)
+    row.update({"isinternal": obj.is_internal, "nodetype": obj.node_type})
+    return row
+
+
+def _external_identifier_row(obj: ExternalIdentifier) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "registryobject": obj.registry_object,
+            "identificationscheme": obj.identification_scheme,
+            "value": obj.value,
+        }
+    )
+    return row
+
+
+def _external_link_row(obj: ExternalLink) -> Row:
+    row = _base_row(obj)
+    row["externaluri"] = obj.external_uri
+    return row
+
+
+def _extrinsic_row(obj: ExtrinsicObject) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "mimetype": obj.mime_type,
+            "isopaque": obj.is_opaque,
+            "contentversion": obj.content_version,
+        }
+    )
+    return row
+
+
+def _user_row(obj: User) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "alias": obj.alias,
+            "firstname": obj.person_name.first_name,
+            "lastname": obj.person_name.last_name,
+            "organization": obj.organization,
+        }
+    )
+    return row
+
+
+def _event_row(obj: AuditableEvent) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "eventtype": obj.event_type.value,
+            "affectedobject": obj.affected_object,
+            "user_": obj.user_id,
+            "timestamp_": obj.timestamp,
+        }
+    )
+    return row
+
+
+def _package_row(obj: RegistryPackage) -> Row:
+    return _base_row(obj)
+
+
+def _speclink_row(obj: SpecificationLink) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "servicebinding": obj.service_binding,
+            "specificationobject": obj.specification_object,
+        }
+    )
+    return row
+
+
+def _adhoc_row(obj: AdhocQuery) -> Row:
+    row = _base_row(obj)
+    row.update({"query": obj.query, "querylanguage": obj.query_language})
+    return row
+
+
+def _subscription_row(obj: Subscription) -> Row:
+    row = _base_row(obj)
+    row.update(
+        {
+            "selector": obj.selector,
+            "starttime": obj.start_time,
+            "endtime": obj.end_time,
+        }
+    )
+    return row
+
+
+#: canonical-table-name (lower case) → (RIM class name, projection)
+VIRTUAL_TABLES: dict[str, tuple[str, Callable[[Any], Row]]] = {
+    "organization": ("Organization", _organization_row),
+    "service": ("Service", _service_row),
+    "servicebinding": ("ServiceBinding", _binding_row),
+    "association": ("Association", _association_row),
+    "classification": ("Classification", _classification_row),
+    "classificationnode": ("ClassificationNode", _node_row),
+    "classificationscheme": ("ClassificationScheme", _scheme_row),
+    "externalidentifier": ("ExternalIdentifier", _external_identifier_row),
+    "externallink": ("ExternalLink", _external_link_row),
+    "extrinsicobject": ("ExtrinsicObject", _extrinsic_row),
+    "user_": ("User", _user_row),
+    "user": ("User", _user_row),
+    "auditableevent": ("AuditableEvent", _event_row),
+    "registrypackage": ("RegistryPackage", _package_row),
+    "specificationlink": ("SpecificationLink", _speclink_row),
+    "adhocquery": ("AdhocQuery", _adhoc_row),
+    "subscription": ("Subscription", _subscription_row),
+    # RegistryObject is the union view over every class
+    "registryobject": ("*", _base_row),
+}

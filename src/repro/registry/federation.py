@@ -1,0 +1,91 @@
+"""Registry federation: federated queries and cross-registry references.
+
+Table 1.1 credits ebXML registries with *federated queries* and *object
+references between registries* (UDDI only replicates wholesale).  A
+:class:`RegistryFederation` groups member registries: a federated query fans
+out to every member and merges results tagged with the home registry;
+``resolve`` follows an object reference to whichever member holds it; and
+``replicate`` performs the selective replication ebRS allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.registry.server import RegistryServer
+from repro.rim import RegistryObject
+from repro.security.authn import Session
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class FederatedRow:
+    """One federated query result row, tagged with its home registry."""
+
+    home: str
+    row: dict[str, Any]
+
+
+class RegistryFederation:
+    """A named group of cooperating registries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._members: dict[str, RegistryServer] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def join(self, registry: RegistryServer) -> None:
+        if registry.home in self._members:
+            raise InvalidRequestError(f"registry already federated: {registry.home}")
+        self._members[registry.home] = registry
+
+    def leave(self, registry: RegistryServer) -> None:
+        self._members.pop(registry.home, None)
+
+    def members(self) -> list[RegistryServer]:
+        return [self._members[home] for home in sorted(self._members)]
+
+    # -- federated query ----------------------------------------------------------
+
+    def federated_query(self, query: str) -> list[FederatedRow]:
+        """Run one SQL query against every member, merging tagged results."""
+        out: list[FederatedRow] = []
+        for registry in self.members():
+            response = registry.qm.execute_adhoc_query(query)
+            out.extend(FederatedRow(home=registry.home, row=row) for row in response.rows)
+        return out
+
+    # -- cross-registry object references ----------------------------------------------
+
+    def resolve(self, object_id: str) -> tuple[RegistryServer, RegistryObject]:
+        """Find which member holds *object_id* and return (registry, object)."""
+        for registry in self.members():
+            obj = registry.store.get_object(object_id)
+            if obj is not None:
+                return registry, obj
+        raise ObjectNotFoundError(object_id, "object not found in any federated registry")
+
+    # -- selective replication ------------------------------------------------------------
+
+    def replicate(
+        self,
+        object_id: str,
+        *,
+        to: RegistryServer,
+        session: Session,
+    ) -> RegistryObject:
+        """Copy one object (selective replication) into registry *to*.
+
+        The replica keeps the source ``home`` so consumers can tell it is a
+        replica, per ebRS replication semantics.
+        """
+        source, obj = self.resolve(object_id)
+        if to.home == source.home:
+            raise InvalidRequestError("cannot replicate an object onto its home registry")
+        replica = obj.copy()
+        replica.home = source.home
+        replica.owner = None
+        to.lcm.submit_objects(session, [replica])
+        return to.store.get_object(replica.id)  # type: ignore[return-value]

@@ -1,0 +1,375 @@
+"""LifeCycleManager — the write half of the ebXML Registry Service.
+
+Implements the ebRS request protocols the thesis exercises (Figure 2.4,
+Table 1.6): SubmitObjects, UpdateObjects, ApproveObjects, DeprecateObjects,
+UndeprecateObjects, RemoveObjects, RelocateObjects, AddSlots, RemoveSlots.
+
+Every method:
+
+1. requires an authenticated session (unauthenticated LCM access is an
+   error, per §1.3.2.4);
+2. authorizes through the XACML-lite PDP (owners may write their objects;
+   admins anything);
+3. runs inside a datastore transaction (a failed request leaves no partial
+   state);
+4. appends AuditableEvents and publishes them on the event bus for the
+   subscription/notification subsystem.
+
+Cascade semantics reproduce the thesis exactly: deleting an Organization
+deletes its offered Services (§3.4.4.2 — "Once an organization is deleted,
+all the services that are associated with it are also deleted"), deleting a
+Service deletes its ServiceBindings, and dangling Associations are removed
+with either endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.persistence.dao import DAORegistry
+from repro.rim import (
+    Association,
+    AssociationType,
+    AuditableEvent,
+    Classification,
+    EventType,
+    Organization,
+    RegistryObject,
+    Service,
+    ServiceBinding,
+    Slot,
+)
+from repro.rim.status import check_transition
+from repro.security.authn import Session
+from repro.security.xacml import PolicyDecisionPoint, Request
+from repro.util.clock import Clock
+from repro.util.errors import (
+    AuthorizationError,
+    InvalidRequestError,
+    ObjectNotFoundError,
+)
+from repro.util.ids import IdFactory
+
+EventListener = Callable[[AuditableEvent], None]
+
+
+class LifeCycleManager:
+    """Object life-cycle management for one registry instance."""
+
+    def __init__(
+        self,
+        daos: DAORegistry,
+        *,
+        pdp: PolicyDecisionPoint,
+        clock: Clock,
+        ids: IdFactory,
+        home: str | None = None,
+    ) -> None:
+        self.daos = daos
+        self.pdp = pdp
+        self.clock = clock
+        self.ids = ids
+        self.home = home
+        self._listeners: list[EventListener] = []
+        self._event_sequence = 0
+        from repro.registry.versioning import VersionHistory
+
+        self.versions = VersionHistory()
+
+    # -- event bus ----------------------------------------------------------
+
+    def add_event_listener(self, listener: EventListener) -> None:
+        self._listeners.append(listener)
+
+    def _audit(
+        self, session: Session, event_type: EventType, object_id: str
+    ) -> AuditableEvent:
+        self._event_sequence += 1
+        event = AuditableEvent(
+            self.ids.new_id(),
+            event_type=event_type,
+            affected_object=object_id,
+            user_id=session.user_id,
+            timestamp=self.clock.now(),
+        )
+        event.sequence = self._event_sequence
+        event.owner = session.user_id
+        self.daos.events.insert(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    # -- authorization ---------------------------------------------------------
+
+    def _authorize(self, session: Session, action: str, obj: RegistryObject) -> None:
+        request = Request(
+            subject={"id": session.user_id, "roles": session.roles, "alias": session.alias},
+            resource={"id": obj.id, "owner": obj.owner, "type": obj.type_name},
+            action=action,
+        )
+        if not self.pdp.is_permitted(request):
+            raise AuthorizationError(
+                f"user {session.alias!r} may not {action} {obj.type_name} {obj.id}"
+            )
+
+    # -- submitObjects -----------------------------------------------------------
+
+    def submit_objects(
+        self, session: Session, objects: Sequence[RegistryObject]
+    ) -> list[str]:
+        """Publish new objects (ebRS SubmitObjectsRequest). Returns their ids."""
+        if not objects:
+            raise InvalidRequestError("submitObjects requires at least one object")
+        with self.daos.store.transaction():
+            submitted: list[str] = []
+            for obj in objects:
+                obj.owner = obj.owner or session.user_id
+                obj.home = obj.home or self.home
+                self._authorize(session, "create", obj)
+                self.daos.dao_for(obj).insert(obj)
+                self._post_insert(session, obj)
+                self._audit(session, EventType.CREATED, obj.id)
+                submitted.append(obj.id)
+            return submitted
+
+    def _post_insert(self, session: Session, obj: RegistryObject) -> None:
+        """Maintain the cached cross-references the DAOs rely on."""
+        if isinstance(obj, ServiceBinding):
+            service = self.daos.services.get(obj.service)
+            if service is None:
+                raise ObjectNotFoundError(obj.service, "binding references missing service")
+            if obj.id not in service.binding_ids:
+                service.add_binding(obj.id)
+                self.daos.services.save(service)
+        elif isinstance(obj, Association):
+            self._apply_association(obj)
+        elif isinstance(obj, Classification):
+            target = self.daos.store.get_object(obj.classified_object)
+            if target is None:
+                raise ObjectNotFoundError(
+                    obj.classified_object, "classification references missing object"
+                )
+            if obj.id not in target.classification_ids:
+                target.classification_ids.append(obj.id)
+                self.daos.store.save_object(target)
+
+    def _apply_association(self, assoc: Association) -> None:
+        source = self.daos.store.get_object(assoc.source_object)
+        target = self.daos.store.get_object(assoc.target_object)
+        if source is None or target is None:
+            missing = assoc.source_object if source is None else assoc.target_object
+            raise ObjectNotFoundError(missing, "association endpoint missing")
+        # auto-confirm when the same user owns both endpoints (ebRS rule);
+        # the store already holds a copy, so persist the flag change
+        if source.owner == target.owner:
+            assoc.confirmed_by_source = True
+            assoc.confirmed_by_target = True
+            self.daos.associations.save(assoc)
+        if (
+            assoc.association_type is AssociationType.OFFERS_SERVICE
+            and isinstance(source, Organization)
+            and isinstance(target, Service)
+        ):
+            # a service belongs to exactly one providing organization (the
+            # AccessRegistry model: services live under their parent org)
+            if target.provider is not None and target.provider != source.id:
+                raise InvalidRequestError(
+                    f"service {target.id} is already offered by organization "
+                    f"{target.provider}"
+                )
+            source.add_service(target.id)
+            self.daos.organizations.save(source)
+            target.provider = source.id
+            self.daos.services.save(target)
+        if assoc.association_type is AssociationType.HAS_MEMBER:
+            package = self.daos.packages.get(assoc.source_object)
+            if package is not None:
+                package.add_member(assoc.target_object)
+                self.daos.packages.save(package)
+
+    # -- updateObjects ------------------------------------------------------------
+
+    def update_objects(
+        self, session: Session, objects: Sequence[RegistryObject]
+    ) -> list[str]:
+        """Replace existing objects, bumping their version (UpdateObjectsRequest)."""
+        if not objects:
+            raise InvalidRequestError("updateObjects requires at least one object")
+        with self.daos.store.transaction():
+            updated: list[str] = []
+            for obj in objects:
+                current = self.daos.store.get_object(obj.id)
+                if current is None:
+                    raise ObjectNotFoundError(obj.id)
+                self._authorize(session, "update", current)
+                self.versions.retain(current, at=self.clock.now())
+                obj.owner = current.owner
+                obj.status = current.status
+                obj.version = current.version.next()
+                self.daos.dao_for(obj).save(obj)
+                self._audit(session, EventType.UPDATED, obj.id)
+                updated.append(obj.id)
+            return updated
+
+    # -- status transitions ----------------------------------------------------------
+
+    def approve_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
+        return self._transition(session, ids, "approve", EventType.APPROVED)
+
+    def deprecate_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
+        return self._transition(session, ids, "deprecate", EventType.DEPRECATED)
+
+    def undeprecate_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
+        return self._transition(session, ids, "undeprecate", EventType.UNDEPRECATED)
+
+    def _transition(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        verb: str,
+        event_type: EventType,
+    ) -> list[str]:
+        ids = list(ids)
+        if not ids:
+            raise InvalidRequestError(f"{verb}Objects requires at least one id")
+        with self.daos.store.transaction():
+            changed: list[str] = []
+            for object_id in ids:
+                obj = self.daos.store.get_object(object_id)
+                if obj is None:
+                    raise ObjectNotFoundError(object_id)
+                self._authorize(session, verb, obj)
+                obj.status = check_transition(verb, obj.status)
+                self.daos.store.save_object(obj)
+                self._audit(session, event_type, object_id)
+                changed.append(object_id)
+            return changed
+
+    # -- removeObjects -----------------------------------------------------------------
+
+    def remove_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
+        """Delete objects with thesis cascade semantics. Returns all removed ids."""
+        ids = list(ids)
+        if not ids:
+            raise InvalidRequestError("removeObjects requires at least one id")
+        with self.daos.store.transaction():
+            removed: list[str] = []
+            for object_id in ids:
+                self._remove_one(session, object_id, removed)
+            return removed
+
+    def _remove_one(self, session: Session, object_id: str, removed: list[str]) -> None:
+        if object_id in removed:
+            return
+        obj = self.daos.store.get_object(object_id)
+        if obj is None:
+            raise ObjectNotFoundError(object_id)
+        self._authorize(session, "delete", obj)
+        # cascades first (depth-first), then the object itself
+        if isinstance(obj, Organization):
+            for service_id in list(obj.service_ids):
+                if self.daos.store.contains(service_id):
+                    self._remove_one(session, service_id, removed)
+        elif isinstance(obj, Service):
+            for binding_id in list(obj.binding_ids):
+                if self.daos.store.contains(binding_id):
+                    self._remove_one(session, binding_id, removed)
+        # drop associations touching this object
+        for assoc in self.daos.associations.find_involving(object_id):
+            if assoc.id not in removed and self.daos.store.contains(assoc.id):
+                self._unlink_association(assoc)
+                self.daos.store.delete_object(assoc.id)
+                self._audit(session, EventType.DELETED, assoc.id)
+                removed.append(assoc.id)
+        # drop classifications applied to this object
+        for classification in self.daos.classifications.for_object(object_id):
+            if classification.id not in removed and self.daos.store.contains(classification.id):
+                self.daos.store.delete_object(classification.id)
+                self._audit(session, EventType.DELETED, classification.id)
+                removed.append(classification.id)
+        self._unlink_object(obj)
+        self.daos.store.delete_object(object_id)
+        self._audit(session, EventType.DELETED, object_id)
+        removed.append(object_id)
+
+    def _unlink_association(self, assoc: Association) -> None:
+        """Undo the cached cross-references an association installed."""
+        if assoc.association_type is AssociationType.OFFERS_SERVICE:
+            org = self.daos.organizations.get(assoc.source_object)
+            if org is not None:
+                org.remove_service(assoc.target_object)
+                self.daos.organizations.save(org)
+            service = self.daos.services.get(assoc.target_object)
+            if service is not None and service.provider == assoc.source_object:
+                service.provider = None
+                self.daos.services.save(service)
+        if assoc.association_type is AssociationType.HAS_MEMBER:
+            package = self.daos.packages.get(assoc.source_object)
+            if package is not None:
+                package.remove_member(assoc.target_object)
+                self.daos.packages.save(package)
+
+    def _unlink_object(self, obj: RegistryObject) -> None:
+        if isinstance(obj, Association):
+            self._unlink_association(obj)
+        if isinstance(obj, ServiceBinding):
+            service = self.daos.services.get(obj.service)
+            if service is not None and obj.id in service.binding_ids:
+                service.remove_binding(obj.id)
+                self.daos.services.save(service)
+        if isinstance(obj, Service) and obj.provider:
+            org = self.daos.organizations.get(obj.provider)
+            if org is not None:
+                org.remove_service(obj.id)
+                self.daos.organizations.save(org)
+
+    # -- slots --------------------------------------------------------------------------
+
+    def add_slots(self, session: Session, object_id: str, slots: Sequence[Slot]) -> None:
+        with self.daos.store.transaction():
+            obj = self.daos.store.get_object(object_id)
+            if obj is None:
+                raise ObjectNotFoundError(object_id)
+            self._authorize(session, "update", obj)
+            for slot in slots:
+                obj.slots.add(slot)
+            self.daos.store.save_object(obj)
+            self._audit(session, EventType.UPDATED, object_id)
+
+    def remove_slots(self, session: Session, object_id: str, names: Sequence[str]) -> None:
+        with self.daos.store.transaction():
+            obj = self.daos.store.get_object(object_id)
+            if obj is None:
+                raise ObjectNotFoundError(object_id)
+            self._authorize(session, "update", obj)
+            for name in names:
+                obj.slots.remove(name)
+            self.daos.store.save_object(obj)
+            self._audit(session, EventType.UPDATED, object_id)
+
+    # -- relocateObjects (federation) ---------------------------------------------------
+
+    def relocate_objects(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        destination: "LifeCycleManager",
+        destination_session: Session,
+    ) -> list[str]:
+        """Move objects to another registry (ebRS RelocateObjectsRequest)."""
+        ids = list(ids)
+        moved: list[str] = []
+        with self.daos.store.transaction():
+            for object_id in ids:
+                obj = self.daos.store.get_object(object_id)
+                if obj is None:
+                    raise ObjectNotFoundError(object_id)
+                self._authorize(session, "relocate", obj)
+                clone = obj.copy()
+                clone.home = destination.home
+                clone.owner = None  # destination assigns ownership
+                destination.submit_objects(destination_session, [clone])
+                self.daos.store.delete_object(object_id)
+                self._audit(session, EventType.RELOCATED, object_id)
+                moved.append(object_id)
+        return moved

@@ -1,0 +1,173 @@
+"""QueryManager — the read half of the ebXML Registry Service.
+
+Implements the discovery operations of thesis Table 1.7 / §2.2.3:
+
+* ``get_registry_object`` / ``get_repository_item`` by id;
+* ad hoc queries in SQL-92 or XML filter syntax, with iterative-query
+  windowing (``startIndex`` / ``maxResults``);
+* stored parameterized queries (AdhocQuery objects bound at invocation);
+* the "business" convenience finds the AccessRegistry API and Web UI use
+  (organizations/services by name or prefix, FindAllMyObjects);
+* **service-binding resolution** — the single method the load-balancing
+  scheme changes the behaviour of, by routing through
+  :meth:`repro.persistence.dao.ServiceDAO.resolve_bindings`.
+
+Unauthenticated (guest) sessions are accepted: the QueryManager is public
+per §1.3.2.4, subject to content visibility only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.persistence.dao import DAORegistry
+from repro.query import QueryEngine, parse_filter_query
+from repro.rim import (
+    QUERY_LANGUAGE_FILTER,
+    QUERY_LANGUAGE_SQL,
+    AdhocQuery,
+    Organization,
+    RegistryObject,
+    Service,
+    ServiceBinding,
+)
+from repro.security.authn import Session
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class AdhocQueryResponse:
+    """Iterative-query response envelope (ebRS AdhocQueryResponse)."""
+
+    rows: list[dict[str, Any]]
+    start_index: int
+    total_result_count: int
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryManager:
+    """Discovery operations for one registry instance."""
+
+    def __init__(self, daos: DAORegistry, engine: QueryEngine) -> None:
+        self.daos = daos
+        self.engine = engine
+
+    # -- direct gets -----------------------------------------------------------
+
+    def get_registry_object(self, object_id: str) -> RegistryObject:
+        obj = self.daos.store.get_object(object_id)
+        if obj is None:
+            raise ObjectNotFoundError(object_id)
+        return obj
+
+    # -- ad hoc queries -----------------------------------------------------------
+
+    def execute_adhoc_query(
+        self,
+        query: str,
+        *,
+        query_language: str = QUERY_LANGUAGE_SQL,
+        start_index: int = 0,
+        max_results: int | None = None,
+    ) -> AdhocQueryResponse:
+        """Run an AdhocQueryRequest and window the results."""
+        if query_language == QUERY_LANGUAGE_SQL:
+            rows = self.engine.execute(query)
+        elif query_language == QUERY_LANGUAGE_FILTER:
+            rows = self.engine.execute(parse_filter_query(query))
+        else:
+            raise InvalidRequestError(f"unknown query language: {query_language!r}")
+        total = len(rows)
+        if start_index < 0:
+            raise InvalidRequestError("startIndex must be non-negative")
+        window = rows[start_index:]
+        if max_results is not None:
+            if max_results < 0:
+                raise InvalidRequestError("maxResults must be non-negative")
+            window = window[:max_results]
+        return AdhocQueryResponse(
+            rows=window, start_index=start_index, total_result_count=total
+        )
+
+    # -- stored parameterized queries -------------------------------------------------
+
+    def invoke_stored_query(
+        self, query_id: str, *, start_index: int = 0, max_results: int | None = None, **params: str
+    ) -> AdhocQueryResponse:
+        stored = self.daos.adhoc_queries.get(query_id)
+        if stored is None:
+            raise ObjectNotFoundError(query_id, f"no stored query {query_id!r}")
+        bound = stored.bind(**params)
+        return self.execute_adhoc_query(
+            bound,
+            query_language=stored.query_language,
+            start_index=start_index,
+            max_results=max_results,
+        )
+
+    # -- business finds (Web UI / AccessRegistry surface) ------------------------------
+
+    def find_organizations(self, name_pattern: str) -> list[Organization]:
+        """Find organizations by SQL-LIKE name pattern (``DemoOrg_%``)."""
+        ids = self.engine.execute_ids(
+            "SELECT id FROM Organization WHERE name LIKE "
+            f"'{_escape(name_pattern)}' ORDER BY name"
+        )
+        return [self.daos.organizations.require(i) for i in ids]
+
+    def find_organization_by_name(self, name: str) -> Organization | None:
+        matches = self.daos.organizations.find_by_name(name)
+        return matches[0] if matches else None
+
+    def find_services(self, name_pattern: str) -> list[Service]:
+        ids = self.engine.execute_ids(
+            f"SELECT id FROM Service WHERE name LIKE '{_escape(name_pattern)}' ORDER BY name"
+        )
+        return [self.daos.services.require(i) for i in ids]
+
+    def find_service_by_name(self, name: str, *, organization: Organization | None = None) -> Service | None:
+        candidates = self.daos.services.find_by_name(name)
+        if organization is not None:
+            candidates = [s for s in candidates if s.provider == organization.id]
+        return candidates[0] if candidates else None
+
+    def find_all_my_objects(self, session: Session) -> list[RegistryObject]:
+        """The Web UI's *FindAllMyObjects* (Figure 3.41): everything I own."""
+        out: list[RegistryObject] = []
+        for type_name in self.daos.store.type_names():
+            out.extend(
+                self.daos.store.select_objects(
+                    type_name, lambda o: o.owner == session.user_id
+                )
+            )
+        return sorted(out, key=lambda o: (o.type_name, o.name.value, o.id))
+
+    # -- service discovery (the load-balanced path) --------------------------------------
+
+    def get_service_bindings(self, service_id: str) -> list[ServiceBinding]:
+        """Bindings for a service, post binding-resolver.
+
+        With the default resolver this returns all bindings in publisher
+        order (vanilla freebXML); with the constraint resolver installed it
+        returns only/first the hosts currently satisfying the service's
+        constraints — the thesis' modified discovery.
+        """
+        service = self.daos.services.get(service_id)
+        if service is None:
+            raise ObjectNotFoundError(service_id)
+        return self.daos.services.resolve_bindings(service)
+
+    def get_access_uris(self, service_id: str) -> list[str]:
+        """Access URIs for a service — the registry's discovery answer."""
+        return [b.access_uri for b in self.get_service_bindings(service_id) if b.access_uri]
+
+    def audit_trail(self, object_id: str):
+        """AuditableEvents for an object, oldest first."""
+        return self.daos.events.for_object(object_id)
+
+
+def _escape(pattern: str) -> str:
+    return pattern.replace("'", "''")

@@ -1,0 +1,121 @@
+"""RegistryServer — the assembled freebXML-equivalent registry instance.
+
+Wires together every substrate exactly as thesis Figure 2.1 lays the server
+out: persistence (datastore + DAOs + NodeState table), the QueryManager and
+LifeCycleManager service interfaces, authentication and XACML authorization,
+the repository, and the event/notification subsystem.  The SOAP and HTTP
+protocol bindings (:mod:`repro.soap`) and the load-balancing core
+(:mod:`repro.core`) attach to an instance of this class from outside, as
+they did to freebXML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.notifier import SubscriptionManager
+from repro.persistence.dao import DAORegistry
+from repro.persistence.datastore import DataStore
+from repro.persistence.nodestate import NodeStateStore
+from repro.query import QueryEngine
+from repro.registry.lifecycle import LifeCycleManager
+from repro.registry.querymgr import QueryManager
+from repro.registry.repository import RepositoryManager
+from repro.security.authn import Authenticator, Session
+from repro.security.certs import CertificateAuthority
+from repro.security.xacml import PolicyDecisionPoint
+from repro.util.clock import Clock, WallClock
+from repro.util.ids import IdFactory
+
+
+@dataclass(frozen=True)
+class RegistryConfig:
+    """Construction-time configuration for a registry instance."""
+
+    home: str = "http://localhost:8080/omar/registry"
+    seed: int | None = None
+    #: monitoring-sample max age before a host is considered stale (None = no limit);
+    #: consumed by the load-balancing core when it attaches.
+    nodestate_max_age: float | None = None
+    #: Table 1.4 deployment flavour: "public" | "affiliated" | "private"
+    registry_type: str = "public"
+
+
+class RegistryServer:
+    """One complete ebXML registry/repository instance."""
+
+    def __init__(
+        self,
+        config: RegistryConfig | None = None,
+        *,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config or RegistryConfig()
+        self.clock: Clock = clock or WallClock()
+        self.ids = IdFactory(self.config.seed)
+        self.store = DataStore()
+        self.daos = DAORegistry(self.store)
+        self.node_state = NodeStateStore(self.store)
+        self.engine = QueryEngine(self.store)
+        self.authority = CertificateAuthority(seed=self.config.seed)
+        self.authenticator = Authenticator(
+            self.daos, ids=self.ids, authority=self.authority
+        )
+        from repro.security.xacml import registry_type_policies
+
+        self.pdp = PolicyDecisionPoint(
+            registry_type_policies(self.config.registry_type)
+        )
+        self.lcm = LifeCycleManager(
+            self.daos,
+            pdp=self.pdp,
+            clock=self.clock,
+            ids=self.ids,
+            home=self.config.home,
+        )
+        self.qm = QueryManager(self.daos, self.engine)
+        self.repository = RepositoryManager(self.daos)
+        self.subscriptions = SubscriptionManager(
+            self.daos, self.engine, clock=self.clock
+        )
+        self.lcm.add_event_listener(self.subscriptions.on_event)
+        from repro.registry.taxonomy import TaxonomyService
+
+        self.taxonomies = TaxonomyService(self.daos, ids=self.ids)
+
+    # -- convenience entry points ------------------------------------------------
+
+    def register_user(self, alias: str, **kwargs):
+        """User registration wizard shortcut; returns (User, Credential)."""
+        return self.authenticator.register_user(alias, **kwargs)
+
+    def login(self, credential) -> Session:
+        return self.authenticator.authenticate(credential)
+
+    def guest(self) -> Session:
+        return self.authenticator.guest_session()
+
+    def check_read(self, session: Session) -> None:
+        """Gate discovery access per the registry's Table 1.4 flavour.
+
+        Public registries admit everyone (including guests); affiliated and
+        private ones restrict reads.  Enforced at the protocol bindings —
+        in-process QueryManager access is the trusted localCall path.
+        """
+        from repro.security.xacml import Request
+        from repro.util.errors import AuthorizationError
+
+        request = Request(
+            subject={"id": session.user_id, "roles": session.roles, "alias": session.alias},
+            resource={"id": "urn:repro:registry", "owner": None, "type": "Registry"},
+            action="read",
+        )
+        if not self.pdp.is_permitted(request):
+            raise AuthorizationError(
+                f"{self.config.registry_type} registry denies read access to "
+                f"{session.alias!r}"
+            )
+
+    @property
+    def home(self) -> str:
+        return self.config.home

@@ -1,0 +1,228 @@
+"""Taxonomy service: canonical schemes, browsing, validation, discovery.
+
+Implements the "Taxonomy/Classification Support" block of Table 1.1 — the
+predefined classification systems UDDI v2 added (Table 1.2: NAICS, UNSPSC,
+ISO 3166) plus the ebXML-only capabilities: user-defined taxonomies,
+taxonomy *browsing*, classification *validation* against the tree, and
+classification-based object discovery.
+
+Canonical trees ship as representative subsets — enough depth (2–3 levels)
+to exercise path semantics without embedding entire code lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.persistence.dao import DAORegistry
+from repro.rim import (
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+    RegistryObject,
+)
+from repro.security.authn import Session
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+from repro.util.ids import IdFactory
+
+#: (scheme name, tModel-ish id, {code: (name, {child code: name, …})})
+CANONICAL_SCHEMES: dict[str, dict] = {
+    "ntis-gov:naics": {
+        "description": "North American Industry Classification System",
+        "nodes": {
+            "11": ("Agriculture, Forestry, Fishing and Hunting", {
+                "111": ("Crop Production", {"111330": ("Noncitrus Fruit and Tree Nut Farming", {})}),
+            }),
+            "51": ("Information", {
+                "511": ("Publishing Industries", {"511210": ("Software Publishers", {})}),
+                "518": ("Data Processing, Hosting, and Related Services", {}),
+            }),
+            "61": ("Educational Services", {
+                "611": ("Educational Services", {"611310": ("Colleges, Universities, and Professional Schools", {})}),
+            }),
+        },
+    },
+    "unspsc-org:unspsc": {
+        "description": "Universal Standard Products and Services Classification",
+        "nodes": {
+            "43": ("Information Technology", {
+                "4323": ("Software", {"432315": ("Networking software", {})}),
+            }),
+            "86": ("Education and Training Services", {}),
+        },
+    },
+    "iso-ch:3166:1999": {
+        "description": "ISO 3166 geographic regions",
+        "nodes": {
+            "US": ("United States", {
+                "US-CA": ("California", {}),
+                "US-NY": ("New York", {}),
+            }),
+            "DE": ("Germany", {}),
+            "IN": ("India", {}),
+        },
+    },
+}
+
+
+@dataclass(frozen=True)
+class TaxonomyNodeView:
+    """Browse-friendly node projection."""
+
+    id: str
+    code: str
+    name: str
+    path: str
+    leaf: bool
+
+
+class TaxonomyService:
+    """Scheme installation, browsing, validation, and discovery."""
+
+    def __init__(self, daos: DAORegistry, *, ids: IdFactory) -> None:
+        self.daos = daos
+        self.ids = ids
+
+    # -- installation -----------------------------------------------------------
+
+    def install_canonical_schemes(self, session: Session, lcm) -> list[ClassificationScheme]:
+        """Publish every Table 1.2 scheme with its node tree."""
+        return [
+            self.install_scheme(session, lcm, name, spec["nodes"], description=spec["description"])
+            for name, spec in CANONICAL_SCHEMES.items()
+        ]
+
+    def install_scheme(
+        self,
+        session: Session,
+        lcm,
+        name: str,
+        nodes: dict,
+        *,
+        description: str = "",
+    ) -> ClassificationScheme:
+        """Publish one scheme and its tree (user-defined taxonomy support)."""
+        scheme = ClassificationScheme(self.ids.new_id(), name=name, description=description)
+        lcm.submit_objects(session, [scheme])
+        self._install_children(session, lcm, scheme, scheme.id, f"/{name}", nodes)
+        return self.daos.classification_schemes.require(scheme.id)
+
+    def _install_children(
+        self, session: Session, lcm, scheme: ClassificationScheme, parent_id: str, parent_path: str, nodes: dict
+    ) -> None:
+        batch: list[ClassificationNode] = []
+        children: list[tuple[ClassificationNode, dict]] = []
+        for code, (name, grandchildren) in nodes.items():
+            node = ClassificationNode(
+                self.ids.new_id(),
+                code=code,
+                parent=parent_id,
+                path=f"{parent_path}/{code}",
+                name=name,
+            )
+            batch.append(node)
+            children.append((node, grandchildren))
+        if batch:
+            lcm.submit_objects(session, batch)
+            if parent_id == scheme.id:
+                stored = self.daos.classification_schemes.require(scheme.id)
+                stored.child_node_ids.extend(n.id for n in batch)
+                self.daos.classification_schemes.save(stored)
+            else:
+                stored_parent = self.daos.classification_nodes.require(parent_id)
+                stored_parent.child_node_ids.extend(n.id for n in batch)
+                self.daos.classification_nodes.save(stored_parent)
+        for node, grandchildren in children:
+            if grandchildren:
+                self._install_children(session, lcm, scheme, node.id, node.path, grandchildren)
+
+    # -- browsing -------------------------------------------------------------------
+
+    def find_scheme(self, name: str) -> ClassificationScheme | None:
+        matches = self.daos.classification_schemes.find_by_name(name)
+        return matches[0] if matches else None
+
+    def browse(self, parent_id: str) -> list[TaxonomyNodeView]:
+        """Children of a scheme or node, as the Web UI's taxonomy browser shows."""
+        nodes = self.daos.classification_nodes.children_of(parent_id)
+        return [
+            TaxonomyNodeView(
+                id=n.id,
+                code=n.code,
+                name=n.name.value,
+                path=n.path,
+                leaf=not self.daos.classification_nodes.children_of(n.id),
+            )
+            for n in sorted(nodes, key=lambda n: n.code)
+        ]
+
+    def node_by_path(self, path: str) -> ClassificationNode:
+        matches = self.daos.classification_nodes.select(lambda n: n.path == path)
+        if not matches:
+            raise ObjectNotFoundError(path, f"no taxonomy node at path {path!r}")
+        return matches[0]
+
+    def scheme_of(self, node: ClassificationNode) -> ClassificationScheme:
+        """Walk parents up to the owning scheme."""
+        current = node
+        for _ in range(100):  # cycle guard
+            scheme = self.daos.classification_schemes.get(current.parent)
+            if scheme is not None:
+                return scheme
+            parent = self.daos.classification_nodes.get(current.parent)
+            if parent is None:
+                raise ObjectNotFoundError(current.parent, "broken taxonomy parent chain")
+            current = parent
+        raise InvalidRequestError("taxonomy tree too deep or cyclic")
+
+    # -- validation (ebXML-only per Table 1.1) ----------------------------------------------
+
+    def validate_classification(self, classification: Classification) -> None:
+        """Reject classifications referencing nonexistent nodes/schemes."""
+        if classification.is_internal:
+            node = self.daos.classification_nodes.get(classification.classification_node)
+            if node is None:
+                raise InvalidRequestError(
+                    f"classification references unknown node {classification.classification_node}"
+                )
+        else:
+            scheme = self.daos.classification_schemes.get(
+                classification.classification_scheme
+            )
+            if scheme is None:
+                raise InvalidRequestError(
+                    f"classification references unknown scheme {classification.classification_scheme}"
+                )
+            if scheme.is_internal:
+                raise InvalidRequestError(
+                    "external-style classification against an internal scheme; "
+                    "reference a node id instead"
+                )
+
+    # -- classification helpers -----------------------------------------------------------------
+
+    def classify(
+        self, session: Session, lcm, obj: RegistryObject, node: ClassificationNode
+    ) -> Classification:
+        classification = Classification(
+            self.ids.new_id(), classified_object=obj.id, classification_node=node.id
+        )
+        self.validate_classification(classification)
+        lcm.submit_objects(session, [classification])
+        return classification
+
+    def find_objects_classified_under(self, path_prefix: str) -> list[RegistryObject]:
+        """Discovery by taxonomy subtree: objects classified at/under a path."""
+        node_ids = {
+            n.id
+            for n in self.daos.classification_nodes.select(
+                lambda n: n.path == path_prefix or n.path.startswith(path_prefix + "/")
+            )
+        }
+        out: dict[str, RegistryObject] = {}
+        for classification in self.daos.classifications.all():
+            if classification.classification_node in node_ids:
+                obj = self.daos.store.get_object(classification.classified_object)
+                if obj is not None:
+                    out[obj.id] = obj
+        return sorted(out.values(), key=lambda o: (o.type_name, o.name.value, o.id))

@@ -1,0 +1,106 @@
+"""ebRIM — the ebXML Registry Information Model, in Python.
+
+This package reproduces the ~25 standard metadata classes of OASIS ebRIM 3.0
+as used by freebXML (thesis Figure 1.18): the RegistryObject base with slots,
+versioning and life-cycle status; parties (User, Organization with postal /
+email / telephone entities); services (Service, ServiceBinding,
+SpecificationLink); taxonomy support (ClassificationScheme / Node /
+Classification); relationships (Association with the Table 1.5 predefined
+types); grouping (RegistryPackage); identifiers and links (ExternalIdentifier,
+ExternalLink); the audit trail (AuditableEvent); and discovery / notification
+objects (AdhocQuery, Subscription).
+"""
+
+from repro.rim.adhoc import (
+    QUERY_LANGUAGE_FILTER,
+    QUERY_LANGUAGE_SQL,
+    AdhocQuery,
+    NotifyAction,
+    Subscription,
+)
+from repro.rim.association import Association, AssociationType
+from repro.rim.base import RegistryEntry, RegistryObject, VersionInfo
+from repro.rim.classification import (
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+)
+from repro.rim.event import AuditableEvent, EventType
+from repro.rim.external import ExternalIdentifier, ExternalLink
+from repro.rim.extrinsic import ExtrinsicObject
+from repro.rim.package import RegistryPackage
+from repro.rim.party import (
+    EmailAddress,
+    Organization,
+    PersonName,
+    PostalAddress,
+    TelephoneNumber,
+    User,
+)
+from repro.rim.service import Service, ServiceBinding, SpecificationLink, host_of_uri
+from repro.rim.slots import Slot, SlotMap
+from repro.rim.status import ObjectStatus, check_transition
+from repro.rim.strings import InternationalString, LocalizedString
+
+#: All concrete RegistryObject subclasses, keyed by short type name — the
+#: persistence layer derives one DAO/table per entry.
+CONCRETE_TYPES: dict[str, type[RegistryObject]] = {
+    cls.__name__: cls
+    for cls in (
+        Association,
+        AuditableEvent,
+        AdhocQuery,
+        Classification,
+        ClassificationNode,
+        ClassificationScheme,
+        ExternalIdentifier,
+        ExternalLink,
+        ExtrinsicObject,
+        Organization,
+        RegistryPackage,
+        Service,
+        ServiceBinding,
+        SpecificationLink,
+        Subscription,
+        User,
+    )
+}
+
+__all__ = [
+    "QUERY_LANGUAGE_FILTER",
+    "QUERY_LANGUAGE_SQL",
+    "AdhocQuery",
+    "NotifyAction",
+    "Subscription",
+    "Association",
+    "AssociationType",
+    "RegistryEntry",
+    "RegistryObject",
+    "VersionInfo",
+    "Classification",
+    "ClassificationNode",
+    "ClassificationScheme",
+    "AuditableEvent",
+    "EventType",
+    "ExternalIdentifier",
+    "ExternalLink",
+    "ExtrinsicObject",
+    "RegistryPackage",
+    "EmailAddress",
+    "Organization",
+    "PersonName",
+    "PostalAddress",
+    "TelephoneNumber",
+    "User",
+    "Service",
+    "ServiceBinding",
+    "SpecificationLink",
+    "host_of_uri",
+    "Slot",
+    "SlotMap",
+    "ObjectStatus",
+    "check_transition",
+    "InternationalString",
+    "LocalizedString",
+    "CONCRETE_TYPES",
+]

@@ -1,0 +1,164 @@
+"""RegistryObject — the abstract base of the ebRIM information model.
+
+Everything stored in an ebXML registry (organizations, services, bindings,
+associations, classification schemes, audit events, users, …) derives from
+RegistryObject, which carries:
+
+* ``id`` — the globally unique ``urn:uuid:`` identifier;
+* ``lid`` — the logical id shared by all versions of the same object;
+* ``object_type`` — a canonical type URN (see :mod:`repro.rim.objecttype`);
+* ``name`` / ``description`` — InternationalStrings;
+* ``status`` — life-cycle state;
+* ``version`` — automatic version info maintained by the LifeCycleManager;
+* ``slots`` — dynamic extension attributes;
+* ``owner`` — id of the submitting User (drives access control);
+* ``home`` — the home registry URL (federation support).
+
+The class is deliberately a plain mutable object, not a dataclass: the DAO
+layer snapshots/copies instances explicitly and identity semantics are by
+``id``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.rim.slots import Slot, SlotMap
+from repro.rim.status import ObjectStatus
+from repro.rim.strings import InternationalString
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import is_urn_uuid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rim.classification import Classification
+    from repro.rim.external import ExternalIdentifier
+
+
+class VersionInfo:
+    """Automatic version metadata (ebRS versioning feature, Table 1.1)."""
+
+    __slots__ = ("version_name", "comment")
+
+    def __init__(self, version_name: str = "1.1", comment: str = "") -> None:
+        self.version_name = version_name
+        self.comment = comment
+
+    def next(self, comment: str = "") -> "VersionInfo":
+        """Return the successor version (minor increments: 1.1 → 1.2)."""
+        major, _, minor = self.version_name.partition(".")
+        try:
+            bumped = f"{major}.{int(minor or 0) + 1}"
+        except ValueError:
+            bumped = self.version_name + ".1"
+        return VersionInfo(bumped, comment)
+
+    def copy(self) -> "VersionInfo":
+        return VersionInfo(self.version_name, self.comment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VersionInfo({self.version_name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VersionInfo) and other.version_name == self.version_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.version_name)
+
+
+class RegistryObject:
+    """Base class for all ebRIM model objects."""
+
+    #: Canonical object-type URN; subclasses override.
+    OBJECT_TYPE = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject"
+
+    def __init__(
+        self,
+        id: str,
+        *,
+        name: InternationalString | str | None = None,
+        description: InternationalString | str | None = None,
+        lid: str | None = None,
+        owner: str | None = None,
+        home: str | None = None,
+    ) -> None:
+        if not is_urn_uuid(id):
+            raise InvalidRequestError(f"registry object id must be urn:uuid: {id!r}")
+        self.id = id
+        self.lid = lid or id
+        self.name = InternationalString.of(name)
+        self.description = InternationalString.of(description)
+        self.status = ObjectStatus.SUBMITTED
+        self.version = VersionInfo()
+        self.slots = SlotMap()
+        self.owner = owner
+        self.home = home
+        #: ids of Classification objects applied to this object
+        self.classification_ids: list[str] = []
+        #: ids of ExternalIdentifier objects attached to this object
+        self.external_identifier_ids: list[str] = []
+
+    # -- type metadata -------------------------------------------------
+
+    @property
+    def object_type(self) -> str:
+        return type(self).OBJECT_TYPE
+
+    @property
+    def type_name(self) -> str:
+        """Short class name used by the persistence layer as a table key."""
+        return type(self).__name__
+
+    # -- slots convenience ---------------------------------------------
+
+    def add_slot(self, name: str, *values: str, slot_type: str | None = None) -> None:
+        self.slots.add(Slot(name=name, values=list(values), slot_type=slot_type))
+
+    def slot_value(self, name: str, default: str | None = None) -> str | None:
+        return self.slots.value(name, default)
+
+    # -- copying ---------------------------------------------------------
+
+    def copy(self) -> "RegistryObject":
+        """Deep-enough copy used by the DAO layer (value attributes copied)."""
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        self._copy_into(clone)
+        return clone
+
+    def _copy_into(self, clone: "RegistryObject") -> None:
+        """Copy mutable value attributes; subclasses extend."""
+        clone.name = self.name.copy()
+        clone.description = self.description.copy()
+        clone.version = self.version.copy()
+        clone.slots = self.slots.copy()
+        clone.classification_ids = list(self.classification_ids)
+        clone.external_identifier_ids = list(self.external_identifier_ids)
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RegistryObject) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(id={self.id!r}, name={self.name.value!r})"
+
+
+class RegistryEntry(RegistryObject):
+    """Marker subclass for objects with full life-cycle support (ebRIM 2.x lineage).
+
+    ClassificationScheme, RegistryPackage and Service are RegistryEntries in
+    the thesis' Figure 1.18; the distinction matters only for documentation
+    and for the expiration/stability attributes kept here.
+    """
+
+    OBJECT_TYPE = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryEntry"
+
+    def __init__(self, id: str, **kwargs) -> None:
+        super().__init__(id, **kwargs)
+        self.expiration: float | None = None
+        self.stability: str = "Dynamic"

@@ -1,0 +1,31 @@
+"""ExtrinsicObject: metadata for repository-managed content.
+
+An ebXML registry is *both* a registry of metadata and a repository of
+content (thesis §1.3.2.3).  Repository items — WSDL documents, XML schemas,
+images — are described by ExtrinsicObject metadata instances; the content
+bytes themselves live in the RepositoryManager, keyed by the object id.
+"""
+
+from __future__ import annotations
+
+from repro.rim.base import RegistryEntry
+
+
+class ExtrinsicObject(RegistryEntry):
+    """Metadata describing one repository item."""
+
+    OBJECT_TYPE = "urn:oasis:names:tc:ebxml-regrep:ObjectType:ExtrinsicObject"
+
+    def __init__(
+        self,
+        id: str,
+        *,
+        mime_type: str = "application/octet-stream",
+        is_opaque: bool = False,
+        content_version: str = "1.1",
+        **kwargs,
+    ) -> None:
+        super().__init__(id, **kwargs)
+        self.mime_type = mime_type
+        self.is_opaque = is_opaque
+        self.content_version = content_version

@@ -1,0 +1,31 @@
+"""RegistryPackage: user-defined grouping of registry objects.
+
+Packaging is another ebXML-over-UDDI differentiator (Table 1.1): any number
+of objects can be grouped into a package, and one object may belong to many
+packages.  Membership is modelled with HasMember associations; the package
+object itself only carries identity and metadata, with a cached member list
+maintained by the LifeCycleManager for cheap traversal.
+"""
+
+from __future__ import annotations
+
+from repro.rim.base import RegistryEntry
+
+
+class RegistryPackage(RegistryEntry):
+    """A named group of registry objects."""
+
+    OBJECT_TYPE = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryPackage"
+
+    def __init__(self, id: str, **kwargs) -> None:
+        super().__init__(id, **kwargs)
+        #: cached member object ids (authoritative state is HasMember associations)
+        self.member_ids: list[str] = []
+
+    def add_member(self, object_id: str) -> None:
+        if object_id not in self.member_ids:
+            self.member_ids.append(object_id)
+
+    def remove_member(self, object_id: str) -> None:
+        if object_id in self.member_ids:
+            self.member_ids.remove(object_id)

@@ -1,0 +1,55 @@
+"""Object life-cycle states and transitions (ebRIM StatusType, Figure 1.19).
+
+A registry object moves through ``Submitted → Approved → Deprecated`` with
+``undeprecate`` reversing deprecation and ``remove`` deleting the object in
+any state.  The :func:`check_transition` guard is shared by the
+LifeCycleManager so illegal transitions fail uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.errors import LifeCycleError
+
+
+class ObjectStatus(enum.Enum):
+    """Canonical ebRIM object statuses."""
+
+    SUBMITTED = "Submitted"
+    APPROVED = "Approved"
+    DEPRECATED = "Deprecated"
+    WITHDRAWN = "Withdrawn"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+#: Allowed (from → to) transitions, keyed by the LCM verb that causes them.
+_TRANSITIONS: dict[str, dict[ObjectStatus, ObjectStatus]] = {
+    "approve": {
+        ObjectStatus.SUBMITTED: ObjectStatus.APPROVED,
+        ObjectStatus.APPROVED: ObjectStatus.APPROVED,  # idempotent per ebRS
+    },
+    "deprecate": {
+        ObjectStatus.SUBMITTED: ObjectStatus.DEPRECATED,
+        ObjectStatus.APPROVED: ObjectStatus.DEPRECATED,
+        ObjectStatus.DEPRECATED: ObjectStatus.DEPRECATED,
+    },
+    "undeprecate": {
+        ObjectStatus.DEPRECATED: ObjectStatus.APPROVED,
+    },
+}
+
+
+def check_transition(verb: str, current: ObjectStatus) -> ObjectStatus:
+    """Return the status after applying *verb*, or raise :class:`LifeCycleError`."""
+    table = _TRANSITIONS.get(verb)
+    if table is None:
+        raise LifeCycleError(f"unknown life-cycle verb: {verb!r}")
+    try:
+        return table[current]
+    except KeyError:
+        raise LifeCycleError(
+            f"cannot {verb} an object in status {current.value}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Security substrate: simulated PKI, keystores, authentication, XACML-lite.
+
+Reproduces the freebXML security pipeline of thesis §2.2.3 and §3.4.2–3.4.3:
+certificate issuance at user registration, keystore management on the client
+(including the KeystoreMover utility and registryOperator trust import),
+credential verification at session start, and attribute-based authorization
+of every LifeCycleManager request.
+"""
+
+from repro.security.authn import GUEST_ALIAS, Authenticator, Session
+from repro.security.certs import (
+    REGISTRY_OPERATOR,
+    Certificate,
+    CertificateAuthority,
+    Credential,
+    KeyPair,
+)
+from repro.security.keystore import (
+    Keystore,
+    KeystoreMover,
+    load_keystore,
+    save_keystore,
+)
+from repro.security.xacml import (
+    Decision,
+    Effect,
+    Policy,
+    PolicyDecisionPoint,
+    Request,
+    Rule,
+    default_policy,
+)
+
+__all__ = [
+    "GUEST_ALIAS",
+    "Authenticator",
+    "Session",
+    "REGISTRY_OPERATOR",
+    "Certificate",
+    "CertificateAuthority",
+    "Credential",
+    "KeyPair",
+    "Keystore",
+    "KeystoreMover",
+    "load_keystore",
+    "save_keystore",
+    "Decision",
+    "Effect",
+    "Policy",
+    "PolicyDecisionPoint",
+    "Request",
+    "Rule",
+    "default_policy",
+]

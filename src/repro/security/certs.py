@@ -1,0 +1,117 @@
+"""Simulated X.509 certificates and key pairs.
+
+The thesis' user-registration wizard (§3.4.2) generates a self-signed X.509
+certificate plus private key, packs them into a password-protected ``.p12``
+file, and the registry later authenticates clients by verifying (a) the
+certificate fingerprint it has on record and (b) the issuing
+``registryOperator`` identity.  This module reproduces those *protocol*
+behaviours with simulated crypto: key pairs are random identifiers,
+signatures are HMAC-like digests over certificate fields — enough to make
+tampering and wrong-issuer checks fail the same way the real stack does,
+without shipping actual cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.util.errors import AuthenticationError
+
+REGISTRY_OPERATOR = "registryOperator"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair."""
+
+    public_key: str
+    private_key: str
+
+    @classmethod
+    def generate(cls, rng: random.Random | None = None) -> "KeyPair":
+        rng = rng or random.Random()
+        private = f"{rng.getrandbits(256):064x}"
+        public = hashlib.sha256(("pub:" + private).encode()).hexdigest()
+        return cls(public_key=public, private_key=private)
+
+    def matches(self, public_key: str) -> bool:
+        return hashlib.sha256(("pub:" + self.private_key).encode()).hexdigest() == public_key
+
+
+def _signature(subject: str, issuer: str, public_key: str, issuer_private_key: str) -> str:
+    payload = f"{subject}|{issuer}|{public_key}|{issuer_private_key}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A simulated X.509 certificate: subject, issuer, public key, signature."""
+
+    subject: str
+    issuer: str
+    public_key: str
+    signature: str
+
+    @property
+    def fingerprint(self) -> str:
+        return hashlib.sha256(
+            f"{self.subject}|{self.issuer}|{self.public_key}".encode()
+        ).hexdigest()[:32]
+
+    def verify(self, issuer_keypair: KeyPair) -> bool:
+        """Check the signature against the claimed issuer's key pair."""
+        expected = _signature(
+            self.subject, self.issuer, self.public_key, issuer_keypair.private_key
+        )
+        return expected == self.signature
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A certificate + its private key (what a ``.p12`` file holds)."""
+
+    certificate: Certificate
+    keypair: KeyPair
+
+    def tampered(self, **changes) -> "Credential":
+        """Testing helper: return a credential with altered certificate fields."""
+        return Credential(
+            certificate=replace(self.certificate, **changes), keypair=self.keypair
+        )
+
+
+class CertificateAuthority:
+    """The registry's certificate issuer (the ``registryOperator`` identity)."""
+
+    def __init__(self, name: str = REGISTRY_OPERATOR, *, seed: int | None = None) -> None:
+        self.name = name
+        self._rng = random.Random(seed)
+        self.keypair = KeyPair.generate(self._rng)
+        self.certificate = self._self_signed()
+
+    def _self_signed(self) -> Certificate:
+        return Certificate(
+            subject=self.name,
+            issuer=self.name,
+            public_key=self.keypair.public_key,
+            signature=_signature(
+                self.name, self.name, self.keypair.public_key, self.keypair.private_key
+            ),
+        )
+
+    def issue(self, subject: str) -> Credential:
+        """Issue a certificate + key pair to *subject* (user registration step 3)."""
+        if not subject:
+            raise AuthenticationError("certificate subject must be non-empty")
+        keypair = KeyPair.generate(self._rng)
+        certificate = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=keypair.public_key,
+            signature=_signature(
+                subject, self.name, keypair.public_key, self.keypair.private_key
+            ),
+        )
+        return Credential(certificate=certificate, keypair=keypair)

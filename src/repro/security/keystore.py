@@ -1,0 +1,162 @@
+"""Client keystore and the KeystoreMover (thesis §3.4.3).
+
+A client keystore maps an *alias* to a password-protected credential entry,
+plus trusted-certificate entries (the imported ``registryOperator`` cert —
+thesis' ``keytool -import -trustcacerts`` step).  The :class:`KeystoreMover`
+mirrors freebXML's ``org.freebxml.omar.common.security.KeystoreMover``
+command-line utility, which copies a credential from a ``.p12`` source store
+into the JAXR client keystore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.certs import Certificate, Credential
+from repro.util.errors import AuthenticationError
+
+
+@dataclass
+class _Entry:
+    credential: Credential
+    password: str
+
+
+class Keystore:
+    """An alias → credential store with per-entry passwords.
+
+    ``store_type`` mimics the JKS/PKCS12 distinction only as metadata; entry
+    semantics are identical (as they are for this workflow in Java, too).
+    """
+
+    def __init__(self, *, store_type: str = "JKS", password: str = "ebxmlrr") -> None:
+        self.store_type = store_type
+        self.password = password
+        self._entries: dict[str, _Entry] = {}
+        self._trusted: dict[str, Certificate] = {}
+
+    # -- credential entries ----------------------------------------------------
+
+    def set_entry(self, alias: str, credential: Credential, key_password: str) -> None:
+        if not alias:
+            raise AuthenticationError("keystore alias must be non-empty")
+        self._entries[alias] = _Entry(credential=credential, password=key_password)
+
+    def get_entry(self, alias: str, key_password: str) -> Credential:
+        entry = self._entries.get(alias)
+        if entry is None:
+            raise AuthenticationError(f"no keystore entry for alias {alias!r}")
+        if entry.password != key_password:
+            raise AuthenticationError(f"wrong key password for alias {alias!r}")
+        return entry.credential
+
+    def has_alias(self, alias: str) -> bool:
+        return alias in self._entries
+
+    def aliases(self) -> list[str]:
+        return sorted(self._entries)
+
+    # -- trusted certificates ------------------------------------------------
+
+    def import_trusted(self, alias: str, certificate: Certificate) -> None:
+        """``keytool -import -trustcacerts`` equivalent."""
+        self._trusted[alias] = certificate
+
+    def trusted(self, alias: str) -> Certificate | None:
+        return self._trusted.get(alias)
+
+    def trusts(self, certificate: Certificate) -> bool:
+        return any(t.fingerprint == certificate.fingerprint for t in self._trusted.values())
+
+
+def _certificate_to_dict(certificate: Certificate) -> dict:
+    return {
+        "subject": certificate.subject,
+        "issuer": certificate.issuer,
+        "publicKey": certificate.public_key,
+        "signature": certificate.signature,
+    }
+
+
+def _certificate_from_dict(data: dict) -> Certificate:
+    return Certificate(
+        subject=data["subject"],
+        issuer=data["issuer"],
+        public_key=data["publicKey"],
+        signature=data["signature"],
+    )
+
+
+def save_keystore(keystore: Keystore, path: str) -> None:
+    """Persist a keystore to a JSON file (the simulated .jks/.p12)."""
+    import json
+
+    payload = {
+        "storeType": keystore.store_type,
+        "password": keystore.password,
+        "entries": {
+            alias: {
+                "password": entry.password,
+                "certificate": _certificate_to_dict(entry.credential.certificate),
+                "publicKey": entry.credential.keypair.public_key,
+                "privateKey": entry.credential.keypair.private_key,
+            }
+            for alias, entry in keystore._entries.items()
+        },
+        "trusted": {
+            alias: _certificate_to_dict(cert)
+            for alias, cert in keystore._trusted.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_keystore(path: str) -> Keystore:
+    """Load a keystore previously written by :func:`save_keystore`."""
+    import json
+
+    from repro.security.certs import KeyPair
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    keystore = Keystore(
+        store_type=payload["storeType"], password=payload["password"]
+    )
+    for alias, entry in payload["entries"].items():
+        credential = Credential(
+            certificate=_certificate_from_dict(entry["certificate"]),
+            keypair=KeyPair(
+                public_key=entry["publicKey"], private_key=entry["privateKey"]
+            ),
+        )
+        keystore.set_entry(alias, credential, entry["password"])
+    for alias, cert in payload["trusted"].items():
+        keystore.import_trusted(alias, _certificate_from_dict(cert))
+    return keystore
+
+
+class KeystoreMover:
+    """Copy a credential between keystores (the thesis' command-line step).
+
+    Parameters mirror the thesis' option table (Table 3.2): source path /
+    type / password / alias map onto the source keystore object here, and the
+    destination likewise.
+    """
+
+    @staticmethod
+    def move(
+        *,
+        source: Keystore,
+        source_alias: str,
+        source_key_password: str,
+        destination: Keystore,
+        destination_alias: str | None = None,
+        destination_key_password: str | None = None,
+    ) -> None:
+        credential = source.get_entry(source_alias, source_key_password)
+        destination.set_entry(
+            destination_alias or source_alias,
+            credential,
+            destination_key_password or source_key_password,
+        )

@@ -1,0 +1,38 @@
+"""Host and cluster simulation substrate.
+
+Replaces the thesis' physical SDSU testbed with a deterministic
+discrete-event model: hosts with processor-sharing cores, UNIX-style load
+averages, and RAM/swap accounting; the per-host NodeStatus monitoring Web
+Service; a network latency model; and the simulation engine everything
+schedules through.
+"""
+
+from repro.sim.cluster import Cluster, HostSpec
+from repro.sim.engine import EventHandle, PeriodicTask, SimEngine
+from repro.sim.host import LOAD_WINDOW_SECONDS, Host
+from repro.sim.network import LatencyModel
+from repro.sim.nodestatus import (
+    NODESTATUS_PATH,
+    NODESTATUS_SERVICE_NAME,
+    NodeStatusReading,
+    NodeStatusService,
+    nodestatus_uri,
+)
+from repro.sim.task import Task
+
+__all__ = [
+    "Cluster",
+    "HostSpec",
+    "EventHandle",
+    "PeriodicTask",
+    "SimEngine",
+    "LOAD_WINDOW_SECONDS",
+    "Host",
+    "LatencyModel",
+    "NODESTATUS_PATH",
+    "NODESTATUS_SERVICE_NAME",
+    "NodeStatusReading",
+    "NodeStatusService",
+    "nodestatus_uri",
+    "Task",
+]

@@ -1,0 +1,133 @@
+"""Cluster: a named set of hosts sharing one simulation engine.
+
+Replaces the thesis' testbed (volta/exergy/romulus/thermo.sdsu.edu).  The
+cluster owns host construction, deploys the NodeStatus monitoring service on
+each host (thesis Figure 3.7 — "the administrator needs to deploy NodeStatus
+on the hosts to be load balanced"), models *application* service deployment
+(which hosts can serve which Web Service), and provides the sampling helpers
+the experiment metrics use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimEngine
+from repro.sim.host import Host
+from repro.sim.network import LatencyModel
+from repro.sim.nodestatus import NodeStatusService
+from repro.sim.task import Task
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Construction parameters for one host."""
+
+    name: str
+    cores: int = 1
+    memory_total: int = 8 << 30
+    swap_total: int = 8 << 30
+
+
+class Cluster:
+    """A set of simulated hosts, their monitors, and service deployments."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        *,
+        latency: LatencyModel | None = None,
+        load_metric: str = "runqueue",
+    ) -> None:
+        self.engine = engine
+        self.latency = latency or LatencyModel()
+        self.load_metric = load_metric
+        self._hosts: dict[str, Host] = {}
+        self._monitors: dict[str, NodeStatusService] = {}
+        #: service name → list of host names deploying it
+        self._deployments: dict[str, list[str]] = {}
+
+    # -- hosts --------------------------------------------------------------
+
+    def add_host(self, spec: HostSpec) -> Host:
+        if spec.name in self._hosts:
+            raise InvalidRequestError(f"duplicate host name: {spec.name!r}")
+        host = Host(
+            spec.name,
+            self.engine,
+            cores=spec.cores,
+            memory_total=spec.memory_total,
+            swap_total=spec.swap_total,
+        )
+        self._hosts[spec.name] = host
+        self._monitors[spec.name] = NodeStatusService(host, metric=self.load_metric)
+        return host
+
+    def add_hosts(self, specs: list[HostSpec]) -> list[Host]:
+        return [self.add_host(spec) for spec in specs]
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise ObjectNotFoundError(name, f"no such host: {name!r}") from None
+
+    def hosts(self) -> list[Host]:
+        return [self._hosts[name] for name in sorted(self._hosts)]
+
+    def host_names(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def monitor(self, name: str) -> NodeStatusService:
+        try:
+            return self._monitors[name]
+        except KeyError:
+            raise ObjectNotFoundError(name, f"no monitor for host: {name!r}") from None
+
+    def monitors(self) -> list[NodeStatusService]:
+        return [self._monitors[name] for name in sorted(self._monitors)]
+
+    # -- service deployment ----------------------------------------------------
+
+    def deploy_service(self, service_name: str, host_names: list[str]) -> None:
+        """Record that *service_name* is deployed on *host_names*."""
+        for name in host_names:
+            self.host(name)  # validate
+        deployed = self._deployments.setdefault(service_name, [])
+        for name in host_names:
+            if name not in deployed:
+                deployed.append(name)
+
+    def deployment_hosts(self, service_name: str) -> list[str]:
+        return list(self._deployments.get(service_name, ()))
+
+    def is_deployed(self, service_name: str, host_name: str) -> bool:
+        return host_name in self._deployments.get(service_name, ())
+
+    # -- task dispatch ------------------------------------------------------------
+
+    def submit_task(self, host_name: str, task: Task) -> bool:
+        """Submit a task directly to a host (the service-invocation step)."""
+        return self.host(host_name).submit(task)
+
+    # -- observation -----------------------------------------------------------------
+
+    def load_snapshot(self) -> dict[str, float]:
+        """host → current load average, for metrics sampling."""
+        return {name: host.load_average() for name, host in sorted(self._hosts.items())}
+
+    def memory_snapshot(self) -> dict[str, int]:
+        return {name: host.memory_available() for name, host in sorted(self._hosts.items())}
+
+    def queue_snapshot(self) -> dict[str, int]:
+        return {name: host.run_queue_length for name, host in sorted(self._hosts.items())}
+
+    def total_completed(self) -> int:
+        return sum(host.tasks_completed for host in self._hosts.values())
+
+    def total_rejected(self) -> int:
+        return sum(host.tasks_rejected for host in self._hosts.values())
+
+    def __len__(self) -> int:
+        return len(self._hosts)

@@ -1,0 +1,169 @@
+"""Discrete-event simulation engine.
+
+A classic event-queue simulator: events are (time, sequence, callback)
+triples in a heap; ``run_until`` advances virtual time monotonically and
+fires callbacks in order.  The registry's monitoring timer (TimeHits), the
+host model's task completions, and the MTC workload's arrivals all schedule
+through one engine, so a whole experiment is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class SimEngine:
+    """Single-threaded discrete-event engine with virtual seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callback,
+        *,
+        first_delay: float | None = None,
+    ) -> "PeriodicTask":
+        """Fire *callback* every *period* seconds until stopped."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        task = PeriodicTask(self, period, callback)
+        task.start(first_delay if first_delay is not None else period)
+        return task
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._event_count += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Advance to *time*, firing every event scheduled before it."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards (t={time} < now={self._now})")
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Run until the queue drains (or *max_events* fired)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback (the TimeHits timer shape)."""
+
+    def __init__(self, engine: SimEngine, period: float, callback: Callback) -> None:
+        self.engine = engine
+        self.period = period
+        self.callback = callback
+        self._handle: EventHandle | None = None
+        self._stopped = False
+        self.fire_count = 0
+
+    def start(self, first_delay: float) -> None:
+        self._stopped = False
+        self._handle = self.engine.schedule(first_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self.callback()
+        if not self._stopped:
+            self._handle = self.engine.schedule(self.period, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def set_period(self, period: float) -> None:
+        """Reconfigure the period (takes effect at the next firing)."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period

@@ -1,0 +1,228 @@
+"""Simulated host: cores, processor-sharing run queue, memory, swap, load average.
+
+This replaces the thesis' physical SDSU machines (volta, exergy, romulus,
+thermo).  The observable surface matches what the real NodeStatus Web
+Service reported:
+
+* **CPU load** — the UNIX 1-minute load average, an exponentially damped
+  mean of the run-queue length ("the number of processes waiting in the
+  ready to execute queue", thesis §3.2);
+* **available physical memory** and **available swap** — running tasks pin
+  their footprint in RAM first, spilling to swap when RAM is exhausted.
+
+Execution model: processor sharing.  With ``n`` tasks on ``c`` cores each
+task progresses at rate ``min(1, c/n)``; the host reschedules its next
+completion event whenever the task set changes.  All progress accounting is
+lazy — state advances only when an event or an observer touches the host —
+so the simulation cost is O(events), independent of time resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.sim.engine import EventHandle, SimEngine
+from repro.sim.task import Task
+
+#: damping window of the reported load average (UNIX 1-minute average)
+LOAD_WINDOW_SECONDS = 60.0
+
+
+class Host:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: SimEngine,
+        *,
+        cores: int = 1,
+        memory_total: int = 8 << 30,
+        swap_total: int = 8 << 30,
+    ) -> None:
+        if cores < 1:
+            raise ValueError(f"host needs at least one core: {cores}")
+        self.name = name
+        self.engine = engine
+        self.cores = cores
+        self.memory_total = memory_total
+        self.swap_total = swap_total
+        self._tasks: list[Task] = []
+        self._memory_used = 0
+        self._swap_used = 0
+        self._load_average = 0.0
+        self._last_progress = engine.now
+        self._last_load_update = engine.now
+        self._completion_handle: EventHandle | None = None
+        self._completion_listeners: list[Callable[[Task], None]] = []
+        #: cumulative core-seconds of work completed (utilization metric)
+        self.work_done = 0.0
+        self.tasks_completed = 0
+        self.tasks_rejected = 0
+        #: a crashed/offline host rejects submissions and loses running tasks
+        self.online = True
+        self.tasks_lost = 0
+
+    # -- observers -------------------------------------------------------------
+
+    def on_task_complete(self, listener: Callable[[Task], None]) -> None:
+        self._completion_listeners.append(listener)
+
+    @property
+    def run_queue_length(self) -> int:
+        """Instantaneous number of runnable tasks."""
+        return len(self._tasks)
+
+    def load_average(self) -> float:
+        """Exponentially damped run-queue length (the NodeStatus LOAD field)."""
+        self._update_load()
+        return self._load_average
+
+    def memory_available(self) -> int:
+        self._progress()
+        return max(0, self.memory_total - self._memory_used)
+
+    def swap_available(self) -> int:
+        self._progress()
+        return max(0, self.swap_total - self._swap_used)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of capacity used over [0, horizon]."""
+        if horizon <= 0:
+            return 0.0
+        return self.work_done / (self.cores * horizon)
+
+    # -- task submission -----------------------------------------------------------
+
+    def submit(self, task: Task) -> bool:
+        """Admit a task; rejected when offline or memory+swap is exhausted."""
+        if not self.online:
+            self.tasks_rejected += 1
+            return False
+        self._progress()
+        self._update_load()
+        free_ram = self.memory_total - self._memory_used
+        free_swap = self.swap_total - self._swap_used
+        if task.memory > free_ram + free_swap:
+            self.tasks_rejected += 1
+            return False
+        in_ram = min(task.memory, free_ram)
+        self._memory_used += in_ram
+        self._swap_used += task.memory - in_ram
+        task._ram_share = in_ram  # type: ignore[attr-defined]
+        task.submitted_at = task.submitted_at if task.submitted_at is not None else self.engine.now
+        task.started_at = self.engine.now
+        task.host = self.name
+        self._tasks.append(task)
+        self._reschedule_completion()
+        return True
+
+    # -- progress accounting -----------------------------------------------------------
+
+    def _rate(self) -> float:
+        """Per-task progress rate under processor sharing."""
+        n = len(self._tasks)
+        if n == 0:
+            return 0.0
+        return min(1.0, self.cores / n)
+
+    #: residual work below this is considered finished; must exceed the float
+    #: ulp of any plausible simulation timestamp so completion events cannot
+    #: degenerate into zero-delay loops.
+    _EPSILON = 1e-9
+
+    def _progress(self) -> None:
+        """Advance all running tasks to the engine's current time."""
+        now = self.engine.now
+        # fold the elapsed window into the load average *before* harvesting:
+        # the run queue held its current length for the whole window, and
+        # completions take effect exactly at `now`.
+        self._update_load()
+        elapsed = now - self._last_progress
+        if elapsed > 0:
+            rate = self._rate()
+            if rate > 0:
+                done = elapsed * rate
+                for task in self._tasks:
+                    consumed = min(task.remaining, done)
+                    task.remaining -= consumed
+                    self.work_done += consumed
+        self._last_progress = now
+        # harvest finished tasks even on zero-elapsed calls: a completion
+        # event may fire at a timestamp progress already advanced to.
+        finished = [t for t in self._tasks if t.remaining <= self._EPSILON]
+        for task in finished:
+            self._finish(task)
+
+    def _finish(self, task: Task) -> None:
+        self._tasks.remove(task)
+        task.completed_at = self.engine.now
+        task.remaining = 0.0
+        ram_share = getattr(task, "_ram_share", task.memory)
+        self._memory_used -= ram_share
+        self._swap_used -= task.memory - ram_share
+        self.tasks_completed += 1
+        for listener in self._completion_listeners:
+            listener(task)
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        if not self._tasks:
+            return
+        rate = self._rate()
+        next_remaining = min(task.remaining for task in self._tasks)
+        delay = next_remaining / rate
+        self._completion_handle = self.engine.schedule(delay, self._on_completion_event)
+
+    def _on_completion_event(self) -> None:
+        self._progress()
+        self._update_load()
+        self._reschedule_completion()
+
+    # -- failure injection ---------------------------------------------------------
+
+    def crash(self) -> int:
+        """Take the host offline, losing every running task; returns the count."""
+        self._progress()
+        self._update_load()
+        lost = len(self._tasks)
+        for task in list(self._tasks):
+            ram_share = getattr(task, "_ram_share", task.memory)
+            self._memory_used -= ram_share
+            self._swap_used -= task.memory - ram_share
+        self._tasks.clear()
+        self.tasks_lost += lost
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        self.online = False
+        # the crashed machine's queue is empty; decay restarts from zero
+        self._load_average = 0.0
+        return lost
+
+    def recover(self) -> None:
+        """Bring a crashed host back online (empty, cold)."""
+        self.online = True
+
+    # -- load average -----------------------------------------------------------------
+
+    def _update_load(self) -> None:
+        """Exponential decay toward the instantaneous run-queue length."""
+        now = self.engine.now
+        dt = now - self._last_load_update
+        if dt <= 0:
+            return
+        alpha = math.exp(-dt / LOAD_WINDOW_SECONDS)
+        self._load_average = (
+            self._load_average * alpha + self.run_queue_length * (1.0 - alpha)
+        )
+        self._last_load_update = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Host({self.name!r}, cores={self.cores}, "
+            f"queue={self.run_queue_length}, load={self._load_average:.2f})"
+        )

@@ -1,0 +1,48 @@
+"""Network latency model between simulation nodes.
+
+Used by the simulated SOAP transport and by the thesis' *future directions*
+extension (§5.2): ranking access URIs by estimated network delay.  Latency
+is a symmetric base matrix plus optional jitter drawn from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util.errors import InvalidRequestError
+
+
+class LatencyModel:
+    """Pairwise one-way latency in seconds."""
+
+    def __init__(
+        self,
+        *,
+        default_latency: float = 0.005,
+        jitter_fraction: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if default_latency < 0:
+            raise InvalidRequestError("default latency must be non-negative")
+        self.default_latency = default_latency
+        self.jitter_fraction = jitter_fraction
+        self._rng = random.Random(seed)
+        self._pairs: dict[frozenset[str], float] = {}
+
+    def set_latency(self, a: str, b: str, latency: float) -> None:
+        if latency < 0:
+            raise InvalidRequestError("latency must be non-negative")
+        self._pairs[frozenset((a, b))] = latency
+
+    def base_latency(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        return self._pairs.get(frozenset((a, b)), self.default_latency)
+
+    def sample(self, a: str, b: str) -> float:
+        """One-way delay sample, with jitter applied."""
+        base = self.base_latency(a, b)
+        if self.jitter_fraction <= 0 or base == 0:
+            return base
+        jitter = self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(0.0, base * (1.0 + jitter))

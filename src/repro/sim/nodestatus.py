@@ -1,0 +1,73 @@
+"""The NodeStatus Web Service — the thesis' client-side monitoring agent.
+
+§3.3: "NodeStatus is dormant software that is invoked periodically.  The
+NodeStatus Web Service, when invoked, returns the CPU load along with the
+physical and swap memory available on the host."
+
+Each simulated host deploys one :class:`NodeStatusService`; its access URI
+follows the thesis convention
+``http://<host>:8080/NodeStatus/NodeStatusService``.  The registry's
+TimeHits timer invokes :meth:`invoke` (optionally through the simulated SOAP
+transport) and stores the reading in the NodeState table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.host import Host
+
+NODESTATUS_SERVICE_NAME = "NodeStatus"
+NODESTATUS_PATH = "/NodeStatus/NodeStatusService"
+
+
+def nodestatus_uri(host_name: str, *, port: int = 8080) -> str:
+    """Canonical NodeStatus endpoint URI for a host."""
+    return f"http://{host_name}:{port}{NODESTATUS_PATH}"
+
+
+@dataclass(frozen=True)
+class NodeStatusReading:
+    """The triple the NodeStatus service returns on each invocation."""
+
+    host: str
+    cpu_load: float
+    memory_available: int
+    swap_available: int
+
+
+class NodeStatusService:
+    """The per-host monitoring Web Service.
+
+    ``metric`` selects what the LOAD field reports: ``"runqueue"`` (default)
+    is the thesis' definition — "the number of processes waiting in the
+    ready to execute queue" — an instantaneous count; ``"loadavg"`` reports
+    the exponentially damped 1-minute average instead (an ablation knob:
+    damped readings lag load changes and are studied in bench LB-3).
+    """
+
+    def __init__(self, host: Host, *, port: int = 8080, metric: str = "runqueue") -> None:
+        if metric not in ("runqueue", "loadavg"):
+            raise ValueError(f"unknown load metric: {metric!r}")
+        self.host = host
+        self.port = port
+        self.metric = metric
+        self.invocation_count = 0
+
+    @property
+    def access_uri(self) -> str:
+        return nodestatus_uri(self.host.name, port=self.port)
+
+    def invoke(self) -> NodeStatusReading:
+        """Sample the host (the Web Service's single operation)."""
+        self.invocation_count += 1
+        if self.metric == "runqueue":
+            load = float(self.host.run_queue_length)
+        else:
+            load = self.host.load_average()
+        return NodeStatusReading(
+            host=self.host.name,
+            cpu_load=load,
+            memory_available=self.host.memory_available(),
+            swap_available=self.host.swap_available(),
+        )

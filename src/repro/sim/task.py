@@ -1,0 +1,55 @@
+"""Task model for the host simulator.
+
+An MTC task (thesis §3.1) is a short computation: it needs ``cpu_seconds``
+of processor work and holds ``memory`` bytes while running.  Hosts execute
+tasks under processor sharing, so wall-clock duration stretches with load.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_task_counter = itertools.count(1)
+
+
+@dataclass
+class Task:
+    """One unit of work submitted to a host."""
+
+    cpu_seconds: float
+    memory: int
+    name: str = ""
+
+    #: bookkeeping filled in by the host / metrics
+    task_id: int = field(default_factory=lambda: next(_task_counter))
+    submitted_at: float | None = None
+    started_at: float | None = None
+    completed_at: float | None = None
+    host: str | None = None
+    #: remaining processor work (seconds of a dedicated core)
+    remaining: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds <= 0:
+            raise ValueError(f"task cpu_seconds must be positive: {self.cpu_seconds}")
+        if self.memory < 0:
+            raise ValueError(f"task memory must be non-negative: {self.memory}")
+        self.remaining = float(self.cpu_seconds)
+        if not self.name:
+            self.name = f"task-{self.task_id}"
+
+    @property
+    def response_time(self) -> float | None:
+        """Submission-to-completion wall time, once finished."""
+        if self.completed_at is None or self.submitted_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def slowdown(self) -> float | None:
+        """Response time divided by ideal (unloaded) service time."""
+        rt = self.response_time
+        if rt is None:
+            return None
+        return rt / self.cpu_seconds

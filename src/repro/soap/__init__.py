@@ -1,0 +1,53 @@
+"""Simulated SOAP/HTTP messaging substrate.
+
+Envelopes, ebRS protocol messages, full RIM object (de)serialization, a
+URI-routed transport with latency and fault injection, and the two protocol
+bindings freebXML exposes (SOAP for both service interfaces, HTTP GET for
+read-only query access).
+"""
+
+from repro.soap.binding import SOAP_PATH, HttpGetBinding, SoapRegistryBinding
+from repro.soap.envelope import SoapEnvelope, SoapFault
+from repro.soap.messages import (
+    AddSlotsRequest,
+    AdhocQueryRequest,
+    ApproveObjectsRequest,
+    DeprecateObjectsRequest,
+    GetRegistryObjectRequest,
+    GetServiceBindingsRequest,
+    RegistryResponse,
+    RemoveObjectsRequest,
+    RemoveSlotsRequest,
+    SubmitObjectsRequest,
+    UndeprecateObjectsRequest,
+    UpdateObjectsRequest,
+)
+from repro.soap.serializer import deserialize, serialize
+from repro.soap.transport import SimTransport, TransportStats
+from repro.soap.xml_binding import envelope_from_xml, envelope_to_xml
+
+__all__ = [
+    "SOAP_PATH",
+    "HttpGetBinding",
+    "SoapRegistryBinding",
+    "SoapEnvelope",
+    "SoapFault",
+    "AddSlotsRequest",
+    "AdhocQueryRequest",
+    "ApproveObjectsRequest",
+    "DeprecateObjectsRequest",
+    "GetRegistryObjectRequest",
+    "GetServiceBindingsRequest",
+    "RegistryResponse",
+    "RemoveObjectsRequest",
+    "RemoveSlotsRequest",
+    "SubmitObjectsRequest",
+    "UndeprecateObjectsRequest",
+    "UpdateObjectsRequest",
+    "deserialize",
+    "serialize",
+    "SimTransport",
+    "TransportStats",
+    "envelope_from_xml",
+    "envelope_to_xml",
+]

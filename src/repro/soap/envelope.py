@@ -1,0 +1,60 @@
+"""SOAP-style message envelopes and faults.
+
+The freebXML registry exposes SOAP 1.1-with-attachments bindings (thesis
+§2.2.3); clients wrap every registry protocol request in an envelope whose
+header carries the session credentials.  This simulation keeps the envelope
+as a structured object (header dict + body payload) rather than angle
+brackets — serialization to XML-ish dicts lives in
+:mod:`repro.soap.serializer` and exists so the transport moves *data*, not
+live Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import RegistryError
+
+
+@dataclass
+class SoapEnvelope:
+    """One SOAP message: headers + a body payload."""
+
+    body: Any
+    headers: dict[str, str] = field(default_factory=dict)
+
+    #: header key carrying the authenticated session token
+    SESSION_HEADER = "urn:repro:session-token"
+
+    @classmethod
+    def with_session(cls, body: Any, session_token: str | None) -> "SoapEnvelope":
+        headers = {}
+        if session_token:
+            headers[cls.SESSION_HEADER] = session_token
+        return cls(body=body, headers=headers)
+
+    @property
+    def session_token(self) -> str | None:
+        return self.headers.get(self.SESSION_HEADER)
+
+
+@dataclass
+class SoapFault:
+    """A SOAP fault: code + message, carrying the registry error code."""
+
+    fault_code: str
+    fault_string: str
+    detail: str | None = None
+
+    @classmethod
+    def from_error(cls, error: RegistryError) -> "SoapFault":
+        return cls(
+            fault_code=error.code,
+            fault_string=str(error),
+            detail=error.detail,
+        )
+
+    def raise_(self) -> None:
+        """Re-raise this fault on the client side as a RegistryError."""
+        raise RegistryError(self.fault_string, detail=self.detail)

@@ -1,0 +1,101 @@
+"""Registry protocol request/response messages (ebRS protocols).
+
+One dataclass per protocol the thesis names (§2.2.3 and Figure 2.4):
+SubmitObjectsRequest, UpdateObjectsRequest, ApproveObjectsRequest,
+DeprecateObjectsRequest, UndeprecateObjectsRequest, RemoveObjectsRequest,
+RelocateObjectsRequest, AddSlotsRequest, RemoveSlotsRequest, plus
+AdhocQueryRequest/Response and the generic RegistryResponse wrapper.
+
+Requests reference registry objects as *serialized dicts* (see
+:mod:`repro.soap.serializer`) so the transport boundary is a real data
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.rim import QUERY_LANGUAGE_SQL
+
+SerializedObject = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SubmitObjectsRequest:
+    objects: list[SerializedObject]
+
+
+@dataclass(frozen=True)
+class UpdateObjectsRequest:
+    objects: list[SerializedObject]
+
+
+@dataclass(frozen=True)
+class ApproveObjectsRequest:
+    ids: list[str]
+
+
+@dataclass(frozen=True)
+class DeprecateObjectsRequest:
+    ids: list[str]
+
+
+@dataclass(frozen=True)
+class UndeprecateObjectsRequest:
+    ids: list[str]
+
+
+@dataclass(frozen=True)
+class RemoveObjectsRequest:
+    ids: list[str]
+
+
+@dataclass(frozen=True)
+class AddSlotsRequest:
+    object_id: str
+    slots: list[dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class RemoveSlotsRequest:
+    object_id: str
+    names: list[str]
+
+
+@dataclass(frozen=True)
+class AdhocQueryRequest:
+    query: str
+    query_language: str = QUERY_LANGUAGE_SQL
+    start_index: int = 0
+    max_results: int | None = None
+
+
+@dataclass(frozen=True)
+class GetRegistryObjectRequest:
+    object_id: str
+
+
+@dataclass(frozen=True)
+class GetServiceBindingsRequest:
+    """Discovery request for a service's (load-balanced) access bindings."""
+
+    service_id: str
+
+
+@dataclass(frozen=True)
+class RegistryResponse:
+    """Generic success response: status + result payload."""
+
+    status: str = "Success"
+    ids: list[str] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    objects: list[SerializedObject] = field(default_factory=list)
+    total_result_count: int | None = None
+
+    STATUS_SUCCESS = "Success"
+    STATUS_FAILURE = "Failure"
+
+    @property
+    def is_success(self) -> bool:
+        return self.status == self.STATUS_SUCCESS

@@ -1,0 +1,385 @@
+"""Serialization of ebRIM objects to/from transport dicts.
+
+The simulated SOAP boundary moves plain data, not live objects: this module
+flattens each RIM class to a tagged dict (``{"_type": "Service", ...}``) and
+reconstructs it on the other side.  Round-tripping is exact for every field
+the model carries, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rim import (
+    AdhocQuery,
+    Association,
+    AssociationType,
+    AuditableEvent,
+    EventType,
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+    EmailAddress,
+    ExternalIdentifier,
+    ExternalLink,
+    ExtrinsicObject,
+    InternationalString,
+    NotifyAction,
+    Organization,
+    PersonName,
+    PostalAddress,
+    RegistryObject,
+    RegistryPackage,
+    Service,
+    ServiceBinding,
+    Slot,
+    SpecificationLink,
+    Subscription,
+    TelephoneNumber,
+    User,
+)
+from repro.rim.status import ObjectStatus
+from repro.util.errors import InvalidRequestError
+
+SerializedObject = dict[str, Any]
+
+
+def _istring(value: InternationalString) -> list[dict[str, str]]:
+    return [
+        {"locale": s.locale, "charset": s.charset, "value": s.value}
+        for s in value.localized()
+    ]
+
+
+def _istring_back(data: list[dict[str, str]]) -> InternationalString:
+    out = InternationalString()
+    for entry in data:
+        out.set(entry["value"], locale=entry["locale"])
+    return out
+
+
+def _base_fields(obj: RegistryObject) -> SerializedObject:
+    return {
+        "_type": obj.type_name,
+        "id": obj.id,
+        "lid": obj.lid,
+        "name": _istring(obj.name),
+        "description": _istring(obj.description),
+        "status": obj.status.value,
+        "versionName": obj.version.version_name,
+        "owner": obj.owner,
+        "home": obj.home,
+        "slots": [
+            {"name": s.name, "values": list(s.values), "slotType": s.slot_type}
+            for s in obj.slots
+        ],
+        "classificationIds": list(obj.classification_ids),
+        "externalIdentifierIds": list(obj.external_identifier_ids),
+    }
+
+
+def _apply_base(obj: RegistryObject, data: SerializedObject) -> None:
+    obj.lid = data["lid"]
+    obj.name = _istring_back(data["name"])
+    obj.description = _istring_back(data["description"])
+    obj.status = ObjectStatus(data["status"])
+    obj.version.version_name = data["versionName"]
+    obj.owner = data["owner"]
+    obj.home = data["home"]
+    for slot in data["slots"]:
+        obj.slots.add(
+            Slot(name=slot["name"], values=slot["values"], slot_type=slot["slotType"])
+        )
+    obj.classification_ids = list(data["classificationIds"])
+    obj.external_identifier_ids = list(data["externalIdentifierIds"])
+
+
+def _address(a: PostalAddress) -> dict[str, str]:
+    return {
+        "streetNumber": a.street_number,
+        "street": a.street,
+        "city": a.city,
+        "state": a.state,
+        "country": a.country,
+        "postalCode": a.postal_code,
+        "type": a.type,
+    }
+
+
+def _address_back(d: dict[str, str]) -> PostalAddress:
+    return PostalAddress(
+        street_number=d["streetNumber"],
+        street=d["street"],
+        city=d["city"],
+        state=d["state"],
+        country=d["country"],
+        postal_code=d["postalCode"],
+        type=d["type"],
+    )
+
+
+def serialize(obj: RegistryObject) -> SerializedObject:
+    """Flatten one RIM object to a transport dict."""
+    data = _base_fields(obj)
+    if isinstance(obj, Organization):
+        data.update(
+            {
+                "parent": obj.parent,
+                "primaryContact": obj.primary_contact,
+                "addresses": [_address(a) for a in obj.addresses],
+                "emails": [{"address": e.address, "type": e.type} for e in obj.emails],
+                "telephones": [
+                    {
+                        "number": t.number,
+                        "countryCode": t.country_code,
+                        "areaCode": t.area_code,
+                        "extension": t.extension,
+                        "type": t.type,
+                    }
+                    for t in obj.telephones
+                ],
+                "serviceIds": list(obj.service_ids),
+            }
+        )
+    elif isinstance(obj, Service):
+        data.update({"provider": obj.provider, "bindingIds": list(obj.binding_ids)})
+    elif isinstance(obj, ServiceBinding):
+        data.update(
+            {
+                "service": obj.service,
+                "accessUri": obj.access_uri,
+                "targetBinding": obj.target_binding,
+                "specificationLinkIds": list(obj.specification_link_ids),
+            }
+        )
+    elif isinstance(obj, Association):
+        data.update(
+            {
+                "sourceObject": obj.source_object,
+                "targetObject": obj.target_object,
+                "associationType": obj.association_type.value,
+                "confirmedBySource": obj.confirmed_by_source,
+                "confirmedByTarget": obj.confirmed_by_target,
+            }
+        )
+    elif isinstance(obj, Classification):
+        data.update(
+            {
+                "classifiedObject": obj.classified_object,
+                "classificationNode": obj.classification_node,
+                "classificationScheme": obj.classification_scheme,
+                "nodeRepresentation": obj.node_representation,
+            }
+        )
+    elif isinstance(obj, ClassificationScheme):
+        data.update(
+            {
+                "isInternal": obj.is_internal,
+                "nodeType": obj.node_type,
+                "childNodeIds": list(obj.child_node_ids),
+            }
+        )
+    elif isinstance(obj, ClassificationNode):
+        data.update(
+            {
+                "code": obj.code,
+                "parent": obj.parent,
+                "path": obj.path,
+                "childNodeIds": list(obj.child_node_ids),
+            }
+        )
+    elif isinstance(obj, ExternalIdentifier):
+        data.update(
+            {
+                "registryObject": obj.registry_object,
+                "identificationScheme": obj.identification_scheme,
+                "value": obj.value,
+            }
+        )
+    elif isinstance(obj, ExternalLink):
+        data.update({"externalUri": obj.external_uri})
+    elif isinstance(obj, ExtrinsicObject):
+        data.update(
+            {
+                "mimeType": obj.mime_type,
+                "isOpaque": obj.is_opaque,
+                "contentVersion": obj.content_version,
+            }
+        )
+    elif isinstance(obj, RegistryPackage):
+        data.update({"memberIds": list(obj.member_ids)})
+    elif isinstance(obj, SpecificationLink):
+        data.update(
+            {
+                "serviceBinding": obj.service_binding,
+                "specificationObject": obj.specification_object,
+                "usageDescription": obj.usage_description,
+            }
+        )
+    elif isinstance(obj, User):
+        data.update(
+            {
+                "alias": obj.alias,
+                "firstName": obj.person_name.first_name,
+                "middleName": obj.person_name.middle_name,
+                "lastName": obj.person_name.last_name,
+                "organization": obj.organization,
+                "roles": sorted(obj.roles),
+            }
+        )
+    elif isinstance(obj, AuditableEvent):
+        data.update(
+            {
+                "eventType": obj.event_type.value,
+                "affectedObject": obj.affected_object,
+                "userId": obj.user_id,
+                "timestamp": obj.timestamp,
+                "requestId": obj.request_id,
+                "sequence": obj.sequence,
+            }
+        )
+    elif isinstance(obj, AdhocQuery):
+        data.update({"query": obj.query, "queryLanguage": obj.query_language})
+    elif isinstance(obj, Subscription):
+        data.update(
+            {
+                "selector": obj.selector,
+                "actions": [
+                    {"mode": a.mode, "endpoint": a.endpoint} for a in obj.actions
+                ],
+                "startTime": obj.start_time,
+                "endTime": obj.end_time,
+            }
+        )
+    return data
+
+
+def deserialize(data: SerializedObject) -> RegistryObject:
+    """Rebuild a RIM object from a transport dict."""
+    type_name = data.get("_type")
+    object_id = data["id"]
+    obj: RegistryObject
+    if type_name == "Organization":
+        obj = Organization(
+            object_id, parent=data["parent"], primary_contact=data["primaryContact"]
+        )
+        obj.addresses = [_address_back(a) for a in data["addresses"]]
+        obj.emails = [
+            EmailAddress(address=e["address"], type=e["type"]) for e in data["emails"]
+        ]
+        obj.telephones = [
+            TelephoneNumber(
+                number=t["number"],
+                country_code=t["countryCode"],
+                area_code=t["areaCode"],
+                extension=t["extension"],
+                type=t["type"],
+            )
+            for t in data["telephones"]
+        ]
+        obj.service_ids = list(data["serviceIds"])
+    elif type_name == "Service":
+        obj = Service(object_id, provider=data["provider"])
+        obj.binding_ids = list(data["bindingIds"])
+    elif type_name == "ServiceBinding":
+        obj = ServiceBinding(
+            object_id,
+            service=data["service"],
+            access_uri=data["accessUri"],
+            target_binding=data["targetBinding"],
+        )
+        obj.specification_link_ids = list(data["specificationLinkIds"])
+    elif type_name == "Association":
+        obj = Association(
+            object_id,
+            source_object=data["sourceObject"],
+            target_object=data["targetObject"],
+            association_type=AssociationType.from_name(data["associationType"]),
+        )
+        obj.confirmed_by_source = data["confirmedBySource"]
+        obj.confirmed_by_target = data["confirmedByTarget"]
+    elif type_name == "Classification":
+        obj = Classification(
+            object_id,
+            classified_object=data["classifiedObject"],
+            classification_node=data["classificationNode"],
+            classification_scheme=data["classificationScheme"],
+            node_representation=data["nodeRepresentation"],
+        )
+    elif type_name == "ClassificationScheme":
+        obj = ClassificationScheme(
+            object_id, is_internal=data["isInternal"], node_type=data["nodeType"]
+        )
+        obj.child_node_ids = list(data["childNodeIds"])
+    elif type_name == "ClassificationNode":
+        obj = ClassificationNode(
+            object_id, code=data["code"], parent=data["parent"], path=data["path"]
+        )
+        obj.child_node_ids = list(data["childNodeIds"])
+    elif type_name == "ExternalIdentifier":
+        obj = ExternalIdentifier(
+            object_id,
+            registry_object=data["registryObject"],
+            identification_scheme=data["identificationScheme"],
+            value=data["value"],
+        )
+    elif type_name == "ExternalLink":
+        obj = ExternalLink(object_id, external_uri=data["externalUri"])
+    elif type_name == "ExtrinsicObject":
+        obj = ExtrinsicObject(
+            object_id,
+            mime_type=data["mimeType"],
+            is_opaque=data["isOpaque"],
+            content_version=data["contentVersion"],
+        )
+    elif type_name == "RegistryPackage":
+        obj = RegistryPackage(object_id)
+        obj.member_ids = list(data["memberIds"])
+    elif type_name == "SpecificationLink":
+        obj = SpecificationLink(
+            object_id,
+            service_binding=data["serviceBinding"],
+            specification_object=data["specificationObject"],
+            usage_description=data["usageDescription"],
+        )
+    elif type_name == "User":
+        obj = User(
+            object_id,
+            alias=data["alias"],
+            person_name=PersonName(
+                first_name=data["firstName"],
+                middle_name=data["middleName"],
+                last_name=data["lastName"],
+            ),
+            organization=data["organization"],
+        )
+        obj.roles = set(data["roles"])
+    elif type_name == "AuditableEvent":
+        obj = AuditableEvent(
+            object_id,
+            event_type=EventType(data["eventType"]),
+            affected_object=data["affectedObject"],
+            user_id=data["userId"],
+            timestamp=data["timestamp"],
+            request_id=data["requestId"],
+        )
+        obj.sequence = data.get("sequence", 0)
+    elif type_name == "AdhocQuery":
+        obj = AdhocQuery(
+            object_id, query=data["query"], query_language=data["queryLanguage"]
+        )
+    elif type_name == "Subscription":
+        obj = Subscription(
+            object_id,
+            selector=data["selector"],
+            actions=[
+                NotifyAction(mode=a["mode"], endpoint=a["endpoint"])
+                for a in data["actions"]
+            ],
+            start_time=data["startTime"],
+            end_time=data["endTime"],
+        )
+    else:
+        raise InvalidRequestError(f"cannot deserialize object type {type_name!r}")
+    _apply_base(obj, data)
+    return obj

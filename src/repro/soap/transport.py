@@ -1,0 +1,108 @@
+"""Simulated transport: a routed endpoint table with a latency model.
+
+Replaces the HTTP/SOAP network between registry clients, the registry
+server, and the per-host NodeStatus services.  Endpoints register a handler
+under their URI; :meth:`SimTransport.request` routes an envelope to the
+handler, samples the latency model for the round trip, and returns the
+response.  Failures are injectable per endpoint (down hosts), which the
+monitoring code must tolerate — the thesis' scheme silently skips
+unreachable hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.rim.service import host_of_uri
+from repro.sim.network import LatencyModel
+from repro.util.errors import TransportError
+
+Handler = Callable[[Any], Any]
+
+
+@dataclass
+class TransportStats:
+    """Aggregate transport accounting (request counts, simulated wire time)."""
+
+    requests: int = 0
+    failures: int = 0
+    total_latency: float = 0.0
+    per_endpoint: dict[str, int] = field(default_factory=dict)
+
+    def record(self, uri: str, latency: float, ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.failures += 1
+        self.total_latency += latency
+        self.per_endpoint[uri] = self.per_endpoint.get(uri, 0) + 1
+
+
+class SimTransport:
+    """URI-routed request/response transport with simulated latency."""
+
+    def __init__(
+        self,
+        *,
+        latency: LatencyModel | None = None,
+        client_host: str = "client",
+    ) -> None:
+        self.latency = latency or LatencyModel(default_latency=0.0)
+        self.client_host = client_host
+        self._endpoints: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self.stats = TransportStats()
+
+    # -- endpoint management ----------------------------------------------------
+
+    def register_endpoint(self, uri: str, handler: Handler) -> None:
+        self._endpoints[uri] = handler
+
+    def unregister_endpoint(self, uri: str) -> None:
+        self._endpoints.pop(uri, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def set_host_down(self, host: str, down: bool = True) -> None:
+        """Mark every endpoint on *host* unreachable (fault injection)."""
+        if down:
+            self._down.add(host)
+        else:
+            self._down.discard(host)
+
+    def is_host_down(self, host: str) -> bool:
+        return host in self._down
+
+    # -- requests -----------------------------------------------------------------
+
+    def request(self, uri: str, payload: Any, *, source: str | None = None) -> Any:
+        """Send *payload* to the endpoint at *uri* and return its response.
+
+        Raises :class:`TransportError` for unknown endpoints and down hosts.
+        Latency is sampled for the round trip and recorded in :attr:`stats`
+        (the simulation engine's virtual clock is not advanced — requests
+        are instantaneous at event granularity, as in-thread SOAP calls are
+        to freebXML's timer).
+        """
+        source = source or self.client_host
+        target_host = host_of_uri(uri)
+        rtt = self.latency.sample(source, target_host) * 2.0
+        if target_host in self._down:
+            self.stats.record(uri, rtt, ok=False)
+            raise TransportError(f"host unreachable: {target_host}")
+        handler = self._endpoints.get(uri)
+        if handler is None:
+            self.stats.record(uri, rtt, ok=False)
+            raise TransportError(f"no endpoint registered at {uri}")
+        try:
+            response = handler(payload)
+        except TransportError:
+            self.stats.record(uri, rtt, ok=False)
+            raise
+        self.stats.record(uri, rtt, ok=True)
+        return response
+
+    def estimated_delay(self, uri: str, *, source: str | None = None) -> float:
+        """Base one-way delay to an endpoint (the §5.2 network-delay metric)."""
+        return self.latency.base_latency(source or self.client_host, host_of_uri(uri))

@@ -1,0 +1,120 @@
+"""Literal XML on the wire: envelope ↔ SOAP 1.1 XML text.
+
+The in-memory envelopes move structured dicts; this module renders them as
+actual ``<soap:Envelope>`` documents and parses them back, so a wire capture
+of the simulated traffic looks like what freebXML's SAAJ layer produced.
+Round-tripping is exact for every protocol message type.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.soap.envelope import SoapEnvelope, SoapFault
+from repro.soap.messages import (
+    AddSlotsRequest,
+    AdhocQueryRequest,
+    ApproveObjectsRequest,
+    DeprecateObjectsRequest,
+    GetRegistryObjectRequest,
+    GetServiceBindingsRequest,
+    RegistryResponse,
+    RemoveObjectsRequest,
+    RemoveSlotsRequest,
+    SubmitObjectsRequest,
+    UndeprecateObjectsRequest,
+    UpdateObjectsRequest,
+)
+from repro.util.errors import InvalidRequestError
+from repro.util.xmlutil import parse_xml
+
+SOAP_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+RS_NS = "urn:oasis:names:tc:ebxml-regrep:xsd:rs:3.0"
+
+#: message classes by their XML element name
+_MESSAGE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        SubmitObjectsRequest,
+        UpdateObjectsRequest,
+        ApproveObjectsRequest,
+        DeprecateObjectsRequest,
+        UndeprecateObjectsRequest,
+        RemoveObjectsRequest,
+        AddSlotsRequest,
+        RemoveSlotsRequest,
+        AdhocQueryRequest,
+        GetRegistryObjectRequest,
+        GetServiceBindingsRequest,
+        RegistryResponse,
+    )
+}
+
+
+def _payload_of(message: Any) -> dict:
+    """Dataclass fields as a JSON-safe dict."""
+    import dataclasses
+
+    return dataclasses.asdict(message)
+
+
+def envelope_to_xml(envelope: SoapEnvelope) -> str:
+    """Render an envelope as a SOAP 1.1 document."""
+    body_message = envelope.body
+    type_name = type(body_message).__name__
+    if type_name not in _MESSAGE_TYPES and not isinstance(body_message, SoapFault):
+        raise InvalidRequestError(
+            f"cannot render body of type {type_name!r} as SOAP XML"
+        )
+    root = ET.Element(f"{{{SOAP_NS}}}Envelope")
+    header = ET.SubElement(root, f"{{{SOAP_NS}}}Header")
+    for key, value in sorted(envelope.headers.items()):
+        entry = ET.SubElement(header, f"{{{RS_NS}}}HeaderEntry")
+        entry.set("name", key)
+        entry.text = value
+    body = ET.SubElement(root, f"{{{SOAP_NS}}}Body")
+    if isinstance(body_message, SoapFault):
+        fault = ET.SubElement(body, f"{{{SOAP_NS}}}Fault")
+        ET.SubElement(fault, "faultcode").text = body_message.fault_code
+        ET.SubElement(fault, "faultstring").text = body_message.fault_string
+        if body_message.detail:
+            ET.SubElement(fault, "detail").text = body_message.detail
+    else:
+        message_el = ET.SubElement(body, f"{{{RS_NS}}}{type_name}")
+        # the structured payload travels as canonical JSON inside the
+        # message element — the registry protocol's "attachment"
+        message_el.text = json.dumps(_payload_of(body_message), sort_keys=True)
+    return ET.tostring(root, encoding="unicode")
+
+
+def envelope_from_xml(text: str) -> SoapEnvelope:
+    """Parse a SOAP 1.1 document back into an envelope."""
+    root = parse_xml(text, what="SOAP envelope")
+    if root.tag != f"{{{SOAP_NS}}}Envelope":
+        raise InvalidRequestError("not a SOAP envelope")
+    headers: dict[str, str] = {}
+    header_el = root.find(f"{{{SOAP_NS}}}Header")
+    if header_el is not None:
+        for entry in header_el:
+            name = entry.get("name")
+            if name:
+                headers[name] = entry.text or ""
+    body_el = root.find(f"{{{SOAP_NS}}}Body")
+    if body_el is None or len(body_el) == 0:
+        raise InvalidRequestError("SOAP envelope has no body")
+    child = body_el[0]
+    local = child.tag.rsplit("}", 1)[-1]
+    if local == "Fault":
+        fault = SoapFault(
+            fault_code=(child.findtext("faultcode") or ""),
+            fault_string=(child.findtext("faultstring") or ""),
+            detail=child.findtext("detail"),
+        )
+        return SoapEnvelope(body=fault, headers=headers)
+    message_cls = _MESSAGE_TYPES.get(local)
+    if message_cls is None:
+        raise InvalidRequestError(f"unknown SOAP body element: {local!r}")
+    payload = json.loads(child.text or "{}")
+    return SoapEnvelope(body=message_cls(**payload), headers=headers)

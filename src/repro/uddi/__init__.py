@@ -1,0 +1,48 @@
+"""A miniature UDDI v3 registry — the thesis' comparison substrate.
+
+Chapter 1 of the thesis spends half its length contrasting ebXML registries
+against UDDI (Table 1.1's four-page feature matrix, the data structures of
+Figures 1.6–1.11, the nine API sets of §1.3.1.5).  This package implements
+UDDI at exactly the fidelity that comparison needs: the ~6 metadata classes,
+the fixed-form inquiry API, two-sided publisherAssertions, auth tokens,
+pull-model subscriptions, and wholesale replication — so the Table 1.1 bench
+can probe both registries with runnable code instead of prose.
+"""
+
+from repro.uddi.model import (
+    CANONICAL_TMODELS,
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    CategoryBag,
+    IdentifierBag,
+    KeyedReference,
+    PublisherAssertion,
+    TModel,
+)
+from repro.uddi.blue_pages import (
+    BluePages,
+    PropertyFilter,
+    PropertyType,
+    ServiceProperty,
+)
+from repro.uddi.registry import ChangeRecord, UddiRegistry, UddiSubscription
+
+__all__ = [
+    "CANONICAL_TMODELS",
+    "BindingTemplate",
+    "BusinessEntity",
+    "BusinessService",
+    "CategoryBag",
+    "IdentifierBag",
+    "KeyedReference",
+    "PublisherAssertion",
+    "TModel",
+    "ChangeRecord",
+    "UddiRegistry",
+    "UddiSubscription",
+    "BluePages",
+    "PropertyFilter",
+    "PropertyType",
+    "ServiceProperty",
+]

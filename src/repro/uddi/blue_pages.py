@@ -1,0 +1,141 @@
+"""UDDIe-style "blue pages": user-defined service properties + property search.
+
+Thesis §1.4 cites UDDIe (Ali et al. [24]): *"a new notion of 'blue pages' …
+enables recording of user defined properties associated with a Web Service.
+UDDIe adds to the existing search capabilities of a UDDI registry by
+enabling searching on user recorded properties.  The properties could be
+such as CPU load, network bandwidth, etc."*
+
+This module reproduces that related-work approach as a baseline for the
+thesis scheme: properties are (name, type, value) triples attached to
+bindingTemplates, refreshed by whoever monitors the hosts, and clients
+search with comparison filters — i.e. the *client* asks "bindings with
+cpuLoad < 2", instead of the registry transparently reordering.  Bench RW-1
+compares the two on the same workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.uddi.registry import UddiRegistry
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+class PropertyType(enum.Enum):
+    NUMBER = "number"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class ServiceProperty:
+    """One user-defined property on a bindingTemplate."""
+
+    name: str
+    value: float | str
+    property_type: PropertyType
+
+    @classmethod
+    def number(cls, name: str, value: float) -> "ServiceProperty":
+        return cls(name=name, value=float(value), property_type=PropertyType.NUMBER)
+
+    @classmethod
+    def string(cls, name: str, value: str) -> "ServiceProperty":
+        return cls(name=name, value=value, property_type=PropertyType.STRING)
+
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class PropertyFilter:
+    """A search predicate over one property: ``cpuLoad < 2.0``."""
+
+    name: str
+    op: str
+    value: float | str
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise InvalidRequestError(f"unknown property operator: {self.op!r}")
+
+    def matches(self, prop: ServiceProperty) -> bool:
+        try:
+            return _OPS[self.op](prop.value, self.value)
+        except TypeError:
+            return False
+
+
+class BluePages:
+    """The UDDIe property extension over one UDDI registry."""
+
+    def __init__(self, registry: UddiRegistry) -> None:
+        self.registry = registry
+        #: binding_key → {property name: property}
+        self._properties: dict[str, dict[str, ServiceProperty]] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def set_property(self, binding_key: str, prop: ServiceProperty) -> None:
+        """Record/refresh a property on a binding (the monitoring agent's call)."""
+        # validate the binding exists
+        found = False
+        for business in self.registry._businesses.values():
+            for service in business.services:
+                for binding in service.binding_templates:
+                    if binding.binding_key == binding_key:
+                        found = True
+        if not found:
+            raise ObjectNotFoundError(binding_key, f"no bindingTemplate {binding_key}")
+        self._properties.setdefault(binding_key, {})[prop.name] = prop
+
+    def get_properties(self, binding_key: str) -> dict[str, ServiceProperty]:
+        return dict(self._properties.get(binding_key, {}))
+
+    # -- searching ----------------------------------------------------------------
+
+    def find_bindings(
+        self, service_key: str, filters: list[PropertyFilter]
+    ) -> list[str]:
+        """Binding keys of *service_key* whose properties satisfy all filters.
+
+        Bindings missing a filtered property do NOT match (they cannot be
+        certified) — the same conservative rule the thesis scheme applies to
+        unmonitored hosts.
+        """
+        service = self.registry.get_service_detail(service_key)
+        out: list[str] = []
+        for binding in service.binding_templates:
+            properties = self._properties.get(binding.binding_key, {})
+            ok = True
+            for filt in filters:
+                prop = properties.get(filt.name)
+                if prop is None or not filt.matches(prop):
+                    ok = False
+                    break
+            if ok:
+                out.append(binding.binding_key)
+        return out
+
+    def find_access_points(
+        self, service_key: str, filters: list[PropertyFilter]
+    ) -> list[str]:
+        """Access points of the matching bindings, in publisher order.
+
+        UDDIe returns the matching set unordered by load — ranking is the
+        thesis scheme's addition; the client picks among these itself.
+        """
+        keys = set(self.find_bindings(service_key, filters))
+        service = self.registry.get_service_detail(service_key)
+        return [
+            b.access_point
+            for b in service.binding_templates
+            if b.binding_key in keys
+        ]

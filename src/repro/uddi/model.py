@@ -1,0 +1,140 @@
+"""UDDI v3 data structures (thesis §1.3.1.4, Figures 1.6–1.11).
+
+The comparison registry for Table 1.1: businessEntity / businessService /
+bindingTemplate / tModel / publisherAssertion, with categoryBag and
+identifierBag holding keyedReferences.  The model deliberately mirrors
+UDDI's limitations that Table 1.1 calls out — ~6 metadata classes, no
+repository, type-oriented rather than object-oriented API — so the feature
+matrix bench can probe both registries honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import InvalidRequestError
+
+
+@dataclass(frozen=True)
+class KeyedReference:
+    """A (tModelKey, keyName, keyValue) triple inside a bag."""
+
+    tmodel_key: str
+    key_name: str
+    key_value: str
+
+
+@dataclass
+class CategoryBag:
+    """Classification references (yellow pages)."""
+
+    references: list[KeyedReference] = field(default_factory=list)
+
+    def add(self, tmodel_key: str, key_name: str, key_value: str) -> None:
+        self.references.append(KeyedReference(tmodel_key, key_name, key_value))
+
+    def matches(self, tmodel_key: str, key_value: str) -> bool:
+        return any(
+            r.tmodel_key == tmodel_key and r.key_value == key_value
+            for r in self.references
+        )
+
+
+@dataclass
+class IdentifierBag:
+    """Identity references (D-U-N-S numbers etc.), Table 1.3."""
+
+    references: list[KeyedReference] = field(default_factory=list)
+
+    def add(self, tmodel_key: str, key_name: str, key_value: str) -> None:
+        self.references.append(KeyedReference(tmodel_key, key_name, key_value))
+
+
+@dataclass
+class TModel:
+    """Technical model: a named technical specification reference."""
+
+    tmodel_key: str
+    name: str
+    description: str = ""
+    overview_url: str = ""
+    category_bag: CategoryBag = field(default_factory=CategoryBag)
+    deleted: bool = False
+
+
+@dataclass
+class BindingTemplate:
+    """Green pages: one access point of a service."""
+
+    binding_key: str
+    service_key: str
+    access_point: str
+    description: str = ""
+    tmodel_keys: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BusinessService:
+    """One logical service of a business."""
+
+    service_key: str
+    business_key: str
+    name: str
+    description: str = ""
+    category_bag: CategoryBag = field(default_factory=CategoryBag)
+    binding_templates: list[BindingTemplate] = field(default_factory=list)
+
+
+@dataclass
+class BusinessEntity:
+    """White pages: the business itself."""
+
+    business_key: str
+    name: str
+    description: str = ""
+    contacts: list[str] = field(default_factory=list)
+    identifier_bag: IdentifierBag = field(default_factory=IdentifierBag)
+    category_bag: CategoryBag = field(default_factory=CategoryBag)
+    services: list[BusinessService] = field(default_factory=list)
+
+    def service(self, service_key: str) -> BusinessService | None:
+        for service in self.services:
+            if service.service_key == service_key:
+                return service
+        return None
+
+
+@dataclass(frozen=True)
+class PublisherAssertion:
+    """A one-sided relationship claim between two businesses (Figure 1.8).
+
+    The relationship becomes *visible* only when both parties assert it
+    (thesis §1.3.1.4) — the status check lives in the registry.
+    """
+
+    from_key: str
+    to_key: str
+    keyed_reference: KeyedReference
+
+    def complements(self, other: "PublisherAssertion") -> bool:
+        return (
+            self.from_key == other.from_key
+            and self.to_key == other.to_key
+            and self.keyed_reference == other.keyed_reference
+        )
+
+
+#: canonical taxonomy tModels shipped with UDDI v2+ (thesis Table 1.2)
+CANONICAL_TMODELS = {
+    "uuid:uddi-org:naics": "unspsc-org:naics",
+    "uuid:uddi-org:unspsc": "unspsc-org:unspsc:3-1",
+    "uuid:uddi-org:iso3166": "iso-ch:3166:1999",
+    "uuid:uddi-org:general_keywords": "uddi-org:general_keywords",
+    "uuid:dnb-com:D-U-N-S": "dnb-com:D-U-N-S",
+}
+
+
+def require_key(key: str, what: str) -> str:
+    if not key:
+        raise InvalidRequestError(f"{what} requires a key")
+    return key

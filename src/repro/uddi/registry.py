@@ -1,0 +1,390 @@
+"""A UDDI v3 registry: inquiry, publication, security, and subscription APIs.
+
+Implements the API sets the thesis enumerates in §1.3.1.5 at the fidelity
+Table 1.1 compares against:
+
+* **Security API** — ``get_authToken`` / ``discard_authToken``;
+* **Publication API** — ``save_business/service/binding/tModel``,
+  ``delete_*``, publisherAssertion management (two-sided visibility);
+* **Inquiry API** — ``find_business/service/binding/tModel`` (name prefix +
+  category matching — UDDI's *fixed* query forms, deliberately not ad hoc
+  SQL), ``get_*Detail`` operations, ``find_relatedBusinesses``;
+* **Subscription API** — save/delete subscription + get_subscriptionResults
+  over a change log (UDDI's polling model, vs ebXML's push notification).
+
+tModel deletion is *logical* (hidden, not destroyed), per the UDDI spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uddi.model import (
+    CANONICAL_TMODELS,
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    CategoryBag,
+    KeyedReference,
+    PublisherAssertion,
+    TModel,
+    require_key,
+)
+from repro.util.errors import AuthenticationError, InvalidRequestError, ObjectNotFoundError
+from repro.util.ids import IdFactory
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One entry in the registry's change log (feeds subscriptions/replication)."""
+
+    sequence: int
+    operation: str  # "save" | "delete"
+    entity_kind: str  # "business" | "service" | "binding" | "tModel"
+    key: str
+    publisher: str
+
+
+@dataclass
+class UddiSubscription:
+    subscription_key: str
+    publisher: str
+    #: filter: entity kind of interest ("business", "service", …, or "*")
+    entity_kind: str = "*"
+    #: change-log sequence already consumed
+    last_seen: int = 0
+
+
+class UddiRegistry:
+    """One UDDI node (thesis Table 1.4's corporate/private flavour)."""
+
+    def __init__(self, *, name: str = "uddi-node", seed: int | None = None) -> None:
+        self.name = name
+        self.ids = IdFactory(seed)
+        self._businesses: dict[str, BusinessEntity] = {}
+        self._tmodels: dict[str, TModel] = {}
+        self._assertions: list[tuple[str, PublisherAssertion]] = []  # (publisher, assertion)
+        self._tokens: dict[str, str] = {}  # token → publisher id
+        self._publishers: dict[str, str] = {}  # publisher id → password
+        self._owners: dict[str, str] = {}  # entity key → publisher id
+        self._change_log: list[ChangeRecord] = []
+        self._subscriptions: dict[str, UddiSubscription] = {}
+        for key, name_ in CANONICAL_TMODELS.items():
+            self._tmodels[key] = TModel(tmodel_key=key, name=name_)
+
+    # -- security API -------------------------------------------------------
+
+    def register_publisher(self, publisher: str, password: str) -> None:
+        if publisher in self._publishers:
+            raise AuthenticationError(f"publisher already registered: {publisher!r}")
+        self._publishers[publisher] = password
+
+    def get_auth_token(self, publisher: str, password: str) -> str:
+        if self._publishers.get(publisher) != password:
+            raise AuthenticationError(f"bad credentials for publisher {publisher!r}")
+        token = self.ids.new_id()
+        self._tokens[token] = publisher
+        return token
+
+    def discard_auth_token(self, token: str) -> None:
+        self._tokens.pop(token, None)
+
+    def _publisher(self, token: str) -> str:
+        publisher = self._tokens.get(token)
+        if publisher is None:
+            raise AuthenticationError("invalid or expired auth token")
+        return publisher
+
+    def _check_owner(self, token: str, key: str) -> str:
+        publisher = self._publisher(token)
+        owner = self._owners.get(key)
+        if owner is not None and owner != publisher:
+            raise AuthenticationError(
+                f"publisher {publisher!r} does not own entity {key}"
+            )
+        return publisher
+
+    def _log(self, operation: str, kind: str, key: str, publisher: str) -> None:
+        self._change_log.append(
+            ChangeRecord(
+                sequence=len(self._change_log) + 1,
+                operation=operation,
+                entity_kind=kind,
+                key=key,
+                publisher=publisher,
+            )
+        )
+
+    # -- publication API -----------------------------------------------------------
+
+    def save_business(
+        self, token: str, name: str, *, description: str = "", business_key: str | None = None
+    ) -> BusinessEntity:
+        key = business_key or self.ids.new_id()
+        publisher = self._check_owner(token, key)
+        existing = self._businesses.get(key)
+        if existing is None:
+            entity = BusinessEntity(business_key=key, name=name, description=description)
+            self._businesses[key] = entity
+            self._owners[key] = publisher
+        else:
+            existing.name = name
+            existing.description = description
+            entity = existing
+        self._log("save", "business", key, publisher)
+        return entity
+
+    def save_service(
+        self, token: str, business_key: str, name: str, *, description: str = ""
+    ) -> BusinessService:
+        publisher = self._check_owner(token, business_key)
+        business = self._require_business(business_key)
+        service = BusinessService(
+            service_key=self.ids.new_id(),
+            business_key=business_key,
+            name=name,
+            description=description,
+        )
+        business.services.append(service)
+        self._owners[service.service_key] = publisher
+        self._log("save", "service", service.service_key, publisher)
+        return service
+
+    def save_binding(
+        self,
+        token: str,
+        service_key: str,
+        access_point: str,
+        *,
+        tmodel_keys: list[str] | None = None,
+    ) -> BindingTemplate:
+        publisher = self._check_owner(token, service_key)
+        service = self._require_service(service_key)
+        binding = BindingTemplate(
+            binding_key=self.ids.new_id(),
+            service_key=service_key,
+            access_point=access_point,
+            tmodel_keys=list(tmodel_keys or ()),
+        )
+        service.binding_templates.append(binding)
+        self._owners[binding.binding_key] = publisher
+        self._log("save", "binding", binding.binding_key, publisher)
+        return binding
+
+    def save_tmodel(self, token: str, name: str, *, overview_url: str = "") -> TModel:
+        publisher = self._publisher(token)
+        tmodel = TModel(tmodel_key=self.ids.new_id(), name=name, overview_url=overview_url)
+        self._tmodels[tmodel.tmodel_key] = tmodel
+        self._owners[tmodel.tmodel_key] = publisher
+        self._log("save", "tModel", tmodel.tmodel_key, publisher)
+        return tmodel
+
+    def delete_business(self, token: str, business_key: str) -> None:
+        publisher = self._check_owner(token, business_key)
+        business = self._require_business(business_key)
+        del self._businesses[business_key]
+        self._log("delete", "business", business_key, publisher)
+
+    def delete_service(self, token: str, service_key: str) -> None:
+        publisher = self._check_owner(token, service_key)
+        service = self._require_service(service_key)
+        business = self._require_business(service.business_key)
+        business.services.remove(service)
+        self._log("delete", "service", service_key, publisher)
+
+    def delete_binding(self, token: str, binding_key: str) -> None:
+        publisher = self._check_owner(token, binding_key)
+        for business in self._businesses.values():
+            for service in business.services:
+                for binding in service.binding_templates:
+                    if binding.binding_key == binding_key:
+                        service.binding_templates.remove(binding)
+                        self._log("delete", "binding", binding_key, publisher)
+                        return
+        raise ObjectNotFoundError(binding_key)
+
+    def delete_tmodel(self, token: str, tmodel_key: str) -> None:
+        """Logical deletion: hidden from finds, still resolvable by key."""
+        publisher = self._check_owner(token, tmodel_key)
+        tmodel = self._tmodels.get(tmodel_key)
+        if tmodel is None:
+            raise ObjectNotFoundError(tmodel_key)
+        tmodel.deleted = True
+        self._log("delete", "tModel", tmodel_key, publisher)
+
+    # -- publisher assertions -----------------------------------------------------------
+
+    def add_publisher_assertion(self, token: str, assertion: PublisherAssertion) -> None:
+        publisher = self._publisher(token)
+        if publisher not in (
+            self._owners.get(assertion.from_key),
+            self._owners.get(assertion.to_key),
+        ):
+            raise AuthenticationError(
+                "publisher must own one end of the asserted relationship"
+            )
+        self._assertions.append((publisher, assertion))
+
+    def delete_publisher_assertion(self, token: str, assertion: PublisherAssertion) -> None:
+        publisher = self._publisher(token)
+        entry = (publisher, assertion)
+        if entry not in self._assertions:
+            raise ObjectNotFoundError("publisherAssertion")
+        self._assertions.remove(entry)
+
+    def get_assertion_status(self, from_key: str, to_key: str) -> str:
+        """'complete' when both sides asserted, else which side is missing."""
+        sides = {
+            self._owners.get(a.from_key) == p or self._owners.get(a.to_key) == p
+            for p, a in self._assertions
+            if a.from_key == from_key and a.to_key == to_key
+        }
+        publishers = {
+            p
+            for p, a in self._assertions
+            if a.from_key == from_key and a.to_key == to_key
+        }
+        from_owner = self._owners.get(from_key)
+        to_owner = self._owners.get(to_key)
+        if from_owner in publishers and to_owner in publishers:
+            return "status:complete"
+        if from_owner in publishers:
+            return "status:toKey_incomplete"
+        if to_owner in publishers:
+            return "status:fromKey_incomplete"
+        return "status:none"
+
+    def find_related_businesses(self, business_key: str) -> list[BusinessEntity]:
+        """Businesses whose relationship with *business_key* is complete."""
+        related: list[BusinessEntity] = []
+        seen: set[str] = set()
+        for _, assertion in self._assertions:
+            if business_key not in (assertion.from_key, assertion.to_key):
+                continue
+            other = (
+                assertion.to_key
+                if assertion.from_key == business_key
+                else assertion.from_key
+            )
+            pair = (assertion.from_key, assertion.to_key)
+            if self.get_assertion_status(*pair) != "status:complete":
+                continue
+            if other not in seen and other in self._businesses:
+                seen.add(other)
+                related.append(self._businesses[other])
+        return related
+
+    # -- inquiry API (fixed query forms — deliberately not ad hoc) ----------------------
+
+    def find_business(
+        self, *, name_prefix: str = "", category: KeyedReference | None = None
+    ) -> list[BusinessEntity]:
+        out = []
+        for business in self._businesses.values():
+            if name_prefix and not business.name.startswith(name_prefix):
+                continue
+            if category is not None and not business.category_bag.matches(
+                category.tmodel_key, category.key_value
+            ):
+                continue
+            out.append(business)
+        return sorted(out, key=lambda b: b.name)
+
+    def find_service(
+        self, *, name_prefix: str = "", business_key: str | None = None
+    ) -> list[BusinessService]:
+        out = []
+        for business in self._businesses.values():
+            if business_key and business.business_key != business_key:
+                continue
+            for service in business.services:
+                if name_prefix and not service.name.startswith(name_prefix):
+                    continue
+                out.append(service)
+        return sorted(out, key=lambda s: s.name)
+
+    def find_binding(self, service_key: str) -> list[BindingTemplate]:
+        return list(self._require_service(service_key).binding_templates)
+
+    def find_tmodel(self, *, name_prefix: str = "") -> list[TModel]:
+        return sorted(
+            (
+                t
+                for t in self._tmodels.values()
+                if not t.deleted and t.name.startswith(name_prefix)
+            ),
+            key=lambda t: t.name,
+        )
+
+    def get_business_detail(self, business_key: str) -> BusinessEntity:
+        return self._require_business(business_key)
+
+    def get_service_detail(self, service_key: str) -> BusinessService:
+        return self._require_service(service_key)
+
+    def get_tmodel_detail(self, tmodel_key: str) -> TModel:
+        tmodel = self._tmodels.get(tmodel_key)
+        if tmodel is None:
+            raise ObjectNotFoundError(tmodel_key)
+        return tmodel
+
+    # -- subscription API (polling model) -------------------------------------------------
+
+    def save_subscription(self, token: str, *, entity_kind: str = "*") -> UddiSubscription:
+        publisher = self._publisher(token)
+        subscription = UddiSubscription(
+            subscription_key=self.ids.new_id(),
+            publisher=publisher,
+            entity_kind=entity_kind,
+            last_seen=len(self._change_log),
+        )
+        self._subscriptions[subscription.subscription_key] = subscription
+        return subscription
+
+    def delete_subscription(self, token: str, subscription_key: str) -> None:
+        self._publisher(token)
+        self._subscriptions.pop(subscription_key, None)
+
+    def get_subscription_results(self, token: str, subscription_key: str) -> list[ChangeRecord]:
+        """UDDI's pull model: changes since the last poll."""
+        self._publisher(token)
+        subscription = self._subscriptions.get(subscription_key)
+        if subscription is None:
+            raise ObjectNotFoundError(subscription_key)
+        fresh = [
+            record
+            for record in self._change_log[subscription.last_seen :]
+            if subscription.entity_kind in ("*", record.entity_kind)
+        ]
+        subscription.last_seen = len(self._change_log)
+        return fresh
+
+    # -- replication (wholesale, per Table 1.1's "all data, all the time") -------------------
+
+    def replicate_to(self, other: "UddiRegistry") -> int:
+        """Copy the full change-relevant state into *other* (UBR-style sync)."""
+        import copy
+
+        count = 0
+        for key, business in self._businesses.items():
+            other._businesses[key] = copy.deepcopy(business)
+            count += 1
+        for key, tmodel in self._tmodels.items():
+            if key not in other._tmodels:
+                other._tmodels[key] = copy.deepcopy(tmodel)
+        return count
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _require_business(self, key: str) -> BusinessEntity:
+        business = self._businesses.get(require_key(key, "businessEntity"))
+        if business is None:
+            raise ObjectNotFoundError(key)
+        return business
+
+    def _require_service(self, key: str) -> BusinessService:
+        for business in self._businesses.values():
+            service = business.service(key)
+            if service is not None:
+                return service
+        raise ObjectNotFoundError(key)

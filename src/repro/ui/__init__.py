@@ -1,0 +1,21 @@
+"""Headless Web UI reproducing the thesis' §3.4 browser walkthrough."""
+
+from repro.ui.webui import (
+    DraftForm,
+    OrganizationForm,
+    RegistrationWizard,
+    SearchPanel,
+    SearchRow,
+    ServiceForm,
+    WebUI,
+)
+
+__all__ = [
+    "DraftForm",
+    "OrganizationForm",
+    "RegistrationWizard",
+    "SearchPanel",
+    "SearchRow",
+    "ServiceForm",
+    "WebUI",
+]

@@ -1,0 +1,349 @@
+"""Headless Web UI: the thesis' thin browser client, as driveable objects.
+
+Thesis §3.4.2–3.4.4.1 walks the freebXML Web UI: the user-registration
+wizard, the create-object forms with their tabbed sub-panels, the
+**Save vs Apply** distinction ("this will save information in memory; in
+order to store information permanently in the database the user needs to
+click the Apply button … if a user fails to click Apply, and logs out, any
+information entered will be lost"), the search panel with
+*FindAllMyObjects*, the relate flow that builds associations, and the
+details/delete actions.
+
+This module reproduces those flows headlessly: each page/form is an object
+whose methods are the clicks.  The **localCall** optimization of §2.2.1
+applies — the Web UI talks straight to the registry server's interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.registry.server import RegistryServer
+from repro.rim import (
+    Association,
+    AssociationType,
+    EmailAddress,
+    Organization,
+    PostalAddress,
+    RegistryObject,
+    Service,
+    ServiceBinding,
+    TelephoneNumber,
+)
+from repro.security.authn import Session
+from repro.security.certs import Credential
+from repro.util.errors import AuthenticationError, InvalidRequestError
+
+
+# ---------------------------------------------------------------------------
+# user registration wizard (§3.4.2, Figures 3.10–3.14)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RegistrationWizard:
+    """The four-step new-user wizard."""
+
+    registry: RegistryServer
+    _step: int = 1
+    _details: dict = field(default_factory=dict)
+    _credential: Credential | None = None
+
+    def step1_requirements(self) -> str:
+        """Step 1: the requirements page (X.509 certificate notice)."""
+        self._require_step(1)
+        self._step = 2
+        return (
+            "An X.509 certificate is required; the registry can generate a "
+            "self-signed certificate for you."
+        )
+
+    def step2_user_details(self, *, first_name: str = "", last_name: str = "", email: str = "") -> None:
+        """Step 2: personal details form."""
+        self._require_step(2)
+        self._details = {
+            "first_name": first_name,
+            "last_name": last_name,
+            "email": email,
+        }
+        self._step = 3
+
+    def step3_credentials(self, alias: str, password: str) -> None:
+        """Step 3: choose alias + password; registry issues key pair + cert."""
+        self._require_step(3)
+        from repro.rim import PersonName
+
+        user, credential = self.registry.register_user(
+            alias,
+            person_name=PersonName(
+                first_name=self._details.get("first_name", ""),
+                last_name=self._details.get("last_name", ""),
+            ),
+        )
+        self._credential = credential
+        self._password = password
+        self._step = 4
+
+    def step4_download(self) -> Credential:
+        """Step 4: download the .p12 — the credential to import into a keystore."""
+        self._require_step(4)
+        assert self._credential is not None
+        return self._credential
+
+    def _require_step(self, expected: int) -> None:
+        if self._step != expected:
+            raise InvalidRequestError(
+                f"wizard is at step {self._step}, not step {expected}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# draft editing: Save (memory) vs Apply (database)
+# ---------------------------------------------------------------------------
+
+
+class DraftForm:
+    """Base for object forms: holds a draft until Apply commits it.
+
+    ``save()`` keeps edits in memory (the thesis' Save button); ``apply()``
+    submits/updates through the LifeCycleManager and returns the message the
+    UI shows (*"Apply Successful"*, Figure 3.22).  Discarding an unapplied
+    draft loses the edits — exactly the logout-without-Apply hazard the
+    thesis warns about.
+    """
+
+    def __init__(self, ui: "WebUI") -> None:
+        self.ui = ui
+        self.saved = False
+        self.applied = False
+
+    def save(self) -> None:
+        """Keep current field values in memory."""
+        self._validate()
+        self.saved = True
+
+    def apply(self) -> str:
+        self._validate()
+        self._commit()
+        self.saved = True
+        self.applied = True
+        return "Apply Successful"
+
+    def _validate(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _commit(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class OrganizationForm(DraftForm):
+    """The create/edit Organization page with its tabs (Figures 3.17–3.33)."""
+
+    def __init__(self, ui: "WebUI", organization: Organization | None = None) -> None:
+        super().__init__(ui)
+        self._existing = organization is not None
+        self.draft = (
+            organization.copy()
+            if organization is not None
+            else Organization(ui.registry.ids.new_id())
+        )
+
+    # -- Organization Details tab
+    def set_name(self, name: str) -> None:
+        self.draft.name.set(name)
+
+    def set_description(self, description: str) -> None:
+        self.draft.description.set(description)
+
+    # -- Postal Address tab (Figures 3.18–3.21)
+    def postal_address_tab_add(self, **fields) -> None:
+        self.draft.addresses.append(PostalAddress(**fields))
+
+    # -- Email tab (Figures 3.23–3.26)
+    def email_tab_add(self, address: str, *, type: str = "OfficeEmail") -> None:
+        self.draft.emails.append(EmailAddress(address=address, type=type))
+
+    # -- Telephone tab (Figures 3.27–3.30)
+    def telephone_tab_add(self, number: str, **fields) -> None:
+        self.draft.telephones.append(TelephoneNumber(number=number, **fields))
+
+    def _validate(self) -> None:
+        if not self.draft.name.value:
+            raise InvalidRequestError("organization Name field is required")
+
+    def _commit(self) -> None:
+        session = self.ui.require_session()
+        if self._existing or self.applied:
+            self.ui.registry.lcm.update_objects(session, [self.draft.copy()])
+        else:
+            self.ui.registry.lcm.submit_objects(session, [self.draft.copy()])
+
+
+class ServiceForm(DraftForm):
+    """The create/edit Service page with the ServiceBinding tab (Figures 3.35–3.40)."""
+
+    def __init__(self, ui: "WebUI", service: Service | None = None) -> None:
+        super().__init__(ui)
+        self._existing = service is not None
+        self.draft = (
+            service.copy() if service is not None else Service(ui.registry.ids.new_id())
+        )
+        #: bindings drafted in the ServiceBinding tab, committed on Apply
+        self.binding_drafts: list[ServiceBinding] = []
+
+    def set_name(self, name: str) -> None:
+        self.draft.name.set(name)
+
+    def set_description(self, description: str) -> None:
+        self.draft.description.set(description)
+
+    def service_binding_tab_add(
+        self, access_uri: str | None = None, *, target_binding: str | None = None, description: str = ""
+    ) -> ServiceBinding:
+        binding = ServiceBinding(
+            self.ui.registry.ids.new_id(),
+            service=self.draft.id,
+            access_uri=access_uri,
+            target_binding=target_binding,
+            description=description,
+        )
+        self.binding_drafts.append(binding)
+        return binding
+
+    def _validate(self) -> None:
+        if not self.draft.name.value:
+            raise InvalidRequestError("service Name field is required")
+
+    def _commit(self) -> None:
+        session = self.ui.require_session()
+        if self._existing or self.applied:
+            self.ui.registry.lcm.update_objects(session, [self.draft.copy()])
+        else:
+            self.ui.registry.lcm.submit_objects(session, [self.draft.copy()])
+        if self.binding_drafts:
+            self.ui.registry.lcm.submit_objects(
+                session, [b.copy() for b in self.binding_drafts]
+            )
+            self.binding_drafts = []
+
+
+# ---------------------------------------------------------------------------
+# search panel (Figures 3.41, 3.52–3.56)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchRow:
+    """One row of the search-results pane."""
+
+    id: str
+    object_type: str
+    name: str
+    description: str
+    status: str
+
+
+class SearchPanel:
+    def __init__(self, ui: "WebUI") -> None:
+        self.ui = ui
+
+    def _rows(self, objects: list[RegistryObject]) -> list[SearchRow]:
+        return [
+            SearchRow(
+                id=o.id,
+                object_type=o.type_name,
+                name=o.name.value,
+                description=o.description.value,
+                status=o.status.value,
+            )
+            for o in objects
+        ]
+
+    def find_organizations(self, name_pattern: str = "%") -> list[SearchRow]:
+        return self._rows(self.ui.registry.qm.find_organizations(name_pattern))
+
+    def find_services(self, name_pattern: str = "%") -> list[SearchRow]:
+        return self._rows(self.ui.registry.qm.find_services(name_pattern))
+
+    def find_all_my_objects(self) -> list[SearchRow]:
+        session = self.ui.require_session()
+        return self._rows(self.ui.registry.qm.find_all_my_objects(session))
+
+
+# ---------------------------------------------------------------------------
+# the UI shell
+# ---------------------------------------------------------------------------
+
+
+class WebUI:
+    """The thin-browser registry UI, headless."""
+
+    def __init__(self, registry: RegistryServer) -> None:
+        self.registry = registry
+        self._session: Session | None = None
+
+    # -- login/logout ---------------------------------------------------------
+
+    def create_user_account(self) -> RegistrationWizard:
+        """The *Create User Account* link (Figure 3.9)."""
+        return RegistrationWizard(self.registry)
+
+    def login(self, credential: Credential) -> Session:
+        self._session = self.registry.login(credential)
+        return self._session
+
+    def logout(self) -> None:
+        """Logging out discards any unapplied drafts (they live in page state)."""
+        if self._session is not None:
+            self.registry.authenticator.close(self._session)
+        self._session = None
+
+    def require_session(self) -> Session:
+        if self._session is None:
+            raise AuthenticationError("log in before publishing or modifying")
+        return self._session
+
+    # -- pages ---------------------------------------------------------------------
+
+    def create_registry_object(self, object_type: str):
+        """The *Create a New Registry Object* link + type drop-down (Fig. 3.16)."""
+        self.require_session()
+        if object_type == "Organization":
+            return OrganizationForm(self)
+        if object_type == "Service":
+            return ServiceForm(self)
+        raise InvalidRequestError(f"unsupported object type in UI: {object_type!r}")
+
+    def search(self) -> SearchPanel:
+        return SearchPanel(self)
+
+    def details(self, object_id: str):
+        """Select an object and click *Details* (Figure 3.49): an edit form."""
+        obj = self.registry.qm.get_registry_object(object_id)
+        if isinstance(obj, Organization):
+            return OrganizationForm(self, obj)
+        if isinstance(obj, Service):
+            return ServiceForm(self, obj)
+        raise InvalidRequestError(f"no details form for {obj.type_name}")
+
+    def relate(
+        self,
+        source_id: str,
+        target_id: str,
+        association_type: str = "OffersService",
+    ) -> Association:
+        """Select two objects and click *Relate* (Figures 3.42–3.45)."""
+        session = self.require_session()
+        assoc = Association(
+            self.registry.ids.new_id(),
+            source_object=source_id,
+            target_object=target_id,
+            association_type=AssociationType.from_name(association_type),
+        )
+        self.registry.lcm.submit_objects(session, [assoc])
+        return assoc
+
+    def delete(self, object_id: str) -> list[str]:
+        """Select an object and press *Delete* (Figure 3.50)."""
+        session = self.require_session()
+        return self.registry.lcm.remove_objects(session, [object_id])

@@ -1,0 +1,49 @@
+"""Shared utilities: identifiers, clocks, units, errors, and XML helpers.
+
+These modules are deliberately dependency-free (stdlib only) so every other
+subpackage — the RIM object model, the registry server, the host simulator —
+can build on them without import cycles.
+"""
+
+from repro.util.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConstraintSyntaxError,
+    InvalidRequestError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    QuerySyntaxError,
+    RegistryError,
+    TransportError,
+)
+from repro.util.ids import IdFactory, is_urn_uuid, new_urn_uuid
+from repro.util.clock import ManualClock, SimClockAdapter, WallClock, minutes_of_day
+from repro.util.units import (
+    format_bytes,
+    parse_memory_size,
+    parse_military_time,
+    format_military_time,
+)
+
+__all__ = [
+    "AuthenticationError",
+    "AuthorizationError",
+    "ConstraintSyntaxError",
+    "InvalidRequestError",
+    "ObjectExistsError",
+    "ObjectNotFoundError",
+    "QuerySyntaxError",
+    "RegistryError",
+    "TransportError",
+    "IdFactory",
+    "is_urn_uuid",
+    "new_urn_uuid",
+    "ManualClock",
+    "SimClockAdapter",
+    "WallClock",
+    "minutes_of_day",
+    "format_bytes",
+    "parse_memory_size",
+    "parse_military_time",
+    "format_military_time",
+]

@@ -1,0 +1,99 @@
+"""Clock abstractions shared by the registry and the host simulator.
+
+The registry needs "now" for audit-trail timestamps and for evaluating the
+time-of-day constraint; the simulator needs a virtual clock it fully
+controls.  Every component therefore takes a *clock* object exposing:
+
+``now()``
+    seconds since the epoch of the clock (float);
+``minutes_of_day()``
+    minutes past (virtual) midnight, for the ``starttime``/``endtime``
+    constraint window.
+
+Three implementations cover the use cases: :class:`WallClock` for real time,
+:class:`ManualClock` for unit tests, and :class:`SimClockAdapter` to wrap the
+discrete-event simulation engine's clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+SECONDS_PER_DAY = 24 * 60 * 60
+
+
+def minutes_of_day(epoch_seconds: float) -> int:
+    """Map an epoch-seconds timestamp onto minutes past virtual midnight."""
+    return int(epoch_seconds % SECONDS_PER_DAY) // 60
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used across the library."""
+
+    def now(self) -> float:
+        """Seconds since this clock's epoch."""
+        ...
+
+    def minutes_of_day(self) -> int:
+        """Minutes past midnight in this clock's day cycle, in [0, 1440)."""
+        ...
+
+
+class WallClock:
+    """Real wall-clock time (local day cycle)."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def minutes_of_day(self) -> int:
+        localtime = time.localtime()
+        return localtime.tm_hour * 60 + localtime.tm_min
+
+
+class ManualClock:
+    """A clock advanced explicitly — the workhorse for unit tests.
+
+    The epoch starts at midnight, so ``advance(3600)`` moves to 01:00.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def minutes_of_day(self) -> int:
+        return minutes_of_day(self._now)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative deltas are rejected."""
+        if seconds < 0:
+            raise ValueError("cannot move a ManualClock backwards")
+        self._now += seconds
+
+    def set(self, now: float) -> None:
+        """Jump to an absolute time (forwards only)."""
+        if now < self._now:
+            raise ValueError("cannot move a ManualClock backwards")
+        self._now = float(now)
+
+
+class SimClockAdapter:
+    """Adapt any object with a ``now`` attribute or method to the Clock protocol.
+
+    The discrete-event engine (:mod:`repro.sim.engine`) exposes ``now`` as a
+    property; this adapter lets registry components treat simulation time as
+    their wall time, with the simulated day starting at t=0 (midnight).
+    """
+
+    def __init__(self, source) -> None:
+        self._source = source
+
+    def now(self) -> float:
+        now = getattr(self._source, "now")
+        return float(now() if callable(now) else now)
+
+    def minutes_of_day(self) -> int:
+        return minutes_of_day(self.now())

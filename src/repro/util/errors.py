@@ -1,0 +1,92 @@
+"""Exception hierarchy for the registry and its substrates.
+
+Mirrors the failure categories of the ebXML Registry Services spec (ebRS):
+authentication / authorization failures, missing or duplicate objects,
+malformed requests, and query-syntax errors, plus the constraint-language
+errors introduced by the load-balancing scheme.
+"""
+
+from __future__ import annotations
+
+
+class RegistryError(Exception):
+    """Base class for every error raised by the registry stack."""
+
+    #: Short machine-readable code included in RegistryResponse faults.
+    code: str = "urn:repro:error:Registry"
+
+    def __init__(self, message: str = "", *, detail: str | None = None) -> None:
+        super().__init__(message or self.__class__.__name__)
+        self.detail = detail
+
+
+class AuthenticationError(RegistryError):
+    """Raised when client credentials cannot be verified."""
+
+    code = "urn:repro:error:AuthenticationFailed"
+
+
+class AuthorizationError(RegistryError):
+    """Raised when an authenticated client lacks permission for an action."""
+
+    code = "urn:repro:error:AuthorizationFailed"
+
+
+class ObjectNotFoundError(RegistryError):
+    """Raised when a referenced registry object does not exist."""
+
+    code = "urn:repro:error:ObjectNotFound"
+
+    def __init__(self, object_id: str, message: str = "") -> None:
+        super().__init__(message or f"registry object not found: {object_id}")
+        self.object_id = object_id
+
+
+class ObjectExistsError(RegistryError):
+    """Raised when submitting an object whose id is already taken."""
+
+    code = "urn:repro:error:ObjectExists"
+
+    def __init__(self, object_id: str, message: str = "") -> None:
+        super().__init__(message or f"registry object already exists: {object_id}")
+        self.object_id = object_id
+
+
+class InvalidRequestError(RegistryError):
+    """Raised for malformed protocol requests (bad references, bad state)."""
+
+    code = "urn:repro:error:InvalidRequest"
+
+
+class QuerySyntaxError(RegistryError):
+    """Raised by the AdhocQuery engine for unparsable or unsupported queries."""
+
+    code = "urn:repro:error:QuerySyntax"
+
+    def __init__(self, message: str, *, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ConstraintSyntaxError(RegistryError):
+    """Raised by the load-balancing constraint parser for malformed constraints."""
+
+    code = "urn:repro:error:ConstraintSyntax"
+
+
+class TransportError(RegistryError):
+    """Raised by the simulated SOAP/HTTP transport (unreachable endpoint, fault)."""
+
+    code = "urn:repro:error:Transport"
+
+
+class LifeCycleError(InvalidRequestError):
+    """Raised for illegal object life-cycle transitions (e.g. approve a removed object)."""
+
+    code = "urn:repro:error:LifeCycle"
+
+
+class AccessXmlError(InvalidRequestError):
+    """Raised by the AccessRegistry API for XML violating the RegistryAccess DTD rules."""
+
+    code = "urn:repro:error:AccessXml"

@@ -1,0 +1,114 @@
+"""Memory-size and military-time parsing for the constraint language.
+
+The thesis constraint grammar (§3.2, Table 3.5) expresses memory quantities
+with the standard units ``KB``, ``MB`` and ``GB`` (e.g. ``memory gr 3GB``)
+and expresses the time-of-day window in military time (``<starttime>1000``
+meaning 10:00).  These helpers are the single authority for both formats.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConstraintSyntaxError
+
+#: Multipliers for the units admitted by the thesis grammar.  Values are
+#: binary multiples, matching how freebXML's NodeStatus reported memory.
+MEMORY_UNITS: dict[str, int] = {
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024**2,
+    "GB": 1024**3,
+    "TB": 1024**4,
+}
+
+_MEMORY_RE = re.compile(
+    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>B|KB|MB|GB|TB)\s*$", re.IGNORECASE
+)
+
+
+def parse_memory_size(text: str) -> int:
+    """Parse ``"5MB"``-style memory sizes into a byte count.
+
+    >>> parse_memory_size("3GB")
+    3221225472
+    >>> parse_memory_size("1.5 KB")
+    1536
+    """
+    match = _MEMORY_RE.match(text)
+    if match is None:
+        raise ConstraintSyntaxError(f"invalid memory size: {text!r}")
+    number = float(match.group("number"))
+    unit = match.group("unit").upper()
+    return int(number * MEMORY_UNITS[unit])
+
+
+def format_bytes(size: int) -> str:
+    """Render a byte count with the largest unit that keeps 3 significant digits.
+
+    >>> format_bytes(3221225472)
+    '3.00GB'
+    """
+    for unit in ("TB", "GB", "MB", "KB"):
+        if size >= MEMORY_UNITS[unit]:
+            return f"{size / MEMORY_UNITS[unit]:.2f}{unit}"
+    return f"{size}B"
+
+
+def format_bytes_exact(size: int) -> str:
+    """Render a byte count losslessly, using the largest unit that divides it.
+
+    Used by the constraint serializer, whose output must reparse to the same
+    byte count (``format_bytes`` rounds to two decimals and cannot).
+
+    >>> format_bytes_exact(3 * 1024**3)
+    '3GB'
+    >>> format_bytes_exact(1536)
+    '1.5KB'
+    """
+    if size < 0:
+        raise ValueError(f"byte count must be non-negative: {size}")
+    for unit in ("TB", "GB", "MB", "KB"):
+        multiple = MEMORY_UNITS[unit]
+        if size >= multiple and size % multiple == 0:
+            return f"{size // multiple}{unit}"
+    # not unit-aligned: KB with a fractional part is exact for small
+    # remainders (binary fractions of 1024 terminate in decimal)
+    if size >= 1024:
+        fraction = size / 1024
+        if fraction == float(f"{fraction:.10g}"):
+            return f"{f'{fraction:.10g}'}KB"
+    return f"{size}B"
+
+
+def parse_military_time(text: str) -> int:
+    """Parse a military-time string (``"1000"`` → minutes past midnight).
+
+    The thesis specifies ``<starttime>1000</starttime>`` meaning 10:00.
+    Returns minutes past midnight, in [0, 1440).
+
+    >>> parse_military_time("1000")
+    600
+    >>> parse_military_time("0730")
+    450
+    """
+    text = text.strip()
+    if not re.fullmatch(r"\d{3,4}", text):
+        raise ConstraintSyntaxError(f"invalid military time: {text!r}")
+    value = int(text)
+    hours, minutes = divmod(value, 100)
+    if hours > 23 or minutes > 59:
+        raise ConstraintSyntaxError(f"invalid military time: {text!r}")
+    return hours * 60 + minutes
+
+
+def format_military_time(minutes_of_day: int) -> str:
+    """Inverse of :func:`parse_military_time`.
+
+    >>> format_military_time(600)
+    '1000'
+    """
+    if not 0 <= minutes_of_day < 24 * 60:
+        raise ValueError(f"minutes of day out of range: {minutes_of_day}")
+    hours, minutes = divmod(minutes_of_day, 60)
+    return f"{hours:02d}{minutes:02d}"

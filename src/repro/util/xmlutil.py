@@ -1,0 +1,61 @@
+"""Small XML helpers over :mod:`xml.etree.ElementTree`.
+
+The AccessRegistry API and the constraint grammar both consume XML documents
+(action.xml / connection.xml, and ``<constraint>`` blocks inside service
+descriptions).  These helpers keep parsing code terse and give uniform error
+messages.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterator
+
+from repro.util.errors import InvalidRequestError
+
+
+def parse_xml(text: str, *, what: str = "document") -> ET.Element:
+    """Parse XML text into an Element, wrapping syntax errors uniformly."""
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise InvalidRequestError(f"malformed XML in {what}: {exc}") from exc
+
+
+def child_text(element: ET.Element, tag: str, *, default: str | None = None) -> str | None:
+    """Return the stripped text of the first *tag* child, or *default*."""
+    child = element.find(tag)
+    if child is None:
+        return default
+    return (child.text or "").strip()
+
+
+def required_child_text(element: ET.Element, tag: str, *, what: str = "") -> str:
+    """Return the stripped text of a mandatory child element."""
+    value = child_text(element, tag)
+    if value is None or value == "":
+        context = what or element.tag
+        raise InvalidRequestError(f"missing required <{tag}> in <{context}>")
+    return value
+
+
+def iter_children(element: ET.Element, tag: str) -> Iterator[ET.Element]:
+    """Iterate direct children with the given tag."""
+    return iter(element.findall(tag))
+
+
+def element_to_text(element: ET.Element) -> str:
+    """Serialize an Element subtree back to a compact unicode string."""
+    return ET.tostring(element, encoding="unicode")
+
+
+def inner_xml(element: ET.Element) -> str:
+    """Return the serialized content of *element* (children + text, no own tag).
+
+    Used to extract the raw ``<constraint>…</constraint>`` block that lives
+    inside a service ``<description>`` element.
+    """
+    parts: list[str] = [element.text or ""]
+    for child in element:
+        parts.append(ET.tostring(child, encoding="unicode"))
+    return "".join(parts).strip()

@@ -1,0 +1,60 @@
+"""Tests for the bench table/series renderers."""
+
+from repro.bench import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[1] == "| a   | bb |"
+        assert "| 222 | z  |" in lines
+        # every border row has the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_explicit_columns_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[1]
+        assert "c" in header and "a" in header and "b" not in header
+        assert header.index("c") < header.index("a")
+
+    def test_none_rendered_empty(self):
+        out = format_table([{"a": None}])
+        assert "None" not in out
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="T") == "T\n(no rows)"
+
+    def test_missing_keys_in_later_rows(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in out
+
+
+class TestFormatSeries:
+    def test_bars_scale_to_peak(self):
+        out = format_series(
+            [(1, 10.0), (2, 20.0)], x_label="x", y_label="y", width=10
+        )
+        lines = out.splitlines()
+        assert lines[0] == "x | y"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_title_and_empty(self):
+        assert format_series([], title="S") == "S\n(no points)"
+
+    def test_zero_values_no_crash(self):
+        out = format_series([(1, 0.0), (2, 0.0)])
+        assert "#" not in out
+
+    def test_x_labels_padded(self):
+        out = format_series([("short", 1.0), ("a-much-longer-label", 2.0)])
+        lines = out.splitlines()
+        assert lines[1].index("|") == lines[2].index("|")

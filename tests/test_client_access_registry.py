@@ -1,0 +1,297 @@
+"""Tests for the AccessRegistry Registry class (thesis §3.4.4.2 / §3.4.5)."""
+
+import pytest
+
+from repro.client.access import ClientEnvironment, Registry
+from repro.util.errors import AccessXmlError, AuthenticationError
+
+
+def run(connection, env, action_xml):
+    return Registry(connection, action_xml, environment=env).execute()
+
+
+def publish_xml(org="DemoOrganization", service=None, uris=(), constraint=""):
+    service_block = ""
+    if service:
+        uri_block = (
+            f"<accessuri>{' '.join(uris)}</accessuri>" if uris else ""
+        )
+        description = f"<description>{constraint}</description>" if constraint else ""
+        service_block = f"<service><name>{service}</name>{description}{uri_block}</service>"
+    return (
+        f'<root><action type="publish"><organization><name>{org}</name>'
+        f"{service_block}</organization></action></root>"
+    )
+
+
+class TestConnection:
+    def test_unknown_url_rejected(self, client_env, connection):
+        from repro.client.access import ConnectionSpec
+
+        bad = ConnectionSpec(
+            alias="gold", password="gold123", url="http://other.example/soap"
+        )
+        with pytest.raises(AccessXmlError):
+            Registry(bad, publish_xml(), environment=client_env)
+
+    def test_wrong_password_fails_at_execute(self, client_env, connection):
+        from repro.client.access import ConnectionSpec
+
+        bad = ConnectionSpec(
+            alias=connection.alias, password="wrong", url=connection.url
+        )
+        registry = Registry(bad, publish_xml(), environment=client_env)
+        with pytest.raises(AuthenticationError):
+            registry.execute()
+
+    def test_untrusted_operator_rejected(self, registry, connection):
+        # a fresh environment whose keystore has the credential but no trust anchor
+        env2 = ClientEnvironment.for_registry(registry)
+        keystore = env2.keystore_at(None)
+        original = ClientEnvironment.for_registry(registry)
+        # re-register through the raw authenticator to get a credential
+        _, credential = registry.register_user("lone")
+        keystore.set_entry("lone", credential, "pw")
+        from repro.client.access import ConnectionSpec
+
+        spec = ConnectionSpec(alias="lone", password="pw", url=registry.home)
+        api = Registry(spec, publish_xml(), environment=env2)
+        with pytest.raises(AccessXmlError, match="registryOperator"):
+            api.execute()
+
+
+class TestExecuteShape:
+    def test_returns_three_lists(self, client_env, connection):
+        out = run(connection, client_env, publish_xml())
+        assert len(out) == 3
+        published, modified, uris = out
+        assert len(published) == 1
+        assert modified == []
+        assert uris == []
+
+    def test_published_ids_are_urns(self, client_env, connection):
+        out = run(connection, client_env, publish_xml())
+        assert out[0][0].startswith("urn:uuid:")
+
+
+class TestPublish:
+    def test_publish_organization_with_service(self, registry, client_env, connection):
+        run(
+            connection,
+            client_env,
+            publish_xml(
+                service="Demo Service",
+                uris=(
+                    "http://exergy.sdsu.edu:8080/Adder/addService",
+                    "http://romulus.sdsu.edu:8080/Adder/addService",
+                ),
+            ),
+        )
+        org = registry.qm.find_organization_by_name("DemoOrganization")
+        assert org is not None
+        svc = registry.qm.find_service_by_name("Demo Service", organization=org)
+        assert svc is not None
+        assert registry.qm.get_access_uris(svc.id) == [
+            "http://exergy.sdsu.edu:8080/Adder/addService",
+            "http://romulus.sdsu.edu:8080/Adder/addService",
+        ]
+
+    def test_postal_address_and_phone_published(self, registry, client_env, connection):
+        xml = """<root><action type="publish"><organization>
+          <name>SDSU</name>
+          <postaladdress><streetnumber>5500</streetnumber><street>Campanile Drive</street>
+            <city>San Diego</city><state>CA</state><country>US</country>
+            <postalcode>92182</postalcode></postaladdress>
+          <telephone><countrycode>1</countrycode><areacode>619</areacode>
+            <number>594-5200</number><type>OfficePhone</type></telephone>
+        </organization></action></root>"""
+        run(connection, client_env, xml)
+        org = registry.qm.find_organization_by_name("SDSU")
+        assert org.addresses[0].city == "San Diego"
+        assert org.telephones[0].formatted() == "+1 (619) 594-5200"
+
+    def test_constraint_preserved_in_description(self, registry, client_env, connection):
+        constraint = "<constraint><cpuLoad>load ls 1.0</cpuLoad></constraint>"
+        run(
+            connection,
+            client_env,
+            publish_xml(service="Svc", uris=("http://h.x/s",), constraint=constraint),
+        )
+        svc = registry.qm.find_service_by_name("Svc")
+        assert "load ls 1.0" in svc.description.value
+
+
+class TestModify:
+    @pytest.fixture
+    def published(self, registry, client_env, connection):
+        run(
+            connection,
+            client_env,
+            publish_xml(
+                org="DemoOrg_ModifyService",
+                service="DemoSrv",
+                uris=("http://exergy.sdsu.edu:8080/Adder/addService",),
+            ),
+        )
+        return registry.qm.find_organization_by_name("DemoOrg_ModifyService")
+
+    def test_modify_unpublished_org_errors(self, client_env, connection):
+        xml = '<root><action type="modify"><organization><name>Ghost</name></organization></action></root>'
+        with pytest.raises(AccessXmlError, match="not published"):
+            run(connection, client_env, xml)
+
+    def test_delete_organization_cascades(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization type="delete">'
+            "<name>DemoOrg_ModifyService</name></organization></action></root>"
+        )
+        out = run(connection, client_env, xml)
+        assert out[1] == [published.id]
+        assert registry.qm.find_organization_by_name("DemoOrg_ModifyService") is None
+        assert registry.qm.find_service_by_name("DemoSrv") is None
+
+    def test_add_service(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="add"><name>Adder_AddNew</name>'
+            "<accessuri>http://thermo.sdsu.edu:8080/Adder/addService</accessuri>"
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        svc = registry.qm.find_service_by_name("Adder_AddNew")
+        assert svc is not None
+        assert svc.provider == published.id
+
+    def test_add_existing_service_errors(self, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="add"><name>DemoSrv</name></service></organization></action></root>'
+        )
+        with pytest.raises(AccessXmlError, match="already exists"):
+            run(connection, client_env, xml)
+
+    def test_delete_service(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="delete"><name>DemoSrv</name></service></organization></action></root>'
+        )
+        run(connection, client_env, xml)
+        assert registry.qm.find_service_by_name("DemoSrv") is None
+        assert registry.daos.organizations.require(published.id).service_ids == []
+
+    def test_edit_service_description(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<description type="edit"><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>'
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        svc = registry.qm.find_service_by_name("DemoSrv")
+        assert "load ls 1.0" in svc.description.value
+
+    def test_delete_service_description(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<description type="delete">x</description>'
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        assert registry.qm.find_service_by_name("DemoSrv").description.value == ""
+
+    def test_add_access_uri(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<accessuri type="add">http://romulus.sdsu.edu:8080/Adder/addService</accessuri>'
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        svc = registry.qm.find_service_by_name("DemoSrv")
+        assert registry.qm.get_access_uris(svc.id) == [
+            "http://exergy.sdsu.edu:8080/Adder/addService",
+            "http://romulus.sdsu.edu:8080/Adder/addService",
+        ]
+
+    def test_duplicate_access_uri_ignored(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<accessuri type="add">http://exergy.sdsu.edu:8080/Adder/addService</accessuri>'
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        svc = registry.qm.find_service_by_name("DemoSrv")
+        assert len(registry.qm.get_access_uris(svc.id)) == 1
+
+    def test_delete_access_uri(self, registry, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<accessuri type="delete">http://exergy.sdsu.edu:8080/Adder/addService</accessuri>'
+            "</service></organization></action></root>"
+        )
+        run(connection, client_env, xml)
+        svc = registry.qm.find_service_by_name("DemoSrv")
+        assert registry.qm.get_access_uris(svc.id) == []
+
+    def test_delete_unknown_uri_errors(self, client_env, connection, published):
+        xml = (
+            '<root><action type="modify"><organization><name>DemoOrg_ModifyService</name>'
+            '<service type="edit"><name>DemoSrv</name>'
+            '<accessuri type="delete">http://ghost.x/none</accessuri>'
+            "</service></organization></action></root>"
+        )
+        with pytest.raises(AccessXmlError, match="no bindings"):
+            run(connection, client_env, xml)
+
+
+class TestAccess:
+    def test_access_returns_uris(self, registry, client_env, connection):
+        run(
+            connection,
+            client_env,
+            publish_xml(org="OrgA", service="SrvA", uris=("http://h1.x/s", "http://h2.x/s")),
+        )
+        xml = (
+            '<root><action type="access"><organization><name>OrgA</name>'
+            "<service><name>SrvA</name></service></organization></action></root>"
+        )
+        out = run(connection, client_env, xml)
+        assert out[2] == ["http://h1.x/s", "http://h2.x/s"]
+
+    def test_access_requires_service_element(self, client_env, connection):
+        run(connection, client_env, publish_xml(org="OrgB"))
+        xml = '<root><action type="access"><organization><name>OrgB</name></organization></action></root>'
+        with pytest.raises(AccessXmlError, match="service"):
+            run(connection, client_env, xml)
+
+    def test_access_unknown_service_errors(self, client_env, connection):
+        run(connection, client_env, publish_xml(org="OrgC"))
+        xml = (
+            '<root><action type="access"><organization><name>OrgC</name>'
+            "<service><name>Ghost</name></service></organization></action></root>"
+        )
+        with pytest.raises(AccessXmlError, match="not published"):
+            run(connection, client_env, xml)
+
+
+class TestCombinedDocument:
+    def test_publish_modify_access_in_one_run(self, registry, client_env, connection):
+        xml = (
+            '<root>'
+            '<action type="publish"><organization><name>ComboOrg</name>'
+            "<service><name>ComboSrv</name><accessuri>http://h1.x/s</accessuri></service>"
+            "</organization></action>"
+            '<action type="modify"><organization><name>ComboOrg</name>'
+            '<service type="edit"><name>ComboSrv</name>'
+            '<accessuri type="add">http://h2.x/s</accessuri></service></organization></action>'
+            '<action type="access"><organization><name>ComboOrg</name>'
+            "<service><name>ComboSrv</name></service></organization></action>"
+            "</root>"
+        )
+        published, modified, uris = run(connection, client_env, xml)
+        assert len(published) == 1
+        assert len(modified) == 1
+        assert uris == ["http://h1.x/s", "http://h2.x/s"]

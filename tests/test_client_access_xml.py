@@ -1,0 +1,210 @@
+"""Tests for connection.xml and action.xml parsing (thesis Tables 3.3–3.6)."""
+
+import pytest
+
+from repro.client.access import parse_action_xml, parse_connection_xml
+from repro.util.errors import AccessXmlError, InvalidRequestError
+
+CONNECTION = """<?xml version="1.0" encoding="UTF-8"?>
+<connection>
+  <user>
+    <alias>gold</alias>
+    <password>gold123</password>
+  </user>
+  <url>https://volta.sdsu.edu:8443/omar/registry/soap</url>
+</connection>"""
+
+
+class TestConnectionXml:
+    def test_thesis_example(self):
+        spec = parse_connection_xml(CONNECTION)
+        assert spec.alias == "gold"
+        assert spec.password == "gold123"
+        assert spec.url == "https://volta.sdsu.edu:8443/omar/registry/soap"
+        assert spec.keystore_path is None
+
+    def test_keystore_element(self):
+        xml = CONNECTION.replace(
+            "</connection>", "<keystore>/home/u/keystore.jks</keystore></connection>"
+        )
+        assert parse_connection_xml(xml).keystore_path == "/home/u/keystore.jks"
+
+    def test_wrong_root(self):
+        with pytest.raises(AccessXmlError):
+            parse_connection_xml("<conn><user/></conn>")
+
+    def test_missing_user(self):
+        with pytest.raises(AccessXmlError):
+            parse_connection_xml("<connection><url>http://x</url></connection>")
+
+    @pytest.mark.parametrize("drop", ["alias", "password", "url"])
+    def test_missing_required_fields(self, drop):
+        import re
+
+        xml = re.sub(rf"<{drop}>[^<]*</{drop}>", "", CONNECTION)
+        with pytest.raises((AccessXmlError, InvalidRequestError)):
+            parse_connection_xml(xml)
+
+    def test_malformed_xml(self):
+        with pytest.raises(InvalidRequestError):
+            parse_connection_xml("<connection><user></connection>")
+
+
+PUBLISH = """<root>
+  <action type="publish">
+    <organization>
+      <name>San Diego State University (SDSU)</name>
+      <description>A university in southern California</description>
+      <postaladdress>
+        <streetnumber>5500</streetnumber>
+        <street>Campanile Drive</street>
+        <city>San Diego</city>
+        <state>CA</state>
+        <country>US</country>
+        <postalcode>92182</postalcode>
+        <type>TYPE-US</type>
+      </postaladdress>
+      <telephone>
+        <countrycode>1</countrycode>
+        <areacode>619</areacode>
+        <number>594-5200</number>
+        <type>OfficePhone</type>
+      </telephone>
+      <service>
+        <name>Demo Service</name>
+        <description>
+          <constraint>
+            <cpuLoad>load gt 0.01</cpuLoad>
+            <memory>memory geq 5MB</memory>
+            <swapmemory>swapmemory leq 3KB</swapmemory>
+            <starttime>0700</starttime>
+            <endtime>2200</endtime>
+          </constraint>
+        </description>
+        <accessuri>
+          http://exergy.sdsu.edu:8080/Adder/addService
+          http://romulus.sdsu.edu:8080/Adder/addService
+        </accessuri>
+      </service>
+    </organization>
+  </action>
+</root>"""
+
+
+class TestActionXmlPublish:
+    def test_thesis_publish_document(self):
+        doc = parse_action_xml(PUBLISH)
+        assert len(doc.actions) == 1
+        action = doc.actions[0]
+        assert action.action_type == "publish"
+        org = action.organizations[0]
+        assert org.name == "San Diego State University (SDSU)"
+        assert org.postal_address.street_number == "5500"
+        assert org.postal_address.postal_code == "92182"
+        assert org.telephone.area_code == "619"
+        service = org.services[0]
+        assert service.name == "Demo Service"
+        assert "<constraint>" in service.description.text
+        assert service.all_uris() == [
+            "http://exergy.sdsu.edu:8080/Adder/addService",
+            "http://romulus.sdsu.edu:8080/Adder/addService",
+        ]
+
+    def test_action_type_defaults_to_access(self):
+        doc = parse_action_xml(
+            "<root><action><organization><name>X</name></organization></action></root>"
+        )
+        assert doc.actions[0].action_type == "access"
+
+    def test_invalid_action_type(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="destroy"><organization><name>X</name></organization></action></root>'
+            )
+
+    def test_action_requires_organization(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml('<root><action type="publish"/></root>')
+
+    def test_root_requires_action(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml("<root/>")
+
+    def test_organization_requires_name(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="publish"><organization><name/></organization></action></root>'
+            )
+
+    def test_service_requires_name(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="publish"><organization><name>X</name>'
+                "<service><name></name></service></organization></action></root>"
+            )
+
+    def test_empty_accessuri_rejected(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="publish"><organization><name>X</name>'
+                "<service><name>S</name><accessuri> </accessuri></service>"
+                "</organization></action></root>"
+            )
+
+
+class TestActionXmlModify:
+    def test_organization_delete_type(self):
+        doc = parse_action_xml(
+            '<root><action type="modify"><organization type="delete">'
+            "<name>X</name></organization></action></root>"
+        )
+        assert doc.actions[0].organizations[0].mod_type == "delete"
+
+    def test_organization_only_supports_delete(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="modify"><organization type="rename">'
+                "<name>X</name></organization></action></root>"
+            )
+
+    @pytest.mark.parametrize("mod", ["add", "edit", "delete"])
+    def test_service_mod_types(self, mod):
+        doc = parse_action_xml(
+            f'<root><action type="modify"><organization><name>X</name>'
+            f'<service type="{mod}"><name>S</name></service></organization></action></root>'
+        )
+        assert doc.actions[0].organizations[0].services[0].mod_type == mod
+
+    def test_invalid_service_mod_type(self):
+        with pytest.raises(AccessXmlError):
+            parse_action_xml(
+                '<root><action type="modify"><organization><name>X</name>'
+                '<service type="rename"><name>S</name></service></organization></action></root>'
+            )
+
+    @pytest.mark.parametrize("mod", ["add", "edit", "modify", "delete"])
+    def test_description_mod_types(self, mod):
+        doc = parse_action_xml(
+            f'<root><action type="modify"><organization><name>X</name>'
+            f'<description type="{mod}">text</description></organization></action></root>'
+        )
+        assert doc.actions[0].organizations[0].description.mod_type == mod
+
+    @pytest.mark.parametrize("mod", ["add", "delete"])
+    def test_accessuri_mod_types(self, mod):
+        doc = parse_action_xml(
+            f'<root><action type="modify"><organization><name>X</name>'
+            f'<service type="edit"><name>S</name><accessuri type="{mod}">http://h/x</accessuri>'
+            "</service></organization></action></root>"
+        )
+        spec = doc.actions[0].organizations[0].services[0].access_uris[0]
+        assert spec.mod_type == mod
+
+    def test_multiple_actions_in_one_document(self):
+        doc = parse_action_xml(
+            '<root><action type="publish"><organization><name>A</name></organization></action>'
+            '<action type="modify"><organization><name>A</name></organization></action>'
+            '<action type="access"><organization><name>A</name>'
+            "<service><name>S</name></service></organization></action></root>"
+        )
+        assert [a.action_type for a in doc.actions] == ["publish", "modify", "access"]

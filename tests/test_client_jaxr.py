@@ -1,0 +1,111 @@
+"""Tests for the JAXR-style client: SOAP path vs localCall equivalence."""
+
+import pytest
+
+from repro.client.jaxr import ConnectionFactory
+from repro.util.errors import AuthenticationError, RegistryError
+
+
+@pytest.fixture(
+    params=[
+        {"local_call": False},
+        {"local_call": True},
+        {"local_call": False, "wire_xml": True},
+    ],
+    ids=["soap", "localCall", "wireXml"],
+)
+def factory(registry, request) -> ConnectionFactory:
+    return ConnectionFactory(registry, **request.param)
+
+
+@pytest.fixture
+def credential(registry):
+    _, cred = registry.register_user("jaxr-user")
+    return cred
+
+
+class TestConnection:
+    def test_connection_without_credential_is_query_only(self, factory, registry):
+        connection = factory.create_connection()
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        org = blcm.create_organization("SDSU")
+        with pytest.raises((AuthenticationError, RegistryError)):
+            blcm.save_objects([org])
+
+    def test_authenticated_connection_publishes(self, factory, registry, credential):
+        connection = factory.create_connection(credential)
+        service = connection.get_registry_service()
+        blcm = service.get_business_life_cycle_manager()
+        org = blcm.create_organization("SDSU", description="a university")
+        saved = blcm.save_objects([org])
+        assert saved == [org.id]
+        assert registry.daos.organizations.require(org.id).name.value == "SDSU"
+
+
+class TestBusinessLifeCycle:
+    def test_publish_org_with_services(self, factory, registry, credential):
+        connection = factory.create_connection(credential)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        bqm = connection.get_registry_service().get_business_query_manager()
+        org = blcm.create_organization("SDSU")
+        svc = blcm.create_service("Adder")
+        bindings = [
+            blcm.create_service_binding(svc, "http://exergy.sdsu.edu:8080/Adder/add"),
+            blcm.create_service_binding(svc, "http://thermo.sdsu.edu:8080/Adder/add"),
+        ]
+        blcm.publish_organization_with_services(org, [(svc, bindings)])
+        assert bqm.get_access_uris(svc.id) == [
+            "http://exergy.sdsu.edu:8080/Adder/add",
+            "http://thermo.sdsu.edu:8080/Adder/add",
+        ]
+        stored_org = registry.daos.organizations.require(org.id)
+        assert stored_org.service_ids == [svc.id]
+
+    def test_update_objects(self, factory, registry, credential):
+        connection = factory.create_connection(credential)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        bqm = connection.get_registry_service().get_business_query_manager()
+        org = blcm.create_organization("v1")
+        blcm.save_objects([org])
+        fetched = bqm.get_registry_object(org.id)
+        fetched.name.set("v2")
+        blcm.update_objects([fetched])
+        assert registry.daos.organizations.require(org.id).name.value == "v2"
+
+    def test_delete_objects(self, factory, registry, credential):
+        connection = factory.create_connection(credential)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        org = blcm.create_organization("SDSU")
+        blcm.save_objects([org])
+        blcm.delete_objects([org.id])
+        assert not registry.store.contains(org.id)
+
+
+class TestBusinessQueries:
+    def test_find_organizations(self, factory, registry, credential):
+        connection = factory.create_connection(credential)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        bqm = connection.get_registry_service().get_business_query_manager()
+        for name in ("DemoOrg_A", "DemoOrg_B", "Other"):
+            blcm.save_objects([blcm.create_organization(name)])
+        found = bqm.find_organizations("DemoOrg_%")
+        assert sorted(o.name.value for o in found) == ["DemoOrg_A", "DemoOrg_B"]
+
+    def test_find_services(self, factory, credential):
+        connection = factory.create_connection(credential)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        bqm = connection.get_registry_service().get_business_query_manager()
+        blcm.save_objects([blcm.create_service("DemoSrv_One")])
+        assert len(bqm.find_services("DemoSrv%")) == 1
+
+
+class TestWireModesAgree:
+    def test_same_answer_over_both_paths(self, registry, credential):
+        soap = ConnectionFactory(registry).create_connection(credential)
+        local = ConnectionFactory(registry, local_call=True).create_connection(credential)
+        blcm = soap.get_registry_service().get_business_life_cycle_manager()
+        org = blcm.create_organization("SDSU")
+        blcm.save_objects([org])
+        soap_found = soap.get_registry_service().get_business_query_manager().find_organizations("SDSU")
+        local_found = local.get_registry_service().get_business_query_manager().find_organizations("SDSU")
+        assert [o.id for o in soap_found] == [o.id for o in local_found]

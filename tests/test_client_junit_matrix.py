@@ -1,0 +1,144 @@
+"""The thesis' JUnit test-case matrix (Table 3.9), reproduced 1:1.
+
+Each test below carries the name of the corresponding JUnit case from the
+AccessRegistry API's TestPackages (RegistryTest / PublishTest / ModifyTest /
+AccessTest) and exercises the same behaviour through the Python API.
+"""
+
+import pytest
+
+from repro.client.access import Registry
+from repro.client.jaxr import ConnectionFactory
+
+
+@pytest.fixture
+def published_org(client_env, connection, registry):
+    xml = """<root><action type="publish"><organization>
+      <name>Test Organization</name>
+      <service><name>TestWebServiceService</name>
+        <accessuri>http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService</accessuri>
+      </service>
+    </organization></action></root>"""
+    Registry(connection, xml, environment=client_env).execute()
+    return registry.qm.find_organization_by_name("Test Organization")
+
+
+def modify(client_env, connection, body):
+    xml = f'<root><action type="modify"><organization><name>Test Organization</name>{body}</organization></action></root>'
+    return Registry(connection, xml, environment=client_env).execute()
+
+
+class TestRegistryTest:
+    """RegistryTest.java: manager availability."""
+
+    def test_get_business_life_cycle_manager(self, registry):
+        _, cred = registry.register_user("junit")
+        connection = ConnectionFactory(registry).create_connection(cred)
+        blcm = connection.get_registry_service().get_business_life_cycle_manager()
+        assert blcm is not None
+
+    def test_get_business_query_manager(self, registry):
+        _, cred = registry.register_user("junit")
+        connection = ConnectionFactory(registry).create_connection(cred)
+        bqm = connection.get_registry_service().get_business_query_manager()
+        assert bqm is not None
+
+
+class TestPublishTest:
+    """PublishTest.java: testExecute — publish registry objects."""
+
+    def test_execute(self, client_env, connection, registry, published_org):
+        assert published_org is not None
+        svc = registry.qm.find_service_by_name(
+            "TestWebServiceService", organization=published_org
+        )
+        assert svc is not None
+
+
+class TestModifyTest:
+    """ModifyTest.java: the six modification cases."""
+
+    def test_execute_add_access_uri(self, client_env, connection, registry, published_org):
+        modify(
+            client_env,
+            connection,
+            '<service type="edit"><name>TestWebServiceService</name>'
+            '<accessuri type="add">http://volta.sdsu.edu:8080/TestWebService/x</accessuri></service>',
+        )
+        svc = registry.qm.find_service_by_name("TestWebServiceService")
+        assert "http://volta.sdsu.edu:8080/TestWebService/x" in registry.qm.get_access_uris(svc.id)
+
+    def test_execute_delete_access_uri(self, client_env, connection, registry, published_org):
+        modify(
+            client_env,
+            connection,
+            '<service type="edit"><name>TestWebServiceService</name>'
+            '<accessuri type="delete">http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService</accessuri></service>',
+        )
+        svc = registry.qm.find_service_by_name("TestWebServiceService")
+        assert registry.qm.get_access_uris(svc.id) == []
+
+    def test_execute_duplicate_access_uri(self, client_env, connection, registry, published_org):
+        modify(
+            client_env,
+            connection,
+            '<service type="edit"><name>TestWebServiceService</name>'
+            '<accessuri type="add">http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService</accessuri></service>',
+        )
+        svc = registry.qm.find_service_by_name("TestWebServiceService")
+        assert len(registry.qm.get_access_uris(svc.id)) == 1  # duplicate not added
+
+    def test_execute_add_service(self, client_env, connection, registry, published_org):
+        modify(
+            client_env,
+            connection,
+            '<service type="add"><name>AddedService</name>'
+            "<accessuri>http://eon.sdsu.edu:8080/Added/x</accessuri></service>",
+        )
+        assert registry.qm.find_service_by_name("AddedService") is not None
+
+    def test_execute_add_service_description(
+        self, client_env, connection, registry, published_org
+    ):
+        modify(
+            client_env,
+            connection,
+            '<service type="edit"><name>TestWebServiceService</name>'
+            '<description type="add"><constraint><cpuLoad>load ls 1.0</cpuLoad>'
+            "<memory>memory geq 5MB</memory><swapmemory>swapmemory geq 1GB</swapmemory>"
+            "<starttime>0700</starttime><endtime>2200</endtime></constraint></description></service>",
+        )
+        svc = registry.qm.find_service_by_name("TestWebServiceService")
+        assert "load ls 1.0" in svc.description.value
+        assert "swapmemory geq 1GB" in svc.description.value
+
+    def test_execute_delete_service(self, client_env, connection, registry, published_org):
+        modify(
+            client_env,
+            connection,
+            '<service type="delete"><name>TestWebServiceService</name></service>',
+        )
+        assert registry.qm.find_service_by_name("TestWebServiceService") is None
+
+    def test_execute_delete_org(self, client_env, connection, registry, published_org):
+        xml = (
+            '<root><action type="modify"><organization type="delete">'
+            "<name>Test Organization</name></organization></action></root>"
+        )
+        Registry(connection, xml, environment=client_env).execute()
+        assert registry.qm.find_organization_by_name("Test Organization") is None
+        assert registry.qm.find_service_by_name("TestWebServiceService") is None
+
+
+class TestAccessTest:
+    """AccessTest.java: testExecute — fetch the access URI."""
+
+    def test_execute(self, client_env, connection, registry, published_org):
+        xml = (
+            '<root><action type="access"><organization><name>Test Organization</name>'
+            "<service><name>TestWebServiceService</name></service></organization></action></root>"
+        )
+        out = Registry(connection, xml, environment=client_env).execute()
+        assert out[2] == [
+            "http://eon.sdsu.edu:8080/TestWebService/TestWebServiceService"
+        ]

@@ -1,0 +1,138 @@
+"""Tests for the Keidl-style auto-scaling extension."""
+
+import pytest
+
+from repro.core import attach_autoscaler, attach_load_balancer
+from repro.sim import Task
+from repro.util.errors import InvalidRequestError
+
+from conftest import HOSTS, publish_nodestatus, publish_service_with_bindings
+
+CONSTRAINT = "<constraint><cpuLoad>load ls 2.0</cpuLoad></constraint>"
+URI_TEMPLATE = "http://{host}:8080/Adder/addService"
+
+SPARE = "spare.sdsu.edu"
+
+
+@pytest.fixture
+def admin(sim_registry):
+    _, cred = sim_registry.register_user("admin", roles={"RegistryAdministrator"})
+    return sim_registry.login(cred)
+
+
+@pytest.fixture
+def world(sim_registry, admin, cluster, transport, engine):
+    # a fourth host exists and is monitored but does not deploy the app
+    from repro.sim import HostSpec
+
+    cluster.add_host(HostSpec(SPARE, cores=2))
+    monitor = cluster.monitor(SPARE)
+    transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+    publish_nodestatus(sim_registry, admin, HOSTS + [SPARE])
+    _, svc = publish_service_with_bindings(
+        sim_registry, admin, service_name="Adder", description=CONSTRAINT, hosts=HOSTS
+    )
+    balancer = attach_load_balancer(sim_registry, transport, engine)
+    scaler = attach_autoscaler(
+        balancer, sim_registry, cluster, admin, trigger_sweeps=2, cooldown=60.0
+    )
+    scaler.watch(svc.id, uri_template=URI_TEMPLATE)
+    return svc, balancer, scaler
+
+
+def overload_all(cluster, hosts, n=6):
+    for host in hosts:
+        for _ in range(n):
+            cluster.host(host).submit(Task(cpu_seconds=10**6, memory=0))
+
+
+class TestScaleUp:
+    def test_scales_when_all_hosts_overloaded(
+        self, world, sim_registry, cluster, engine
+    ):
+        svc, balancer, scaler = world
+        overload_all(cluster, HOSTS)
+        engine.run_until(engine.now + 100)  # several sweeps, ≥ trigger_sweeps
+        assert len(scaler.events) == 1
+        event = scaler.events[0]
+        assert event.host == SPARE
+        uris = sim_registry.qm.get_access_uris(svc.id)
+        assert uris[0] == URI_TEMPLATE.format(host=SPARE)  # new instance first
+        assert cluster.is_deployed("Adder", SPARE)
+
+    def test_no_scale_when_some_host_satisfies(self, world, cluster, engine):
+        svc, balancer, scaler = world
+        overload_all(cluster, HOSTS[:-1])  # one host stays idle
+        engine.run_until(engine.now + 120)
+        assert scaler.events == []
+
+    def test_trigger_requires_consecutive_sweeps(self, world, cluster, engine):
+        svc, balancer, scaler = world
+        overload_all(cluster, HOSTS)
+        engine.run_until(engine.now + 26)  # exactly one sweep past overload
+        assert scaler.events == []  # needs 2 consecutive sweeps
+
+    def test_cooldown_limits_scale_rate(self, world, sim_registry, cluster, engine):
+        from repro.sim import HostSpec
+
+        svc, balancer, scaler = world
+        # raise the instance cap (the default froze at watch-time cluster size)
+        scaler.watch(svc.id, uri_template=URI_TEMPLATE, max_instances=6)
+        # a second spare so two scale-ups are possible
+        cluster.add_host(HostSpec("spare2.sdsu.edu", cores=2))
+        monitor = cluster.monitor("spare2.sdsu.edu")
+        balancer.monitor.transport.register_endpoint(
+            monitor.access_uri, lambda req, m=monitor: m.invoke()
+        )
+        # publish its NodeStatus binding so TimeHits monitors it
+        from repro.rim import ServiceBinding
+        from repro.sim.nodestatus import nodestatus_uri
+
+        ns = sim_registry.daos.services.find_by_name("NodeStatus")[0]
+        _, cred = sim_registry.register_user("admin2", roles={"RegistryAdministrator"})
+        session2 = sim_registry.login(cred)
+        sim_registry.lcm.submit_objects(
+            session2,
+            [ServiceBinding(sim_registry.ids.new_id(), service=ns.id, access_uri=nodestatus_uri("spare2.sdsu.edu"))],
+        )
+        overload_all(cluster, HOSTS)
+        engine.run_until(engine.now + 75)
+        assert len(scaler.events) == 1  # first scale-up
+        # immediately overload the new instance too
+        overload_all(cluster, [scaler.events[0].host])
+        engine.run_until(engine.now + 30)  # trigger reached but inside cooldown
+        assert len(scaler.events) == 1
+        engine.run_until(engine.now + 120)  # cooldown expired
+        assert len(scaler.events) == 2
+
+    def test_max_instances_cap(self, sim_registry, admin, cluster, transport, engine):
+        publish_nodestatus(sim_registry, admin, HOSTS)
+        _, svc = publish_service_with_bindings(
+            sim_registry, admin, service_name="Adder",
+            description=CONSTRAINT, hosts=HOSTS,
+        )
+        balancer = attach_load_balancer(sim_registry, transport, engine)
+        scaler = attach_autoscaler(balancer, sim_registry, cluster, admin)
+        scaler.watch(svc.id, uri_template=URI_TEMPLATE, max_instances=len(HOSTS))
+        overload_all(cluster, HOSTS)
+        engine.run_until(engine.now + 200)
+        assert scaler.events == []  # already at max
+
+    def test_uri_template_validated(self, world):
+        svc, balancer, scaler = world
+        with pytest.raises(InvalidRequestError):
+            scaler.watch(svc.id, uri_template="http://static:8080/x")
+
+    def test_unconstrained_service_never_scales(
+        self, sim_registry, admin, cluster, transport, engine
+    ):
+        publish_nodestatus(sim_registry, admin, HOSTS)
+        _, svc = publish_service_with_bindings(
+            sim_registry, admin, service_name="Plain", description="", hosts=HOSTS
+        )
+        balancer = attach_load_balancer(sim_registry, transport, engine)
+        scaler = attach_autoscaler(balancer, sim_registry, cluster, admin)
+        scaler.watch(svc.id, uri_template=URI_TEMPLATE)
+        overload_all(cluster, HOSTS)
+        engine.run_until(engine.now + 200)
+        assert scaler.events == []

@@ -1,0 +1,183 @@
+"""Tests for the constraint language (thesis §3.2 / Table 3.5)."""
+
+import pytest
+
+from repro.core.constraints import (
+    ConstraintSet,
+    Operator,
+    ScalarConstraint,
+    TimeWindow,
+    parse_constraint_block,
+    parse_constraints,
+)
+from repro.persistence.nodestate import NodeSample
+from repro.util.errors import ConstraintSyntaxError
+
+THESIS_BLOCK = """<constraint>
+  <cpuLoad>load ls 1.0 </cpuLoad>
+  <memory>memory gr 3GB</memory>
+  <swapmemory>swapmemory gr 5MB </swapmemory>
+  <starttime>1000</starttime>
+  <endtime>1200</endtime>
+</constraint>"""
+
+
+def sample(load=0.5, memory=4 << 30, swap=1 << 30):
+    return NodeSample(host="h", load=load, memory=memory, swap_memory=swap, updated=0.0)
+
+
+class TestOperator:
+    @pytest.mark.parametrize(
+        "symbol,left,right,expected",
+        [
+            ("gt", 2, 1, True),
+            ("gt", 1, 1, False),
+            ("gr", 2, 1, True),  # §3.2 spelling
+            ("geq", 1, 1, True),
+            ("geq", 0.5, 1, False),
+            ("ls", 0.5, 1.0, True),
+            ("ls", 1.0, 1.0, False),
+            ("leq", 1.0, 1.0, True),
+            ("eq", 5, 5, True),
+            ("eq", 5, 6, False),
+        ],
+    )
+    def test_compare(self, symbol, left, right, expected):
+        assert Operator.from_symbol(symbol).compare(left, right) is expected
+
+    def test_case_insensitive(self):
+        assert Operator.from_symbol("GEQ") is Operator.GEQ
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ConstraintSyntaxError):
+            Operator.from_symbol("neq")
+
+
+class TestParseBlock:
+    def test_thesis_example(self):
+        cs = parse_constraint_block(THESIS_BLOCK)
+        assert cs.cpu_load == ScalarConstraint("load", Operator.LS, 1.0)
+        assert cs.memory.value == 3 * 1024**3
+        assert cs.memory.op is Operator.GT
+        assert cs.swap_memory.value == 5 * 1024**2
+        assert cs.window == TimeWindow(600, 720)
+
+    def test_constrain_spelling_accepted(self):
+        cs = parse_constraint_block("<constrain><cpuLoad>load ls 2.0</cpuLoad></constrain>")
+        assert cs.cpu_load.value == 2.0
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<rules><cpuLoad>load ls 1</cpuLoad></rules>")
+
+    def test_keyword_must_match_tag(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><cpuLoad>memory ls 1.0</cpuLoad></constraint>")
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block(
+                "<constraint><cpuLoad>load ls 1</cpuLoad><cpuLoad>load gt 0</cpuLoad></constraint>"
+            )
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><diskio>io ls 5</diskio></constraint>")
+
+    def test_time_bounds_must_pair(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><starttime>1000</starttime></constraint>")
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><endtime>1200</endtime></constraint>")
+
+    def test_bad_load_value(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><cpuLoad>load ls heavy</cpuLoad></constraint>")
+
+    def test_bad_memory_unit(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint_block("<constraint><memory>memory gr 5XB</memory></constraint>")
+
+
+class TestParseFromDescription:
+    def test_embedded_in_text(self):
+        description = f"Computes sums. {THESIS_BLOCK} Contact admin@sdsu.edu."
+        cs = parse_constraints(description)
+        assert cs is not None
+        assert cs.cpu_load.value == 1.0
+
+    def test_plain_description_returns_none(self):
+        assert parse_constraints("Service to monitor node status") is None
+
+    def test_empty_and_none(self):
+        assert parse_constraints("") is None
+        assert parse_constraints(None) is None
+
+    def test_malformed_block_lenient_none(self):
+        bad = "<constraint><cpuLoad>load frobs 1.0</cpuLoad></constraint>"
+        assert parse_constraints(bad) is None
+
+    def test_malformed_block_strict_raises(self):
+        bad = "<constraint><cpuLoad>load frobs 1.0</cpuLoad></constraint>"
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraints(bad, strict=True)
+
+    def test_empty_block_returns_none(self):
+        assert parse_constraints("<constraint></constraint>") is None
+
+
+class TestEvaluation:
+    def test_all_clauses_must_hold(self):
+        cs = parse_constraint_block(THESIS_BLOCK)
+        assert cs.satisfied_by(sample(load=0.5, memory=4 << 30, swap=6 << 20))
+        assert not cs.satisfied_by(sample(load=1.5, memory=4 << 30, swap=6 << 20))
+        assert not cs.satisfied_by(sample(load=0.5, memory=2 << 30, swap=6 << 20))
+        assert not cs.satisfied_by(sample(load=0.5, memory=4 << 30, swap=1 << 20))
+
+    def test_absent_clauses_dont_constrain(self):
+        cs = parse_constraint_block("<constraint><cpuLoad>load ls 1.0</cpuLoad></constraint>")
+        assert cs.satisfied_by(sample(load=0.5, memory=0, swap=0))
+
+    def test_boundary_semantics(self):
+        cs = parse_constraint_block("<constraint><cpuLoad>load leq 1.0</cpuLoad></constraint>")
+        assert cs.satisfied_by(sample(load=1.0))
+        cs = parse_constraint_block("<constraint><cpuLoad>load ls 1.0</cpuLoad></constraint>")
+        assert not cs.satisfied_by(sample(load=1.0))
+
+    def test_has_performance_constraints(self):
+        time_only = parse_constraint_block(
+            "<constraint><starttime>1000</starttime><endtime>1200</endtime></constraint>"
+        )
+        assert not time_only.has_performance_constraints()
+        assert time_only.has_any()
+
+
+class TestTimeWindow:
+    def test_same_day_window(self):
+        window = TimeWindow(600, 720)
+        assert not window.contains(599)
+        assert window.contains(600)
+        assert window.contains(660)
+        assert window.contains(720)
+        assert not window.contains(721)
+
+    def test_wrapping_window(self):
+        window = TimeWindow(22 * 60, 6 * 60)  # 2200-0600
+        assert window.contains(23 * 60)
+        assert window.contains(5 * 60)
+        assert not window.contains(12 * 60)
+
+    def test_time_satisfied_without_window(self):
+        cs = ConstraintSet()
+        assert cs.time_satisfied(0)
+
+
+class TestRoundTrip:
+    def test_to_xml_reparses_identically(self):
+        cs = parse_constraint_block(THESIS_BLOCK)
+        again = parse_constraint_block(cs.to_xml())
+        assert again == cs
+
+    def test_partial_sets_round_trip(self):
+        cs = parse_constraint_block("<constraint><memory>memory geq 512MB</memory></constraint>")
+        assert parse_constraint_block(cs.to_xml()) == cs

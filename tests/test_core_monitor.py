@@ -1,0 +1,96 @@
+"""Tests for the TimeHits periodic collector (thesis §3.2, Figure 3.1)."""
+
+import pytest
+
+from repro.core.monitor import DEFAULT_PERIOD, TimeHits
+from repro.sim import Task
+
+from conftest import HOSTS, publish_nodestatus
+
+
+@pytest.fixture
+def admin(sim_registry):
+    _, cred = sim_registry.register_user("admin", roles={"RegistryAdministrator"})
+    return sim_registry.login(cred)
+
+
+@pytest.fixture
+def monitor(sim_registry, admin, cluster, transport, engine):
+    publish_nodestatus(sim_registry, admin)
+    return TimeHits(sim_registry, transport, engine)
+
+
+class TestTargetDiscovery:
+    def test_targets_from_published_bindings(self, monitor):
+        assert monitor.target_uris() == [
+            f"http://{h}:8080/NodeStatus/NodeStatusService" for h in HOSTS
+        ]
+
+    def test_no_published_service_means_no_targets(self, sim_registry, transport, engine):
+        th = TimeHits(sim_registry, transport, engine)
+        assert th.target_uris() == []
+        assert th.collect_once() == 0
+
+
+class TestCollection:
+    def test_collect_once_stores_all_hosts(self, monitor, sim_registry):
+        stored = monitor.collect_once()
+        assert stored == len(HOSTS)
+        assert sim_registry.node_state.hosts() == sorted(HOSTS)
+
+    def test_samples_reflect_host_state(self, monitor, sim_registry, cluster, engine):
+        cluster.submit_task(HOSTS[0], Task(cpu_seconds=1000, memory=1 << 30))
+        cluster.submit_task(HOSTS[0], Task(cpu_seconds=1000, memory=1 << 30))
+        monitor.collect_once()
+        sample = sim_registry.node_state.get(HOSTS[0])
+        assert sample.load == 2.0
+        assert sample.memory == cluster.host(HOSTS[0]).memory_available()
+        assert sample.updated == engine.now
+
+    def test_down_host_skipped_not_fatal(self, monitor, sim_registry, transport):
+        transport.set_host_down(HOSTS[1])
+        stored = monitor.collect_once()
+        assert stored == len(HOSTS) - 1
+        assert monitor.failures == 1
+        assert HOSTS[1] not in sim_registry.node_state.hosts()
+
+    def test_sample_overwritten_each_sweep(self, monitor, sim_registry, cluster, engine):
+        monitor.collect_once()
+        cluster.submit_task(HOSTS[0], Task(cpu_seconds=1000, memory=0))
+        monitor.collect_once()
+        assert sim_registry.node_state.get(HOSTS[0]).load == 1.0
+        assert len(sim_registry.node_state) == len(HOSTS)
+
+
+class TestScheduling:
+    def test_default_period_is_25s(self, monitor):
+        assert monitor.period == DEFAULT_PERIOD == 25.0
+
+    def test_periodic_collection(self, monitor, engine):
+        monitor.start(immediate=False)
+        engine.run_until(engine.now + 100.0)
+        assert monitor.collections == 4  # at +25, +50, +75, +100
+
+    def test_immediate_start_collects_now(self, monitor, engine):
+        monitor.start(immediate=True)
+        assert monitor.collections == 1
+
+    def test_stop(self, monitor, engine):
+        monitor.start(immediate=False)
+        engine.run_until(engine.now + 50.0)
+        monitor.stop()
+        engine.run_until(engine.now + 100.0)
+        assert monitor.collections == 2
+        assert not monitor.running
+
+    def test_reconfigure_period(self, monitor, engine):
+        monitor.set_period(5.0)
+        monitor.start(immediate=False)
+        engine.run_until(engine.now + 25.0)
+        assert monitor.collections == 5
+
+    def test_start_idempotent(self, monitor, engine):
+        monitor.start(immediate=False)
+        monitor.start(immediate=False)
+        engine.run_until(engine.now + 25.0)
+        assert monitor.collections == 1

@@ -1,0 +1,215 @@
+"""Tests for the ebBPSS business-process engine."""
+
+import pytest
+
+from repro.ebxml import (
+    FAILURE,
+    SUCCESS,
+    BinaryCollaboration,
+    BusinessTransaction,
+    CollaborationExecution,
+    ExecutionState,
+    ProtocolViolation,
+    Role,
+    bind_to_msh,
+)
+from repro.util.clock import ManualClock
+from repro.util.errors import InvalidRequestError
+
+
+def order_management() -> BinaryCollaboration:
+    """PlaceOrder → (ConfirmOrder) → Ship | Cancel."""
+    collaboration = BinaryCollaboration(name="OrderManagement")
+    collaboration.add_transaction(
+        BusinessTransaction(
+            name="Order",
+            requesting_document="PurchaseOrder",
+            responding_document="OrderConfirmation",
+            time_to_perform=3600.0,
+        )
+    )
+    collaboration.add_transaction(
+        BusinessTransaction(name="Ship", requesting_document="ShipNotice")
+    )
+    collaboration.add_transaction(
+        BusinessTransaction(name="Cancel", requesting_document="CancelOrder")
+    )
+    collaboration.add_activity("PlaceOrder", "Order", start=True)
+    collaboration.add_activity("ShipGoods", "Ship")
+    collaboration.add_activity("CancelOrder", "Cancel")
+    collaboration.add_transition("PlaceOrder", "ShipGoods")
+    collaboration.add_transition("PlaceOrder", "CancelOrder")
+    collaboration.add_transition("ShipGoods", SUCCESS)
+    collaboration.add_transition("CancelOrder", FAILURE)
+    return collaboration
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def execution(clock) -> CollaborationExecution:
+    return CollaborationExecution(order_management(), clock=clock, role=Role.INITIATOR)
+
+
+class TestDefinitionValidation:
+    def test_valid_definition(self):
+        order_management().validate()
+
+    def test_missing_start_rejected(self):
+        c = BinaryCollaboration(name="x")
+        c.add_transaction(BusinessTransaction(name="T", requesting_document="D"))
+        c.add_activity("A", "T")
+        with pytest.raises(InvalidRequestError, match="start"):
+            c.validate()
+
+    def test_dead_end_rejected(self):
+        c = BinaryCollaboration(name="x")
+        c.add_transaction(BusinessTransaction(name="T", requesting_document="D"))
+        c.add_activity("A", "T", start=True)
+        # no transitions at all means A auto-completes on finish: that's legal;
+        # but a loop with no exit is not
+        c.add_transaction(BusinessTransaction(name="U", requesting_document="E"))
+        c.add_activity("B", "U")
+        c.add_transition("A", "B")
+        c.add_transition("B", "A")
+        with pytest.raises(InvalidRequestError, match="Success/Failure"):
+            c.validate()
+
+    def test_unknown_references_rejected(self):
+        c = BinaryCollaboration(name="x")
+        with pytest.raises(InvalidRequestError):
+            c.add_activity("A", "NoSuchTransaction")
+        c.add_transaction(BusinessTransaction(name="T", requesting_document="D"))
+        c.add_activity("A", "T", start=True)
+        with pytest.raises(InvalidRequestError):
+            c.add_transition("A", "Nowhere")
+
+
+class TestHappyPath:
+    def test_full_success_walk(self, execution):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        assert execution.state is ExecutionState.AWAITING_RESPONSE
+        execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        assert execution.state is ExecutionState.CHOOSING_NEXT
+        execution.choose_next("ShipGoods")
+        execution.handle_document("ShipNotice", sender=Role.INITIATOR)
+        assert execution.state is ExecutionState.COMPLETED_SUCCESS
+        assert [doc for _, doc in execution.history] == [
+            "PurchaseOrder",
+            "OrderConfirmation",
+            "ShipNotice",
+        ]
+
+    def test_failure_branch(self, execution):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        execution.choose_next("CancelOrder")
+        execution.handle_document("CancelOrder", sender=Role.INITIATOR)
+        assert execution.state is ExecutionState.COMPLETED_FAILURE
+
+    def test_single_transition_advances_automatically(self, clock):
+        c = BinaryCollaboration(name="linear")
+        c.add_transaction(BusinessTransaction(name="A", requesting_document="DocA"))
+        c.add_transaction(BusinessTransaction(name="B", requesting_document="DocB"))
+        c.add_activity("First", "A", start=True)
+        c.add_activity("Second", "B")
+        c.add_transition("First", "Second")
+        c.add_transition("Second", SUCCESS)
+        execution = CollaborationExecution(c, clock=clock, role=Role.INITIATOR)
+        execution.handle_document("DocA", sender=Role.INITIATOR)
+        assert execution.current_activity == "Second"
+        execution.handle_document("DocB", sender=Role.INITIATOR)
+        assert execution.completed
+
+
+class TestViolations:
+    def test_wrong_document_fails(self, execution):
+        with pytest.raises(ProtocolViolation, match="expected requesting"):
+            execution.handle_document("ShipNotice", sender=Role.INITIATOR)
+        assert execution.state is ExecutionState.COMPLETED_FAILURE
+
+    def test_wrong_direction_fails(self, execution):
+        with pytest.raises(ProtocolViolation, match="responder may not open"):
+            execution.handle_document("PurchaseOrder", sender=Role.RESPONDER)
+
+    def test_initiator_cannot_answer_self(self, execution):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        with pytest.raises(ProtocolViolation, match="answer its own"):
+            execution.handle_document("OrderConfirmation", sender=Role.INITIATOR)
+
+    def test_document_after_completion_rejected(self, execution):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        execution.choose_next("ShipGoods")
+        execution.handle_document("ShipNotice", sender=Role.INITIATOR)
+        with pytest.raises(ProtocolViolation, match="already completed"):
+            execution.handle_document("ShipNotice", sender=Role.INITIATOR)
+
+    def test_invalid_transition_choice(self, execution):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        with pytest.raises(ProtocolViolation, match="not allowed"):
+            execution.choose_next("PlaceOrder")
+
+    def test_time_to_perform_expiry(self, execution, clock):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        clock.advance(3601.0)
+        with pytest.raises(ProtocolViolation, match="expired"):
+            execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        assert execution.state is ExecutionState.COMPLETED_FAILURE
+
+    def test_response_inside_timer_ok(self, execution, clock):
+        execution.handle_document("PurchaseOrder", sender=Role.INITIATOR)
+        clock.advance(3599.0)
+        execution.handle_document("OrderConfirmation", sender=Role.RESPONDER)
+        assert execution.state is ExecutionState.CHOOSING_NEXT
+
+
+class TestMshIntegration:
+    def test_process_validated_messaging(self, clock):
+        from repro.ebxml import (
+            CollaborationProtocolProfile,
+            MessageServiceHandler,
+            negotiate,
+        )
+        from repro.soap import SimTransport
+        from repro.util.ids import IdFactory
+
+        transport = SimTransport()
+        ids = IdFactory(87)
+        buyer = CollaborationProtocolProfile(
+            party_id="urn:party:buyer",
+            party_name="Buyer",
+            endpoint="http://buyer.example/msh",
+            processes=frozenset({"OrderManagement"}),
+        )
+        seller = CollaborationProtocolProfile(
+            party_id="urn:party:seller",
+            party_name="Seller",
+            endpoint="http://seller.example/msh",
+            processes=frozenset({"OrderManagement"}),
+        )
+        cpa = negotiate(buyer, seller, "OrderManagement", agreement_id="urn:cpa:9").agreed()
+        msh_buyer = MessageServiceHandler(buyer.party_id, transport, ids=ids)
+        msh_seller = MessageServiceHandler(seller.party_id, transport, ids=ids)
+        msh_buyer.install_agreement(cpa)
+        msh_seller.install_agreement(cpa)
+
+        execution = CollaborationExecution(
+            order_management(), clock=clock, role=Role.RESPONDER
+        )
+        bind_to_msh(execution, msh_seller, initiator_party=buyer.party_id)
+
+        # the legal opening document is accepted and tracked
+        report = msh_buyer.send(cpa.agreement_id, "PurchaseOrder", {"qty": 1})
+        assert report.delivered
+        assert execution.state is ExecutionState.AWAITING_RESPONSE
+
+        # an out-of-process document is refused by the seller's process layer
+        from repro.util.errors import TransportError
+
+        with pytest.raises((ProtocolViolation, TransportError)):
+            msh_buyer.send(cpa.agreement_id, "ShipNotice", {})

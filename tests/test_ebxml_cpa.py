@@ -1,0 +1,95 @@
+"""Tests for CPP/CPA negotiation."""
+
+import pytest
+
+from repro.ebxml import (
+    CollaborationProtocolProfile,
+    MessagingRequirements,
+    SecurityLevel,
+    Transport,
+    negotiate,
+)
+from repro.util.errors import InvalidRequestError
+
+
+def cpp(party="acme", **kwargs):
+    defaults = dict(
+        party_id=f"urn:party:{party}",
+        party_name=party.title(),
+        endpoint=f"http://{party}.example:8080/msh",
+        processes=frozenset({"OrderManagement"}),
+    )
+    defaults.update(kwargs)
+    return CollaborationProtocolProfile(**defaults)
+
+
+class TestCppValidation:
+    def test_requires_identity(self):
+        with pytest.raises(InvalidRequestError):
+            cpp(party_id="")
+
+    def test_requires_processes(self):
+        with pytest.raises(InvalidRequestError):
+            cpp(processes=frozenset())
+
+
+class TestNegotiation:
+    def test_happy_path(self):
+        a, b = cpp("acme"), cpp("globex")
+        cpa = negotiate(a, b, "OrderManagement", agreement_id="urn:cpa:1")
+        assert cpa.party_a == a.party_id
+        assert cpa.party_b == b.party_id
+        assert cpa.transport is Transport.HTTPS  # preferred common transport
+        assert cpa.status == "proposed"
+        assert cpa.endpoint_of(a.party_id) == a.endpoint
+        assert cpa.counterparty(a.party_id) == b.party_id
+
+    def test_process_must_be_shared(self):
+        a = cpp("acme", processes=frozenset({"OrderManagement"}))
+        b = cpp("globex", processes=frozenset({"Invoicing"}))
+        with pytest.raises(InvalidRequestError, match="does not support"):
+            negotiate(a, b, "OrderManagement", agreement_id="x")
+        with pytest.raises(InvalidRequestError, match="does not support"):
+            negotiate(a, b, "Shipping", agreement_id="x")
+
+    def test_transport_intersection(self):
+        a = cpp("acme", transports=frozenset({Transport.HTTP}))
+        b = cpp("globex", transports=frozenset({Transport.HTTP, Transport.SMTP}))
+        cpa = negotiate(a, b, "OrderManagement", agreement_id="x")
+        assert cpa.transport is Transport.HTTP
+
+    def test_no_common_transport(self):
+        a = cpp("acme", transports=frozenset({Transport.SMTP}))
+        b = cpp("globex", transports=frozenset({Transport.HTTPS}))
+        with pytest.raises(InvalidRequestError, match="transport"):
+            negotiate(a, b, "OrderManagement", agreement_id="x")
+
+    def test_security_requirement_raises_agreed_level(self):
+        a = cpp("acme", required_security=SecurityLevel.SIGNED)
+        b = cpp("globex")
+        cpa = negotiate(a, b, "OrderManagement", agreement_id="x")
+        assert cpa.security is SecurityLevel.SIGNED
+
+    def test_security_mismatch(self):
+        a = cpp("acme", required_security=SecurityLevel.SIGNED_AND_ENCRYPTED)
+        b = cpp("globex", offered_security=SecurityLevel.SIGNED)
+        with pytest.raises(InvalidRequestError, match="security"):
+            negotiate(a, b, "OrderManagement", agreement_id="x")
+
+    def test_messaging_intersection(self):
+        a = cpp("acme", messaging=MessagingRequirements(retries=5, retry_interval=5.0))
+        b = cpp("globex", messaging=MessagingRequirements(retries=2, retry_interval=30.0))
+        cpa = negotiate(a, b, "OrderManagement", agreement_id="x")
+        assert cpa.messaging.retries == 2  # most conservative
+        assert cpa.messaging.retry_interval == 30.0
+
+    def test_agreed_transition(self):
+        cpa = negotiate(cpp("acme"), cpp("globex"), "OrderManagement", agreement_id="x")
+        agreed = cpa.agreed()
+        assert agreed.status == "agreed"
+        assert cpa.status == "proposed"  # immutable original
+
+    def test_foreign_party_rejected(self):
+        cpa = negotiate(cpp("acme"), cpp("globex"), "OrderManagement", agreement_id="x")
+        with pytest.raises(InvalidRequestError):
+            cpa.endpoint_of("urn:party:intruder")

@@ -1,0 +1,204 @@
+"""Tests for the ebMS message service: acks, retries, duplicate elimination."""
+
+import pytest
+
+from repro.ebxml import (
+    CollaborationProtocolProfile,
+    MessageServiceHandler,
+    MessagingRequirements,
+    negotiate,
+)
+from repro.soap import SimTransport
+from repro.util.errors import InvalidRequestError, TransportError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(80)
+
+
+def make_pair(transport=None, *, messaging_a=None, messaging_b=None):
+    transport = transport or SimTransport()
+    a = CollaborationProtocolProfile(
+        party_id="urn:party:acme",
+        party_name="Acme",
+        endpoint="http://acme.example:8080/msh",
+        processes=frozenset({"OrderManagement"}),
+        messaging=messaging_a or MessagingRequirements(),
+    )
+    b = CollaborationProtocolProfile(
+        party_id="urn:party:globex",
+        party_name="Globex",
+        endpoint="http://globex.example:8080/msh",
+        processes=frozenset({"OrderManagement"}),
+        messaging=messaging_b or MessagingRequirements(),
+    )
+    cpa = negotiate(a, b, "OrderManagement", agreement_id="urn:cpa:1").agreed()
+    msh_a = MessageServiceHandler(a.party_id, transport, ids=ids)
+    msh_b = MessageServiceHandler(b.party_id, transport, ids=ids)
+    msh_a.install_agreement(cpa)
+    msh_b.install_agreement(cpa)
+    return transport, cpa, msh_a, msh_b
+
+
+class TestDelivery:
+    def test_message_delivered_and_acked(self):
+        _, cpa, a, b = make_pair()
+        report = a.send(cpa.agreement_id, "PlaceOrder", {"sku": "anvil", "qty": 3})
+        assert report.delivered
+        assert report.acknowledged
+        assert report.attempts == 1
+        assert len(b.inbox) == 1
+        assert b.inbox[0].payload == {"sku": "anvil", "qty": 3}
+        assert b.acks_sent[0].ref_message_id == report.message.message_id
+
+    def test_action_handler_invoked(self):
+        _, cpa, a, b = make_pair()
+        orders = []
+        b.on_action("PlaceOrder", lambda m: orders.append(m.payload["sku"]))
+        a.send(cpa.agreement_id, "PlaceOrder", {"sku": "anvil"})
+        a.send(cpa.agreement_id, "CancelOrder", {"sku": "anvil"})
+        assert orders == ["anvil"]
+        assert len(b.inbox) == 2
+
+    def test_bidirectional(self):
+        _, cpa, a, b = make_pair()
+        a.send(cpa.agreement_id, "PlaceOrder", {})
+        b.send(cpa.agreement_id, "OrderConfirmed", {})
+        assert len(a.inbox) == 1
+        assert a.inbox[0].action == "OrderConfirmed"
+
+    def test_conversation_threading(self):
+        _, cpa, a, b = make_pair()
+        conv = a.new_conversation()
+        r1 = a.send(cpa.agreement_id, "PlaceOrder", {}, conversation_id=conv)
+        r2 = a.send(cpa.agreement_id, "AmendOrder", {}, conversation_id=conv)
+        assert r1.message.conversation_id == r2.message.conversation_id == conv
+
+
+class TestReliability:
+    def test_unproposed_cpa_rejected(self):
+        transport = SimTransport()
+        a = CollaborationProtocolProfile(
+            party_id="urn:party:acme",
+            party_name="Acme",
+            endpoint="http://acme.example/msh",
+            processes=frozenset({"P"}),
+        )
+        b = CollaborationProtocolProfile(
+            party_id="urn:party:globex",
+            party_name="Globex",
+            endpoint="http://globex.example/msh",
+            processes=frozenset({"P"}),
+        )
+        cpa = negotiate(a, b, "P", agreement_id="x")  # still proposed
+        msh = MessageServiceHandler(a.party_id, transport, ids=ids)
+        with pytest.raises(InvalidRequestError, match="agreed"):
+            msh.install_agreement(cpa)
+
+    def test_send_without_agreement(self):
+        _, cpa, a, _ = make_pair()
+        with pytest.raises(InvalidRequestError):
+            a.send("urn:cpa:unknown", "X", {})
+
+    def test_retries_until_host_recovers(self):
+        transport, cpa, a, b = make_pair()
+        # fail the first attempts, recover on the handler side via flaky wrapper
+        calls = {"n": 0}
+        original = transport._endpoints[cpa.endpoint_of(b.party_id)]
+
+        def flaky(message):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise TransportError("transient")
+            return original(message)
+
+        transport.register_endpoint(cpa.endpoint_of(b.party_id), flaky)
+        report = a.send(cpa.agreement_id, "PlaceOrder", {})
+        assert report.delivered
+        assert report.attempts == 3
+        assert len(b.inbox) == 1
+
+    def test_gives_up_after_cpa_retries(self):
+        transport, cpa, a, b = make_pair()
+        transport.set_host_down("globex.example")
+        report = a.send(cpa.agreement_id, "PlaceOrder", {})
+        assert not report.delivered
+        assert report.attempts == cpa.messaging.retries + 1
+        assert b.inbox == []
+
+    def test_duplicate_elimination(self):
+        transport, cpa, a, b = make_pair()
+        report = a.send(cpa.agreement_id, "PlaceOrder", {"sku": "anvil"})
+        # simulate a retransmission of the same wire message
+        endpoint = cpa.endpoint_of(b.party_id)
+        response = transport.request(endpoint, report.message)
+        assert response.ref_message_id == report.message.message_id  # still acked
+        assert len(b.inbox) == 1  # but not re-delivered
+
+    def test_foreign_message_rejected(self):
+        transport, cpa, a, b = make_pair()
+        with pytest.raises(TransportError):
+            transport.request(cpa.endpoint_of(b.party_id), "not-an-ebxml-message")
+
+
+class TestOrderedDelivery:
+    def test_in_order_messages_flow_through(self):
+        _, cpa, a, b = make_pair()
+        conv = a.new_conversation()
+        for i in range(3):
+            a.send(cpa.agreement_id, f"Step{i}", {}, conversation_id=conv, ordered=True)
+        assert [m.action for m in b.inbox] == ["Step0", "Step1", "Step2"]
+        assert [m.sequence_number for m in b.inbox] == [1, 2, 3]
+
+    def test_out_of_order_wire_arrival_is_reordered(self):
+        transport, cpa, a, b = make_pair()
+        conv = a.new_conversation()
+        # craft messages 1..3 but deliver 2, 3 before 1 (simulating reordering)
+        from repro.ebxml.messaging import EbxmlMessage
+
+        endpoint = cpa.endpoint_of(b.party_id)
+        messages = [
+            EbxmlMessage(
+                message_id=f"urn:uuid:0000000{i}-0000-4000-8000-000000000000",
+                conversation_id=conv,
+                cpa_id=cpa.agreement_id,
+                from_party=a.party_id,
+                to_party=b.party_id,
+                action=f"Step{i}",
+                payload={},
+                sequence_number=i,
+            )
+            for i in (1, 2, 3)
+        ]
+        transport.request(endpoint, messages[1])  # seq 2
+        assert b.inbox == []  # parked
+        transport.request(endpoint, messages[2])  # seq 3
+        assert b.inbox == []  # still parked
+        transport.request(endpoint, messages[0])  # seq 1 unblocks all
+        assert [m.action for m in b.inbox] == ["Step1", "Step2", "Step3"]
+
+    def test_ordered_streams_are_per_conversation(self):
+        _, cpa, a, b = make_pair()
+        conv1, conv2 = a.new_conversation(), a.new_conversation()
+        a.send(cpa.agreement_id, "A1", {}, conversation_id=conv1, ordered=True)
+        a.send(cpa.agreement_id, "B1", {}, conversation_id=conv2, ordered=True)
+        assert [m.sequence_number for m in b.inbox] == [1, 1]
+
+    def test_unordered_messages_bypass_buffer(self):
+        _, cpa, a, b = make_pair()
+        conv = a.new_conversation()
+        a.send(cpa.agreement_id, "Unordered", {}, conversation_id=conv)
+        assert b.inbox[0].sequence_number == 0
+
+    def test_late_duplicate_sequence_dropped(self):
+        transport, cpa, a, b = make_pair()
+        conv = a.new_conversation()
+        report = a.send(cpa.agreement_id, "Step", {}, conversation_id=conv, ordered=True)
+        from dataclasses import replace
+
+        # same sequence slot, different message id (a rogue retransmission)
+        rogue = replace(
+            report.message,
+            message_id="urn:uuid:99999999-0000-4000-8000-000000000000",
+        )
+        transport.request(cpa.endpoint_of(b.party_id), rogue)
+        assert len(b.inbox) == 1

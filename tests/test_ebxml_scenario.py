@@ -1,0 +1,100 @@
+"""Tests for the Figure 1.13 business scenario driver."""
+
+import pytest
+
+from repro.ebxml import (
+    BusinessScenario,
+    CollaborationProtocolProfile,
+    SecurityLevel,
+)
+from repro.util.errors import InvalidRequestError
+
+
+@pytest.fixture
+def scenario(registry, admin_session):
+    scenario = BusinessScenario(registry)
+    scenario.seed_core_library(admin_session, ["OrderManagement", "Invoicing"])
+    return scenario
+
+
+def make_cpp(party, processes={"OrderManagement"}):
+    return CollaborationProtocolProfile(
+        party_id=f"urn:party:{party}",
+        party_name=party.title(),
+        endpoint=f"http://{party}.example:8080/msh",
+        processes=frozenset(processes),
+    )
+
+
+class TestRegistrySteps:
+    def test_step1_core_library_review(self, scenario):
+        names = scenario.review_core_library("Acme")
+        assert names == ["Invoicing", "OrderManagement"]
+
+    def test_step3_cpp_published_and_retrievable(self, scenario, registry, session):
+        cpp = make_cpp("acme")
+        meta = scenario.publish_cpp(session, cpp)
+        assert registry.repository.has_item(meta.id)
+        item = registry.repository.retrieve(meta.id)
+        assert b"OrderManagement" in item.content
+
+    def test_step4_discovery_by_process(self, scenario, registry, session):
+        scenario.publish_cpp(session, make_cpp("acme"))
+        scenario.publish_cpp(session, make_cpp("globex", {"Invoicing"}))
+        partners = scenario.discover_partners("Globex", "OrderManagement")
+        assert [p.party_name for p in partners] == ["Acme"]
+        none = scenario.discover_partners("Globex", "Shipping")
+        assert none == []
+
+    def test_discovered_profile_round_trips(self, scenario, registry, session):
+        original = make_cpp("acme")
+        scenario.publish_cpp(session, original)
+        [restored] = scenario.discover_partners("Globex", "OrderManagement")
+        assert restored == original
+
+
+class TestFullScenario:
+    def test_six_steps_end_to_end(self, scenario, registry, session):
+        acme = make_cpp("acme")
+        globex = make_cpp("globex")
+        # steps 1–3: review, implement, publish
+        scenario.review_core_library("Acme")
+        scenario.publish_cpp(session, acme)
+        # step 4: B discovers A
+        [found] = scenario.discover_partners("Globex", "OrderManagement")
+        # step 5: B proposes
+        cpa = scenario.propose_cpa(globex, found, "OrderManagement")
+        # step 6: A accepts; both install and trade
+        agreed = scenario.accept_cpa("Acme", cpa)
+        msh_a = scenario.build_msh(acme.party_id)
+        msh_b = scenario.build_msh(globex.party_id)
+        msh_a.install_agreement(agreed)
+        msh_b.install_agreement(agreed)
+        confirmations = []
+        msh_a.on_action("PlaceOrder", lambda m: confirmations.append(m.payload))
+        report = scenario.exchange(msh_b, agreed, "PlaceOrder", {"sku": "anvil", "qty": 2})
+        assert report.delivered and report.acknowledged
+        assert confirmations == [{"sku": "anvil", "qty": 2}]
+        # the log covers all six thesis steps
+        steps = {entry["Step"] for entry in scenario.log.steps}
+        assert steps == {1, 3, 4, 5, 6}
+
+    def test_incompatible_proposal_rejected(self, scenario, registry, session):
+        strict = CollaborationProtocolProfile(
+            party_id="urn:party:acme",
+            party_name="Acme",
+            endpoint="http://acme.example/msh",
+            processes=frozenset({"OrderManagement"}),
+            required_security=SecurityLevel.SIGNED_AND_ENCRYPTED,
+        )
+        weak = CollaborationProtocolProfile(
+            party_id="urn:party:globex",
+            party_name="Globex",
+            endpoint="http://globex.example/msh",
+            processes=frozenset({"OrderManagement"}),
+            offered_security=SecurityLevel.NONE,
+        )
+        scenario.publish_cpp(session, strict)
+        [found] = scenario.discover_partners("Globex", "OrderManagement")
+        with pytest.raises(InvalidRequestError, match="security"):
+            scenario.propose_cpa(weak, found, "OrderManagement")

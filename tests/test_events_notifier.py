@@ -1,0 +1,120 @@
+"""Tests for subscriptions and content-based notification (thesis §1.3.2.5)."""
+
+import pytest
+
+from repro.events import RecordingChannel
+from repro.rim import (
+    AdhocQuery,
+    NotifyAction,
+    Organization,
+    Service,
+    Subscription,
+)
+
+
+def subscribe(registry, session, *, query, actions=None, **kwargs):
+    selector = AdhocQuery(registry.ids.new_id(), query=query)
+    sub = Subscription(
+        registry.ids.new_id(),
+        selector=selector.id,
+        actions=actions
+        or [NotifyAction(mode="email", endpoint="ops@sdsu.edu")],
+        **kwargs,
+    )
+    registry.lcm.submit_objects(session, [selector, sub])
+    return sub
+
+
+class TestMatching:
+    def test_matching_event_delivers(self, registry, session):
+        sub = subscribe(
+            registry, session, query="SELECT id FROM Service WHERE name LIKE 'Demo%'"
+        )
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])
+        delivered = registry.subscriptions.delivered
+        assert any(n.event.affected_object == svc.id for n in delivered)
+
+    def test_non_matching_event_ignored(self, registry, session):
+        subscribe(registry, session, query="SELECT id FROM Service WHERE name LIKE 'Demo%'")
+        before = len(registry.subscriptions.delivered)
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(session, [org])
+        after = [
+            n
+            for n in registry.subscriptions.delivered[before:]
+            if n.event.affected_object == org.id
+        ]
+        assert after == []
+
+    def test_update_events_also_match(self, registry, session):
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])
+        sub = subscribe(
+            registry, session, query="SELECT id FROM Service WHERE name = 'DemoSrv'"
+        )
+        edited = registry.daos.services.require(svc.id)
+        edited.description.set("changed")
+        registry.lcm.update_objects(session, [edited])
+        assert any(
+            n.subscription_id == sub.id and n.event.event_type.value == "Updated"
+            for n in registry.subscriptions.delivered
+        )
+
+    def test_broken_selector_does_not_crash(self, registry, session):
+        sub = subscribe(registry, session, query="SELECT FROM nonsense (")
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])  # must not raise
+        assert all(n.subscription_id != sub.id for n in registry.subscriptions.delivered)
+
+
+class TestTimeWindow:
+    def test_inactive_subscription_not_notified(self, registry, session, clock):
+        sub = subscribe(
+            registry,
+            session,
+            query="SELECT id FROM Service WHERE name LIKE '%'",
+            start_time=1_000_000.0,
+        )
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])
+        assert all(n.subscription_id != sub.id for n in registry.subscriptions.delivered)
+
+    def test_expired_subscription_not_notified(self, registry, session, clock):
+        sub = subscribe(
+            registry,
+            session,
+            query="SELECT id FROM Service WHERE name LIKE '%'",
+            end_time=10.0,
+        )
+        clock.advance(100.0)
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])
+        assert all(n.subscription_id != sub.id for n in registry.subscriptions.delivered)
+
+
+class TestDeliveryChannels:
+    def test_both_action_modes_delivered(self, registry, session):
+        subscribe(
+            registry,
+            session,
+            query="SELECT id FROM Service WHERE name = 'DemoSrv'",
+            actions=[
+                NotifyAction(mode="email", endpoint="ops@sdsu.edu"),
+                NotifyAction(mode="service", endpoint="http://listener.sdsu.edu/notify"),
+            ],
+        )
+        svc = Service(registry.ids.new_id(), name="DemoSrv")
+        registry.lcm.submit_objects(session, [svc])
+        email = registry.subscriptions.channels["email"]
+        service = registry.subscriptions.channels["service"]
+        assert email.for_endpoint("ops@sdsu.edu")
+        assert service.for_endpoint("http://listener.sdsu.edu/notify")
+
+    def test_custom_channel_installed(self, registry, session):
+        recorder = RecordingChannel()
+        registry.subscriptions.set_channel("email", recorder)
+        subscribe(registry, session, query="SELECT id FROM Service WHERE name = 'X'")
+        svc = Service(registry.ids.new_id(), name="X")
+        registry.lcm.submit_objects(session, [svc])
+        assert recorder.delivered

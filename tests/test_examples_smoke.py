@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs to completion and prints its story."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "monitoring targets" in out
+        assert "overloaded host demoted" in out
+
+    def test_registry_admin_xml(self, capsys):
+        out = run_example("registry_admin_xml.py", capsys)
+        assert "4.1 publish organization" in out
+        assert "organizations left: 0, services left: 0" in out
+
+    def test_timeofday_and_failover(self, capsys):
+        out = run_example("timeofday_and_failover.py", capsys)
+        assert "inside the window" in out
+        assert "publisher order again" in out
+
+    def test_federation_and_notification(self, capsys):
+        out = run_example("federation_and_notification.py", capsys)
+        assert "federated query" in out
+        assert "email to ops@sdsu.edu" in out
+
+    def test_elastic_deployment(self, capsys):
+        out = run_example("elastic_deployment.py", capsys)
+        assert "scale events" in out
+        assert "+node2.x" in out
+
+    @pytest.mark.slow
+    def test_mtc_load_balancing(self, capsys):
+        out = run_example("mtc_load_balancing.py", capsys)
+        assert "homogeneous cluster" in out
+        assert "constraint-lb" in out

@@ -1,0 +1,157 @@
+"""End-to-end integration: the full thesis pipeline in one scenario.
+
+Covers Figure 3.3/3.4's data flow: administrator deploys NodeStatus and
+publishes it; a producer publishes a constrained Web Service through the
+AccessRegistry XML API; TimeHits monitors the cluster; a consumer accesses
+the service and receives URIs filtered/ordered by live host state; hosts
+fail and recover; notifications fire on registry changes.
+"""
+
+import pytest
+
+from repro.client.access import ClientEnvironment, Registry
+from repro.core import attach_load_balancer
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import AdhocQuery, NotifyAction, Subscription
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+from repro.sim.nodestatus import nodestatus_uri
+from repro.soap import SimTransport
+from repro.util.clock import SimClockAdapter
+
+HOSTS = ["exergy.sdsu.edu", "thermo.sdsu.edu", "romulus.sdsu.edu"]
+
+
+@pytest.fixture
+def world():
+    engine = SimEngine(start=10 * 3600.0)
+    registry = RegistryServer(RegistryConfig(seed=7), clock=SimClockAdapter(engine))
+    cluster = Cluster(engine)
+    cluster.add_hosts([HostSpec(h, cores=2) for h in HOSTS])
+    transport = SimTransport()
+    for monitor in cluster.monitors():
+        transport.register_endpoint(monitor.access_uri, lambda req, m=monitor: m.invoke())
+    env = ClientEnvironment.for_registry(registry)
+    connection = env.register_client("gold", "gold123")
+    return engine, registry, cluster, transport, env, connection
+
+
+PUBLISH = f"""<root>
+  <action type="publish">
+    <organization>
+      <name>San Diego State University (SDSU)</name>
+      <description>A university in southern California</description>
+      <service>
+        <name>NodeStatus</name>
+        <description>Service to monitor node status</description>
+        <accessuri>{' '.join(nodestatus_uri(h) for h in HOSTS)}</accessuri>
+      </service>
+      <service>
+        <name>ServiceAdder</name>
+        <description><constraint><cpuLoad>load ls 2.0</cpuLoad><memory>memory gr 1GB</memory></constraint></description>
+        <accessuri>{' '.join(f'http://{h}:8080/Adder/addService' for h in HOSTS)}</accessuri>
+      </service>
+    </organization>
+  </action>
+</root>"""
+
+ACCESS = """<root><action type="access"><organization>
+  <name>San Diego State University (SDSU)</name>
+  <service><name>ServiceAdder</name></service>
+</organization></action></root>"""
+
+
+class TestFullPipeline:
+    def test_publish_monitor_discover_cycle(self, world):
+        engine, registry, cluster, transport, env, connection = world
+        Registry(connection, PUBLISH, environment=env).execute()
+        balancer = attach_load_balancer(registry, transport, engine)
+
+        # initially all hosts idle: publisher order preserved among ties
+        uris = Registry(connection, ACCESS, environment=env).execute()[2]
+        assert [u.split("//")[1].split(":")[0] for u in uris] == HOSTS
+
+        # overload the first host; wait past a monitoring sweep
+        for _ in range(6):
+            cluster.submit_task(HOSTS[0], Task(cpu_seconds=10_000, memory=1 << 30))
+        engine.run_until(engine.now + 30)
+
+        uris = Registry(connection, ACCESS, environment=env).execute()[2]
+        hosts = [u.split("//")[1].split(":")[0] for u in uris]
+        assert hosts[-1] == HOSTS[0]  # overloaded host demoted
+        assert set(hosts) == set(HOSTS)
+
+        # the monitoring service itself is unconstrained: stays publisher-order
+        ns_access = ACCESS.replace("ServiceAdder", "NodeStatus")
+        ns_uris = Registry(connection, ns_access, environment=env).execute()[2]
+        assert ns_uris == [nodestatus_uri(h) for h in HOSTS]
+
+    def test_host_failure_and_recovery(self, world):
+        engine, registry, cluster, transport, env, connection = world
+        Registry(connection, PUBLISH, environment=env).execute()
+        balancer = attach_load_balancer(registry, transport, engine)
+        engine.run_until(engine.now + 30)
+
+        transport.set_host_down(HOSTS[1])
+        engine.run_until(engine.now + 150)  # sample ages past 4×25 s
+        uris = Registry(connection, ACCESS, environment=env).execute()[2]
+        hosts = [u.split("//")[1].split(":")[0] for u in uris]
+        assert hosts[-1] == HOSTS[1]  # unmonitored host cannot be certified
+
+        transport.set_host_down(HOSTS[1], down=False)
+        engine.run_until(engine.now + 30)
+        uris = Registry(connection, ACCESS, environment=env).execute()[2]
+        hosts = [u.split("//")[1].split(":")[0] for u in uris]
+        assert hosts.index(HOSTS[1]) < len(hosts) - 1  # recovered
+
+    def test_mtc_dispatch_balances_cluster(self, world):
+        engine, registry, cluster, transport, env, connection = world
+        Registry(connection, PUBLISH, environment=env).execute()
+        attach_load_balancer(registry, transport, engine, period=10.0)
+        svc = registry.qm.find_service_by_name("ServiceAdder")
+
+        counts = {h: 0 for h in HOSTS}
+
+        def dispatch():
+            uris = registry.qm.get_access_uris(svc.id)
+            host = uris[0].split("//")[1].split(":")[0]
+            counts[host] += 1
+            cluster.submit_task(host, Task(cpu_seconds=8.0, memory=256 << 20))
+
+        t = engine.now
+        for i in range(120):
+            engine.schedule_at(t + 2.0 * (i + 1), dispatch)
+        engine.run_until(t + 300.0)
+        # all hosts participate; no host starves
+        assert all(count > 10 for count in counts.values()), counts
+
+    def test_subscription_fires_on_publish(self, world):
+        engine, registry, cluster, transport, env, connection = world
+        _, cred = registry.register_user("watcher")
+        watcher = registry.login(cred)
+        selector = AdhocQuery(
+            registry.ids.new_id(),
+            query="SELECT id FROM Service WHERE name = 'ServiceAdder'",
+        )
+        subscription = Subscription(
+            registry.ids.new_id(),
+            selector=selector.id,
+            actions=[NotifyAction(mode="email", endpoint="ops@sdsu.edu")],
+        )
+        registry.lcm.submit_objects(watcher, [selector, subscription])
+        Registry(connection, PUBLISH, environment=env).execute()
+        assert any(
+            n.subscription_id == subscription.id
+            for n in registry.subscriptions.delivered
+        )
+
+    def test_audit_trail_records_whole_history(self, world):
+        engine, registry, cluster, transport, env, connection = world
+        Registry(connection, PUBLISH, environment=env).execute()
+        org = registry.qm.find_organization_by_name("San Diego State University (SDSU)")
+        delete = (
+            '<root><action type="modify"><organization type="delete">'
+            "<name>San Diego State University (SDSU)</name></organization></action></root>"
+        )
+        Registry(connection, delete, environment=env).execute()
+        trail = registry.qm.audit_trail(org.id)
+        assert [e.event_type.value for e in trail] == ["Created", "Deleted"]

@@ -1,0 +1,105 @@
+"""Tests for the end-to-end experiment harness (fast, small configurations)."""
+
+import pytest
+
+from repro.mtc import (
+    BackgroundLoad,
+    Distribution,
+    ExperimentConfig,
+    WorkloadSpec,
+    run_experiment,
+)
+from repro.sim import HostSpec
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        hosts=(
+            HostSpec("h0.x", cores=2),
+            HostSpec("h1.x", cores=2),
+        ),
+        workload=WorkloadSpec(
+            arrival_rate=0.5, cpu_seconds=Distribution.fixed(4.0), seed=1
+        ),
+        duration=300.0,
+        warmup=30.0,
+        monitor_period=10.0,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+class TestRunExperiment:
+    def test_first_uri_concentrates_on_one_host(self):
+        result = run_experiment(small_config(policy="first-uri"))
+        assert set(result.dispatch_counts) == {"h0.x"}
+        assert result.metrics.fairness == pytest.approx(0.5, abs=0.05)
+
+    def test_round_robin_spreads_evenly(self):
+        result = run_experiment(small_config(policy="round-robin"))
+        counts = list(result.dispatch_counts.values())
+        assert max(counts) - min(counts) <= 1
+
+    def test_constraint_lb_uses_all_hosts(self):
+        result = run_experiment(small_config(policy="constraint-lb"))
+        assert set(result.dispatch_counts) == {"h0.x", "h1.x"}
+        assert result.monitor_collections > 0
+        assert result.node_samples == 2
+
+    def test_constraint_lb_beats_first_uri_on_uniformity(self):
+        lb = run_experiment(small_config(policy="constraint-lb"))
+        no_lb = run_experiment(small_config(policy="first-uri"))
+        assert lb.metrics.uniformity.load_stddev < no_lb.metrics.uniformity.load_stddev
+        assert lb.metrics.fairness > no_lb.metrics.fairness
+
+    def test_deterministic_under_seed(self):
+        a = run_experiment(small_config(policy="constraint-lb"))
+        b = run_experiment(small_config(policy="constraint-lb"))
+        assert a.dispatch_counts == b.dispatch_counts
+        assert a.metrics.responses.mean == b.metrics.responses.mean
+
+    def test_all_tasks_complete_after_drain(self):
+        result = run_experiment(small_config(policy="round-robin"))
+        assert result.metrics.tasks_completed == result.metrics.tasks_submitted
+        assert result.metrics.tasks_rejected == 0
+
+    def test_vanilla_policies_do_not_monitor(self):
+        result = run_experiment(small_config(policy="random"))
+        assert result.monitor_collections == 0
+        assert result.node_samples == 0
+
+
+class TestBackgroundLoad:
+    def test_background_raises_host_load(self):
+        cfg = small_config(
+            policy="round-robin",
+            background=(BackgroundLoad("h0.x", rate=0.1, cpu_seconds=30.0),),
+        )
+        result = run_experiment(cfg)
+        per_host = result.metrics.uniformity.per_host_mean_load
+        assert per_host["h0.x"] > per_host["h1.x"]
+
+    def test_constraint_lb_avoids_loaded_host(self):
+        bg = (BackgroundLoad("h0.x", rate=0.15, cpu_seconds=60.0, memory=1 << 30),)
+        lb = run_experiment(small_config(policy="constraint-lb", background=bg))
+        rr = run_experiment(small_config(policy="round-robin", background=bg))
+        # LB steers work off the loaded host; RR is oblivious
+        assert lb.dispatch_counts["h0.x"] < rr.dispatch_counts["h0.x"]
+
+
+class TestMetricsRow:
+    def test_row_is_flat_and_json_friendly(self):
+        result = run_experiment(small_config(policy="round-robin"))
+        row = result.metrics.row()
+        assert row["policy"] == "round-robin"
+        assert set(row) == {
+            "policy",
+            "load_std",
+            "imbalance",
+            "fairness",
+            "mem_spread_MB",
+            "resp_mean_s",
+            "resp_p95_s",
+            "completed",
+            "rejected",
+        }

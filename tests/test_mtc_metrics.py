@@ -1,0 +1,130 @@
+"""Tests for uniformity/fairness/response metrics."""
+
+import pytest
+
+from repro.mtc import (
+    ClusterSampler,
+    LoadUniformity,
+    ResponseSummary,
+    jain_fairness,
+)
+from repro.sim import Cluster, HostSpec, SimEngine, Task
+
+
+class TestJainFairness:
+    def test_perfectly_even(self):
+        assert jain_fairness([5.0, 5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_maximally_skewed(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        value = jain_fairness([4.0, 2.0])
+        assert 0.5 < value < 1.0
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+
+class TestResponseSummary:
+    def test_from_completed_tasks(self):
+        tasks = []
+        for i, rt in enumerate([10.0, 20.0, 30.0]):
+            t = Task(cpu_seconds=10.0, memory=0)
+            t.submitted_at = 0.0
+            t.completed_at = rt
+            tasks.append(t)
+        summary = ResponseSummary.from_tasks(tasks)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(20.0)
+        assert summary.median == pytest.approx(20.0)
+        assert summary.max == 30.0
+        assert summary.mean_slowdown == pytest.approx(2.0)
+
+    def test_unfinished_tasks_excluded(self):
+        done = Task(cpu_seconds=5.0, memory=0)
+        done.submitted_at, done.completed_at = 0.0, 5.0
+        pending = Task(cpu_seconds=5.0, memory=0)
+        pending.submitted_at = 0.0
+        summary = ResponseSummary.from_tasks([done, pending])
+        assert summary.count == 1
+
+    def test_empty_is_zeroes(self):
+        summary = ResponseSummary.from_tasks([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+class TestClusterSampler:
+    @pytest.fixture
+    def setup(self):
+        engine = SimEngine()
+        cluster = Cluster(engine)
+        cluster.add_hosts([HostSpec("a.x", cores=1), HostSpec("b.x", cores=1)])
+        return engine, cluster
+
+    def test_periodic_sampling(self, setup):
+        engine, cluster = setup
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.start()
+        engine.run_until(50.0)
+        sampler.stop()
+        assert len(sampler.times) == 6  # t=0 plus 5 periods
+        assert sampler.load_matrix().shape == (6, 2)
+
+    def test_memory_matrix_tracks_usage(self, setup):
+        engine, cluster = setup
+        cluster.submit_task("a.x", Task(cpu_seconds=100, memory=1 << 30))
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.start()
+        engine.run_until(10.0)
+        sampler.stop()
+        memory = sampler.memory_matrix()
+        assert memory[0, 0] == 1 << 30  # a.x has 1GB in use
+        assert memory[0, 1] == 0
+
+    def test_uniformity_from_sampler(self, setup):
+        engine, cluster = setup
+        for _ in range(4):
+            cluster.submit_task("a.x", Task(cpu_seconds=10_000, memory=0))
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.start()
+        engine.run_until(200.0)
+        sampler.stop()
+        uniformity = LoadUniformity.from_sampler(sampler)
+        assert uniformity.load_stddev > 0.5  # all load on one host
+        assert uniformity.imbalance_factor > 1.5
+        assert uniformity.per_host_mean_load["a.x"] > uniformity.per_host_mean_load["b.x"]
+
+    def test_warmup_excludes_early_samples(self, setup):
+        engine, cluster = setup
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.start()
+        engine.run_until(100.0)
+        sampler.stop()
+        uniformity = LoadUniformity.from_sampler(sampler, warmup=50.0)
+        assert uniformity.mean_load == 0.0
+
+    def test_warmup_beyond_samples_rejected(self, setup):
+        engine, cluster = setup
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.sample()
+        with pytest.raises(ValueError):
+            LoadUniformity.from_sampler(sampler, warmup=1e9)
+
+    def test_balanced_load_has_low_stddev(self, setup):
+        engine, cluster = setup
+        for host in ("a.x", "b.x"):
+            for _ in range(2):
+                cluster.submit_task(host, Task(cpu_seconds=10_000, memory=0))
+        sampler = ClusterSampler(cluster, engine, period=10.0)
+        sampler.start()
+        engine.run_until(200.0)
+        sampler.stop()
+        uniformity = LoadUniformity.from_sampler(sampler)
+        assert uniformity.load_stddev == pytest.approx(0.0, abs=1e-9)
+        assert uniformity.imbalance_factor == pytest.approx(1.0)

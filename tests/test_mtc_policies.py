@@ -1,0 +1,80 @@
+"""Tests for the endpoint selection policies."""
+
+import pytest
+
+from repro.mtc import (
+    POLICY_FACTORIES,
+    REGISTRY_BALANCED_POLICIES,
+    FirstUriPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.util.errors import InvalidRequestError
+
+URIS = ["http://a.x/s", "http://b.x/s", "http://c.x/s"]
+
+
+class TestFirstUri:
+    def test_always_first(self):
+        policy = FirstUriPolicy()
+        assert all(policy.choose(URIS) == URIS[0] for _ in range(5))
+
+    def test_tracks_reordering(self):
+        # the property the thesis scheme relies on: registry reorders, client obeys
+        policy = FirstUriPolicy()
+        assert policy.choose(list(reversed(URIS))) == URIS[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            FirstUriPolicy().choose([])
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = [RandomPolicy(seed=1).choose(URIS) for _ in range(10)]
+        b = [RandomPolicy(seed=1).choose(URIS) for _ in range(10)]
+        # fresh policies with the same seed agree on the first pick
+        assert a[0] == b[0]
+
+    def test_covers_all_choices(self):
+        policy = RandomPolicy(seed=2)
+        picks = {policy.choose(URIS) for _ in range(100)}
+        assert picks == set(URIS)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RandomPolicy(seed=1).choose([])
+
+
+class TestRoundRobin:
+    def test_cycles_in_sorted_order(self):
+        policy = RoundRobinPolicy()
+        picks = [policy.choose(URIS) for _ in range(6)]
+        assert picks == sorted(URIS) * 2
+
+    def test_stable_under_reordering(self):
+        policy = RoundRobinPolicy()
+        first = policy.choose(URIS)
+        second = policy.choose(list(reversed(URIS)))
+        assert [first, second] == sorted(URIS)[:2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RoundRobinPolicy().choose([])
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in POLICY_FACTORIES:
+            assert make_policy(name, seed=1).choose(URIS) in URIS
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidRequestError):
+            make_policy("magic")
+
+    def test_constraint_lb_uses_first_uri_client(self):
+        # the scheme is transparent: the client side is plain first-URI
+        policy = make_policy("constraint-lb")
+        assert isinstance(policy, FirstUriPolicy)
+        assert "constraint-lb" in REGISTRY_BALANCED_POLICIES

@@ -1,0 +1,87 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.mtc import Distribution, WorkloadSpec, generate_workload
+from repro.util.errors import InvalidRequestError
+
+
+class TestDistribution:
+    def test_fixed(self):
+        import random
+
+        assert Distribution.fixed(5.0).sample(random.Random(0)) == 5.0
+
+    def test_uniform_bounds(self):
+        import random
+
+        dist = Distribution.uniform(1.0, 2.0)
+        rng = random.Random(0)
+        assert all(1.0 <= dist.sample(rng) <= 2.0 for _ in range(100))
+
+    def test_exponential_mean(self):
+        import random
+
+        dist = Distribution.exponential(10.0)
+        rng = random.Random(0)
+        mean = sum(dist.sample(rng) for _ in range(5000)) / 5000
+        assert mean == pytest.approx(10.0, rel=0.1)
+
+    def test_unknown_kind(self):
+        import random
+
+        with pytest.raises(InvalidRequestError):
+            Distribution("zipf", 1.0).sample(random.Random(0))
+
+
+class TestGenerateWorkload:
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(arrival_rate=1.0, seed=7)
+        a = generate_workload(spec, duration=100.0)
+        b = generate_workload(spec, duration=100.0)
+        assert [x.time for x in a] == [x.time for x in b]
+        assert [x.task.cpu_seconds for x in a] == [x.task.cpu_seconds for x in b]
+
+    def test_seed_changes_schedule(self):
+        a = generate_workload(WorkloadSpec(arrival_rate=1.0, seed=1), duration=100.0)
+        b = generate_workload(WorkloadSpec(arrival_rate=1.0, seed=2), duration=100.0)
+        assert [x.time for x in a] != [x.time for x in b]
+
+    def test_poisson_rate_approximate(self):
+        arrivals = generate_workload(
+            WorkloadSpec(arrival_rate=2.0, seed=3), duration=2000.0
+        )
+        assert len(arrivals) == pytest.approx(4000, rel=0.1)
+
+    def test_uniform_arrivals_evenly_spaced(self):
+        arrivals = generate_workload(
+            WorkloadSpec(arrival_rate=0.5, arrivals="uniform", seed=0), duration=10.0
+        )
+        times = [a.time for a in arrivals]
+        assert times == pytest.approx([2.0, 4.0, 6.0, 8.0])
+
+    def test_all_arrivals_inside_duration(self):
+        arrivals = generate_workload(WorkloadSpec(arrival_rate=5.0, seed=4), duration=50.0)
+        assert all(0 < a.time < 50.0 for a in arrivals)
+
+    def test_task_names_unique(self):
+        arrivals = generate_workload(WorkloadSpec(arrival_rate=5.0, seed=4), duration=50.0)
+        names = [a.task.name for a in arrivals]
+        assert len(set(names)) == len(names)
+
+    def test_cpu_floor_applied(self):
+        spec = WorkloadSpec(
+            arrival_rate=1.0, cpu_seconds=Distribution.fixed(-5.0), seed=0
+        )
+        arrivals = generate_workload(spec, duration=20.0)
+        assert all(a.task.cpu_seconds == 0.01 for a in arrivals)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidRequestError):
+            generate_workload(WorkloadSpec(arrival_rate=1.0), duration=0)
+        with pytest.raises(InvalidRequestError):
+            generate_workload(WorkloadSpec(arrival_rate=0.0), duration=10)
+        with pytest.raises(InvalidRequestError):
+            generate_workload(
+                WorkloadSpec(arrival_rate=1.0, arrivals="bursty"), duration=10
+            )

@@ -1,0 +1,154 @@
+"""Tests for the DataStore: object heap, type partitions, transactions."""
+
+import pytest
+
+from repro.persistence import DataStore
+from repro.rim import Organization, Service
+from repro.util.errors import (
+    InvalidRequestError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+)
+from repro.util.ids import IdFactory
+
+ids = IdFactory(10)
+
+
+@pytest.fixture
+def store() -> DataStore:
+    return DataStore()
+
+
+class TestObjectHeap:
+    def test_insert_and_get_returns_copy(self, store):
+        org = Organization(ids.new_id(), name="SDSU")
+        store.insert_object(org)
+        fetched = store.get_object(org.id)
+        fetched.name.set("changed")
+        assert store.get_object(org.id).name.value == "SDSU"
+
+    def test_store_owns_copy_of_input(self, store):
+        org = Organization(ids.new_id(), name="SDSU")
+        store.insert_object(org)
+        org.name.set("mutated-after-insert")
+        assert store.get_object(org.id).name.value == "SDSU"
+
+    def test_duplicate_insert_rejected(self, store):
+        org = Organization(ids.new_id())
+        store.insert_object(org)
+        with pytest.raises(ObjectExistsError):
+            store.insert_object(org)
+
+    def test_save_upserts(self, store):
+        org = Organization(ids.new_id(), name="v1")
+        store.save_object(org)
+        org2 = Organization(org.id, name="v2")
+        store.save_object(org2)
+        assert store.get_object(org.id).name.value == "v2"
+
+    def test_save_rejects_type_change(self, store):
+        oid = ids.new_id()
+        store.save_object(Organization(oid))
+        with pytest.raises(InvalidRequestError):
+            store.save_object(Service(oid))
+
+    def test_delete(self, store):
+        org = Organization(ids.new_id())
+        store.insert_object(org)
+        store.delete_object(org.id)
+        assert store.get_object(org.id) is None
+        with pytest.raises(ObjectNotFoundError):
+            store.delete_object(org.id)
+
+    def test_require_object(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.require_object(ids.new_id())
+
+
+class TestTypePartitions:
+    def test_objects_of_type(self, store):
+        store.insert_object(Organization(ids.new_id()))
+        store.insert_object(Service(ids.new_id()))
+        store.insert_object(Service(ids.new_id()))
+        assert store.count("Service") == 2
+        assert store.count("Organization") == 1
+        assert store.count() == 3
+        assert {o.type_name for o in store.objects_of_type("Service")} == {"Service"}
+
+    def test_type_names_excludes_empty(self, store):
+        org = Organization(ids.new_id())
+        store.insert_object(org)
+        store.delete_object(org.id)
+        assert "Organization" not in store.type_names()
+
+    def test_select_objects_with_predicate(self, store):
+        a = Organization(ids.new_id(), name="A")
+        b = Organization(ids.new_id(), name="B")
+        store.insert_object(a)
+        store.insert_object(b)
+        found = store.select_objects("Organization", lambda o: o.name.value == "B")
+        assert [o.id for o in found] == [b.id]
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, store):
+        org = Organization(ids.new_id())
+        with store.transaction():
+            store.insert_object(org)
+        assert store.contains(org.id)
+
+    def test_rollback_on_error(self, store):
+        pre = Organization(ids.new_id(), name="pre")
+        store.insert_object(pre)
+        org = Organization(ids.new_id())
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(org)
+                store.delete_object(pre.id)
+                raise RuntimeError("boom")
+        assert not store.contains(org.id)
+        assert store.contains(pre.id)
+
+    def test_rollback_restores_tables(self, store):
+        table = store.create_table("t", ["K", "V"], primary_key="K")
+        table.insert({"K": "a", "V": 1})
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                table.insert({"K": "b", "V": 2})
+                raise RuntimeError("boom")
+        assert len(table) == 1
+
+    def test_nested_transactions_join_outer(self, store):
+        org1 = Organization(ids.new_id())
+        org2 = Organization(ids.new_id())
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(org1)
+                with store.transaction():
+                    store.insert_object(org2)
+                raise RuntimeError("boom")
+        assert not store.contains(org1.id)
+        assert not store.contains(org2.id)
+
+    def test_inner_success_outer_failure_rolls_back_both(self, store):
+        org = Organization(ids.new_id())
+        with store.transaction():
+            with store.transaction():
+                store.insert_object(org)
+        assert store.contains(org.id)
+
+
+class TestTables:
+    def test_create_and_get(self, store):
+        store.create_table("t", ["K"], primary_key="K")
+        assert store.has_table("t")
+        assert store.table("t").name == "t"
+
+    def test_duplicate_table_rejected(self, store):
+        store.create_table("t", ["K"], primary_key="K")
+        with pytest.raises(InvalidRequestError):
+            store.create_table("t", ["K"], primary_key="K")
+
+    def test_missing_table(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.table("nope")

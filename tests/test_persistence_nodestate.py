@@ -1,0 +1,74 @@
+"""Tests for the NodeState monitoring table (thesis Figure 3.2)."""
+
+import pytest
+
+from repro.persistence import DataStore, NodeSample, NodeStateStore
+
+
+@pytest.fixture
+def node_state() -> NodeStateStore:
+    return NodeStateStore(DataStore())
+
+
+def sample(host="exergy.sdsu.edu", load=0.5, memory=4 << 30, swap=2 << 30, updated=0.0):
+    return NodeSample(host=host, load=load, memory=memory, swap_memory=swap, updated=updated)
+
+
+class TestRecording:
+    def test_record_and_get(self, node_state):
+        node_state.record_sample(sample())
+        got = node_state.get("exergy.sdsu.edu")
+        assert got.load == 0.5
+        assert got.memory == 4 << 30
+
+    def test_record_overwrites_previous(self, node_state):
+        node_state.record_sample(sample(load=0.5, updated=0.0))
+        node_state.record_sample(sample(load=3.0, updated=25.0))
+        assert len(node_state) == 1
+        got = node_state.get("exergy.sdsu.edu")
+        assert got.load == 3.0
+        assert got.updated == 25.0
+
+    def test_missing_host_returns_none(self, node_state):
+        assert node_state.get("nope") is None
+
+    def test_remove(self, node_state):
+        node_state.record_sample(sample())
+        node_state.remove("exergy.sdsu.edu")
+        assert node_state.get("exergy.sdsu.edu") is None
+        node_state.remove("exergy.sdsu.edu")  # idempotent
+
+    def test_hosts_sorted(self, node_state):
+        node_state.record_sample(sample(host="zeta"))
+        node_state.record_sample(sample(host="alpha"))
+        assert node_state.hosts() == ["alpha", "zeta"]
+
+
+class TestFreshness:
+    def test_fresh_samples_filters_by_age(self, node_state):
+        node_state.record_sample(sample(host="old", updated=0.0))
+        node_state.record_sample(sample(host="new", updated=90.0))
+        fresh = node_state.fresh_samples(now=100.0, max_age=25.0)
+        assert [s.host for s in fresh] == ["new"]
+
+    def test_no_max_age_returns_all(self, node_state):
+        node_state.record_sample(sample(host="old", updated=0.0))
+        assert len(node_state.fresh_samples(now=1e9, max_age=None)) == 1
+
+    def test_boundary_age_is_fresh(self, node_state):
+        node_state.record_sample(sample(host="edge", updated=75.0))
+        fresh = node_state.fresh_samples(now=100.0, max_age=25.0)
+        assert [s.host for s in fresh] == ["edge"]
+
+
+class TestRowMapping:
+    def test_round_trip(self):
+        s = sample(load=1.25, updated=12.5)
+        assert NodeSample.from_row(s.as_row()) == s
+
+    def test_shares_datastore_table(self):
+        store = DataStore()
+        a = NodeStateStore(store)
+        b = NodeStateStore(store)
+        a.record_sample(sample())
+        assert b.get("exergy.sdsu.edu") is not None

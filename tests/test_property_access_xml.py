@@ -1,0 +1,94 @@
+"""Property test: generated action.xml documents parse back to their specs."""
+
+from xml.sax.saxutils import escape
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.access import parse_action_xml
+
+# XML-safe text without leading/trailing whitespace distortion
+xml_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), blacklist_characters="<>&\"'"
+    ),
+    min_size=1,
+    max_size=20,
+).map(str.strip).filter(bool)
+
+uris = st.lists(
+    st.from_regex(r"http://[a-z]{1,8}\.x:8080/[a-z]{1,8}", fullmatch=True),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+@st.composite
+def service_specs(draw):
+    return {
+        "name": draw(xml_text),
+        "mod_type": draw(st.none() | st.sampled_from(["add", "edit", "delete"])),
+        "uris": draw(uris),
+        "uri_mod": draw(st.none() | st.sampled_from(["add", "delete"])),
+        "description": draw(st.none() | xml_text),
+    }
+
+
+@st.composite
+def org_specs(draw):
+    return {
+        "name": draw(xml_text),
+        "delete": draw(st.booleans()),
+        "description": draw(st.none() | xml_text),
+        "services": draw(st.lists(service_specs(), max_size=3)),
+    }
+
+
+def render(action_type: str, orgs: list[dict]) -> str:
+    parts = [f'<root><action type="{action_type}">']
+    for org in orgs:
+        attr = ' type="delete"' if org["delete"] and action_type == "modify" else ""
+        parts.append(f"<organization{attr}><name>{escape(org['name'])}</name>")
+        if org["description"] is not None:
+            parts.append(f"<description>{escape(org['description'])}</description>")
+        for service in org["services"]:
+            sattr = f' type="{service["mod_type"]}"' if service["mod_type"] else ""
+            parts.append(f"<service{sattr}><name>{escape(service['name'])}</name>")
+            if service["description"] is not None:
+                parts.append(
+                    f"<description>{escape(service['description'])}</description>"
+                )
+            uattr = f' type="{service["uri_mod"]}"' if service["uri_mod"] else ""
+            parts.append(f"<accessuri{uattr}>{' '.join(service['uris'])}</accessuri>")
+            parts.append("</service>")
+        parts.append("</organization>")
+    parts.append("</action></root>")
+    return "".join(parts)
+
+
+@given(
+    action_type=st.sampled_from(["publish", "modify", "access"]),
+    orgs=st.lists(org_specs(), min_size=1, max_size=3),
+)
+@settings(max_examples=150, deadline=None)
+def test_generated_documents_parse_faithfully(action_type, orgs):
+    document = parse_action_xml(render(action_type, orgs))
+    [action] = document.actions
+    assert action.action_type == action_type
+    assert len(action.organizations) == len(orgs)
+    for parsed, spec in zip(action.organizations, orgs):
+        assert parsed.name == spec["name"]
+        expected_mod = "delete" if spec["delete"] and action_type == "modify" else None
+        assert parsed.mod_type == expected_mod
+        if spec["description"] is None:
+            assert parsed.description is None
+        else:
+            assert parsed.description.text == spec["description"]
+        assert len(parsed.services) == len(spec["services"])
+        for parsed_svc, svc in zip(parsed.services, spec["services"]):
+            assert parsed_svc.name == svc["name"]
+            assert parsed_svc.mod_type == svc["mod_type"]
+            assert parsed_svc.all_uris() == svc["uris"]
+            [uri_spec] = parsed_svc.access_uris
+            assert uri_spec.mod_type == svc["uri_mod"]

@@ -1,0 +1,105 @@
+"""Property-based tests for the constraint language."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    ConstraintSet,
+    Operator,
+    ScalarConstraint,
+    TimeWindow,
+    parse_constraint_block,
+    parse_constraints,
+)
+from repro.persistence.nodestate import NodeSample
+from repro.util.units import format_military_time
+
+operators = st.sampled_from(list(Operator))
+loads = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+byte_counts = st.integers(min_value=0, max_value=1 << 45)
+minutes = st.integers(min_value=0, max_value=1439)
+
+
+def scalar(keyword, value_strategy):
+    return st.builds(
+        ScalarConstraint,
+        keyword=st.just(keyword),
+        op=operators,
+        value=value_strategy,
+    )
+
+
+constraint_sets = st.builds(
+    ConstraintSet,
+    cpu_load=st.none() | scalar("load", st.floats(0.01, 100.0).map(lambda v: round(v, 3))),
+    memory=st.none()
+    | scalar("memory", st.integers(1, 1 << 40).map(lambda v: float(v // (1 << 20) * (1 << 20) or (1 << 20)))),
+    swap_memory=st.none()
+    | scalar("swapmemory", st.integers(1, 1 << 40).map(lambda v: float(v // (1 << 20) * (1 << 20) or (1 << 20)))),
+    window=st.none() | st.builds(TimeWindow, start_minutes=minutes, end_minutes=minutes),
+)
+
+
+@given(constraint_sets)
+@settings(max_examples=200)
+def test_to_xml_round_trips(cs: ConstraintSet):
+    """Serializing any constraint set and reparsing yields the same clauses.
+
+    Memory values are MB-aligned above so the KB/MB/GB rendering is exact.
+    """
+    reparsed = parse_constraint_block(cs.to_xml())
+    assert reparsed.cpu_load == cs.cpu_load
+    assert reparsed.memory == cs.memory
+    assert reparsed.swap_memory == cs.swap_memory
+    assert reparsed.window == cs.window
+
+
+@given(
+    load=loads,
+    memory=byte_counts,
+    swap=byte_counts,
+    cs=constraint_sets,
+)
+@settings(max_examples=200)
+def test_satisfaction_is_conjunction(load, memory, swap, cs):
+    sample = NodeSample(host="h", load=load, memory=memory, swap_memory=swap, updated=0.0)
+    expected = True
+    if cs.cpu_load is not None:
+        expected &= cs.cpu_load.op.compare(load, cs.cpu_load.value)
+    if cs.memory is not None:
+        expected &= cs.memory.op.compare(memory, cs.memory.value)
+    if cs.swap_memory is not None:
+        expected &= cs.swap_memory.op.compare(swap, cs.swap_memory.value)
+    assert cs.satisfied_by(sample) is expected
+
+
+@given(start=minutes, end=minutes, probe=minutes)
+@settings(max_examples=300)
+def test_time_window_wrap_consistency(start, end, probe):
+    """A wrapped window is the complement-ish of the swapped window."""
+    window = TimeWindow(start, end)
+    inside = window.contains(probe)
+    if start <= end:
+        assert inside == (start <= probe <= end)
+    else:
+        assert inside == (probe >= start or probe <= end)
+    # boundary minutes are always inside
+    assert window.contains(start)
+    assert window.contains(end)
+
+
+@given(start=minutes, end=minutes)
+def test_military_round_trip_in_windows(start, end):
+    cs = ConstraintSet(window=TimeWindow(start, end))
+    xml = cs.to_xml()
+    assert f"<starttime>{format_military_time(start)}</starttime>" in xml
+    reparsed = parse_constraint_block(xml)
+    assert reparsed.window == cs.window
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=300)
+def test_lenient_parse_never_raises(text):
+    """parse_constraints in lenient mode must never raise on arbitrary text."""
+    result = parse_constraints(text)
+    assert result is None or isinstance(result, ConstraintSet)

@@ -1,0 +1,147 @@
+"""Stateful property test: LCM operations preserve referential integrity.
+
+Hypothesis drives random sequences of publish / bind / associate / update /
+delete operations against one registry and checks, after every step, the
+invariants the DAO caches must uphold:
+
+* every ServiceBinding's ``service`` exists, and the service's
+  ``binding_ids`` lists exactly its bindings;
+* every Association's endpoints exist (no dangling links);
+* every Organization's ``service_ids`` references existing services whose
+  ``provider`` points back;
+* the audit trail covers every live object's creation.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import (
+    Association,
+    AssociationType,
+    Organization,
+    Service,
+    ServiceBinding,
+)
+from repro.util.clock import ManualClock
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.registry = RegistryServer(RegistryConfig(seed=1234), clock=ManualClock())
+        _, cred = self.registry.register_user("machine")
+        self.session = self.registry.login(cred)
+        self.org_ids: list[str] = []
+        self.service_ids: list[str] = []
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(name=st.text(min_size=1, max_size=10))
+    def publish_organization(self, name):
+        org = Organization(self.registry.ids.new_id(), name=name)
+        self.registry.lcm.submit_objects(self.session, [org])
+        self.org_ids.append(org.id)
+
+    @rule(name=st.text(min_size=1, max_size=10))
+    def publish_service(self, name):
+        svc = Service(self.registry.ids.new_id(), name=name)
+        self.registry.lcm.submit_objects(self.session, [svc])
+        self.service_ids.append(svc.id)
+
+    @precondition(lambda self: self.service_ids)
+    @rule(data=st.data())
+    def add_binding(self, data):
+        service_id = data.draw(st.sampled_from(self.service_ids))
+        binding = ServiceBinding(
+            self.registry.ids.new_id(),
+            service=service_id,
+            access_uri=f"http://h{data.draw(st.integers(0, 5))}.x:8080/svc",
+        )
+        self.registry.lcm.submit_objects(self.session, [binding])
+
+    @precondition(lambda self: self.org_ids and self.service_ids)
+    @rule(data=st.data())
+    def offer_service(self, data):
+        org_id = data.draw(st.sampled_from(self.org_ids))
+        service_id = data.draw(st.sampled_from(self.service_ids))
+        service = self.registry.daos.services.require(service_id)
+        if service.provider is not None:
+            return  # one providing organization per service (enforced by LCM)
+        assoc = Association(
+            self.registry.ids.new_id(),
+            source_object=org_id,
+            target_object=service_id,
+            association_type=AssociationType.OFFERS_SERVICE,
+        )
+        self.registry.lcm.submit_objects(self.session, [assoc])
+
+    @precondition(lambda self: self.org_ids)
+    @rule(data=st.data(), description=st.text(max_size=10))
+    def update_organization(self, data, description):
+        org_id = data.draw(st.sampled_from(self.org_ids))
+        org = self.registry.daos.organizations.require(org_id)
+        org.description.set(description)
+        self.registry.lcm.update_objects(self.session, [org])
+
+    @precondition(lambda self: self.org_ids)
+    @rule(data=st.data())
+    def delete_organization(self, data):
+        org_id = data.draw(st.sampled_from(self.org_ids))
+        removed = self.registry.lcm.remove_objects(self.session, [org_id])
+        self.org_ids.remove(org_id)
+        self.service_ids = [s for s in self.service_ids if s not in removed]
+
+    @precondition(lambda self: self.service_ids)
+    @rule(data=st.data())
+    def delete_service(self, data):
+        service_id = data.draw(st.sampled_from(self.service_ids))
+        self.registry.lcm.remove_objects(self.session, [service_id])
+        self.service_ids.remove(service_id)
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def bindings_consistent(self):
+        daos = self.registry.daos
+        for binding in daos.service_bindings.all():
+            service = daos.services.get(binding.service)
+            assert service is not None, "dangling binding.service"
+            assert binding.id in service.binding_ids
+        for service in daos.services.all():
+            for binding_id in service.binding_ids:
+                binding = daos.service_bindings.get(binding_id)
+                assert binding is not None, "service lists missing binding"
+                assert binding.service == service.id
+
+    @invariant()
+    def associations_consistent(self):
+        daos = self.registry.daos
+        for assoc in daos.associations.all():
+            assert daos.store.contains(assoc.source_object), "dangling source"
+            assert daos.store.contains(assoc.target_object), "dangling target"
+
+    @invariant()
+    def organization_service_cache_consistent(self):
+        daos = self.registry.daos
+        for org in daos.organizations.all():
+            for service_id in org.service_ids:
+                service = daos.services.get(service_id)
+                assert service is not None, "org lists missing service"
+                assert service.provider == org.id
+
+    @invariant()
+    def every_live_object_has_creation_audit(self):
+        daos = self.registry.daos
+        for type_name in ("Organization", "Service", "ServiceBinding", "Association"):
+            for obj in daos.store.objects_of_type(type_name):
+                events = daos.events.for_object(obj.id)
+                assert events, f"no audit trail for {obj.id}"
+                assert events[0].event_type.value == "Created"
+
+
+LifecycleMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestLifecycleStateMachine = LifecycleMachine.TestCase

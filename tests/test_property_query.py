@@ -1,0 +1,83 @@
+"""Property-based tests for the query engine primitives."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import like_to_regex, tokenize
+from repro.query.parser import parse_select
+from repro.util.errors import QuerySyntaxError
+
+# -- LIKE pattern semantics ---------------------------------------------------
+
+literal_text = st.text(
+    alphabet=st.characters(blacklist_characters="%_", blacklist_categories=("Cs",)),
+    max_size=30,
+)
+
+
+@given(literal_text)
+def test_like_without_wildcards_is_exact_match(text):
+    pattern = like_to_regex(text)
+    assert pattern.match(text)
+    assert not pattern.match(text + "x")
+    if text:
+        assert not pattern.match(text[:-1])
+
+
+@given(prefix=literal_text, suffix=literal_text)
+def test_percent_matches_any_infix(prefix, suffix):
+    pattern = like_to_regex(prefix + "%" + suffix)
+    assert pattern.match(prefix + suffix)
+    assert pattern.match(prefix + "anything at all" + suffix)
+
+
+@given(body=literal_text, char=st.characters(blacklist_categories=("Cs",)))
+def test_underscore_matches_exactly_one(body, char):
+    pattern = like_to_regex("_" + body)
+    assert pattern.match(char + body)
+    assert not pattern.match(body) or body[:1] == ""
+
+
+@given(literal_text)
+def test_regex_special_characters_are_escaped(text):
+    """Characters like . * + ( ) must be literal in LIKE patterns."""
+    special = text + ".*+()[]"
+    pattern = like_to_regex(special)
+    assert pattern.match(special)
+    assert not pattern.match(text + "XX" + "()[]")
+
+
+# -- string-literal round trip through the tokenizer ----------------------------
+
+sql_strings = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+
+
+@given(sql_strings)
+def test_string_literal_round_trip(value):
+    quoted = "'" + value.replace("'", "''") + "'"
+    tokens = tokenize(f"SELECT * FROM t WHERE name = {quoted}")
+    strings = [t.value for t in tokens if t.type.name == "STRING"]
+    assert strings == [value]
+
+
+@given(sql_strings)
+def test_parse_select_with_arbitrary_literal(value):
+    quoted = value.replace("'", "''")
+    select = parse_select(f"SELECT * FROM t WHERE name = '{quoted}'")
+    assert select.where.right.value == value
+
+
+# -- parser robustness -----------------------------------------------------------
+
+@given(st.text(max_size=100))
+@settings(max_examples=300)
+def test_parser_raises_only_query_syntax_error(text):
+    """Arbitrary input either parses or raises QuerySyntaxError — never crashes."""
+    try:
+        parse_select(text)
+    except QuerySyntaxError:
+        pass

@@ -1,0 +1,123 @@
+"""Property-based round-trip tests for the SOAP serializer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rim import (
+    Association,
+    AssociationType,
+    Organization,
+    PostalAddress,
+    Service,
+    ServiceBinding,
+)
+from repro.rim.status import ObjectStatus
+from repro.soap import deserialize, serialize
+from repro.util.ids import IdFactory
+
+_factory = IdFactory(99)
+urn_ids = st.builds(lambda: _factory.new_id())
+
+names = st.text(max_size=40)
+descriptions = st.text(max_size=120)
+statuses = st.sampled_from(list(ObjectStatus))
+slot_names = st.text(min_size=1, max_size=20)
+
+
+@st.composite
+def organizations(draw):
+    org = Organization(
+        draw(urn_ids), name=draw(names), description=draw(descriptions)
+    )
+    org.status = draw(statuses)
+    org.owner = draw(st.none() | urn_ids)
+    for city in draw(st.lists(st.text(max_size=15), max_size=3)):
+        org.addresses.append(PostalAddress(city=city))
+    slots = draw(
+        st.dictionaries(slot_names, st.lists(st.text(max_size=10), max_size=3), max_size=4)
+    )
+    for name, values in slots.items():
+        org.add_slot(name, *values)
+    return org
+
+
+@st.composite
+def services(draw):
+    svc = Service(draw(urn_ids), name=draw(names), description=draw(descriptions))
+    svc.provider = draw(st.none() | urn_ids)
+    for _ in range(draw(st.integers(0, 4))):
+        svc.add_binding(_factory.new_id())
+    return svc
+
+
+@st.composite
+def bindings(draw):
+    return ServiceBinding(
+        draw(urn_ids),
+        service=draw(urn_ids),
+        access_uri="http://" + draw(st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,5}){1,2}", fullmatch=True)) + ":8080/svc",
+    )
+
+
+@st.composite
+def associations(draw):
+    return Association(
+        draw(urn_ids),
+        source_object=draw(urn_ids),
+        target_object=draw(urn_ids),
+        association_type=draw(st.sampled_from(list(AssociationType))),
+    )
+
+
+def assert_base_equal(a, b):
+    assert a.id == b.id
+    assert a.lid == b.lid
+    assert a.name.value == b.name.value
+    assert a.description.value == b.description.value
+    assert a.status is b.status
+    assert a.owner == b.owner
+    assert sorted(s.name for s in a.slots) == sorted(s.name for s in b.slots)
+    for slot in a.slots:
+        assert b.slots.get(slot.name).values == slot.values
+
+
+@given(organizations())
+@settings(max_examples=100)
+def test_organization_round_trip(org):
+    restored = deserialize(serialize(org))
+    assert_base_equal(org, restored)
+    assert restored.addresses == org.addresses
+    assert restored.service_ids == org.service_ids
+
+
+@given(services())
+@settings(max_examples=100)
+def test_service_round_trip(svc):
+    restored = deserialize(serialize(svc))
+    assert_base_equal(svc, restored)
+    assert restored.provider == svc.provider
+    assert restored.binding_ids == svc.binding_ids
+
+
+@given(bindings())
+@settings(max_examples=100)
+def test_binding_round_trip(binding):
+    restored = deserialize(serialize(binding))
+    assert_base_equal(binding, restored)
+    assert restored.access_uri == binding.access_uri
+    assert restored.host == binding.host
+
+
+@given(associations())
+@settings(max_examples=100)
+def test_association_round_trip(assoc):
+    restored = deserialize(serialize(assoc))
+    assert_base_equal(assoc, restored)
+    assert restored.association_type is assoc.association_type
+
+
+@given(organizations())
+@settings(max_examples=50)
+def test_serialization_is_pure(org):
+    """Serializing twice yields identical payloads (no hidden mutation)."""
+    assert serialize(org) == serialize(org)

@@ -1,0 +1,211 @@
+"""Tests for SELECT execution over virtual tables and relational tables."""
+
+import pytest
+
+from repro.persistence import DataStore, DAORegistry, NodeSample, NodeStateStore
+from repro.query import QueryEngine
+from repro.rim import Organization, Service, ServiceBinding
+from repro.util.errors import QuerySyntaxError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(30)
+
+
+@pytest.fixture
+def store() -> DataStore:
+    store = DataStore()
+    daos = DAORegistry(store)
+    for name, city in [("DemoOrg_A", "San Diego"), ("DemoOrg_B", "Austin"), ("SDSU", "San Diego")]:
+        org = Organization(ids.new_id(), name=name)
+        daos.organizations.insert(org)
+    svc = Service(ids.new_id(), name="NodeStatus", description="monitoring")
+    daos.services.insert(svc)
+    daos.service_bindings.insert(
+        ServiceBinding(
+            ids.new_id(), service=svc.id, access_uri="http://exergy.sdsu.edu:8080/ns"
+        )
+    )
+    node_state = NodeStateStore(store)
+    node_state.record_sample(
+        NodeSample(host="exergy.sdsu.edu", load=0.5, memory=4 << 30, swap_memory=1 << 30, updated=0.0)
+    )
+    node_state.record_sample(
+        NodeSample(host="thermo.sdsu.edu", load=3.5, memory=1 << 30, swap_memory=1 << 30, updated=0.0)
+    )
+    return store
+
+
+@pytest.fixture
+def engine(store) -> QueryEngine:
+    return QueryEngine(store)
+
+
+class TestVirtualTables:
+    def test_select_star(self, engine):
+        rows = engine.execute("SELECT * FROM Organization")
+        assert len(rows) == 3
+
+    def test_like_prefix(self, engine):
+        rows = engine.execute("SELECT name FROM Organization WHERE name LIKE 'DemoOrg_%' ORDER BY name")
+        assert [r["name"] for r in rows] == ["DemoOrg_A", "DemoOrg_B"]
+
+    def test_like_underscore_wildcard(self, engine):
+        rows = engine.execute("SELECT name FROM Organization WHERE name LIKE 'DemoOrg__'")
+        assert len(rows) == 2
+
+    def test_equality(self, engine):
+        rows = engine.execute("SELECT id FROM Service WHERE name = 'NodeStatus'")
+        assert len(rows) == 1
+
+    def test_binding_host_column(self, engine):
+        rows = engine.execute("SELECT host FROM ServiceBinding")
+        assert rows[0]["host"] == "exergy.sdsu.edu"
+
+    def test_union_view(self, engine):
+        rows = engine.execute("SELECT * FROM RegistryObject")
+        assert len(rows) == 5  # 3 orgs + 1 service + 1 binding
+
+    def test_case_insensitive_table_name(self, engine):
+        assert len(engine.execute("SELECT * FROM organization")) == 3
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(QuerySyntaxError):
+            engine.execute("SELECT * FROM Nonsense")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(QuerySyntaxError):
+            engine.execute("SELECT bogus FROM Organization")
+
+
+class TestRelationalTables:
+    def test_nodestate_query(self, engine):
+        rows = engine.execute("SELECT HOST FROM NodeState WHERE LOAD < 1.0")
+        assert [r["HOST"] for r in rows] == ["exergy.sdsu.edu"]
+
+    def test_lowercase_columns_work(self, engine):
+        rows = engine.execute("SELECT host FROM NodeState WHERE load >= 1.0")
+        assert [r["host"] for r in rows] == ["thermo.sdsu.edu"]
+
+    def test_between(self, engine):
+        rows = engine.execute("SELECT HOST FROM NodeState WHERE LOAD BETWEEN 0 AND 1")
+        assert len(rows) == 1
+
+
+class TestOrderingProjection:
+    def test_order_by_desc(self, engine):
+        rows = engine.execute("SELECT name FROM Organization ORDER BY name DESC")
+        names = [r["name"] for r in rows]
+        assert names == sorted(names, reverse=True)
+
+    def test_default_order_is_id(self, engine):
+        rows = engine.execute("SELECT id FROM Organization")
+        assert [r["id"] for r in rows] == sorted(r["id"] for r in rows)
+
+    def test_limit(self, engine):
+        assert len(engine.execute("SELECT * FROM Organization LIMIT 2")) == 2
+
+    def test_distinct(self, engine):
+        rows = engine.execute("SELECT DISTINCT status FROM Organization")
+        assert len(rows) == 1
+
+    def test_multi_key_order(self, engine):
+        rows = engine.execute("SELECT status, name FROM Organization ORDER BY status, name")
+        assert [r["name"] for r in rows] == ["DemoOrg_A", "DemoOrg_B", "SDSU"]
+
+
+class TestCountStar:
+    def test_count_all(self, engine):
+        rows = engine.execute("SELECT COUNT(*) FROM Organization")
+        assert rows == [{"count": 3}]
+
+    def test_count_with_where(self, engine):
+        rows = engine.execute(
+            "SELECT COUNT(*) FROM Organization WHERE name LIKE 'DemoOrg_%'"
+        )
+        assert rows == [{"count": 2}]
+
+    def test_count_empty(self, engine):
+        rows = engine.execute("SELECT COUNT(*) FROM Subscription")
+        assert rows == [{"count": 0}]
+
+    def test_count_relational_table(self, engine):
+        rows = engine.execute("SELECT COUNT(*) FROM NodeState WHERE LOAD < 1.0")
+        assert rows == [{"count": 1}]
+
+    def test_count_requires_star(self, engine):
+        with pytest.raises(QuerySyntaxError):
+            engine.execute("SELECT COUNT(name) FROM Organization")
+
+
+class TestInSubquery:
+    def test_cross_class_join_via_subquery(self, engine):
+        # "services that have at least one binding on exergy"
+        rows = engine.execute(
+            "SELECT name FROM Service WHERE id IN "
+            "(SELECT service FROM ServiceBinding WHERE host = 'exergy.sdsu.edu')"
+        )
+        assert [r["name"] for r in rows] == ["NodeStatus"]
+
+    def test_empty_subquery_matches_nothing(self, engine):
+        rows = engine.execute(
+            "SELECT name FROM Service WHERE id IN "
+            "(SELECT service FROM ServiceBinding WHERE host = 'nowhere')"
+        )
+        assert rows == []
+
+    def test_not_in_subquery(self, engine):
+        rows = engine.execute(
+            "SELECT name FROM Organization WHERE id NOT IN "
+            "(SELECT id FROM Organization WHERE name LIKE 'Demo%')"
+        )
+        assert [r["name"] for r in rows] == ["SDSU"]
+
+    def test_subquery_must_project_one_column(self, engine):
+        with pytest.raises(QuerySyntaxError, match="one column"):
+            engine.execute(
+                "SELECT * FROM Service WHERE id IN (SELECT id, name FROM Service)"
+            )
+        with pytest.raises(QuerySyntaxError):
+            engine.execute("SELECT * FROM Service WHERE id IN (SELECT * FROM Service)")
+
+    def test_nested_boolean_context(self, engine):
+        rows = engine.execute(
+            "SELECT name FROM Service WHERE name = 'ghost' OR id IN "
+            "(SELECT service FROM ServiceBinding)"
+        )
+        assert len(rows) == 1
+
+
+class TestPredicateSemantics:
+    def test_null_comparison_is_false(self, engine):
+        rows = engine.execute("SELECT * FROM Service WHERE provider = 'x'")
+        assert rows == []
+
+    def test_is_null(self, engine):
+        rows = engine.execute("SELECT * FROM Service WHERE provider IS NULL")
+        assert len(rows) == 1
+
+    def test_not(self, engine):
+        rows = engine.execute("SELECT name FROM Organization WHERE NOT name = 'SDSU'")
+        assert len(rows) == 2
+
+    def test_and_or(self, engine):
+        rows = engine.execute(
+            "SELECT name FROM Organization WHERE name = 'SDSU' OR name = 'DemoOrg_A'"
+        )
+        assert len(rows) == 2
+
+    def test_in_list(self, engine):
+        rows = engine.execute(
+            "SELECT name FROM Organization WHERE name IN ('SDSU', 'DemoOrg_B')"
+        )
+        assert len(rows) == 2
+
+    def test_numeric_string_coercion(self, engine):
+        rows = engine.execute("SELECT * FROM NodeState WHERE LOAD > '1'")
+        assert len(rows) == 1
+
+    def test_execute_ids(self, engine):
+        ids_ = engine.execute_ids("SELECT id FROM Organization WHERE name = 'SDSU'")
+        assert len(ids_) == 1
+        assert ids_[0].startswith("urn:uuid:")

@@ -1,0 +1,126 @@
+"""Tests for the XML FilterQuery syntax translation."""
+
+import pytest
+
+from repro.persistence import DataStore, DAORegistry
+from repro.query import QueryEngine, parse_filter_query
+from repro.rim import Organization
+from repro.util.errors import QuerySyntaxError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(31)
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    store = DataStore()
+    daos = DAORegistry(store)
+    for name in ("DemoOrg_A", "DemoOrg_B", "SDSU"):
+        daos.organizations.insert(Organization(ids.new_id(), name=name))
+    return QueryEngine(store)
+
+
+class TestTranslation:
+    def test_single_clause(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="Equal" rightArgument="SDSU"/>'
+            "</FilterQuery>"
+        )
+        rows = engine.execute(sel)
+        assert [r["name"] for r in rows] == ["SDSU"]
+
+    def test_starts_with(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="StartsWith" rightArgument="Demo"/>'
+            "</FilterQuery>"
+        )
+        assert len(engine.execute(sel)) == 2
+
+    def test_contains_and_endswith(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="Contains" rightArgument="Org"/>'
+            "</FilterQuery>"
+        )
+        assert len(engine.execute(sel)) == 2
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="EndsWith" rightArgument="_B"/>'
+            "</FilterQuery>"
+        )
+        assert len(engine.execute(sel)) == 1
+
+    def test_top_level_clauses_and_together(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="StartsWith" rightArgument="Demo"/>'
+            '<Clause leftArgument="name" logicalPredicate="EndsWith" rightArgument="_A"/>'
+            "</FilterQuery>"
+        )
+        rows = engine.execute(sel)
+        assert [r["name"] for r in rows] == ["DemoOrg_A"]
+
+    def test_or_element(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization"><Or>'
+            '<Clause leftArgument="name" logicalPredicate="Equal" rightArgument="SDSU"/>'
+            '<Clause leftArgument="name" logicalPredicate="Equal" rightArgument="DemoOrg_A"/>'
+            "</Or></FilterQuery>"
+        )
+        assert len(engine.execute(sel)) == 2
+
+    def test_not_element(self, engine):
+        sel = parse_filter_query(
+            '<FilterQuery target="Organization"><Not>'
+            '<Clause leftArgument="name" logicalPredicate="Equal" rightArgument="SDSU"/>'
+            "</Not></FilterQuery>"
+        )
+        assert len(engine.execute(sel)) == 2
+
+    def test_numeric_coercion(self):
+        sel = parse_filter_query(
+            '<FilterQuery target="NodeState">'
+            '<Clause leftArgument="load" logicalPredicate="LessThan" rightArgument="1.5"/>'
+            "</FilterQuery>"
+        )
+        # the right argument must be numeric for < to work
+        comparison = sel.where
+        assert comparison.right.value == 1.5
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query("<Query target='x'/>")
+
+    def test_missing_target(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query("<FilterQuery/>")
+
+    def test_unknown_predicate(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query(
+                '<FilterQuery target="t">'
+                '<Clause leftArgument="a" logicalPredicate="Fuzzy" rightArgument="b"/>'
+                "</FilterQuery>"
+            )
+
+    def test_incomplete_clause(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query(
+                '<FilterQuery target="t"><Clause leftArgument="a"/></FilterQuery>'
+            )
+
+    def test_or_needs_two_children(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query(
+                '<FilterQuery target="t"><Or>'
+                '<Clause leftArgument="a" logicalPredicate="Equal" rightArgument="b"/>'
+                "</Or></FilterQuery>"
+            )
+
+    def test_not_needs_one_child(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filter_query('<FilterQuery target="t"><Not/></FilterQuery>')

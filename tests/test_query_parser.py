@@ -1,0 +1,142 @@
+"""Tests for the SQL-92 subset tokenizer and parser."""
+
+import pytest
+
+from repro.query.ast import (
+    And,
+    Between,
+    Column,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.query.parser import parse_select
+from repro.query.tokens import TokenType, tokenize
+from repro.util.errors import QuerySyntaxError
+
+
+class TestTokenizer:
+    def test_basic_statement(self):
+        tokens = tokenize("SELECT * FROM Service")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.KEYWORD,
+            TokenType.STAR,
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.EOF,
+        ]
+
+    def test_string_escaping(self):
+        tokens = tokenize("name = 'O''Brien'")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "O'Brien"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from x where a like 'b'")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keywords == ["SELECT", "FROM", "WHERE", "LIKE"]
+
+    def test_operators(self):
+        ops = [t.value for t in tokenize("a <> 1 <= 2 >= 3 < 4 > 5 = 6") if t.type is TokenType.OPERATOR]
+        assert ops == ["<>", "<=", ">=", "<", ">", "="]
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT ; FROM x")
+
+
+class TestParserShapes:
+    def test_select_star(self):
+        sel = parse_select("SELECT * FROM Service")
+        assert sel.table == "Service"
+        assert sel.columns is None
+        assert sel.where is None
+
+    def test_column_projection(self):
+        sel = parse_select("SELECT id, name FROM Organization")
+        assert sel.columns == ("id", "name")
+
+    def test_alias_dropped(self):
+        sel = parse_select("SELECT s.id FROM Service s WHERE s.name = 'x'")
+        assert sel.columns == ("id",)
+        assert sel.where == Comparison("=", Column("name"), Literal("x"))
+
+    def test_where_comparison(self):
+        sel = parse_select("SELECT * FROM Service WHERE name = 'NodeStatus'")
+        assert sel.where == Comparison("=", Column("name"), Literal("NodeStatus"))
+
+    def test_like(self):
+        sel = parse_select("SELECT * FROM Organization WHERE name LIKE 'Demo%'")
+        assert sel.where == Like(Column("name"), "Demo%")
+
+    def test_not_like(self):
+        sel = parse_select("SELECT * FROM Organization WHERE name NOT LIKE 'Demo%'")
+        assert sel.where == Like(Column("name"), "Demo%", negated=True)
+
+    def test_in_list(self):
+        sel = parse_select("SELECT * FROM Service WHERE status IN ('Approved', 'Submitted')")
+        assert sel.where == InList(Column("status"), ("Approved", "Submitted"))
+
+    def test_between(self):
+        sel = parse_select("SELECT * FROM NodeState WHERE load BETWEEN 0 AND 2")
+        assert sel.where == Between(Column("load"), Literal(0), Literal(2))
+
+    def test_is_null_and_is_not_null(self):
+        sel = parse_select("SELECT * FROM Service WHERE provider IS NULL")
+        assert sel.where == IsNull(Column("provider"))
+        sel = parse_select("SELECT * FROM Service WHERE provider IS NOT NULL")
+        assert sel.where == IsNull(Column("provider"), negated=True)
+
+    def test_boolean_precedence_and_binds_tighter(self):
+        sel = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(sel.where, Or)
+        assert isinstance(sel.where.right, And)
+
+    def test_parentheses_override(self):
+        sel = parse_select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(sel.where, And)
+        assert isinstance(sel.where.left, Or)
+
+    def test_not_factor(self):
+        sel = parse_select("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(sel.where, Not)
+
+    def test_order_by_multi(self):
+        sel = parse_select("SELECT * FROM t ORDER BY name DESC, id")
+        assert sel.order_by[0].column.name == "name"
+        assert sel.order_by[0].descending
+        assert not sel.order_by[1].descending
+
+    def test_distinct_and_limit(self):
+        sel = parse_select("SELECT DISTINCT name FROM t LIMIT 5")
+        assert sel.distinct
+        assert sel.limit == 5
+
+    def test_numeric_literals(self):
+        sel = parse_select("SELECT * FROM t WHERE a = 1.5")
+        assert sel.where == Comparison("=", Column("a"), Literal(1.5))
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE name",
+            "SELECT * FROM t WHERE name LIKE 5",
+            "SELECT * FROM t trailing garbage ( )",
+            "UPDATE t SET a = 1",
+            "SELECT * FROM t WHERE NOT IN ('a')",
+            "SELECT * FROM t WHERE 'x' LIKE 'y'",
+        ],
+    )
+    def test_rejects(self, query):
+        with pytest.raises(QuerySyntaxError):
+            parse_select(query)

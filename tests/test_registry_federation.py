@@ -1,0 +1,92 @@
+"""Tests for registry federation: federated query, resolve, replication."""
+
+import pytest
+
+from repro.registry import RegistryConfig, RegistryFederation, RegistryServer
+from repro.rim import Organization
+from repro.util.clock import ManualClock
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@pytest.fixture
+def federation():
+    fed = RegistryFederation("sdsu-fed")
+    registries = []
+    for i in range(2):
+        reg = RegistryServer(
+            RegistryConfig(seed=100 + i, home=f"http://reg{i}.sdsu.edu:8080/omar/registry"),
+            clock=ManualClock(),
+        )
+        fed.join(reg)
+        registries.append(reg)
+    return fed, registries
+
+
+def _publish(reg, name):
+    _, cred = reg.register_user(f"user-{name}")
+    session = reg.login(cred)
+    org = Organization(reg.ids.new_id(), name=name)
+    reg.lcm.submit_objects(session, [org])
+    return org, session
+
+
+class TestMembership:
+    def test_members_sorted_by_home(self, federation):
+        fed, _ = federation
+        homes = [r.home for r in fed.members()]
+        assert homes == sorted(homes)
+
+    def test_duplicate_join_rejected(self, federation):
+        fed, registries = federation
+        with pytest.raises(InvalidRequestError):
+            fed.join(registries[0])
+
+    def test_leave(self, federation):
+        fed, registries = federation
+        fed.leave(registries[0])
+        assert len(fed.members()) == 1
+
+
+class TestFederatedQuery:
+    def test_merges_tagged_results(self, federation):
+        fed, (r0, r1) = federation
+        _publish(r0, "OrgZero")
+        _publish(r1, "OrgOne")
+        rows = fed.federated_query("SELECT name FROM Organization")
+        assert {(row.home, row.row["name"]) for row in rows} == {
+            (r0.home, "OrgZero"),
+            (r1.home, "OrgOne"),
+        }
+
+
+class TestResolve:
+    def test_resolves_to_holding_member(self, federation):
+        fed, (r0, r1) = federation
+        org, _ = _publish(r1, "OrgOne")
+        holder, obj = fed.resolve(org.id)
+        assert holder is r1
+        assert obj.id == org.id
+
+    def test_missing_everywhere(self, federation):
+        fed, (r0, _) = federation
+        with pytest.raises(ObjectNotFoundError):
+            fed.resolve(r0.ids.new_id())
+
+
+class TestReplication:
+    def test_selective_replication(self, federation):
+        fed, (r0, r1) = federation
+        org, _ = _publish(r0, "OrgZero")
+        _, cred = r1.register_user("replicator")
+        dest_session = r1.login(cred)
+        replica = fed.replicate(org.id, to=r1, session=dest_session)
+        assert replica.id == org.id
+        assert replica.home == r0.home  # replica remembers its home registry
+        assert r1.store.contains(org.id)
+        assert r0.store.contains(org.id)  # source untouched
+
+    def test_replicate_onto_home_rejected(self, federation):
+        fed, (r0, _) = federation
+        org, session = _publish(r0, "OrgZero")
+        with pytest.raises(InvalidRequestError):
+            fed.replicate(org.id, to=r0, session=session)

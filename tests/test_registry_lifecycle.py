@@ -1,0 +1,240 @@
+"""Tests for the LifeCycleManager: submit/update/status/remove/slots/cascades."""
+
+import pytest
+
+from repro.rim import (
+    Association,
+    AssociationType,
+    EventType,
+    ObjectStatus,
+    Organization,
+    RegistryPackage,
+    Service,
+    ServiceBinding,
+    Slot,
+)
+from repro.util.errors import (
+    AuthorizationError,
+    InvalidRequestError,
+    LifeCycleError,
+    ObjectNotFoundError,
+)
+
+from conftest import publish_service_with_bindings
+
+
+class TestSubmit:
+    def test_submit_assigns_owner_and_home(self, registry, session):
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(session, [org])
+        stored = registry.daos.organizations.require(org.id)
+        assert stored.owner == session.user_id
+        assert stored.home == registry.home
+
+    def test_submit_requires_objects(self, registry, session):
+        with pytest.raises(InvalidRequestError):
+            registry.lcm.submit_objects(session, [])
+
+    def test_submit_audits_created(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        events = registry.daos.events.for_object(org.id)
+        assert [e.event_type for e in events] == [EventType.CREATED]
+
+    def test_binding_updates_service_cache(self, registry, session):
+        svc = Service(registry.ids.new_id(), name="Adder")
+        registry.lcm.submit_objects(session, [svc])
+        binding = ServiceBinding(
+            registry.ids.new_id(), service=svc.id, access_uri="http://h.x/a"
+        )
+        registry.lcm.submit_objects(session, [binding])
+        assert registry.daos.services.require(svc.id).binding_ids == [binding.id]
+
+    def test_binding_to_missing_service_rolls_back(self, registry, session):
+        binding = ServiceBinding(
+            registry.ids.new_id(), service=registry.ids.new_id(), access_uri="http://h/x"
+        )
+        with pytest.raises(ObjectNotFoundError):
+            registry.lcm.submit_objects(session, [binding])
+        assert not registry.store.contains(binding.id)
+
+    def test_offers_service_association_updates_caches(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        stored_org = registry.daos.organizations.require(org.id)
+        stored_svc = registry.daos.services.require(svc.id)
+        assert stored_svc.id in stored_org.service_ids
+        assert stored_svc.provider == org.id
+
+    def test_association_same_owner_autoconfirmed(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        assocs = registry.daos.associations.offers_service(org.id)
+        assert assocs and assocs[0].is_confirmed
+
+    def test_second_offers_service_rejected(self, registry, session):
+        org1, svc = publish_service_with_bindings(registry, session)
+        org2 = Organization(registry.ids.new_id(), name="Rival")
+        registry.lcm.submit_objects(session, [org2])
+        rival_claim = Association(
+            registry.ids.new_id(),
+            source_object=org2.id,
+            target_object=svc.id,
+            association_type=AssociationType.OFFERS_SERVICE,
+        )
+        with pytest.raises(InvalidRequestError, match="already offered"):
+            registry.lcm.submit_objects(session, [rival_claim])
+        # rejected claim rolled back entirely
+        assert not registry.store.contains(rival_claim.id)
+        assert registry.daos.organizations.require(org2.id).service_ids == []
+
+    def test_deleting_offers_service_clears_provider(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        [assoc] = registry.daos.associations.offers_service(org.id)
+        registry.lcm.remove_objects(session, [assoc.id])
+        assert registry.daos.services.require(svc.id).provider is None
+        assert registry.daos.organizations.require(org.id).service_ids == []
+
+    def test_has_member_updates_package(self, registry, session):
+        pkg = RegistryPackage(registry.ids.new_id(), name="pkg")
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [pkg, org])
+        assoc = Association(
+            registry.ids.new_id(),
+            source_object=pkg.id,
+            target_object=org.id,
+            association_type=AssociationType.HAS_MEMBER,
+        )
+        registry.lcm.submit_objects(session, [assoc])
+        assert registry.daos.packages.require(pkg.id).member_ids == [org.id]
+
+
+class TestUpdate:
+    def test_update_bumps_version_and_keeps_owner(self, registry, session):
+        org = Organization(registry.ids.new_id(), name="v1")
+        registry.lcm.submit_objects(session, [org])
+        edited = registry.daos.organizations.require(org.id)
+        edited.name.set("v2")
+        registry.lcm.update_objects(session, [edited])
+        stored = registry.daos.organizations.require(org.id)
+        assert stored.name.value == "v2"
+        assert stored.version.version_name == "1.2"
+        assert stored.owner == session.user_id
+
+    def test_update_missing_object(self, registry, session):
+        with pytest.raises(ObjectNotFoundError):
+            registry.lcm.update_objects(session, [Organization(registry.ids.new_id())])
+
+    def test_update_by_non_owner_denied(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        _, other_cred = registry.register_user("intruder")
+        other = registry.login(other_cred)
+        with pytest.raises(AuthorizationError):
+            registry.lcm.update_objects(other, [registry.daos.organizations.require(org.id)])
+
+    def test_update_audited(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.update_objects(session, [registry.daos.organizations.require(org.id)])
+        types = [e.event_type for e in registry.daos.events.for_object(org.id)]
+        assert types == [EventType.CREATED, EventType.UPDATED]
+
+
+class TestStatusTransitions:
+    def test_approve_deprecate_undeprecate(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.approve_objects(session, [org.id])
+        assert registry.daos.organizations.require(org.id).status is ObjectStatus.APPROVED
+        registry.lcm.deprecate_objects(session, [org.id])
+        assert registry.daos.organizations.require(org.id).status is ObjectStatus.DEPRECATED
+        registry.lcm.undeprecate_objects(session, [org.id])
+        assert registry.daos.organizations.require(org.id).status is ObjectStatus.APPROVED
+
+    def test_illegal_transition_rolls_back_batch(self, registry, session):
+        a = Organization(registry.ids.new_id())
+        b = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [a, b])
+        with pytest.raises(LifeCycleError):
+            # b is Submitted: undeprecate is illegal; a must roll back too
+            registry.lcm.undeprecate_objects(session, [a.id, b.id])
+        assert registry.daos.organizations.require(a.id).status is ObjectStatus.SUBMITTED
+
+
+class TestRemoveCascades:
+    def test_delete_organization_cascades_services(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        removed = registry.lcm.remove_objects(session, [org.id])
+        assert org.id in removed and svc.id in removed
+        assert registry.daos.organizations.count() == 0
+        assert registry.daos.services.count() == 0
+        assert registry.daos.service_bindings.count() == 0
+        assert registry.daos.associations.count() == 0
+
+    def test_delete_service_cascades_bindings_and_association(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        registry.lcm.remove_objects(session, [svc.id])
+        assert registry.daos.service_bindings.count() == 0
+        assert registry.daos.associations.count() == 0
+        # organization remains, without the service in its cache
+        assert registry.daos.organizations.require(org.id).service_ids == []
+
+    def test_delete_binding_updates_service(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        binding_id = registry.daos.services.require(svc.id).binding_ids[0]
+        registry.lcm.remove_objects(session, [binding_id])
+        assert binding_id not in registry.daos.services.require(svc.id).binding_ids
+
+    def test_delete_audits_every_object(self, registry, session):
+        org, svc = publish_service_with_bindings(registry, session)
+        removed = registry.lcm.remove_objects(session, [org.id])
+        for object_id in removed:
+            types = [e.event_type for e in registry.daos.events.for_object(object_id)]
+            assert EventType.DELETED in types
+
+    def test_delete_by_non_owner_denied(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        _, cred = registry.register_user("intruder")
+        other = registry.login(cred)
+        with pytest.raises(AuthorizationError):
+            registry.lcm.remove_objects(other, [org.id])
+        assert registry.daos.organizations.count() == 1
+
+    def test_admin_may_delete_others_objects(self, registry, session, admin_session):
+        org, _ = publish_service_with_bindings(registry, session)
+        registry.lcm.remove_objects(admin_session, [org.id])
+        assert registry.daos.organizations.count() == 0
+
+    def test_remove_missing_object(self, registry, session):
+        with pytest.raises(ObjectNotFoundError):
+            registry.lcm.remove_objects(session, [registry.ids.new_id()])
+
+
+class TestSlots:
+    def test_add_and_remove_slots(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.add_slots(session, org.id, [Slot(name="copyright", values=["2011"])])
+        assert registry.daos.organizations.require(org.id).slot_value("copyright") == "2011"
+        registry.lcm.remove_slots(session, org.id, ["copyright"])
+        assert registry.daos.organizations.require(org.id).slot_value("copyright") is None
+
+    def test_duplicate_slot_rejected_and_rolled_back(self, registry, session):
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.add_slots(session, org.id, [Slot(name="a", values=["1"])])
+        with pytest.raises(InvalidRequestError):
+            registry.lcm.add_slots(
+                session, org.id, [Slot(name="b", values=["2"]), Slot(name="a", values=["3"])]
+            )
+        stored = registry.daos.organizations.require(org.id)
+        assert stored.slot_value("b") is None  # batch rolled back
+
+
+class TestEventListeners:
+    def test_listener_sees_all_events(self, registry, session):
+        seen = []
+        registry.lcm.add_event_listener(seen.append)
+        org = Organization(registry.ids.new_id())
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.approve_objects(session, [org.id])
+        assert [e.event_type for e in seen] == [EventType.CREATED, EventType.APPROVED]

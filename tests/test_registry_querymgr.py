@@ -1,0 +1,138 @@
+"""Tests for the QueryManager: ad hoc queries, stored queries, business finds."""
+
+import pytest
+
+from repro.rim import (
+    QUERY_LANGUAGE_FILTER,
+    AdhocQuery,
+    Organization,
+    Service,
+)
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+from conftest import publish_service_with_bindings
+
+
+class TestDirectGets:
+    def test_get_registry_object(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        assert registry.qm.get_registry_object(org.id).id == org.id
+
+    def test_get_missing(self, registry):
+        with pytest.raises(ObjectNotFoundError):
+            registry.qm.get_registry_object(registry.ids.new_id())
+
+
+class TestAdhocQueries:
+    def test_sql_query(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        response = registry.qm.execute_adhoc_query(
+            "SELECT name FROM Organization WHERE name = 'SDSU'"
+        )
+        assert response.total_result_count == 1
+        assert response.rows[0]["name"] == "SDSU"
+
+    def test_filter_query(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        response = registry.qm.execute_adhoc_query(
+            '<FilterQuery target="Organization">'
+            '<Clause leftArgument="name" logicalPredicate="Equal" rightArgument="SDSU"/>'
+            "</FilterQuery>",
+            query_language=QUERY_LANGUAGE_FILTER,
+        )
+        assert len(response.rows) == 1
+
+    def test_unknown_language(self, registry):
+        with pytest.raises(InvalidRequestError):
+            registry.qm.execute_adhoc_query("x", query_language="XQuery")
+
+    def test_iterative_windowing(self, registry, session):
+        for i in range(10):
+            registry.lcm.submit_objects(
+                session, [Organization(registry.ids.new_id(), name=f"Org{i:02d}")]
+            )
+        response = registry.qm.execute_adhoc_query(
+            "SELECT name FROM Organization ORDER BY name", start_index=4, max_results=3
+        )
+        assert [r["name"] for r in response.rows] == ["Org04", "Org05", "Org06"]
+        assert response.total_result_count == 10
+        assert response.start_index == 4
+
+    def test_negative_start_index_rejected(self, registry):
+        with pytest.raises(InvalidRequestError):
+            registry.qm.execute_adhoc_query("SELECT * FROM Service", start_index=-1)
+
+
+class TestStoredQueries:
+    def test_invoke_with_parameters(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        stored = AdhocQuery(
+            registry.ids.new_id(),
+            name="FindOrgByName",
+            query="SELECT id, name FROM Organization WHERE name = $orgName",
+        )
+        registry.lcm.submit_objects(session, [stored])
+        response = registry.qm.invoke_stored_query(stored.id, orgName="SDSU")
+        assert len(response.rows) == 1
+
+    def test_missing_stored_query(self, registry):
+        with pytest.raises(ObjectNotFoundError):
+            registry.qm.invoke_stored_query(registry.ids.new_id())
+
+
+class TestBusinessFinds:
+    def test_find_organizations_like(self, registry, session):
+        for name in ("DemoOrg_A", "DemoOrg_B", "SDSU"):
+            registry.lcm.submit_objects(
+                session, [Organization(registry.ids.new_id(), name=name)]
+            )
+        found = registry.qm.find_organizations("DemoOrg_%")
+        assert [o.name.value for o in found] == ["DemoOrg_A", "DemoOrg_B"]
+
+    def test_find_services_like(self, registry, session):
+        publish_service_with_bindings(registry, session, service_name="DemoSrv_One")
+        assert len(registry.qm.find_services("DemoSrv%")) == 1
+
+    def test_find_service_scoped_to_org(self, registry, session):
+        org1, svc1 = publish_service_with_bindings(
+            registry, session, org_name="OrgA", service_name="Adder"
+        )
+        org2, svc2 = publish_service_with_bindings(
+            registry, session, org_name="OrgB", service_name="Adder"
+        )
+        found = registry.qm.find_service_by_name(
+            "Adder", organization=registry.daos.organizations.require(org2.id)
+        )
+        assert found.id == svc2.id
+
+    def test_find_all_my_objects(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        mine = registry.qm.find_all_my_objects(session)
+        types = {o.type_name for o in mine}
+        assert {"Organization", "Service", "ServiceBinding", "Association"} <= types
+        # a different user sees none of them
+        _, cred = registry.register_user("other")
+        other = registry.login(cred)
+        other_objects = registry.qm.find_all_my_objects(other)
+        assert all(o.owner != session.user_id for o in other_objects)
+
+
+class TestServiceDiscovery:
+    def test_get_access_uris_publisher_order(self, registry, session):
+        _, svc = publish_service_with_bindings(registry, session)
+        uris = registry.qm.get_access_uris(svc.id)
+        assert uris == [
+            "http://exergy.sdsu.edu:8080/Adder/addService",
+            "http://thermo.sdsu.edu:8080/Adder/addService",
+            "http://romulus.sdsu.edu:8080/Adder/addService",
+        ]
+
+    def test_get_bindings_missing_service(self, registry):
+        with pytest.raises(ObjectNotFoundError):
+            registry.qm.get_service_bindings(registry.ids.new_id())
+
+    def test_audit_trail(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        trail = registry.qm.audit_trail(org.id)
+        assert len(trail) == 1
+        assert trail[0].user_id == session.user_id

@@ -1,0 +1,115 @@
+"""Tests for the RepositoryManager: content pairing, validation, cataloging."""
+
+import pytest
+
+from repro.rim import ExtrinsicObject
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+WSDL = b"""<definitions xmlns="http://schemas.xmlsoap.org/wsdl/"
+  targetNamespace="urn:sdsu:adder">
+  <service name="AdderService"/>
+  <service name="AdderServiceV2"/>
+</definitions>"""
+
+
+def publish_metadata(registry, session, *, name="adder.wsdl", mime="text/xml;wsdl"):
+    meta = ExtrinsicObject(registry.ids.new_id(), name=name, mime_type=mime)
+    registry.lcm.submit_objects(session, [meta])
+    return meta
+
+
+class TestPairing:
+    def test_store_requires_published_metadata(self, registry, session):
+        meta = ExtrinsicObject(registry.ids.new_id(), name="x.bin")
+        with pytest.raises(ObjectNotFoundError):
+            registry.repository.store(meta, b"data")
+
+    def test_store_and_retrieve(self, registry, session):
+        meta = publish_metadata(registry, session, name="x.bin", mime="application/octet-stream")
+        registry.repository.store(meta, b"\x00\x01")
+        item = registry.repository.retrieve(meta.id)
+        assert item.content == b"\x00\x01"
+        assert len(item) == 2
+        assert len(item.digest) == 64
+
+    def test_delete(self, registry, session):
+        meta = publish_metadata(registry, session, name="x.bin", mime="application/octet-stream")
+        registry.repository.store(meta, b"d")
+        registry.repository.delete(meta.id)
+        assert not registry.repository.has_item(meta.id)
+        with pytest.raises(ObjectNotFoundError):
+            registry.repository.retrieve(meta.id)
+
+
+class TestWsdlValidation:
+    def test_valid_wsdl_accepted(self, registry, session):
+        meta = publish_metadata(registry, session)
+        registry.repository.store(meta, WSDL)
+        assert registry.repository.has_item(meta.id)
+
+    def test_malformed_wsdl_rejected(self, registry, session):
+        meta = publish_metadata(registry, session)
+        with pytest.raises(InvalidRequestError, match="well-formed"):
+            registry.repository.store(meta, b"<definitions><unclosed>")
+
+    def test_wrong_root_rejected(self, registry, session):
+        meta = publish_metadata(registry, session)
+        with pytest.raises(InvalidRequestError, match="definitions"):
+            registry.repository.store(meta, b"<schema/>")
+
+    def test_non_wsdl_content_not_validated(self, registry, session):
+        meta = publish_metadata(registry, session, name="logo.gif", mime="image/gif")
+        registry.repository.store(meta, b"GIF89a...")  # not XML, fine
+
+
+class TestContentVersioning:
+    def test_restore_retains_previous_version(self, registry, session):
+        meta = publish_metadata(registry, session, name="doc.txt", mime="text/plain")
+        registry.repository.store(meta, b"v1 body")
+        registry.repository.store(meta, b"v2 body")
+        assert registry.repository.retrieve(meta.id).content == b"v2 body"
+        assert registry.repository.content_versions(meta.id) == ["1.1"]
+        assert registry.repository.retrieve_version(meta.id, "1.1").content == b"v1 body"
+        # metadata contentVersion bumped
+        assert registry.daos.extrinsic_objects.require(meta.id).content_version == "1.2"
+
+    def test_identical_restore_is_not_a_new_version(self, registry, session):
+        meta = publish_metadata(registry, session, name="doc.txt", mime="text/plain")
+        registry.repository.store(meta, b"same")
+        registry.repository.store(meta, b"same")
+        assert registry.repository.content_versions(meta.id) == []
+
+    def test_multiple_versions_accumulate(self, registry, session):
+        meta = publish_metadata(registry, session, name="doc.txt", mime="text/plain")
+        for body in (b"v1", b"v2", b"v3"):
+            registry.repository.store(meta, body)
+        assert registry.repository.content_versions(meta.id) == ["1.1", "1.2"]
+        assert registry.repository.retrieve_version(meta.id, "1.2").content == b"v2"
+
+    def test_missing_version_raises(self, registry, session):
+        meta = publish_metadata(registry, session, name="doc.txt", mime="text/plain")
+        registry.repository.store(meta, b"v1")
+        with pytest.raises(ObjectNotFoundError):
+            registry.repository.retrieve_version(meta.id, "9.9")
+
+
+class TestWsdlCataloging:
+    def test_target_namespace_slot_extracted(self, registry, session):
+        meta = publish_metadata(registry, session)
+        registry.repository.store(meta, WSDL)
+        stored = registry.daos.extrinsic_objects.require(meta.id)
+        assert stored.slot_value("urn:repro:wsdl:targetNamespace") == "urn:sdsu:adder"
+
+    def test_service_names_cataloged(self, registry, session):
+        meta = publish_metadata(registry, session)
+        registry.repository.store(meta, WSDL)
+        stored = registry.daos.extrinsic_objects.require(meta.id)
+        assert stored.slot_value("urn:repro:wsdl:services") == "AdderService,AdderServiceV2"
+
+    def test_recatalog_on_restore_overwrites_slots(self, registry, session):
+        meta = publish_metadata(registry, session)
+        registry.repository.store(meta, WSDL)
+        updated = WSDL.replace(b"urn:sdsu:adder", b"urn:sdsu:adder2")
+        registry.repository.store(meta, updated)
+        stored = registry.daos.extrinsic_objects.require(meta.id)
+        assert stored.slot_value("urn:repro:wsdl:targetNamespace") == "urn:sdsu:adder2"

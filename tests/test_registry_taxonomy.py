@@ -1,0 +1,119 @@
+"""Tests for the taxonomy service (Tables 1.2/1.3 + ebXML taxonomy features)."""
+
+import pytest
+
+from repro.registry.taxonomy import CANONICAL_SCHEMES
+from repro.rim import Classification, Organization, Service
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@pytest.fixture
+def installed(registry, admin_session):
+    schemes = registry.taxonomies.install_canonical_schemes(admin_session, registry.lcm)
+    return {s.name.value: s for s in schemes}
+
+
+class TestInstallation:
+    def test_all_canonical_schemes_installed(self, registry, installed):
+        assert set(installed) == set(CANONICAL_SCHEMES)
+
+    def test_tree_structure_preserved(self, registry, installed):
+        naics = installed["ntis-gov:naics"]
+        top = registry.taxonomies.browse(naics.id)
+        assert [n.code for n in top] == ["11", "51", "61"]
+        info = next(n for n in top if n.code == "51")
+        assert not info.leaf
+        children = registry.taxonomies.browse(info.id)
+        assert [n.code for n in children] == ["511", "518"]
+
+    def test_paths_are_hierarchical(self, registry, installed):
+        node = registry.taxonomies.node_by_path("/ntis-gov:naics/51/511/511210")
+        assert node.code == "511210"
+        assert node.name.value == "Software Publishers"
+
+    def test_scheme_of_walks_up(self, registry, installed):
+        node = registry.taxonomies.node_by_path("/ntis-gov:naics/51/511/511210")
+        scheme = registry.taxonomies.scheme_of(node)
+        assert scheme.name.value == "ntis-gov:naics"
+
+    def test_user_defined_scheme(self, registry, admin_session):
+        scheme = registry.taxonomies.install_scheme(
+            admin_session,
+            registry.lcm,
+            "sdsu:departments",
+            {"CS": ("Computer Science", {"CS-GRAD": ("Graduate", {})})},
+        )
+        assert registry.taxonomies.find_scheme("sdsu:departments") is not None
+        children = registry.taxonomies.browse(scheme.id)
+        assert children[0].code == "CS"
+        assert not children[0].leaf
+
+
+class TestValidation:
+    def test_valid_internal_classification(self, registry, admin_session, installed):
+        node = registry.taxonomies.node_by_path("/iso-ch:3166:1999/US/US-CA")
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(admin_session, [org])
+        classification = registry.taxonomies.classify(admin_session, registry.lcm, org, node)
+        assert registry.daos.classifications.for_object(org.id) == [classification]
+        stored_org = registry.daos.organizations.require(org.id)
+        assert classification.id in stored_org.classification_ids
+
+    def test_unknown_node_rejected(self, registry, admin_session, installed):
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(admin_session, [org])
+        bogus = Classification(
+            registry.ids.new_id(),
+            classified_object=org.id,
+            classification_node=registry.ids.new_id(),
+        )
+        with pytest.raises(InvalidRequestError, match="unknown node"):
+            registry.taxonomies.validate_classification(bogus)
+
+    def test_external_against_internal_scheme_rejected(self, registry, admin_session, installed):
+        naics = installed["ntis-gov:naics"]
+        bogus = Classification(
+            registry.ids.new_id(),
+            classified_object=registry.ids.new_id(),
+            classification_scheme=naics.id,
+            node_representation="51",
+        )
+        with pytest.raises(InvalidRequestError, match="internal scheme"):
+            registry.taxonomies.validate_classification(bogus)
+
+    def test_missing_path(self, registry, installed):
+        with pytest.raises(ObjectNotFoundError):
+            registry.taxonomies.node_by_path("/ntis-gov:naics/99")
+
+
+class TestDiscovery:
+    def test_find_by_subtree(self, registry, admin_session, installed):
+        software = registry.taxonomies.node_by_path("/ntis-gov:naics/51/511/511210")
+        hosting = registry.taxonomies.node_by_path("/ntis-gov:naics/51/518")
+        farming = registry.taxonomies.node_by_path("/ntis-gov:naics/11/111/111330")
+        publisher = Organization(registry.ids.new_id(), name="Software House")
+        cloud = Service(registry.ids.new_id(), name="CloudService")
+        farm = Organization(registry.ids.new_id(), name="Orchard")
+        registry.lcm.submit_objects(admin_session, [publisher, cloud, farm])
+        registry.taxonomies.classify(admin_session, registry.lcm, publisher, software)
+        registry.taxonomies.classify(admin_session, registry.lcm, cloud, hosting)
+        registry.taxonomies.classify(admin_session, registry.lcm, farm, farming)
+
+        info_sector = registry.taxonomies.find_objects_classified_under("/ntis-gov:naics/51")
+        assert {o.name.value for o in info_sector} == {"Software House", "CloudService"}
+        exact = registry.taxonomies.find_objects_classified_under(
+            "/ntis-gov:naics/51/511/511210"
+        )
+        assert [o.name.value for o in exact] == ["Software House"]
+
+    def test_empty_subtree(self, registry, installed):
+        assert registry.taxonomies.find_objects_classified_under("/iso-ch:3166:1999/DE") == []
+
+    def test_deleting_object_removes_classifications(self, registry, admin_session, installed):
+        node = registry.taxonomies.node_by_path("/iso-ch:3166:1999/US")
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(admin_session, [org])
+        registry.taxonomies.classify(admin_session, registry.lcm, org, node)
+        registry.lcm.remove_objects(admin_session, [org.id])
+        assert registry.daos.classifications.count() == 0
+        assert registry.taxonomies.find_objects_classified_under("/iso-ch:3166:1999/US") == []

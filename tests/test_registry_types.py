@@ -1,0 +1,119 @@
+"""Tests for Table 1.4 registry deployment flavours (public/affiliated/private)."""
+
+import pytest
+
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Organization
+from repro.soap import (
+    AdhocQueryRequest,
+    RegistryResponse,
+    HttpGetBinding,
+    SoapEnvelope,
+    SoapFault,
+    SoapRegistryBinding,
+)
+from repro.util.clock import ManualClock
+from repro.util.errors import AuthorizationError
+
+
+def make_registry(registry_type: str) -> RegistryServer:
+    registry = RegistryServer(
+        RegistryConfig(seed=7, registry_type=registry_type), clock=ManualClock()
+    )
+    _, cred = registry.register_user("member")
+    session = registry.login(cred)
+    registry.lcm.submit_objects(
+        session, [Organization(registry.ids.new_id(), name="Content")]
+    )
+    return registry
+
+
+def soap_query(registry, session_token=None):
+    binding = SoapRegistryBinding(registry)
+    if session_token:
+        binding.register_session(session_token)
+    envelope = SoapEnvelope.with_session(
+        AdhocQueryRequest(query="SELECT name FROM Organization"),
+        session_token.token if session_token else None,
+    )
+    return binding.handle(envelope)
+
+
+class TestPublicRegistry:
+    def test_guest_may_read_over_soap(self):
+        registry = make_registry("public")
+        response = soap_query(registry)
+        assert isinstance(response, RegistryResponse)
+        assert response.rows
+
+    def test_http_binding_open(self):
+        registry = make_registry("public")
+        response = HttpGetBinding(registry).get(
+            "http://x/omar?interface=QueryManager&method=executeQuery"
+            "&param-query=SELECT name FROM Organization"
+        )
+        assert isinstance(response, RegistryResponse)
+
+
+class TestPrivateRegistry:
+    def test_guest_read_denied(self):
+        registry = make_registry("private")
+        response = soap_query(registry)
+        assert isinstance(response, SoapFault)
+        assert "Authorization" in response.fault_code
+
+    def test_registered_user_reads(self):
+        registry = make_registry("private")
+        _, cred = registry.register_user("insider")
+        session = registry.login(cred)
+        response = soap_query(registry, session)
+        assert isinstance(response, RegistryResponse)
+        assert response.rows
+
+    def test_http_binding_closed(self):
+        registry = make_registry("private")
+        response = HttpGetBinding(registry).get(
+            "http://x/omar?interface=QueryManager&method=executeQuery&param-query=SELECT name FROM Organization"
+        )
+        assert isinstance(response, SoapFault)
+
+    def test_check_read_raises_for_guest(self):
+        registry = make_registry("private")
+        with pytest.raises(AuthorizationError, match="private registry"):
+            registry.check_read(registry.guest())
+
+
+class TestAffiliatedRegistry:
+    def test_guest_denied(self):
+        registry = make_registry("affiliated")
+        response = soap_query(registry)
+        assert isinstance(response, SoapFault)
+
+    def test_affiliate_role_reads(self):
+        registry = make_registry("affiliated")
+        _, cred = registry.register_user("partner", roles={"Affiliate"})
+        session = registry.login(cred)
+        response = soap_query(registry, session)
+        assert isinstance(response, RegistryResponse)
+
+    def test_registered_member_reads(self):
+        registry = make_registry("affiliated")
+        _, cred = registry.register_user("member2")
+        session = registry.login(cred)
+        response = soap_query(registry, session)
+        assert isinstance(response, RegistryResponse)
+
+
+class TestWritePathsUnchanged:
+    @pytest.mark.parametrize("registry_type", ["public", "affiliated", "private"])
+    def test_owner_writes_still_work(self, registry_type):
+        registry = make_registry(registry_type)
+        _, cred = registry.register_user("writer")
+        session = registry.login(cred)
+        org = Organization(registry.ids.new_id(), name="Mine")
+        registry.lcm.submit_objects(session, [org])
+        registry.lcm.remove_objects(session, [org.id])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown registry type"):
+            make_registry("clandestine")

@@ -1,0 +1,64 @@
+"""Tests for retrievable version history."""
+
+import pytest
+
+from repro.rim import Organization
+from repro.util.errors import ObjectNotFoundError
+
+
+@pytest.fixture
+def versioned_org(registry, session):
+    org = Organization(registry.ids.new_id(), name="v1-name", description="first")
+    registry.lcm.submit_objects(session, [org])
+    for n, description in enumerate(["second", "third"], start=2):
+        fresh = registry.daos.organizations.require(org.id)
+        fresh.description.set(description)
+        registry.lcm.update_objects(session, [fresh])
+    return org
+
+
+class TestRetention:
+    def test_every_update_retains_previous(self, registry, versioned_org):
+        records = registry.lcm.versions.versions_of(versioned_org.lid)
+        assert [r.version_name for r in records] == ["1.1", "1.2"]
+        assert [r.snapshot.description.value for r in records] == ["first", "second"]
+
+    def test_current_version_is_live(self, registry, versioned_org):
+        current = registry.daos.organizations.require(versioned_org.id)
+        assert current.version.version_name == "1.3"
+        assert current.description.value == "third"
+
+    def test_get_specific_version(self, registry, versioned_org):
+        old = registry.lcm.versions.get_version(versioned_org.lid, "1.1")
+        assert old.description.value == "first"
+        assert old.version.version_name == "1.1"
+
+    def test_missing_version(self, registry, versioned_org):
+        with pytest.raises(ObjectNotFoundError):
+            registry.lcm.versions.get_version(versioned_org.lid, "9.9")
+        with pytest.raises(ObjectNotFoundError):
+            registry.lcm.versions.get_version(registry.ids.new_id(), "1.1")
+
+    def test_snapshots_are_copies(self, registry, versioned_org):
+        first = registry.lcm.versions.get_version(versioned_org.lid, "1.1")
+        first.description.set("mutated")
+        again = registry.lcm.versions.get_version(versioned_org.lid, "1.1")
+        assert again.description.value == "first"
+
+    def test_timestamps_recorded(self, registry, session, clock):
+        org = Organization(registry.ids.new_id(), name="t")
+        registry.lcm.submit_objects(session, [org])
+        clock.advance(100.0)
+        fresh = registry.daos.organizations.require(org.id)
+        fresh.description.set("later")
+        registry.lcm.update_objects(session, [fresh])
+        [record] = registry.lcm.versions.versions_of(org.lid)
+        assert record.superseded_at == 100.0
+
+    def test_no_history_for_unversioned_objects(self, registry, session):
+        org = Organization(registry.ids.new_id(), name="fresh")
+        registry.lcm.submit_objects(session, [org])
+        assert registry.lcm.versions.versions_of(org.lid) == []
+
+    def test_history_len(self, registry, versioned_org):
+        assert len(registry.lcm.versions) == 2

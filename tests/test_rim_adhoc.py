@@ -1,0 +1,84 @@
+"""Tests for AdhocQuery (stored queries) and Subscription objects."""
+
+import pytest
+
+from repro.rim import AdhocQuery, NotifyAction, Subscription
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(6)
+
+
+class TestAdhocQuery:
+    def test_requires_query_text(self):
+        with pytest.raises(InvalidRequestError):
+            AdhocQuery(ids.new_id(), query="   ")
+
+    def test_rejects_unknown_language(self):
+        with pytest.raises(InvalidRequestError):
+            AdhocQuery(ids.new_id(), query="SELECT * FROM Service", query_language="XQuery")
+
+    def test_parameter_names(self):
+        q = AdhocQuery(
+            ids.new_id(),
+            query="SELECT * FROM Service WHERE name = $name AND status = $status",
+        )
+        assert q.parameter_names() == ["name", "status"]
+
+    def test_bind_quotes_values(self):
+        q = AdhocQuery(ids.new_id(), query="SELECT * FROM Service WHERE name = $name")
+        assert q.bind(name="NodeStatus") == (
+            "SELECT * FROM Service WHERE name = 'NodeStatus'"
+        )
+
+    def test_bind_escapes_quotes(self):
+        q = AdhocQuery(ids.new_id(), query="SELECT * FROM Service WHERE name = $name")
+        assert "''" in q.bind(name="O'Brien")
+
+    def test_bind_missing_parameter_raises(self):
+        q = AdhocQuery(ids.new_id(), query="SELECT * FROM Service WHERE name = $name")
+        with pytest.raises(InvalidRequestError):
+            q.bind()
+
+
+class TestNotifyAction:
+    def test_valid_modes(self):
+        NotifyAction(mode="service", endpoint="http://h/notify")
+        NotifyAction(mode="email", endpoint="ops@sdsu.edu")
+
+    def test_invalid_mode(self):
+        with pytest.raises(InvalidRequestError):
+            NotifyAction(mode="carrier-pigeon", endpoint="x")
+
+    def test_requires_endpoint(self):
+        with pytest.raises(InvalidRequestError):
+            NotifyAction(mode="email", endpoint="")
+
+
+class TestSubscription:
+    def _make(self, **kwargs):
+        defaults = dict(
+            selector=ids.new_id(),
+            actions=[NotifyAction(mode="email", endpoint="ops@sdsu.edu")],
+        )
+        defaults.update(kwargs)
+        return Subscription(ids.new_id(), **defaults)
+
+    def test_requires_selector(self):
+        with pytest.raises(InvalidRequestError):
+            self._make(selector="")
+
+    def test_requires_actions(self):
+        with pytest.raises(InvalidRequestError):
+            self._make(actions=[])
+
+    def test_active_window(self):
+        sub = self._make(start_time=100.0, end_time=200.0)
+        assert not sub.active_at(50.0)
+        assert sub.active_at(100.0)
+        assert sub.active_at(200.0)
+        assert not sub.active_at(201.0)
+
+    def test_open_ended(self):
+        sub = self._make(start_time=0.0, end_time=None)
+        assert sub.active_at(1e9)

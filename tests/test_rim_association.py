@@ -1,0 +1,65 @@
+"""Tests for Association objects and types (thesis Table 1.5)."""
+
+import pytest
+
+from repro.rim import Association, AssociationType
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(2)
+
+
+class TestAssociationType:
+    def test_table_1_5_types_present(self):
+        for name in ("HasMember", "EquivalentTo", "Extends", "Implements", "InstanceOf"):
+            assert AssociationType.from_name(name).value == name
+
+    def test_offers_service_present(self):
+        assert AssociationType.from_name("OffersService") is AssociationType.OFFERS_SERVICE
+
+    def test_from_full_urn(self):
+        urn = "urn:oasis:names:tc:ebxml-regrep:AssociationType:Extends"
+        assert AssociationType.from_name(urn) is AssociationType.EXTENDS
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidRequestError):
+            AssociationType.from_name("Nonsense")
+
+    def test_urn_round_trip(self):
+        t = AssociationType.OFFERS_SERVICE
+        assert AssociationType.from_name(t.urn) is t
+
+
+class TestAssociation:
+    def test_requires_endpoints(self):
+        with pytest.raises(InvalidRequestError):
+            Association(ids.new_id(), source_object="", target_object=ids.new_id())
+
+    def test_rejects_self_association(self):
+        oid = ids.new_id()
+        with pytest.raises(InvalidRequestError):
+            Association(ids.new_id(), source_object=oid, target_object=oid)
+
+    def test_string_type_coerced(self):
+        a = Association(
+            ids.new_id(),
+            source_object=ids.new_id(),
+            target_object=ids.new_id(),
+            association_type="OffersService",
+        )
+        assert a.association_type is AssociationType.OFFERS_SERVICE
+
+    def test_confirmation_defaults(self):
+        a = Association(
+            ids.new_id(), source_object=ids.new_id(), target_object=ids.new_id()
+        )
+        assert a.confirmed_by_source
+        assert not a.confirmed_by_target
+        assert not a.is_confirmed
+
+    def test_confirmed_when_both_sides_agree(self):
+        a = Association(
+            ids.new_id(), source_object=ids.new_id(), target_object=ids.new_id()
+        )
+        a.confirmed_by_target = True
+        assert a.is_confirmed

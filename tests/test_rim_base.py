@@ -1,0 +1,103 @@
+"""Tests for RegistryObject, VersionInfo, and InternationalString basics."""
+
+import pytest
+
+from repro.rim import InternationalString, ObjectStatus, Organization, RegistryObject
+from repro.rim.base import VersionInfo
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(1)
+
+
+class TestRegistryObjectConstruction:
+    def test_requires_urn_uuid_id(self):
+        with pytest.raises(InvalidRequestError):
+            RegistryObject("not-an-id")
+
+    def test_lid_defaults_to_id(self):
+        oid = ids.new_id()
+        obj = RegistryObject(oid)
+        assert obj.lid == oid
+
+    def test_name_coercion_from_string(self):
+        obj = RegistryObject(ids.new_id(), name="SDSU")
+        assert isinstance(obj.name, InternationalString)
+        assert obj.name.value == "SDSU"
+
+    def test_initial_status_is_submitted(self):
+        assert RegistryObject(ids.new_id()).status is ObjectStatus.SUBMITTED
+
+    def test_initial_version(self):
+        assert RegistryObject(ids.new_id()).version.version_name == "1.1"
+
+
+class TestRegistryObjectIdentity:
+    def test_equality_by_id(self):
+        oid = ids.new_id()
+        a = RegistryObject(oid, name="a")
+        b = RegistryObject(oid, name="b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_across_ids(self):
+        assert RegistryObject(ids.new_id()) != RegistryObject(ids.new_id())
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        obj = Organization(ids.new_id(), name="SDSU")
+        obj.add_slot("copyright", "2011")
+        clone = obj.copy()
+        clone.name.set("Changed")
+        clone.slots.remove("copyright")
+        clone.service_ids.append("x")
+        assert obj.name.value == "SDSU"
+        assert obj.slot_value("copyright") == "2011"
+        assert obj.service_ids == []
+
+    def test_copy_preserves_type(self):
+        obj = Organization(ids.new_id(), name="SDSU")
+        assert type(obj.copy()) is Organization
+
+    def test_copy_preserves_status_and_version(self):
+        obj = Organization(ids.new_id())
+        obj.status = ObjectStatus.APPROVED
+        obj.version = obj.version.next()
+        clone = obj.copy()
+        assert clone.status is ObjectStatus.APPROVED
+        assert clone.version.version_name == "1.2"
+
+
+class TestVersionInfo:
+    def test_next_bumps_minor(self):
+        assert VersionInfo("1.1").next().version_name == "1.2"
+
+    def test_chain(self):
+        v = VersionInfo()
+        for _ in range(5):
+            v = v.next()
+        assert v.version_name == "1.6"
+
+    def test_equality(self):
+        assert VersionInfo("2.3") == VersionInfo("2.3")
+        assert VersionInfo("2.3") != VersionInfo("2.4")
+
+
+class TestSlotsOnObject:
+    def test_add_and_read(self):
+        obj = RegistryObject(ids.new_id())
+        obj.add_slot("urn:x", "v1", "v2")
+        assert obj.slot_value("urn:x") == "v1"
+        assert obj.slots.get("urn:x").values == ["v1", "v2"]
+
+    def test_duplicate_slot_rejected(self):
+        obj = RegistryObject(ids.new_id())
+        obj.add_slot("urn:x", "v")
+        with pytest.raises(InvalidRequestError):
+            obj.add_slot("urn:x", "w")
+
+    def test_object_type_urn(self):
+        org = Organization(ids.new_id())
+        assert org.object_type.endswith("ObjectType:Organization")
+        assert org.type_name == "Organization"

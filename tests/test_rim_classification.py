@@ -1,0 +1,67 @@
+"""Tests for taxonomy support: schemes, nodes, classifications."""
+
+import pytest
+
+from repro.rim import Classification, ClassificationNode, ClassificationScheme
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(5)
+
+
+class TestClassificationScheme:
+    def test_defaults(self):
+        scheme = ClassificationScheme(ids.new_id(), name="NAICS")
+        assert scheme.is_internal
+        assert scheme.child_node_ids == []
+
+
+class TestClassificationNode:
+    def test_requires_code_and_parent(self):
+        with pytest.raises(InvalidRequestError):
+            ClassificationNode(ids.new_id(), code="", parent=ids.new_id())
+        with pytest.raises(InvalidRequestError):
+            ClassificationNode(ids.new_id(), code="111330", parent="")
+
+    def test_path_defaults_to_code(self):
+        node = ClassificationNode(ids.new_id(), code="111330", parent=ids.new_id())
+        assert node.path == "111330"
+
+
+class TestClassification:
+    def test_internal_form(self):
+        c = Classification(
+            ids.new_id(),
+            classified_object=ids.new_id(),
+            classification_node=ids.new_id(),
+        )
+        assert c.is_internal
+
+    def test_external_form(self):
+        c = Classification(
+            ids.new_id(),
+            classified_object=ids.new_id(),
+            classification_scheme=ids.new_id(),
+            node_representation="111330",
+        )
+        assert not c.is_internal
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            Classification(
+                ids.new_id(),
+                classified_object=ids.new_id(),
+                classification_node=ids.new_id(),
+                classification_scheme=ids.new_id(),
+                node_representation="x",
+            )
+
+    def test_neither_form_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            Classification(ids.new_id(), classified_object=ids.new_id())
+
+    def test_requires_classified_object(self):
+        with pytest.raises(InvalidRequestError):
+            Classification(
+                ids.new_id(), classified_object="", classification_node=ids.new_id()
+            )

@@ -1,0 +1,114 @@
+"""Tests for the remaining RIM classes: package, events, links, extrinsic."""
+
+import pytest
+
+from repro.rim import (
+    AuditableEvent,
+    EventType,
+    ExternalIdentifier,
+    ExternalLink,
+    ExtrinsicObject,
+    RegistryPackage,
+)
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(62)
+
+
+class TestRegistryPackage:
+    def test_member_management(self):
+        pkg = RegistryPackage(ids.new_id(), name="pkg")
+        a, b = ids.new_ids(2)
+        pkg.add_member(a)
+        pkg.add_member(a)  # idempotent
+        pkg.add_member(b)
+        assert pkg.member_ids == [a, b]
+        pkg.remove_member(a)
+        assert pkg.member_ids == [b]
+        pkg.remove_member(a)  # absent removal is a no-op
+
+    def test_is_registry_entry(self):
+        pkg = RegistryPackage(ids.new_id())
+        assert pkg.stability == "Dynamic"
+        assert pkg.expiration is None
+
+
+class TestAuditableEvent:
+    def test_fields(self):
+        event = AuditableEvent(
+            ids.new_id(),
+            event_type=EventType.CREATED,
+            affected_object=ids.new_id(),
+            user_id=ids.new_id(),
+            timestamp=42.5,
+            request_id="req-1",
+        )
+        assert event.timestamp == 42.5
+        assert event.request_id == "req-1"
+        assert event.sequence == 0
+
+    def test_requires_affected_object(self):
+        with pytest.raises(InvalidRequestError):
+            AuditableEvent(
+                ids.new_id(),
+                event_type=EventType.DELETED,
+                affected_object="",
+                user_id=ids.new_id(),
+                timestamp=0.0,
+            )
+
+    def test_event_type_urns(self):
+        assert EventType.CREATED.urn.endswith("EventType:Created")
+        assert EventType.RELOCATED.urn.endswith("EventType:Relocated")
+
+
+class TestExternalObjects:
+    def test_external_identifier_requires_fields(self):
+        with pytest.raises(InvalidRequestError):
+            ExternalIdentifier(
+                ids.new_id(),
+                registry_object=ids.new_id(),
+                identification_scheme="",
+                value="123",
+            )
+
+    def test_external_identifier_valid(self):
+        ei = ExternalIdentifier(
+            ids.new_id(),
+            registry_object=ids.new_id(),
+            identification_scheme="DUNS",
+            value="123456789",
+        )
+        assert ei.value == "123456789"
+
+    def test_external_link_requires_uri(self):
+        with pytest.raises(InvalidRequestError):
+            ExternalLink(ids.new_id(), external_uri="")
+
+
+class TestExtrinsicObject:
+    def test_defaults(self):
+        eo = ExtrinsicObject(ids.new_id(), name="blob")
+        assert eo.mime_type == "application/octet-stream"
+        assert not eo.is_opaque
+        assert eo.content_version == "1.1"
+
+    def test_object_type(self):
+        eo = ExtrinsicObject(ids.new_id())
+        assert eo.object_type.endswith("ObjectType:ExtrinsicObject")
+
+
+class TestMainModule:
+    def test_python_dash_m_entrypoint(self, capsys):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "ebXML registry load-balancing toolkit" in result.stdout

@@ -1,0 +1,94 @@
+"""Tests for Organization, User, and the reusable address entities."""
+
+import pytest
+
+from repro.rim import (
+    EmailAddress,
+    Organization,
+    PersonName,
+    PostalAddress,
+    TelephoneNumber,
+    User,
+)
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(4)
+
+
+class TestPostalAddress:
+    def test_one_line_rendering(self):
+        addr = PostalAddress(
+            street_number="5500",
+            street="Campanile Drive",
+            city="San Diego",
+            state="CA",
+            country="US",
+            postal_code="92182",
+        )
+        assert addr.one_line() == "5500 Campanile Drive, San Diego, CA, 92182, US"
+
+    def test_one_line_skips_empty(self):
+        assert PostalAddress(city="San Diego").one_line() == "San Diego"
+
+
+class TestEmailAddress:
+    def test_valid(self):
+        e = EmailAddress("info@sdsu.edu")
+        assert e.type == "OfficeEmail"
+
+    def test_invalid_raises(self):
+        with pytest.raises(InvalidRequestError):
+            EmailAddress("not-an-email")
+
+
+class TestTelephoneNumber:
+    def test_formatted_full(self):
+        t = TelephoneNumber(number="594-5200", country_code="1", area_code="619")
+        assert t.formatted() == "+1 (619) 594-5200"
+
+    def test_formatted_with_extension(self):
+        t = TelephoneNumber(number="5945200", extension="42")
+        assert t.formatted() == "5945200 x42"
+
+
+class TestPersonName:
+    def test_full(self):
+        assert PersonName("Sadhana", "V.", "Sahasrabudhe").full() == "Sadhana V. Sahasrabudhe"
+
+    def test_partial(self):
+        assert PersonName(first_name="Sadhana").full() == "Sadhana"
+
+
+class TestUser:
+    def test_requires_alias(self):
+        with pytest.raises(InvalidRequestError):
+            User(ids.new_id(), alias="")
+
+    def test_default_role(self):
+        assert "RegistryUser" in User(ids.new_id(), alias="gold").roles
+
+
+class TestOrganization:
+    def test_service_cache_add_remove(self):
+        org = Organization(ids.new_id(), name="SDSU")
+        sid = ids.new_id()
+        org.add_service(sid)
+        org.add_service(sid)  # idempotent
+        assert org.service_ids == [sid]
+        org.remove_service(sid)
+        assert org.service_ids == []
+
+    def test_remove_absent_service_is_noop(self):
+        org = Organization(ids.new_id())
+        org.remove_service(ids.new_id())  # must not raise
+
+    def test_copy_deep_enough(self):
+        org = Organization(ids.new_id(), name="SDSU")
+        org.addresses.append(PostalAddress(city="San Diego"))
+        org.add_service(ids.new_id())
+        clone = org.copy()
+        clone.addresses.clear()
+        clone.service_ids.clear()
+        assert len(org.addresses) == 1
+        assert len(org.service_ids) == 1

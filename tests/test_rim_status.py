@@ -1,0 +1,51 @@
+"""Tests for the object life-cycle state machine (thesis Figure 1.19)."""
+
+import pytest
+
+from repro.rim import ObjectStatus, check_transition
+from repro.util.errors import LifeCycleError
+
+
+class TestTransitions:
+    def test_submitted_to_approved(self):
+        assert check_transition("approve", ObjectStatus.SUBMITTED) is ObjectStatus.APPROVED
+
+    def test_approve_is_idempotent(self):
+        assert check_transition("approve", ObjectStatus.APPROVED) is ObjectStatus.APPROVED
+
+    def test_deprecate_from_approved(self):
+        assert (
+            check_transition("deprecate", ObjectStatus.APPROVED)
+            is ObjectStatus.DEPRECATED
+        )
+
+    def test_deprecate_from_submitted(self):
+        assert (
+            check_transition("deprecate", ObjectStatus.SUBMITTED)
+            is ObjectStatus.DEPRECATED
+        )
+
+    def test_undeprecate_restores_approved(self):
+        assert (
+            check_transition("undeprecate", ObjectStatus.DEPRECATED)
+            is ObjectStatus.APPROVED
+        )
+
+    def test_undeprecate_requires_deprecated(self):
+        with pytest.raises(LifeCycleError):
+            check_transition("undeprecate", ObjectStatus.SUBMITTED)
+
+    def test_approve_deprecated_is_illegal(self):
+        with pytest.raises(LifeCycleError):
+            check_transition("approve", ObjectStatus.DEPRECATED)
+
+    def test_unknown_verb(self):
+        with pytest.raises(LifeCycleError):
+            check_transition("frobnicate", ObjectStatus.SUBMITTED)
+
+    def test_full_lifecycle_walk(self):
+        status = ObjectStatus.SUBMITTED
+        status = check_transition("approve", status)
+        status = check_transition("deprecate", status)
+        status = check_transition("undeprecate", status)
+        assert status is ObjectStatus.APPROVED

@@ -1,0 +1,49 @@
+"""Tests for InternationalString / LocalizedString."""
+
+from repro.rim import InternationalString, LocalizedString
+
+
+class TestInternationalString:
+    def test_default_locale_value(self):
+        s = InternationalString("hello")
+        assert s.value == "hello"
+        assert s.get("en_US") == "hello"
+
+    def test_empty(self):
+        s = InternationalString()
+        assert s.value == ""
+        assert not s
+
+    def test_multiple_locales(self):
+        s = InternationalString("hello")
+        s.set("bonjour", locale="fr_FR")
+        assert s.get("fr_FR") == "bonjour"
+        assert s.get("en_US") == "hello"
+        assert s.locales() == ["en_US", "fr_FR"]
+
+    def test_fallback_to_any_locale(self):
+        s = InternationalString()
+        s.set("hola", locale="es_ES")
+        assert s.get("en_US") == "hola"
+
+    def test_of_coerces_none(self):
+        assert InternationalString.of(None).value == ""
+
+    def test_of_passes_through(self):
+        s = InternationalString("x")
+        assert InternationalString.of(s) is s
+
+    def test_equality_with_plain_string(self):
+        assert InternationalString("x") == "x"
+        assert InternationalString("x") != "y"
+
+    def test_copy_independent(self):
+        s = InternationalString("x")
+        c = s.copy()
+        c.set("y")
+        assert s.value == "x"
+
+    def test_localized_entries(self):
+        s = InternationalString("x")
+        entries = s.localized()
+        assert entries == [LocalizedString(value="x")]

@@ -1,0 +1,74 @@
+"""Tests for user registration and session authentication."""
+
+import pytest
+
+from repro.security.certs import CertificateAuthority
+from repro.util.errors import AuthenticationError
+
+
+class TestRegistration:
+    def test_register_creates_user_and_credential(self, registry):
+        user, credential = registry.register_user("gold")
+        assert user.alias == "gold"
+        assert credential.certificate.subject == "gold"
+        assert registry.daos.users.find_by_alias("gold") is not None
+
+    def test_duplicate_alias_rejected(self, registry):
+        registry.register_user("gold")
+        with pytest.raises(AuthenticationError):
+            registry.register_user("gold")
+
+    def test_roles_assigned(self, registry):
+        user, _ = registry.register_user("admin", roles={"RegistryAdministrator"})
+        assert "RegistryAdministrator" in user.roles
+        assert "RegistryUser" in user.roles
+
+
+class TestAuthentication:
+    def test_login_success(self, registry):
+        user, credential = registry.register_user("gold")
+        session = registry.login(credential)
+        assert session.alias == "gold"
+        assert session.user_id == user.id
+        assert registry.authenticator.is_active(session)
+
+    def test_unknown_alias(self, registry):
+        foreign = CertificateAuthority(seed=99).issue("stranger")
+        with pytest.raises(AuthenticationError, match="unknown user"):
+            registry.login(foreign)
+
+    def test_certificate_mismatch(self, registry):
+        registry.register_user("gold")
+        # a certificate for the right alias but issued out-of-band
+        forged = registry.authority.issue("gold")
+        with pytest.raises(AuthenticationError, match="mismatch"):
+            registry.login(forged)
+
+    def test_foreign_issuer_rejected(self, registry):
+        _, credential = registry.register_user("gold")
+        tampered = credential.tampered(issuer="evilOperator")
+        with pytest.raises(AuthenticationError):
+            registry.login(tampered)
+
+    def test_wrong_private_key_rejected(self, registry):
+        from repro.security.certs import Credential, KeyPair
+
+        _, credential = registry.register_user("gold")
+        swapped = Credential(
+            certificate=credential.certificate, keypair=KeyPair.generate()
+        )
+        with pytest.raises(AuthenticationError, match="private key"):
+            registry.login(swapped)
+
+    def test_close_session(self, registry):
+        _, credential = registry.register_user("gold")
+        session = registry.login(credential)
+        registry.authenticator.close(session)
+        assert not registry.authenticator.is_active(session)
+
+
+class TestGuestSession:
+    def test_guest_has_guest_role_only(self, registry):
+        guest = registry.guest()
+        assert guest.roles == frozenset({"RegistryGuest"})
+        assert guest.alias == "guest"

@@ -1,0 +1,58 @@
+"""Tests for the simulated PKI."""
+
+import pytest
+
+from repro.security import CertificateAuthority, KeyPair
+from repro.util.errors import AuthenticationError
+
+
+class TestKeyPair:
+    def test_generate_matches_self(self):
+        kp = KeyPair.generate()
+        assert kp.matches(kp.public_key)
+
+    def test_mismatch(self):
+        a, b = KeyPair.generate(), KeyPair.generate()
+        assert not a.matches(b.public_key)
+
+
+class TestCertificateAuthority:
+    def test_self_signed_root(self):
+        ca = CertificateAuthority(seed=1)
+        assert ca.certificate.subject == "registryOperator"
+        assert ca.certificate.issuer == "registryOperator"
+        assert ca.certificate.verify(ca.keypair)
+
+    def test_issue_verifies_against_issuer(self):
+        ca = CertificateAuthority(seed=1)
+        cred = ca.issue("gold")
+        assert cred.certificate.subject == "gold"
+        assert cred.certificate.issuer == ca.name
+        assert cred.certificate.verify(ca.keypair)
+
+    def test_issue_rejects_empty_subject(self):
+        with pytest.raises(AuthenticationError):
+            CertificateAuthority().issue("")
+
+    def test_foreign_ca_fails_verification(self):
+        ca1 = CertificateAuthority(seed=1)
+        ca2 = CertificateAuthority(seed=2)
+        cred = ca1.issue("gold")
+        assert not cred.certificate.verify(ca2.keypair)
+
+    def test_tampered_subject_fails_verification(self):
+        ca = CertificateAuthority(seed=1)
+        cred = ca.issue("gold").tampered(subject="admin")
+        assert not cred.certificate.verify(ca.keypair)
+
+    def test_fingerprint_stable_and_distinct(self):
+        ca = CertificateAuthority(seed=1)
+        a = ca.issue("gold")
+        b = ca.issue("silver")
+        assert a.certificate.fingerprint == a.certificate.fingerprint
+        assert a.certificate.fingerprint != b.certificate.fingerprint
+
+    def test_deterministic_with_seed(self):
+        a = CertificateAuthority(seed=9).issue("gold")
+        b = CertificateAuthority(seed=9).issue("gold")
+        assert a.certificate.fingerprint == b.certificate.fingerprint

@@ -1,0 +1,91 @@
+"""Tests for the client keystore and KeystoreMover (thesis §3.4.3)."""
+
+import pytest
+
+from repro.security import CertificateAuthority, Keystore, KeystoreMover
+from repro.util.errors import AuthenticationError
+
+
+@pytest.fixture
+def ca() -> CertificateAuthority:
+    return CertificateAuthority(seed=5)
+
+
+class TestKeystoreEntries:
+    def test_set_and_get(self, ca):
+        ks = Keystore()
+        cred = ca.issue("gold")
+        ks.set_entry("gold", cred, "gold123")
+        assert ks.get_entry("gold", "gold123") is cred
+
+    def test_wrong_password(self, ca):
+        ks = Keystore()
+        ks.set_entry("gold", ca.issue("gold"), "gold123")
+        with pytest.raises(AuthenticationError):
+            ks.get_entry("gold", "wrong")
+
+    def test_missing_alias(self):
+        with pytest.raises(AuthenticationError):
+            Keystore().get_entry("nope", "x")
+
+    def test_empty_alias_rejected(self, ca):
+        with pytest.raises(AuthenticationError):
+            Keystore().set_entry("", ca.issue("gold"), "p")
+
+    def test_aliases_listing(self, ca):
+        ks = Keystore()
+        ks.set_entry("b", ca.issue("b"), "p")
+        ks.set_entry("a", ca.issue("a"), "p")
+        assert ks.aliases() == ["a", "b"]
+        assert ks.has_alias("a")
+
+
+class TestTrustedCertificates:
+    def test_import_and_trust(self, ca):
+        ks = Keystore()
+        ks.import_trusted("registryOperator", ca.certificate)
+        assert ks.trusted("registryOperator") is ca.certificate
+        assert ks.trusts(ca.certificate)
+
+    def test_untrusted_by_default(self, ca):
+        assert not Keystore().trusts(ca.certificate)
+
+
+class TestKeystoreMover:
+    def test_move_default_alias(self, ca):
+        source = Keystore(store_type="PKCS12")
+        dest = Keystore(store_type="JKS")
+        cred = ca.issue("gold")
+        source.set_entry("gold", cred, "gold123")
+        KeystoreMover.move(
+            source=source,
+            source_alias="gold",
+            source_key_password="gold123",
+            destination=dest,
+        )
+        assert dest.get_entry("gold", "gold123") is cred
+
+    def test_move_with_rename_and_repassword(self, ca):
+        source, dest = Keystore(), Keystore()
+        source.set_entry("gold", ca.issue("gold"), "gold123")
+        KeystoreMover.move(
+            source=source,
+            source_alias="gold",
+            source_key_password="gold123",
+            destination=dest,
+            destination_alias="client",
+            destination_key_password="new",
+        )
+        assert dest.has_alias("client")
+        dest.get_entry("client", "new")
+
+    def test_move_wrong_password_fails(self, ca):
+        source, dest = Keystore(), Keystore()
+        source.set_entry("gold", ca.issue("gold"), "gold123")
+        with pytest.raises(AuthenticationError):
+            KeystoreMover.move(
+                source=source,
+                source_alias="gold",
+                source_key_password="bad",
+                destination=dest,
+            )

@@ -1,0 +1,84 @@
+"""Tests for the XACML-lite policy engine."""
+
+import pytest
+
+from repro.security.xacml import (
+    Decision,
+    Effect,
+    Policy,
+    PolicyDecisionPoint,
+    Request,
+    Rule,
+    default_policy,
+)
+
+
+def request(action, *, roles=frozenset({"RegistryUser"}), owner=None, user="u1"):
+    return Request(
+        subject={"id": user, "roles": roles},
+        resource={"id": "obj", "owner": owner, "type": "Service"},
+        action=action,
+    )
+
+
+class TestDefaultPolicy:
+    def setup_method(self):
+        self.pdp = PolicyDecisionPoint()
+
+    def test_guest_may_read(self):
+        assert self.pdp.is_permitted(request("read", roles=frozenset({"RegistryGuest"})))
+
+    def test_guest_may_not_create(self):
+        assert not self.pdp.is_permitted(
+            request("create", roles=frozenset({"RegistryGuest"}))
+        )
+
+    def test_registered_may_create(self):
+        assert self.pdp.is_permitted(request("create"))
+
+    def test_owner_may_update_and_delete(self):
+        assert self.pdp.is_permitted(request("update", owner="u1"))
+        assert self.pdp.is_permitted(request("delete", owner="u1"))
+
+    def test_non_owner_may_not_write(self):
+        assert not self.pdp.is_permitted(request("update", owner="someone-else"))
+        assert not self.pdp.is_permitted(request("delete", owner="someone-else"))
+
+    def test_admin_unrestricted(self):
+        roles = frozenset({"RegistryAdministrator"})
+        assert self.pdp.is_permitted(request("delete", roles=roles, owner="other"))
+        assert self.pdp.is_permitted(request("approve", roles=roles, owner="other"))
+
+    def test_lifecycle_verbs_are_owner_gated(self):
+        for verb in ("approve", "deprecate", "undeprecate", "relocate"):
+            assert self.pdp.is_permitted(request(verb, owner="u1"))
+            assert not self.pdp.is_permitted(request(verb, owner="other"))
+
+    def test_unknown_action_denied(self):
+        assert not self.pdp.is_permitted(request("format-disk", owner="u1"))
+
+
+class TestCombination:
+    def test_deny_overrides_across_policies(self):
+        deny_all_deletes = Policy(
+            name="no-deletes",
+            rules=[Rule("no-delete", lambda r: r.action == "delete", Effect.DENY)],
+        )
+        pdp = PolicyDecisionPoint([default_policy(), deny_all_deletes])
+        assert not pdp.is_permitted(request("delete", owner="u1"))
+        assert pdp.is_permitted(request("update", owner="u1"))
+
+    def test_first_applicable_within_policy(self):
+        policy = Policy(
+            name="p",
+            rules=[
+                Rule("deny-x", lambda r: r.action == "x", Effect.DENY),
+                Rule("allow-anything", lambda r: True, Effect.PERMIT),
+            ],
+        )
+        assert policy.evaluate(request("x")) is Decision.DENY
+        assert policy.evaluate(request("y")) is Decision.PERMIT
+
+    def test_not_applicable_means_deny(self):
+        pdp = PolicyDecisionPoint([Policy(name="empty")])
+        assert pdp.decide(request("read")) is Decision.DENY

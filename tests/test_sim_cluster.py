@@ -1,0 +1,140 @@
+"""Tests for Cluster, NodeStatusService, and the latency model."""
+
+import pytest
+
+from repro.sim import Cluster, HostSpec, LatencyModel, SimEngine, Task, nodestatus_uri
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+@pytest.fixture
+def cluster(engine):
+    cl = Cluster(engine)
+    cl.add_hosts([HostSpec(f"h{i}.x", cores=2) for i in range(3)])
+    return cl
+
+
+class TestClusterHosts:
+    def test_duplicate_host_rejected(self, cluster):
+        with pytest.raises(InvalidRequestError):
+            cluster.add_host(HostSpec("h0.x"))
+
+    def test_missing_host(self, cluster):
+        with pytest.raises(ObjectNotFoundError):
+            cluster.host("nope")
+
+    def test_host_names_sorted(self, cluster):
+        assert cluster.host_names() == ["h0.x", "h1.x", "h2.x"]
+        assert len(cluster) == 3
+
+    def test_every_host_has_a_monitor(self, cluster):
+        for name in cluster.host_names():
+            assert cluster.monitor(name).host.name == name
+
+
+class TestDeployment:
+    def test_deploy_and_query(self, cluster):
+        cluster.deploy_service("Adder", ["h0.x", "h2.x"])
+        assert cluster.deployment_hosts("Adder") == ["h0.x", "h2.x"]
+        assert cluster.is_deployed("Adder", "h0.x")
+        assert not cluster.is_deployed("Adder", "h1.x")
+
+    def test_deploy_unknown_host_rejected(self, cluster):
+        with pytest.raises(ObjectNotFoundError):
+            cluster.deploy_service("Adder", ["nope"])
+
+    def test_deploy_idempotent(self, cluster):
+        cluster.deploy_service("Adder", ["h0.x"])
+        cluster.deploy_service("Adder", ["h0.x", "h1.x"])
+        assert cluster.deployment_hosts("Adder") == ["h0.x", "h1.x"]
+
+
+class TestSnapshots:
+    def test_snapshots_cover_all_hosts(self, cluster, engine):
+        cluster.submit_task("h1.x", Task(cpu_seconds=100, memory=1 << 30))
+        engine.run_until(30)
+        loads = cluster.load_snapshot()
+        queues = cluster.queue_snapshot()
+        memory = cluster.memory_snapshot()
+        assert set(loads) == {"h0.x", "h1.x", "h2.x"}
+        assert queues["h1.x"] == 1
+        assert loads["h1.x"] > loads["h0.x"]
+        assert memory["h1.x"] < memory["h0.x"]
+
+    def test_counters(self, cluster, engine):
+        cluster.submit_task("h0.x", Task(cpu_seconds=1, memory=0))
+        engine.run()
+        assert cluster.total_completed() == 1
+        assert cluster.total_rejected() == 0
+
+
+class TestNodeStatusService:
+    def test_uri_convention(self, cluster):
+        monitor = cluster.monitor("h0.x")
+        assert monitor.access_uri == "http://h0.x:8080/NodeStatus/NodeStatusService"
+        assert nodestatus_uri("h0.x") == monitor.access_uri
+
+    def test_runqueue_metric_is_instantaneous(self, cluster, engine):
+        cluster.submit_task("h0.x", Task(cpu_seconds=100, memory=0))
+        cluster.submit_task("h0.x", Task(cpu_seconds=100, memory=0))
+        reading = cluster.monitor("h0.x").invoke()
+        assert reading.cpu_load == 2.0
+        assert reading.host == "h0.x"
+
+    def test_loadavg_metric_is_damped(self, engine):
+        cl = Cluster(engine, load_metric="loadavg")
+        cl.add_host(HostSpec("h.x", cores=1))
+        cl.submit_task("h.x", Task(cpu_seconds=1000, memory=0))
+        reading = cl.monitor("h.x").invoke()
+        assert reading.cpu_load < 1.0  # damped, not instantaneous
+
+    def test_invalid_metric_rejected(self, engine):
+        from repro.sim.nodestatus import NodeStatusService
+        from repro.sim.host import Host
+
+        with pytest.raises(ValueError):
+            NodeStatusService(Host("h", engine), metric="temperature")
+
+    def test_invocation_count(self, cluster):
+        monitor = cluster.monitor("h0.x")
+        monitor.invoke()
+        monitor.invoke()
+        assert monitor.invocation_count == 2
+
+    def test_memory_fields(self, cluster, engine):
+        cluster.submit_task("h0.x", Task(cpu_seconds=100, memory=1 << 30))
+        reading = cluster.monitor("h0.x").invoke()
+        host = cluster.host("h0.x")
+        assert reading.memory_available == host.memory_available()
+        assert reading.swap_available == host.swap_available()
+
+
+class TestLatencyModel:
+    def test_default_and_overrides(self):
+        model = LatencyModel(default_latency=0.01)
+        model.set_latency("a", "b", 0.5)
+        assert model.base_latency("a", "b") == 0.5
+        assert model.base_latency("b", "a") == 0.5  # symmetric
+        assert model.base_latency("a", "c") == 0.01
+        assert model.base_latency("a", "a") == 0.0
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(default_latency=0.1, jitter_fraction=0.5, seed=1)
+        samples = [model.sample("a", "b") for _ in range(100)]
+        assert all(0.05 <= s <= 0.15 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_no_jitter_is_deterministic(self):
+        model = LatencyModel(default_latency=0.1)
+        assert model.sample("a", "b") == 0.1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            LatencyModel(default_latency=-1)
+        model = LatencyModel()
+        with pytest.raises(InvalidRequestError):
+            model.set_latency("a", "b", -0.1)

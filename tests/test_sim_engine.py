@@ -1,0 +1,151 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(30, lambda: fired.append("b"))
+        engine.schedule(10, lambda: fired.append("a"))
+        engine.schedule(20, lambda: fired.append("m"))
+        engine.run()
+        assert fired == ["a", "m", "b"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = SimEngine()
+        fired = []
+        for label in "abc":
+            engine.schedule(10, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_tracks_event_time(self):
+        engine = SimEngine()
+        seen = []
+        engine.schedule(42.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42.5]
+        assert engine.now == 42.5
+
+    def test_cannot_schedule_into_past(self):
+        engine = SimEngine(start=100.0)
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_at(50.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(10, lambda: engine.schedule(5, lambda: fired.append("nested")))
+        engine.run()
+        assert fired == ["nested"]
+        assert engine.now == 15.0
+
+
+class TestRunUntil:
+    def test_advances_to_exact_time(self):
+        engine = SimEngine()
+        engine.run_until(99.5)
+        assert engine.now == 99.5
+
+    def test_does_not_fire_later_events(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(10, lambda: fired.append(1))
+        engine.schedule(20, lambda: fired.append(2))
+        engine.run_until(15)
+        assert fired == [1]
+        engine.run_until(25)
+        assert fired == [1, 2]
+
+    def test_cannot_run_backwards(self):
+        engine = SimEngine(start=10)
+        with pytest.raises(ValueError):
+            engine.run_until(5)
+
+    def test_boundary_event_fires(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(10, lambda: fired.append(1))
+        engine.run_until(10)
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_peek_time_skips_cancelled(self):
+        engine = SimEngine()
+        h = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        h.cancel()
+        assert engine.peek_time() == 20
+
+    def test_peek_empty(self):
+        assert SimEngine().peek_time() is None
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        engine = SimEngine()
+        times = []
+        engine.schedule_periodic(25.0, lambda: times.append(engine.now))
+        engine.run_until(100.0)
+        assert times == [25.0, 50.0, 75.0, 100.0]
+
+    def test_first_delay_override(self):
+        engine = SimEngine()
+        times = []
+        engine.schedule_periodic(25.0, lambda: times.append(engine.now), first_delay=0.0)
+        engine.run_until(50.0)
+        assert times == [0.0, 25.0, 50.0]
+
+    def test_stop(self):
+        engine = SimEngine()
+        count = [0]
+        task = engine.schedule_periodic(10.0, lambda: count.__setitem__(0, count[0] + 1))
+        engine.run_until(35.0)
+        task.stop()
+        engine.run_until(100.0)
+        assert count[0] == 3
+
+    def test_set_period_takes_effect_after_pending_firing(self):
+        engine = SimEngine()
+        times = []
+        task = engine.schedule_periodic(10.0, lambda: times.append(engine.now))
+        engine.run_until(10.0)
+        # the t=20 firing was already scheduled when the period changed;
+        # the new period applies from that firing onwards
+        task.set_period(30.0)
+        engine.run_until(70.0)
+        assert times == [10.0, 20.0, 50.0]
+
+    def test_invalid_period(self):
+        engine = SimEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_periodic(0.0, lambda: None)
+
+    def test_fire_count(self):
+        engine = SimEngine()
+        task = engine.schedule_periodic(10.0, lambda: None)
+        engine.run_until(55.0)
+        assert task.fire_count == 5
+
+    def test_events_processed_counter(self):
+        engine = SimEngine()
+        engine.schedule(1, lambda: None)
+        engine.schedule(2, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2

@@ -1,0 +1,205 @@
+"""Tests for the host model: processor sharing, memory/swap, load average."""
+
+import math
+
+import pytest
+
+from repro.sim import Host, SimEngine, Task
+from repro.sim.host import LOAD_WINDOW_SECONDS
+
+
+@pytest.fixture
+def engine() -> SimEngine:
+    return SimEngine()
+
+
+def make_host(engine, *, cores=2, memory=4 << 30, swap=4 << 30) -> Host:
+    return Host("h", engine, cores=cores, memory_total=memory, swap_total=swap)
+
+
+class TestProcessorSharing:
+    def test_single_task_runs_at_full_speed(self, engine):
+        host = make_host(engine, cores=1)
+        task = Task(cpu_seconds=10, memory=0)
+        host.submit(task)
+        engine.run()
+        assert task.completed_at == 10.0
+        assert task.response_time == 10.0
+
+    def test_two_tasks_one_core_share(self, engine):
+        host = make_host(engine, cores=1)
+        tasks = [Task(cpu_seconds=10, memory=0) for _ in range(2)]
+        for t in tasks:
+            host.submit(t)
+        engine.run()
+        assert all(t.completed_at == 20.0 for t in tasks)
+
+    def test_tasks_up_to_core_count_unaffected(self, engine):
+        host = make_host(engine, cores=4)
+        tasks = [Task(cpu_seconds=10, memory=0) for _ in range(4)]
+        for t in tasks:
+            host.submit(t)
+        engine.run()
+        assert all(t.completed_at == 10.0 for t in tasks)
+
+    def test_late_arrival_slows_running_task(self, engine):
+        host = make_host(engine, cores=1)
+        first = Task(cpu_seconds=10, memory=0)
+        host.submit(first)
+        second = Task(cpu_seconds=10, memory=0)
+        engine.schedule(5.0, lambda: host.submit(second))
+        engine.run()
+        # first: 5s alone + 10s shared (5 remaining at rate 1/2) = 15
+        assert first.completed_at == pytest.approx(15.0)
+        # second: 10s shared consumed 5, last 5 alone after first leaves = 20
+        assert second.completed_at == pytest.approx(20.0)
+
+    def test_work_conservation(self, engine):
+        host = make_host(engine, cores=2)
+        tasks = [Task(cpu_seconds=7, memory=0) for _ in range(5)]
+        for t in tasks:
+            host.submit(t)
+        engine.run()
+        assert host.work_done == pytest.approx(sum(t.cpu_seconds for t in tasks))
+        assert host.tasks_completed == 5
+
+    def test_completion_listener(self, engine):
+        host = make_host(engine)
+        done = []
+        host.on_task_complete(done.append)
+        task = Task(cpu_seconds=1, memory=0)
+        host.submit(task)
+        engine.run()
+        assert done == [task]
+
+    def test_many_tiny_tasks_terminate(self, engine):
+        # regression: float residues must not cause zero-delay event loops
+        host = make_host(engine, cores=2)
+        for _ in range(100):
+            host.submit(Task(cpu_seconds=0.01, memory=0))
+        engine.run(max_events=100_000)
+        assert host.tasks_completed == 100
+        assert engine.peek_time() is None
+
+
+class TestMemoryAccounting:
+    def test_memory_held_while_running(self, engine):
+        host = make_host(engine, memory=4 << 30)
+        host.submit(Task(cpu_seconds=10, memory=1 << 30))
+        assert host.memory_available() == 3 << 30
+        engine.run()
+        assert host.memory_available() == 4 << 30
+
+    def test_spill_to_swap(self, engine):
+        host = make_host(engine, memory=1 << 30, swap=4 << 30)
+        host.submit(Task(cpu_seconds=10, memory=2 << 30))
+        assert host.memory_available() == 0
+        assert host.swap_available() == 3 << 30
+        engine.run()
+        assert host.swap_available() == 4 << 30
+
+    def test_rejection_when_exhausted(self, engine):
+        host = make_host(engine, memory=1 << 30, swap=1 << 30)
+        assert host.submit(Task(cpu_seconds=10, memory=2 << 30))
+        assert not host.submit(Task(cpu_seconds=10, memory=1 << 30))
+        assert host.tasks_rejected == 1
+
+    def test_exact_fit_accepted(self, engine):
+        host = make_host(engine, memory=1 << 30, swap=1 << 30)
+        assert host.submit(Task(cpu_seconds=1, memory=2 << 30))
+
+
+class TestLoadAverage:
+    def test_starts_at_zero(self, engine):
+        assert make_host(engine).load_average() == 0.0
+
+    def test_rises_toward_queue_length(self, engine):
+        host = make_host(engine, cores=1)
+        for _ in range(4):
+            host.submit(Task(cpu_seconds=10_000, memory=0))
+        engine.run_until(LOAD_WINDOW_SECONDS)
+        load = host.load_average()
+        expected = 4 * (1 - math.exp(-1))  # one window elapsed
+        assert load == pytest.approx(expected, rel=0.05)
+
+    def test_decays_when_idle(self, engine):
+        host = make_host(engine, cores=1)
+        host.submit(Task(cpu_seconds=60, memory=0))
+        engine.run_until(60.0)
+        loaded = host.load_average()
+        engine.run_until(60.0 + 5 * LOAD_WINDOW_SECONDS)
+        assert host.load_average() < loaded * 0.05
+
+    def test_run_queue_length_instantaneous(self, engine):
+        host = make_host(engine, cores=1)
+        for _ in range(3):
+            host.submit(Task(cpu_seconds=100, memory=0))
+        assert host.run_queue_length == 3
+
+
+class TestUtilization:
+    def test_utilization_fraction(self, engine):
+        host = make_host(engine, cores=2)
+        host.submit(Task(cpu_seconds=10, memory=0))
+        engine.run()
+        assert host.utilization(10.0) == pytest.approx(0.5)
+
+    def test_zero_horizon(self, engine):
+        assert make_host(engine).utilization(0) == 0.0
+
+
+class TestCrashRecovery:
+    def test_crash_loses_running_tasks(self, engine):
+        host = make_host(engine)
+        tasks = [Task(cpu_seconds=100, memory=1 << 30) for _ in range(3)]
+        for t in tasks:
+            host.submit(t)
+        lost = host.crash()
+        assert lost == 3
+        assert host.tasks_lost == 3
+        assert host.run_queue_length == 0
+        assert not host.online
+        # memory fully released
+        assert host.memory_available() == 4 << 30
+
+    def test_offline_host_rejects_submissions(self, engine):
+        host = make_host(engine)
+        host.crash()
+        assert not host.submit(Task(cpu_seconds=1, memory=0))
+        assert host.tasks_rejected == 1
+
+    def test_recover_accepts_again(self, engine):
+        host = make_host(engine)
+        host.crash()
+        host.recover()
+        assert host.submit(Task(cpu_seconds=1, memory=0))
+        engine.run()
+        assert host.tasks_completed == 1
+
+    def test_lost_tasks_never_complete(self, engine):
+        host = make_host(engine)
+        task = Task(cpu_seconds=10, memory=0)
+        host.submit(task)
+        host.crash()
+        engine.run()
+        assert task.completed_at is None
+        assert task.response_time is None
+
+    def test_no_stale_completion_events_after_crash(self, engine):
+        host = make_host(engine)
+        host.submit(Task(cpu_seconds=10, memory=0))
+        host.crash()
+        engine.run()
+        assert host.tasks_completed == 0
+
+
+class TestValidation:
+    def test_needs_a_core(self, engine):
+        with pytest.raises(ValueError):
+            Host("h", engine, cores=0)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(cpu_seconds=0, memory=0)
+        with pytest.raises(ValueError):
+            Task(cpu_seconds=1, memory=-1)

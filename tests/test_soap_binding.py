@@ -1,0 +1,146 @@
+"""Tests for the SOAP dispatch and HTTP-GET bindings."""
+
+import pytest
+
+from repro.rim import Organization, Service, ServiceBinding
+from repro.soap import (
+    AdhocQueryRequest,
+    GetRegistryObjectRequest,
+    GetServiceBindingsRequest,
+    HttpGetBinding,
+    RegistryResponse,
+    RemoveObjectsRequest,
+    SoapEnvelope,
+    SoapFault,
+    SoapRegistryBinding,
+    SubmitObjectsRequest,
+    serialize,
+)
+
+from conftest import publish_service_with_bindings
+
+
+@pytest.fixture
+def binding(registry) -> SoapRegistryBinding:
+    return SoapRegistryBinding(registry)
+
+
+def login_via(binding, registry, alias="soap-user"):
+    _, credential = registry.register_user(alias)
+    session = registry.login(credential)
+    binding.register_session(session)
+    return session
+
+
+class TestSoapDispatch:
+    def test_submit_via_envelope(self, registry, binding):
+        session = login_via(binding, registry)
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        envelope = SoapEnvelope.with_session(
+            SubmitObjectsRequest(objects=[serialize(org)]), session.token
+        )
+        response = binding.handle(envelope)
+        assert isinstance(response, RegistryResponse)
+        assert response.ids == [org.id]
+        assert registry.daos.organizations.require(org.id).name.value == "SDSU"
+
+    def test_lcm_without_session_faults(self, registry, binding):
+        org = Organization(registry.ids.new_id())
+        envelope = SoapEnvelope(body=SubmitObjectsRequest(objects=[serialize(org)]))
+        response = binding.handle(envelope)
+        assert isinstance(response, SoapFault)
+        assert "Authentication" in response.fault_code
+
+    def test_query_without_session_allowed(self, registry, session, binding):
+        publish_service_with_bindings(registry, session)
+        envelope = SoapEnvelope(body=AdhocQueryRequest(query="SELECT name FROM Organization"))
+        response = binding.handle(envelope)
+        assert isinstance(response, RegistryResponse)
+        assert response.rows[0]["name"] == "SDSU"
+
+    def test_get_registry_object(self, registry, session, binding):
+        org, _ = publish_service_with_bindings(registry, session)
+        response = binding.handle(
+            SoapEnvelope(body=GetRegistryObjectRequest(object_id=org.id))
+        )
+        assert response.objects[0]["id"] == org.id
+
+    def test_get_service_bindings(self, registry, session, binding):
+        _, svc = publish_service_with_bindings(registry, session)
+        response = binding.handle(
+            SoapEnvelope(body=GetServiceBindingsRequest(service_id=svc.id))
+        )
+        assert len(response.objects) == 3
+
+    def test_registry_error_becomes_fault(self, registry, binding):
+        session = login_via(binding, registry)
+        envelope = SoapEnvelope.with_session(
+            RemoveObjectsRequest(ids=[registry.ids.new_id()]), session.token
+        )
+        response = binding.handle(envelope)
+        assert isinstance(response, SoapFault)
+        assert "ObjectNotFound" in response.fault_code
+
+    def test_unknown_request_type_faults(self, registry, binding):
+        response = binding.handle(SoapEnvelope(body=object()))
+        assert isinstance(response, SoapFault)
+
+    def test_endpoint_uri_derived_from_home(self, registry, binding):
+        assert binding.endpoint_uri.endswith("/omar/registry/soap")
+
+
+class TestHttpGetBinding:
+    def test_execute_query(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://volta.sdsu.edu:8080/omar/registry/http"
+            "?interface=QueryManager&method=executeQuery"
+            "&param-query=SELECT name FROM Organization"
+        )
+        assert isinstance(response, RegistryResponse)
+        assert response.rows
+
+    def test_get_registry_object(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            f"http://x/omar?interface=QueryManager&method=getRegistryObject&param-id={org.id}"
+        )
+        assert response.objects[0]["id"] == org.id
+
+    def test_get_repository_item(self, registry, session):
+        from repro.rim import ExtrinsicObject
+
+        meta = ExtrinsicObject(registry.ids.new_id(), name="doc.txt", mime_type="text/plain")
+        registry.lcm.submit_objects(session, [meta])
+        registry.repository.store(meta, b"artifact body")
+        http = HttpGetBinding(registry)
+        response = http.get(
+            f"http://x/omar?interface=QueryManager&method=getRepositoryItem&param-id={meta.id}"
+        )
+        assert isinstance(response, RegistryResponse)
+        assert response.rows[0]["content"] == "artifact body"
+        assert response.rows[0]["mimeType"] == "text/plain"
+
+    def test_get_repository_item_missing(self, registry):
+        http = HttpGetBinding(registry)
+        response = http.get(
+            f"http://x/omar?interface=QueryManager&method=getRepositoryItem&param-id={registry.ids.new_id()}"
+        )
+        assert isinstance(response, SoapFault)
+
+    def test_lifecycle_interface_rejected(self, registry):
+        http = HttpGetBinding(registry)
+        response = http.get("http://x/omar?interface=LifeCycleManager&method=submitObjects")
+        assert isinstance(response, SoapFault)
+
+    def test_unknown_method_rejected(self, registry):
+        http = HttpGetBinding(registry)
+        response = http.get("http://x/omar?interface=QueryManager&method=mystery")
+        assert isinstance(response, SoapFault)
+
+    def test_missing_param_rejected(self, registry):
+        http = HttpGetBinding(registry)
+        response = http.get("http://x/omar?interface=QueryManager&method=getRegistryObject")
+        assert isinstance(response, SoapFault)

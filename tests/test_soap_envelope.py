@@ -1,0 +1,40 @@
+"""Tests for SOAP envelopes and faults."""
+
+import pytest
+
+from repro.soap import SoapEnvelope, SoapFault
+from repro.util.errors import ObjectNotFoundError, RegistryError
+
+
+class TestEnvelope:
+    def test_with_session_sets_header(self):
+        envelope = SoapEnvelope.with_session("body", "token-1")
+        assert envelope.session_token == "token-1"
+        assert envelope.body == "body"
+
+    def test_without_session(self):
+        envelope = SoapEnvelope.with_session("body", None)
+        assert envelope.session_token is None
+        assert envelope.headers == {}
+
+    def test_custom_headers_preserved(self):
+        envelope = SoapEnvelope(body="b", headers={"k": "v"})
+        assert envelope.headers["k"] == "v"
+
+
+class TestFault:
+    def test_from_error_carries_code(self):
+        error = ObjectNotFoundError("urn:uuid:x")
+        fault = SoapFault.from_error(error)
+        assert fault.fault_code == "urn:repro:error:ObjectNotFound"
+        assert "urn:uuid:x" in fault.fault_string
+
+    def test_raise_rethrows_registry_error(self):
+        fault = SoapFault(fault_code="c", fault_string="broken", detail="why")
+        with pytest.raises(RegistryError, match="broken") as excinfo:
+            fault.raise_()
+        assert excinfo.value.detail == "why"
+
+    def test_detail_from_error(self):
+        error = RegistryError("msg", detail="extra context")
+        assert SoapFault.from_error(error).detail == "extra context"

@@ -1,0 +1,177 @@
+"""Round-trip tests for the RIM object serializer."""
+
+import pytest
+
+from repro.rim import (
+    AdhocQuery,
+    Association,
+    AssociationType,
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+    EmailAddress,
+    ExternalIdentifier,
+    ExternalLink,
+    ExtrinsicObject,
+    NotifyAction,
+    Organization,
+    PersonName,
+    PostalAddress,
+    RegistryPackage,
+    Service,
+    ServiceBinding,
+    SpecificationLink,
+    Subscription,
+    TelephoneNumber,
+    User,
+)
+from repro.rim.status import ObjectStatus
+from repro.soap import deserialize, serialize
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(40)
+
+
+def round_trip(obj):
+    data = serialize(obj)
+    restored = deserialize(data)
+    assert type(restored) is type(obj)
+    assert restored.id == obj.id
+    assert restored.name.value == obj.name.value
+    assert restored.description.value == obj.description.value
+    assert restored.status is obj.status
+    assert restored.version.version_name == obj.version.version_name
+    assert restored.owner == obj.owner
+    return restored
+
+
+class TestRoundTrips:
+    def test_organization_full(self):
+        org = Organization(ids.new_id(), name="SDSU", description="a university")
+        org.addresses.append(PostalAddress(street="Campanile", city="San Diego"))
+        org.emails.append(EmailAddress("info@sdsu.edu"))
+        org.telephones.append(TelephoneNumber(number="5945200", area_code="619"))
+        org.add_service(ids.new_id())
+        org.add_slot("copyright", "2011")
+        org.status = ObjectStatus.APPROVED
+        restored = round_trip(org)
+        assert restored.addresses == org.addresses
+        assert restored.emails == org.emails
+        assert restored.telephones == org.telephones
+        assert restored.service_ids == org.service_ids
+        assert restored.slot_value("copyright") == "2011"
+
+    def test_service_with_bindings(self):
+        svc = Service(ids.new_id(), name="Adder", provider=ids.new_id())
+        svc.add_binding(ids.new_id())
+        restored = round_trip(svc)
+        assert restored.provider == svc.provider
+        assert restored.binding_ids == svc.binding_ids
+
+    def test_service_binding(self):
+        b = ServiceBinding(
+            ids.new_id(), service=ids.new_id(), access_uri="http://h.x:8080/svc"
+        )
+        restored = round_trip(b)
+        assert restored.access_uri == b.access_uri
+        assert restored.host == "h.x"
+
+    def test_association(self):
+        a = Association(
+            ids.new_id(),
+            source_object=ids.new_id(),
+            target_object=ids.new_id(),
+            association_type=AssociationType.OFFERS_SERVICE,
+        )
+        a.confirmed_by_target = True
+        restored = round_trip(a)
+        assert restored.association_type is AssociationType.OFFERS_SERVICE
+        assert restored.is_confirmed
+
+    def test_classification_internal(self):
+        c = Classification(
+            ids.new_id(),
+            classified_object=ids.new_id(),
+            classification_node=ids.new_id(),
+        )
+        assert round_trip(c).is_internal
+
+    def test_classification_scheme_and_node(self):
+        scheme = ClassificationScheme(ids.new_id(), name="NAICS", is_internal=True)
+        node = ClassificationNode(
+            ids.new_id(), code="111330", parent=scheme.id, path="/NAICS/111330"
+        )
+        assert round_trip(scheme).is_internal
+        assert round_trip(node).path == "/NAICS/111330"
+
+    def test_external_identifier_and_link(self):
+        ei = ExternalIdentifier(
+            ids.new_id(),
+            registry_object=ids.new_id(),
+            identification_scheme="DUNS",
+            value="123456789",
+        )
+        el = ExternalLink(ids.new_id(), external_uri="http://docs.example.com")
+        assert round_trip(ei).value == "123456789"
+        assert round_trip(el).external_uri == el.external_uri
+
+    def test_extrinsic_object(self):
+        eo = ExtrinsicObject(ids.new_id(), name="x.wsdl", mime_type="text/xml", is_opaque=True)
+        restored = round_trip(eo)
+        assert restored.mime_type == "text/xml"
+        assert restored.is_opaque
+
+    def test_package(self):
+        pkg = RegistryPackage(ids.new_id(), name="pkg")
+        pkg.add_member(ids.new_id())
+        assert round_trip(pkg).member_ids == pkg.member_ids
+
+    def test_specification_link(self):
+        link = SpecificationLink(
+            ids.new_id(),
+            service_binding=ids.new_id(),
+            specification_object=ids.new_id(),
+            usage_description="how to call",
+        )
+        assert round_trip(link).usage_description == "how to call"
+
+    def test_user(self):
+        user = User(
+            ids.new_id(),
+            alias="gold",
+            person_name=PersonName("Sadhana", "V.", "Sahasrabudhe"),
+        )
+        user.roles.add("RegistryAdministrator")
+        restored = round_trip(user)
+        assert restored.alias == "gold"
+        assert restored.person_name.full() == "Sadhana V. Sahasrabudhe"
+        assert "RegistryAdministrator" in restored.roles
+
+    def test_adhoc_query(self):
+        q = AdhocQuery(ids.new_id(), query="SELECT * FROM Service WHERE name = $n")
+        assert round_trip(q).parameter_names() == ["n"]
+
+    def test_subscription(self):
+        sub = Subscription(
+            ids.new_id(),
+            selector=ids.new_id(),
+            actions=[NotifyAction(mode="email", endpoint="x@y.z")],
+            start_time=1.0,
+            end_time=2.0,
+        )
+        restored = round_trip(sub)
+        assert restored.actions == sub.actions
+        assert restored.end_time == 2.0
+
+    def test_multi_locale_names_survive(self):
+        org = Organization(ids.new_id(), name="SDSU")
+        org.name.set("UESD", locale="es_ES")
+        restored = round_trip(org)
+        assert restored.name.get("es_ES") == "UESD"
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            deserialize({"_type": "Mystery", "id": ids.new_id()})

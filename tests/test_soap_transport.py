@@ -1,0 +1,82 @@
+"""Tests for the simulated transport: routing, latency accounting, faults."""
+
+import pytest
+
+from repro.sim.network import LatencyModel
+from repro.soap import SimTransport
+from repro.util.errors import TransportError
+
+
+@pytest.fixture
+def transport() -> SimTransport:
+    t = SimTransport()
+    t.register_endpoint("http://a.x:8080/svc", lambda req: ("a", req))
+    t.register_endpoint("http://b.x:8080/svc", lambda req: ("b", req))
+    return t
+
+
+class TestRouting:
+    def test_request_reaches_handler(self, transport):
+        assert transport.request("http://a.x:8080/svc", "ping") == ("a", "ping")
+
+    def test_unknown_endpoint(self, transport):
+        with pytest.raises(TransportError, match="no endpoint"):
+            transport.request("http://c.x:8080/svc", "ping")
+
+    def test_unregister(self, transport):
+        transport.unregister_endpoint("http://a.x:8080/svc")
+        with pytest.raises(TransportError):
+            transport.request("http://a.x:8080/svc", "ping")
+
+    def test_endpoints_listing(self, transport):
+        assert transport.endpoints() == ["http://a.x:8080/svc", "http://b.x:8080/svc"]
+
+
+class TestFaultInjection:
+    def test_down_host_unreachable(self, transport):
+        transport.set_host_down("a.x")
+        with pytest.raises(TransportError, match="unreachable"):
+            transport.request("http://a.x:8080/svc", "ping")
+        # other hosts unaffected
+        transport.request("http://b.x:8080/svc", "ping")
+
+    def test_host_recovery(self, transport):
+        transport.set_host_down("a.x")
+        transport.set_host_down("a.x", down=False)
+        transport.request("http://a.x:8080/svc", "ping")
+
+    def test_is_host_down(self, transport):
+        transport.set_host_down("a.x")
+        assert transport.is_host_down("a.x")
+        assert not transport.is_host_down("b.x")
+
+
+class TestStats:
+    def test_requests_counted(self, transport):
+        transport.request("http://a.x:8080/svc", 1)
+        transport.request("http://a.x:8080/svc", 2)
+        transport.request("http://b.x:8080/svc", 3)
+        assert transport.stats.requests == 3
+        assert transport.stats.per_endpoint["http://a.x:8080/svc"] == 2
+
+    def test_failures_counted(self, transport):
+        transport.set_host_down("a.x")
+        with pytest.raises(TransportError):
+            transport.request("http://a.x:8080/svc", 1)
+        assert transport.stats.failures == 1
+
+
+class TestLatency:
+    def test_latency_recorded(self):
+        model = LatencyModel(default_latency=0.01)
+        t = SimTransport(latency=model)
+        t.register_endpoint("http://a.x/svc", lambda req: req)
+        t.request("http://a.x/svc", "ping")
+        assert t.stats.total_latency == pytest.approx(0.02)  # round trip
+
+    def test_estimated_delay_uses_base(self):
+        model = LatencyModel(default_latency=0.01)
+        model.set_latency("client", "a.x", 0.2)
+        t = SimTransport(latency=model)
+        assert t.estimated_delay("http://a.x/svc") == 0.2
+        assert t.estimated_delay("http://b.x/svc") == 0.01

@@ -1,0 +1,140 @@
+"""Tests for literal SOAP XML rendering and the keystoremover CLI."""
+
+import pytest
+
+from repro.rim import Organization
+from repro.soap import (
+    AdhocQueryRequest,
+    RegistryResponse,
+    RemoveObjectsRequest,
+    SoapEnvelope,
+    SoapFault,
+    SubmitObjectsRequest,
+    envelope_from_xml,
+    envelope_to_xml,
+    serialize,
+)
+from repro.util.errors import InvalidRequestError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(77)
+
+
+class TestXmlRoundTrip:
+    def test_query_request(self):
+        envelope = SoapEnvelope.with_session(
+            AdhocQueryRequest(query="SELECT * FROM Service", start_index=5),
+            "urn:uuid:token",
+        )
+        xml = envelope_to_xml(envelope)
+        assert "<soap" in xml or "Envelope" in xml
+        restored = envelope_from_xml(xml)
+        assert restored.session_token == "urn:uuid:token"
+        assert restored.body == envelope.body
+
+    def test_submit_request_with_objects(self):
+        org = Organization(ids.new_id(), name="SDSU")
+        envelope = SoapEnvelope(
+            body=SubmitObjectsRequest(objects=[serialize(org)])
+        )
+        restored = envelope_from_xml(envelope_to_xml(envelope))
+        assert restored.body.objects[0]["id"] == org.id
+        assert restored.body.objects[0]["_type"] == "Organization"
+
+    def test_remove_request(self):
+        envelope = SoapEnvelope(body=RemoveObjectsRequest(ids=["urn:uuid:a"]))
+        restored = envelope_from_xml(envelope_to_xml(envelope))
+        assert restored.body.ids == ["urn:uuid:a"]
+
+    def test_response(self):
+        response = RegistryResponse(rows=[{"name": "x"}], total_result_count=1)
+        restored = envelope_from_xml(envelope_to_xml(SoapEnvelope(body=response)))
+        assert restored.body.rows == [{"name": "x"}]
+        assert restored.body.total_result_count == 1
+
+    def test_fault(self):
+        fault = SoapFault(fault_code="urn:x", fault_string="broken", detail="d")
+        restored = envelope_from_xml(envelope_to_xml(SoapEnvelope(body=fault)))
+        assert isinstance(restored.body, SoapFault)
+        assert restored.body.fault_string == "broken"
+        assert restored.body.detail == "d"
+
+    def test_namespaces_present(self):
+        xml = envelope_to_xml(SoapEnvelope(body=AdhocQueryRequest(query="SELECT * FROM Service")))
+        assert "http://schemas.xmlsoap.org/soap/envelope/" in xml
+        assert "urn:oasis:names:tc:ebxml-regrep" in xml
+
+
+class TestXmlErrors:
+    def test_unknown_body_type(self):
+        with pytest.raises(InvalidRequestError):
+            envelope_to_xml(SoapEnvelope(body=object()))
+
+    def test_not_an_envelope(self):
+        with pytest.raises(InvalidRequestError):
+            envelope_from_xml("<notsoap/>")
+
+    def test_empty_body(self):
+        xml = (
+            '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+            "<soap:Body/></soap:Envelope>"
+        )
+        with pytest.raises(InvalidRequestError, match="no body"):
+            envelope_from_xml(xml)
+
+    def test_unknown_message_element(self):
+        xml = (
+            '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+            "<soap:Body><Mystery>{}</Mystery></soap:Body></soap:Envelope>"
+        )
+        with pytest.raises(InvalidRequestError, match="Mystery"):
+            envelope_from_xml(xml)
+
+
+class TestKeystoreMoverCli:
+    def test_move_between_keystore_files(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.security import CertificateAuthority, Keystore, load_keystore, save_keystore
+
+        ca = CertificateAuthority(seed=3)
+        source = Keystore(store_type="PKCS12")
+        source.set_entry("gold", ca.issue("gold"), "gold123")
+        source.import_trusted("registryOperator", ca.certificate)
+        src_path = tmp_path / "generated-key_gold123.p12.json"
+        dst_path = tmp_path / "keystore.jks.json"
+        save_keystore(source, str(src_path))
+
+        rc = main(
+            [
+                "keystoremover",
+                "--sourceKeystorePath", str(src_path),
+                "--sourceAlias", "gold",
+                "--sourceKeyPassword", "gold123",
+                "--destinationKeystorePath", str(dst_path),
+            ]
+        )
+        assert rc == 0
+        destination = load_keystore(str(dst_path))
+        assert destination.has_alias("gold")
+        assert destination.trusts(ca.certificate)
+
+    def test_wrong_password_fails(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.security import CertificateAuthority, Keystore, save_keystore
+
+        ca = CertificateAuthority(seed=3)
+        source = Keystore()
+        source.set_entry("gold", ca.issue("gold"), "gold123")
+        src_path = tmp_path / "src.json"
+        save_keystore(source, str(src_path))
+        rc = main(
+            [
+                "keystoremover",
+                "--sourceKeystorePath", str(src_path),
+                "--sourceAlias", "gold",
+                "--sourceKeyPassword", "wrong",
+                "--destinationKeystorePath", str(tmp_path / "dst.json"),
+            ]
+        )
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Tests for the UDDIe blue-pages extension (related work, thesis §1.4)."""
+
+import pytest
+
+from repro.uddi import BluePages, PropertyFilter, ServiceProperty, UddiRegistry
+from repro.util.errors import InvalidRequestError, ObjectNotFoundError
+
+
+@pytest.fixture
+def world():
+    registry = UddiRegistry(seed=23)
+    registry.register_publisher("acme", "pw")
+    token = registry.get_auth_token("acme", "pw")
+    business = registry.save_business(token, "Acme Corp")
+    service = registry.save_service(token, business.business_key, "Adder")
+    bindings = [
+        registry.save_binding(token, service.service_key, f"http://h{i}.x:8080/adder")
+        for i in range(3)
+    ]
+    blue = BluePages(registry)
+    return registry, service, bindings, blue
+
+
+class TestProperties:
+    def test_set_and_get(self, world):
+        _, _, bindings, blue = world
+        blue.set_property(bindings[0].binding_key, ServiceProperty.number("cpuLoad", 0.5))
+        props = blue.get_properties(bindings[0].binding_key)
+        assert props["cpuLoad"].value == 0.5
+
+    def test_refresh_overwrites(self, world):
+        _, _, bindings, blue = world
+        key = bindings[0].binding_key
+        blue.set_property(key, ServiceProperty.number("cpuLoad", 0.5))
+        blue.set_property(key, ServiceProperty.number("cpuLoad", 3.0))
+        assert blue.get_properties(key)["cpuLoad"].value == 3.0
+
+    def test_unknown_binding_rejected(self, world):
+        _, _, _, blue = world
+        with pytest.raises(ObjectNotFoundError):
+            blue.set_property("uddi:nope", ServiceProperty.number("cpuLoad", 1))
+
+    def test_string_properties(self, world):
+        _, _, bindings, blue = world
+        blue.set_property(bindings[0].binding_key, ServiceProperty.string("region", "US-CA"))
+        assert blue.get_properties(bindings[0].binding_key)["region"].value == "US-CA"
+
+
+class TestPropertySearch:
+    def test_numeric_filtering(self, world):
+        _, service, bindings, blue = world
+        for binding, load in zip(bindings, [0.5, 2.5, 1.0]):
+            blue.set_property(binding.binding_key, ServiceProperty.number("cpuLoad", load))
+        matched = blue.find_access_points(
+            service.service_key, [PropertyFilter("cpuLoad", "<", 2.0)]
+        )
+        assert matched == ["http://h0.x:8080/adder", "http://h2.x:8080/adder"]
+
+    def test_multiple_filters_conjoin(self, world):
+        _, service, bindings, blue = world
+        for binding, (load, mem) in zip(bindings, [(0.5, 8), (0.5, 2), (3.0, 8)]):
+            blue.set_property(binding.binding_key, ServiceProperty.number("cpuLoad", load))
+            blue.set_property(binding.binding_key, ServiceProperty.number("memoryGB", mem))
+        matched = blue.find_bindings(
+            service.service_key,
+            [PropertyFilter("cpuLoad", "<", 2.0), PropertyFilter("memoryGB", ">=", 4)],
+        )
+        assert matched == [bindings[0].binding_key]
+
+    def test_missing_property_does_not_match(self, world):
+        _, service, bindings, blue = world
+        blue.set_property(bindings[0].binding_key, ServiceProperty.number("cpuLoad", 0.5))
+        matched = blue.find_bindings(
+            service.service_key, [PropertyFilter("cpuLoad", "<", 2.0)]
+        )
+        assert matched == [bindings[0].binding_key]  # unmonitored bindings excluded
+
+    def test_string_equality_filter(self, world):
+        _, service, bindings, blue = world
+        blue.set_property(bindings[1].binding_key, ServiceProperty.string("region", "US-CA"))
+        matched = blue.find_bindings(
+            service.service_key, [PropertyFilter("region", "=", "US-CA")]
+        )
+        assert matched == [bindings[1].binding_key]
+
+    def test_type_mismatch_is_no_match(self, world):
+        _, service, bindings, blue = world
+        blue.set_property(bindings[0].binding_key, ServiceProperty.string("cpuLoad", "low"))
+        matched = blue.find_bindings(
+            service.service_key, [PropertyFilter("cpuLoad", "<", 2.0)]
+        )
+        assert matched == []
+
+    def test_invalid_operator(self):
+        with pytest.raises(InvalidRequestError):
+            PropertyFilter("cpuLoad", "!=", 1.0)
+
+    def test_no_filters_returns_all(self, world):
+        _, service, bindings, blue = world
+        assert len(blue.find_bindings(service.service_key, [])) == 3

@@ -1,0 +1,209 @@
+"""Tests for the mini-UDDI comparison registry."""
+
+import pytest
+
+from repro.uddi import (
+    CANONICAL_TMODELS,
+    KeyedReference,
+    PublisherAssertion,
+    UddiRegistry,
+)
+from repro.util.errors import AuthenticationError, ObjectNotFoundError
+
+
+@pytest.fixture
+def uddi() -> UddiRegistry:
+    registry = UddiRegistry(seed=17)
+    registry.register_publisher("acme", "secret")
+    registry.register_publisher("globex", "hunter2")
+    return registry
+
+
+@pytest.fixture
+def token(uddi) -> str:
+    return uddi.get_auth_token("acme", "secret")
+
+
+class TestSecurityApi:
+    def test_token_lifecycle(self, uddi):
+        token = uddi.get_auth_token("acme", "secret")
+        uddi.save_business(token, "Acme Corp")
+        uddi.discard_auth_token(token)
+        with pytest.raises(AuthenticationError):
+            uddi.save_business(token, "Too Late Inc")
+
+    def test_bad_credentials(self, uddi):
+        with pytest.raises(AuthenticationError):
+            uddi.get_auth_token("acme", "wrong")
+
+    def test_duplicate_publisher(self, uddi):
+        with pytest.raises(AuthenticationError):
+            uddi.register_publisher("acme", "again")
+
+
+class TestPublicationApi:
+    def test_save_full_hierarchy(self, uddi, token):
+        business = uddi.save_business(token, "Acme Corp", description="anvils")
+        service = uddi.save_service(token, business.business_key, "AnvilDrop")
+        binding = uddi.save_binding(
+            token, service.service_key, "http://acme.example:8080/anvil"
+        )
+        detail = uddi.get_business_detail(business.business_key)
+        assert detail.services[0].binding_templates[0].access_point == (
+            "http://acme.example:8080/anvil"
+        )
+
+    def test_save_business_updates_in_place(self, uddi, token):
+        business = uddi.save_business(token, "Acme")
+        uddi.save_business(token, "Acme Corp", business_key=business.business_key)
+        assert uddi.get_business_detail(business.business_key).name == "Acme Corp"
+
+    def test_ownership_enforced(self, uddi, token):
+        business = uddi.save_business(token, "Acme Corp")
+        other = uddi.get_auth_token("globex", "hunter2")
+        with pytest.raises(AuthenticationError):
+            uddi.save_service(other, business.business_key, "Takeover")
+        with pytest.raises(AuthenticationError):
+            uddi.delete_business(other, business.business_key)
+
+    def test_delete_cascata(self, uddi, token):
+        business = uddi.save_business(token, "Acme Corp")
+        service = uddi.save_service(token, business.business_key, "S")
+        uddi.delete_service(token, service.service_key)
+        assert uddi.find_service(business_key=business.business_key) == []
+        uddi.delete_business(token, business.business_key)
+        with pytest.raises(ObjectNotFoundError):
+            uddi.get_business_detail(business.business_key)
+
+    def test_tmodel_logical_delete(self, uddi, token):
+        tmodel = uddi.save_tmodel(token, "acme:anvil-spec", overview_url="http://spec")
+        uddi.delete_tmodel(token, tmodel.tmodel_key)
+        assert all(t.tmodel_key != tmodel.tmodel_key for t in uddi.find_tmodel())
+        # still resolvable by key (logical deletion)
+        assert uddi.get_tmodel_detail(tmodel.tmodel_key).deleted
+
+
+class TestInquiryApi:
+    def test_find_business_by_prefix(self, uddi, token):
+        uddi.save_business(token, "Acme Corp")
+        uddi.save_business(token, "Acme Labs")
+        uddi.save_business(token, "Globex")
+        assert [b.name for b in uddi.find_business(name_prefix="Acme")] == [
+            "Acme Corp",
+            "Acme Labs",
+        ]
+
+    def test_find_business_by_category(self, uddi, token):
+        business = uddi.save_business(token, "Acme Corp")
+        business.category_bag.add("uuid:uddi-org:naics", "NAICS", "332111")
+        hit = uddi.find_business(
+            category=KeyedReference("uuid:uddi-org:naics", "NAICS", "332111")
+        )
+        assert [b.business_key for b in hit] == [business.business_key]
+        miss = uddi.find_business(
+            category=KeyedReference("uuid:uddi-org:naics", "NAICS", "999999")
+        )
+        assert miss == []
+
+    def test_find_service_scoped(self, uddi, token):
+        a = uddi.save_business(token, "A")
+        b = uddi.save_business(token, "B")
+        uddi.save_service(token, a.business_key, "Shared")
+        uddi.save_service(token, b.business_key, "Shared")
+        assert len(uddi.find_service(name_prefix="Shared")) == 2
+        assert len(uddi.find_service(business_key=a.business_key)) == 1
+
+    def test_canonical_tmodels_present(self, uddi):
+        names = {t.name for t in uddi.find_tmodel()}
+        assert set(CANONICAL_TMODELS.values()) <= names
+
+    def test_find_binding(self, uddi, token):
+        business = uddi.save_business(token, "Acme")
+        service = uddi.save_service(token, business.business_key, "S")
+        uddi.save_binding(token, service.service_key, "http://a/1")
+        uddi.save_binding(token, service.service_key, "http://a/2")
+        assert [b.access_point for b in uddi.find_binding(service.service_key)] == [
+            "http://a/1",
+            "http://a/2",
+        ]
+
+
+class TestPublisherAssertions:
+    def _setup_pair(self, uddi):
+        acme_token = uddi.get_auth_token("acme", "secret")
+        globex_token = uddi.get_auth_token("globex", "hunter2")
+        acme = uddi.save_business(acme_token, "Acme Corp")
+        globex = uddi.save_business(globex_token, "Globex")
+        ref = KeyedReference("uuid:uddi-org:relationships", "partner", "peer-peer")
+        assertion = PublisherAssertion(
+            from_key=acme.business_key, to_key=globex.business_key, keyed_reference=ref
+        )
+        return acme_token, globex_token, acme, globex, assertion
+
+    def test_one_sided_assertion_invisible(self, uddi):
+        acme_token, globex_token, acme, globex, assertion = self._setup_pair(uddi)
+        uddi.add_publisher_assertion(acme_token, assertion)
+        assert uddi.get_assertion_status(acme.business_key, globex.business_key) == (
+            "status:toKey_incomplete"
+        )
+        assert uddi.find_related_businesses(acme.business_key) == []
+
+    def test_two_sided_assertion_visible(self, uddi):
+        acme_token, globex_token, acme, globex, assertion = self._setup_pair(uddi)
+        uddi.add_publisher_assertion(acme_token, assertion)
+        uddi.add_publisher_assertion(globex_token, assertion)
+        assert uddi.get_assertion_status(acme.business_key, globex.business_key) == (
+            "status:complete"
+        )
+        related = uddi.find_related_businesses(acme.business_key)
+        assert [b.business_key for b in related] == [globex.business_key]
+
+    def test_outsider_cannot_assert(self, uddi):
+        acme_token, globex_token, acme, globex, assertion = self._setup_pair(uddi)
+        uddi.register_publisher("intruder", "pw")
+        outsider = uddi.get_auth_token("intruder", "pw")
+        with pytest.raises(AuthenticationError):
+            uddi.add_publisher_assertion(outsider, assertion)
+
+    def test_deleting_assertion_breaks_visibility(self, uddi):
+        acme_token, globex_token, acme, globex, assertion = self._setup_pair(uddi)
+        uddi.add_publisher_assertion(acme_token, assertion)
+        uddi.add_publisher_assertion(globex_token, assertion)
+        uddi.delete_publisher_assertion(globex_token, assertion)
+        assert uddi.find_related_businesses(acme.business_key) == []
+
+
+class TestSubscriptionApi:
+    def test_pull_model_returns_changes_since_last_poll(self, uddi, token):
+        subscription = uddi.save_subscription(token, entity_kind="business")
+        uddi.save_business(token, "Acme Corp")
+        first = uddi.get_subscription_results(token, subscription.subscription_key)
+        assert [r.entity_kind for r in first] == ["business"]
+        # second poll with no changes is empty
+        assert uddi.get_subscription_results(token, subscription.subscription_key) == []
+
+    def test_kind_filter(self, uddi, token):
+        subscription = uddi.save_subscription(token, entity_kind="service")
+        business = uddi.save_business(token, "Acme")
+        uddi.save_service(token, business.business_key, "S")
+        results = uddi.get_subscription_results(token, subscription.subscription_key)
+        assert [r.entity_kind for r in results] == ["service"]
+
+    def test_delete_subscription(self, uddi, token):
+        subscription = uddi.save_subscription(token)
+        uddi.delete_subscription(token, subscription.subscription_key)
+        with pytest.raises(ObjectNotFoundError):
+            uddi.get_subscription_results(token, subscription.subscription_key)
+
+
+class TestReplication:
+    def test_wholesale_replication(self, uddi, token):
+        uddi.save_business(token, "Acme Corp")
+        uddi.save_business(token, "Acme Labs")
+        other = UddiRegistry(name="mirror", seed=18)
+        copied = uddi.replicate_to(other)
+        assert copied == 2
+        assert [b.name for b in other.find_business(name_prefix="Acme")] == [
+            "Acme Corp",
+            "Acme Labs",
+        ]

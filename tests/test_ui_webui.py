@@ -1,0 +1,175 @@
+"""Tests for the headless Web UI (thesis §3.4 walkthrough)."""
+
+import pytest
+
+from repro.ui import WebUI
+from repro.util.errors import AuthenticationError, InvalidRequestError
+
+
+@pytest.fixture
+def ui(registry) -> WebUI:
+    return WebUI(registry)
+
+
+@pytest.fixture
+def logged_in(ui):
+    wizard = ui.create_user_account()
+    wizard.step1_requirements()
+    wizard.step2_user_details(first_name="Sadhana", last_name="Sahasrabudhe")
+    wizard.step3_credentials("gold", "gold123")
+    credential = wizard.step4_download()
+    ui.login(credential)
+    return ui
+
+
+class TestRegistrationWizard:
+    def test_four_step_flow(self, ui, registry):
+        wizard = ui.create_user_account()
+        assert "X.509" in wizard.step1_requirements()
+        wizard.step2_user_details(first_name="A", last_name="B")
+        wizard.step3_credentials("alias1", "pw")
+        credential = wizard.step4_download()
+        assert credential.certificate.subject == "alias1"
+        user = registry.daos.users.find_by_alias("alias1")
+        assert user.person_name.full() == "A B"
+
+    def test_steps_enforce_order(self, ui):
+        wizard = ui.create_user_account()
+        with pytest.raises(InvalidRequestError, match="step 1"):
+            wizard.step2_user_details()
+        wizard.step1_requirements()
+        with pytest.raises(InvalidRequestError):
+            wizard.step4_download()
+
+    def test_wizard_credential_logs_in(self, ui):
+        wizard = ui.create_user_account()
+        wizard.step1_requirements()
+        wizard.step2_user_details()
+        wizard.step3_credentials("alias2", "pw")
+        session = ui.login(wizard.step4_download())
+        assert session.alias == "alias2"
+
+
+class TestAuthGating:
+    def test_publishing_requires_login(self, ui):
+        with pytest.raises(AuthenticationError):
+            ui.create_registry_object("Organization")
+
+    def test_search_is_public(self, ui):
+        assert ui.search().find_organizations() == []
+
+
+class TestOrganizationForm:
+    def test_save_keeps_draft_out_of_registry(self, logged_in, registry):
+        form = logged_in.create_registry_object("Organization")
+        form.set_name("Draft Org")
+        form.save()
+        assert registry.qm.find_organization_by_name("Draft Org") is None
+
+    def test_apply_commits(self, logged_in, registry):
+        form = logged_in.create_registry_object("Organization")
+        form.set_name("SDSU")
+        form.set_description("a university")
+        form.postal_address_tab_add(
+            street_number="5500", street="Campanile Drive", city="San Diego",
+            state="CA", country="US", postal_code="92182",
+        )
+        form.email_tab_add("info@sdsu.edu")
+        form.telephone_tab_add("594-5200", country_code="1", area_code="619")
+        assert form.apply() == "Apply Successful"
+        org = registry.qm.find_organization_by_name("SDSU")
+        assert org.addresses[0].one_line().startswith("5500 Campanile Drive")
+        assert org.emails[0].address == "info@sdsu.edu"
+        assert org.telephones[0].formatted() == "+1 (619) 594-5200"
+
+    def test_logout_without_apply_loses_draft(self, logged_in, registry):
+        form = logged_in.create_registry_object("Organization")
+        form.set_name("Ephemeral")
+        form.save()
+        logged_in.logout()
+        assert registry.qm.find_organization_by_name("Ephemeral") is None
+
+    def test_name_required(self, logged_in):
+        form = logged_in.create_registry_object("Organization")
+        with pytest.raises(InvalidRequestError, match="Name"):
+            form.apply()
+
+    def test_second_apply_updates(self, logged_in, registry):
+        form = logged_in.create_registry_object("Organization")
+        form.set_name("SDSU")
+        form.apply()
+        form.set_description("updated later")
+        form.apply()
+        org = registry.qm.find_organization_by_name("SDSU")
+        assert org.description.value == "updated later"
+        assert registry.daos.organizations.count() == 1
+
+
+class TestServiceForm:
+    def test_service_with_bindings(self, logged_in, registry):
+        form = logged_in.create_registry_object("Service")
+        form.set_name("NodeStatus")
+        form.set_description("Service to monitor node status")
+        form.service_binding_tab_add("http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService")
+        form.service_binding_tab_add("http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService")
+        form.apply()
+        svc = registry.qm.find_service_by_name("NodeStatus")
+        assert len(registry.qm.get_access_uris(svc.id)) == 2
+
+    def test_target_binding_instead_of_uri(self, logged_in, registry):
+        form = logged_in.create_registry_object("Service")
+        form.set_name("Indirect")
+        other = registry.ids.new_id()
+        form.service_binding_tab_add(None, target_binding=other)
+        form.apply()
+        svc = registry.qm.find_service_by_name("Indirect")
+        bindings = registry.qm.get_service_bindings(svc.id)
+        assert bindings[0].target_binding == other
+
+
+class TestRelateAndDetails:
+    @pytest.fixture
+    def published(self, logged_in, registry):
+        org_form = logged_in.create_registry_object("Organization")
+        org_form.set_name("SDSU")
+        org_form.apply()
+        svc_form = logged_in.create_registry_object("Service")
+        svc_form.set_name("Adder")
+        svc_form.service_binding_tab_add("http://h.x/adder")
+        svc_form.apply()
+        org = registry.qm.find_organization_by_name("SDSU")
+        svc = registry.qm.find_service_by_name("Adder")
+        return org, svc
+
+    def test_relate_offers_service(self, logged_in, registry, published):
+        org, svc = published
+        assoc = logged_in.relate(org.id, svc.id, "OffersService")
+        assert registry.daos.organizations.require(org.id).service_ids == [svc.id]
+        assert registry.daos.associations.require(assoc.id).is_confirmed
+
+    def test_find_all_my_objects_lists_everything(self, logged_in, published):
+        rows = logged_in.search().find_all_my_objects()
+        names = {r.name for r in rows if r.name}
+        assert {"SDSU", "Adder"} <= names
+
+    def test_details_edit_flow(self, logged_in, registry, published):
+        org, _ = published
+        form = logged_in.details(org.id)
+        form.set_description("edited via details page")
+        form.apply()
+        assert (
+            registry.qm.get_registry_object(org.id).description.value
+            == "edited via details page"
+        )
+
+    def test_delete_button(self, logged_in, registry, published):
+        org, svc = published
+        logged_in.relate(org.id, svc.id, "OffersService")
+        removed = logged_in.delete(org.id)
+        assert org.id in removed and svc.id in removed
+        assert logged_in.search().find_organizations() == []
+
+    def test_search_rows_shape(self, logged_in, published):
+        rows = logged_in.search().find_organizations("SDS%")
+        assert rows[0].object_type == "Organization"
+        assert rows[0].status == "Submitted"

@@ -1,0 +1,82 @@
+"""Tests for the clock abstractions."""
+
+import pytest
+
+from repro.sim import SimEngine
+from repro.util.clock import (
+    Clock,
+    ManualClock,
+    SimClockAdapter,
+    WallClock,
+    minutes_of_day,
+)
+
+
+class TestMinutesOfDay:
+    def test_midnight(self):
+        assert minutes_of_day(0.0) == 0
+
+    def test_ten_am(self):
+        assert minutes_of_day(10 * 3600.0) == 600
+
+    def test_wraps_at_24h(self):
+        assert minutes_of_day(24 * 3600.0 + 90) == 1
+
+    def test_multi_day(self):
+        assert minutes_of_day(3 * 24 * 3600.0 + 10 * 3600.0) == 600
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(90.0)
+        assert clock.now() == 90.0
+        assert clock.minutes_of_day() == 1
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+    def test_set_forwards_only(self):
+        clock = ManualClock(100.0)
+        clock.set(200.0)
+        assert clock.now() == 200.0
+        with pytest.raises(ValueError):
+            clock.set(50.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestWallClock:
+    def test_now_is_positive(self):
+        assert WallClock().now() > 0
+
+    def test_minutes_in_range(self):
+        assert 0 <= WallClock().minutes_of_day() < 1440
+
+
+class TestSimClockAdapter:
+    def test_wraps_engine_now(self):
+        engine = SimEngine(start=10 * 3600.0)
+        adapter = SimClockAdapter(engine)
+        assert adapter.now() == 10 * 3600.0
+        assert adapter.minutes_of_day() == 600
+
+    def test_tracks_engine_progress(self):
+        engine = SimEngine()
+        adapter = SimClockAdapter(engine)
+        engine.schedule(120.0, lambda: None)
+        engine.run()
+        assert adapter.now() == 120.0
+        assert adapter.minutes_of_day() == 2
+
+    def test_wraps_callable_now(self):
+        class Source:
+            def now(self):
+                return 60.0
+
+        assert SimClockAdapter(Source()).now() == 60.0

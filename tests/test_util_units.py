@@ -1,0 +1,69 @@
+"""Tests for memory-size and military-time parsing."""
+
+import pytest
+
+from repro.util.errors import ConstraintSyntaxError
+from repro.util.units import (
+    format_bytes,
+    format_military_time,
+    parse_memory_size,
+    parse_military_time,
+)
+
+
+class TestParseMemorySize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("5MB", 5 * 1024**2),
+            ("3GB", 3 * 1024**3),
+            ("1KB", 1024),
+            ("10B", 10),
+            ("2TB", 2 * 1024**4),
+            ("1.5KB", 1536),
+            ("  5 MB  ", 5 * 1024**2),
+            ("5mb", 5 * 1024**2),  # case-insensitive units
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_memory_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "MB", "5", "5XB", "five MB", "-5MB", "5 M B"])
+    def test_invalid(self, text):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_memory_size(text)
+
+
+class TestFormatBytes:
+    def test_round_trip_gb(self):
+        assert format_bytes(3 * 1024**3) == "3.00GB"
+
+    def test_small_values_stay_bytes(self):
+        assert format_bytes(17) == "17B"
+
+    def test_boundary_is_inclusive(self):
+        assert format_bytes(1024) == "1.00KB"
+
+
+class TestMilitaryTime:
+    @pytest.mark.parametrize(
+        "text,minutes",
+        [("0000", 0), ("1000", 600), ("0730", 450), ("2359", 1439), ("730", 450)],
+    )
+    def test_parse(self, text, minutes):
+        assert parse_military_time(text) == minutes
+
+    @pytest.mark.parametrize("text", ["", "2400", "1260", "12:00", "ten", "-100", "12345"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_military_time(text)
+
+    @pytest.mark.parametrize("minutes", [0, 1, 59, 60, 600, 1439])
+    def test_round_trip(self, minutes):
+        assert parse_military_time(format_military_time(minutes)) == minutes
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_military_time(1440)
+        with pytest.raises(ValueError):
+            format_military_time(-1)

@@ -1,0 +1,71 @@
+"""Tests for the XML helpers."""
+
+import pytest
+
+from repro.util.errors import InvalidRequestError
+from repro.util.xmlutil import (
+    child_text,
+    inner_xml,
+    parse_xml,
+    required_child_text,
+)
+
+
+class TestParseXml:
+    def test_parses_wellformed(self):
+        root = parse_xml("<a><b>x</b></a>")
+        assert root.tag == "a"
+
+    def test_malformed_raises_with_context(self):
+        with pytest.raises(InvalidRequestError, match="connection.xml"):
+            parse_xml("<a><b></a>", what="connection.xml")
+
+
+class TestChildText:
+    def test_returns_stripped_text(self):
+        root = parse_xml("<a><name>  SDSU  </name></a>")
+        assert child_text(root, "name") == "SDSU"
+
+    def test_missing_returns_default(self):
+        root = parse_xml("<a/>")
+        assert child_text(root, "name") is None
+        assert child_text(root, "name", default="x") == "x"
+
+    def test_empty_element_returns_empty_string(self):
+        root = parse_xml("<a><name/></a>")
+        assert child_text(root, "name") == ""
+
+
+class TestRequiredChildText:
+    def test_present(self):
+        root = parse_xml("<a><name>x</name></a>")
+        assert required_child_text(root, "name") == "x"
+
+    def test_missing_raises(self):
+        root = parse_xml("<a/>")
+        with pytest.raises(InvalidRequestError, match="<name>"):
+            required_child_text(root, "name")
+
+    def test_empty_raises(self):
+        root = parse_xml("<a><name></name></a>")
+        with pytest.raises(InvalidRequestError):
+            required_child_text(root, "name")
+
+
+class TestInnerXml:
+    def test_plain_text(self):
+        root = parse_xml("<description>hello world</description>")
+        assert inner_xml(root) == "hello world"
+
+    def test_nested_elements_preserved(self):
+        root = parse_xml(
+            "<description><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>"
+        )
+        assert "<constraint>" in inner_xml(root)
+        assert "load ls 1.0" in inner_xml(root)
+
+    def test_mixed_content(self):
+        root = parse_xml("<d>text <b>bold</b></d>")
+        out = inner_xml(root)
+        assert out.startswith("text")
+        assert "<b>bold</b>" in out
