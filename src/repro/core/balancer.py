@@ -63,6 +63,23 @@ class ConstraintBindingResolver:
         self.resolutions = 0
         self.balanced_resolutions = 0
 
+    def fingerprint(self) -> tuple:
+        """Resolution-cache validity token (see ServiceDAO.resolve_access_uris).
+
+        A balanced resolution depends, beyond the service and its bindings,
+        on the NodeState samples, the minute of day (time windows), and —
+        when staleness filtering is on — the clock itself (quantized to one
+        second, so a host aging past ``max_age`` is dropped within 1s).
+        """
+        staleness = (
+            0 if self.load_status.max_age is None else int(self.load_status.clock.now())
+        )
+        return (
+            self.load_status.node_state.version,
+            self.service_constraint.clock.minutes_of_day(),
+            staleness,
+        )
+
     def resolve(
         self, service: Service, bindings: Sequence[ServiceBinding]
     ) -> list[ServiceBinding]:
@@ -73,12 +90,15 @@ class ConstraintBindingResolver:
             return list(bindings)
         assert check.constraints is not None
         self.balanced_resolutions += 1
-        with_host = [b for b in bindings if b.host is not None]
-        hosts = [b.host for b in with_host]  # type: ignore[misc]
-        ranked_hosts = self.load_status.rank(hosts, check.constraints)
+        # one pass, one (memoized) host parse per binding
+        hosts: list[str] = []
         by_host: dict[str, list[ServiceBinding]] = {}
-        for binding in with_host:
-            by_host.setdefault(binding.host, []).append(binding)  # type: ignore[arg-type]
+        for binding in bindings:
+            host = binding.host
+            if host is not None:
+                hosts.append(host)
+                by_host.setdefault(host, []).append(binding)
+        ranked_hosts = self.load_status.rank(hosts, check.constraints)
         satisfying: list[ServiceBinding] = []
         for host in ranked_hosts:
             satisfying.extend(by_host.pop(host, ()))
@@ -89,7 +109,8 @@ class ConstraintBindingResolver:
             # still answers — fall back to publisher order rather than
             # rendering the service undiscoverable.
             return list(bindings)
-        rest = [b for b in bindings if b not in satisfying]
+        satisfying_ids = {b.id for b in satisfying}
+        rest = [b for b in bindings if b.id not in satisfying_ids]
         return satisfying + rest
 
 
@@ -108,6 +129,7 @@ class LoadBalancer:
 
         registry.daos.services.set_resolver(DefaultBindingResolver())
         self.monitor.stop()
+        registry.store.remove_write_listener(self.service_constraint.on_store_write)
 
 
 def attach_load_balancer(
@@ -132,6 +154,10 @@ def attach_load_balancer(
     if max_sample_age is None:
         max_sample_age = 4.0 * period
     service_constraint = ServiceConstraint(clock)
+    # evict cached constraint parses when a Service is rewritten or deleted
+    # (the cache is content-validated too, so this is eager hygiene, not the
+    # sole correctness mechanism)
+    registry.store.add_write_listener(service_constraint.on_store_write)
     load_status = LoadStatus(
         registry.node_state, clock=clock, max_age=max_sample_age
     )

@@ -66,18 +66,22 @@ class Operator(enum.Enum):
         raise ConstraintSyntaxError(f"unknown constraint operator: {symbol!r}")
 
     def compare(self, left: float, right: float) -> bool:
-        table: dict[Operator, Callable[[float, float], bool]] = {
-            Operator.GT: lambda a, b: a > b,
-            Operator.GEQ: lambda a, b: a >= b,
-            Operator.LS: lambda a, b: a < b,
-            Operator.LEQ: lambda a, b: a <= b,
-            Operator.EQ: lambda a, b: a == b,
-        }
-        return table[self](left, right)
+        return _COMPARE[self](left, right)
 
     @property
     def symbol(self) -> str:
         return self.value
+
+
+#: dispatch table for :meth:`Operator.compare`, built once — the comparison
+#: runs per host per discovery, so a per-call dict rebuild is hot-path waste
+_COMPARE: dict[Operator, Callable[[float, float], bool]] = {
+    Operator.GT: lambda a, b: a > b,
+    Operator.GEQ: lambda a, b: a >= b,
+    Operator.LS: lambda a, b: a < b,
+    Operator.LEQ: lambda a, b: a <= b,
+    Operator.EQ: lambda a, b: a == b,
+}
 
 
 @dataclass(frozen=True)
@@ -88,8 +92,12 @@ class ScalarConstraint:
     op: Operator
     value: float  # load value, or byte count for memory clauses
 
+    def __post_init__(self) -> None:
+        # bind the comparator once: satisfied_by runs per host per discovery
+        object.__setattr__(self, "_compare", _COMPARE[self.op])
+
     def satisfied_by(self, observed: float) -> bool:
-        return self.op.compare(observed, self.value)
+        return self._compare(observed, self.value)
 
     def text(self) -> str:
         """Render back to the thesis' clause syntax (lossless round trip)."""

@@ -56,21 +56,43 @@ class LoadStatus:
             return False
         return constraints.satisfied_by(sample)
 
+    def snapshot(self, hosts: list[str]) -> dict[str, NodeSample | None]:
+        """One fresh sample per distinct host — the per-query NodeState read.
+
+        Each host's sample is fetched (and staleness-checked) exactly once,
+        so ranking and satisfaction both evaluate one consistent snapshot.
+        """
+        samples: dict[str, NodeSample | None] = {}
+        for host in hosts:
+            if host not in samples:
+                samples[host] = self.current_sample(host)
+        return samples
+
     def satisfying_hosts(
         self, hosts: list[str], constraints: ConstraintSet
     ) -> list[str]:
         """The subset of *hosts* whose current sample satisfies *constraints*."""
-        return [h for h in hosts if self.host_satisfies(h, constraints)]
+        samples = self.snapshot(hosts)
+        return [
+            h
+            for h in hosts
+            if (sample := samples[h]) is not None and constraints.satisfied_by(sample)
+        ]
 
     def rank(self, hosts: list[str], constraints: ConstraintSet) -> list[str]:
         """Satisfying hosts ordered by ascending current load.
 
         Ties (equal load) keep the input (publisher) order, so the ordering
-        is deterministic.
+        is deterministic.  O(n log n): one sample fetch per distinct host and
+        a position map instead of repeated ``hosts.index`` scans.
         """
-        satisfying = self.satisfying_hosts(hosts, constraints)
-        def load_of(host: str) -> float:
-            sample = self.current_sample(host)
-            return sample.load if sample is not None else float("inf")
-
-        return sorted(satisfying, key=lambda h: (load_of(h), hosts.index(h)))
+        samples = self.snapshot(hosts)
+        position: dict[str, int] = {}
+        for index, host in enumerate(hosts):
+            position.setdefault(host, index)
+        satisfying = [
+            h
+            for h in hosts
+            if (sample := samples[h]) is not None and constraints.satisfied_by(sample)
+        ]
+        return sorted(satisfying, key=lambda h: (samples[h].load, position[h]))

@@ -56,22 +56,37 @@ class TimeHits:
         self.failures = 0
         #: callables invoked after every sweep (e.g. the AutoScaler)
         self.post_sweep_hooks: list = []
+        #: cached target list, invalidated by registry writes (None = dirty)
+        self._target_cache: list[str] | None = None
+        registry.store.add_write_listener(self._on_store_write)
 
     # -- target discovery ----------------------------------------------------
+
+    def _on_store_write(self, type_name: str | None, object_id: str | None) -> None:
+        """Invalidate the target cache when the published topology changes."""
+        if type_name in (None, "Service", "ServiceBinding"):
+            self._target_cache = None
 
     def target_uris(self) -> list[str]:
         """Access URIs of every published NodeStatus deployment.
 
         Reads the *raw* binding list (publisher order, no resolver) — the
-        monitor must see every host, including overloaded ones.
+        monitor must see every host, including overloaded ones.  The list is
+        cached between sweeps and recomputed only after a Service or
+        ServiceBinding write (a NodeStatus publish/retire), so the 25 s sweep
+        does no registry scan in steady state.
         """
-        services = self.registry.daos.services.find_by_name(self.monitor_service_name)
+        if self._target_cache is not None:
+            return list(self._target_cache)
+        daos = self.registry.daos
+        services = daos.services.find_views_by_name(self.monitor_service_name)
         uris: list[str] = []
         for service in services:
-            for binding in self.registry.daos.service_bindings.for_service(service):
+            for binding in daos.service_bindings.for_service(service, copy=False):
                 if binding.access_uri and binding.access_uri not in uris:
                     uris.append(binding.access_uri)
-        return uris
+        self._target_cache = uris
+        return list(uris)
 
     # -- collection ---------------------------------------------------------------
 

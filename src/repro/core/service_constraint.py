@@ -10,6 +10,14 @@ the service description leniently (malformed → treated as absent) and
 returns the active :class:`ConstraintSet` only when performance constraints
 exist *and* the time window (if any) contains "now"; otherwise ``None``,
 which tells ServiceDAO to fall back to vanilla behaviour.
+
+Fast path: parses are memoized per service id, keyed on the description
+content (hash + equality), so steady-state discovery does **zero** XML
+parsing.  The cache is self-validating — a republished description never
+serves a stale parse — and :meth:`ServiceConstraint.invalidate` additionally
+hooks into the datastore's write listeners (wired by
+:func:`repro.core.balancer.attach_load_balancer`) so entries for rewritten
+or deleted services are evicted eagerly.
 """
 
 from __future__ import annotations
@@ -45,11 +53,51 @@ class ConstraintCheck:
 class ServiceConstraint:
     """Validates a service's embedded constraints against the current time."""
 
-    def __init__(self, clock: Clock) -> None:
+    def __init__(self, clock: Clock, *, cache: bool = True) -> None:
         self.clock = clock
+        self.cache_enabled = cache
+        #: service id → (description hash, description, parsed constraints)
+        self._cache: dict[str, tuple[int, str, ConstraintSet | None]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache ---------------------------------------------------------------
+
+    def constraints_of(self, service: Service) -> ConstraintSet | None:
+        """The service's parsed constraint block, memoized by content."""
+        if not self.cache_enabled:
+            return parse_constraints(service.description.value)
+        description = service.description.value
+        description_hash = hash(description)
+        cached = self._cache.get(service.id)
+        if (
+            cached is not None
+            and cached[0] == description_hash
+            and cached[1] == description
+        ):
+            self.cache_hits += 1
+            return cached[2]
+        self.cache_misses += 1
+        constraints = parse_constraints(description)
+        self._cache[service.id] = (description_hash, description, constraints)
+        return constraints
+
+    def invalidate(self, object_id: str | None = None) -> None:
+        """Drop one service's cached parse (or all, with ``None``)."""
+        if object_id is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(object_id, None)
+
+    def on_store_write(self, type_name: str | None, object_id: str | None) -> None:
+        """Datastore write-listener adapter: evict on Service writes/rollback."""
+        if type_name is None or type_name == "Service":
+            self.invalidate(object_id)
+
+    # -- validation ----------------------------------------------------------
 
     def check(self, service: Service) -> ConstraintCheck:
-        constraints = parse_constraints(service.description.value)
+        constraints = self.constraints_of(service)
         if constraints is None:
             return ConstraintCheck(constraints=None, present=False, time_satisfied=True)
         time_ok = constraints.time_satisfied(self.clock.minutes_of_day())

@@ -66,6 +66,13 @@ class GenericDAO:
             return None
         return obj
 
+    def get_view(self, object_id: str):
+        """The stored instance, read-only and uncopied (discovery hot path)."""
+        obj = self.store.get_view(object_id)
+        if obj is not None and not isinstance(obj, self.RIM_CLASS):
+            return None
+        return obj
+
     def require(self, object_id: str):
         obj = self.get(object_id)
         if obj is None:
@@ -83,12 +90,16 @@ class GenericDAO:
         return self.store.select_objects(self.type_name, predicate)
 
     def find_by_name(self, name: str) -> list:
-        """Exact-name lookup (the UI's organization/service search)."""
-        return self.select(lambda o: o.name.value == name)
+        """Exact-name lookup (the UI's organization/service search), indexed."""
+        return self.store.find_by_name(self.type_name, name)
+
+    def find_views_by_name(self, name: str) -> list:
+        """Read-only exact-name lookup — no copies (discovery hot path)."""
+        return self.store.find_views_by_name(self.type_name, name)
 
     def find_by_name_prefix(self, prefix: str) -> list:
         """Prefix search, like the thesis' ``DemoOrg_%`` Web-UI searches."""
-        return self.select(lambda o: o.name.value.startswith(prefix))
+        return self.store.find_by_name_prefix(self.type_name, prefix)
 
     def count(self) -> int:
         return self.store.count(self.type_name)
@@ -114,6 +125,16 @@ class BindingResolver(Protocol):
     ) -> list[ServiceBinding]:
         ...
 
+    def fingerprint(self) -> object:
+        """Hashable token capturing every resolver input *besides* the store.
+
+        ServiceDAO memoizes resolved access-URI lists while both the store
+        version and this token are unchanged.  Resolvers whose output depends
+        only on the service and its bindings return a constant; a resolver
+        may omit the method entirely to opt out of caching.
+        """
+        ...
+
 
 class DefaultBindingResolver:
     """Vanilla behaviour: every binding, in publisher order."""
@@ -123,15 +144,23 @@ class DefaultBindingResolver:
     ) -> list[ServiceBinding]:
         return list(bindings)
 
+    def fingerprint(self) -> object:
+        return None  # publisher order depends on the store alone
+
 
 class ServiceBindingDAO(GenericDAO):
     RIM_CLASS = ServiceBinding
 
-    def for_service(self, service: Service) -> list[ServiceBinding]:
-        """Bindings of *service* in publisher order (the order of binding_ids)."""
+    def for_service(self, service: Service, *, copy: bool = True) -> list[ServiceBinding]:
+        """Bindings of *service* in publisher order (the order of binding_ids).
+
+        ``copy=False`` returns the stored instances (read-only by contract);
+        the discovery fast path uses it to skip per-binding deep copies.
+        """
+        fetch = self.get if copy else self.get_view
         out: list[ServiceBinding] = []
         for binding_id in service.binding_ids:
-            binding = self.get(binding_id)
+            binding = fetch(binding_id)
             if binding is not None:
                 out.append(binding)
         return out
@@ -159,18 +188,60 @@ class ServiceDAO(GenericDAO):
         super().__init__(store)
         self.binding_dao = binding_dao
         self.resolver: BindingResolver = resolver or DefaultBindingResolver()
+        #: service id → (resolver fingerprint, access URIs) — valid while the
+        #: heap version is unchanged; cleared wholesale when it moves
+        self._uri_cache: dict[str, tuple[object, list[str]]] = {}
+        self._uri_cache_version = -1
 
     def set_resolver(self, resolver: BindingResolver) -> None:
         self.resolver = resolver
+        self._uri_cache.clear()
 
-    def resolve_bindings(self, service: Service) -> list[ServiceBinding]:
-        """Bindings for discovery, post-resolver (the registry's answer)."""
-        raw = self.binding_dao.for_service(service)
-        return self.resolver.resolve(service, raw)
+    def resolve_bindings(self, service: Service, *, copy: bool = True) -> list[ServiceBinding]:
+        """Bindings for discovery, post-resolver (the registry's answer).
+
+        The resolver only reads, so it always runs over stored views; with
+        ``copy=True`` (the default, safe for external callers) the *resolved*
+        bindings are copied on the way out — per-query copy work is bounded
+        by the answer size, not the partition size.
+        """
+        raw = self.binding_dao.for_service(service, copy=False)
+        resolved = self.resolver.resolve(service, raw)
+        if copy:
+            return [b.copy() for b in resolved]
+        return resolved
 
     def resolve_access_uris(self, service: Service) -> list[str]:
-        """Access URIs for discovery — what execute()/the Web UI displays."""
-        return [b.access_uri for b in self.resolve_bindings(service) if b.access_uri]
+        """Access URIs for discovery — what execute()/the Web UI displays.
+
+        Steady-state repeat queries are answered from a per-service cache:
+        an entry stays valid while no heap write has happened (any write
+        clears the cache) and the resolver's :meth:`fingerprint` token is
+        unchanged — for the constraint resolver that means no NodeState
+        sample landed and the clock minute is the same.  A resolver without
+        a ``fingerprint`` method disables the cache.
+        """
+        fingerprint = getattr(self.resolver, "fingerprint", None)
+        if fingerprint is None:
+            return [
+                b.access_uri
+                for b in self.resolve_bindings(service, copy=False)
+                if b.access_uri
+            ]
+        if self._uri_cache_version != self.store.version:
+            self._uri_cache.clear()
+            self._uri_cache_version = self.store.version
+        token = fingerprint()
+        cached = self._uri_cache.get(service.id)
+        if cached is not None and cached[0] == token:
+            return list(cached[1])
+        uris = [
+            b.access_uri
+            for b in self.resolve_bindings(service, copy=False)
+            if b.access_uri
+        ]
+        self._uri_cache[service.id] = (token, uris)
+        return list(uris)
 
 
 class OrganizationDAO(GenericDAO):
@@ -284,28 +355,16 @@ class DAORegistry:
         self.specification_links = SpecificationLinkDAO(store)
         self.adhoc_queries = AdhocQueryDAO(store)
         self.subscriptions = SubscriptionDAO(store)
+        # routing table built once; dao_for is on the LifeCycleManager write path
+        self._dao_by_type: dict[str, GenericDAO] = {
+            dao.type_name: dao
+            for dao in vars(self).values()
+            if isinstance(dao, GenericDAO)
+        }
 
     def dao_for(self, obj: RegistryObject) -> GenericDAO:
         """Route an object to its typed DAO (used by the LifeCycleManager)."""
-        by_type: dict[str, GenericDAO] = {
-            "Service": self.services,
-            "ServiceBinding": self.service_bindings,
-            "Organization": self.organizations,
-            "Association": self.associations,
-            "User": self.users,
-            "AuditableEvent": self.events,
-            "Classification": self.classifications,
-            "ClassificationScheme": self.classification_schemes,
-            "ClassificationNode": self.classification_nodes,
-            "ExternalIdentifier": self.external_identifiers,
-            "ExternalLink": self.external_links,
-            "ExtrinsicObject": self.extrinsic_objects,
-            "RegistryPackage": self.packages,
-            "SpecificationLink": self.specification_links,
-            "AdhocQuery": self.adhoc_queries,
-            "Subscription": self.subscriptions,
-        }
-        dao = by_type.get(obj.type_name)
+        dao = self._dao_by_type.get(obj.type_name)
         if dao is None:
             raise InvalidRequestError(f"no DAO for object type {obj.type_name!r}")
         return dao

@@ -9,10 +9,24 @@ JDBC; here a :class:`DataStore` provides the same contract in memory:
   genuinely tabular state (``NodeState``, repository items);
 * per-request **transactions** with commit/rollback, giving the ACID-at-
   request-granularity behaviour the registry needs.
+
+Discovery fast path: the heap keeps two incrementally-maintained secondary
+indexes per type — a sorted id list (so ``objects_of_type`` never re-sorts)
+and a name index with a sorted key list (so exact-name and prefix lookups
+stop scanning the partition).  Read paths that can tolerate aliasing opt
+into **views** (``get_view`` / ``iter_views_of_type`` / ``find_views_by_name``)
+which return the stored instances without the per-object ``copy()``; views
+are read-only by contract — all writes still go through
+``insert_object``/``save_object``/``delete_object`` copy-on-write.
+
+Write listeners (``add_write_listener``) observe every heap mutation —
+including transaction rollback — so caches layered above the store
+(constraint cache, monitor target list) invalidate without polling.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -24,6 +38,10 @@ from repro.util.errors import (
     ObjectNotFoundError,
 )
 
+#: ``listener(type_name, object_id)`` called after each heap write;
+#: ``(None, None)`` means "anything may have changed" (transaction rollback).
+WriteListener = Callable[[str | None, str | None], None]
+
 
 class DataStore:
     """In-memory persistence for one registry instance."""
@@ -33,7 +51,18 @@ class DataStore:
         self._objects: dict[str, RegistryObject] = {}
         #: type name → set of ids (virtual-table partitions)
         self._by_type: dict[str, set[str]] = {}
+        #: type name → ids in sorted order (maintained incrementally)
+        self._sorted_ids: dict[str, list[str]] = {}
+        #: type name → name value → set of ids
+        self._by_name: dict[str, dict[str, set[str]]] = {}
+        #: type name → distinct name values in sorted order (prefix scans)
+        self._sorted_names: dict[str, list[str]] = {}
         self._tables: dict[str, Table] = {}
+        #: monotonic heap-write counter (bumped by every write and rollback);
+        #: caches layered on the heap validate against it cheaply instead of
+        #: subscribing a listener
+        self.version = 0
+        self._listeners: list[WriteListener] = []
         self._txn_depth = 0
         self._txn_object_snapshot: dict[str, RegistryObject] | None = None
         self._txn_table_snapshots: dict[str, dict[Any, Row]] | None = None
@@ -63,13 +92,81 @@ class DataStore:
     def has_table(self, name: str) -> bool:
         return name in self._tables
 
+    # -- write listeners -----------------------------------------------------
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Subscribe to heap writes (insert/save/delete and rollback)."""
+        self._listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, type_name: str | None, object_id: str | None) -> None:
+        self.version += 1
+        for listener in self._listeners:
+            listener(type_name, object_id)
+
+    # -- secondary index maintenance -----------------------------------------
+
+    def _index_add(self, obj: RegistryObject) -> None:
+        type_name = obj.type_name
+        self._by_type.setdefault(type_name, set()).add(obj.id)
+        insort(self._sorted_ids.setdefault(type_name, []), obj.id)
+        self._name_index_add(type_name, obj.name.value, obj.id)
+
+    def _index_remove(self, obj: RegistryObject) -> None:
+        type_name = obj.type_name
+        self._by_type.get(type_name, set()).discard(obj.id)
+        ids = self._sorted_ids.get(type_name)
+        if ids is not None:
+            pos = bisect_left(ids, obj.id)
+            if pos < len(ids) and ids[pos] == obj.id:
+                ids.pop(pos)
+        self._name_index_remove(type_name, obj.name.value, obj.id)
+
+    def _name_index_add(self, type_name: str, name: str, object_id: str) -> None:
+        names = self._by_name.setdefault(type_name, {})
+        bucket = names.get(name)
+        if bucket is None:
+            names[name] = {object_id}
+            insort(self._sorted_names.setdefault(type_name, []), name)
+        else:
+            bucket.add(object_id)
+
+    def _name_index_remove(self, type_name: str, name: str, object_id: str) -> None:
+        names = self._by_name.get(type_name)
+        if names is None:
+            return
+        bucket = names.get(name)
+        if bucket is None:
+            return
+        bucket.discard(object_id)
+        if not bucket:
+            del names[name]
+            keys = self._sorted_names.get(type_name)
+            if keys is not None:
+                pos = bisect_left(keys, name)
+                if pos < len(keys) and keys[pos] == name:
+                    keys.pop(pos)
+
+    def _rebuild_indexes(self) -> None:
+        self._by_type = {}
+        self._sorted_ids = {}
+        self._by_name = {}
+        self._sorted_names = {}
+        for obj in self._objects.values():
+            self._index_add(obj)
+
     # -- object heap ---------------------------------------------------------
 
     def insert_object(self, obj: RegistryObject) -> None:
         if obj.id in self._objects:
             raise ObjectExistsError(obj.id)
-        self._objects[obj.id] = obj.copy()
-        self._by_type.setdefault(obj.type_name, set()).add(obj.id)
+        stored = obj.copy()
+        self._objects[obj.id] = stored
+        self._index_add(stored)
+        self._notify(stored.type_name, stored.id)
 
     def save_object(self, obj: RegistryObject) -> None:
         """Insert-or-replace; type changes for an existing id are rejected."""
@@ -79,12 +176,31 @@ class DataStore:
                 f"object {obj.id} cannot change type "
                 f"{existing.type_name} → {obj.type_name}"
             )
-        self._objects[obj.id] = obj.copy()
-        self._by_type.setdefault(obj.type_name, set()).add(obj.id)
+        stored = obj.copy()
+        if existing is not None:
+            # id and type are unchanged; only the name index may move.
+            old_name = existing.name.value
+            new_name = stored.name.value
+            if old_name != new_name:
+                self._name_index_remove(stored.type_name, old_name, stored.id)
+                self._name_index_add(stored.type_name, new_name, stored.id)
+            self._objects[obj.id] = stored
+        else:
+            self._objects[obj.id] = stored
+            self._index_add(stored)
+        self._notify(stored.type_name, stored.id)
 
     def get_object(self, object_id: str) -> RegistryObject | None:
         obj = self._objects.get(object_id)
         return obj.copy() if obj is not None else None
+
+    def get_view(self, object_id: str) -> RegistryObject | None:
+        """The stored instance itself — read-only by contract, no copy.
+
+        Callers must not mutate the returned object; writes go through
+        :meth:`save_object`.  This is the discovery hot path's accessor.
+        """
+        return self._objects.get(object_id)
 
     def require_object(self, object_id: str) -> RegistryObject:
         obj = self.get_object(object_id)
@@ -96,25 +212,62 @@ class DataStore:
         obj = self._objects.pop(object_id, None)
         if obj is None:
             raise ObjectNotFoundError(object_id)
-        self._by_type.get(obj.type_name, set()).discard(object_id)
+        self._index_remove(obj)
+        self._notify(obj.type_name, object_id)
 
     def contains(self, object_id: str) -> bool:
         return object_id in self._objects
 
     def objects_of_type(self, type_name: str) -> list[RegistryObject]:
         """All stored objects of one ebRIM class (copies), in id order."""
-        ids = sorted(self._by_type.get(type_name, ()))
-        return [self._objects[i].copy() for i in ids]
+        return [self._objects[i].copy() for i in self._sorted_ids.get(type_name, ())]
+
+    def iter_views_of_type(self, type_name: str) -> Iterator[RegistryObject]:
+        """Stored objects of one class in id order — read-only, no copies."""
+        objects = self._objects
+        return (objects[i] for i in self._sorted_ids.get(type_name, ()))
 
     def select_objects(
         self,
         type_name: str,
         predicate: Callable[[RegistryObject], bool] | None = None,
     ) -> list[RegistryObject]:
-        objs = self.objects_of_type(type_name)
         if predicate is None:
-            return objs
-        return [o for o in objs if predicate(o)]
+            return self.objects_of_type(type_name)
+        # evaluate the predicate on the stored instances, copy only matches
+        return [o.copy() for o in self.iter_views_of_type(type_name) if predicate(o)]
+
+    # -- name lookups (index-backed) -----------------------------------------
+
+    def find_ids_by_name(self, type_name: str, name: str) -> list[str]:
+        """Ids of objects of *type_name* whose name equals *name* (sorted)."""
+        bucket = self._by_name.get(type_name, {}).get(name)
+        return sorted(bucket) if bucket else []
+
+    def find_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
+        return [self._objects[i].copy() for i in self.find_ids_by_name(type_name, name)]
+
+    def find_views_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
+        """Read-only variant of :meth:`find_by_name` (no copies)."""
+        return [self._objects[i] for i in self.find_ids_by_name(type_name, name)]
+
+    def find_ids_by_name_prefix(self, type_name: str, prefix: str) -> list[str]:
+        """Ids of objects whose name starts with *prefix*, via a range scan."""
+        keys = self._sorted_names.get(type_name, [])
+        names = self._by_name.get(type_name, {})
+        out: list[str] = []
+        for pos in range(bisect_left(keys, prefix), len(keys)):
+            key = keys[pos]
+            if not key.startswith(prefix):
+                break
+            out.extend(names[key])
+        return sorted(out)
+
+    def find_by_name_prefix(self, type_name: str, prefix: str) -> list[RegistryObject]:
+        return [
+            self._objects[i].copy()
+            for i in self.find_ids_by_name_prefix(type_name, prefix)
+        ]
 
     def all_ids(self) -> list[str]:
         return sorted(self._objects)
@@ -161,11 +314,10 @@ class DataStore:
         assert self._txn_object_snapshot is not None
         assert self._txn_table_snapshots is not None
         self._objects = self._txn_object_snapshot
-        self._by_type = {}
-        for oid, obj in self._objects.items():
-            self._by_type.setdefault(obj.type_name, set()).add(oid)
+        self._rebuild_indexes()
         for name, snapshot in self._txn_table_snapshots.items():
             if name in self._tables:
                 self._tables[name].restore(snapshot)
         self._txn_object_snapshot = None
         self._txn_table_snapshots = None
+        self._notify(None, None)

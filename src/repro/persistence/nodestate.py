@@ -52,7 +52,14 @@ class NodeSample:
 
 
 class NodeStateStore:
-    """Typed facade over the NodeState table."""
+    """Typed facade over the NodeState table.
+
+    Reads are served from a per-instance :class:`NodeSample` cache validated
+    against the table's mutation counter, so the per-query per-host lookup on
+    the discovery path does no row copying or dataclass construction between
+    monitoring sweeps — and stays correct across direct table writes,
+    transaction rollback, and other facade instances over the same table.
+    """
 
     def __init__(self, store: DataStore) -> None:
         if store.has_table(NODESTATE_TABLE):
@@ -63,14 +70,36 @@ class NodeStateStore:
                 ["HOST", "LOAD", "MEMORY", "SWAPMEMORY", "UPDATED"],
                 primary_key="HOST",
             )
+        self._samples: dict[str, NodeSample] = {}
+        self._samples_version = -1
+
+    @property
+    def version(self) -> int:
+        """The underlying table's mutation counter — changes on every write."""
+        return self._table.mutations
+
+    def _sample_cache(self) -> dict[str, NodeSample]:
+        if self._samples_version != self._table.mutations:
+            self._samples.clear()
+            self._samples_version = self._table.mutations
+        return self._samples
 
     def record_sample(self, sample: NodeSample) -> None:
         """Store the latest sample for a host (overwrites the previous row)."""
         self._table.upsert(sample.as_row())
+        # prime the cache post-write (the version sync clears stale entries)
+        self._sample_cache()[sample.host] = sample
 
     def get(self, host: str) -> NodeSample | None:
-        row = self._table.get(host)
-        return NodeSample.from_row(row) if row is not None else None
+        cache = self._sample_cache()
+        sample = cache.get(host)
+        if sample is None:
+            row = self._table.get_view(host)
+            if row is None:
+                return None
+            sample = NodeSample.from_row(row)
+            cache[host] = sample
+        return sample
 
     def remove(self, host: str) -> None:
         if host in self._table:

@@ -37,6 +37,9 @@ class Table:
                 f"primary key {primary_key!r} not among columns of table {name!r}"
             )
         self.primary_key = primary_key
+        #: monotonic write counter — caches layered on a table (e.g. the
+        #: NodeState sample cache) validate against it instead of subscribing
+        self.mutations = 0
         self._rows: dict[Any, Row] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
         for column in indexes:
@@ -76,6 +79,7 @@ class Table:
             raise ObjectExistsError(str(key), f"duplicate key in {self.name!r}: {key!r}")
         self._rows[key] = row
         self._index_add(key, row)
+        self.mutations += 1
 
     def upsert(self, row: Row) -> bool:
         """Insert-or-replace; returns True if a row was replaced."""
@@ -86,6 +90,7 @@ class Table:
             self._index_remove(key, self._rows[key])
         self._rows[key] = row
         self._index_add(key, row)
+        self.mutations += 1
         return existed
 
     def update(self, key: Any, changes: Row) -> Row:
@@ -104,6 +109,7 @@ class Table:
         new = {**old, **changes}
         self._rows[key] = new
         self._index_add(key, new)
+        self.mutations += 1
         return dict(new)
 
     def delete(self, key: Any) -> None:
@@ -111,17 +117,27 @@ class Table:
             raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
         self._index_remove(key, self._rows[key])
         del self._rows[key]
+        self.mutations += 1
 
     def clear(self) -> None:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self.mutations += 1
 
     # -- queries -----------------------------------------------------------
 
     def get(self, key: Any) -> Row | None:
         row = self._rows.get(key)
         return dict(row) if row is not None else None
+
+    def get_view(self, key: Any) -> Row | None:
+        """The stored row itself — read-only by contract, no copy.
+
+        Hot-path accessor (the per-query NodeState lookup); mutations must
+        go through :meth:`upsert`/:meth:`update` to keep indexes consistent.
+        """
+        return self._rows.get(key)
 
     def require(self, key: Any) -> Row:
         row = self.get(key)
@@ -162,6 +178,7 @@ class Table:
 
     def restore(self, snapshot: dict[Any, Row]) -> None:
         self._rows = {key: dict(row) for key, row in snapshot.items()}
+        self.mutations += 1
         columns = list(self._indexes)
         self._indexes.clear()
         for column in columns:

@@ -149,12 +149,16 @@ class QueryEngine:
         key = table_name.lower()
         if key in VIRTUAL_TABLES:
             type_name, project = VIRTUAL_TABLES[key]
+            # project straight off the stored views — the projection functions
+            # only read, so the per-object copy() would be pure overhead
             if type_name == "*":
                 rows: list[Row] = []
                 for tname in self.store.type_names():
-                    rows.extend(project(obj) for obj in self.store.objects_of_type(tname))
+                    rows.extend(
+                        project(obj) for obj in self.store.iter_views_of_type(tname)
+                    )
                 return rows
-            return [project(obj) for obj in self.store.objects_of_type(type_name)]
+            return [project(obj) for obj in self.store.iter_views_of_type(type_name)]
         if self.store.has_table(table_name):
             # relational tables keep their declared (upper-case) column names;
             # expose both original and lower-case keys for predicate access.
@@ -214,6 +218,24 @@ class QueryEngine:
         if select.limit is not None:
             rows = rows[: select.limit]
         return rows
+
+    def execute_windowed(
+        self,
+        query: str | Select,
+        *,
+        start_index: int = 0,
+        max_results: int | None = None,
+    ) -> tuple[list[Row], int]:
+        """Run a query and window it in one pass: ``(window, total_count)``.
+
+        The iterative-query protocol needs the total match count alongside
+        the window; doing the slice here means exactly one sub-list is built
+        (``rows[start:end]``) instead of materializing intermediate slices.
+        """
+        rows = self.execute(query)
+        total = len(rows)
+        end = None if max_results is None else start_index + max_results
+        return rows[start_index:end], total
 
     def _resolve_subqueries(self, predicate: Predicate) -> Predicate:
         """Rewrite InSubquery nodes into InList by running the subqueries.

@@ -74,20 +74,19 @@ class QueryManager:
         max_results: int | None = None,
     ) -> AdhocQueryResponse:
         """Run an AdhocQueryRequest and window the results."""
-        if query_language == QUERY_LANGUAGE_SQL:
-            rows = self.engine.execute(query)
-        elif query_language == QUERY_LANGUAGE_FILTER:
-            rows = self.engine.execute(parse_filter_query(query))
-        else:
-            raise InvalidRequestError(f"unknown query language: {query_language!r}")
-        total = len(rows)
         if start_index < 0:
             raise InvalidRequestError("startIndex must be non-negative")
-        window = rows[start_index:]
-        if max_results is not None:
-            if max_results < 0:
-                raise InvalidRequestError("maxResults must be non-negative")
-            window = window[:max_results]
+        if max_results is not None and max_results < 0:
+            raise InvalidRequestError("maxResults must be non-negative")
+        if query_language == QUERY_LANGUAGE_SQL:
+            parsed: Any = query
+        elif query_language == QUERY_LANGUAGE_FILTER:
+            parsed = parse_filter_query(query)
+        else:
+            raise InvalidRequestError(f"unknown query language: {query_language!r}")
+        window, total = self.engine.execute_windowed(
+            parsed, start_index=start_index, max_results=max_results
+        )
         return AdhocQueryResponse(
             rows=window, start_index=start_index, total_result_count=total
         )
@@ -155,14 +154,22 @@ class QueryManager:
         returns only/first the hosts currently satisfying the service's
         constraints — the thesis' modified discovery.
         """
-        service = self.daos.services.get(service_id)
+        service = self.daos.services.get_view(service_id)
         if service is None:
             raise ObjectNotFoundError(service_id)
         return self.daos.services.resolve_bindings(service)
 
     def get_access_uris(self, service_id: str) -> list[str]:
-        """Access URIs for a service — the registry's discovery answer."""
-        return [b.access_uri for b in self.get_service_bindings(service_id) if b.access_uri]
+        """Access URIs for a service — the registry's discovery answer.
+
+        This is the hot path the load-balancing scheme lives on: it runs
+        entirely over stored views (service, bindings, constraint cache) and
+        copies nothing — the answer is a fresh list of URI strings.
+        """
+        service = self.daos.services.get_view(service_id)
+        if service is None:
+            raise ObjectNotFoundError(service_id)
+        return self.daos.services.resolve_access_uris(service)
 
     def audit_trail(self, object_id: str):
         """AuditableEvents for an object, oldest first."""

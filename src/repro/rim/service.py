@@ -79,6 +79,9 @@ class ServiceBinding(RegistryObject):
         self.access_uri = access_uri
         self.target_binding = target_binding
         self.specification_link_ids: list[str] = []
+        #: (uri, host) memo for :attr:`host`; validated by uri identity so a
+        #: reassigned access_uri recomputes (discovery reads host per query)
+        self._host_memo: tuple[str, str] | None = None
 
     def _copy_into(self, clone: "RegistryObject") -> None:
         super()._copy_into(clone)
@@ -90,9 +93,15 @@ class ServiceBinding(RegistryObject):
 
         ``http://exergy.sdsu.edu:8080/Adder/addService`` → ``exergy.sdsu.edu``.
         """
-        if not self.access_uri:
+        uri = self.access_uri
+        if not uri:
             return None
-        return host_of_uri(self.access_uri)
+        memo = self._host_memo
+        if memo is not None and memo[0] is uri:
+            return memo[1]
+        host = host_of_uri(uri)
+        self._host_memo = (uri, host)
+        return host
 
 
 class SpecificationLink(RegistryObject):

@@ -145,6 +145,10 @@ class TestAccounting:
         svc, balancer = deploy(sim_registry, admin, transport, engine)
         engine.run_until(engine.now + 30)
         sim_registry.qm.get_access_uris(svc.id)
+        sim_registry.qm.get_access_uris(svc.id)  # cache hit — no second resolution
+        assert balancer.resolver.resolutions == 1
+        assert balancer.resolver.balanced_resolutions == 1
+        engine.run_until(engine.now + 30)  # a monitoring sweep lands new samples
         sim_registry.qm.get_access_uris(svc.id)
         assert balancer.resolver.resolutions == 2
         assert balancer.resolver.balanced_resolutions == 2
