@@ -6,7 +6,6 @@ expected results), asserting each expected outcome, and benchmarks the full
 publish+modify round through the XML API.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.client.access import ClientEnvironment, Registry

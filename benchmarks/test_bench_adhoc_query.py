@@ -1,0 +1,255 @@
+"""AQ-1 — ad-hoc query planner microbenchmark (plan cache + access paths).
+
+PR 1 made keyed discovery fast; this bench covers the other half of §3.3:
+the ebRS **ad-hoc queries** clients run while *searching* for a service
+before binding.  It publishes ~5k registry objects (services, bindings,
+classifications, organizations, a taxonomy) plus a NodeState table, then
+replays a mixed search workload through the SQL engine:
+
+* point lookups        — ``SELECT * FROM Service WHERE id = '…'``
+* name-prefix searches — ``… WHERE name LIKE 'Svc03%' ORDER BY name``
+* taxonomy semi-joins  — ``… WHERE id IN (SELECT classifiedobject FROM …)``
+* NodeState scans      — ``SELECT HOST, LOAD FROM NodeState WHERE LOAD < 2``
+
+measured against both executors of the same engine code:
+
+* **old path** — ``QueryEngine(planner=False)``: the seed's parse-and-scan
+  execution (full virtual-table scan, per-row predicate dispatch,
+  subqueries re-run per statement);
+* **new path** — the planned path the registry ships: plan cache,
+  index-backed access paths, compiled predicates, version-cached subquery
+  materialization.
+
+Every distinct query must return **identical rows in identical order** on
+both paths; the headline numbers land in ``BENCH_adhoc.json`` at the repo
+root, which keeps a ``history`` list across runs for the perf trajectory.
+
+Scale knobs (for the CI smoke job): ``BENCH_ADHOC_SERVICES``,
+``BENCH_ADHOC_QUERIES``.  The ≥10× p50 assertion only applies at full
+scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.mtc.experiment import adhoc_query_mix
+from repro.persistence.nodestate import NodeSample
+from repro.query import QueryEngine
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import (
+    Classification,
+    ClassificationNode,
+    ClassificationScheme,
+    Organization,
+    Service,
+    ServiceBinding,
+)
+
+SERVICES = int(os.environ.get("BENCH_ADHOC_SERVICES", "2000"))
+QUERIES = int(os.environ.get("BENCH_ADHOC_QUERIES", "3000"))
+HOSTS = 32
+FULL_SCALE = SERVICES >= 2000
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_adhoc.json"
+
+#: workload composition: (category, weight)
+MIX_WEIGHTS = (
+    ("point", 0.45),
+    ("prefix", 0.25),
+    ("subquery", 0.20),
+    ("nodestate", 0.10),
+)
+
+
+# -- fixture registry ---------------------------------------------------------
+
+
+def build_registry() -> tuple[RegistryServer, dict[str, list[str]]]:
+    """~5k objects: services + bindings + taxonomy + orgs, and NodeState."""
+    registry = RegistryServer(RegistryConfig(seed=11))
+    store = registry.store
+    ids = registry.ids
+    for i in range(HOSTS):
+        registry.node_state.record_sample(
+            NodeSample(
+                host=f"host{i:03d}.bench",
+                load=(i % 40) / 10.0,
+                memory=4 << 30,
+                swap_memory=1 << 30,
+                updated=0.0,
+            )
+        )
+    scheme = ClassificationScheme(ids.new_id(), name="BenchTaxonomy")
+    store.insert_object(scheme)
+    node_ids: list[str] = []
+    for i in range(16):
+        node = ClassificationNode(
+            ids.new_id(), code=f"cat-{i:02d}", parent=scheme.id, name=f"Category {i}"
+        )
+        store.insert_object(node)
+        node_ids.append(node.id)
+    for i in range(max(1, SERVICES // 8)):
+        store.insert_object(Organization(ids.new_id(), name=f"DemoOrg_{i:03d}"))
+    service_ids: list[str] = []
+    for i in range(SERVICES):
+        service = Service(ids.new_id(), name=f"Svc{i:04d}", description="app service")
+        store.insert_object(service)
+        store.insert_object(
+            ServiceBinding(
+                ids.new_id(),
+                service=service.id,
+                access_uri=f"http://host{i % HOSTS:03d}.bench:8080/svc{i}",
+            )
+        )
+        service_ids.append(service.id)
+        if i % 3 == 0:
+            store.insert_object(
+                Classification(
+                    ids.new_id(),
+                    classified_object=service.id,
+                    classification_node=node_ids[i % len(node_ids)],
+                )
+            )
+    return registry, {"services": service_ids, "nodes": node_ids}
+
+
+def build_workload(
+    published: dict[str, list[str]],
+) -> tuple[dict[str, list[str]], list[str]]:
+    """Distinct query pools per category, plus the weighted replay order."""
+    rng = random.Random(42)
+    service_ids = published["services"]
+    points = rng.sample(service_ids, k=min(150, len(service_ids)))
+    prefixes = tuple(f"Svc{i:02d}" for i in range(0, 20))
+    nodes = tuple(published["nodes"][:8])
+    mix = adhoc_query_mix(
+        service_ids=tuple(points),
+        name_prefixes=prefixes,
+        classification_nodes=nodes,
+        load_ceiling=2.0,
+    )
+    n_points, n_prefixes, n_nodes = len(points), len(prefixes), len(nodes)
+    pools = {
+        "point": mix[:n_points],
+        "prefix": mix[n_points : n_points + n_prefixes]
+        # a non-prefix wildcard exercises the probe-plus-residual plan
+        + ["SELECT id, name FROM Service WHERE name LIKE 'Svc00_5' ORDER BY name"],
+        "subquery": mix[n_points + n_prefixes : n_points + n_prefixes + n_nodes],
+        "nodestate": mix[n_points + n_prefixes + n_nodes :]
+        + ["SELECT HOST FROM NodeState WHERE LOAD BETWEEN 0 AND 1 ORDER BY HOST"],
+    }
+    categories = [c for c, _ in MIX_WEIGHTS]
+    weights = [w for _, w in MIX_WEIGHTS]
+    order = [
+        rng.choice(pools[category])
+        for category in rng.choices(categories, weights=weights, k=QUERIES)
+    ]
+    return pools, order
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def measure(run_query, order: list[str], distinct: list[str]) -> dict:
+    """Latency percentiles (µs) and throughput over the replay order."""
+    for query in distinct:  # steady state: parse/plan/materialize once
+        run_query(query)
+    latencies = []
+    started = time.perf_counter()
+    for query in order:
+        t0 = time.perf_counter_ns()
+        run_query(query)
+        latencies.append(time.perf_counter_ns() - t0)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "queries": len(order),
+        "p50_us": latencies[len(latencies) // 2] / 1000.0,
+        "p95_us": latencies[int(len(latencies) * 0.95)] / 1000.0,
+        "qps": len(order) / elapsed,
+    }
+
+
+def run_bench() -> dict:
+    registry, published = build_registry()
+    pools, order = build_workload(published)
+    distinct = [query for pool in pools.values() for query in pool]
+    old_engine = QueryEngine(registry.store, planner=False)
+    new_engine = registry.engine  # the planned engine QueryManager serves
+
+    mismatches = 0
+    for query in distinct:
+        if old_engine.execute(query) != new_engine.execute(query):
+            mismatches += 1
+
+    old = measure(old_engine.execute, order, distinct)
+    new = measure(new_engine.execute, order, distinct)
+    return {
+        "bench": "adhoc_query_planner",
+        "scale": {
+            "objects": registry.store.count(),
+            "services": SERVICES,
+            "hosts": HOSTS,
+            "queries": QUERIES,
+            "distinct_queries": len(distinct),
+        },
+        "workload": {category: len(pool) for category, pool in pools.items()},
+        "old": old,
+        "new": new,
+        "speedup_p50": old["p50_us"] / new["p50_us"],
+        "speedup_p95": old["p95_us"] / new["p95_us"],
+        "speedup_qps": new["qps"] / old["qps"],
+        "mismatched_queries": mismatches,
+        "results_identical": mismatches == 0,
+        "plan_stats": dict(new_engine.stats),
+    }
+
+
+def test_adhoc_query_planner(save_artifact, bench_history_writer, benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    bench_history_writer(JSON_PATH, report)
+
+    lines = [
+        f"AQ-1 — ad-hoc query planner, {report['scale']['objects']} objects, "
+        f"{QUERIES} queries ({report['scale']['distinct_queries']} distinct)",
+        "",
+        f"{'path':8s} {'p50 µs':>10s} {'p95 µs':>10s} {'qps':>12s}",
+    ]
+    for path in ("old", "new"):
+        row = report[path]
+        lines.append(
+            f"{path:8s} {row['p50_us']:10.1f} {row['p95_us']:10.1f} {row['qps']:12.0f}"
+        )
+    lines.append(
+        f"{'':8s} speedup p50 ×{report['speedup_p50']:.1f}, "
+        f"p95 ×{report['speedup_p95']:.1f}, qps ×{report['speedup_qps']:.1f}"
+    )
+    save_artifact("AQ1_adhoc_query_planner", "\n".join(lines))
+
+    assert report["results_identical"], (
+        f"{report['mismatched_queries']} queries returned different rows "
+        "under scan vs planned execution"
+    )
+    benchmark.extra_info["speedup_p50"] = report["speedup_p50"]
+    if FULL_SCALE:
+        assert report["scale"]["objects"] >= 4500, report["scale"]
+        # the acceptance bar: planned mixed workload ≥10× at p50
+        assert report["speedup_p50"] >= 10.0, report
+        assert report["speedup_qps"] >= 10.0, report
+
+
+def test_bench_json_valid():
+    """The smoke check CI runs at reduced scale: the artifact must be valid."""
+    assert JSON_PATH.exists(), "run test_adhoc_query_planner first"
+    data = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    assert data["bench"] == "adhoc_query_planner"
+    assert data["results_identical"] is True
+    for path in ("old", "new"):
+        for metric in ("p50_us", "p95_us", "qps"):
+            assert data[path][metric] > 0
+    assert isinstance(data["history"], list)

@@ -11,7 +11,7 @@ hosts and queueing collapses.
 from repro.bench import format_table
 from repro.core import attach_autoscaler, attach_load_balancer
 from repro.registry import RegistryConfig, RegistryServer
-from repro.rim import Association, AssociationType, Organization, Service, ServiceBinding
+from repro.rim import Service, ServiceBinding
 from repro.sim import Cluster, HostSpec, SimEngine, Task
 from repro.sim.nodestatus import nodestatus_uri
 from repro.soap import SimTransport

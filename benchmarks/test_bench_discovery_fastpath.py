@@ -222,9 +222,9 @@ def run_bench() -> dict:
     return report
 
 
-def test_discovery_fastpath(save_artifact, benchmark):
+def test_discovery_fastpath(save_artifact, bench_history_writer, benchmark):
     report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    bench_history_writer(JSON_PATH, report)
 
     lines = [
         f"DISC-1 — discovery fast path, {SERVICES} services × {HOSTS} hosts, "

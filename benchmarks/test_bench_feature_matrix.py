@@ -8,7 +8,6 @@ reproduction models.
 """
 
 from repro.bench import format_table
-from repro.client.access import ClientEnvironment, Registry as AccessRegistry
 from repro.registry import RegistryConfig, RegistryServer
 from repro.rim import (
     AdhocQuery,
@@ -24,7 +23,7 @@ from repro.rim import (
     Service,
     Subscription,
 )
-from repro.uddi import KeyedReference, UddiRegistry
+from repro.uddi import UddiRegistry
 from repro.util.clock import ManualClock
 
 
@@ -191,7 +190,7 @@ def probe_matrix():
     )
 
     # --- fine-grained, user-defined access control -----------------------------------------------------------
-    from repro.security.xacml import Effect, Policy, PolicyDecisionPoint, Rule, default_policy
+    from repro.security.xacml import Effect, Policy, Rule
 
     deny = Policy(
         "urn:probe:no-approve",

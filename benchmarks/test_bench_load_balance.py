@@ -13,7 +13,6 @@ Two tables:
   only it sees live host state.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.mtc import BackgroundLoad, ExperimentConfig, compare_policies

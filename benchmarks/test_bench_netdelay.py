@@ -11,7 +11,6 @@ ranked by estimated access time — including the interaction with live load
 from repro.bench import format_table
 from repro.core import (
     NETWORK_DELAY_SLOT,
-    LoadStatus,
     NetworkAwareResolver,
     attach_load_balancer,
 )

@@ -15,7 +15,7 @@ from repro.registry import RegistryConfig, RegistryServer
 from repro.rim import Organization, Service, ServiceBinding
 from repro.sim import SimEngine
 from repro.soap import SimTransport
-from repro.util.clock import ManualClock, SimClockAdapter
+from repro.util.clock import ManualClock
 
 CONSTRAINT = "<constraint><cpuLoad>load ls 2.0</cpuLoad></constraint>"
 

@@ -27,7 +27,7 @@ verbatim into the description text so the core parser sees them unchanged.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.rim import EmailAddress, PostalAddress, TelephoneNumber
 from repro.util.errors import AccessXmlError

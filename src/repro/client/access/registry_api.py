@@ -43,7 +43,7 @@ from repro.rim import (
 )
 from repro.security.authn import Session
 from repro.security.keystore import Keystore
-from repro.util.errors import AccessXmlError, ObjectNotFoundError
+from repro.util.errors import AccessXmlError
 
 DEFAULT_KEYSTORE_PATH = "~/.keystore"
 

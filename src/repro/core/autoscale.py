@@ -19,7 +19,7 @@ composes the two ideas on top of the reproduction's registry:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.load_status import LoadStatus
 from repro.core.service_constraint import ServiceConstraint

@@ -16,7 +16,7 @@ an MSH enforces its agreements.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.ebxml.cpa import CollaborationProtocolAgreement

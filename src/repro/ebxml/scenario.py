@@ -32,7 +32,6 @@ from repro.registry.server import RegistryServer
 from repro.rim import ExtrinsicObject
 from repro.security.authn import Session
 from repro.soap.transport import SimTransport
-from repro.util.errors import InvalidRequestError, ObjectNotFoundError
 
 CORE_LIBRARY_PACKAGE = "urn:repro:ebxml:core-library"
 CPP_MIME = "application/vnd.ebxml-cpp+json"

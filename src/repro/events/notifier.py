@@ -14,8 +14,8 @@ register real (simulated) endpoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from dataclasses import dataclass
+from typing import Protocol
 
 from repro.persistence.dao import DAORegistry
 from repro.query import QueryEngine, parse_filter_query

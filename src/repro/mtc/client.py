@@ -10,7 +10,7 @@ reordering effective at balancing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mtc.policies import SelectionPolicy
 from repro.mtc.workload import Arrival

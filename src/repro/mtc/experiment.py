@@ -45,6 +45,43 @@ DEFAULT_CONSTRAINT = (
 )
 
 
+def adhoc_query_mix(
+    *,
+    service_ids: tuple[str, ...] = (),
+    name_prefixes: tuple[str, ...] = (),
+    classification_nodes: tuple[str, ...] = (),
+    load_ceiling: float = 2.0,
+) -> list[str]:
+    """The ebRS ad-hoc searches a §3.3 client runs before binding.
+
+    Four shapes, mirroring how MTC clients actually browse the registry:
+    point lookups of known services, name-prefix searches, taxonomy
+    (classification) semi-joins, and a NodeState scan to eyeball cluster
+    load.  Shared by the AQ-1 bench (replayed at scale against the planner)
+    and :meth:`ExperimentHarness.adhoc_discovery_queries`.
+    """
+    queries: list[str] = []
+    for service_id in service_ids:
+        escaped = service_id.replace("'", "''")
+        queries.append(f"SELECT * FROM Service WHERE id = '{escaped}'")
+    for prefix in name_prefixes:
+        escaped = prefix.replace("'", "''")
+        queries.append(
+            f"SELECT id, name FROM Service WHERE name LIKE '{escaped}%' ORDER BY name"
+        )
+    for node_id in classification_nodes:
+        escaped = node_id.replace("'", "''")
+        queries.append(
+            "SELECT name FROM Service WHERE id IN "
+            "(SELECT classifiedobject FROM Classification "
+            f"WHERE classificationnode = '{escaped}')"
+        )
+    queries.append(
+        f"SELECT HOST, LOAD FROM NodeState WHERE LOAD < {load_ceiling} ORDER BY LOAD"
+    )
+    return queries
+
+
 @dataclass(frozen=True)
 class HostFailure:
     """A crash/recovery episode injected into one host mid-run.
@@ -205,6 +242,18 @@ class ExperimentHarness:
         self.cluster.deploy_service("NodeStatus", host_names)
         self.cluster.deploy_service(cfg.service_name, host_names)
         return app.id
+
+    def adhoc_discovery_queries(self) -> list[str]:
+        """The ad-hoc search mix for this deployment's published services.
+
+        Replaying these through ``registry.qm`` (e.g. once at start-up)
+        warms the query-plan cache for the statements clients repeat all
+        run long.
+        """
+        return adhoc_query_mix(
+            service_ids=(self.service_id,),
+            name_prefixes=(self.config.service_name[:3], "Node"),
+        )
 
     def _schedule_failures(self) -> None:
         for failure in self.config.failures:

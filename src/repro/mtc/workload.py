@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from repro.sim.task import Task
 from repro.util.errors import InvalidRequestError

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.persistence.table import Row, Table
 from repro.rim.base import RegistryObject
@@ -250,6 +250,35 @@ class DataStore:
     def find_views_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
         """Read-only variant of :meth:`find_by_name` (no copies)."""
         return [self._objects[i] for i in self.find_ids_by_name(type_name, name)]
+
+    def find_ids_by_names(self, type_name: str, names: Iterable[str]) -> list[str]:
+        """Ids of objects of *type_name* whose name is any of *names* (sorted).
+
+        The query planner's ``name IN (...)`` probe: one bucket lookup per
+        name instead of a partition scan.
+        """
+        buckets = self._by_name.get(type_name)
+        if not buckets:
+            return []
+        out: set[str] = set()
+        for name in names:
+            bucket = buckets.get(name)
+            if bucket:
+                out |= bucket
+        return sorted(out)
+
+    def filter_ids_of_type(
+        self, type_name: str, candidate_ids: Iterable[str]
+    ) -> list[str]:
+        """The subset of *candidate_ids* stored under *type_name* (sorted).
+
+        The query planner's id-equality / ``id IN (...)`` probe: set
+        intersection against the type partition, never a scan.
+        """
+        bucket = self._by_type.get(type_name)
+        if not bucket:
+            return []
+        return sorted(bucket.intersection(candidate_ids))
 
     def find_ids_by_name_prefix(self, type_name: str, prefix: str) -> list[str]:
         """Ids of objects whose name starts with *prefix*, via a range scan."""

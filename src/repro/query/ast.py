@@ -97,6 +97,20 @@ Predicate = Union[
 ]
 
 
+def flatten_conjuncts(predicate: "Predicate") -> list["Predicate"]:
+    """Flatten an ``And`` tree into its conjuncts, in evaluation order.
+
+    The parser builds left-deep ``And`` chains; the planner analyses the
+    flattened list to pick an index-backed access path and keeps the
+    remaining conjuncts as residual filters in the same left-to-right order
+    the evaluator would have short-circuited them.  Non-``And`` predicates
+    come back as a single-element list.
+    """
+    if isinstance(predicate, And):
+        return flatten_conjuncts(predicate.left) + flatten_conjuncts(predicate.right)
+    return [predicate]
+
+
 @dataclass(frozen=True)
 class OrderTerm:
     column: Column

@@ -9,11 +9,19 @@ The engine executes a parsed :class:`~repro.query.ast.Select` against
 
 SQL three-valued logic is approximated conservatively: comparisons against
 NULL are false, which matches how the registry's discovery queries use it.
+
+Execution is planned by default: statements lower once into a
+:class:`~repro.query.planner.CompiledPlan` (plan cache keyed on query text,
+index-backed access paths, compiled predicate closures, version-validated
+subquery materialization) — see :mod:`repro.query.planner`.  Construct with
+``planner=False`` to force the original parse-and-scan path; the two must
+return bit-identical rows, which the ad-hoc bench asserts per query.
 """
 
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any
 
 from repro.persistence.datastore import DataStore
@@ -27,7 +35,6 @@ from repro.query.ast import (
     InSubquery,
     IsNull,
     Like,
-    Literal,
     Not,
     Or,
     Predicate,
@@ -62,6 +69,34 @@ def _coerce_pair(left: Any, right: Any) -> tuple[Any, Any]:
     return left, right
 
 
+def coerce_between(value: Any, low: Any, high: Any) -> tuple[Any, Any, Any]:
+    """Coerce a BETWEEN triple with one decision for all three operands.
+
+    Pairwise coercion (value/low then value/high) could leave a str bound
+    facing an already-floated value — ``'2.5' BETWEEN '1' AND 3`` compared
+    ``'1' <= 2.5`` and failed.  Here, if *any* operand is numeric, every
+    numeric-looking string in the triple converts; a string that does not
+    parse stays put and the comparison falls to the conservative
+    TypeError-is-false rule.
+    """
+    if (
+        isinstance(value, (int, float))
+        or isinstance(low, (int, float))
+        or isinstance(high, (int, float))
+    ):
+        return _as_number(value), _as_number(low), _as_number(high)
+    return value, low, high
+
+
+def _as_number(operand: Any) -> Any:
+    if isinstance(operand, str):
+        try:
+            return float(operand)
+        except ValueError:
+            return operand
+    return operand
+
+
 def _value_of(expr: Expr, row: Row) -> Any:
     if isinstance(expr, Column):
         key = expr.name.lower()
@@ -71,8 +106,14 @@ def _value_of(expr: Expr, row: Row) -> Any:
     return expr.value
 
 
+@lru_cache(maxsize=512)
 def like_to_regex(pattern: str) -> re.Pattern[str]:
-    """Translate a SQL LIKE pattern (% and _) to an anchored regex."""
+    """Translate a SQL LIKE pattern (% and _) to an anchored regex.
+
+    Bounded-memoized: the scan path used to recompile the same pattern for
+    every row; now any path — planned or not — compiles each distinct
+    pattern once.
+    """
     out: list[str] = []
     for char in pattern:
         if char == "%":
@@ -114,8 +155,7 @@ def eval_predicate(predicate: Predicate, row: Row) -> bool:
         high = _value_of(predicate.high, row)
         if value is None or low is None or high is None:
             return False
-        value, low = _coerce_pair(value, low)
-        value, high = _coerce_pair(value, high)
+        value, low, high = coerce_between(value, low, high)
         try:
             inside = low <= value <= high
         except TypeError:
@@ -140,8 +180,24 @@ def eval_predicate(predicate: Predicate, row: Row) -> bool:
 class QueryEngine:
     """Executes SELECT statements against one datastore."""
 
-    def __init__(self, store: DataStore) -> None:
+    def __init__(self, store: DataStore, *, planner: bool = True) -> None:
         self.store = store
+        self.use_planner = planner
+        #: observability counters (plan cache, subquery cache, row traffic)
+        self.stats = {
+            "plans_built": 0,
+            "plan_hits": 0,
+            "subquery_materializations": 0,
+            "subquery_hits": 0,
+            "rows_materialized": 0,
+        }
+        self._plans = None
+        if planner:
+            from repro.query.planner import PlanCache
+
+            self._plans = PlanCache()
+        #: subquery Select → (heap version, materialized value set)
+        self._subquery_cache: dict[Select, tuple[int, frozenset | tuple]] = {}
 
     # -- row sources -----------------------------------------------------------
 
@@ -160,29 +216,108 @@ class QueryEngine:
                 return rows
             return [project(obj) for obj in self.store.iter_views_of_type(type_name)]
         if self.store.has_table(table_name):
-            # relational tables keep their declared (upper-case) column names;
-            # expose both original and lower-case keys for predicate access.
-            out = []
-            for row in self.store.table(table_name).select():
-                merged = dict(row)
-                merged.update({k.lower(): v for k, v in row.items()})
-                out.append(merged)
-            return out
+            return self._relational_rows(table_name)
         raise QuerySyntaxError(f"unknown table: {table_name!r}")
+
+    def _relational_rows(self, table_name: str) -> list[Row]:
+        # relational tables keep their declared (upper-case) column names;
+        # expose both original and lower-case keys for predicate access.
+        out = []
+        for row in self.store.table(table_name).select():
+            merged = dict(row)
+            merged.update({k.lower(): v for k, v in row.items()})
+            out.append(merged)
+        return out
+
+    # -- planning ----------------------------------------------------------------
+
+    def _plan_for(self, cache_key: Any, select: Select):
+        plan = self._plans.get(cache_key)
+        if plan is None:
+            from repro.query.planner import build_plan
+
+            plan = build_plan(self.store, select)
+            self._plans.put(cache_key, plan)
+            self.stats["plans_built"] += 1
+        else:
+            self.stats["plan_hits"] += 1
+        return plan
+
+    def explain(self, query: str | Select) -> dict[str, Any]:
+        """The plan the engine would run: access path, residual, subqueries."""
+        select = parse_select(query) if isinstance(query, str) else query
+        if self.use_planner:
+            plan = self._plan_for(query if isinstance(query, str) else select, select)
+        else:
+            from repro.query.planner import build_plan
+
+            plan = build_plan(self.store, select)
+        return plan.explain()
+
+    def _subquery_values(self, select: Select, column: str) -> frozenset | tuple:
+        """Materialized value set of one uncorrelated subquery.
+
+        Cached per heap version: classification-style semi-joins run once
+        per write generation, not once per outer query.
+        """
+        version = self.store.version
+        hit = self._subquery_cache.get(select)
+        if hit is not None and hit[0] == version:
+            self.stats["subquery_hits"] += 1
+            return hit[1]
+        rows = self.execute(select)
+        values = [row[column] for row in rows if row.get(column) is not None]
+        try:
+            materialized: frozenset | tuple = frozenset(values)
+        except TypeError:
+            materialized = tuple(values)
+        if len(self._subquery_cache) >= 64:
+            stale = [
+                key
+                for key, (cached_version, _) in self._subquery_cache.items()
+                if cached_version != version
+            ]
+            for key in stale:
+                del self._subquery_cache[key]
+            if len(self._subquery_cache) >= 64:
+                self._subquery_cache.pop(next(iter(self._subquery_cache)))
+        self._subquery_cache[select] = (version, materialized)
+        self.stats["subquery_materializations"] += 1
+        return materialized
 
     # -- execution ----------------------------------------------------------------
 
     def execute(self, query: str | Select) -> list[Row]:
         """Run a query, returning projected rows."""
         select = parse_select(query) if isinstance(query, str) else query
-        rows = self._rows_for_table(select.table)
-        where = (
-            self._resolve_subqueries(select.where)
-            if select.where is not None
-            else None
-        )
-        if where is not None:
-            rows = [row for row in rows if eval_predicate(where, row)]
+        if self.use_planner:
+            plan = self._plan_for(query if isinstance(query, str) else select, select)
+            for cell in plan.cells:
+                cell.values = self._subquery_values(cell.select, cell.column)
+            fast_count = plan.fast_count(self.store)
+            if fast_count is not None:
+                return [{"count": fast_count}]
+            if plan.relational:
+                rows = self._relational_rows(select.table)
+            else:
+                rows, considered = plan.candidate_rows(self.store)
+                self.stats["rows_materialized"] += considered
+            if plan.residual is not None:
+                residual = plan.residual
+                rows = [row for row in rows if residual(row)]
+        else:
+            rows = self._rows_for_table(select.table)
+            where = (
+                self._resolve_subqueries(select.where)
+                if select.where is not None
+                else None
+            )
+            if where is not None:
+                rows = [row for row in rows if eval_predicate(where, row)]
+        return self._finish(select, rows)
+
+    def _finish(self, select: Select, rows: list[Row]) -> list[Row]:
+        """The shared statement tail: count, order, project, distinct, limit."""
         if select.count:
             return [{"count": len(rows)}]
         if select.order_by:

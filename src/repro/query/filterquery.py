@@ -20,6 +20,7 @@ translation target is the SQL AST, so both syntaxes share one evaluator.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
+from functools import lru_cache
 
 from repro.query.ast import (
     And,
@@ -91,8 +92,16 @@ def _parse_clause(element: ET.Element) -> Predicate:
     raise QuerySyntaxError(f"unknown filter-query element: <{tag}>")
 
 
+@lru_cache(maxsize=128)
 def parse_filter_query(xml_text: str) -> Select:
-    """Translate a FilterQuery document into a ``SELECT * FROM target``."""
+    """Translate a FilterQuery document into a ``SELECT * FROM target``.
+
+    Bounded-memoized on the document text: filter-query clients resend the
+    same document per discovery round, and the translated ``Select`` (all
+    frozen dataclasses) doubles as the plan-cache key, so repeat requests
+    skip both the XML parse and the plan build.  Malformed documents raise
+    and are never cached.
+    """
     root = parse_xml(xml_text, what="filter query")
     if root.tag != "FilterQuery":
         raise QuerySyntaxError("filter query root element must be <FilterQuery>")

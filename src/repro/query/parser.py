@@ -21,6 +21,8 @@ because the engine is single-table (freebXML's common queries are too).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.query.ast import (
     And,
     Between,
@@ -37,7 +39,6 @@ from repro.query.ast import (
     OrderTerm,
     Predicate,
     Select,
-    Value,
 )
 from repro.query.tokens import Token, TokenType, tokenize
 from repro.util.errors import QuerySyntaxError
@@ -262,6 +263,13 @@ class Parser:
         )
 
 
+@lru_cache(maxsize=512)
 def parse_select(text: str) -> Select:
-    """Parse a SELECT statement (the module's public entry point)."""
+    """Parse a SELECT statement (the module's public entry point).
+
+    Bounded-memoized on the statement text: every AST node is a frozen
+    dataclass, so cached ``Select`` trees are safely shared between the
+    plan cache and repeat ad-hoc requests.  Syntax errors raise and are
+    never cached, so each bad request re-reports its position.
+    """
     return Parser(text).parse()

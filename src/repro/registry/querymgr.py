@@ -18,7 +18,7 @@ per §1.3.2.4, subject to content visibility only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.persistence.dao import DAORegistry
@@ -26,7 +26,6 @@ from repro.query import QueryEngine, parse_filter_query
 from repro.rim import (
     QUERY_LANGUAGE_FILTER,
     QUERY_LANGUAGE_SQL,
-    AdhocQuery,
     Organization,
     RegistryObject,
     Service,
@@ -90,6 +89,26 @@ class QueryManager:
         return AdhocQueryResponse(
             rows=window, start_index=start_index, total_result_count=total
         )
+
+    def explain_adhoc_query(
+        self, query: str, *, query_language: str = QUERY_LANGUAGE_SQL
+    ) -> dict[str, Any]:
+        """The plan an AdhocQueryRequest would run (access path, residual).
+
+        Diagnostic twin of :meth:`execute_adhoc_query`: same language
+        dispatch, but returns the planner's explanation instead of rows.
+        """
+        if query_language == QUERY_LANGUAGE_SQL:
+            parsed: Any = query
+        elif query_language == QUERY_LANGUAGE_FILTER:
+            parsed = parse_filter_query(query)
+        else:
+            raise InvalidRequestError(f"unknown query language: {query_language!r}")
+        return self.engine.explain(parsed)
+
+    def query_plan_stats(self) -> dict[str, int]:
+        """Planner counters: plan cache hits, subquery materializations, rows."""
+        return dict(self.engine.stats)
 
     # -- stored parameterized queries -------------------------------------------------
 

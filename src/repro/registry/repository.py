@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Protocol
 
 from repro.persistence.dao import DAORegistry
 from repro.rim import ExtrinsicObject

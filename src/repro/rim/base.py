@@ -21,18 +21,12 @@ layer snapshots/copies instances explicitly and identity semantics are by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
 
 from repro.rim.slots import Slot, SlotMap
 from repro.rim.status import ObjectStatus
 from repro.rim.strings import InternationalString
 from repro.util.errors import InvalidRequestError
 from repro.util.ids import is_urn_uuid
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.rim.classification import Classification
-    from repro.rim.external import ExternalIdentifier
-
 
 class VersionInfo:
     """Automatic version metadata (ebRS versioning feature, Table 1.1)."""

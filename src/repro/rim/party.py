@@ -7,7 +7,7 @@ entries, owned by a registered User.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.rim.base import RegistryObject
 from repro.util.errors import InvalidRequestError

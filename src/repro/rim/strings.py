@@ -8,7 +8,7 @@ structure so classification schemes and federation metadata round-trip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 DEFAULT_LOCALE = "en_US"
 DEFAULT_CHARSET = "UTF-8"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.util.errors import AuthenticationError
 

@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from repro.registry.server import RegistryServer

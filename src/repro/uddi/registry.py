@@ -17,20 +17,19 @@ tModel deletion is *logical* (hidden, not destroyed), per the UDDI spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.uddi.model import (
     CANONICAL_TMODELS,
     BindingTemplate,
     BusinessEntity,
     BusinessService,
-    CategoryBag,
     KeyedReference,
     PublisherAssertion,
     TModel,
     require_key,
 )
-from repro.util.errors import AuthenticationError, InvalidRequestError, ObjectNotFoundError
+from repro.util.errors import AuthenticationError, ObjectNotFoundError
 from repro.util.ids import IdFactory
 
 

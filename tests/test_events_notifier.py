@@ -1,6 +1,5 @@
 """Tests for subscriptions and content-based notification (thesis §1.3.2.5)."""
 
-import pytest
 
 from repro.events import RecordingChannel
 from repro.rim import (

@@ -209,3 +209,92 @@ class TestPredicateSemantics:
         ids_ = engine.execute_ids("SELECT id FROM Organization WHERE name = 'SDSU'")
         assert len(ids_) == 1
         assert ids_[0].startswith("urn:uuid:")
+
+
+class TestLikeRegexCache:
+    """Satellite: like_to_regex is bounded-memoized, not recompiled per row."""
+
+    def test_same_pattern_returns_cached_compile(self):
+        from repro.query import like_to_regex
+
+        assert like_to_regex("Demo%") is like_to_regex("Demo%")
+
+    def test_cache_is_bounded(self):
+        from repro.query import like_to_regex
+
+        assert like_to_regex.cache_info().maxsize == 512
+
+    def test_metacharacters_stay_literal(self):
+        from repro.query import like_to_regex
+
+        assert like_to_regex("a.b(c)%").match("a.b(c) anything")
+        assert not like_to_regex("a.b(c)%").match("aXb(c)")
+        assert like_to_regex("50^%").match("50^x")
+        assert like_to_regex("[set]_").match("[set]!")
+        assert not like_to_regex("[set]_").match("s")
+
+
+class TestBetweenCoercion:
+    """Satellite: BETWEEN coerces the whole triple with one decision."""
+
+    def test_numeric_strings_against_numeric_bound(self):
+        from repro.query import coerce_between
+
+        # pairwise coercion left '1' (str) facing 2.5 (float): TypeError → False
+        assert coerce_between("2.5", "1", 3) == (2.5, 1.0, 3)
+
+    def test_all_strings_stay_strings(self):
+        from repro.query import coerce_between
+
+        assert coerce_between("b", "a", "c") == ("b", "a", "c")
+
+    def test_unparseable_string_is_kept(self):
+        from repro.query import coerce_between
+
+        assert coerce_between(2.0, 1, "oops") == (2.0, 1, "oops")
+
+    def test_between_mixed_operands_row_semantics(self, engine):
+        # LOAD is a float; string bounds must both coerce
+        rows = engine.execute(
+            "SELECT HOST FROM NodeState WHERE LOAD BETWEEN '0' AND '1'"
+        )
+        assert [r["HOST"] for r in rows] == ["exergy.sdsu.edu"]
+
+    def test_unparseable_bound_is_conservative_false(self, engine):
+        rows = engine.execute(
+            "SELECT HOST FROM NodeState WHERE LOAD BETWEEN '0' AND 'high'"
+        )
+        assert rows == []
+
+
+class TestThreeValuedConservatism:
+    """Satellite: every NULL-involved predicate is false, negated or not."""
+
+    def test_null_not_like(self, engine):
+        # provider is NULL: NOT LIKE must stay false, not become true
+        assert engine.execute("SELECT * FROM Service WHERE provider NOT LIKE 'x%'") == []
+
+    def test_null_not_in(self, engine):
+        assert engine.execute("SELECT * FROM Service WHERE provider NOT IN ('x')") == []
+
+    def test_null_not_between(self, engine):
+        assert (
+            engine.execute("SELECT * FROM Service WHERE provider NOT BETWEEN 'a' AND 'z'")
+            == []
+        )
+
+    def test_not_of_null_comparison_is_true(self, engine):
+        # NOT (provider = 'x') where provider IS NULL: the engine's NOT is
+        # two-valued over the conservative false, so the row qualifies
+        rows = engine.execute("SELECT * FROM Service WHERE NOT provider = 'x'")
+        assert len(rows) == 1
+
+    def test_negated_between_and_in(self, engine):
+        rows = engine.execute(
+            "SELECT HOST FROM NodeState WHERE LOAD NOT BETWEEN 0 AND 1"
+        )
+        assert [r["HOST"] for r in rows] == ["thermo.sdsu.edu"]
+        rows = engine.execute(
+            "SELECT name FROM Organization WHERE name NOT IN ('SDSU')"
+        )
+        assert len(rows) == 2

@@ -1,0 +1,336 @@
+"""Planner tests: access-path selection, plan caching, and scan parity.
+
+Every behaviour here is pinned against one invariant: a planning engine and
+a ``planner=False`` engine over the same store return bit-identical rows —
+same rows, same order — for every statement, including the ORDER-BY-tie,
+DISTINCT, windowing, and NULL corners the planner could plausibly break.
+"""
+
+import pytest
+
+from repro.mtc.experiment import adhoc_query_mix
+from repro.persistence import DAORegistry, DataStore, NodeSample, NodeStateStore
+from repro.query import QueryEngine, parse_select
+from repro.rim import Classification, Organization, Service, ServiceBinding
+from repro.util.errors import QuerySyntaxError
+from repro.util.ids import IdFactory
+
+ids = IdFactory(77)
+
+
+@pytest.fixture
+def store() -> DataStore:
+    store = DataStore()
+    daos = DAORegistry(store)
+    for name in ("DemoOrg_A", "DemoOrg_B", "SDSU", "Acme 100% (west)", ""):
+        daos.organizations.insert(Organization(ids.new_id(), name=name))
+    services = []
+    for index in range(6):
+        svc = Service(ids.new_id(), name=f"Svc{index:02d}", description="app")
+        daos.services.insert(svc)
+        services.append(svc)
+    # two services share a name: ORDER BY name ties must stay stable
+    twin = Service(ids.new_id(), name="Svc01", description="twin")
+    daos.services.insert(twin)
+    services.append(twin)
+    for svc in services[:3]:
+        daos.service_bindings.insert(
+            ServiceBinding(
+                ids.new_id(),
+                service=svc.id,
+                access_uri=f"http://h-{svc.name.value}.example:80/x",
+            )
+        )
+    node = ids.new_id()
+    for svc in services[1:4]:
+        store.insert_object(
+            Classification(
+                ids.new_id(), classified_object=svc.id, classification_node=node
+            )
+        )
+    node_state = NodeStateStore(store)
+    for index, host in enumerate(("alpha.example", "beta.example", "gamma.example")):
+        node_state.record_sample(
+            NodeSample(
+                host=host,
+                load=0.5 * index,
+                memory=4 << 30,
+                swap_memory=1 << 30,
+                updated=0.0,
+            )
+        )
+    store.classification_node_id = node  # stash for tests
+    store.service_objects = services
+    return store
+
+
+@pytest.fixture
+def planned(store) -> QueryEngine:
+    return QueryEngine(store)
+
+
+@pytest.fixture
+def scan(store) -> QueryEngine:
+    return QueryEngine(store, planner=False)
+
+
+def assert_parity(planned: QueryEngine, scan: QueryEngine, query: str) -> list:
+    a = planned.execute(query)
+    b = scan.execute(query)
+    assert a == b, f"planned != scan for {query!r}"
+    return a
+
+
+class TestAccessPathSelection:
+    def test_id_equality_probes(self, planned, store):
+        svc = store.service_objects[0]
+        plan = planned.explain(f"SELECT * FROM Service WHERE id = '{svc.id}'")
+        assert plan["access_path"] == "id-eq"
+        assert plan["residual_conjuncts"] == 0
+
+    def test_id_equality_reversed_operands(self, planned, store):
+        svc = store.service_objects[0]
+        plan = planned.explain(f"SELECT * FROM Service WHERE '{svc.id}' = id")
+        assert plan["access_path"] == "id-eq"
+
+    def test_id_in_list(self, planned, store):
+        a, b = store.service_objects[:2]
+        plan = planned.explain(
+            f"SELECT * FROM Service WHERE id IN ('{a.id}', '{b.id}')"
+        )
+        assert plan["access_path"] == "id-in"
+
+    def test_name_equality(self, planned):
+        plan = planned.explain("SELECT * FROM Service WHERE name = 'Svc01'")
+        assert plan["access_path"] == "name-eq"
+
+    def test_wildcardless_like_is_name_equality(self, planned):
+        plan = planned.explain("SELECT * FROM Service WHERE name LIKE 'Svc01'")
+        assert plan["access_path"] == "name-eq"
+
+    def test_pure_prefix_like_has_no_residual(self, planned):
+        plan = planned.explain("SELECT * FROM Service WHERE name LIKE 'Svc%'")
+        assert plan["access_path"] == "name-prefix"
+        assert plan["residual_conjuncts"] == 0
+
+    def test_prefix_like_with_inner_wildcard_keeps_residual(self, planned):
+        plan = planned.explain("SELECT * FROM Service WHERE name LIKE 'Svc0_'")
+        assert plan["access_path"] == "name-prefix"
+        assert plan["residual_conjuncts"] == 1
+
+    def test_name_in_list(self, planned):
+        plan = planned.explain(
+            "SELECT * FROM Service WHERE name IN ('Svc01', 'Svc02')"
+        )
+        assert plan["access_path"] == "name-in"
+
+    def test_id_in_subquery(self, planned, store):
+        plan = planned.explain(
+            "SELECT name FROM Service WHERE id IN "
+            "(SELECT classifiedobject FROM Classification)"
+        )
+        assert plan["access_path"] == "id-in-subquery"
+        assert plan["subqueries"] == 1
+
+    def test_cheapest_conjunct_wins(self, planned, store):
+        svc = store.service_objects[0]
+        plan = planned.explain(
+            "SELECT * FROM Service WHERE name LIKE 'Svc%' "
+            f"AND id = '{svc.id}' AND description = 'app'"
+        )
+        assert plan["access_path"] == "id-eq"
+        # the LIKE and description conjuncts stay as residual filters
+        assert plan["residual_conjuncts"] == 2
+
+    def test_numeric_literal_against_name_is_not_sargable(self, planned):
+        # scan semantics coerce name '123' == 123; an index probe would miss
+        plan = planned.explain("SELECT * FROM Organization WHERE name = 123")
+        assert plan["access_path"] == "scan"
+
+    def test_negated_predicates_are_not_sargable(self, planned):
+        for where in (
+            "name NOT LIKE 'Svc%'",
+            "id NOT IN ('a', 'b')",
+            "NOT name = 'Svc01'",
+        ):
+            plan = planned.explain(f"SELECT * FROM Service WHERE {where}")
+            assert plan["access_path"] == "scan", where
+
+    def test_or_tree_falls_back_to_scan(self, planned):
+        plan = planned.explain(
+            "SELECT * FROM Service WHERE name = 'Svc01' OR name = 'Svc02'"
+        )
+        assert plan["access_path"] == "scan"
+
+    def test_relational_tables_always_scan(self, planned):
+        plan = planned.explain("SELECT HOST FROM NodeState WHERE LOAD < 1.0")
+        assert plan["access_path"] == "scan"
+        assert plan["relational"] is True
+
+    def test_unknown_table_raises(self, planned):
+        with pytest.raises(QuerySyntaxError):
+            planned.execute("SELECT * FROM Nonsense")
+
+
+class TestPlanCache:
+    def test_repeat_text_hits_cache(self, planned):
+        query = "SELECT * FROM Service WHERE name LIKE 'Svc%'"
+        planned.execute(query)
+        built = planned.stats["plans_built"]
+        planned.execute(query)
+        planned.execute(query)
+        assert planned.stats["plans_built"] == built
+        assert planned.stats["plan_hits"] >= 2
+
+    def test_ast_input_hits_cache_too(self, planned):
+        select = parse_select("SELECT * FROM Service WHERE name = 'Svc01'")
+        planned.execute(select)
+        built = planned.stats["plans_built"]
+        planned.execute(select)
+        assert planned.stats["plans_built"] == built
+
+    def test_plans_survive_writes(self, planned, store):
+        query = "SELECT * FROM Service WHERE name = 'SvcNew'"
+        assert planned.execute(query) == []
+        built = planned.stats["plans_built"]
+        store.insert_object(Service(ids.new_id(), name="SvcNew", description="d"))
+        rows = planned.execute(query)
+        assert [r["name"] for r in rows] == ["SvcNew"]
+        # the write invalidated nothing: probes read the live index
+        assert planned.stats["plans_built"] == built
+
+
+class TestSubqueryMaterialization:
+    QUERY = (
+        "SELECT name FROM Service WHERE id IN "
+        "(SELECT classifiedobject FROM Classification)"
+    )
+
+    def test_materialized_once_per_version(self, planned):
+        planned.execute(self.QUERY)
+        planned.execute(self.QUERY)
+        planned.execute(self.QUERY)
+        assert planned.stats["subquery_materializations"] == 1
+        assert planned.stats["subquery_hits"] == 2
+
+    def test_write_invalidates_materialization(self, planned, scan, store):
+        before = assert_parity(planned, scan, self.QUERY)
+        svc = Service(ids.new_id(), name="SvcNew", description="d")
+        store.insert_object(svc)
+        store.insert_object(
+            Classification(
+                ids.new_id(),
+                classified_object=svc.id,
+                classification_node=store.classification_node_id,
+            )
+        )
+        after = assert_parity(planned, scan, self.QUERY)
+        assert len(after) == len(before) + 1
+        assert planned.stats["subquery_materializations"] == 2
+
+
+class TestLazyMaterialization:
+    def test_index_path_materializes_only_candidates(self, planned, store):
+        svc = store.service_objects[0]
+        planned.execute(f"SELECT * FROM Service WHERE id = '{svc.id}'")
+        assert planned.stats["rows_materialized"] == 1
+        planned.execute("SELECT * FROM Service")
+        assert planned.stats["rows_materialized"] == 1 + len(store.service_objects)
+
+    def test_fast_count_materializes_nothing(self, planned, store):
+        rows = planned.execute("SELECT COUNT(*) FROM Service")
+        assert rows == [{"count": len(store.service_objects)}]
+        assert planned.stats["rows_materialized"] == 0
+
+
+class TestScanParity:
+    """The planner must be invisible except in latency."""
+
+    def queries(self, store):
+        svc = store.service_objects[0]
+        twin_name_order = "SELECT id, name FROM Service ORDER BY name"
+        return [
+            "SELECT * FROM Service",
+            f"SELECT * FROM Service WHERE id = '{svc.id}'",
+            f"SELECT * FROM RegistryObject WHERE id = '{svc.id}'",
+            f"SELECT * FROM Service WHERE id IN ('{svc.id}', 'missing')",
+            "SELECT * FROM Service WHERE name = 'Svc01'",
+            "SELECT * FROM Service WHERE name LIKE 'Svc0%'",
+            "SELECT * FROM Service WHERE name LIKE 'Svc0_'",
+            "SELECT * FROM Service WHERE name IN ('Svc01', 'Svc05', 'nope')",
+            "SELECT name FROM Service WHERE id IN "
+            "(SELECT classifiedobject FROM Classification)",
+            twin_name_order,  # ORDER BY ties between the Svc01 twins
+            "SELECT name FROM Service WHERE name LIKE 'Svc%' ORDER BY name DESC",
+            "SELECT DISTINCT name FROM Service WHERE name LIKE 'Svc%'",
+            "SELECT name FROM Service WHERE name LIKE 'Svc%' LIMIT 3",
+            "SELECT COUNT(*) FROM Service WHERE name LIKE 'Svc%'",
+            "SELECT * FROM RegistryObject WHERE name = 'Svc01'",
+            "SELECT * FROM RegistryObject WHERE name LIKE 'Demo%'",
+            "SELECT name FROM Organization WHERE name LIKE '%(west)'",
+            "SELECT name FROM Organization WHERE name LIKE 'Acme 100_ (west)'",
+            "SELECT HOST, LOAD FROM NodeState WHERE LOAD BETWEEN 0 AND 1",
+            "SELECT * FROM Organization WHERE name = ''",
+        ]
+
+    def test_rows_and_order_identical(self, planned, scan, store):
+        for query in self.queries(store):
+            assert_parity(planned, scan, query)
+
+    def test_windowed_parity(self, planned, scan):
+        query = "SELECT id, name FROM Service WHERE name LIKE 'Svc%' ORDER BY name"
+        for start, size in ((0, 3), (2, 2), (5, None), (50, 4)):
+            a = planned.execute_windowed(query, start_index=start, max_results=size)
+            b = scan.execute_windowed(query, start_index=start, max_results=size)
+            assert a == b
+
+    def test_parity_after_rename_moves_name_index(self, planned, scan, store):
+        svc = store.service_objects[0].copy()
+        svc.name.set("Renamed")
+        store.save_object(svc)
+        for query in (
+            "SELECT * FROM Service WHERE name = 'Renamed'",
+            "SELECT * FROM Service WHERE name = 'Svc00'",
+        ):
+            assert_parity(planned, scan, query)
+
+    def test_parity_after_delete(self, planned, scan, store):
+        target = store.service_objects[2]
+        query = f"SELECT * FROM Service WHERE id = '{target.id}'"
+        assert len(assert_parity(planned, scan, query)) == 1
+        store.delete_object(target.id)
+        assert assert_parity(planned, scan, query) == []
+
+    def test_parity_after_rollback_rebuild(self, planned, scan, store):
+        query = "SELECT * FROM Service WHERE name = 'SvcTxn'"
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(
+                    Service(ids.new_id(), name="SvcTxn", description="d")
+                )
+                raise RuntimeError("abort")
+        assert assert_parity(planned, scan, query) == []
+
+
+class TestAdhocQueryMix:
+    def test_mix_shapes(self, store):
+        queries = adhoc_query_mix(
+            service_ids=("svc-1",),
+            name_prefixes=("Svc",),
+            classification_nodes=("node-1",),
+        )
+        assert len(queries) == 4
+        engine = QueryEngine(store)
+        kinds = [engine.explain(q)["access_path"] for q in queries]
+        assert kinds == ["id-eq", "name-prefix", "id-in-subquery", "scan"]
+
+    def test_harness_exposes_bound_mix(self):
+        from repro.mtc.experiment import ExperimentConfig, ExperimentHarness
+
+        harness = ExperimentHarness(ExperimentConfig())
+        queries = harness.adhoc_discovery_queries()
+        assert any(harness.service_id in q for q in queries)
+        for query in queries:
+            harness.registry.qm.execute_adhoc_query(query, max_results=10)
+        stats = harness.registry.qm.query_plan_stats()
+        assert stats["plans_built"] >= len(queries)

@@ -1,6 +1,5 @@
 """Tests for the XACML-lite policy engine."""
 
-import pytest
 
 from repro.security.xacml import (
     Decision,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rim import Organization, Service, ServiceBinding
+from repro.rim import Organization
 from repro.soap import (
     AdhocQueryRequest,
     GetRegistryObjectRequest,

@@ -1,6 +1,5 @@
 """Tests for urn:uuid identifier generation."""
 
-import pytest
 
 from repro.util.ids import IdFactory, is_urn_uuid, new_urn_uuid
 
