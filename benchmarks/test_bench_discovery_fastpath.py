@@ -19,6 +19,12 @@ track the trajectory.
 Scale knobs (for the CI smoke job): ``BENCH_DISCOVERY_SERVICES``,
 ``BENCH_DISCOVERY_HOSTS``, ``BENCH_DISCOVERY_QUERIES``.  The ≥5× speedup
 assertion only applies at full scale.
+
+Regression gate: set ``BENCH_DISCOVERY_MAX_REGRESSION`` (a fraction, e.g.
+``0.10``) and the bench fails if the resolver-on new-path p50 regresses
+more than that against the most recent same-scale run recorded in
+``BENCH_discovery.json`` — the CI kernel-overhead smoke uses this to catch
+pipeline stages leaking onto the discovery hot path.
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ import os
 import pathlib
 import random
 import time
+
+import pytest
 
 from repro.core import ConstraintBindingResolver, LoadStatus, ServiceConstraint
 from repro.core.constraints import parse_constraints
@@ -47,6 +55,16 @@ FULL_SCALE = SERVICES >= 1000 and HOSTS >= 64
 CONSTRAINT = "<constraint><cpuLoad>load ls 2.0</cpuLoad></constraint>"
 
 JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_discovery.json"
+
+MAX_REGRESSION = os.environ.get("BENCH_DISCOVERY_MAX_REGRESSION")
+
+
+def same_scale_baseline(merged: dict) -> dict | None:
+    """Most recent history entry measured at this run's scale, if any."""
+    for entry in reversed(merged.get("history", ())):
+        if entry.get("scale") == merged.get("scale"):
+            return entry
+    return None
 
 
 # -- fixture registry ---------------------------------------------------------
@@ -224,7 +242,7 @@ def run_bench() -> dict:
 
 def test_discovery_fastpath(save_artifact, bench_history_writer, benchmark):
     report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    bench_history_writer(JSON_PATH, report)
+    merged = bench_history_writer(JSON_PATH, report)
 
     lines = [
         f"DISC-1 — discovery fast path, {SERVICES} services × {HOSTS} hosts, "
@@ -251,6 +269,17 @@ def test_discovery_fastpath(save_artifact, bench_history_writer, benchmark):
     )
     benchmark.extra_info["speedup_on_p50"] = report["resolver_on"]["speedup_p50"]
     benchmark.extra_info["speedup_off_p50"] = report["resolver_off"]["speedup_p50"]
+    if MAX_REGRESSION is not None:
+        baseline = same_scale_baseline(merged)
+        if baseline is None:
+            pytest.skip("no same-scale baseline in BENCH_discovery.json history")
+        allowed = float(MAX_REGRESSION)
+        base_p50 = baseline["resolver_on"]["new"]["p50_us"]
+        this_p50 = report["resolver_on"]["new"]["p50_us"]
+        assert this_p50 <= base_p50 * (1.0 + allowed), (
+            f"resolver-on new-path p50 regressed {this_p50 / base_p50 - 1.0:+.1%} "
+            f"({base_p50:.1f}µs → {this_p50:.1f}µs), gate is +{allowed:.0%}"
+        )
     if FULL_SCALE:
         # the acceptance bar: steady-state constraint-filtered discovery ≥5×
         assert report["resolver_on"]["speedup_p50"] >= 5.0, report["resolver_on"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.registry.kernel import EdgeProfile, OperationSpec, RequestContext
 from repro.registry.server import RegistryServer
 from repro.rim import (
     Association,
@@ -44,6 +45,23 @@ from repro.soap.messages import (
 from repro.soap.serializer import deserialize, serialize
 from repro.soap.transport import SimTransport
 from repro.util.errors import AuthenticationError, RegistryError
+
+
+def _local_authenticate(ctx: RequestContext, spec: OperationSpec):
+    """The in-process edge trusts the connection's established session."""
+    if spec.requires_session and ctx.session is None:
+        raise AuthenticationError("this operation requires an authenticated connection")
+    return ctx.session
+
+
+#: the in-process JAXR edge: trusted localCall path — no read gate, and
+#: faults re-raise unchanged (fault_mapper None) instead of serializing
+LOCAL_EDGE = EdgeProfile(
+    name="local",
+    authenticate=_local_authenticate,
+    fault_mapper=None,
+    enforce_read_gate=False,
+)
 
 
 @dataclass
@@ -134,6 +152,23 @@ class Connection:
             raise AuthenticationError("this operation requires an authenticated connection")
         return self.session
 
+    def _invoke_local(self, name: str, call, *, requires_session: bool = False):
+        """Run one local-call operation through the registry kernel.
+
+        The kernel's local edge preserves the pre-kernel in-process
+        semantics exactly (no read gate, no serialization, faults re-raise
+        unchanged) while the pipeline accounts the request under the
+        ``local`` protocol edge in ``pipeline_stats()``.
+        """
+        spec = OperationSpec(
+            name=name,
+            requires_session=requires_session,
+            handler=lambda ctx: call(ctx.session),
+        )
+        return self.registry.kernel.execute(
+            LOCAL_EDGE, session=self.session, spec=spec
+        )
+
 
 class RegistryService:
     """JAXR RegistryService: access to the two business-level managers."""
@@ -180,8 +215,13 @@ class BusinessLifeCycleManager:
 
     def save_objects(self, objects: list[RegistryObject]) -> list[str]:
         if self.connection.factory.local_call:
-            session = self.connection._require_session()
-            return self.connection.registry.lcm.submit_objects(session, objects)
+            return self.connection._invoke_local(
+                "submitObjects",
+                lambda session: self.connection.registry.lcm.submit_objects(
+                    session, objects
+                ),
+                requires_session=True,
+            )
         response = self.connection._send(
             SubmitObjectsRequest(objects=[serialize(o) for o in objects])
         )
@@ -189,8 +229,13 @@ class BusinessLifeCycleManager:
 
     def update_objects(self, objects: list[RegistryObject]) -> list[str]:
         if self.connection.factory.local_call:
-            session = self.connection._require_session()
-            return self.connection.registry.lcm.update_objects(session, objects)
+            return self.connection._invoke_local(
+                "updateObjects",
+                lambda session: self.connection.registry.lcm.update_objects(
+                    session, objects
+                ),
+                requires_session=True,
+            )
         response = self.connection._send(
             UpdateObjectsRequest(objects=[serialize(o) for o in objects])
         )
@@ -198,8 +243,13 @@ class BusinessLifeCycleManager:
 
     def delete_objects(self, ids: list[str]) -> list[str]:
         if self.connection.factory.local_call:
-            session = self.connection._require_session()
-            return self.connection.registry.lcm.remove_objects(session, ids)
+            return self.connection._invoke_local(
+                "removeObjects",
+                lambda session: self.connection.registry.lcm.remove_objects(
+                    session, ids
+                ),
+                requires_session=True,
+            )
         response = self.connection._send(RemoveObjectsRequest(ids=ids))
         return response.ids
 
@@ -234,13 +284,19 @@ class BusinessQueryManager:
 
     def get_registry_object(self, object_id: str) -> RegistryObject:
         if self.connection.factory.local_call:
-            return self.connection.registry.qm.get_registry_object(object_id)
+            return self.connection._invoke_local(
+                "getRegistryObject",
+                lambda _s: self.connection.registry.qm.get_registry_object(object_id),
+            )
         response = self.connection._send(GetRegistryObjectRequest(object_id=object_id))
         return deserialize(response.objects[0])
 
     def find_organizations(self, name_pattern: str) -> list[Organization]:
         if self.connection.factory.local_call:
-            return self.connection.registry.qm.find_organizations(name_pattern)
+            return self.connection._invoke_local(
+                "findOrganizations",
+                lambda _s: self.connection.registry.qm.find_organizations(name_pattern),
+            )
         escaped = name_pattern.replace("'", "''")
         response = self.connection._send(
             AdhocQueryRequest(
@@ -251,7 +307,10 @@ class BusinessQueryManager:
 
     def find_services(self, name_pattern: str) -> list[Service]:
         if self.connection.factory.local_call:
-            return self.connection.registry.qm.find_services(name_pattern)
+            return self.connection._invoke_local(
+                "findServices",
+                lambda _s: self.connection.registry.qm.find_services(name_pattern),
+            )
         escaped = name_pattern.replace("'", "''")
         response = self.connection._send(
             AdhocQueryRequest(
@@ -263,7 +322,10 @@ class BusinessQueryManager:
     def get_service_bindings(self, service_id: str) -> list[ServiceBinding]:
         """Load-balanced binding discovery (the thesis' modified answer)."""
         if self.connection.factory.local_call:
-            return self.connection.registry.qm.get_service_bindings(service_id)
+            return self.connection._invoke_local(
+                "getServiceBindings",
+                lambda _s: self.connection.registry.qm.get_service_bindings(service_id),
+            )
         response = self.connection._send(GetServiceBindingsRequest(service_id=service_id))
         return [deserialize(data) for data in response.objects]  # type: ignore[list-item]
 

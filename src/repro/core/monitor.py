@@ -118,6 +118,19 @@ class TimeHits:
             hook()
         return stored
 
+    # -- failure attribution --------------------------------------------------------
+
+    def endpoint_failures(self) -> dict[str, int]:
+        """Per-target failure attribution from the transport stats.
+
+        Maps each currently-published NodeStatus URI to the number of failed
+        invocation attempts the transport recorded against it (including
+        attempts consumed by the transport's retry stage), so one flaky host
+        is distinguishable from a generally lossy network.
+        """
+        failures = self.transport.stats.per_endpoint_failures
+        return {uri: failures[uri] for uri in self.target_uris() if uri in failures}
+
     # -- scheduling -------------------------------------------------------------------
 
     def start(self, *, immediate: bool = True) -> None:

@@ -19,6 +19,8 @@ from repro.rim.service import host_of_uri
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEngine
 from repro.sim.task import Task
+from repro.soap.transport import SimTransport
+from repro.util.errors import TransportError
 
 
 @dataclass
@@ -43,15 +45,20 @@ class MTCClient:
         *,
         service_id: str,
         policy: SelectionPolicy,
+        transport: SimTransport | None = None,
     ) -> None:
         self.registry = registry
         self.cluster = cluster
         self.engine = engine
         self.service_id = service_id
         self.policy = policy
+        #: when set, tasks are invoked through the transport's client-side
+        #: mini-chain (retry/backoff/accounting) instead of direct submission
+        self.transport = transport
         self.records: list[DispatchRecord] = []
         self.tasks: list[Task] = []
         self.discovery_failures = 0
+        self.invoke_failures = 0
 
     def schedule_arrivals(self, arrivals: list[Arrival]) -> None:
         """Register every arrival with the simulation engine."""
@@ -69,7 +76,14 @@ class MTCClient:
         uri = self.policy.choose(uris)
         host = host_of_uri(uri)
         task.submitted_at = self.engine.now
-        accepted = self.cluster.submit_task(host, task)
+        if self.transport is not None:
+            try:
+                accepted = bool(self.transport.request(uri, task))
+            except TransportError:
+                self.invoke_failures += 1
+                accepted = False
+        else:
+            accepted = self.cluster.submit_task(host, task)
         self.tasks.append(task)
         self.records.append(
             DispatchRecord(

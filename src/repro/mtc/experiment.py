@@ -33,7 +33,7 @@ from repro.registry.server import RegistryConfig, RegistryServer
 from repro.rim import Association, AssociationType, Organization, Service, ServiceBinding
 from repro.sim import Cluster, HostSpec, SimEngine, Task
 from repro.sim.nodestatus import nodestatus_uri
-from repro.soap import SimTransport
+from repro.soap import RetryPolicy, SimTransport
 from repro.util.clock import SimClockAdapter
 
 #: default application-service constraint used by the load-balance benches
@@ -140,6 +140,14 @@ class ExperimentConfig:
     seed: int = 0
     service_name: str = "MTCService"
     organization_name: str = "MTC Organization"
+    #: client-side transport retry stage (None = no retries, the seed
+    #: behaviour); exercised by TimeHits sweeps against failed hosts and,
+    #: with :attr:`dispatch_via_transport`, by task invocation itself
+    transport_retry: RetryPolicy | None = None
+    #: route task invocation through the transport mini-chain instead of
+    #: submitting directly to the cluster (makes retry/backoff observable
+    #: under HostFailure episodes)
+    dispatch_via_transport: bool = False
 
     def with_policy(self, policy: str) -> "ExperimentConfig":
         return replace(self, policy=policy)
@@ -152,6 +160,10 @@ class ExperimentResult:
     dispatch_counts: dict[str, int]
     node_samples: int
     monitor_collections: int
+    #: client-side retry stage accounting (transport mini-chain)
+    transport_retries: int = 0
+    invoke_failures: int = 0
+    endpoint_failures: dict[str, int] = field(default_factory=dict)
 
 
 class ExperimentHarness:
@@ -164,10 +176,12 @@ class ExperimentHarness:
         self.registry = RegistryServer(RegistryConfig(seed=config.seed), clock=self.clock)
         self.cluster = Cluster(self.engine, load_metric=config.load_metric)
         self.cluster.add_hosts(list(config.hosts))
-        self.transport = SimTransport()
+        self.transport = SimTransport(retry=config.transport_retry)
         self._register_monitors()
         self.session = self._admin_session()
         self.service_id = self._publish_services()
+        if config.dispatch_via_transport:
+            self._register_app_endpoints()
         self.balancer = None
         if config.policy in REGISTRY_BALANCED_POLICIES:
             self.balancer = attach_load_balancer(
@@ -187,6 +201,7 @@ class ExperimentHarness:
             self.engine,
             service_id=self.service_id,
             policy=policy,
+            transport=self.transport if config.dispatch_via_transport else None,
         )
         self.sampler = ClusterSampler(
             self.cluster, self.engine, period=config.sample_period
@@ -198,6 +213,15 @@ class ExperimentHarness:
         for monitor in self.cluster.monitors():
             self.transport.register_endpoint(
                 monitor.access_uri, lambda req, m=monitor: m.invoke()
+            )
+
+    def _register_app_endpoints(self) -> None:
+        """Expose each host's application service as a transport endpoint, so
+        task invocation exercises the client-side retry mini-chain."""
+        for host in self.cluster.host_names():
+            self.transport.register_endpoint(
+                f"http://{host}:8080/{self.config.service_name}/invoke",
+                lambda task, h=host: self.cluster.submit_task(h, task),
             )
 
     def _admin_session(self):
@@ -339,6 +363,9 @@ class ExperimentHarness:
             monitor_collections=(
                 self.balancer.monitor.collections if self.balancer else 0
             ),
+            transport_retries=self.transport.stats.retries,
+            invoke_failures=self.client.invoke_failures,
+            endpoint_failures=self.transport.endpoint_failures(),
         )
 
 

@@ -7,6 +7,13 @@ repository with validation/cataloging, federation support, and the assembled
 """
 
 from repro.registry.federation import FederatedRow, RegistryFederation
+from repro.registry.kernel import (
+    EdgeProfile,
+    OperationSpec,
+    PipelineStats,
+    RegistryKernel,
+    RequestContext,
+)
 from repro.registry.lifecycle import LifeCycleManager
 from repro.registry.querymgr import AdhocQueryResponse, QueryManager
 from repro.registry.repository import (
@@ -22,6 +29,11 @@ from repro.registry.versioning import VersionHistory, VersionRecord
 __all__ = [
     "FederatedRow",
     "RegistryFederation",
+    "EdgeProfile",
+    "OperationSpec",
+    "PipelineStats",
+    "RegistryKernel",
+    "RequestContext",
     "LifeCycleManager",
     "AdhocQueryResponse",
     "QueryManager",

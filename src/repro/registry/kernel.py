@@ -1,0 +1,449 @@
+"""Registry kernel — the unified request pipeline behind every protocol edge.
+
+Historically each protocol entry point (``SoapRegistryBinding._dispatch``,
+``HttpGetBinding``, the JAXR ``Connection`` local-call branches) hand-rolled
+its own session lookup, authorization, fault mapping, and dispatch.  The
+kernel centralizes that shape: a :class:`RequestContext` is created once at
+the protocol edge and flows through an ordered **interceptor chain**
+
+    account → fault-map → admit → resolve → authenticate → authorize →
+    validate → dispatch
+
+where ``account`` and ``fault-map`` are wrapping stages (they observe every
+outcome, success or fault) and the inner stages follow the classic
+authenticate → authorize → validate → dispatch request progression.  Edges
+(SOAP, HTTP GET, in-process JAXR) differ only in an :class:`EdgeProfile`:
+how a session is established, whether the read gate applies at the edge,
+and how a :class:`~repro.util.errors.RegistryError` is mapped onto the wire
+(SOAP/HTTP serialize faults; the local edge re-raises, preserving the
+pre-kernel in-process semantics).
+
+Operations are *declared*, not if/elif'd: :class:`OperationSpec` records the
+operation name, the protocol request type it binds to, whether it requires
+an authenticated session, whether it is read-gated, and its handler.
+``LifeCycleManager.register_operations`` and
+``QueryManager.register_operations`` populate the registry at server
+construction, so the SOAP body-type dispatch and the HTTP ``method=``
+dispatch are two lookups into the same table.
+
+The kernel is also the observability seam: :meth:`RegistryKernel.
+pipeline_stats` reports per-edge, per-operation request counts, latency
+aggregates (monotonic-clock), and fault tallies by error code, and custom
+interceptors can be inserted anywhere in the chain (timing, admission
+control, retries) without touching any binding.
+
+This module deliberately imports nothing from :mod:`repro.soap` at module
+level — the protocol packages depend on the kernel, never the reverse.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+from repro.util.errors import InvalidRequestError, RegistryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.server import RegistryServer
+    from repro.security.authn import Session
+
+
+# -- request context -----------------------------------------------------------
+
+
+@dataclass
+class RequestContext:
+    """One request's journey through the pipeline.
+
+    Created at the protocol edge, enriched stage by stage: ``resolve`` sets
+    :attr:`spec`, ``authenticate`` sets :attr:`session`, ``dispatch`` sets
+    :attr:`response`.  The :attr:`tags` bag is free-form per-request state
+    for custom interceptors (the observability seam).
+    """
+
+    edge: "EdgeProfile"
+    request_id: str
+    #: protocol request message (SOAP body / built from HTTP params); may be
+    #: None for edge-native operations that work from :attr:`params`.
+    body: Any = None
+    #: decoded HTTP query parameters (HTTP edge) or call arguments (local edge)
+    params: dict[str, Any] = field(default_factory=dict)
+    #: HTTP ``method=`` operation selector, when the edge dispatches by name
+    http_method: str | None = None
+    #: True when the request arrived via the HTTP GET edge (name dispatch)
+    via_http: bool = False
+    #: session token presented by the client (SOAP header)
+    token: str | None = None
+    session: "Session | None" = None
+    spec: "OperationSpec | None" = None
+    response: Any = None
+    error: RegistryError | None = None
+    #: monotonic timestamps (``time.perf_counter``), set by the account stage
+    started: float = 0.0
+    finished: float = 0.0
+    #: free-form per-request tag bag for interceptors
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def operation(self) -> str:
+        """Resolved operation name, or a placeholder before/without resolve."""
+        return self.spec.name if self.spec is not None else UNRESOLVED_OPERATION
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+
+#: stats key for requests that fault before operation resolution
+UNRESOLVED_OPERATION = "<unresolved>"
+
+
+# -- operation registry --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Declarative description of one registry operation.
+
+    ``request_type`` is the protocol message *type name* (e.g.
+    ``"SubmitObjectsRequest"``) so the kernel never imports the message
+    classes; ``http_method`` is the HTTP GET ``method=`` selector when the
+    operation is exposed there, and ``http_builder`` turns decoded URL
+    params into the protocol message (raising
+    :class:`~repro.util.errors.InvalidRequestError` for missing params —
+    this is the validate step for the HTTP edge).
+    """
+
+    name: str
+    handler: Callable[[RequestContext], Any]
+    request_type: str | None = None
+    requires_session: bool = False
+    read_gate: bool = False
+    http_method: str | None = None
+    http_builder: Callable[[dict[str, Any]], Any] | None = None
+    #: optional extra validation, run after authorize, before dispatch
+    validator: Callable[[RequestContext], None] | None = None
+
+
+# -- protocol edges ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeProfile:
+    """How one protocol edge plugs into the shared pipeline.
+
+    ``authenticate(ctx, spec)`` must return the session for the request (or
+    raise).  ``fault_mapper`` maps a RegistryError to the edge's wire fault
+    representation; ``None`` means re-raise unchanged (the in-process JAXR
+    edge, which must preserve exact exception semantics).  ``admit`` runs
+    before operation resolution (the HTTP edge's anonymous read gate +
+    interface check live here, exactly where the pre-kernel code had them).
+    ``enforce_read_gate`` applies ``RegistryServer.check_read`` to read
+    operations (the local edge is the trusted localCall path and skips it).
+    """
+
+    name: str
+    authenticate: Callable[[RequestContext, OperationSpec], "Session | None"]
+    fault_mapper: Callable[[RegistryError], Any] | None = None
+    enforce_read_gate: bool = True
+    admit: Callable[[RequestContext], None] | None = None
+
+
+# -- pipeline statistics -------------------------------------------------------
+
+
+@dataclass
+class OperationStats:
+    """Latency/fault aggregates for one (edge, operation) pair."""
+
+    count: int = 0
+    faults: int = 0
+    total_latency: float = 0.0
+    min_latency: float = float("inf")
+    max_latency: float = 0.0
+    fault_codes: dict[str, int] = field(default_factory=dict)
+
+    def record(self, latency: float, fault_code: str | None) -> None:
+        self.count += 1
+        self.total_latency += latency
+        if latency < self.min_latency:
+            self.min_latency = latency
+        if latency > self.max_latency:
+            self.max_latency = latency
+        if fault_code is not None:
+            self.faults += 1
+            self.fault_codes[fault_code] = self.fault_codes.get(fault_code, 0) + 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "faults": self.faults,
+            "total_latency_s": self.total_latency,
+            "mean_latency_s": (self.total_latency / self.count) if self.count else 0.0,
+            "min_latency_s": self.min_latency if self.count else 0.0,
+            "max_latency_s": self.max_latency,
+            "fault_codes": dict(self.fault_codes),
+        }
+
+
+class PipelineStats:
+    """Per-edge, per-operation accounting recorded by the account stage."""
+
+    def __init__(self) -> None:
+        self._by_edge: dict[str, dict[str, OperationStats]] = {}
+
+    def record(
+        self, edge: str, operation: str, latency: float, fault_code: str | None
+    ) -> None:
+        ops = self._by_edge.setdefault(edge, {})
+        stats = ops.get(operation)
+        if stats is None:
+            stats = ops[operation] = OperationStats()
+        stats.record(latency, fault_code)
+
+    def snapshot(self) -> dict[str, dict[str, dict[str, Any]]]:
+        return {
+            edge: {op: stats.snapshot() for op, stats in sorted(ops.items())}
+            for edge, ops in sorted(self._by_edge.items())
+        }
+
+
+# -- interceptors --------------------------------------------------------------
+
+
+Proceed = Callable[[], Any]
+
+
+class Interceptor(Protocol):  # pragma: no cover - typing aid
+    name: str
+
+    def __call__(self, kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+        ...
+
+
+@dataclass(frozen=True)
+class _Stage:
+    """A named pipeline stage wrapping a ``(kernel, ctx, proceed)`` callable."""
+
+    name: str
+    run: Callable[["RegistryKernel", RequestContext, Proceed], Any]
+
+    def __call__(self, kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+        return self.run(kernel, ctx, proceed)
+
+
+def _account_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    ctx.started = time.perf_counter()
+    try:
+        return proceed()
+    finally:
+        ctx.finished = time.perf_counter()
+        fault_code = ctx.error.code if ctx.error is not None else None
+        kernel.stats.record(ctx.edge.name, ctx.operation, ctx.latency, fault_code)
+
+
+def _fault_map_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    try:
+        return proceed()
+    except RegistryError as error:
+        ctx.error = error
+        if ctx.edge.fault_mapper is None:
+            raise
+        fault = ctx.edge.fault_mapper(error)
+        ctx.response = fault
+        return fault
+
+
+def _admit_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    if ctx.edge.admit is not None:
+        ctx.edge.admit(ctx)
+    return proceed()
+
+
+def _resolve_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    if ctx.spec is None:
+        if ctx.via_http:
+            spec = kernel.operation_for_http_method(ctx.http_method)
+            if spec.http_builder is not None:
+                ctx.body = spec.http_builder(ctx.params)
+            ctx.spec = spec
+        else:
+            ctx.spec = kernel.operation_for_body(ctx.body)
+    return proceed()
+
+
+def _authenticate_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    assert ctx.spec is not None
+    ctx.session = ctx.edge.authenticate(ctx, ctx.spec)
+    return proceed()
+
+
+def _authorize_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    assert ctx.spec is not None
+    if ctx.spec.read_gate and ctx.edge.enforce_read_gate:
+        kernel.server.check_read(ctx.session)
+    return proceed()
+
+
+def _validate_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    assert ctx.spec is not None
+    if ctx.spec.validator is not None:
+        ctx.spec.validator(ctx)
+    return proceed()
+
+
+def _dispatch_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
+    assert ctx.spec is not None
+    ctx.response = ctx.spec.handler(ctx)
+    return ctx.response
+
+
+#: the default chain, outermost first; account/fault-map wrap everything
+DEFAULT_CHAIN: tuple[_Stage, ...] = (
+    _Stage("account", _account_stage),
+    _Stage("fault-map", _fault_map_stage),
+    _Stage("admit", _admit_stage),
+    _Stage("resolve", _resolve_stage),
+    _Stage("authenticate", _authenticate_stage),
+    _Stage("authorize", _authorize_stage),
+    _Stage("validate", _validate_stage),
+    _Stage("dispatch", _dispatch_stage),
+)
+
+
+# -- the kernel ----------------------------------------------------------------
+
+
+class RegistryKernel:
+    """Shared request pipeline + operation registry for one registry server."""
+
+    def __init__(self, server: "RegistryServer") -> None:
+        self.server = server
+        self.stats = PipelineStats()
+        self._by_request_type: dict[str, OperationSpec] = {}
+        self._by_http_method: dict[str, OperationSpec] = {}
+        self._by_name: dict[str, OperationSpec] = {}
+        self._chain: list[Interceptor] = list(DEFAULT_CHAIN)
+        self._composed: Callable[[RequestContext], Any] | None = None
+        self._request_counter = 0
+
+    # -- operation registry ----------------------------------------------------
+
+    def register_operation(self, spec: OperationSpec) -> None:
+        self._by_name[spec.name] = spec
+        if spec.request_type is not None:
+            self._by_request_type[spec.request_type] = spec
+        if spec.http_method is not None:
+            self._by_http_method[spec.http_method] = spec
+
+    def operations(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def operation(self, name: str) -> OperationSpec | None:
+        return self._by_name.get(name)
+
+    def operation_for_body(self, body: Any) -> OperationSpec:
+        spec = self._by_request_type.get(type(body).__name__)
+        if spec is None:
+            raise InvalidRequestError(f"unknown request type: {type(body).__name__}")
+        return spec
+
+    def operation_for_http_method(self, method: str | None) -> OperationSpec:
+        spec = self._by_http_method.get(method) if method is not None else None
+        if spec is None:
+            raise InvalidRequestError(f"unknown HTTP method parameter: {method!r}")
+        return spec
+
+    # -- interceptor chain -----------------------------------------------------
+
+    def interceptor_names(self) -> list[str]:
+        return [stage.name for stage in self._chain]
+
+    def add_interceptor(
+        self,
+        interceptor: Interceptor,
+        *,
+        before: str | None = None,
+        after: str | None = None,
+    ) -> None:
+        """Insert a custom interceptor into the chain.
+
+        ``before``/``after`` name an existing stage; default appends at the
+        innermost position (just around dispatch's slot, i.e. chain end).
+        """
+        if before is not None and after is not None:
+            raise ValueError("pass at most one of before/after")
+        index = len(self._chain)
+        anchor = before or after
+        if anchor is not None:
+            names = self.interceptor_names()
+            if anchor not in names:
+                raise ValueError(f"unknown pipeline stage: {anchor!r}")
+            index = names.index(anchor) + (1 if after else 0)
+        self._chain.insert(index, interceptor)
+        self._composed = None
+
+    def remove_interceptor(self, name: str) -> bool:
+        for i, stage in enumerate(self._chain):
+            if getattr(stage, "name", None) == name and stage not in DEFAULT_CHAIN:
+                del self._chain[i]
+                self._composed = None
+                return True
+        return False
+
+    def _compose(self) -> Callable[[RequestContext], Any]:
+        """Fold the chain into one callable (recomposed on chain edits)."""
+
+        def terminal(ctx: RequestContext) -> Any:
+            return ctx.response
+
+        composed: Callable[[RequestContext], Any] = terminal
+        for stage in reversed(self._chain):
+            def layer(ctx: RequestContext, *, _stage=stage, _next=composed) -> Any:
+                return _stage(self, ctx, lambda: _next(ctx))
+
+            composed = layer
+        return composed
+
+    # -- execution -------------------------------------------------------------
+
+    def new_request_id(self) -> str:
+        """Cheap per-kernel monotonic request id (never touches IdFactory —
+        object-id sequences must not depend on request traffic)."""
+        self._request_counter += 1
+        return f"urn:repro:request:{self._request_counter}"
+
+    def execute(
+        self,
+        edge: EdgeProfile,
+        *,
+        body: Any = None,
+        params: dict[str, Any] | None = None,
+        http_method: str | None = None,
+        via_http: bool = False,
+        token: str | None = None,
+        session: "Session | None" = None,
+        spec: OperationSpec | None = None,
+    ) -> Any:
+        """Run one request through the pipeline and return the edge response."""
+        ctx = RequestContext(
+            edge=edge,
+            request_id=self.new_request_id(),
+            body=body,
+            params=params or {},
+            http_method=http_method,
+            via_http=via_http,
+            token=token,
+            session=session,
+            spec=spec,
+        )
+        if self._composed is None:
+            self._composed = self._compose()
+        return self._composed(ctx)
+
+    # -- observability ---------------------------------------------------------
+
+    def pipeline_stats(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """Per-edge → per-operation counts, latency aggregates, fault tallies."""
+        return self.stats.snapshot()

@@ -373,3 +373,70 @@ class LifeCycleManager:
                 self._audit(session, EventType.RELOCATED, object_id)
                 moved.append(object_id)
         return moved
+
+    # -- kernel registration ------------------------------------------------------
+
+    def register_operations(self, kernel) -> None:
+        """Declare the write-side ebRS operations in the request kernel.
+
+        Handlers reproduce the pre-kernel ``SoapRegistryBinding._dispatch``
+        branches bit-for-bit: same deserialization, same manager calls, same
+        response shapes.  Imported lazily so the registry layer keeps no
+        module-level dependency on :mod:`repro.soap`.
+        """
+        from repro.registry.kernel import OperationSpec
+        from repro.soap.messages import RegistryResponse
+        from repro.soap.serializer import deserialize
+
+        def submit(ctx):
+            objects = [deserialize(data) for data in ctx.body.objects]
+            return RegistryResponse(ids=self.submit_objects(ctx.session, objects))
+
+        def update(ctx):
+            objects = [deserialize(data) for data in ctx.body.objects]
+            return RegistryResponse(ids=self.update_objects(ctx.session, objects))
+
+        def approve(ctx):
+            return RegistryResponse(ids=self.approve_objects(ctx.session, ctx.body.ids))
+
+        def deprecate(ctx):
+            return RegistryResponse(ids=self.deprecate_objects(ctx.session, ctx.body.ids))
+
+        def undeprecate(ctx):
+            return RegistryResponse(
+                ids=self.undeprecate_objects(ctx.session, ctx.body.ids)
+            )
+
+        def remove(ctx):
+            return RegistryResponse(ids=self.remove_objects(ctx.session, ctx.body.ids))
+
+        def add_slots(ctx):
+            slots = [
+                Slot(name=s["name"], values=s["values"], slot_type=s.get("slotType"))
+                for s in ctx.body.slots
+            ]
+            self.add_slots(ctx.session, ctx.body.object_id, slots)
+            return RegistryResponse(ids=[ctx.body.object_id])
+
+        def remove_slots(ctx):
+            self.remove_slots(ctx.session, ctx.body.object_id, ctx.body.names)
+            return RegistryResponse(ids=[ctx.body.object_id])
+
+        for name, request_type, handler in (
+            ("submitObjects", "SubmitObjectsRequest", submit),
+            ("updateObjects", "UpdateObjectsRequest", update),
+            ("approveObjects", "ApproveObjectsRequest", approve),
+            ("deprecateObjects", "DeprecateObjectsRequest", deprecate),
+            ("undeprecateObjects", "UndeprecateObjectsRequest", undeprecate),
+            ("removeObjects", "RemoveObjectsRequest", remove),
+            ("addSlots", "AddSlotsRequest", add_slots),
+            ("removeSlots", "RemoveSlotsRequest", remove_slots),
+        ):
+            kernel.register_operation(
+                OperationSpec(
+                    name=name,
+                    request_type=request_type,
+                    requires_session=True,
+                    handler=handler,
+                )
+            )

@@ -194,6 +194,88 @@ class QueryManager:
         """AuditableEvents for an object, oldest first."""
         return self.daos.events.for_object(object_id)
 
+    # -- kernel registration ----------------------------------------------------
+
+    def register_operations(self, kernel) -> None:
+        """Declare the read-side ebRS operations in the request kernel.
+
+        Handlers reproduce the pre-kernel SOAP/HTTP dispatch branches
+        exactly; the HTTP builders carry the HTTP GET binding's historical
+        parameter checks (same error messages).  Imported lazily so the
+        registry layer keeps no module-level dependency on
+        :mod:`repro.soap`.
+        """
+        from repro.registry.kernel import OperationSpec
+        from repro.soap.messages import (
+            AdhocQueryRequest,
+            GetRegistryObjectRequest,
+            RegistryResponse,
+        )
+        from repro.soap.serializer import serialize
+
+        def execute_query(ctx):
+            response = self.execute_adhoc_query(
+                ctx.body.query,
+                query_language=ctx.body.query_language,
+                start_index=ctx.body.start_index,
+                max_results=ctx.body.max_results,
+            )
+            return RegistryResponse(
+                rows=response.rows, total_result_count=response.total_result_count
+            )
+
+        def build_execute_query(params):
+            query = params.get("param-query")
+            if not query:
+                raise InvalidRequestError("executeQuery requires param-query")
+            return AdhocQueryRequest(
+                query=query,
+                query_language=params.get("param-lang", QUERY_LANGUAGE_SQL),
+            )
+
+        def get_registry_object(ctx):
+            obj = self.get_registry_object(ctx.body.object_id)
+            return RegistryResponse(objects=[serialize(obj)])
+
+        def build_get_registry_object(params):
+            object_id = params.get("param-id")
+            if not object_id:
+                raise InvalidRequestError("getRegistryObject requires param-id")
+            return GetRegistryObjectRequest(object_id=object_id)
+
+        def get_service_bindings(ctx):
+            bindings = self.get_service_bindings(ctx.body.service_id)
+            return RegistryResponse(objects=[serialize(b) for b in bindings])
+
+        kernel.register_operation(
+            OperationSpec(
+                name="executeQuery",
+                request_type="AdhocQueryRequest",
+                read_gate=True,
+                handler=execute_query,
+                http_method="executeQuery",
+                http_builder=build_execute_query,
+            )
+        )
+        kernel.register_operation(
+            OperationSpec(
+                name="getRegistryObject",
+                request_type="GetRegistryObjectRequest",
+                read_gate=True,
+                handler=get_registry_object,
+                http_method="getRegistryObject",
+                http_builder=build_get_registry_object,
+            )
+        )
+        kernel.register_operation(
+            OperationSpec(
+                name="getServiceBindings",
+                request_type="GetServiceBindingsRequest",
+                read_gate=True,
+                handler=get_service_bindings,
+            )
+        )
+
 
 def _escape(pattern: str) -> str:
     return pattern.replace("'", "''")

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.events.notifier import SubscriptionManager
 from repro.persistence.dao import DAORegistry
+from repro.registry.kernel import OperationSpec, RegistryKernel
 from repro.persistence.datastore import DataStore
 from repro.persistence.nodestate import NodeStateStore
 from repro.query import QueryEngine
@@ -82,6 +83,44 @@ class RegistryServer:
         from repro.registry.taxonomy import TaxonomyService
 
         self.taxonomies = TaxonomyService(self.daos, ids=self.ids)
+        #: the unified request pipeline every protocol edge routes through
+        self.kernel = RegistryKernel(self)
+        self.lcm.register_operations(self.kernel)
+        self.qm.register_operations(self.kernel)
+        self._register_repository_operations()
+
+    def _register_repository_operations(self) -> None:
+        """Edge-native repository access (the HTTP-only getRepositoryItem)."""
+        from repro.soap.messages import RegistryResponse
+        from repro.util.errors import InvalidRequestError
+
+        def get_repository_item(ctx):
+            item = self.repository.retrieve(ctx.params["param-id"])
+            return RegistryResponse(
+                rows=[
+                    {
+                        "id": item.object_id,
+                        "mimeType": item.mime_type,
+                        "content": item.content.decode("utf-8", errors="replace"),
+                        "digest": item.digest,
+                    }
+                ]
+            )
+
+        def build_get_repository_item(params):
+            if not params.get("param-id"):
+                raise InvalidRequestError("getRepositoryItem requires param-id")
+            return None
+
+        self.kernel.register_operation(
+            OperationSpec(
+                name="getRepositoryItem",
+                read_gate=True,
+                handler=get_repository_item,
+                http_method="getRepositoryItem",
+                http_builder=build_get_repository_item,
+            )
+        )
 
     # -- convenience entry points ------------------------------------------------
 
@@ -115,6 +154,10 @@ class RegistryServer:
                 f"{self.config.registry_type} registry denies read access to "
                 f"{session.alias!r}"
             )
+
+    def pipeline_stats(self) -> dict:
+        """Kernel accounting: per-edge, per-operation counts/latency/faults."""
+        return self.kernel.pipeline_stats()
 
     @property
     def home(self) -> str:

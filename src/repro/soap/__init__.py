@@ -23,7 +23,7 @@ from repro.soap.messages import (
     UpdateObjectsRequest,
 )
 from repro.soap.serializer import deserialize, serialize
-from repro.soap.transport import SimTransport, TransportStats
+from repro.soap.transport import RetryPolicy, SimTransport, TransportStats
 from repro.soap.xml_binding import envelope_from_xml, envelope_to_xml
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "UpdateObjectsRequest",
     "deserialize",
     "serialize",
+    "RetryPolicy",
     "SimTransport",
     "TransportStats",
     "envelope_from_xml",

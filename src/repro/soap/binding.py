@@ -1,53 +1,59 @@
 """Protocol bindings: SOAP dispatch and the HTTP-GET query binding.
 
+Both bindings are thin protocol edges over the registry kernel
+(:mod:`repro.registry.kernel`): they decode the wire form (envelope body /
+URL query string), describe themselves to the kernel as an
+:class:`~repro.registry.kernel.EdgeProfile`, and let the shared interceptor
+chain do session lookup, authorization, operation dispatch, fault mapping,
+and accounting.
+
 * :class:`SoapRegistryBinding` exposes one RegistryServer at a SOAP endpoint:
-  it authenticates the envelope's session token, dispatches each ebRS request
-  message to the LifeCycleManager or QueryManager, and maps errors to SOAP
-  faults.  LifeCycleManager requests without a valid session fault with an
-  authentication error; QueryManager requests fall back to the guest session
-  (§1.3.2.4's public read access).
+  the kernel authenticates the envelope's session token and dispatches each
+  ebRS request message to the LifeCycleManager or QueryManager operation
+  registered for its type.  LifeCycleManager requests without a valid
+  session fault with an authentication error; QueryManager requests fall
+  back to the guest session (§1.3.2.4's public read access).
 * :class:`HttpGetBinding` implements the mandatory REST-ish HTTP interface
   (§2.2.3): read-only URL access to query operations; publishes/modifies are
   rejected, exactly as freebXML's HTTP interface "does not support
   functionality to publish or modify registry contents".
+
+Every error path funnels through the kernel's single fault mapper, so
+``RegistryError.code`` values serialize identically whether a request
+arrived via SOAP, HTTP GET, or the in-process JAXR edge.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from urllib.parse import parse_qs, urlparse
 
-from repro.registry.server import RegistryServer
-from repro.rim import QUERY_LANGUAGE_SQL
-from repro.security.authn import Session
+from repro.registry.kernel import EdgeProfile, OperationSpec, RequestContext
 from repro.soap.envelope import SoapEnvelope, SoapFault
-from repro.soap.messages import (
-    AddSlotsRequest,
-    AdhocQueryRequest,
-    ApproveObjectsRequest,
-    DeprecateObjectsRequest,
-    GetRegistryObjectRequest,
-    GetServiceBindingsRequest,
-    RegistryResponse,
-    RemoveObjectsRequest,
-    RemoveSlotsRequest,
-    SubmitObjectsRequest,
-    UndeprecateObjectsRequest,
-    UpdateObjectsRequest,
-)
-from repro.soap.serializer import deserialize, serialize
-from repro.rim.slots import Slot
-from repro.util.errors import AuthenticationError, InvalidRequestError, RegistryError
+from repro.util.errors import AuthenticationError, InvalidRequestError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.server import RegistryServer
+    from repro.security.authn import Session
+    from repro.soap.messages import RegistryResponse
 
 SOAP_PATH = "/omar/registry/soap"
 
 
 class SoapRegistryBinding:
-    """Server-side SOAP dispatch for one registry."""
+    """Server-side SOAP edge for one registry."""
 
     def __init__(self, registry: RegistryServer) -> None:
         self.registry = registry
+        self.kernel = registry.kernel
         #: token → session, maintained on login through this binding
         self._sessions: dict[str, Session] = {}
+        self.edge = EdgeProfile(
+            name="soap",
+            authenticate=self._authenticate,
+            fault_mapper=SoapFault.from_error,
+        )
 
     @property
     def endpoint_uri(self) -> str:
@@ -59,11 +65,11 @@ class SoapRegistryBinding:
     def register_session(self, session: Session) -> None:
         self._sessions[session.token] = session
 
-    def _session_for(self, envelope: SoapEnvelope, *, required: bool) -> Session:
-        token = envelope.session_token
+    def _authenticate(self, ctx: RequestContext, spec: OperationSpec) -> Session:
+        token = ctx.token
         if token and token in self._sessions:
             return self._sessions[token]
-        if required:
+        if spec.requires_session:
             raise AuthenticationError(
                 "LifeCycleManager access requires an authenticated session"
             )
@@ -73,72 +79,9 @@ class SoapRegistryBinding:
 
     def handle(self, envelope: SoapEnvelope) -> RegistryResponse | SoapFault:
         """Process one envelope; registry errors become SoapFaults."""
-        try:
-            return self._dispatch(envelope)
-        except RegistryError as error:
-            return SoapFault.from_error(error)
-
-    def _dispatch(self, envelope: SoapEnvelope) -> RegistryResponse:
-        body = envelope.body
-        lcm = self.registry.lcm
-        qm = self.registry.qm
-        if isinstance(body, SubmitObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            objects = [deserialize(data) for data in body.objects]
-            ids = lcm.submit_objects(session, objects)
-            return RegistryResponse(ids=ids)
-        if isinstance(body, UpdateObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            objects = [deserialize(data) for data in body.objects]
-            ids = lcm.update_objects(session, objects)
-            return RegistryResponse(ids=ids)
-        if isinstance(body, ApproveObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            return RegistryResponse(ids=lcm.approve_objects(session, body.ids))
-        if isinstance(body, DeprecateObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            return RegistryResponse(ids=lcm.deprecate_objects(session, body.ids))
-        if isinstance(body, UndeprecateObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            return RegistryResponse(ids=lcm.undeprecate_objects(session, body.ids))
-        if isinstance(body, RemoveObjectsRequest):
-            session = self._session_for(envelope, required=True)
-            return RegistryResponse(ids=lcm.remove_objects(session, body.ids))
-        if isinstance(body, AddSlotsRequest):
-            session = self._session_for(envelope, required=True)
-            slots = [
-                Slot(name=s["name"], values=s["values"], slot_type=s.get("slotType"))
-                for s in body.slots
-            ]
-            lcm.add_slots(session, body.object_id, slots)
-            return RegistryResponse(ids=[body.object_id])
-        if isinstance(body, RemoveSlotsRequest):
-            session = self._session_for(envelope, required=True)
-            lcm.remove_slots(session, body.object_id, body.names)
-            return RegistryResponse(ids=[body.object_id])
-        if isinstance(body, AdhocQueryRequest):
-            session = self._session_for(envelope, required=False)
-            self.registry.check_read(session)
-            response = qm.execute_adhoc_query(
-                body.query,
-                query_language=body.query_language,
-                start_index=body.start_index,
-                max_results=body.max_results,
-            )
-            return RegistryResponse(
-                rows=response.rows, total_result_count=response.total_result_count
-            )
-        if isinstance(body, GetRegistryObjectRequest):
-            session = self._session_for(envelope, required=False)
-            self.registry.check_read(session)
-            obj = qm.get_registry_object(body.object_id)
-            return RegistryResponse(objects=[serialize(obj)])
-        if isinstance(body, GetServiceBindingsRequest):
-            session = self._session_for(envelope, required=False)
-            self.registry.check_read(session)
-            bindings = qm.get_service_bindings(body.service_id)
-            return RegistryResponse(objects=[serialize(b) for b in bindings])
-        raise InvalidRequestError(f"unknown request type: {type(body).__name__}")
+        return self.kernel.execute(
+            self.edge, body=envelope.body, token=envelope.session_token
+        )
 
 
 class HttpGetBinding:
@@ -152,58 +95,38 @@ class HttpGetBinding:
 
     ``getRepositoryItem`` serves the content bytes — Table 1.1's "any
     metadata or artifact … addressable via an HTTP URL".  Anything targeting
-    the LifeCycleManager is rejected.
+    the LifeCycleManager is rejected.  Duplicate query parameters keep the
+    first value; the URL path is ignored (the query string alone selects the
+    operation), both as in freebXML's servlet.
     """
 
     def __init__(self, registry: RegistryServer) -> None:
         self.registry = registry
+        self.kernel = registry.kernel
+        self.edge = EdgeProfile(
+            name="http",
+            authenticate=self._authenticate,
+            fault_mapper=SoapFault.from_error,
+            # the admit hook already gated the anonymous read below
+            enforce_read_gate=False,
+            admit=self._admit,
+        )
 
-    def get(self, url: str) -> RegistryResponse | SoapFault:
-        try:
-            return self._get(url)
-        except RegistryError as error:
-            return SoapFault.from_error(error)
-
-    def _get(self, url: str) -> RegistryResponse:
-        parsed = urlparse(url)
-        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+    def _admit(self, ctx: RequestContext) -> None:
         # the HTTP binding is anonymous: a non-public registry rejects it
         self.registry.check_read(self.registry.guest())
-        interface = params.get("interface", "QueryManager")
+        interface = ctx.params.get("interface", "QueryManager")
         if interface != "QueryManager":
             raise InvalidRequestError(
                 "HTTP interface binds only the QueryManager (read-only access)"
             )
-        method = params.get("method")
-        if method == "getRegistryObject":
-            object_id = params.get("param-id")
-            if not object_id:
-                raise InvalidRequestError("getRegistryObject requires param-id")
-            obj = self.registry.qm.get_registry_object(object_id)
-            return RegistryResponse(objects=[serialize(obj)])
-        if method == "getRepositoryItem":
-            object_id = params.get("param-id")
-            if not object_id:
-                raise InvalidRequestError("getRepositoryItem requires param-id")
-            item = self.registry.repository.retrieve(object_id)
-            return RegistryResponse(
-                rows=[
-                    {
-                        "id": item.object_id,
-                        "mimeType": item.mime_type,
-                        "content": item.content.decode("utf-8", errors="replace"),
-                        "digest": item.digest,
-                    }
-                ]
-            )
-        if method == "executeQuery":
-            query = params.get("param-query")
-            if not query:
-                raise InvalidRequestError("executeQuery requires param-query")
-            response = self.registry.qm.execute_adhoc_query(
-                query, query_language=params.get("param-lang", QUERY_LANGUAGE_SQL)
-            )
-            return RegistryResponse(
-                rows=response.rows, total_result_count=response.total_result_count
-            )
-        raise InvalidRequestError(f"unknown HTTP method parameter: {method!r}")
+
+    def _authenticate(self, ctx: RequestContext, spec: OperationSpec) -> Session:
+        return self.registry.guest()
+
+    def get(self, url: str) -> RegistryResponse | SoapFault:
+        parsed = urlparse(url)
+        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        return self.kernel.execute(
+            self.edge, params=params, http_method=params.get("method"), via_http=True
+        )

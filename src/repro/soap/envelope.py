@@ -56,5 +56,10 @@ class SoapFault:
         )
 
     def raise_(self) -> None:
-        """Re-raise this fault on the client side as a RegistryError."""
-        raise RegistryError(self.fault_string, detail=self.detail)
+        """Re-raise this fault on the client side as the typed RegistryError.
+
+        The fault code URN selects the original error subclass, so
+        ``error.code`` survives serialization → re-raise unchanged on every
+        protocol edge.
+        """
+        raise RegistryError.from_fault(self.fault_code, self.fault_string, self.detail)

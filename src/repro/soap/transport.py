@@ -7,6 +7,12 @@ handler, samples the latency model for the round trip, and returns the
 response.  Failures are injectable per endpoint (down hosts), which the
 monitoring code must tolerate — the thesis' scheme silently skips
 unreachable hosts.
+
+The request path carries a client-side **mini-chain**, symmetric to the
+server's kernel pipeline: an optional retry stage (exponential backoff on
+:class:`TransportError`, capped by a per-transport retry budget) wraps the
+wire attempt, and an accounting stage records every attempt — including
+per-endpoint failure attribution — in :class:`TransportStats`.
 """
 
 from __future__ import annotations
@@ -21,21 +27,61 @@ from repro.util.errors import TransportError
 Handler = Callable[[Any], Any]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry stage configuration.
+
+    ``max_attempts`` counts the first attempt too (1 = no retries, the
+    parity default).  Backoff is exponential, ``backoff_base * factor**n``
+    simulated seconds before retry *n*, capped at ``backoff_cap``; the
+    backoff is charged to :attr:`TransportStats.backoff_total` (the
+    simulation engine's virtual clock is not advanced, matching how wire
+    latency is accounted).  ``budget`` caps the *total* retries the
+    transport may spend across its lifetime — once exhausted, failures
+    surface immediately (retry-budget admission control, so a dead host
+    cannot consume unbounded retry work).
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 1.0
+    budget: int | None = None
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Simulated backoff delay before the given retry (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor**retry_index)
+
+
 @dataclass
 class TransportStats:
-    """Aggregate transport accounting (request counts, simulated wire time)."""
+    """Aggregate transport accounting (request counts, simulated wire time).
+
+    ``per_endpoint`` counts every attempt per URI; ``per_endpoint_failures``
+    attributes failed attempts to the endpoint that failed, so a flaky host
+    is visible even when totals look healthy.  ``retries`` / ``backoff_total``
+    account the client-side retry stage.
+    """
 
     requests: int = 0
     failures: int = 0
     total_latency: float = 0.0
     per_endpoint: dict[str, int] = field(default_factory=dict)
+    per_endpoint_failures: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    backoff_total: float = 0.0
 
     def record(self, uri: str, latency: float, ok: bool) -> None:
         self.requests += 1
         if not ok:
             self.failures += 1
+            self.per_endpoint_failures[uri] = self.per_endpoint_failures.get(uri, 0) + 1
         self.total_latency += latency
         self.per_endpoint[uri] = self.per_endpoint.get(uri, 0) + 1
+
+    def record_retry(self, backoff: float) -> None:
+        self.retries += 1
+        self.backoff_total += backoff
 
 
 class SimTransport:
@@ -46,9 +92,11 @@ class SimTransport:
         *,
         latency: LatencyModel | None = None,
         client_host: str = "client",
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.latency = latency or LatencyModel(default_latency=0.0)
         self.client_host = client_host
+        self.retry = retry
         self._endpoints: dict[str, Handler] = {}
         self._down: set[str] = set()
         self.stats = TransportStats()
@@ -74,17 +122,58 @@ class SimTransport:
     def is_host_down(self, host: str) -> bool:
         return host in self._down
 
+    # -- stats accessors ---------------------------------------------------------
+
+    def endpoint_stats(self, uri: str) -> dict[str, int]:
+        """Attempt/failure counts for one endpoint URI."""
+        return {
+            "requests": self.stats.per_endpoint.get(uri, 0),
+            "failures": self.stats.per_endpoint_failures.get(uri, 0),
+        }
+
+    def endpoint_failures(self) -> dict[str, int]:
+        """uri → failed attempt count, for every endpoint that ever failed."""
+        return dict(self.stats.per_endpoint_failures)
+
+    def retry_budget_remaining(self) -> int | None:
+        """Retries left under the policy budget (None = no retry/unbounded)."""
+        if self.retry is None or self.retry.budget is None:
+            return None
+        return max(0, self.retry.budget - self.stats.retries)
+
     # -- requests -----------------------------------------------------------------
 
     def request(self, uri: str, payload: Any, *, source: str | None = None) -> Any:
         """Send *payload* to the endpoint at *uri* and return its response.
 
         Raises :class:`TransportError` for unknown endpoints and down hosts.
-        Latency is sampled for the round trip and recorded in :attr:`stats`
-        (the simulation engine's virtual clock is not advanced — requests
-        are instantaneous at event granularity, as in-thread SOAP calls are
-        to freebXML's timer).
+        Latency is sampled per attempt and recorded in :attr:`stats` (the
+        simulation engine's virtual clock is not advanced — requests are
+        instantaneous at event granularity, as in-thread SOAP calls are to
+        freebXML's timer).  With a :class:`RetryPolicy` installed, failed
+        attempts are retried with exponential backoff until the attempt
+        count or the transport-wide retry budget is exhausted.
         """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(uri, payload, source=source)
+            except TransportError:
+                attempt += 1
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or (
+                        policy.budget is not None
+                        and self.stats.retries >= policy.budget
+                    )
+                ):
+                    raise
+                self.stats.record_retry(policy.backoff_for(attempt - 1))
+
+    def _attempt(self, uri: str, payload: Any, *, source: str | None = None) -> Any:
+        """One wire attempt: route, sample latency, account."""
         source = source or self.client_host
         target_host = host_of_uri(uri)
         rtt = self.latency.sample(source, target_host) * 2.0

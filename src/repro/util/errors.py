@@ -19,6 +19,28 @@ class RegistryError(Exception):
         super().__init__(message or self.__class__.__name__)
         self.detail = detail
 
+    @classmethod
+    def from_fault(
+        cls, code: str, message: str, detail: str | None = None
+    ) -> "RegistryError":
+        """Reconstruct the typed error a serialized fault carried.
+
+        Client-side fault re-raise: looks the code URN up in the error-code
+        registry and rebuilds that subclass (bypassing subclass ``__init__``
+        signatures — only the base message/detail/code survive the wire,
+        which is exactly what a SOAP fault transports).  Unknown codes
+        degrade to a plain :class:`RegistryError` whose ``code`` attribute
+        still reports the original URN, so codes round-trip unchanged.
+        """
+        subclass = error_code_registry().get(code)
+        if subclass is None:
+            error = RegistryError(message, detail=detail)
+            error.code = code  # instance attribute shadows the class default
+            return error
+        error = subclass.__new__(subclass)
+        RegistryError.__init__(error, message, detail=detail)
+        return error
+
 
 class AuthenticationError(RegistryError):
     """Raised when client credentials cannot be verified."""
@@ -90,3 +112,26 @@ class AccessXmlError(InvalidRequestError):
     """Raised by the AccessRegistry API for XML violating the RegistryAccess DTD rules."""
 
     code = "urn:repro:error:AccessXml"
+
+
+def error_code_registry() -> dict[str, type[RegistryError]]:
+    """code URN → error class, for every RegistryError in the hierarchy.
+
+    Walks ``__subclasses__`` recursively, so subclasses defined outside this
+    module participate too.  Raises if two classes claim the same code —
+    codes are the wire identity of an error, and a duplicate would make
+    fault re-raise ambiguous.
+    """
+    registry: dict[str, type[RegistryError]] = {RegistryError.code: RegistryError}
+    stack: list[type[RegistryError]] = [RegistryError]
+    while stack:
+        for subclass in stack.pop().__subclasses__():
+            existing = registry.get(subclass.code)
+            if existing is not None and existing is not subclass:
+                raise AssertionError(
+                    f"duplicate RegistryError code {subclass.code!r}: "
+                    f"{existing.__name__} vs {subclass.__name__}"
+                )
+            registry[subclass.code] = subclass
+            stack.append(subclass)
+    return registry

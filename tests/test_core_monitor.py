@@ -94,3 +94,26 @@ class TestScheduling:
         monitor.start(immediate=False)
         engine.run_until(engine.now + 25.0)
         assert monitor.collections == 1
+
+
+class TestEndpointFailures:
+    def test_failures_attributed_to_monitored_endpoint(self, monitor, transport):
+        transport.set_host_down(HOSTS[1])
+        monitor.collect_once()
+        monitor.collect_once()
+        failures = monitor.endpoint_failures()
+        assert failures == {
+            f"http://{HOSTS[1]}:8080/NodeStatus/NodeStatusService": 2
+        }
+
+    def test_only_monitored_targets_reported(self, monitor, transport):
+        # a failure on a non-NodeStatus endpoint is not this monitor's problem
+        from repro.util.errors import TransportError
+
+        with pytest.raises(TransportError):
+            transport.request("http://unrelated.x:9/svc", "ping")
+        assert monitor.endpoint_failures() == {}
+
+    def test_healthy_sweep_reports_nothing(self, monitor):
+        monitor.collect_once()
+        assert monitor.endpoint_failures() == {}

@@ -2,14 +2,18 @@
 
 import pytest
 
+from dataclasses import replace
+
 from repro.mtc import (
     BackgroundLoad,
     Distribution,
     ExperimentConfig,
+    HostFailure,
     WorkloadSpec,
     run_experiment,
 )
 from repro.sim import HostSpec
+from repro.soap import RetryPolicy
 
 
 def small_config(**kwargs):
@@ -103,3 +107,41 @@ class TestMetricsRow:
             "completed",
             "rejected",
         }
+
+
+class TestTransportDispatch:
+    """The client-side retry mini-chain as an experiment scenario parameter."""
+
+    def test_transport_dispatch_matches_direct_dispatch(self):
+        direct = run_experiment(small_config(policy="round-robin"))
+        via_transport = run_experiment(
+            small_config(policy="round-robin", dispatch_via_transport=True)
+        )
+        assert via_transport.dispatch_counts == direct.dispatch_counts
+        assert via_transport.invoke_failures == 0
+        assert via_transport.transport_retries == 0
+
+    def test_host_failure_surfaces_invoke_failures(self):
+        result = run_experiment(
+            small_config(
+                policy="round-robin",
+                dispatch_via_transport=True,
+                failures=(HostFailure(host="h1.x", fail_at=60.0),),
+            )
+        )
+        assert result.invoke_failures > 0
+        assert any("h1.x" in uri for uri in result.endpoint_failures)
+
+    def test_retry_policy_spends_retries_on_failed_host(self):
+        base = small_config(
+            policy="round-robin",
+            dispatch_via_transport=True,
+            failures=(HostFailure(host="h1.x", fail_at=60.0),),
+        )
+        no_retry = run_experiment(base)
+        with_retry = run_experiment(
+            replace(base, transport_retry=RetryPolicy(max_attempts=3, budget=50))
+        )
+        assert no_retry.transport_retries == 0
+        assert with_retry.transport_retries > 0
+        assert with_retry.transport_retries <= 50

@@ -1,0 +1,177 @@
+"""Tests for the registry kernel: pipeline stages, stats, interceptors."""
+
+import pytest
+
+from repro.registry.kernel import UNRESOLVED_OPERATION
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Organization
+from repro.soap import (
+    AdhocQueryRequest,
+    GetRegistryObjectRequest,
+    HttpGetBinding,
+    SoapEnvelope,
+    SoapFault,
+    SoapRegistryBinding,
+    SubmitObjectsRequest,
+    serialize,
+)
+
+from conftest import publish_service_with_bindings
+
+
+@pytest.fixture
+def binding(registry) -> SoapRegistryBinding:
+    return SoapRegistryBinding(registry)
+
+
+def login_via(binding, registry, alias="kernel-user"):
+    _, credential = registry.register_user(alias)
+    session = registry.login(credential)
+    binding.register_session(session)
+    return session
+
+
+class TestOperationRegistry:
+    def test_managers_register_declaratively(self, registry):
+        ops = registry.kernel.operations()
+        # write side (LifeCycleManager)
+        for name in ("submitObjects", "updateObjects", "removeObjects", "addSlots"):
+            assert name in ops
+        # read side (QueryManager) + repository edge-native op
+        for name in ("executeQuery", "getRegistryObject", "getRepositoryItem"):
+            assert name in ops
+
+    def test_spec_flags(self, registry):
+        assert registry.kernel.operation("submitObjects").requires_session
+        assert not registry.kernel.operation("executeQuery").requires_session
+        assert registry.kernel.operation("executeQuery").read_gate
+
+    def test_default_chain_order(self, registry):
+        assert registry.kernel.interceptor_names() == [
+            "account",
+            "fault-map",
+            "admit",
+            "resolve",
+            "authenticate",
+            "authorize",
+            "validate",
+            "dispatch",
+        ]
+
+
+class TestPipelineStats:
+    def test_counts_and_latency_per_edge(self, registry, session, binding):
+        publish_service_with_bindings(registry, session)
+        binding.handle(
+            SoapEnvelope(body=AdhocQueryRequest(query="SELECT name FROM Organization"))
+        )
+        binding.handle(
+            SoapEnvelope(body=AdhocQueryRequest(query="SELECT name FROM Organization"))
+        )
+        stats = registry.pipeline_stats()
+        op = stats["soap"]["executeQuery"]
+        assert op["count"] == 2
+        assert op["faults"] == 0
+        assert op["total_latency_s"] > 0
+        assert op["min_latency_s"] <= op["mean_latency_s"] <= op["max_latency_s"]
+
+    def test_fault_tallies_by_code(self, registry, binding):
+        org = Organization(registry.ids.new_id())
+        response = binding.handle(
+            SoapEnvelope(body=SubmitObjectsRequest(objects=[serialize(org)]))
+        )
+        assert isinstance(response, SoapFault)
+        op = registry.pipeline_stats()["soap"]["submitObjects"]
+        assert op["faults"] == 1
+        assert op["fault_codes"] == {"urn:repro:error:AuthenticationFailed": 1}
+
+    def test_unresolved_operation_accounted(self, registry, binding):
+        response = binding.handle(SoapEnvelope(body=object()))
+        assert isinstance(response, SoapFault)
+        op = registry.pipeline_stats()["soap"][UNRESOLVED_OPERATION]
+        assert op["fault_codes"] == {"urn:repro:error:InvalidRequest": 1}
+
+    def test_all_three_edges_reported(self, registry, session, binding):
+        from repro.client.jaxr import ConnectionFactory
+
+        org, _svc = publish_service_with_bindings(registry, session)
+        binding.handle(SoapEnvelope(body=GetRegistryObjectRequest(object_id=org.id)))
+        HttpGetBinding(registry).get(
+            f"http://x/omar?interface=QueryManager&method=getRegistryObject&param-id={org.id}"
+        )
+        conn = ConnectionFactory(registry, local_call=True).create_connection()
+        conn.get_registry_service().get_business_query_manager().get_registry_object(
+            org.id
+        )
+        stats = registry.pipeline_stats()
+        for edge in ("soap", "http", "local"):
+            assert stats[edge]["getRegistryObject"]["count"] == 1
+
+
+class TestCustomInterceptors:
+    def test_tag_bag_and_insertion_order(self, registry, session, binding):
+        seen = []
+
+        class Tagger:
+            name = "tagger"
+
+            def __call__(self, kernel, ctx, proceed):
+                ctx.tags["traced"] = True
+                seen.append((ctx.request_id, ctx.operation))
+                return proceed()
+
+        registry.kernel.add_interceptor(Tagger(), after="resolve")
+        assert "tagger" in registry.kernel.interceptor_names()
+        publish_service_with_bindings(registry, session)
+        binding.handle(
+            SoapEnvelope(body=AdhocQueryRequest(query="SELECT name FROM Organization"))
+        )
+        assert len(seen) == 1
+        # inserted after resolve: the operation is already known
+        assert seen[0][1] == "executeQuery"
+        assert registry.kernel.remove_interceptor("tagger")
+        assert "tagger" not in registry.kernel.interceptor_names()
+
+    def test_cannot_remove_builtin_stage(self, registry):
+        assert not registry.kernel.remove_interceptor("dispatch")
+
+    def test_unknown_anchor_rejected(self, registry):
+        class Noop:
+            name = "noop"
+
+            def __call__(self, kernel, ctx, proceed):
+                return proceed()
+
+        with pytest.raises(ValueError, match="unknown pipeline stage"):
+            registry.kernel.add_interceptor(Noop(), before="nonexistent")
+
+
+class TestRequestIds:
+    def test_request_ids_never_touch_idfactory(self):
+        """Kernel request ids must not perturb seeded object-id sequences."""
+        a = RegistryServer(RegistryConfig(seed=123))
+        b = RegistryServer(RegistryConfig(seed=123))
+        binding = SoapRegistryBinding(a)
+        for _ in range(5):
+            binding.handle(SoapEnvelope(body=AdhocQueryRequest(query="SELECT id FROM Service")))
+        assert a.ids.new_id() == b.ids.new_id()
+
+
+class TestReadGate:
+    def test_private_registry_http_rejected_before_method_resolution(self):
+        registry = RegistryServer(RegistryConfig(seed=1, registry_type="private"))
+        response = HttpGetBinding(registry).get(
+            "http://x/omar?interface=QueryManager&method=mystery"
+        )
+        assert isinstance(response, SoapFault)
+        # the admit stage gates first, as the pre-kernel binding did
+        assert "AuthorizationFailed" in response.fault_code
+
+    def test_private_registry_soap_query_rejected(self):
+        registry = RegistryServer(RegistryConfig(seed=1, registry_type="private"))
+        binding = SoapRegistryBinding(registry)
+        response = binding.handle(
+            SoapEnvelope(body=AdhocQueryRequest(query="SELECT id FROM Service"))
+        )
+        assert isinstance(response, SoapFault)
+        assert "AuthorizationFailed" in response.fault_code

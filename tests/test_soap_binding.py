@@ -1,5 +1,7 @@
 """Tests for the SOAP dispatch and HTTP-GET bindings."""
 
+from urllib.parse import quote
+
 import pytest
 
 from repro.rim import Organization
@@ -144,3 +146,86 @@ class TestHttpGetBinding:
         http = HttpGetBinding(registry)
         response = http.get("http://x/omar?interface=QueryManager&method=getRegistryObject")
         assert isinstance(response, SoapFault)
+
+
+class TestHttpGetUrlEdgeCases:
+    """URL parsing corners: percent-encoding, duplicates, odd paths/queries."""
+
+    def test_percent_encoded_query_value(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        encoded = quote("SELECT name FROM Organization ORDER BY name")
+        response = http.get(
+            f"http://x/omar?interface=QueryManager&method=executeQuery&param-query={encoded}"
+        )
+        assert isinstance(response, RegistryResponse)
+        assert response.rows
+
+    def test_percent_encoded_param_id(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://x/omar?interface=QueryManager&method=getRegistryObject"
+            f"&param-id={quote(org.id, safe='')}"
+        )
+        assert response.objects[0]["id"] == org.id
+
+    def test_duplicate_params_first_value_wins(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://x/omar?interface=QueryManager&method=getRegistryObject"
+            f"&param-id={org.id}&param-id=urn:other:id"
+        )
+        assert response.objects[0]["id"] == org.id
+
+    def test_duplicate_method_first_value_wins(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://x/omar?method=executeQuery&method=mystery"
+            "&param-query=SELECT name FROM Organization"
+        )
+        assert isinstance(response, RegistryResponse)
+
+    def test_interface_defaults_to_query_manager(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://x/omar?method=executeQuery&param-query=SELECT name FROM Organization"
+        )
+        assert isinstance(response, RegistryResponse)
+
+    def test_unknown_path_still_dispatches_on_params(self, registry, session):
+        # the binding routes on query params, not the URL path — any path works
+        org, _ = publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://elsewhere:9999/totally/different/path"
+            f"?interface=QueryManager&method=getRegistryObject&param-id={org.id}"
+        )
+        assert response.objects[0]["id"] == org.id
+
+    def test_no_query_string_faults_as_unknown_method(self, registry):
+        http = HttpGetBinding(registry)
+        response = http.get("http://x/omar/registry/http")
+        assert isinstance(response, SoapFault)
+        assert "unknown HTTP method parameter: None" in response.fault_string
+
+    def test_empty_param_value_treated_as_missing(self, registry):
+        # parse_qs drops empty values, so param-id= behaves like no param-id
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://x/omar?interface=QueryManager&method=getRegistryObject&param-id="
+        )
+        assert isinstance(response, SoapFault)
+        assert "requires param-id" in response.fault_string
+
+    def test_fragment_and_port_ignored(self, registry, session):
+        org, _ = publish_service_with_bindings(registry, session)
+        http = HttpGetBinding(registry)
+        response = http.get(
+            "http://volta.sdsu.edu:8080/omar?interface=QueryManager"
+            f"&method=getRegistryObject&param-id={org.id}#section"
+        )
+        assert response.objects[0]["id"] == org.id

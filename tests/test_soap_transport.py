@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.network import LatencyModel
-from repro.soap import SimTransport
+from repro.soap import RetryPolicy, SimTransport
 from repro.util.errors import TransportError
 
 
@@ -80,3 +80,103 @@ class TestLatency:
         t = SimTransport(latency=model)
         assert t.estimated_delay("http://a.x/svc") == 0.2
         assert t.estimated_delay("http://b.x/svc") == 0.01
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=2.0, backoff_cap=0.15)
+        assert policy.backoff_for(0) == pytest.approx(0.05)
+        assert policy.backoff_for(1) == pytest.approx(0.10)
+        assert policy.backoff_for(2) == pytest.approx(0.15)  # capped
+        assert policy.backoff_for(9) == pytest.approx(0.15)
+
+    def test_default_policy_means_no_retries(self, transport):
+        # parity default: SimTransport() without a policy fails fast
+        transport.set_host_down("a.x")
+        with pytest.raises(TransportError):
+            transport.request("http://a.x:8080/svc", "ping")
+        assert transport.stats.retries == 0
+        assert transport.retry_budget_remaining() is None
+
+    def test_retry_recovers_after_transient_failure(self):
+        calls = {"n": 0}
+
+        def flaky(req):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransportError("transient")
+            return "ok"
+
+        t = SimTransport(retry=RetryPolicy(max_attempts=3))
+        t.register_endpoint("http://a.x/svc", flaky)
+        assert t.request("http://a.x/svc", "ping") == "ok"
+        assert t.stats.retries == 2
+        assert t.stats.requests == 3
+        assert t.stats.failures == 2
+
+    def test_retries_exhausted_reraises(self):
+        t = SimTransport(retry=RetryPolicy(max_attempts=3))
+        t.register_endpoint("http://a.x/svc", lambda req: req)
+        t.set_host_down("a.x")
+        with pytest.raises(TransportError, match="unreachable"):
+            t.request("http://a.x/svc", "ping")
+        assert t.stats.requests == 3  # every attempt accounted
+        assert t.stats.retries == 2
+
+    def test_backoff_charged_to_stats(self):
+        t = SimTransport(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.1, backoff_factor=2.0)
+        )
+        t.register_endpoint("http://a.x/svc", lambda req: req)
+        t.set_host_down("a.x")
+        with pytest.raises(TransportError):
+            t.request("http://a.x/svc", "ping")
+        assert t.stats.backoff_total == pytest.approx(0.1 + 0.2)
+
+    def test_budget_caps_total_retries_across_requests(self):
+        t = SimTransport(retry=RetryPolicy(max_attempts=5, budget=3))
+        t.register_endpoint("http://a.x/svc", lambda req: req)
+        t.set_host_down("a.x")
+        with pytest.raises(TransportError):
+            t.request("http://a.x/svc", "one")  # burns 3 retries, hits budget
+        assert t.stats.retries == 3
+        assert t.retry_budget_remaining() == 0
+        with pytest.raises(TransportError):
+            t.request("http://a.x/svc", "two")  # budget gone: fails fast
+        assert t.stats.retries == 3
+
+
+class TestEndpointFailureAttribution:
+    def test_failures_attributed_per_endpoint(self, transport):
+        transport.set_host_down("a.x")
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                transport.request("http://a.x:8080/svc", "ping")
+        transport.request("http://b.x:8080/svc", "ping")
+        assert transport.endpoint_failures() == {"http://a.x:8080/svc": 2}
+        assert transport.endpoint_stats("http://a.x:8080/svc") == {
+            "requests": 2,
+            "failures": 2,
+        }
+        assert transport.endpoint_stats("http://b.x:8080/svc") == {
+            "requests": 1,
+            "failures": 0,
+        }
+
+    def test_unknown_endpoint_failure_attributed(self, transport):
+        with pytest.raises(TransportError, match="no endpoint"):
+            transport.request("http://c.x:8080/svc", "ping")
+        assert transport.endpoint_failures() == {"http://c.x:8080/svc": 1}
+
+    def test_handler_transport_error_attributed(self):
+        t = SimTransport()
+        t.register_endpoint(
+            "http://a.x/svc", lambda req: (_ for _ in ()).throw(TransportError("boom"))
+        )
+        with pytest.raises(TransportError, match="boom"):
+            t.request("http://a.x/svc", "ping")
+        assert t.endpoint_stats("http://a.x/svc")["failures"] == 1
+
+    def test_never_failed_endpoint_absent_from_failures(self, transport):
+        transport.request("http://a.x:8080/svc", "ping")
+        assert transport.endpoint_failures() == {}

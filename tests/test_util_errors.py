@@ -1,0 +1,112 @@
+"""Error-code audit: unique URNs per subclass and lossless fault round-trips.
+
+A ``RegistryError.code`` is the wire identity of a failure — the SOAP fault
+code, the HTTP fault payload, and the client-side re-raised exception all
+carry it.  These tests pin two invariants: every subclass claims a distinct
+URN, and a fault serialized to SOAP XML re-raises on the client as the same
+subclass with the same code, message, and detail.
+"""
+
+import pytest
+
+from repro.soap import SoapEnvelope, SoapFault, envelope_from_xml, envelope_to_xml
+from repro.util.errors import (
+    AccessXmlError,
+    AuthenticationError,
+    AuthorizationError,
+    ConstraintSyntaxError,
+    InvalidRequestError,
+    LifeCycleError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+    QuerySyntaxError,
+    RegistryError,
+    TransportError,
+    error_code_registry,
+)
+
+
+def all_error_classes():
+    """Every class in the hierarchy, via the same walk the registry uses."""
+    classes = [RegistryError]
+    stack = [RegistryError]
+    while stack:
+        for subclass in stack.pop().__subclasses__():
+            classes.append(subclass)
+            stack.append(subclass)
+    return classes
+
+
+class TestCodeRegistry:
+    def test_every_subclass_has_a_unique_code(self):
+        registry = error_code_registry()  # raises on duplicates
+        classes = all_error_classes()
+        assert len(registry) == len(classes)
+        for cls in classes:
+            assert registry[cls.code] is cls
+
+    def test_codes_are_urns(self):
+        for cls in all_error_classes():
+            assert cls.code.startswith("urn:repro:error:"), cls.__name__
+
+    def test_duplicate_code_detected(self):
+        class Impostor(TransportError):
+            code = AuthenticationError.code
+
+        try:
+            with pytest.raises(AssertionError, match="duplicate RegistryError code"):
+                error_code_registry()
+        finally:
+            # drop the impostor so other tests see a clean hierarchy
+            Impostor.code = "urn:repro:error:TestImpostor"
+
+    def test_from_fault_rebuilds_subclass(self):
+        error = RegistryError.from_fault(
+            ObjectNotFoundError.code, "registry object not found: urn:x", detail="d"
+        )
+        assert type(error) is ObjectNotFoundError
+        assert error.code == ObjectNotFoundError.code
+        assert str(error) == "registry object not found: urn:x"
+        assert error.detail == "d"
+
+    def test_from_fault_unknown_code_degrades_gracefully(self):
+        error = RegistryError.from_fault("urn:vendor:error:Custom", "boom")
+        assert type(error) is RegistryError
+        assert error.code == "urn:vendor:error:Custom"
+
+
+def representative_errors():
+    """One instance per subclass, built through its real constructor."""
+    return [
+        RegistryError("base failure", detail="ctx"),
+        AuthenticationError("bad credential"),
+        AuthorizationError("read denied"),
+        ObjectNotFoundError("urn:uuid:missing"),
+        ObjectExistsError("urn:uuid:taken"),
+        InvalidRequestError("malformed request", detail="field x"),
+        QuerySyntaxError("unexpected token", position=7),
+        ConstraintSyntaxError("dangling operator"),
+        TransportError("endpoint unreachable"),
+        LifeCycleError("cannot approve a removed object"),
+        AccessXmlError("bad RegistryAccess document"),
+    ]
+
+
+class TestFaultRoundTrip:
+    @pytest.mark.parametrize(
+        "error", representative_errors(), ids=lambda e: type(e).__name__
+    )
+    def test_soap_xml_round_trip_preserves_identity(self, error):
+        """server raise → SoapFault → XML → parse → client re-raise, lossless."""
+        fault = SoapFault.from_error(error)
+        xml = envelope_to_xml(SoapEnvelope(body=fault))
+        parsed = envelope_from_xml(xml).body
+        assert isinstance(parsed, SoapFault)
+        assert parsed == fault
+        with pytest.raises(RegistryError) as excinfo:
+            parsed.raise_()
+        raised = excinfo.value
+        assert type(raised) is type(error)
+        assert raised.code == error.code
+        assert str(raised) == str(error)
+        assert raised.detail == error.detail
