@@ -207,6 +207,12 @@ def run_bench() -> dict:
         "mismatched_queries": mismatches,
         "results_identical": mismatches == 0,
         "plan_stats": dict(new_engine.stats),
+        # telemetry summary: the planner counters as the telemetry facade
+        # exports them, so the artifact cross-checks the /metrics surface
+        "telemetry": {
+            "planner": registry.qm.query_plan_stats(),
+            "tracer": registry.telemetry.tracer.stats(),
+        },
     }
 
 

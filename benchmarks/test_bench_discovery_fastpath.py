@@ -237,6 +237,16 @@ def run_bench() -> dict:
         }
     report["mismatched_services"] = mismatches
     report["results_identical"] = mismatches == 0
+    # telemetry summary: the counters behind the measured path, so a future
+    # regression can be triaged from the artifact alone (cache gone cold?)
+    uri_cache = registry.daos.services.uri_cache_stats()
+    report["telemetry"] = {
+        "uri_cache": uri_cache,
+        "uri_cache_hit_rate": round(
+            uri_cache["hits"] / max(1, uri_cache["hits"] + uri_cache["misses"]), 4
+        ),
+        "tracer": registry.telemetry.tracer.stats(),
+    }
     return report
 
 

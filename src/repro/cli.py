@@ -14,6 +14,8 @@ that workflow plus the experiment harness:
     print the thesis-style output (``Organization id :- urn:uuid:…``);
 ``repro query <state.json> "<SQL>"``
     run an ad hoc query and print rows;
+``repro stats <state.json> [--format table|json|prometheus]``
+    print the registry's merged telemetry snapshot;
 ``repro experiment [--duration N] [--policies a,b,c]``
     run the LB-1 policy comparison and print the metrics table;
 ``repro sweep-period [--periods 5,10,25,60]``
@@ -113,6 +115,39 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_snapshot(value: object, prefix: str = "") -> list[dict]:
+    """Nested snapshot → rows of dotted-key/value pairs (table rendering)."""
+    import json
+
+    rows: list[dict] = []
+    if isinstance(value, dict):
+        for key in value:
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            rows.extend(_flatten_snapshot(value[key], child_prefix))
+    elif isinstance(value, (list, tuple)):
+        rows.append({"key": prefix, "value": json.dumps(value, default=str)})
+    else:
+        rows.append({"key": prefix, "value": value})
+    return rows
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    registry = _open_registry(args.state)
+    if args.format == "prometheus":
+        sys.stdout.write(registry.telemetry.render_prometheus())
+        return 0
+    snapshot = registry.telemetry_snapshot()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, default=str))
+        return 0
+    rows = _flatten_snapshot(snapshot)
+    if rows:
+        print(format_table(rows, title="registry telemetry"))
+    return 0
+
+
 def cmd_keystoremover(args: argparse.Namespace) -> int:
     """The thesis §3.4.3 KeystoreMover, option-for-option (Table 3.2)."""
     from repro.security.keystore import KeystoreMover
@@ -207,6 +242,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("state")
     p.add_argument("sql")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("stats", help="print the registry telemetry snapshot")
+    p.add_argument("state")
+    p.add_argument(
+        "--format", choices=("table", "json", "prometheus"), default="table"
+    )
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
         "keystoremover", help="copy a credential between keystores (thesis §3.4.3)"

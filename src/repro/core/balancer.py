@@ -124,12 +124,16 @@ class LoadBalancer:
     monitor: TimeHits
 
     def detach(self, registry: "RegistryServer") -> None:
-        """Restore vanilla discovery and stop monitoring."""
+        """Restore vanilla discovery, stop monitoring, unmount telemetry."""
         from repro.persistence.dao import DefaultBindingResolver
 
         registry.daos.services.set_resolver(DefaultBindingResolver())
         self.monitor.stop()
         registry.store.remove_write_listener(self.service_constraint.on_store_write)
+        telemetry = getattr(registry, "telemetry", None)
+        if telemetry is not None:
+            for source in ("constraint_cache", "collector", "load_status", "transport"):
+                telemetry.unregister_source(source)
 
 
 def attach_load_balancer(
@@ -164,6 +168,39 @@ def attach_load_balancer(
     resolver = ConstraintBindingResolver(service_constraint, load_status, mode=mode)
     registry.daos.services.set_resolver(resolver)
     monitor = TimeHits(registry, transport, engine, period=period)
+    telemetry = getattr(registry, "telemetry", None)
+    if telemetry is not None:
+        # mount the scheme's stats surfaces + trace hooks on the registry's
+        # telemetry facade (/metrics and telemetry_snapshot() pick them up)
+        from repro.obs.adapters import (
+            constraint_cache_collector,
+            load_status_collector,
+            monitor_collector,
+            transport_collector,
+        )
+
+        load_status.tracer = telemetry.tracer
+        transport.tracer = telemetry.tracer
+        telemetry.register_source(
+            "constraint_cache",
+            service_constraint.cache_stats,
+            collector=constraint_cache_collector(service_constraint),
+        )
+        telemetry.register_source(
+            "collector",
+            monitor.collector_stats,
+            collector=monitor_collector(monitor),
+        )
+        telemetry.register_source(
+            "load_status",
+            load_status.load_status_stats,
+            collector=load_status_collector(load_status, resolver),
+        )
+        telemetry.register_source(
+            "transport",
+            transport.transport_stats,
+            collector=transport_collector(transport),
+        )
     if start_monitor:
         monitor.start()
     return LoadBalancer(

@@ -36,6 +36,10 @@ class LoadStatus:
         self.node_state = node_state
         self.clock = clock
         self.max_age = max_age
+        self.rankings = 0
+        self.stale_samples = 0
+        #: optional telemetry tracer; spans each ranking when enabled
+        self.tracer = None
 
     # -- sample access -----------------------------------------------------------
 
@@ -45,6 +49,7 @@ class LoadStatus:
         if sample is None:
             return None
         if self.max_age is not None and self.clock.now() - sample.updated > self.max_age:
+            self.stale_samples += 1
             return None
         return sample
 
@@ -86,6 +91,16 @@ class LoadStatus:
         is deterministic.  O(n log n): one sample fetch per distinct host and
         a position map instead of repeated ``hosts.index`` scans.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("loadstatus.rank", hosts=len(hosts)) as span:
+                ranked = self._rank(hosts, constraints)
+                span.tags["satisfying"] = len(ranked)
+            return ranked
+        return self._rank(hosts, constraints)
+
+    def _rank(self, hosts: list[str], constraints: ConstraintSet) -> list[str]:
+        self.rankings += 1
         samples = self.snapshot(hosts)
         position: dict[str, int] = {}
         for index, host in enumerate(hosts):
@@ -96,3 +111,7 @@ class LoadStatus:
             if (sample := samples[h]) is not None and constraints.satisfied_by(sample)
         ]
         return sorted(satisfying, key=lambda h: (samples[h].load, position[h]))
+
+    def load_status_stats(self) -> dict[str, int]:
+        """Ranking/staleness counters (the telemetry surface)."""
+        return {"rankings": self.rankings, "stale_samples": self.stale_samples}

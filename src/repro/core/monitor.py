@@ -51,6 +51,8 @@ class TimeHits:
         self.monitor_service_name = monitor_service_name
         self.node_state: NodeStateStore = registry.node_state
         self._task: PeriodicTask | None = None
+        #: telemetry tracer (one span per collect cycle when tracing is on)
+        self.tracer = getattr(registry, "telemetry", None) and registry.telemetry.tracer
         self.collections = 0
         self.samples_stored = 0
         self.failures = 0
@@ -91,7 +93,21 @@ class TimeHits:
     # -- collection ---------------------------------------------------------------
 
     def collect_once(self) -> int:
-        """One monitoring sweep; returns the number of samples stored."""
+        """One monitoring sweep; returns the number of samples stored.
+
+        With tracing enabled the sweep runs inside a ``timehits.collect``
+        span (per-target transport attempts nest under it when the transport
+        is traced too).
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("timehits.collect", cycle=self.collections + 1) as span:
+                stored = self._collect()
+                span.tags["stored"] = stored
+            return stored
+        return self._collect()
+
+    def _collect(self) -> int:
         self.collections += 1
         stored = 0
         for uri in self.target_uris():
@@ -130,6 +146,18 @@ class TimeHits:
         """
         failures = self.transport.stats.per_endpoint_failures
         return {uri: failures[uri] for uri in self.target_uris() if uri in failures}
+
+    def collector_stats(self) -> dict:
+        """Collection-cycle tallies (the telemetry surface)."""
+        return {
+            "collections": self.collections,
+            "samples_stored": self.samples_stored,
+            "failures": self.failures,
+            "targets": len(self.target_uris()),
+            "period_s": self.period,
+            "running": self.running,
+            "endpoint_failures": self.endpoint_failures(),
+        }
 
     # -- scheduling -------------------------------------------------------------------
 

@@ -82,6 +82,14 @@ class ServiceConstraint:
         self._cache[service.id] = (description_hash, description, constraints)
         return constraints
 
+    def cache_stats(self) -> dict[str, int]:
+        """Parse-cache counters (the telemetry surface)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+        }
+
     def invalidate(self, object_id: str | None = None) -> None:
         """Drop one service's cached parse (or all, with ``None``)."""
         if object_id is None:

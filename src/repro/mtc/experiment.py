@@ -148,6 +148,9 @@ class ExperimentConfig:
     #: submitting directly to the cluster (makes retry/backoff observable
     #: under HostFailure episodes)
     dispatch_via_transport: bool = False
+    #: record per-request span trees (deterministic under the sim clock);
+    #: off by default — tracing is an observability knob, not a policy one
+    trace: bool = False
 
     def with_policy(self, policy: str) -> "ExperimentConfig":
         return replace(self, policy=policy)
@@ -164,6 +167,8 @@ class ExperimentResult:
     transport_retries: int = 0
     invoke_failures: int = 0
     endpoint_failures: dict[str, int] = field(default_factory=dict)
+    #: merged registry telemetry snapshot (see RegistryServer.telemetry_snapshot)
+    telemetry: dict = field(default_factory=dict)
 
 
 class ExperimentHarness:
@@ -173,10 +178,17 @@ class ExperimentHarness:
         self.config = config
         self.engine = SimEngine(start=config.start_of_day)
         self.clock = SimClockAdapter(self.engine)
-        self.registry = RegistryServer(RegistryConfig(seed=config.seed), clock=self.clock)
+        # the sim clock doubles as the monotonic source, so request latency
+        # accounting and span timestamps are deterministic under the seed
+        self.registry = RegistryServer(
+            RegistryConfig(seed=config.seed), clock=self.clock, monotonic=self.clock
+        )
         self.cluster = Cluster(self.engine, load_metric=config.load_metric)
         self.cluster.add_hosts(list(config.hosts))
         self.transport = SimTransport(retry=config.transport_retry)
+        if config.trace:
+            self.registry.enable_tracing()
+            self.transport.tracer = self.registry.telemetry.tracer
         self._register_monitors()
         self.session = self._admin_session()
         self.service_id = self._publish_services()
@@ -366,6 +378,7 @@ class ExperimentHarness:
             transport_retries=self.transport.stats.retries,
             invoke_failures=self.client.invoke_failures,
             endpoint_failures=self.transport.endpoint_failures(),
+            telemetry=self.registry.telemetry_snapshot(),
         )
 
 

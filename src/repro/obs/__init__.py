@@ -1,0 +1,29 @@
+"""Unified observability: metrics registry, request tracing, telemetry facade.
+
+The runtime signals of the load-balancing feedback loop (pipeline, transport,
+planner, caches, monitor, rankings) publish into one exportable surface —
+see DESIGN.md's "Observability" section for the architecture.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "parse_exposition",
+]

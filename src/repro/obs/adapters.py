@@ -1,0 +1,230 @@
+"""Adapters syncing the legacy ``*_stats()`` surfaces into a MetricsRegistry.
+
+Each adapter is a factory: it captures the component owning one ad-hoc stats
+surface (the kernel's PipelineStats, the transport's TransportStats, the
+query planner counters, the constraint/URI caches, the TimeHits collector,
+the LoadStatus/resolver pair) and returns a **collector** — a callable the
+:class:`repro.obs.telemetry.Telemetry` facade runs at scrape time to mirror
+the surface's current values into Prometheus-shaped series.
+
+Pull-at-scrape keeps two properties the tentpole requires:
+
+* the legacy snapshot APIs stay intact and remain the source of truth, so
+  exported values are *identical by construction* to what
+  ``pipeline_stats()`` / ``transport_stats()`` / ``query_plan_stats()`` /
+  ``cache_stats()`` / ``collector_stats()`` report;
+* nothing is added to any hot path — components keep bumping their plain
+  ints, and the conversion cost is paid only when ``/metrics`` is scraped
+  or a snapshot is taken.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.load_status import LoadStatus
+    from repro.core.monitor import TimeHits
+    from repro.core.service_constraint import ServiceConstraint
+    from repro.persistence.dao import ServiceDAO
+    from repro.registry.querymgr import QueryManager
+    from repro.registry.server import RegistryServer
+    from repro.soap.transport import SimTransport
+
+Collector = Callable[[MetricsRegistry], None]
+
+
+def pipeline_collector(server: "RegistryServer") -> Collector:
+    """Mirror the kernel's per-edge, per-operation PipelineStats."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        labels = ("edge", "operation")
+        requests = metrics.counter(
+            "repro_pipeline_requests_total", "Requests through the kernel pipeline.", labels
+        )
+        faults = metrics.counter(
+            "repro_pipeline_faults_total", "Requests that ended in a registry fault.", labels
+        )
+        fault_codes = metrics.counter(
+            "repro_pipeline_fault_codes_total",
+            "Faults by registry error code.",
+            labels + ("code",),
+        )
+        latency_total = metrics.counter(
+            "repro_pipeline_latency_seconds_total",
+            "Summed request latency per edge and operation.",
+            labels,
+        )
+        latency_max = metrics.gauge(
+            "repro_pipeline_latency_seconds_max",
+            "Maximum observed request latency.",
+            labels,
+        )
+        for edge, ops in server.pipeline_stats().items():
+            for operation, stats in ops.items():
+                series = {"edge": edge, "operation": operation}
+                requests.labels(**series).sync(stats["count"])
+                faults.labels(**series).sync(stats["faults"])
+                latency_total.labels(**series).sync(stats["total_latency_s"])
+                latency_max.labels(**series).set(stats["max_latency_s"])
+                for code, count in stats["fault_codes"].items():
+                    fault_codes.labels(code=code, **series).sync(count)
+
+    return collect
+
+
+def transport_collector(transport: "SimTransport") -> Collector:
+    """Mirror TransportStats, including per-endpoint failure/retry attribution."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = transport.transport_stats()
+        metrics.counter(
+            "repro_transport_requests_total", "Wire attempts through the transport."
+        ).labels().sync(snap["requests"])
+        metrics.counter(
+            "repro_transport_failures_total", "Failed wire attempts."
+        ).labels().sync(snap["failures"])
+        metrics.counter(
+            "repro_transport_wire_seconds_total", "Summed simulated round-trip time."
+        ).labels().sync(snap["total_latency_s"])
+        metrics.counter(
+            "repro_transport_retries_total", "Retry-stage retries spent."
+        ).labels().sync(snap["retries"])
+        metrics.counter(
+            "repro_transport_backoff_seconds_total", "Summed retry backoff charged."
+        ).labels().sync(snap["backoff_total_s"])
+        per_requests = metrics.counter(
+            "repro_transport_endpoint_requests_total",
+            "Wire attempts per endpoint URI.",
+            ("endpoint",),
+        )
+        per_failures = metrics.counter(
+            "repro_transport_endpoint_failures_total",
+            "Failed attempts attributed per endpoint URI.",
+            ("endpoint",),
+        )
+        per_retries = metrics.counter(
+            "repro_transport_endpoint_retries_total",
+            "Retries attributed per endpoint URI.",
+            ("endpoint",),
+        )
+        per_backoff = metrics.counter(
+            "repro_transport_endpoint_backoff_seconds_total",
+            "Backoff charged per endpoint URI.",
+            ("endpoint",),
+        )
+        for uri, count in snap["per_endpoint"].items():
+            per_requests.labels(endpoint=uri).sync(count)
+        for uri, count in snap["per_endpoint_failures"].items():
+            per_failures.labels(endpoint=uri).sync(count)
+        for uri, count in snap["per_endpoint_retries"].items():
+            per_retries.labels(endpoint=uri).sync(count)
+        for uri, backoff in snap["per_endpoint_backoff_s"].items():
+            per_backoff.labels(endpoint=uri).sync(backoff)
+
+    return collect
+
+
+def planner_collector(qm: "QueryManager") -> Collector:
+    """Mirror the query planner counters (plan cache, subqueries, rows)."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        for key, value in qm.query_plan_stats().items():
+            metrics.counter(
+                f"repro_query_{key}_total", f"Query engine counter {key!r}."
+            ).labels().sync(value)
+
+    return collect
+
+
+def constraint_cache_collector(service_constraint: "ServiceConstraint") -> Collector:
+    """Mirror the ServiceConstraint parse-cache counters."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = service_constraint.cache_stats()
+        metrics.counter(
+            "repro_constraint_cache_hits_total", "Constraint parse-cache hits."
+        ).labels().sync(snap["hits"])
+        metrics.counter(
+            "repro_constraint_cache_misses_total", "Constraint parse-cache misses."
+        ).labels().sync(snap["misses"])
+        metrics.gauge(
+            "repro_constraint_cache_entries", "Cached constraint parses."
+        ).set(snap["entries"])
+
+    return collect
+
+
+def uri_cache_collector(services: "ServiceDAO") -> Collector:
+    """Mirror the ServiceDAO access-URI resolution-cache counters."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = services.uri_cache_stats()
+        metrics.counter(
+            "repro_uri_cache_hits_total", "Access-URI resolution-cache hits."
+        ).labels().sync(snap["hits"])
+        metrics.counter(
+            "repro_uri_cache_misses_total", "Access-URI resolution-cache misses."
+        ).labels().sync(snap["misses"])
+        metrics.gauge(
+            "repro_uri_cache_entries", "Cached per-service URI resolutions."
+        ).set(snap["entries"])
+
+    return collect
+
+
+def monitor_collector(monitor: "TimeHits") -> Collector:
+    """Mirror the TimeHits collection-cycle tallies."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = monitor.collector_stats()
+        metrics.counter(
+            "repro_monitor_collections_total", "TimeHits monitoring sweeps run."
+        ).labels().sync(snap["collections"])
+        metrics.counter(
+            "repro_monitor_samples_stored_total", "NodeState samples stored."
+        ).labels().sync(snap["samples_stored"])
+        metrics.counter(
+            "repro_monitor_failures_total", "Unreachable/invalid NodeStatus replies."
+        ).labels().sync(snap["failures"])
+        metrics.gauge(
+            "repro_monitor_targets", "Published NodeStatus endpoints monitored."
+        ).set(snap["targets"])
+        metrics.gauge(
+            "repro_monitor_period_seconds", "Configured collection period."
+        ).set(snap["period_s"])
+        endpoint_failures = metrics.counter(
+            "repro_monitor_endpoint_failures_total",
+            "Failed NodeStatus invocations per target URI.",
+            ("endpoint",),
+        )
+        for uri, count in snap["endpoint_failures"].items():
+            endpoint_failures.labels(endpoint=uri).sync(count)
+
+    return collect
+
+
+def load_status_collector(load_status: "LoadStatus", resolver=None) -> Collector:
+    """Mirror LoadStatus ranking counters (and the resolver's, when given)."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = load_status.load_status_stats()
+        metrics.counter(
+            "repro_loadstatus_rankings_total", "LoadStatus host rankings computed."
+        ).labels().sync(snap["rankings"])
+        metrics.counter(
+            "repro_loadstatus_stale_samples_total",
+            "Sample lookups rejected as stale.",
+        ).labels().sync(snap["stale_samples"])
+        if resolver is not None:
+            metrics.counter(
+                "repro_resolver_resolutions_total", "Binding resolutions performed."
+            ).labels().sync(resolver.resolutions)
+            metrics.counter(
+                "repro_resolver_balanced_resolutions_total",
+                "Resolutions that applied constraint balancing.",
+            ).labels().sync(resolver.balanced_resolutions)
+
+    return collect

@@ -1,0 +1,137 @@
+"""Telemetry — the merged observability surface of one registry process.
+
+One :class:`Telemetry` instance owns the three unified mechanisms the
+``repro/obs`` subsystem provides and is the object
+``RegistryServer.telemetry`` exposes:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` populated at scrape time by
+  registered **collectors** (see :mod:`repro.obs.adapters`) plus one pushed
+  metric — the per-request latency histogram the kernel's account stage
+  observes directly (a distribution cannot be reconstructed from the legacy
+  aggregates);
+* a :class:`~repro.obs.trace.Tracer` sharing the kernel's injectable
+  monotonic clock, so pipeline latencies and span trees agree on what time
+  it is (deterministic under ``ManualClock``/sim time);
+* named snapshot **sources**: every legacy ``*_stats()`` surface registers
+  under a stable name, and :meth:`snapshot` merges them into one dict — the
+  payload of ``RegistryServer.telemetry_snapshot()`` and the ``repro
+  stats`` CLI.
+
+A **slow-request log** rides on the kernel hookup: requests whose latency
+meets :attr:`slow_request_threshold` are captured into a bounded deque,
+with the request's full span tree attached when tracing was on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.util.clock import Clock, PerfClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.adapters import Collector
+    from repro.registry.kernel import RequestContext
+
+#: how many slow-request entries are retained (oldest evicted first)
+DEFAULT_SLOW_LOG_CAPACITY = 64
+
+
+class Telemetry:
+    """Metrics registry + tracer + snapshot sources for one registry."""
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        slow_request_threshold: float | None = None,
+        slow_log_capacity: int = DEFAULT_SLOW_LOG_CAPACITY,
+        trace: bool = False,
+    ) -> None:
+        self.clock: Clock = clock or PerfClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.clock, enabled=trace)
+        self.slow_request_threshold = slow_request_threshold
+        self.slow_requests: deque[dict[str, Any]] = deque(maxlen=slow_log_capacity)
+        self._sources: dict[str, Callable[[], Any]] = {}
+        self._collectors: dict[str, "Collector"] = {}
+        #: pushed by the kernel account stage; everything else is pulled
+        self._request_latency = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "Kernel request latency by edge and operation.",
+            ("edge", "operation"),
+        )
+
+    # -- sources ---------------------------------------------------------------
+
+    def register_source(
+        self,
+        name: str,
+        snapshot: Callable[[], Any],
+        *,
+        collector: "Collector | None" = None,
+    ) -> None:
+        """Add (or replace) one named stats surface.
+
+        ``snapshot`` is the legacy ``*_stats()`` callable merged verbatim by
+        :meth:`snapshot`; ``collector`` optionally mirrors the same surface
+        into :attr:`metrics` at scrape time.
+        """
+        self._sources[name] = snapshot
+        if collector is not None:
+            self._collectors[name] = collector
+        else:
+            self._collectors.pop(name, None)
+
+    def unregister_source(self, name: str) -> bool:
+        self._collectors.pop(name, None)
+        return self._sources.pop(name, None) is not None
+
+    def sources(self) -> list[str]:
+        return sorted(self._sources)
+
+    # -- merged views ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every registered surface's current snapshot, by source name."""
+        merged = {name: self._sources[name]() for name in sorted(self._sources)}
+        merged["tracer"] = self.tracer.stats()
+        merged["slow_requests"] = list(self.slow_requests)
+        return merged
+
+    def collect(self) -> MetricsRegistry:
+        """Run every collector, syncing the metrics registry to the sources."""
+        for name in sorted(self._collectors):
+            self._collectors[name](self.metrics)
+        return self.metrics
+
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` payload: collect, then render text exposition."""
+        return self.collect().render()
+
+    def health(self) -> dict[str, Any]:
+        """The ``/health`` payload: liveness plus the mounted surfaces."""
+        return {"status": "ok", "sources": self.sources()}
+
+    # -- kernel hookup ---------------------------------------------------------
+
+    def record_request(self, ctx: "RequestContext") -> None:
+        """Account one finished kernel request (called by the account stage)."""
+        latency = ctx.latency
+        self._request_latency.labels(
+            edge=ctx.edge.name, operation=ctx.operation
+        ).observe(latency)
+        threshold = self.slow_request_threshold
+        if threshold is not None and latency >= threshold:
+            entry: dict[str, Any] = {
+                "request_id": ctx.request_id,
+                "edge": ctx.edge.name,
+                "operation": ctx.operation,
+                "latency_s": latency,
+                "fault_code": ctx.error.code if ctx.error is not None else None,
+            }
+            self.slow_requests.append(entry)
+            # the kernel attaches the span tree once the root span closes
+            ctx.tags["slow_request"] = entry

@@ -1,0 +1,191 @@
+"""Tracer — per-request span trees over the injectable Clock protocol.
+
+A :class:`Span` covers one stage of work (a kernel interceptor stage, a DAO
+resolve, a LoadStatus ranking, a transport attempt, a TimeHits sweep) and
+nests children; the :class:`Tracer` maintains the active span stack and
+keeps finished **root** spans in a bounded deque.  Time comes from a
+:class:`repro.util.clock.Clock`, so under ``ManualClock`` or the simulation
+engine's clock every trace is bit-for-bit deterministic — the same workload
+produces the same span tree with the same timestamps.
+
+Tracing is off by default and costs one attribute check at each
+instrumentation point (``tracer is not None and tracer.enabled``); no span
+objects are built while disabled.  Two export formats:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per root span (nested
+  children), greppable and diffable;
+* :meth:`Tracer.export_chrome` — Chrome trace-event format (``chrome://
+  tracing`` / Perfetto), complete duration events with µs timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.clock import Clock, PerfClock
+
+
+@dataclass
+class Span:
+    """One timed stage of work; ``end`` is None while the span is open."""
+
+    name: str
+    start: float
+    tags: dict[str, Any] = field(default_factory=dict)
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, children in order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named *name* in this subtree (depth-first order)."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _SpanContext:
+    """Context manager opening a span on enter and closing it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self._span.tags.setdefault("error", type(exc).__name__)
+        self._tracer._finish(self._span)
+
+
+class _NoopContext:
+    """Returned while tracing is disabled; yields a throwaway span."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str) -> None:
+        self._span = Span(name=name, start=0.0, end=0.0)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class Tracer:
+    """Span-tree builder over one clock; single-threaded, stack-based."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        enabled: bool = False,
+        max_traces: int = 256,
+    ) -> None:
+        self.clock: Clock = clock or PerfClock()
+        self.enabled = enabled
+        self._stack: list[Span] = []
+        #: finished root spans, oldest dropped beyond ``max_traces``
+        self.traces: deque[Span] = deque(maxlen=max_traces)
+        self.spans_recorded = 0
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, **tags: Any):
+        """Open a child of the current span (or a new root) as a context manager."""
+        if not self.enabled:
+            return _NoopContext(name)
+        span = Span(name=name, start=self.clock.now(), tags=tags)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **tags: Any) -> None:
+        """A zero-duration marker span under the current span."""
+        if not self.enabled:
+            return
+        now = self.clock.now()
+        span = Span(name=name, start=now, end=now, tags=tags)
+        self._record(span)
+        self.spans_recorded += 1
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock.now()
+        assert self._stack and self._stack[-1] is span, "span closed out of order"
+        self._stack.pop()
+        self._record(span)
+        self.spans_recorded += 1
+
+    def _record(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.traces.append(span)
+
+    # -- accessors -------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.traces.clear()
+        self._stack.clear()
+
+    def last_trace(self) -> Span | None:
+        return self.traces[-1] if self.traces else None
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "traces_kept": len(self.traces),
+            "spans_recorded": self.spans_recorded,
+        }
+
+    # -- export ----------------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        """One JSON object per finished root span, oldest first."""
+        return "\n".join(
+            json.dumps(root.to_dict(), sort_keys=True) for root in self.traces
+        ) + ("\n" if self.traces else "")
+
+    def export_chrome(self) -> str:
+        """Chrome trace-event JSON: complete ("X") events, µs timestamps."""
+        events: list[dict[str, Any]] = []
+        for root in self.traces:
+            for span in root.iter_spans():
+                event: dict[str, Any] = {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                }
+                if span.tags:
+                    event["args"] = dict(span.tags)
+                events.append(event)
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

@@ -192,6 +192,10 @@ class ServiceDAO(GenericDAO):
         #: heap version is unchanged; cleared wholesale when it moves
         self._uri_cache: dict[str, tuple[object, list[str]]] = {}
         self._uri_cache_version = -1
+        self.uri_cache_hits = 0
+        self.uri_cache_misses = 0
+        #: optional telemetry tracer; spans the (cache-miss) resolve path only
+        self.tracer = None
 
     def set_resolver(self, resolver: BindingResolver) -> None:
         self.resolver = resolver
@@ -205,8 +209,16 @@ class ServiceDAO(GenericDAO):
         bindings are copied on the way out — per-query copy work is bounded
         by the answer size, not the partition size.
         """
-        raw = self.binding_dao.for_service(service, copy=False)
-        resolved = self.resolver.resolve(service, raw)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("dao.resolve_bindings", service=service.id) as span:
+                raw = self.binding_dao.for_service(service, copy=False)
+                resolved = self.resolver.resolve(service, raw)
+                span.tags["bindings"] = len(raw)
+                span.tags["resolved"] = len(resolved)
+        else:
+            raw = self.binding_dao.for_service(service, copy=False)
+            resolved = self.resolver.resolve(service, raw)
         if copy:
             return [b.copy() for b in resolved]
         return resolved
@@ -234,7 +246,9 @@ class ServiceDAO(GenericDAO):
         token = fingerprint()
         cached = self._uri_cache.get(service.id)
         if cached is not None and cached[0] == token:
+            self.uri_cache_hits += 1
             return list(cached[1])
+        self.uri_cache_misses += 1
         uris = [
             b.access_uri
             for b in self.resolve_bindings(service, copy=False)
@@ -242,6 +256,14 @@ class ServiceDAO(GenericDAO):
         ]
         self._uri_cache[service.id] = (token, uris)
         return list(uris)
+
+    def uri_cache_stats(self) -> dict[str, int]:
+        """Resolution-cache counters (telemetry surface): hits/misses/entries."""
+        return {
+            "hits": self.uri_cache_hits,
+            "misses": self.uri_cache_misses,
+            "entries": len(self._uri_cache),
+        }
 
 
 class OrganizationDAO(GenericDAO):

@@ -28,9 +28,17 @@ dispatch are two lookups into the same table.
 
 The kernel is also the observability seam: :meth:`RegistryKernel.
 pipeline_stats` reports per-edge, per-operation request counts, latency
-aggregates (monotonic-clock), and fault tallies by error code, and custom
-interceptors can be inserted anywhere in the chain (timing, admission
-control, retries) without touching any binding.
+aggregates, and fault tallies by error code, and custom interceptors can be
+inserted anywhere in the chain (timing, admission control, retries) without
+touching any binding.  Latency accounting runs over an injectable
+:class:`~repro.util.clock.Clock` (default: the monotonic
+:class:`~repro.util.clock.PerfClock`), shared with the telemetry tracer so
+pipeline latencies and span trees agree on one time source — deterministic
+under ``ManualClock`` or simulation time.  With tracing enabled, every
+request produces a span tree: one root ``request`` span with one child per
+pipeline stage (custom interceptors included), captured by the
+:class:`~repro.obs.telemetry.Telemetry` facade's slow-request log when the
+request exceeds its threshold.
 
 This module deliberately imports nothing from :mod:`repro.soap` at module
 level — the protocol packages depend on the kernel, never the reverse.
@@ -38,13 +46,14 @@ level — the protocol packages depend on the kernel, never the reverse.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
+from repro.util.clock import Clock, PerfClock
 from repro.util.errors import InvalidRequestError, RegistryError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
     from repro.registry.server import RegistryServer
     from repro.security.authn import Session
 
@@ -79,7 +88,7 @@ class RequestContext:
     spec: "OperationSpec | None" = None
     response: Any = None
     error: RegistryError | None = None
-    #: monotonic timestamps (``time.perf_counter``), set by the account stage
+    #: timestamps from the kernel's injectable clock, set by the account stage
     started: float = 0.0
     finished: float = 0.0
     #: free-form per-request tag bag for interceptors
@@ -234,13 +243,15 @@ class _Stage:
 
 
 def _account_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
-    ctx.started = time.perf_counter()
+    ctx.started = kernel.clock.now()
     try:
         return proceed()
     finally:
-        ctx.finished = time.perf_counter()
+        ctx.finished = kernel.clock.now()
         fault_code = ctx.error.code if ctx.error is not None else None
         kernel.stats.record(ctx.edge.name, ctx.operation, ctx.latency, fault_code)
+        if kernel.telemetry is not None:
+            kernel.telemetry.record_request(ctx)
 
 
 def _fault_map_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
@@ -318,8 +329,18 @@ DEFAULT_CHAIN: tuple[_Stage, ...] = (
 class RegistryKernel:
     """Shared request pipeline + operation registry for one registry server."""
 
-    def __init__(self, server: "RegistryServer") -> None:
+    def __init__(
+        self,
+        server: "RegistryServer",
+        *,
+        clock: Clock | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self.server = server
+        #: latency/tracing time source — monotonic by default, injectable for
+        #: deterministic accounting under ManualClock or simulation time
+        self.clock: Clock = clock or PerfClock()
+        self.telemetry = telemetry
         self.stats = PipelineStats()
         self._by_request_type: dict[str, OperationSpec] = {}
         self._by_http_method: dict[str, OperationSpec] = {}
@@ -393,18 +414,38 @@ class RegistryKernel:
         return False
 
     def _compose(self) -> Callable[[RequestContext], Any]:
-        """Fold the chain into one callable (recomposed on chain edits)."""
+        """Fold the chain into one callable (recomposed on chain edits).
+
+        Each layer carries its own tracing check: with the tracer enabled,
+        every stage — default or custom — runs inside a span named after it,
+        nesting naturally (account's span contains fault-map's, and so on
+        down to dispatch).  Disabled tracing costs one attribute check per
+        stage.
+        """
 
         def terminal(ctx: RequestContext) -> Any:
             return ctx.response
 
         composed: Callable[[RequestContext], Any] = terminal
         for stage in reversed(self._chain):
-            def layer(ctx: RequestContext, *, _stage=stage, _next=composed) -> Any:
+            span_name = "stage:" + getattr(stage, "name", "interceptor")
+
+            def layer(
+                ctx: RequestContext, *, _stage=stage, _next=composed, _span=span_name
+            ) -> Any:
+                tracer = self._tracer
+                if tracer is not None and tracer.enabled:
+                    with tracer.span(_span):
+                        return _stage(self, ctx, lambda: _next(ctx))
                 return _stage(self, ctx, lambda: _next(ctx))
 
             composed = layer
         return composed
+
+    @property
+    def _tracer(self):
+        telemetry = self.telemetry
+        return telemetry.tracer if telemetry is not None else None
 
     # -- execution -------------------------------------------------------------
 
@@ -440,6 +481,19 @@ class RegistryKernel:
         )
         if self._composed is None:
             self._composed = self._compose()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "request", edge=edge.name, request_id=ctx.request_id
+            ) as root:
+                try:
+                    result = self._composed(ctx)
+                finally:
+                    root.tags["operation"] = ctx.operation
+            slow_entry = ctx.tags.get("slow_request")
+            if slow_entry is not None:
+                slow_entry["trace"] = root.to_dict()
+            return result
         return self._composed(ctx)
 
     # -- observability ---------------------------------------------------------

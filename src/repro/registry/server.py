@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.events.notifier import SubscriptionManager
+from repro.obs.telemetry import Telemetry
 from repro.persistence.dao import DAORegistry
 from repro.registry.kernel import OperationSpec, RegistryKernel
 from repro.persistence.datastore import DataStore
@@ -25,7 +26,7 @@ from repro.registry.repository import RepositoryManager
 from repro.security.authn import Authenticator, Session
 from repro.security.certs import CertificateAuthority
 from repro.security.xacml import PolicyDecisionPoint
-from repro.util.clock import Clock, WallClock
+from repro.util.clock import Clock, PerfClock, WallClock
 from repro.util.ids import IdFactory
 
 
@@ -50,9 +51,15 @@ class RegistryServer:
         config: RegistryConfig | None = None,
         *,
         clock: Clock | None = None,
+        monotonic: Clock | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config or RegistryConfig()
         self.clock: Clock = clock or WallClock()
+        #: latency/tracing time source: monotonic by default; tests and the
+        #: experiment harness inject ManualClock/sim time for determinism
+        self.monotonic: Clock = monotonic or PerfClock()
+        self.telemetry = telemetry or Telemetry(clock=self.monotonic)
         self.ids = IdFactory(self.config.seed)
         self.store = DataStore()
         self.daos = DAORegistry(self.store)
@@ -84,10 +91,40 @@ class RegistryServer:
 
         self.taxonomies = TaxonomyService(self.daos, ids=self.ids)
         #: the unified request pipeline every protocol edge routes through
-        self.kernel = RegistryKernel(self)
+        self.kernel = RegistryKernel(
+            self, clock=self.monotonic, telemetry=self.telemetry
+        )
         self.lcm.register_operations(self.kernel)
         self.qm.register_operations(self.kernel)
         self._register_repository_operations()
+        self._register_telemetry_sources()
+
+    def _register_telemetry_sources(self) -> None:
+        """Mount the server-side stats surfaces on the telemetry facade.
+
+        The load-balancing core adds its surfaces (constraint cache,
+        monitor, load status, transport) when ``attach_load_balancer``
+        runs; protocol-edge tracing of the DAO resolve path hooks in here.
+        """
+        from repro.obs.adapters import (
+            pipeline_collector,
+            planner_collector,
+            uri_cache_collector,
+        )
+
+        self.telemetry.register_source(
+            "pipeline", self.kernel.pipeline_stats, collector=pipeline_collector(self)
+        )
+        self.telemetry.register_source(
+            "planner", self.qm.query_plan_stats, collector=planner_collector(self.qm)
+        )
+        self.telemetry.register_source(
+            "uri_cache",
+            self.daos.services.uri_cache_stats,
+            collector=uri_cache_collector(self.daos.services),
+        )
+        # span the DAO resolve path when tracing is on (guarded, off-hot-path)
+        self.daos.services.tracer = self.telemetry.tracer
 
     def _register_repository_operations(self) -> None:
         """Edge-native repository access (the HTTP-only getRepositoryItem)."""
@@ -158,6 +195,19 @@ class RegistryServer:
     def pipeline_stats(self) -> dict:
         """Kernel accounting: per-edge, per-operation counts/latency/faults."""
         return self.kernel.pipeline_stats()
+
+    def telemetry_snapshot(self) -> dict:
+        """Every mounted stats surface merged into one dict, by source name.
+
+        Always includes ``pipeline``, ``planner``, and ``uri_cache``; the
+        load-balancing core adds ``constraint_cache``, ``collector``,
+        ``load_status``, and ``transport`` when attached.
+        """
+        return self.telemetry.snapshot()
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Toggle per-request span collection (off by default)."""
+        self.telemetry.tracer.enabled = enabled
 
     @property
     def home(self) -> str:

@@ -97,7 +97,10 @@ class HttpGetBinding:
     metadata or artifact … addressable via an HTTP URL".  Anything targeting
     the LifeCycleManager is rejected.  Duplicate query parameters keep the
     first value; the URL path is ignored (the query string alone selects the
-    operation), both as in freebXML's servlet.
+    operation), both as in freebXML's servlet — with two operational
+    exceptions: ``/metrics`` serves the registry's Prometheus exposition and
+    ``/health`` a liveness document, both answered before the kernel
+    pipeline (an exporter scrape is not a registry query).
     """
 
     def __init__(self, registry: RegistryServer) -> None:
@@ -124,8 +127,12 @@ class HttpGetBinding:
     def _authenticate(self, ctx: RequestContext, spec: OperationSpec) -> Session:
         return self.registry.guest()
 
-    def get(self, url: str) -> RegistryResponse | SoapFault:
+    def get(self, url: str) -> RegistryResponse | SoapFault | str | dict:
         parsed = urlparse(url)
+        if parsed.path.endswith("/metrics"):
+            return self.registry.telemetry.render_prometheus()
+        if parsed.path.endswith("/health"):
+            return self.registry.telemetry.health()
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         return self.kernel.execute(
             self.edge, params=params, http_method=params.get("method"), via_http=True

@@ -70,6 +70,8 @@ class TransportStats:
     per_endpoint_failures: dict[str, int] = field(default_factory=dict)
     retries: int = 0
     backoff_total: float = 0.0
+    per_endpoint_retries: dict[str, int] = field(default_factory=dict)
+    per_endpoint_backoff: dict[str, float] = field(default_factory=dict)
 
     def record(self, uri: str, latency: float, ok: bool) -> None:
         self.requests += 1
@@ -79,9 +81,26 @@ class TransportStats:
         self.total_latency += latency
         self.per_endpoint[uri] = self.per_endpoint.get(uri, 0) + 1
 
-    def record_retry(self, backoff: float) -> None:
+    def record_retry(self, uri: str, backoff: float) -> None:
+        """Account one retry (and its backoff) against the endpoint retried."""
         self.retries += 1
         self.backoff_total += backoff
+        self.per_endpoint_retries[uri] = self.per_endpoint_retries.get(uri, 0) + 1
+        self.per_endpoint_backoff[uri] = self.per_endpoint_backoff.get(uri, 0.0) + backoff
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic plain-dict view (the telemetry surface)."""
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "total_latency_s": self.total_latency,
+            "retries": self.retries,
+            "backoff_total_s": self.backoff_total,
+            "per_endpoint": dict(sorted(self.per_endpoint.items())),
+            "per_endpoint_failures": dict(sorted(self.per_endpoint_failures.items())),
+            "per_endpoint_retries": dict(sorted(self.per_endpoint_retries.items())),
+            "per_endpoint_backoff_s": dict(sorted(self.per_endpoint_backoff.items())),
+        }
 
 
 class SimTransport:
@@ -100,6 +119,8 @@ class SimTransport:
         self._endpoints: dict[str, Handler] = {}
         self._down: set[str] = set()
         self.stats = TransportStats()
+        #: optional telemetry tracer; spans each wire attempt when enabled
+        self.tracer = None
 
     # -- endpoint management ----------------------------------------------------
 
@@ -124,12 +145,20 @@ class SimTransport:
 
     # -- stats accessors ---------------------------------------------------------
 
-    def endpoint_stats(self, uri: str) -> dict[str, int]:
-        """Attempt/failure counts for one endpoint URI."""
+    def endpoint_stats(self, uri: str) -> dict[str, int | float]:
+        """Attempt/failure/retry accounting for one endpoint URI."""
         return {
             "requests": self.stats.per_endpoint.get(uri, 0),
             "failures": self.stats.per_endpoint_failures.get(uri, 0),
+            "retries": self.stats.per_endpoint_retries.get(uri, 0),
+            "backoff_s": self.stats.per_endpoint_backoff.get(uri, 0.0),
         }
+
+    def transport_stats(self) -> dict[str, Any]:
+        """The full accounting snapshot (the telemetry surface)."""
+        snap = self.stats.snapshot()
+        snap["retry_budget_remaining"] = self.retry_budget_remaining()
+        return snap
 
     def endpoint_failures(self) -> dict[str, int]:
         """uri → failed attempt count, for every endpoint that ever failed."""
@@ -158,7 +187,7 @@ class SimTransport:
         attempt = 0
         while True:
             try:
-                return self._attempt(uri, payload, source=source)
+                return self._traced_attempt(uri, payload, source=source, attempt=attempt)
             except TransportError:
                 attempt += 1
                 if (
@@ -170,7 +199,25 @@ class SimTransport:
                     )
                 ):
                     raise
-                self.stats.record_retry(policy.backoff_for(attempt - 1))
+                backoff = policy.backoff_for(attempt - 1)
+                self.stats.record_retry(uri, backoff)
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.event(
+                        "transport.retry", uri=uri, attempt=attempt, backoff_s=backoff
+                    )
+
+    def _traced_attempt(
+        self, uri: str, payload: Any, *, source: str | None, attempt: int
+    ) -> Any:
+        """One attempt, wrapped in a ``transport.attempt`` span when tracing."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._attempt(uri, payload, source=source)
+        with tracer.span("transport.attempt", uri=uri, attempt=attempt) as span:
+            response = self._attempt(uri, payload, source=source)
+            span.tags["ok"] = True
+            return response
 
     def _attempt(self, uri: str, payload: Any, *, source: str | None = None) -> Any:
         """One wire attempt: route, sample latency, account."""

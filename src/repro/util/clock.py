@@ -10,9 +10,10 @@ controls.  Every component therefore takes a *clock* object exposing:
     minutes past (virtual) midnight, for the ``starttime``/``endtime``
     constraint window.
 
-Three implementations cover the use cases: :class:`WallClock` for real time,
-:class:`ManualClock` for unit tests, and :class:`SimClockAdapter` to wrap the
-discrete-event simulation engine's clock.
+Four implementations cover the use cases: :class:`WallClock` for real time,
+:class:`PerfClock` for monotonic latency measurement, :class:`ManualClock`
+for unit tests, and :class:`SimClockAdapter` to wrap the discrete-event
+simulation engine's clock.
 """
 
 from __future__ import annotations
@@ -50,6 +51,24 @@ class WallClock:
     def minutes_of_day(self) -> int:
         localtime = time.localtime()
         return localtime.tm_hour * 60 + localtime.tm_min
+
+
+class PerfClock:
+    """Monotonic high-resolution clock (``time.perf_counter``).
+
+    The latency/tracing time source: its epoch is arbitrary, so it is only
+    good for *intervals* — the registry kernel and the telemetry tracer
+    default to it, and tests swap in a :class:`ManualClock` (or the
+    simulation clock) for deterministic latencies and span trees.
+    ``minutes_of_day`` is defined for protocol completeness but meaningless
+    against the arbitrary epoch.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def minutes_of_day(self) -> int:
+        return minutes_of_day(time.perf_counter())
 
 
 class ManualClock:

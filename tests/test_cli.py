@@ -118,6 +118,45 @@ class TestLifecycleAcrossInvocations:
         assert "error" in captured.err
 
 
+class TestStatsCommand:
+    def test_stats_table(self, paths, capsys):
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"]])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "registry telemetry" in out
+        assert "planner.plans_built" in out
+        assert "uri_cache.hits" in out
+
+    def test_stats_json(self, paths, capsys):
+        import json
+
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"], "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snapshot = json.loads(out)
+        for source in ("pipeline", "planner", "uri_cache", "tracer"):
+            assert source in snapshot
+
+    def test_stats_prometheus(self, paths, capsys):
+        from repro.obs import parse_exposition
+
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"], "--format", "prometheus"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        parsed = parse_exposition(out)
+        assert "repro_query_plans_built_total" in parsed
+
+    def test_stats_without_state_fails(self, paths):
+        with pytest.raises(SystemExit, match="repro init"):
+            main(["stats", paths["state"]])
+
+
 class TestExperimentCommands:
     def test_experiment_prints_table(self, capsys):
         rc = main(

@@ -1,0 +1,202 @@
+"""Tests for the metrics registry and Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    format_value,
+    parse_exposition,
+)
+
+
+class TestCounter:
+    def test_unlabeled_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_things_total", "Things.")
+        c.inc()
+        c.inc(2.5)
+        assert c.labels().value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("repro_things_total", "Things.")
+        with pytest.raises(ValueError, match="only increase"):
+            c.inc(-1)
+
+    def test_sync_mirrors_legacy_total(self):
+        c = Counter("repro_things_total", "Things.")
+        c.labels().sync(41)
+        c.labels().sync(42)
+        assert c.labels().value == 42.0
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("repro_req_total", "Requests.", ("edge",))
+        c.labels(edge="soap").inc()
+        c.labels(edge="http").inc(3)
+        assert c.labels(edge="soap").value == 1.0
+        assert c.labels(edge="http").value == 3.0
+
+    def test_wrong_labelset_rejected(self):
+        c = Counter("repro_req_total", "Requests.", ("edge",))
+        with pytest.raises(ValueError, match="requires labels"):
+            c.labels(port="80")
+        with pytest.raises(ValueError, match="is labeled"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("repro_entries", "Entries.")
+        g.set(10)
+        g.labels().inc(2)
+        g.labels().dec(0.5)
+        assert g.labels().value == 11.5
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-06
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_observe_places_into_buckets(self):
+        h = Histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            h.observe(value)
+        child = h.labels()
+        # cumulative: ≤0.1 → 2 (0.05, 0.1 on the boundary), ≤1.0 → 3, ≤10 → 4, +Inf → 5
+        assert child.cumulative() == [2, 3, 4, 5]
+        assert child.count == 5
+        assert child.sum == pytest.approx(105.65)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("repro_lat", "x", buckets=(1.0, 1.0, 2.0))
+
+    def test_le_label_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            Histogram("repro_lat", "x", ("le",))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "X.", ("edge",))
+        b = registry.counter("repro_x_total", "X.", ("edge",))
+        assert a is b
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_x_total", "X.", ("edge",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad", "X.")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_x_total", "X.", ("bad-label",))
+
+    def test_snapshot_and_render_are_deterministic(self):
+        def build() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            c = registry.counter("repro_b_total", "B.", ("op",))
+            c.labels(op="z").inc(2)
+            c.labels(op="a").inc(1)
+            registry.gauge("repro_a_entries", "A.").set(7)
+            return registry
+
+        assert build().render() == build().render()
+        assert build().snapshot() == build().snapshot()
+        # families sorted by name, series sorted by label values
+        names = [m.name for m in build().metrics()]
+        assert names == ["repro_a_entries", "repro_b_total"]
+        ops = [values for values, _ in build().counter("repro_b_total", "B.", ("op",)).series()]
+        assert ops == [("a",), ("z",)]
+
+
+class TestFormatValue:
+    def test_integers_bare_floats_repr(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.5) == "3.5"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestExposition:
+    def build_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        c = registry.counter("repro_req_total", "Requests.", ("edge", "operation"))
+        c.labels(edge="soap", operation="submitObjects").inc(5)
+        c.labels(edge="http", operation="getRegistryObject").inc(2)
+        registry.gauge("repro_entries", "Entries.").set(12)
+        h = registry.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)
+        return registry
+
+    def test_golden_format(self):
+        text = self.build_registry().render()
+        assert text == (
+            "# HELP repro_entries Entries.\n"
+            "# TYPE repro_entries gauge\n"
+            "repro_entries 12\n"
+            "# HELP repro_lat_seconds Latency.\n"
+            "# TYPE repro_lat_seconds histogram\n"
+            'repro_lat_seconds_bucket{le="0.1"} 1\n'
+            'repro_lat_seconds_bucket{le="1"} 2\n'
+            'repro_lat_seconds_bucket{le="+Inf"} 3\n'
+            "repro_lat_seconds_sum 50.55\n"
+            "repro_lat_seconds_count 3\n"
+            "# HELP repro_req_total Requests.\n"
+            "# TYPE repro_req_total counter\n"
+            'repro_req_total{edge="http",operation="getRegistryObject"} 2\n'
+            'repro_req_total{edge="soap",operation="submitObjects"} 5\n'
+        )
+
+    def test_round_trip(self):
+        parsed = parse_exposition(self.build_registry().render())
+        assert parsed["repro_entries"][frozenset()] == 12.0
+        assert (
+            parsed["repro_req_total"][
+                frozenset({("edge", "soap"), ("operation", "submitObjects")})
+            ]
+            == 5.0
+        )
+        assert parsed["repro_lat_seconds_bucket"][frozenset({("le", "+Inf")})] == 3.0
+        assert parsed["repro_lat_seconds_count"][frozenset()] == 3.0
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_x_total", "X.", ("uri",))
+        c.labels(uri='http://h/"q"\\p\n').inc()
+        parsed = parse_exposition(registry.render())
+        assert parsed["repro_x_total"][frozenset({("uri", 'http://h/"q"\\p\n')})] == 1.0
+
+    def test_parse_rejects_untyped_sample(self):
+        with pytest.raises(ValueError, match="no TYPE line"):
+            parse_exposition("repro_x_total 1\n")
+
+    def test_parse_rejects_malformed_line(self):
+        text = "# TYPE repro_x_total counter\nrepro_x_total one\n"
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+    def test_parse_rejects_duplicate_series(self):
+        text = (
+            "# TYPE repro_x_total counter\n"
+            "repro_x_total 1\n"
+            "repro_x_total 2\n"
+        )
+        with pytest.raises(ValueError, match="duplicate series"):
+            parse_exposition(text)

@@ -1,0 +1,164 @@
+"""Tests for the span-tree tracer: determinism, nesting, exports."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock(start=100.0)
+
+
+@pytest.fixture
+def tracer(clock: ManualClock) -> Tracer:
+    return Tracer(clock, enabled=True)
+
+
+class TestSpanTrees:
+    def test_nested_spans_deterministic_under_manual_clock(self, tracer, clock):
+        with tracer.span("request", edge="soap"):
+            clock.advance(1.0)
+            with tracer.span("stage:resolve"):
+                clock.advance(0.5)
+            with tracer.span("stage:dispatch"):
+                clock.advance(2.0)
+        root = tracer.last_trace()
+        assert root is not None
+        assert root.name == "request"
+        assert root.start == 100.0
+        assert root.end == 103.5
+        assert root.duration == 3.5
+        assert [child.name for child in root.children] == [
+            "stage:resolve",
+            "stage:dispatch",
+        ]
+        assert root.children[0].start == 101.0
+        assert root.children[0].duration == 0.5
+        assert root.children[1].duration == 2.0
+        assert root.tags == {"edge": "soap"}
+
+    def test_same_workload_same_tree(self):
+        def run() -> dict:
+            clock = ManualClock(start=0.0)
+            tracer = Tracer(clock, enabled=True)
+            with tracer.span("a"):
+                clock.advance(1.0)
+                with tracer.span("b", k=1):
+                    clock.advance(2.0)
+            return tracer.last_trace().to_dict()
+
+        assert run() == run()
+
+    def test_sibling_roots_kept_in_order(self, tracer, clock):
+        for name in ("one", "two", "three"):
+            with tracer.span(name):
+                clock.advance(1.0)
+        assert [span.name for span in tracer.traces] == ["one", "two", "three"]
+        assert tracer.spans_recorded == 3
+
+    def test_max_traces_bounds_retention(self, clock):
+        tracer = Tracer(clock, enabled=True, max_traces=2)
+        for index in range(5):
+            with tracer.span(f"span{index}"):
+                pass
+        assert [span.name for span in tracer.traces] == ["span3", "span4"]
+        assert tracer.spans_recorded == 5
+
+    def test_event_is_zero_duration_child(self, tracer, clock):
+        with tracer.span("request"):
+            clock.advance(1.0)
+            tracer.event("transport.retry", uri="http://a.x/svc", attempt=1)
+        root = tracer.last_trace()
+        (event,) = root.find("transport.retry")
+        assert event.start == event.end == 101.0
+        assert event.tags == {"uri": "http://a.x/svc", "attempt": 1}
+
+    def test_exception_tagged_and_span_closed(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("request"):
+                raise RuntimeError("boom")
+        root = tracer.last_trace()
+        assert root.tags["error"] == "RuntimeError"
+        assert root.end is not None
+
+    def test_find_and_iter_are_depth_first(self, tracer, clock):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("b"):
+                pass
+        root = tracer.last_trace()
+        assert [span.name for span in root.iter_spans()] == ["a", "b", "c", "b"]
+        assert len(root.find("b")) == 2
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self, clock):
+        tracer = Tracer(clock, enabled=False)
+        with tracer.span("request") as span:
+            tracer.event("marker")
+            assert isinstance(span, Span)  # throwaway, still usable
+            span.tags["x"] = 1
+        assert len(tracer.traces) == 0
+        assert tracer.spans_recorded == 0
+        assert tracer.stats() == {
+            "enabled": False,
+            "traces_kept": 0,
+            "spans_recorded": 0,
+        }
+
+    def test_enable_mid_flight(self, clock):
+        tracer = Tracer(clock, enabled=False)
+        with tracer.span("off"):
+            pass
+        tracer.enabled = True
+        with tracer.span("on"):
+            pass
+        assert [span.name for span in tracer.traces] == ["on"]
+
+
+class TestExports:
+    def build(self) -> Tracer:
+        clock = ManualClock(start=10.0)
+        tracer = Tracer(clock, enabled=True)
+        with tracer.span("request", edge="http"):
+            clock.advance(0.25)
+            with tracer.span("stage:dispatch"):
+                clock.advance(0.5)
+        return tracer
+
+    def test_jsonl_one_object_per_root(self):
+        tracer = self.build()
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 1
+        root = json.loads(lines[0])
+        assert root["name"] == "request"
+        assert root["duration"] == 0.75
+        assert root["children"][0]["name"] == "stage:dispatch"
+
+    def test_jsonl_empty_without_traces(self, clock):
+        assert Tracer(clock, enabled=True).export_jsonl() == ""
+
+    def test_chrome_trace_events(self):
+        tracer = self.build()
+        doc = json.loads(tracer.export_chrome())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [event["name"] for event in events] == ["request", "stage:dispatch"]
+        for event in events:
+            assert event["ph"] == "X"
+        assert events[0]["ts"] == 10.0 * 1e6
+        assert events[0]["dur"] == 0.75 * 1e6
+        assert events[1]["dur"] == 0.5 * 1e6
+        assert events[0]["args"] == {"edge": "http"}
+
+    def test_clear_resets(self):
+        tracer = self.build()
+        tracer.clear()
+        assert tracer.last_trace() is None
+        assert tracer.export_jsonl() == ""

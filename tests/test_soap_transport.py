@@ -157,10 +157,14 @@ class TestEndpointFailureAttribution:
         assert transport.endpoint_stats("http://a.x:8080/svc") == {
             "requests": 2,
             "failures": 2,
+            "retries": 0,
+            "backoff_s": 0.0,
         }
         assert transport.endpoint_stats("http://b.x:8080/svc") == {
             "requests": 1,
             "failures": 0,
+            "retries": 0,
+            "backoff_s": 0.0,
         }
 
     def test_unknown_endpoint_failure_attributed(self, transport):
