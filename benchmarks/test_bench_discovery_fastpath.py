@@ -188,8 +188,14 @@ def install_resolver(registry: RegistryServer, *, balanced: bool) -> None:
         registry.daos.services.set_resolver(DefaultBindingResolver())
 
 
-def measure(run_query, service_ids: list[str]) -> dict:
-    """Latency percentiles (µs) and throughput over QUERIES random lookups."""
+def measure(run_query, service_ids: list[str], *, history=None, series=None) -> dict:
+    """Latency percentiles (µs) and throughput over QUERIES random lookups.
+
+    With a ``history`` store given, the per-query latencies are recorded
+    into the named time series *after* the timed loop (indexed by query
+    number), so the bounded ring gets real bench data at zero measurement
+    overhead.
+    """
     rng = random.Random(42)
     order = [rng.choice(service_ids) for _ in range(QUERIES)]
     for service_id in service_ids:  # steady state: touch every service once
@@ -201,6 +207,9 @@ def measure(run_query, service_ids: list[str]) -> dict:
         run_query(service_id)
         latencies.append(time.perf_counter_ns() - t0)
     elapsed = time.perf_counter() - started
+    if history is not None and series is not None:
+        for index, nanos in enumerate(latencies):
+            history.record(series, nanos / 1000.0, t=float(index))
     latencies.sort()
     return {
         "queries": QUERIES,
@@ -212,6 +221,8 @@ def measure(run_query, service_ids: list[str]) -> dict:
 
 def run_bench() -> dict:
     registry, service_ids, _hosts = build_registry()
+    history = registry.telemetry.history
+    history.enabled = True
     report: dict = {
         "bench": "discovery_fastpath",
         "scale": {"services": SERVICES, "hosts": HOSTS, "queries": QUERIES},
@@ -226,8 +237,18 @@ def run_bench() -> dict:
                 service_id
             ):
                 mismatches += 1
-        old = measure(legacy.get_access_uris, service_ids)
-        new = measure(registry.qm.get_access_uris, service_ids)
+        old = measure(
+            legacy.get_access_uris,
+            service_ids,
+            history=history,
+            series=f"bench.{key}.old_latency_us",
+        )
+        new = measure(
+            registry.qm.get_access_uris,
+            service_ids,
+            history=history,
+            series=f"bench.{key}.new_latency_us",
+        )
         report[key] = {
             "old": old,
             "new": new,
@@ -237,6 +258,26 @@ def run_bench() -> dict:
         }
     report["mismatched_services"] = mismatches
     report["results_identical"] = mismatches == 0
+    # SLO summary: judge the fast path's measured latencies against the old
+    # path's p50 — a 95 % objective, evaluated by the same burn-rate engine
+    # the registry runs, so the artifact records an alert state per run
+    from repro.obs.slo import SLO, SloEngine
+
+    slo_engine = SloEngine(registry.clock)
+    threshold_us = report["resolver_on"]["old"]["p50_us"]
+    slo_engine.add(
+        SLO(
+            name="discovery-latency",
+            kind="latency",
+            source="discovery",
+            objective=0.95,
+            threshold=threshold_us,
+            windows=(3600.0,),
+        )
+    )
+    for latency_us in history.series("bench.resolver_on.new_latency_us").values(0.0):
+        slo_engine.record_event("discovery", ok=True, latency=latency_us)
+    slo_states = slo_engine.evaluate()
     # telemetry summary: the counters behind the measured path, so a future
     # regression can be triaged from the artifact alone (cache gone cold?)
     uri_cache = registry.daos.services.uri_cache_stats()
@@ -246,6 +287,17 @@ def run_bench() -> dict:
             uri_cache["hits"] / max(1, uri_cache["hits"] + uri_cache["misses"]), 4
         ),
         "tracer": registry.telemetry.tracer.stats(),
+        "history": history.high_water_marks(),
+        "slo": {
+            "threshold_us": round(threshold_us, 1),
+            "states": slo_states,
+            "burn": {
+                window: round(rate, 4)
+                for window, rate in slo_engine.snapshot()["slos"][
+                    "discovery-latency"
+                ]["burn"].items()
+            },
+        },
     }
     return report
 
@@ -271,12 +323,25 @@ def test_discovery_fastpath(save_artifact, bench_history_writer, benchmark):
             f"{'':14s} {'→':6s} speedup p50 ×{report[key]['speedup_p50']:.1f}, "
             f"qps ×{report[key]['speedup_qps']:.1f}"
         )
+    slo = report["telemetry"]["slo"]
+    lines.append(
+        f"\ndiscovery-latency SLO (95% under old p50 {slo['threshold_us']}µs): "
+        f"{slo['states']['discovery-latency']}"
+    )
     save_artifact("DISC1_discovery_fastpath", "\n".join(lines))
 
     assert report["results_identical"], (
         f"{report['mismatched_services']} services returned different URIs "
         "under old vs new discovery"
     )
+    # the longitudinal record must stay bounded: the per-run ring buffers …
+    marks = report["telemetry"]["history"]
+    assert marks["max_points"] <= marks["capacity"], marks
+    assert marks["points_recorded"] == 4 * QUERIES
+    # … and the merged BENCH_discovery.json history list alike
+    from conftest import HISTORY_KEEP
+
+    assert len(merged["history"]) <= HISTORY_KEEP
     benchmark.extra_info["speedup_on_p50"] = report["resolver_on"]["speedup_p50"]
     benchmark.extra_info["speedup_off_p50"] = report["resolver_off"]["speedup_p50"]
     if MAX_REGRESSION is not None:
@@ -306,3 +371,9 @@ def test_bench_json_valid():
         for path in ("old", "new"):
             for metric in ("p50_us", "p95_us", "qps"):
                 assert data[key][path][metric] > 0
+    # the PR-5 longitudinal summary rides along, bounded
+    marks = data["telemetry"]["history"]
+    assert marks["max_points"] <= marks["capacity"]
+    assert data["telemetry"]["slo"]["states"]["discovery-latency"] in (
+        "ok", "warning", "page",
+    )

@@ -16,6 +16,15 @@ that workflow plus the experiment harness:
     run an ad hoc query and print rows;
 ``repro stats <state.json> [--format table|json|prometheus]``
     print the registry's merged telemetry snapshot;
+``repro top <state.json>``
+    print the per-host NodeState table (load, memory, sample age) and the
+    registry health/SLO summary — the operator's ``top`` for the cluster;
+``repro slo [--fail-host h --fail-at t [--recover-at t]]``
+    run an SLO-instrumented experiment (optionally with an induced outage)
+    and print the burn-rate alert timeline; ``--expect page`` makes the
+    exit code assert the availability SLO reached that state (the CI
+    ``slo-smoke`` contract) and ``--export-trace out.json`` writes the
+    Chrome trace export;
 ``repro experiment [--duration N] [--policies a,b,c]``
     run the LB-1 policy comparison and print the metrics table;
 ``repro sweep-period [--periods 5,10,25,60]``
@@ -148,6 +157,98 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    registry = _open_registry(args.state)
+    now = registry.clock.now()
+    rows = [
+        {
+            "host": sample.host,
+            "load": round(sample.load, 2),
+            "memory_mb": sample.memory >> 20,
+            "swap_mb": sample.swap_memory >> 20,
+            "age_s": round(now - sample.updated, 1),
+        }
+        for sample in sorted(registry.node_state.all_samples(), key=lambda s: s.host)
+    ]
+    if rows:
+        print(format_table(rows, title="node status"))
+    else:
+        print("no NodeState samples recorded")
+    health = registry.telemetry.health()
+    print(f"health: {health['status']}")
+    for name, check in sorted((health.get("checks") or {}).items()):
+        detail = {k: v for k, v in check.items() if k != "status"}
+        suffix = f" {detail}" if detail else ""
+        print(f"  {name}: {check['status']}{suffix}")
+    flapping = registry.telemetry.history.flapping(600.0)
+    if flapping:
+        print(f"flapping hosts (10 min): {', '.join(flapping)}")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.mtc.experiment import ExperimentConfig, ExperimentHarness, HostFailure
+    from repro.obs.slo import default_slos
+
+    failures: tuple[HostFailure, ...] = ()
+    if args.fail_host:
+        failures = (
+            HostFailure(
+                host=args.fail_host,
+                fail_at=args.fail_at,
+                recover_at=args.recover_at,
+            ),
+        )
+    windows = tuple(float(w) for w in args.windows.split(","))
+    config = ExperimentConfig(
+        duration=args.duration,
+        monitor_period=args.period,
+        failures=failures,
+        slos=default_slos(windows=windows),
+        history=True,
+        log=True,
+        trace=args.export_trace is not None,
+    )
+    harness = ExperimentHarness(config)
+    result = harness.run()
+    rows = [
+        {
+            "t": round(entry["t"] - config.start_of_day, 1),
+            "slo": entry["slo"],
+            "from": entry["from"],
+            "to": entry["to"],
+        }
+        for entry in result.slo_timeline
+    ]
+    if rows:
+        print(format_table(rows, title="SLO alert timeline"))
+    else:
+        print("no SLO alert transitions")
+    print("final states: " + json.dumps(result.slo_states, sort_keys=True))
+    marks = harness.registry.telemetry.history.high_water_marks()
+    print(
+        f"history: {marks['series']} series, "
+        f"max {marks['max_points']}/{marks['capacity']} points"
+    )
+    if args.export_trace is not None:
+        with open(args.export_trace, "w") as fh:
+            fh.write(harness.registry.telemetry.tracer.export_chrome())
+        print(f"chrome trace written to {args.export_trace}")
+    if args.expect is not None:
+        reached = any(
+            entry["to"] == args.expect
+            and (args.expect_slo is None or entry["slo"] == args.expect_slo)
+            for entry in result.slo_timeline
+        )
+        if not reached:
+            which = args.expect_slo or "any SLO"
+            print(f"error: {which} never reached {args.expect!r}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_keystoremover(args: argparse.Namespace) -> int:
     """The thesis §3.4.3 KeystoreMover, option-for-option (Table 3.2)."""
     from repro.security.keystore import KeystoreMover
@@ -249,6 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json", "prometheus"), default="table"
     )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("top", help="print the per-host NodeState/health table")
+    p.add_argument("state")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("slo", help="run an SLO-instrumented experiment")
+    p.add_argument("--duration", type=float, default=1800.0)
+    p.add_argument("--period", type=float, default=25.0)
+    p.add_argument("--windows", default="120,600")
+    p.add_argument("--fail-host")
+    p.add_argument("--fail-at", type=float, default=300.0)
+    p.add_argument("--recover-at", type=float)
+    p.add_argument("--export-trace", metavar="PATH")
+    p.add_argument("--expect", choices=("warning", "page"))
+    p.add_argument("--expect-slo")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser(
         "keystoremover", help="copy a credential between keystores (thesis §3.4.3)"

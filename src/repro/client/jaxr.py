@@ -128,8 +128,19 @@ class Connection:
         if self.factory.local_call:
             raise RegistryError("local-call connections do not use the SOAP path")
         assert self.factory.binding is not None and self.factory.transport is not None
+        tracer = self.factory.transport.tracer
+        if tracer is not None and tracer.enabled:
+            # the client-side span: transport attempts/retries nest under it,
+            # and its context rides the envelope so the server joins the trace
+            with tracer.span("client.send", operation=type(body).__name__):
+                return self._send_wire(body, tracer.current_traceparent())
+        return self._send_wire(body, None)
+
+    def _send_wire(self, body, traceparent: str | None) -> RegistryResponse:
         envelope = SoapEnvelope.with_session(
-            body, self.session.token if self.session else None
+            body,
+            self.session.token if self.session else None,
+            traceparent=traceparent,
         )
         if self.factory.wire_xml:
             from repro.soap.xml_binding import envelope_from_xml, envelope_to_xml

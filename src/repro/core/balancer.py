@@ -134,6 +134,7 @@ class LoadBalancer:
         if telemetry is not None:
             for source in ("constraint_cache", "collector", "load_status", "transport"):
                 telemetry.unregister_source(source)
+            telemetry.unregister_health_check("node_staleness")
 
 
 def attach_load_balancer(
@@ -180,6 +181,7 @@ def attach_load_balancer(
         )
 
         load_status.tracer = telemetry.tracer
+        load_status.telemetry = telemetry
         transport.tracer = telemetry.tracer
         telemetry.register_source(
             "constraint_cache",

@@ -40,6 +40,11 @@ class LoadStatus:
         self.stale_samples = 0
         #: optional telemetry tracer; spans each ranking when enabled
         self.tracer = None
+        #: optional Telemetry facade: with its history store enabled, each
+        #: ranking records per-host eligibility *transitions* (the flag
+        #: series flap detection reads); with its log enabled, each ranking
+        #: decision emits one structured record
+        self.telemetry = None
 
     # -- sample access -----------------------------------------------------------
 
@@ -110,7 +115,21 @@ class LoadStatus:
             for h in hosts
             if (sample := samples[h]) is not None and constraints.satisfied_by(sample)
         ]
-        return sorted(satisfying, key=lambda h: (samples[h].load, position[h]))
+        ranked = sorted(satisfying, key=lambda h: (samples[h].load, position[h]))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if telemetry.history.enabled:
+                eligible = set(satisfying)
+                for host in position:
+                    telemetry.history.record_flag(f"eligible.{host}", host in eligible)
+            if telemetry.log.enabled:
+                telemetry.log.emit(
+                    "loadstatus.rank",
+                    hosts=len(position),
+                    satisfying=len(satisfying),
+                    preferred=ranked[0] if ranked else None,
+                )
+        return ranked
 
     def load_status_stats(self) -> dict[str, int]:
         """Ranking/staleness counters (the telemetry surface)."""

@@ -12,6 +12,14 @@ one access URI per monitored host (Figure 3.7), and TimeHits invokes each
 URI through the transport.  Unreachable hosts are skipped (and their stale
 NodeState rows age out via LoadStatus's ``max_age``); one dead host must not
 stall monitoring of the rest.
+
+TimeHits is also the longitudinal observability feed: with the telemetry
+history store enabled, every sweep records per-host time series
+(``node.<host>.load``/``memory``/``swap``/``age``/``probe_latency``/
+``failure``); with SLOs defined, every probe lands as a ``probe``
+availability event; and the registry's ``node_staleness`` health check —
+degraded when any host's newest sample is older than 2× the period,
+unhealthy when all are — is registered here, where the period is known.
 """
 
 from __future__ import annotations
@@ -51,8 +59,9 @@ class TimeHits:
         self.monitor_service_name = monitor_service_name
         self.node_state: NodeStateStore = registry.node_state
         self._task: PeriodicTask | None = None
+        self.telemetry = getattr(registry, "telemetry", None)
         #: telemetry tracer (one span per collect cycle when tracing is on)
-        self.tracer = getattr(registry, "telemetry", None) and registry.telemetry.tracer
+        self.tracer = self.telemetry and self.telemetry.tracer
         self.collections = 0
         self.samples_stored = 0
         self.failures = 0
@@ -61,6 +70,9 @@ class TimeHits:
         #: cached target list, invalidated by registry writes (None = dirty)
         self._target_cache: list[str] | None = None
         registry.store.add_write_listener(self._on_store_write)
+        if self.telemetry is not None:
+            self.telemetry.register_health_check("node_staleness", self.staleness_check)
+            self.telemetry.slos.register_gauge("node_staleness", self.max_sample_age)
 
     # -- target discovery ----------------------------------------------------
 
@@ -109,27 +121,65 @@ class TimeHits:
 
     def _collect(self) -> int:
         self.collections += 1
+        telemetry = self.telemetry
+        history = telemetry.history if telemetry is not None else None
+        if history is not None and not history.enabled:
+            history = None
+        slos = telemetry.slos if telemetry is not None else None
+        if slos is not None and not slos.active:
+            slos = None
+        now = self.engine.now
         stored = 0
+        failed = 0
         for uri in self.target_uris():
+            host = host_of_uri(uri)
+            latency_before = self.transport.stats.total_latency
             try:
                 reading = self.transport.request(uri, "getNodeStatus")
             except TransportError:
-                self.failures += 1
-                continue
+                reading = None
+            probe_latency = self.transport.stats.total_latency - latency_before
             if not isinstance(reading, NodeStatusReading):
                 self.failures += 1
+                failed += 1
+                if history is not None:
+                    history.record(f"node.{host}.failure", 1.0, t=now)
+                    history.record(f"node.{host}.probe_latency", probe_latency, t=now)
+                if slos is not None:
+                    slos.record_event("probe", ok=False, latency=probe_latency)
                 continue
             self.node_state.record_sample(
                 NodeSample(
-                    host=host_of_uri(uri),
+                    host=host,
                     load=reading.cpu_load,
                     memory=reading.memory_available,
                     swap_memory=reading.swap_available,
-                    updated=self.engine.now,
+                    updated=now,
                 )
             )
             stored += 1
+            if history is not None:
+                history.record(f"node.{host}.load", reading.cpu_load, t=now)
+                history.record(f"node.{host}.memory", reading.memory_available, t=now)
+                history.record(f"node.{host}.swap", reading.swap_available, t=now)
+                history.record(f"node.{host}.failure", 0.0, t=now)
+                history.record(f"node.{host}.probe_latency", probe_latency, t=now)
+            if slos is not None:
+                slos.record_event("probe", ok=True, latency=probe_latency)
+        if history is not None:
+            # sample *age* per monitored host — grows between sweeps for any
+            # host whose probe keeps failing (the staleness signal over time)
+            for sample in self.node_state.all_samples():
+                history.record(f"node.{sample.host}.age", now - sample.updated, t=now)
         self.samples_stored += stored
+        if telemetry is not None and telemetry.log.enabled:
+            telemetry.log.emit(
+                "timehits.sweep",
+                cycle=self.collections,
+                stored=stored,
+                failed=failed,
+                targets=len(self.target_uris()),
+            )
         for hook in self.post_sweep_hooks:
             hook()
         return stored
@@ -146,6 +196,34 @@ class TimeHits:
         """
         failures = self.transport.stats.per_endpoint_failures
         return {uri: failures[uri] for uri in self.target_uris() if uri in failures}
+
+    # -- staleness -------------------------------------------------------------
+
+    def max_sample_age(self) -> float:
+        """Age in seconds of the *stalest* host's newest sample (0 when none).
+
+        This is the gauge the ``node-staleness`` SLO evaluates.
+        """
+        now = self.engine.now
+        return max((now - s.updated for s in self.node_state.all_samples()), default=0.0)
+
+    def staleness_check(self) -> dict:
+        """The ``node_staleness`` health check: 2× the period is too old.
+
+        ``degraded`` while any monitored host's newest sample exceeds the
+        threshold, ``unhealthy`` when every one does (monitoring is blind).
+        """
+        threshold = 2.0 * self.period
+        now = self.engine.now
+        samples = self.node_state.all_samples()
+        stale = sorted(s.host for s in samples if now - s.updated > threshold)
+        if not samples or not stale:
+            status = "ok"
+        elif len(stale) == len(samples):
+            status = "unhealthy"
+        else:
+            status = "degraded"
+        return {"status": status, "stale_hosts": stale, "threshold_s": threshold}
 
     def collector_stats(self) -> dict:
         """Collection-cycle tallies (the telemetry surface)."""

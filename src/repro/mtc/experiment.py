@@ -29,6 +29,7 @@ from repro.mtc.policies import (
     make_policy,
 )
 from repro.mtc.workload import Distribution, WorkloadSpec, generate_workload
+from repro.obs.slo import SLO
 from repro.registry.server import RegistryConfig, RegistryServer
 from repro.rim import Association, AssociationType, Organization, Service, ServiceBinding
 from repro.sim import Cluster, HostSpec, SimEngine, Task
@@ -151,6 +152,13 @@ class ExperimentConfig:
     #: record per-request span trees (deterministic under the sim clock);
     #: off by default — tracing is an observability knob, not a policy one
     trace: bool = False
+    #: record longitudinal time series (node sweeps, request latencies)
+    history: bool = False
+    #: emit structured JSON log records into the bounded in-memory sink
+    log: bool = False
+    #: SLOs to evaluate during the run (each monitor period); their alert
+    #: timeline lands in :attr:`ExperimentResult.slo_timeline`
+    slos: tuple[SLO, ...] = ()
 
     def with_policy(self, policy: str) -> "ExperimentConfig":
         return replace(self, policy=policy)
@@ -169,6 +177,10 @@ class ExperimentResult:
     endpoint_failures: dict[str, int] = field(default_factory=dict)
     #: merged registry telemetry snapshot (see RegistryServer.telemetry_snapshot)
     telemetry: dict = field(default_factory=dict)
+    #: SLO alert-state transitions, in order (deterministic under the seed)
+    slo_timeline: list = field(default_factory=list)
+    #: final alert state per configured SLO
+    slo_states: dict = field(default_factory=dict)
 
 
 class ExperimentHarness:
@@ -189,6 +201,19 @@ class ExperimentHarness:
         if config.trace:
             self.registry.enable_tracing()
             self.transport.tracer = self.registry.telemetry.tracer
+        telemetry = self.registry.telemetry
+        if config.history:
+            telemetry.history.enabled = True
+        if config.log:
+            telemetry.log.enabled = True
+        for slo in config.slos:
+            telemetry.slos.add(slo)
+        if config.slos:
+            # evaluate burn rates each monitor period; transitions accumulate
+            # on the engine's deterministic timeline
+            self.engine.schedule_periodic(
+                config.monitor_period, telemetry.slos.evaluate
+            )
         self._register_monitors()
         self.session = self._admin_session()
         self.service_id = self._publish_services()
@@ -379,6 +404,8 @@ class ExperimentHarness:
             invoke_failures=self.client.invoke_failures,
             endpoint_failures=self.transport.endpoint_failures(),
             telemetry=self.registry.telemetry_snapshot(),
+            slo_timeline=list(self.registry.telemetry.slos.timeline),
+            slo_states=self.registry.telemetry.slos.states(),
         )
 
 

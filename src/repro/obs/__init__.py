@@ -2,9 +2,12 @@
 
 The runtime signals of the load-balancing feedback loop (pipeline, transport,
 planner, caches, monitor, rankings) publish into one exportable surface —
-see DESIGN.md's "Observability" section for the architecture.
+see DESIGN.md's "Observability" section for the architecture.  PR 5 adds
+the longitudinal layer: bounded time-series history, SLO burn-rate
+alerting, cross-hop trace propagation, and correlated structured logging.
 """
 
+from repro.obs.logging import StructuredLog
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -13,8 +16,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_exposition,
 )
+from repro.obs.slo import SLO, SloEngine, default_slos
 from repro.obs.telemetry import Telemetry
-from repro.obs.trace import Span, Tracer
+from repro.obs.timeseries import TimeSeries, TimeSeriesStore
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -22,8 +32,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLO",
+    "SloEngine",
     "Span",
+    "StructuredLog",
     "Telemetry",
+    "TimeSeries",
+    "TimeSeriesStore",
     "Tracer",
+    "default_slos",
+    "format_traceparent",
     "parse_exposition",
+    "parse_traceparent",
 ]

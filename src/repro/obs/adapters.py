@@ -95,6 +95,14 @@ def transport_collector(transport: "SimTransport") -> Collector:
         metrics.counter(
             "repro_transport_backoff_seconds_total", "Summed retry backoff charged."
         ).labels().sync(snap["backoff_total_s"])
+        metrics.counter(
+            "repro_transport_recovered_total",
+            "Retried requests that ultimately succeeded.",
+        ).labels().sync(snap["recovered_after_retry"])
+        metrics.counter(
+            "repro_transport_exhausted_total",
+            "Retried requests whose retries were exhausted.",
+        ).labels().sync(snap["exhausted_retries"])
         per_requests = metrics.counter(
             "repro_transport_endpoint_requests_total",
             "Wire attempts per endpoint URI.",
@@ -115,6 +123,16 @@ def transport_collector(transport: "SimTransport") -> Collector:
             "Backoff charged per endpoint URI.",
             ("endpoint",),
         )
+        per_recovered = metrics.counter(
+            "repro_transport_endpoint_recovered_total",
+            "Requests recovered after retry per endpoint URI.",
+            ("endpoint",),
+        )
+        per_exhausted = metrics.counter(
+            "repro_transport_endpoint_exhausted_total",
+            "Requests with exhausted retries per endpoint URI.",
+            ("endpoint",),
+        )
         for uri, count in snap["per_endpoint"].items():
             per_requests.labels(endpoint=uri).sync(count)
         for uri, count in snap["per_endpoint_failures"].items():
@@ -123,6 +141,10 @@ def transport_collector(transport: "SimTransport") -> Collector:
             per_retries.labels(endpoint=uri).sync(count)
         for uri, backoff in snap["per_endpoint_backoff_s"].items():
             per_backoff.labels(endpoint=uri).sync(backoff)
+        for uri, count in snap["per_endpoint_recovered"].items():
+            per_recovered.labels(endpoint=uri).sync(count)
+        for uri, count in snap["per_endpoint_exhausted"].items():
+            per_exhausted.labels(endpoint=uri).sync(count)
 
     return collect
 

@@ -1,0 +1,85 @@
+"""Structured JSON logging correlated with traces and requests.
+
+Kernel stages, TimeHits sweeps, and LoadStatus decisions emit one
+:class:`LogRecord`-shaped dict each through a shared :class:`StructuredLog`:
+a timestamp from the injectable clock, an ``event`` name, and the
+correlation fields (``trace_id``, ``request_id``, ``operation``, ``host``)
+that let one discovery be followed from the client's transport attempt
+through the server pipeline to the ranking decision it triggered.
+
+The same enabled-guard discipline as tracing and time-series recording
+applies: logging is off by default and each instrumentation point costs one
+attribute check (``log is not None and log.enabled``).  Records land in a
+bounded in-memory ring (the test sink) and, optionally, stream as JSON
+lines to any writable (``emit_to``) for live tailing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable
+
+from repro.util.clock import Clock, PerfClock
+
+#: how many records the in-memory sink retains (oldest evicted first)
+DEFAULT_LOG_CAPACITY = 512
+
+
+class StructuredLog:
+    """Bounded in-memory JSON log with optional line streaming."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        enabled: bool = False,
+        capacity: int = DEFAULT_LOG_CAPACITY,
+        emit_to: Callable[[str], Any] | None = None,
+    ) -> None:
+        self.clock: Clock = clock or PerfClock()
+        #: the instrumentation guard: callers check this before building records
+        self.enabled = enabled
+        self.records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.emitted = 0
+        #: optional line sink (e.g. ``sys.stderr.write``) fed JSON lines
+        self.emit_to = emit_to
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Record one structured event; None-valued fields are dropped."""
+        record: dict[str, Any] = {"t": self.clock.now(), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self.records.append(record)
+        self.emitted += 1
+        if self.emit_to is not None:
+            self.emit_to(json.dumps(record, sort_keys=True, default=str) + "\n")
+        return record
+
+    # -- query/test support ----------------------------------------------------
+
+    def find(self, event: str, **fields: Any) -> list[dict[str, Any]]:
+        """Records matching the event name and every given field value."""
+        return [
+            r
+            for r in self.records
+            if r["event"] == event and all(r.get(k) == v for k, v in fields.items())
+        ]
+
+    def export_jsonl(self) -> str:
+        """Every retained record as JSON lines, oldest first."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, default=str) for record in self.records
+        ) + ("\n" if self.records else "")
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """The telemetry snapshot surface."""
+        return {
+            "enabled": self.enabled,
+            "records_kept": len(self.records),
+            "records_emitted": self.emitted,
+        }

@@ -17,6 +17,18 @@ One :class:`Telemetry` instance owns the three unified mechanisms the
   payload of ``RegistryServer.telemetry_snapshot()`` and the ``repro
   stats`` CLI.
 
+PR 5 adds the longitudinal layer, all sharing the same clock:
+
+* :attr:`history` — a :class:`~repro.obs.timeseries.TimeSeriesStore`
+  recording node sweeps and request latencies over time (off by default);
+* :attr:`log` — a :class:`~repro.obs.logging.StructuredLog` of correlated
+  JSON records (off by default);
+* :attr:`slos` — a :class:`~repro.obs.slo.SloEngine` evaluating burn-rate
+  alerts (inactive until an :class:`~repro.obs.slo.SLO` is added);
+* named **health checks**: callables reporting ``ok``/``degraded``/
+  ``unhealthy`` (e.g. node-staleness), folded with the SLO alert states
+  into :meth:`health` — the ``/health`` payload degrades accordingly.
+
 A **slow-request log** rides on the kernel hookup: requests whose latency
 meets :attr:`slow_request_threshold` are captured into a bounded deque,
 with the request's full span tree attached when tracing was on.
@@ -27,7 +39,10 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.obs.logging import StructuredLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloEngine
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.trace import Tracer
 from repro.util.clock import Clock, PerfClock
 
@@ -37,6 +52,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: how many slow-request entries are retained (oldest evicted first)
 DEFAULT_SLOW_LOG_CAPACITY = 64
+
+#: health statuses in increasing severity
+HEALTH_STATUSES = ("ok", "degraded", "unhealthy")
+
+#: SLO alert state → health status contribution
+_SLO_HEALTH = {"ok": "ok", "warning": "degraded", "page": "unhealthy"}
+
+
+def _worse(a: str, b: str) -> str:
+    return a if HEALTH_STATUSES.index(a) >= HEALTH_STATUSES.index(b) else b
 
 
 class Telemetry:
@@ -49,14 +74,21 @@ class Telemetry:
         slow_request_threshold: float | None = None,
         slow_log_capacity: int = DEFAULT_SLOW_LOG_CAPACITY,
         trace: bool = False,
+        history: bool = False,
+        log: bool = False,
+        tracer_name: str = "registry",
     ) -> None:
         self.clock: Clock = clock or PerfClock()
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(self.clock, enabled=trace)
+        self.tracer = Tracer(self.clock, enabled=trace, name=tracer_name)
+        self.history = TimeSeriesStore(self.clock, enabled=history)
+        self.log = StructuredLog(self.clock, enabled=log)
+        self.slos = SloEngine(self.clock)
         self.slow_request_threshold = slow_request_threshold
         self.slow_requests: deque[dict[str, Any]] = deque(maxlen=slow_log_capacity)
         self._sources: dict[str, Callable[[], Any]] = {}
         self._collectors: dict[str, "Collector"] = {}
+        self._health_checks: dict[str, Callable[[], Any]] = {}
         #: pushed by the kernel account stage; everything else is pulled
         self._request_latency = self.metrics.histogram(
             "repro_request_latency_seconds",
@@ -99,6 +131,9 @@ class Telemetry:
         merged = {name: self._sources[name]() for name in sorted(self._sources)}
         merged["tracer"] = self.tracer.stats()
         merged["slow_requests"] = list(self.slow_requests)
+        merged["timeseries"] = self.history.stats()
+        merged["log"] = self.log.stats()
+        merged["slo"] = self.slos.snapshot()
         return merged
 
     def collect(self) -> MetricsRegistry:
@@ -111,9 +146,37 @@ class Telemetry:
         """The ``/metrics`` payload: collect, then render text exposition."""
         return self.collect().render()
 
+    def register_health_check(self, name: str, check: Callable[[], Any]) -> None:
+        """Add (or replace) one named health check.
+
+        ``check()`` returns a status string (``ok``/``degraded``/
+        ``unhealthy``) or a dict with at least a ``"status"`` key; the worst
+        status across all checks — and the SLO alert states, when SLOs are
+        defined — becomes the overall :meth:`health` status.
+        """
+        self._health_checks[name] = check
+
+    def unregister_health_check(self, name: str) -> bool:
+        return self._health_checks.pop(name, None) is not None
+
     def health(self) -> dict[str, Any]:
-        """The ``/health`` payload: liveness plus the mounted surfaces."""
-        return {"status": "ok", "sources": self.sources()}
+        """The ``/health`` payload: liveness, surfaces, checks, SLO states."""
+        status = "ok"
+        checks: dict[str, Any] = {}
+        for name in sorted(self._health_checks):
+            result = self._health_checks[name]()
+            if isinstance(result, str):
+                result = {"status": result}
+            checks[name] = result
+            status = _worse(status, result.get("status", "ok"))
+        if self.slos.active:
+            slo_status = _SLO_HEALTH[self.slos.worst_state()]
+            checks["slos"] = {"status": slo_status, "states": self.slos.states()}
+            status = _worse(status, slo_status)
+        payload: dict[str, Any] = {"status": status, "sources": self.sources()}
+        if checks:
+            payload["checks"] = checks
+        return payload
 
     # -- kernel hookup ---------------------------------------------------------
 
@@ -123,6 +186,20 @@ class Telemetry:
         self._request_latency.labels(
             edge=ctx.edge.name, operation=ctx.operation
         ).observe(latency)
+        if self.history.enabled:
+            self.history.record(f"request.{ctx.edge.name}.latency", latency)
+        if self.slos.active:
+            self.slos.record_event("request", ok=ctx.error is None, latency=latency)
+        if self.log.enabled:
+            self.log.emit(
+                "request",
+                trace_id=ctx.trace_id,
+                request_id=ctx.request_id,
+                edge=ctx.edge.name,
+                operation=ctx.operation,
+                latency_s=latency,
+                fault_code=ctx.error.code if ctx.error is not None else None,
+            )
         threshold = self.slow_request_threshold
         if threshold is not None and latency >= threshold:
             entry: dict[str, Any] = {

@@ -1,0 +1,209 @@
+"""Bounded ring-buffer time series: how node health and latency *evolve*.
+
+Point-in-time telemetry (gauge snapshots, per-request spans) answers "what
+is the cluster doing now"; the load-balancing feedback loop also needs
+"what has it been doing" — TimeHits samples every NodeStatus host each
+25 s, and whether a host is healthy, flapping, or slowly degrading is only
+visible across sweeps.  This module stores that history:
+
+* a :class:`TimeSeries` is one named, bounded ring buffer of ``(t, value)``
+  points (oldest evicted beyond ``capacity``) with windowed summaries —
+  min/max/avg/p50/p99 over the last N seconds of whatever clock feeds it
+  (sim time under the experiment harness, wall time in a live process);
+* a :class:`TimeSeriesStore` owns the process' series, keyed by dotted
+  name (``node.<host>.load``, ``request.<edge>.latency``, …), all stamped
+  from one injectable :class:`~repro.util.clock.Clock` so histories are
+  bit-for-bit deterministic under ``ManualClock``/sim time;
+* **flag series** record boolean state *transitions* only (an eligibility
+  flip costs one point, steady state costs zero), which is what
+  :meth:`TimeSeriesStore.flapping` reads to detect hosts oscillating in
+  and out of constraint eligibility.
+
+Recording is off by default and every instrumentation point is guarded
+(``store.enabled``), so the kernel/discovery hot paths pay one attribute
+check when history is disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.util.clock import Clock, PerfClock
+
+#: points retained per series (oldest evicted first)
+DEFAULT_SERIES_CAPACITY = 1024
+
+#: eligibility transitions within the window that classify a host as flapping
+DEFAULT_FLAP_TRANSITIONS = 3
+
+#: flag-series prefix used for constraint-eligibility transitions
+ELIGIBLE_PREFIX = "eligible."
+
+
+def percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+class TimeSeries:
+    """One bounded series of ``(t, value)`` points, oldest evicted first."""
+
+    __slots__ = ("name", "points", "recorded", "last_value")
+
+    def __init__(self, name: str, *, capacity: int = DEFAULT_SERIES_CAPACITY) -> None:
+        self.name = name
+        self.points: deque[tuple[float, float]] = deque(maxlen=capacity)
+        #: total points ever recorded (not capped by the ring capacity)
+        self.recorded = 0
+        #: most recent value, None before the first record
+        self.last_value: float | None = None
+
+    def record(self, t: float, value: float) -> None:
+        self.points.append((t, float(value)))
+        self.recorded += 1
+        self.last_value = float(value)
+
+    def window(self, since: float) -> list[tuple[float, float]]:
+        """Points with ``t >= since``, oldest first."""
+        return [p for p in self.points if p[0] >= since]
+
+    def values(self, since: float) -> list[float]:
+        return [v for t, v in self.points if t >= since]
+
+    def last(self) -> tuple[float, float] | None:
+        return self.points[-1] if self.points else None
+
+    def summary(self, since: float) -> dict[str, float | int]:
+        """min/max/avg/p50/p99 of the window (zeros for an empty window)."""
+        values = sorted(self.values(since))
+        if not values:
+            return {"count": 0, "min": 0.0, "max": 0.0, "avg": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": len(values),
+            "min": values[0],
+            "max": values[-1],
+            "avg": sum(values) / len(values),
+            "p50": percentile(values, 0.50),
+            "p99": percentile(values, 0.99),
+        }
+
+
+class TimeSeriesStore:
+    """Every longitudinal series of one process, stamped from one clock."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        capacity: int = DEFAULT_SERIES_CAPACITY,
+        enabled: bool = False,
+    ) -> None:
+        self.clock: Clock = clock or PerfClock()
+        self.capacity = capacity
+        #: the instrumentation guard: callers check this before recording
+        self.enabled = enabled
+        self._series: dict[str, TimeSeries] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def series(self, name: str) -> TimeSeries:
+        """The named series (created empty on first use)."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name, capacity=self.capacity)
+        return series
+
+    def record(self, name: str, value: float, *, t: float | None = None) -> None:
+        """Append one point, stamped from the store clock unless ``t`` given."""
+        self.series(name).record(self.clock.now() if t is None else t, value)
+
+    def record_flag(self, name: str, value: bool, *, t: float | None = None) -> None:
+        """Record a boolean state *transition* (no point while state holds).
+
+        The first record always lands (it establishes the state); afterwards
+        a point is stored only when the state flips, so a stable flag costs
+        one ring slot total and :meth:`transitions` counts real flips.
+        """
+        series = self.series(name)
+        numeric = 1.0 if value else 0.0
+        if series.last_value == numeric:
+            return
+        series.record(self.clock.now() if t is None else t, numeric)
+
+    # -- windowed queries ------------------------------------------------------
+
+    def window_summary(self, name: str, duration: float) -> dict[str, float | int]:
+        """min/max/avg/p50/p99 over the last ``duration`` seconds of ``name``."""
+        return self.series(name).summary(self.clock.now() - duration)
+
+    def transitions(self, name: str, duration: float) -> int:
+        """Flag flips recorded in the last ``duration`` seconds.
+
+        The establishing record of a flag series only counts when it landed
+        inside the window *and* flipped an earlier, already-evicted state —
+        indistinguishable here, so it is counted; for flap detection an
+        extra unit of noise on a genuinely-transitioning host is harmless.
+        """
+        return len(self.series(name).window(self.clock.now() - duration))
+
+    def flapping(
+        self,
+        duration: float,
+        *,
+        prefix: str = ELIGIBLE_PREFIX,
+        min_transitions: int = DEFAULT_FLAP_TRANSITIONS,
+    ) -> list[str]:
+        """Hosts whose eligibility flipped ≥ ``min_transitions`` times lately.
+
+        Scans every flag series under ``prefix`` (default: the constraint
+        eligibility flags LoadStatus records) and returns the suffixes —
+        host names — sorted, so a flapping host is identifiable even while
+        its *current* sample looks healthy.
+        """
+        since = self.clock.now() - duration
+        out = []
+        for name in sorted(self._series):
+            if not name.startswith(prefix):
+                continue
+            if len(self._series[name].window(since)) >= min_transitions:
+                out.append(name[len(prefix):])
+        return out
+
+    # -- surfaces --------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def high_water_marks(self) -> dict[str, int]:
+        """Boundedness evidence: series count, fullest ring, total recorded."""
+        return {
+            "series": len(self._series),
+            "capacity": self.capacity,
+            "max_points": max(
+                (len(s.points) for s in self._series.values()), default=0
+            ),
+            "points_recorded": sum(s.recorded for s in self._series.values()),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """The telemetry snapshot surface: marks + per-series tallies."""
+        marks = self.high_water_marks()
+        return {
+            "enabled": self.enabled,
+            **marks,
+            "per_series": {
+                name: {
+                    "points": len(series.points),
+                    "recorded": series.recorded,
+                    "last": series.last_value,
+                }
+                for name, series in sorted(self._series.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._series.clear()

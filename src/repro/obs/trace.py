@@ -8,6 +8,17 @@ keeps finished **root** spans in a bounded deque.  Time comes from a
 engine's clock every trace is bit-for-bit deterministic — the same workload
 produces the same span tree with the same timestamps.
 
+Every root span opens a **trace**: it is assigned a 32-hex-digit trace id
+(children inherit it) and each span gets a 16-hex-digit span id —
+deterministic counters seeded from the tracer's name, not random bits, so
+traces replay identically.  Cross-hop propagation uses the W3C Trace
+Context wire shape: :meth:`Tracer.current_traceparent` renders the active
+span as a ``00-<trace-id>-<span-id>-01`` header (carried in the SOAP
+envelope / HTTP headers), and :meth:`Tracer.span_in_trace` opens a root
+that *adopts* an incoming header's trace id — which is how client-side
+transport spans and server-side pipeline spans join under one trace id
+even when each side runs its own tracer.
+
 Tracing is off by default and costs one attribute check at each
 instrumentation point (``tracer is not None and tracer.enabled``); no span
 objects are built while disabled.  Two export formats:
@@ -21,22 +32,61 @@ objects are built while disabled.  Two export formats:
 from __future__ import annotations
 
 import json
+import re
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.util.clock import Clock, PerfClock
 
+# -- W3C-traceparent-style context propagation ---------------------------------
+
+#: header key carrying the trace context across hops
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a W3C-style ``version-traceid-spanid-flags`` header value."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(header: str | None) -> tuple[str, str] | None:
+    """``(trace_id, parent_span_id)`` from a header, or None when malformed.
+
+    Malformed/absent context must not fault a request — per the W3C spec a
+    receiver that cannot parse ``traceparent`` restarts the trace.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip())
+    if match is None:
+        return None
+    trace_id, span_id = match.group(1), match.group(2)
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
 
 @dataclass
 class Span:
-    """One timed stage of work; ``end`` is None while the span is open."""
+    """One timed stage of work; ``end`` is None while the span is open.
+
+    ``trace_id`` is shared by every span of one trace (roots mint it or
+    adopt it from an incoming traceparent; children inherit); ``span_id``
+    identifies this span within the trace.  Both are None on the throwaway
+    spans a disabled tracer yields.
+    """
 
     name: str
     start: float
     tags: dict[str, Any] = field(default_factory=dict)
     end: float | None = None
     children: list["Span"] = field(default_factory=list)
+    trace_id: str | None = None
+    span_id: str | None = None
 
     @property
     def duration(self) -> float:
@@ -52,6 +102,13 @@ class Span:
         """Every span named *name* in this subtree (depth-first order)."""
         return [s for s in self.iter_spans() if s.name == name]
 
+    @property
+    def traceparent(self) -> str | None:
+        """This span's context as a propagatable header value."""
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return format_traceparent(self.trace_id, self.span_id)
+
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "name": self.name,
@@ -59,6 +116,9 @@ class Span:
             "end": self.end,
             "duration": self.duration,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
         if self.tags:
             out["tags"] = dict(self.tags)
         if self.children:
@@ -108,13 +168,31 @@ class Tracer:
         *,
         enabled: bool = False,
         max_traces: int = 256,
+        name: str = "tracer",
     ) -> None:
         self.clock: Clock = clock or PerfClock()
         self.enabled = enabled
+        #: distinguishes this tracer's minted ids from its peers' (the id
+        #: prefix), e.g. "client" vs "registry" in a cross-hop test
+        self.name = name
         self._stack: list[Span] = []
         #: finished root spans, oldest dropped beyond ``max_traces``
         self.traces: deque[Span] = deque(maxlen=max_traces)
         self.spans_recorded = 0
+        self.traces_started = 0
+        self._id_prefix = f"{zlib.crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
+        self._span_seq = 0
+
+    # -- id minting ------------------------------------------------------------
+
+    def _new_trace_id(self) -> str:
+        """Deterministic 32-hex trace id: tracer-name prefix + trace counter."""
+        self.traces_started += 1
+        return f"{self._id_prefix}{self.traces_started:024x}"
+
+    def _new_span_id(self) -> str:
+        self._span_seq += 1
+        return f"{self._span_seq:016x}"
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -122,16 +200,64 @@ class Tracer:
         """Open a child of the current span (or a new root) as a context manager."""
         if not self.enabled:
             return _NoopContext(name)
-        span = Span(name=name, start=self.clock.now(), tags=tags)
+        trace_id = self._stack[-1].trace_id if self._stack else self._new_trace_id()
+        span = Span(
+            name=name,
+            start=self.clock.now(),
+            tags=tags,
+            trace_id=trace_id,
+            span_id=self._new_span_id(),
+        )
         self._stack.append(span)
         return _SpanContext(self, span)
+
+    def span_in_trace(self, name: str, traceparent: str | None, **tags: Any):
+        """Open a root span that *adopts* an incoming trace context.
+
+        This is the server half of cross-hop propagation: a valid
+        ``traceparent`` joins the caller's trace (the remote span id is kept
+        as the ``remote_parent`` tag); a malformed or absent one starts a
+        fresh trace, exactly like :meth:`span`.  With an active local parent
+        span the in-process context wins — nesting already propagates the
+        trace id.
+        """
+        if not self.enabled:
+            return _NoopContext(name)
+        if self._stack or traceparent is None:
+            return self.span(name, **tags)
+        parsed = parse_traceparent(traceparent)
+        if parsed is None:
+            return self.span(name, **tags)
+        trace_id, parent_span_id = parsed
+        span = Span(
+            name=name,
+            start=self.clock.now(),
+            tags={**tags, "remote_parent": parent_span_id},
+            trace_id=trace_id,
+            span_id=self._new_span_id(),
+        )
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def current_traceparent(self) -> str | None:
+        """The active span's context as a header value (None when inactive)."""
+        if not self.enabled or not self._stack:
+            return None
+        return self._stack[-1].traceparent
 
     def event(self, name: str, **tags: Any) -> None:
         """A zero-duration marker span under the current span."""
         if not self.enabled:
             return
         now = self.clock.now()
-        span = Span(name=name, start=now, end=now, tags=tags)
+        span = Span(
+            name=name,
+            start=now,
+            end=now,
+            tags=tags,
+            trace_id=self._stack[-1].trace_id if self._stack else None,
+            span_id=self._new_span_id(),
+        )
         self._record(span)
         self.spans_recorded += 1
 

@@ -91,6 +91,9 @@ class RequestContext:
     #: timestamps from the kernel's injectable clock, set by the account stage
     started: float = 0.0
     finished: float = 0.0
+    #: trace id the root span runs under (None while tracing is disabled);
+    #: adopted from the client's traceparent header when one arrived
+    trace_id: str | None = None
     #: free-form per-request tag bag for interceptors
     tags: dict[str, Any] = field(default_factory=dict)
 
@@ -466,8 +469,15 @@ class RegistryKernel:
         token: str | None = None,
         session: "Session | None" = None,
         spec: OperationSpec | None = None,
+        traceparent: str | None = None,
     ) -> Any:
-        """Run one request through the pipeline and return the edge response."""
+        """Run one request through the pipeline and return the edge response.
+
+        ``traceparent`` is the incoming W3C-style trace context, when the
+        protocol edge carried one: the root ``request`` span then joins the
+        caller's trace instead of starting its own, so client transport
+        spans and server pipeline spans share one trace id.
+        """
         ctx = RequestContext(
             edge=edge,
             request_id=self.new_request_id(),
@@ -483,9 +493,10 @@ class RegistryKernel:
             self._composed = self._compose()
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
-            with tracer.span(
-                "request", edge=edge.name, request_id=ctx.request_id
+            with tracer.span_in_trace(
+                "request", traceparent, edge=edge.name, request_id=ctx.request_id
             ) as root:
+                ctx.trace_id = root.trace_id
                 try:
                     result = self._composed(ctx)
                 finally:

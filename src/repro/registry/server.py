@@ -209,6 +209,14 @@ class RegistryServer:
         """Toggle per-request span collection (off by default)."""
         self.telemetry.tracer.enabled = enabled
 
+    def enable_history(self, enabled: bool = True) -> None:
+        """Toggle longitudinal time-series recording (off by default)."""
+        self.telemetry.history.enabled = enabled
+
+    def enable_logging(self, enabled: bool = True) -> None:
+        """Toggle structured JSON log emission (off by default)."""
+        self.telemetry.log.enabled = enabled
+
     @property
     def home(self) -> str:
         return self.config.home

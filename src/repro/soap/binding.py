@@ -80,7 +80,10 @@ class SoapRegistryBinding:
     def handle(self, envelope: SoapEnvelope) -> RegistryResponse | SoapFault:
         """Process one envelope; registry errors become SoapFaults."""
         return self.kernel.execute(
-            self.edge, body=envelope.body, token=envelope.session_token
+            self.edge,
+            body=envelope.body,
+            token=envelope.session_token,
+            traceparent=envelope.traceparent,
         )
 
 
@@ -127,7 +130,9 @@ class HttpGetBinding:
     def _authenticate(self, ctx: RequestContext, spec: OperationSpec) -> Session:
         return self.registry.guest()
 
-    def get(self, url: str) -> RegistryResponse | SoapFault | str | dict:
+    def get(
+        self, url: str, headers: dict[str, str] | None = None
+    ) -> RegistryResponse | SoapFault | str | dict:
         parsed = urlparse(url)
         if parsed.path.endswith("/metrics"):
             return self.registry.telemetry.render_prometheus()
@@ -135,5 +140,9 @@ class HttpGetBinding:
             return self.registry.telemetry.health()
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         return self.kernel.execute(
-            self.edge, params=params, http_method=params.get("method"), via_http=True
+            self.edge,
+            params=params,
+            http_method=params.get("method"),
+            via_http=True,
+            traceparent=(headers or {}).get(SoapEnvelope.TRACEPARENT_HEADER),
         )

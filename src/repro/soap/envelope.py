@@ -27,16 +27,31 @@ class SoapEnvelope:
     #: header key carrying the authenticated session token
     SESSION_HEADER = "urn:repro:session-token"
 
+    #: header key carrying the W3C-style trace context across the hop
+    TRACEPARENT_HEADER = "traceparent"
+
     @classmethod
-    def with_session(cls, body: Any, session_token: str | None) -> "SoapEnvelope":
+    def with_session(
+        cls,
+        body: Any,
+        session_token: str | None,
+        *,
+        traceparent: str | None = None,
+    ) -> "SoapEnvelope":
         headers = {}
         if session_token:
             headers[cls.SESSION_HEADER] = session_token
+        if traceparent:
+            headers[cls.TRACEPARENT_HEADER] = traceparent
         return cls(body=body, headers=headers)
 
     @property
     def session_token(self) -> str | None:
         return self.headers.get(self.SESSION_HEADER)
+
+    @property
+    def traceparent(self) -> str | None:
+        return self.headers.get(self.TRACEPARENT_HEADER)
 
 
 @dataclass

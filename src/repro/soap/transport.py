@@ -60,7 +60,10 @@ class TransportStats:
     ``per_endpoint`` counts every attempt per URI; ``per_endpoint_failures``
     attributes failed attempts to the endpoint that failed, so a flaky host
     is visible even when totals look healthy.  ``retries`` / ``backoff_total``
-    account the client-side retry stage.
+    account the client-side retry stage; each retried *request* additionally
+    resolves to either ``recovered_after_retry`` (a later attempt succeeded)
+    or ``exhausted_retries`` (every retry spent, the failure surfaced) — the
+    split that separates a flaky endpoint from a dead one.
     """
 
     requests: int = 0
@@ -72,6 +75,10 @@ class TransportStats:
     backoff_total: float = 0.0
     per_endpoint_retries: dict[str, int] = field(default_factory=dict)
     per_endpoint_backoff: dict[str, float] = field(default_factory=dict)
+    recovered_after_retry: int = 0
+    exhausted_retries: int = 0
+    per_endpoint_recovered: dict[str, int] = field(default_factory=dict)
+    per_endpoint_exhausted: dict[str, int] = field(default_factory=dict)
 
     def record(self, uri: str, latency: float, ok: bool) -> None:
         self.requests += 1
@@ -88,6 +95,16 @@ class TransportStats:
         self.per_endpoint_retries[uri] = self.per_endpoint_retries.get(uri, 0) + 1
         self.per_endpoint_backoff[uri] = self.per_endpoint_backoff.get(uri, 0.0) + backoff
 
+    def record_recovered(self, uri: str) -> None:
+        """One retried request that ultimately succeeded (flaky endpoint)."""
+        self.recovered_after_retry += 1
+        self.per_endpoint_recovered[uri] = self.per_endpoint_recovered.get(uri, 0) + 1
+
+    def record_exhausted(self, uri: str) -> None:
+        """One retried request whose retries all failed (dead endpoint)."""
+        self.exhausted_retries += 1
+        self.per_endpoint_exhausted[uri] = self.per_endpoint_exhausted.get(uri, 0) + 1
+
     def snapshot(self) -> dict[str, Any]:
         """Deterministic plain-dict view (the telemetry surface)."""
         return {
@@ -96,10 +113,14 @@ class TransportStats:
             "total_latency_s": self.total_latency,
             "retries": self.retries,
             "backoff_total_s": self.backoff_total,
+            "recovered_after_retry": self.recovered_after_retry,
+            "exhausted_retries": self.exhausted_retries,
             "per_endpoint": dict(sorted(self.per_endpoint.items())),
             "per_endpoint_failures": dict(sorted(self.per_endpoint_failures.items())),
             "per_endpoint_retries": dict(sorted(self.per_endpoint_retries.items())),
             "per_endpoint_backoff_s": dict(sorted(self.per_endpoint_backoff.items())),
+            "per_endpoint_recovered": dict(sorted(self.per_endpoint_recovered.items())),
+            "per_endpoint_exhausted": dict(sorted(self.per_endpoint_exhausted.items())),
         }
 
 
@@ -152,6 +173,8 @@ class SimTransport:
             "failures": self.stats.per_endpoint_failures.get(uri, 0),
             "retries": self.stats.per_endpoint_retries.get(uri, 0),
             "backoff_s": self.stats.per_endpoint_backoff.get(uri, 0.0),
+            "recovered_after_retry": self.stats.per_endpoint_recovered.get(uri, 0),
+            "exhausted_retries": self.stats.per_endpoint_exhausted.get(uri, 0),
         }
 
     def transport_stats(self) -> dict[str, Any]:
@@ -185,9 +208,15 @@ class SimTransport:
         """
         policy = self.retry
         attempt = 0
+        retried = False
         while True:
             try:
-                return self._traced_attempt(uri, payload, source=source, attempt=attempt)
+                response = self._traced_attempt(
+                    uri, payload, source=source, attempt=attempt
+                )
+                if retried:
+                    self.stats.record_recovered(uri)
+                return response
             except TransportError:
                 attempt += 1
                 if (
@@ -198,9 +227,12 @@ class SimTransport:
                         and self.stats.retries >= policy.budget
                     )
                 ):
+                    if retried:
+                        self.stats.record_exhausted(uri)
                     raise
                 backoff = policy.backoff_for(attempt - 1)
                 self.stats.record_retry(uri, backoff)
+                retried = True
                 tracer = self.tracer
                 if tracer is not None and tracer.enabled:
                     tracer.event(

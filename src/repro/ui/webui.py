@@ -271,6 +271,61 @@ class SearchPanel:
 
 
 # ---------------------------------------------------------------------------
+# monitor panel (the operator's observability page — not in the thesis UI,
+# which had no admin view of the NodeState table the scheme depends on)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeRow:
+    """One row of the monitor panel's per-host table."""
+
+    host: str
+    load: float
+    memory: int
+    swap_memory: int
+    age_s: float
+
+
+class MonitorPanel:
+    """Read-only view over NodeState + the telemetry health/SLO surfaces."""
+
+    def __init__(self, ui: "WebUI") -> None:
+        self.ui = ui
+
+    def node_rows(self) -> list[NodeRow]:
+        registry = self.ui.registry
+        now = registry.clock.now()
+        return [
+            NodeRow(
+                host=sample.host,
+                load=sample.load,
+                memory=sample.memory,
+                swap_memory=sample.swap_memory,
+                age_s=now - sample.updated,
+            )
+            for sample in sorted(
+                registry.node_state.all_samples(), key=lambda s: s.host
+            )
+        ]
+
+    def health(self) -> dict:
+        return self.ui.registry.telemetry.health()
+
+    def slo_states(self) -> dict[str, str]:
+        return self.ui.registry.telemetry.slos.states()
+
+    def flapping_hosts(self, window_s: float = 600.0) -> list[str]:
+        """Hosts oscillating in/out of constraint eligibility lately."""
+        return self.ui.registry.telemetry.history.flapping(window_s)
+
+    def recent_log(self, limit: int = 20) -> list[dict]:
+        """The newest structured log records, newest last."""
+        records = self.ui.registry.telemetry.log.records
+        return list(records)[-limit:]
+
+
+# ---------------------------------------------------------------------------
 # the UI shell
 # ---------------------------------------------------------------------------
 
@@ -316,6 +371,10 @@ class WebUI:
 
     def search(self) -> SearchPanel:
         return SearchPanel(self)
+
+    def monitor(self) -> MonitorPanel:
+        """The node/health observability panel (no session required)."""
+        return MonitorPanel(self)
 
     def details(self, object_id: str):
         """Select an object and click *Details* (Figure 3.49): an edit form."""

@@ -1,0 +1,73 @@
+"""Tests for the bounded structured JSON log."""
+
+import json
+
+from repro.obs.logging import StructuredLog
+from repro.util.clock import ManualClock
+
+
+class TestEmit:
+    def test_record_shape_and_clock_stamp(self):
+        clock = ManualClock()
+        log = StructuredLog(clock, enabled=True)
+        clock.set(42.0)
+        record = log.emit("request", edge="soap", operation="AdhocQueryRequest")
+        assert record == {
+            "t": 42.0, "event": "request", "edge": "soap",
+            "operation": "AdhocQueryRequest",
+        }
+        assert list(log.records) == [record]
+
+    def test_none_fields_dropped(self):
+        log = StructuredLog(ManualClock(), enabled=True)
+        record = log.emit("request", trace_id=None, host="h1")
+        assert "trace_id" not in record
+        assert record["host"] == "h1"
+
+    def test_capacity_bounds_the_ring(self):
+        log = StructuredLog(ManualClock(), enabled=True, capacity=3)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert [r["i"] for r in log.records] == [7, 8, 9]
+        assert log.emitted == 10
+
+    def test_emit_to_streams_json_lines(self):
+        lines = []
+        log = StructuredLog(ManualClock(), enabled=True, emit_to=lines.append)
+        log.emit("sweep", stored=3)
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == {"t": 0.0, "event": "sweep", "stored": 3}
+        assert lines[0].endswith("\n")
+
+
+class TestQuerySurfaces:
+    def test_find_by_event_and_fields(self):
+        log = StructuredLog(ManualClock(), enabled=True)
+        log.emit("request", edge="soap")
+        log.emit("request", edge="http")
+        log.emit("sweep", stored=3)
+        assert len(log.find("request")) == 2
+        assert [r["edge"] for r in log.find("request", edge="http")] == ["http"]
+        assert log.find("request", edge="local") == []
+
+    def test_export_jsonl_round_trips(self):
+        log = StructuredLog(ManualClock(), enabled=True)
+        log.emit("a", x=1)
+        log.emit("b", y=2)
+        lines = log.export_jsonl().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_export_empty_is_empty_string(self):
+        assert StructuredLog(ManualClock()).export_jsonl() == ""
+
+    def test_stats_and_clear(self):
+        log = StructuredLog(ManualClock(), enabled=True)
+        log.emit("a")
+        assert log.stats() == {
+            "enabled": True, "records_kept": 1, "records_emitted": 1,
+        }
+        log.clear()
+        assert log.stats()["records_kept"] == 0
+
+    def test_disabled_by_default(self):
+        assert StructuredLog(ManualClock()).enabled is False

@@ -1,0 +1,211 @@
+"""Tests for the declarative SLO definitions and the burn-rate engine."""
+
+import pytest
+
+from repro.obs.slo import SLO, SloEngine, default_slos
+from repro.util.clock import ManualClock
+
+
+class TestSloValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLO(name="x", kind="throughput", source="request")
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ValueError, match="requires a threshold"):
+            SLO(name="x", kind="latency", source="request")
+
+    def test_staleness_requires_threshold(self):
+        with pytest.raises(ValueError, match="requires a threshold"):
+            SLO(name="x", kind="staleness", source="node_staleness")
+
+    def test_windows_required(self):
+        with pytest.raises(ValueError, match="at least one window"):
+            SLO(name="x", kind="availability", source="probe", windows=())
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLO(name="x", kind="availability", source="probe", objective=1.0)
+
+    def test_error_budget(self):
+        slo = SLO(name="x", kind="availability", source="probe", objective=0.99)
+        assert slo.error_budget == pytest.approx(0.01)
+
+    def test_default_slos_cover_three_kinds(self):
+        slos = default_slos(windows=(60.0, 300.0))
+        assert [s.kind for s in slos] == ["availability", "latency", "staleness"]
+        assert all(s.windows == (60.0, 300.0) for s in slos)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def engine(clock):
+    return SloEngine(clock)
+
+
+AVAILABILITY = SLO(
+    name="avail",
+    kind="availability",
+    source="probe",
+    objective=0.9,
+    windows=(100.0,),
+    warning_burn=2.0,
+    page_burn=5.0,
+)
+
+
+class TestBurnRates:
+    def test_inactive_until_slo_added(self, engine):
+        assert engine.active is False
+        engine.add(AVAILABILITY)
+        assert engine.active is True
+        assert engine.remove("avail") is True
+        assert engine.active is False
+
+    def test_no_events_means_zero_burn(self, engine):
+        engine.add(AVAILABILITY)
+        assert engine.burn_rates(AVAILABILITY) == {"100s": 0.0}
+
+    def test_availability_burn(self, engine, clock):
+        engine.add(AVAILABILITY)
+        clock.set(50.0)
+        for _ in range(8):
+            engine.record_event("probe", ok=True)
+        for _ in range(2):
+            engine.record_event("probe", ok=False)
+        # bad fraction 0.2 over budget 0.1 -> burn 2.0
+        assert engine.burn_rates(AVAILABILITY)["100s"] == pytest.approx(2.0)
+
+    def test_latency_burn_counts_slow_events(self, engine, clock):
+        slo = SLO(
+            name="lat", kind="latency", source="request",
+            objective=0.9, threshold=0.5, windows=(100.0,),
+        )
+        engine.add(slo)
+        clock.set(10.0)
+        for latency in (0.1, 0.2, 0.9, 1.5):
+            engine.record_event("request", ok=True, latency=latency)
+        # 2 of 4 over threshold -> bad fraction 0.5, burn 5.0
+        assert engine.burn_rates(slo)["100s"] == pytest.approx(5.0)
+
+    def test_staleness_reads_registered_gauge(self, engine):
+        slo = SLO(
+            name="stale", kind="staleness", source="node_staleness",
+            objective=0.9, threshold=50.0, windows=(100.0,),
+        )
+        engine.add(slo)
+        age = {"value": 10.0}
+        engine.register_gauge("node_staleness", lambda: age["value"])
+        assert engine.burn_rates(slo)["100s"] == 0.0
+        age["value"] = 51.0
+        assert engine.burn_rates(slo)["100s"] == pytest.approx(10.0)
+
+    def test_staleness_without_gauge_is_ok(self, engine):
+        slo = SLO(
+            name="stale", kind="staleness", source="node_staleness",
+            objective=0.9, threshold=50.0, windows=(100.0,),
+        )
+        engine.add(slo)
+        assert engine.burn_rates(slo)["100s"] == 0.0
+
+    def test_multi_window_requires_all_to_burn(self, engine, clock):
+        slo = SLO(
+            name="avail", kind="availability", source="probe",
+            objective=0.9, windows=(10.0, 1000.0), page_burn=5.0,
+        )
+        engine.add(slo)
+        # a long healthy history...
+        for t in range(0, 900, 10):
+            clock.set(float(t))
+            engine.record_event("probe", ok=True)
+        # ...then a fully-bad short window
+        for t in (995.0, 998.0):
+            clock.set(t)
+            engine.record_event("probe", ok=False)
+        clock.set(1000.0)
+        burns = engine.burn_rates(slo)
+        assert burns["10s"] == pytest.approx(10.0)  # short window saturated
+        assert burns["1000s"] < 5.0  # long window dilutes the blip
+        assert engine.evaluate() == {"avail": "ok"}
+
+
+class TestAlertStateMachine:
+    def _fill(self, engine, clock, t, ok, bad):
+        clock.set(t)
+        for _ in range(ok):
+            engine.record_event("probe", ok=True)
+        for _ in range(bad):
+            engine.record_event("probe", ok=False)
+
+    def test_transitions_land_on_timeline(self, engine, clock):
+        engine.add(AVAILABILITY)
+        self._fill(engine, clock, 10.0, ok=10, bad=0)
+        assert engine.evaluate() == {"avail": "ok"}
+        assert engine.transitions == 0
+
+        self._fill(engine, clock, 20.0, ok=0, bad=4)  # 4/14 bad -> burn ~2.9
+        assert engine.evaluate() == {"avail": "warning"}
+        self._fill(engine, clock, 30.0, ok=0, bad=10)  # 14/24 bad -> burn ~5.8
+        assert engine.evaluate() == {"avail": "page"}
+        # steady state: no new transition
+        assert engine.evaluate() == {"avail": "page"}
+
+        assert engine.transitions == 2
+        assert [(e["slo"], e["from"], e["to"]) for e in engine.timeline] == [
+            ("avail", "ok", "warning"),
+            ("avail", "warning", "page"),
+        ]
+        assert [e["t"] for e in engine.timeline] == [20.0, 30.0]
+        assert engine.states() == {"avail": "page"}
+        assert engine.worst_state() == "page"
+
+    def test_recovery_transitions_back(self, engine, clock):
+        engine.add(AVAILABILITY)
+        self._fill(engine, clock, 10.0, ok=0, bad=10)
+        assert engine.evaluate() == {"avail": "page"}
+        # the window slides past the outage
+        clock.set(500.0)
+        for _ in range(10):
+            engine.record_event("probe", ok=True)
+        assert engine.evaluate() == {"avail": "ok"}
+        assert [e["to"] for e in engine.timeline] == ["page", "ok"]
+
+    def test_worst_state_across_slos(self, engine, clock):
+        engine.add(AVAILABILITY)
+        engine.add(
+            SLO(name="lat", kind="latency", source="request",
+                objective=0.9, threshold=0.5, windows=(100.0,))
+        )
+        self._fill(engine, clock, 10.0, ok=0, bad=10)
+        engine.record_event("request", ok=True, latency=0.1)
+        states = engine.evaluate()
+        assert states == {"avail": "page", "lat": "ok"}
+        assert engine.worst_state() == "page"
+
+    def test_snapshot_surface(self, engine, clock):
+        engine.add(AVAILABILITY)
+        self._fill(engine, clock, 10.0, ok=0, bad=10)
+        engine.evaluate()
+        snap = engine.snapshot()
+        assert snap["active"] is True
+        assert snap["transitions"] == 1
+        assert snap["slos"]["avail"]["state"] == "page"
+        assert snap["slos"]["avail"]["evaluations"] == 1
+        assert snap["timeline"][0]["to"] == "page"
+
+    def test_determinism_same_events_same_timeline(self):
+        def run():
+            c = ManualClock()
+            e = SloEngine(c)
+            e.add(AVAILABILITY)
+            for t in range(0, 200, 10):
+                c.set(float(t))
+                e.record_event("probe", ok=t < 100)
+                e.evaluate()
+            return list(e.timeline)
+
+        assert run() == run()

@@ -1,0 +1,147 @@
+"""Tests for the bounded ring-buffer time-series store."""
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries, TimeSeriesStore, percentile
+from repro.util.clock import ManualClock
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.99) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        series = TimeSeries("x")
+        assert series.last() is None
+        series.record(1.0, 3.5)
+        series.record(2.0, 4.5)
+        assert series.last() == (2.0, 4.5)
+        assert series.last_value == 4.5
+        assert series.recorded == 2
+
+    def test_window_filters_by_time(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t))
+        assert series.window(7.0) == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        assert series.values(8.0) == [8.0, 9.0]
+
+    def test_capacity_evicts_oldest(self):
+        series = TimeSeries("x", capacity=3)
+        for t in range(5):
+            series.record(float(t), float(t))
+        assert list(series.points) == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+        # the lifetime counter is not capped by the ring
+        assert series.recorded == 5
+
+    def test_summary(self):
+        series = TimeSeries("x")
+        for t, v in enumerate([4.0, 1.0, 3.0, 2.0]):
+            series.record(float(t), v)
+        summary = series.summary(0.0)
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["avg"] == pytest.approx(2.5)
+        assert summary["p50"] == 3.0
+
+    def test_summary_empty_window_is_zeros(self):
+        series = TimeSeries("x")
+        series.record(1.0, 9.0)
+        assert series.summary(100.0) == {
+            "count": 0, "min": 0.0, "max": 0.0, "avg": 0.0, "p50": 0.0, "p99": 0.0,
+        }
+
+
+class TestTimeSeriesStore:
+    @pytest.fixture
+    def clock(self):
+        return ManualClock()
+
+    @pytest.fixture
+    def store(self, clock):
+        return TimeSeriesStore(clock, enabled=True)
+
+    def test_record_stamps_from_clock(self, store, clock):
+        clock.set(50.0)
+        store.record("a", 1.0)
+        assert store.series("a").last() == (50.0, 1.0)
+
+    def test_explicit_timestamp_wins(self, store):
+        store.record("a", 1.0, t=7.0)
+        assert store.series("a").last() == (7.0, 1.0)
+
+    def test_window_summary_uses_clock(self, store, clock):
+        for t in range(0, 100, 10):
+            clock.set(float(t))
+            store.record("lat", float(t))
+        clock.set(100.0)
+        summary = store.window_summary("lat", 30.0)
+        assert summary["count"] == 3  # t=70, 80, 90
+        assert summary["min"] == 70.0
+
+    def test_flag_records_transitions_only(self, store, clock):
+        for t, up in [(0, True), (10, True), (20, False), (30, False), (40, True)]:
+            clock.set(float(t))
+            store.record_flag("eligible.h1", up)
+        # establishing record + two flips = three points
+        assert list(store.series("eligible.h1").points) == [
+            (0.0, 1.0), (20.0, 0.0), (40.0, 1.0),
+        ]
+        assert store.transitions("eligible.h1", 100.0) == 3
+
+    def test_flapping_detection(self, store, clock):
+        for t in range(8):
+            clock.set(float(t * 10))
+            store.record_flag("eligible.flappy", t % 2 == 0)
+            store.record_flag("eligible.steady", True)
+        clock.set(80.0)
+        assert store.flapping(1000.0) == ["flappy"]
+        # a stable host never accumulates transitions
+        assert store.transitions("eligible.steady", 1000.0) == 1
+
+    def test_flapping_respects_window(self, store, clock):
+        for t in range(6):
+            clock.set(float(t))
+            store.record_flag("eligible.h", t % 2 == 0)
+        clock.set(1000.0)
+        assert store.flapping(10.0) == []
+
+    def test_high_water_marks(self, store):
+        small = TimeSeriesStore(ManualClock(), capacity=4, enabled=True)
+        for i in range(10):
+            small.record("a", float(i), t=float(i))
+        small.record("b", 1.0, t=0.0)
+        marks = small.high_water_marks()
+        assert marks == {
+            "series": 2, "capacity": 4, "max_points": 4, "points_recorded": 11,
+        }
+
+    def test_stats_surface(self, store):
+        store.record("a", 2.0, t=1.0)
+        stats = store.stats()
+        assert stats["enabled"] is True
+        assert stats["per_series"]["a"] == {"points": 1, "recorded": 1, "last": 2.0}
+
+    def test_names_sorted_and_clear(self, store):
+        store.record("b", 1.0, t=0.0)
+        store.record("a", 1.0, t=0.0)
+        assert store.names() == ["a", "b"]
+        store.clear()
+        assert store.names() == []
+        assert store.high_water_marks()["points_recorded"] == 0
+
+    def test_disabled_by_default(self, clock):
+        assert TimeSeriesStore(clock).enabled is False

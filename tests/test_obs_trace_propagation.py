@@ -1,0 +1,232 @@
+"""Cross-hop trace propagation: W3C-style traceparent over the SOAP edge.
+
+The client side (JAXR ``client.send`` span, transport attempt/retry spans)
+and the server side (the kernel's ``request`` pipeline span) each run their
+own :class:`~repro.obs.trace.Tracer`; the envelope's ``traceparent`` header
+is what joins them under one trace id.
+"""
+
+import pytest
+
+from repro.client.jaxr import ConnectionFactory
+from repro.obs.trace import Tracer, format_traceparent, parse_traceparent
+from repro.registry import RegistryConfig, RegistryServer
+from repro.soap import RetryPolicy, SimTransport
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.messages import GetServiceBindingsRequest
+from repro.util.clock import ManualClock
+from repro.util.errors import TransportError
+
+from conftest import HOSTS, publish_service_with_bindings
+
+
+class TestTraceparentWireFormat:
+    def test_round_trip(self):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    def test_surrounding_whitespace_tolerated(self):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        assert parse_traceparent(f"  {header}\n") == ("ab" * 16, "cd" * 8)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-0000000000000001-01",
+            f"00-{'AB' * 16}-{'cd' * 8}-01",  # uppercase hex is invalid
+            f"01-{'ab' * 16}-{'cd' * 8}",  # missing flags segment
+            f"00-{'0' * 32}-{'cd' * 8}-01",  # all-zero trace id
+            f"00-{'ab' * 16}-{'0' * 16}-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestTracerIds:
+    def test_root_mints_ids_children_inherit(self):
+        tracer = Tracer(ManualClock(), enabled=True, name="t1")
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert len(root.trace_id) == 32
+        assert len(root.span_id) == 16
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+
+    def test_ids_deterministic_per_tracer_name(self):
+        first = Tracer(ManualClock(), enabled=True, name="client")
+        second = Tracer(ManualClock(), enabled=True, name="client")
+        other = Tracer(ManualClock(), enabled=True, name="registry")
+        for tracer in (first, second, other):
+            with tracer.span("root"):
+                pass
+        assert first.last_trace().trace_id == second.last_trace().trace_id
+        assert first.last_trace().trace_id != other.last_trace().trace_id
+
+    def test_current_traceparent_tracks_the_stack(self):
+        tracer = Tracer(ManualClock(), enabled=True)
+        assert tracer.current_traceparent() is None
+        with tracer.span("root") as root:
+            assert tracer.current_traceparent() == format_traceparent(
+                root.trace_id, root.span_id
+            )
+        assert tracer.current_traceparent() is None
+
+    def test_disabled_tracer_yields_no_context(self):
+        tracer = Tracer(ManualClock(), enabled=False)
+        assert tracer.current_traceparent() is None
+        with tracer.span_in_trace("request", format_traceparent("ab" * 16, "cd" * 8)) as span:
+            assert span.trace_id is None
+        assert tracer.last_trace() is None
+
+    def test_span_in_trace_adopts_remote_context(self):
+        tracer = Tracer(ManualClock(), enabled=True)
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        with tracer.span_in_trace("request", header) as span:
+            pass
+        assert span.trace_id == "ab" * 16
+        assert span.tags["remote_parent"] == "cd" * 8
+        # locally-minted span id, not the remote one
+        assert span.span_id != "cd" * 8
+
+    def test_malformed_header_restarts_trace(self):
+        tracer = Tracer(ManualClock(), enabled=True, name="server")
+        with tracer.span_in_trace("request", "not-a-traceparent") as span:
+            pass
+        assert span.trace_id is not None
+        assert span.trace_id != "ab" * 16
+        assert "remote_parent" not in span.tags
+
+    def test_local_parent_wins_over_remote_header(self):
+        tracer = Tracer(ManualClock(), enabled=True)
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        with tracer.span("outer") as outer:
+            with tracer.span_in_trace("inner", header) as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert "remote_parent" not in inner.tags
+
+
+def build_deployment(*, inject_failures: int = 1, wire_xml: bool = False):
+    """A registry + client with separate tracers and a flaky SOAP endpoint."""
+    clock = ManualClock()
+    registry = RegistryServer(RegistryConfig(seed=42), clock=clock, monotonic=clock)
+    registry.enable_tracing()
+    transport = SimTransport(retry=RetryPolicy(max_attempts=2))
+    client_tracer = Tracer(clock, enabled=True, name="client")
+    transport.tracer = client_tracer
+    factory = ConnectionFactory(
+        registry=registry, transport=transport, wire_xml=wire_xml
+    )
+    _, credential = registry.register_user("publisher")
+    session = registry.login(credential)
+    _, service = publish_service_with_bindings(registry, session)
+    if inject_failures:
+        uri = factory.binding.endpoint_uri
+        wrapped = transport._endpoints[uri]
+        remaining = {"n": inject_failures}
+
+        def flaky(payload):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise TransportError("injected transient failure")
+            return wrapped(payload)
+
+        transport.register_endpoint(uri, flaky)
+    return registry, client_tracer, factory, service
+
+
+def discover(factory, service):
+    connection = factory.create_connection()
+    bqm = connection.get_registry_service().get_business_query_manager()
+    return bqm.get_service_bindings(service.id)
+
+
+class TestCrossHopPropagation:
+    def test_one_trace_spans_client_retry_and_server_pipeline(self):
+        registry, client_tracer, factory, service = build_deployment()
+        bindings = discover(factory, service)
+        assert len(bindings) == len(HOSTS)
+
+        client_root = client_tracer.last_trace()
+        assert client_root.name == "client.send"
+        assert client_root.tags["operation"] == "GetServiceBindingsRequest"
+        # the injected failure produced two attempts joined by one retry
+        attempts = client_root.find("transport.attempt")
+        assert len(attempts) == 2
+        assert attempts[0].tags["error"] == "TransportError"
+        assert attempts[1].tags["ok"] is True
+        assert len(client_root.find("transport.retry")) == 1
+
+        # the server pipeline span adopted the client's trace id
+        server_roots = [
+            t for t in registry.telemetry.tracer.traces if t.name == "request"
+        ]
+        assert len(server_roots) == 1
+        server_root = server_roots[0]
+        assert server_root.tags["edge"] == "soap"
+        assert server_root.trace_id == client_root.trace_id
+        assert server_root.tags["remote_parent"] == client_root.span_id
+        # every span on both sides carries the single trace id
+        for span in (*client_root.iter_spans(), *server_root.iter_spans()):
+            assert span.trace_id == client_root.trace_id
+
+    def test_trace_joins_over_literal_xml_wire(self):
+        registry, client_tracer, factory, service = build_deployment(
+            inject_failures=0, wire_xml=True
+        )
+        discover(factory, service)
+        client_root = client_tracer.last_trace()
+        server_root = next(
+            t for t in registry.telemetry.tracer.traces if t.name == "request"
+        )
+        assert server_root.trace_id == client_root.trace_id
+        assert server_root.tags["remote_parent"] == client_root.span_id
+
+    def test_traced_discovery_is_deterministic(self):
+        def run() -> tuple[str, str]:
+            registry, client_tracer, factory, service = build_deployment()
+            discover(factory, service)
+            return (
+                client_tracer.export_jsonl(),
+                registry.telemetry.tracer.export_jsonl(),
+            )
+
+        assert run() == run()
+
+    def test_untraced_client_leaves_server_trace_fresh(self):
+        registry, client_tracer, factory, service = build_deployment(inject_failures=0)
+        client_tracer.enabled = False
+        discover(factory, service)
+        assert client_tracer.last_trace() is None
+        server_root = next(
+            t for t in registry.telemetry.tracer.traces if t.name == "request"
+        )
+        assert server_root.trace_id is not None
+        assert "remote_parent" not in server_root.tags
+
+    def test_malformed_envelope_header_restarts_server_trace(self):
+        clock = ManualClock()
+        registry = RegistryServer(RegistryConfig(seed=42), clock=clock, monotonic=clock)
+        registry.enable_tracing()
+        _, credential = registry.register_user("publisher")
+        session = registry.login(credential)
+        _, service = publish_service_with_bindings(registry, session)
+        from repro.soap.binding import SoapRegistryBinding
+
+        binding = SoapRegistryBinding(registry)
+        envelope = SoapEnvelope(
+            body=GetServiceBindingsRequest(service_id=service.id),
+            headers={SoapEnvelope.TRACEPARENT_HEADER: "definitely-not-a-traceparent"},
+        )
+        binding.handle(envelope)
+        root = next(
+            t for t in registry.telemetry.tracer.traces if t.name == "request"
+        )
+        assert "remote_parent" not in root.tags
+        assert root.trace_id is not None

@@ -159,12 +159,16 @@ class TestEndpointFailureAttribution:
             "failures": 2,
             "retries": 0,
             "backoff_s": 0.0,
+            "recovered_after_retry": 0,
+            "exhausted_retries": 0,
         }
         assert transport.endpoint_stats("http://b.x:8080/svc") == {
             "requests": 1,
             "failures": 0,
             "retries": 0,
             "backoff_s": 0.0,
+            "recovered_after_retry": 0,
+            "exhausted_retries": 0,
         }
 
     def test_unknown_endpoint_failure_attributed(self, transport):
