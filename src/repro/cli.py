@@ -145,9 +145,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     registry = _open_registry(args.state)
     if args.format == "prometheus":
+        # the exposition is already worker-labelled (request latency series);
+        # --per-worker only reshapes the snapshot formats
         sys.stdout.write(registry.telemetry.render_prometheus())
         return 0
     snapshot = registry.telemetry_snapshot()
+    if getattr(args, "per_worker", False):
+        snapshot["pipeline"] = registry.pipeline_stats(per_worker=True)
     if args.format == "json":
         print(json.dumps(snapshot, indent=2, default=str))
         return 0
@@ -183,6 +187,26 @@ def cmd_top(args: argparse.Namespace) -> int:
     flapping = registry.telemetry.history.flapping(600.0)
     if flapping:
         print(f"flapping hosts (10 min): {', '.join(flapping)}")
+    if getattr(args, "per_worker", False):
+        worker_rows = [
+            {
+                "worker": worker,
+                "edge": edge,
+                "operation": operation,
+                "count": stats["count"],
+                "faults": stats["faults"],
+                "mean_ms": round(stats["mean_latency_s"] * 1000.0, 3),
+            }
+            for worker, edges in sorted(
+                registry.pipeline_stats(per_worker=True).items()
+            )
+            for edge, operations in sorted(edges.items())
+            for operation, stats in sorted(operations.items())
+        ]
+        if worker_rows:
+            print(format_table(worker_rows, title="pipeline by worker"))
+        else:
+            print("no per-worker pipeline traffic recorded")
     return 0
 
 
@@ -347,12 +371,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="print the registry telemetry snapshot")
     p.add_argument("state")
     p.add_argument(
+        "--per-worker",
+        action="store_true",
+        help="break the pipeline source down by serving worker "
+        "(default: fleet-aggregated)",
+    )
+    p.add_argument(
         "--format", choices=("table", "json", "prometheus"), default="table"
     )
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("top", help="print the per-host NodeState/health table")
     p.add_argument("state")
+    p.add_argument(
+        "--per-worker",
+        action="store_true",
+        help="append a per-worker pipeline table (default: fleet-aggregated)",
+    )
     p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("slo", help="run an SLO-instrumented experiment")

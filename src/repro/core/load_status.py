@@ -24,7 +24,15 @@ from repro.util.clock import Clock
 
 
 class LoadStatus:
-    """Constraint evaluation against the NodeState monitoring table."""
+    """Constraint evaluation against the NodeState monitoring table.
+
+    Safe to run concurrently with request dispatch and the monitoring
+    sweep: every ranking works over a local per-query snapshot of samples
+    (each fetched once from the swap-published NodeState cache), so a
+    sweep landing mid-rank can never mix two hosts' generations within one
+    decision.  The ``rankings``/``stale_samples`` counters are plain ``+=``
+    (observability, near-exact under contention).
+    """
 
     def __init__(
         self,

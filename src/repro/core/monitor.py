@@ -67,8 +67,11 @@ class TimeHits:
         self.failures = 0
         #: callables invoked after every sweep (e.g. the AutoScaler)
         self.post_sweep_hooks: list = []
-        #: cached target list, invalidated by registry writes (None = dirty)
-        self._target_cache: list[str] | None = None
+        #: (heap version, target list) — stamped with the version captured
+        #: *before* the scan, so a topology write landing mid-scan leaves a
+        #: tuple that fails validation (recompute) instead of a stale cache;
+        #: safe to race with request dispatch (None = dirty)
+        self._target_cache: tuple[int, list[str]] | None = None
         registry.store.add_write_listener(self._on_store_write)
         if self.telemetry is not None:
             self.telemetry.register_health_check("node_staleness", self.staleness_check)
@@ -90,8 +93,10 @@ class TimeHits:
         ServiceBinding write (a NodeStatus publish/retire), so the 25 s sweep
         does no registry scan in steady state.
         """
-        if self._target_cache is not None:
-            return list(self._target_cache)
+        cached = self._target_cache
+        version = self.registry.store.version
+        if cached is not None and cached[0] == version:
+            return list(cached[1])
         daos = self.registry.daos
         services = daos.services.find_views_by_name(self.monitor_service_name)
         uris: list[str] = []
@@ -99,7 +104,7 @@ class TimeHits:
             for binding in daos.service_bindings.for_service(service, copy=False):
                 if binding.access_uri and binding.access_uri not in uris:
                     uris.append(binding.access_uri)
-        self._target_cache = uris
+        self._target_cache = (version, uris)
         return list(uris)
 
     # -- collection ---------------------------------------------------------------

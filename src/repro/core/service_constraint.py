@@ -51,7 +51,15 @@ class ConstraintCheck:
 
 
 class ServiceConstraint:
-    """Validates a service's embedded constraints against the current time."""
+    """Validates a service's embedded constraints against the current time.
+
+    Thread-safe without locks: cache entries are *self-validating* — each
+    stores the description (hash + text) it was parsed from and a hit
+    requires content equality, so a fill racing an eviction can at worst
+    re-serve a parse of the exact same text or force a re-parse, never a
+    stale answer.  Wholesale eviction swap-publishes a fresh map.  The
+    hit/miss counters are plain ``+=`` (observability, near-exact).
+    """
 
     def __init__(self, clock: Clock, *, cache: bool = True) -> None:
         self.clock = clock
@@ -93,7 +101,7 @@ class ServiceConstraint:
     def invalidate(self, object_id: str | None = None) -> None:
         """Drop one service's cached parse (or all, with ``None``)."""
         if object_id is None:
-            self._cache.clear()
+            self._cache = {}
         else:
             self._cache.pop(object_id, None)
 

@@ -61,17 +61,19 @@ class StructuredLog:
 
     def find(self, event: str, **fields: Any) -> list[dict[str, Any]]:
         """Records matching the event name and every given field value."""
+        # atomic deque→list capture: emitters may append concurrently
         return [
             r
-            for r in self.records
+            for r in list(self.records)
             if r["event"] == event and all(r.get(k) == v for k, v in fields.items())
         ]
 
     def export_jsonl(self) -> str:
         """Every retained record as JSON lines, oldest first."""
+        records = list(self.records)
         return "\n".join(
-            json.dumps(record, sort_keys=True, default=str) for record in self.records
-        ) + ("\n" if self.records else "")
+            json.dumps(record, sort_keys=True, default=str) for record in records
+        ) + ("\n" if records else "")
 
     def clear(self) -> None:
         self.records.clear()

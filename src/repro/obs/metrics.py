@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from bisect import bisect_left
 from typing import Any, Iterator
 
@@ -89,9 +90,15 @@ class Metric:
         self.help = help
         self.labelnames = tuple(labelnames)
         self._children: dict[LabelValues, Any] = {}
+        self._children_lock = threading.Lock()
 
     def labels(self, **labelvalues: Any):
-        """The child series for one label-value combination (created lazily)."""
+        """The child series for one label-value combination (created lazily).
+
+        Creation is locked so two threads racing on a new series always get
+        the *same* child — a lost duplicate would silently drop every sample
+        recorded into it.  The hit path stays a lock-free dict get.
+        """
         if set(labelvalues) != set(self.labelnames):
             raise ValueError(
                 f"{self.name} requires labels {self.labelnames}, got "
@@ -100,7 +107,10 @@ class Metric:
         key = tuple(str(labelvalues[name]) for name in self.labelnames)
         child = self._children.get(key)
         if child is None:
-            child = self._children[key] = self._new_child()
+            with self._children_lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._new_child()
         return child
 
     def _default_child(self):
@@ -182,18 +192,22 @@ class Gauge(Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
 
     def __init__(self, buckets: tuple[float, ...]) -> None:
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # last slot: > max bucket (+Inf)
         self.sum = 0.0
         self.count = 0
+        # observe is a three-field mutation; concurrent workers push the
+        # request-latency histogram, and sum/count must never tear apart
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative(self) -> list[int]:
         """Cumulative counts per upper bound, +Inf last (exposition shape)."""

@@ -89,11 +89,13 @@ class Telemetry:
         self._sources: dict[str, Callable[[], Any]] = {}
         self._collectors: dict[str, "Collector"] = {}
         self._health_checks: dict[str, Callable[[], Any]] = {}
-        #: pushed by the kernel account stage; everything else is pulled
+        #: pushed by the kernel account stage; everything else is pulled.
+        #: ``worker`` is the serving-worker label ("main" outside the
+        #: supervisor), so fleet latency can be sliced per worker.
         self._request_latency = self.metrics.histogram(
             "repro_request_latency_seconds",
-            "Kernel request latency by edge and operation.",
-            ("edge", "operation"),
+            "Kernel request latency by edge, operation, and serving worker.",
+            ("edge", "operation", "worker"),
         )
 
     # -- sources ---------------------------------------------------------------
@@ -184,7 +186,9 @@ class Telemetry:
         """Account one finished kernel request (called by the account stage)."""
         latency = ctx.latency
         self._request_latency.labels(
-            edge=ctx.edge.name, operation=ctx.operation
+            edge=ctx.edge.name,
+            operation=ctx.operation,
+            worker=ctx.tags.get("worker", "main"),
         ).observe(latency)
         if self.history.enabled:
             self.history.record(f"request.{ctx.edge.name}.latency", latency)

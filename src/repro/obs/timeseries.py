@@ -26,6 +26,7 @@ check when history is disabled.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any
 
@@ -69,10 +70,12 @@ class TimeSeries:
 
     def window(self, since: float) -> list[tuple[float, float]]:
         """Points with ``t >= since``, oldest first."""
-        return [p for p in self.points if p[0] >= since]
+        # atomic deque→list capture: a concurrent recorder must not resize
+        # the ring mid-scan
+        return [p for p in list(self.points) if p[0] >= since]
 
     def values(self, since: float) -> list[float]:
-        return [v for t, v in self.points if t >= since]
+        return [v for t, v in list(self.points) if t >= since]
 
     def last(self) -> tuple[float, float] | None:
         return self.points[-1] if self.points else None
@@ -107,14 +110,24 @@ class TimeSeriesStore:
         #: the instrumentation guard: callers check this before recording
         self.enabled = enabled
         self._series: dict[str, TimeSeries] = {}
+        self._create_lock = threading.Lock()
 
     # -- recording -------------------------------------------------------------
 
     def series(self, name: str) -> TimeSeries:
-        """The named series (created empty on first use)."""
+        """The named series (created empty on first use).
+
+        Creation is locked so two concurrent recorders of a brand-new name
+        share one ring; the steady-state path is a lock-free dict get.
+        """
         series = self._series.get(name)
         if series is None:
-            series = self._series[name] = TimeSeries(name, capacity=self.capacity)
+            with self._create_lock:
+                series = self._series.get(name)
+                if series is None:
+                    series = self._series[name] = TimeSeries(
+                        name, capacity=self.capacity
+                    )
         return series
 
     def record(self, name: str, value: float, *, t: float | None = None) -> None:
@@ -180,13 +193,12 @@ class TimeSeriesStore:
 
     def high_water_marks(self) -> dict[str, int]:
         """Boundedness evidence: series count, fullest ring, total recorded."""
+        all_series = list(self._series.values())
         return {
-            "series": len(self._series),
+            "series": len(all_series),
             "capacity": self.capacity,
-            "max_points": max(
-                (len(s.points) for s in self._series.values()), default=0
-            ),
-            "points_recorded": sum(s.recorded for s in self._series.values()),
+            "max_points": max((len(s.points) for s in all_series), default=0),
+            "points_recorded": sum(s.recorded for s in all_series),
         }
 
     def stats(self) -> dict[str, Any]:

@@ -31,8 +31,10 @@ objects are built while disabled.  Two export formats:
 
 from __future__ import annotations
 
+import itertools
 import json
 import re
+import threading
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -160,7 +162,16 @@ class _NoopContext:
 
 
 class Tracer:
-    """Span-tree builder over one clock; single-threaded, stack-based."""
+    """Span-tree builder over one clock; stack-based, with one active-span
+    stack **per thread**: concurrent requests (the serving workers) each
+    build their own span tree, children nest under their own thread's
+    parent, and finished roots land in the shared bounded deque (appends
+    are atomic).  Trace/span ids come from ``itertools.count`` — one atomic
+    ``next()`` each — so ids stay unique and deterministic under
+    concurrency (interleaving may vary *which* request gets which id, but
+    never duplicates one).  ``spans_recorded`` is a plain counter
+    (observability, near-exact under contention; exact once quiescent).
+    """
 
     def __init__(
         self,
@@ -175,24 +186,33 @@ class Tracer:
         #: distinguishes this tracer's minted ids from its peers' (the id
         #: prefix), e.g. "client" vs "registry" in a cross-hop test
         self.name = name
-        self._stack: list[Span] = []
+        self._tls = threading.local()
         #: finished root spans, oldest dropped beyond ``max_traces``
         self.traces: deque[Span] = deque(maxlen=max_traces)
         self.spans_recorded = 0
         self.traces_started = 0
         self._id_prefix = f"{zlib.crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
-        self._span_seq = 0
+        self._trace_seq = itertools.count(1)
+        self._span_seq = itertools.count(1)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's active-span stack."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     # -- id minting ------------------------------------------------------------
 
     def _new_trace_id(self) -> str:
         """Deterministic 32-hex trace id: tracer-name prefix + trace counter."""
+        seq = next(self._trace_seq)
         self.traces_started += 1
-        return f"{self._id_prefix}{self.traces_started:024x}"
+        return f"{self._id_prefix}{seq:024x}"
 
     def _new_span_id(self) -> str:
-        self._span_seq += 1
-        return f"{self._span_seq:016x}"
+        return f"{next(self._span_seq):016x}"
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -277,6 +297,7 @@ class Tracer:
     # -- accessors -------------------------------------------------------------
 
     def clear(self) -> None:
+        """Drop kept traces and the *calling thread's* active-span stack."""
         self.traces.clear()
         self._stack.clear()
 

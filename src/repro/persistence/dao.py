@@ -188,10 +188,15 @@ class ServiceDAO(GenericDAO):
         super().__init__(store)
         self.binding_dao = binding_dao
         self.resolver: BindingResolver = resolver or DefaultBindingResolver()
-        #: service id → (resolver fingerprint, access URIs) — valid while the
-        #: heap version is unchanged; cleared wholesale when it moves
-        self._uri_cache: dict[str, tuple[object, list[str]]] = {}
-        self._uri_cache_version = -1
+        #: the resolver's fingerprint method, looked up once per install —
+        #: the per-query getattr was measurable on the discovery hot path
+        self._fingerprint = getattr(self.resolver, "fingerprint", None)
+        #: (heap version, {service id → (resolver fingerprint, access URIs)})
+        #: — an atomically-published pair: readers that find the version
+        #: stale swap-publish a fresh map and fill the map they captured, so
+        #: a racing heap write can strand a fill (future miss) but can never
+        #: serve a pre-write answer under the post-write version
+        self._uri_cache: tuple[int, dict[str, tuple[object, list[str]]]] = (-1, {})
         self.uri_cache_hits = 0
         self.uri_cache_misses = 0
         #: optional telemetry tracer; spans the (cache-miss) resolve path only
@@ -199,7 +204,8 @@ class ServiceDAO(GenericDAO):
 
     def set_resolver(self, resolver: BindingResolver) -> None:
         self.resolver = resolver
-        self._uri_cache.clear()
+        self._fingerprint = getattr(resolver, "fingerprint", None)
+        self._uri_cache = (-1, {})
 
     def resolve_bindings(self, service: Service, *, copy: bool = True) -> list[ServiceBinding]:
         """Bindings for discovery, post-resolver (the registry's answer).
@@ -233,18 +239,20 @@ class ServiceDAO(GenericDAO):
         sample landed and the clock minute is the same.  A resolver without
         a ``fingerprint`` method disables the cache.
         """
-        fingerprint = getattr(self.resolver, "fingerprint", None)
+        fingerprint = self._fingerprint
         if fingerprint is None:
             return [
                 b.access_uri
                 for b in self.resolve_bindings(service, copy=False)
                 if b.access_uri
             ]
-        if self._uri_cache_version != self.store.version:
-            self._uri_cache.clear()
-            self._uri_cache_version = self.store.version
+        heap_version = self.store.version
+        cached_version, cache = self._uri_cache
+        if cached_version != heap_version:
+            cache = {}
+            self._uri_cache = (heap_version, cache)
         token = fingerprint()
-        cached = self._uri_cache.get(service.id)
+        cached = cache.get(service.id)
         if cached is not None and cached[0] == token:
             self.uri_cache_hits += 1
             return list(cached[1])
@@ -254,7 +262,9 @@ class ServiceDAO(GenericDAO):
             for b in self.resolve_bindings(service, copy=False)
             if b.access_uri
         ]
-        self._uri_cache[service.id] = (token, uris)
+        # fill the captured map: if the heap moved meanwhile, this entry is
+        # stranded in an abandoned generation rather than poisoning the new one
+        cache[service.id] = (token, uris)
         return list(uris)
 
     def uri_cache_stats(self) -> dict[str, int]:
@@ -262,7 +272,7 @@ class ServiceDAO(GenericDAO):
         return {
             "hits": self.uri_cache_hits,
             "misses": self.uri_cache_misses,
-            "entries": len(self._uri_cache),
+            "entries": len(self._uri_cache[1]),
         }
 
 

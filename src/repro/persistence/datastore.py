@@ -19,15 +19,42 @@ which return the stored instances without the per-object ``copy()``; views
 are read-only by contract — all writes still go through
 ``insert_object``/``save_object``/``delete_object`` copy-on-write.
 
+Concurrency model (the serving core's substrate):
+
+* **single writer lock** — every mutator runs under :attr:`_lock`; writers
+  never block readers and readers never take the lock;
+* **atomically published index generations** — all iterable index state
+  lives in one immutable :class:`HeapIndexes` value.  Writers build new
+  (partition-level copy-on-write) containers and publish them with a single
+  attribute store, so a reader that captured ``self._indexes`` sees one
+  self-consistent generation end to end: no list resized mid-iteration, no
+  "set changed size", no mixed-generation id lists;
+* **stored-object immutability** — the heap never mutates a stored instance
+  in place (``save_object`` stores a fresh copy), so any object a reader
+  holds is internally consistent forever;
+* **pinned snapshots** — :meth:`pin_snapshot` returns a
+  :class:`HeapSnapshot` whose index generation is frozen and whose replaced/
+  deleted objects are preserved by writers into a per-snapshot pre-image
+  overlay (copy-on-write *to the past*).  Iterating a pinned snapshot is
+  repeatable and torn-free while it stays pinned, at zero cost to readers
+  and O(active pins) cost to the rare write.
+
+Unpinned reads are lock-free and see the latest committed state; they are
+individually consistent (each call runs over one published generation) but
+two successive calls may span a write.  Multi-step read transactions pin.
+
 Write listeners (``add_write_listener``) observe every heap mutation —
 including transaction rollback — so caches layered above the store
-(constraint cache, monitor target list) invalidate without polling.
+(constraint cache, monitor target list) invalidate without polling; they
+run under the writer lock, making invalidation atomic with publication.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+import threading
+from bisect import bisect_left
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.persistence.table import Row, Table
@@ -42,30 +69,168 @@ from repro.util.errors import (
 #: ``(None, None)`` means "anything may have changed" (transaction rollback).
 WriteListener = Callable[[str | None, str | None], None]
 
+_EMPTY_IDS: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class HeapIndexes:
+    """One atomically-published generation of the heap's index state.
+
+    Every container reachable from an instance is immutable (or replaced,
+    never mutated, by writers), so readers capture ``store._indexes`` once
+    and iterate without locks or torn state.
+    """
+
+    version: int
+    #: type name → ids of that type (membership probes)
+    by_type: dict[str, frozenset[str]]
+    #: type name → ids in sorted order (ordered partition scans)
+    sorted_ids: dict[str, tuple[str, ...]]
+    #: type name → name value → ids (exact-name lookups)
+    by_name: dict[str, dict[str, frozenset[str]]]
+    #: type name → distinct name values in sorted order (prefix range scans)
+    sorted_names: dict[str, tuple[str, ...]]
+
+
+def _tuple_insert(values: tuple[str, ...], value: str) -> tuple[str, ...]:
+    pos = bisect_left(values, value)
+    return values[:pos] + (value,) + values[pos:]
+
+
+def _tuple_remove(values: tuple[str, ...], value: str) -> tuple[str, ...]:
+    pos = bisect_left(values, value)
+    if pos < len(values) and values[pos] == value:
+        return values[:pos] + values[pos + 1 :]
+    return values
+
+
+class HeapSnapshot:
+    """A pinned, immutable point-in-time view of the object heap.
+
+    While pinned, writers preserve the pre-image of every object they
+    replace or delete into this snapshot's overlay, so index-driven reads
+    (``objects_of_type``, ``find_views_by_name``, …) always resolve exactly
+    the objects of the pinned generation — repeatably, with no torn state.
+
+    One documented relaxation: a *point* lookup (:meth:`get_view`) of an id
+    that did not exist at pin time may observe an object inserted later
+    (the flat heap map is shared, not copied).  Index-driven iteration never
+    does — post-pin inserts are absent from the pinned index generation.
+
+    Use as a context manager (or call :meth:`release`); reads after release
+    lose the pre-image guarantee.
+    """
+
+    __slots__ = ("_store", "_indexes", "_objects", "_overlay", "released")
+
+    def __init__(self, store: "DataStore") -> None:
+        self._store = store
+        self._indexes: HeapIndexes = store._indexes
+        self._objects = store._objects
+        #: object id → pre-image, filled by writers while this pin is live
+        self._overlay: dict[str, RegistryObject] = {}
+        self.released = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        """Unpin: writers stop preserving pre-images for this snapshot."""
+        if not self.released:
+            self.released = True
+            self._store._unpin(self)
+
+    def __enter__(self) -> "HeapSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._indexes.version
+
+    def get_view(self, object_id: str) -> RegistryObject | None:
+        """The object as of the pinned generation (read-only, no copy)."""
+        obj = self._overlay.get(object_id)
+        if obj is None:
+            obj = self._objects.get(object_id)
+        return obj
+
+    def contains(self, object_id: str) -> bool:
+        """Membership *as of the pinned generation* (index-driven)."""
+        obj = self.get_view(object_id)
+        if obj is None:
+            return False
+        return object_id in self._indexes.by_type.get(obj.type_name, _EMPTY_IDS)
+
+    def type_names(self) -> list[str]:
+        return sorted(
+            name for name, ids in self._indexes.by_type.items() if ids
+        )
+
+    def ids_of_type(self, type_name: str) -> tuple[str, ...]:
+        return self._indexes.sorted_ids.get(type_name, ())
+
+    def iter_views_of_type(self, type_name: str) -> Iterator[RegistryObject]:
+        """Pinned-generation objects of one class in id order (no copies)."""
+        for object_id in self._indexes.sorted_ids.get(type_name, ()):
+            obj = self.get_view(object_id)
+            if obj is not None:
+                yield obj
+
+    def objects_of_type(self, type_name: str) -> list[RegistryObject]:
+        return [o.copy() for o in self.iter_views_of_type(type_name)]
+
+    def find_ids_by_name(self, type_name: str, name: str) -> list[str]:
+        bucket = self._indexes.by_name.get(type_name, {}).get(name)
+        return sorted(bucket) if bucket else []
+
+    def find_views_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
+        out = []
+        for object_id in self.find_ids_by_name(type_name, name):
+            obj = self.get_view(object_id)
+            if obj is not None:
+                out.append(obj)
+        return out
+
+    def count(self, type_name: str | None = None) -> int:
+        if type_name is None:
+            return sum(len(ids) for ids in self._indexes.by_type.values())
+        return len(self._indexes.by_type.get(type_name, ()))
+
 
 class DataStore:
     """In-memory persistence for one registry instance."""
 
     def __init__(self) -> None:
-        #: id → stored object (the store owns these; accessors get copies)
+        #: id → stored object.  Mutated only by writers (single-key atomic
+        #: operations); stored instances are never modified in place, and
+        #: pre-images of replaced/deleted entries go to pinned snapshots.
         self._objects: dict[str, RegistryObject] = {}
-        #: type name → set of ids (virtual-table partitions)
-        self._by_type: dict[str, set[str]] = {}
-        #: type name → ids in sorted order (maintained incrementally)
-        self._sorted_ids: dict[str, list[str]] = {}
-        #: type name → name value → set of ids
-        self._by_name: dict[str, dict[str, set[str]]] = {}
-        #: type name → distinct name values in sorted order (prefix scans)
-        self._sorted_names: dict[str, list[str]] = {}
+        #: the atomically-published immutable index generation
+        self._indexes = HeapIndexes(
+            version=0, by_type={}, sorted_ids={}, by_name={}, sorted_names={}
+        )
         self._tables: dict[str, Table] = {}
-        #: monotonic heap-write counter (bumped by every write and rollback);
-        #: caches layered on the heap validate against it cheaply instead of
-        #: subscribing a listener
-        self.version = 0
         self._listeners: list[WriteListener] = []
+        #: the single writer lock (re-entrant: transactions nest mutators)
+        self._lock = threading.RLock()
+        self._pins: list[HeapSnapshot] = []
         self._txn_depth = 0
         self._txn_object_snapshot: dict[str, RegistryObject] | None = None
         self._txn_table_snapshots: dict[str, dict[Any, Row]] | None = None
+        # concurrency counters (the serving core's telemetry surface)
+        self.writes = 0
+        self.write_lock_contended = 0
+        self.snapshots_pinned = 0
+        self.preimages_preserved = 0
+        #: monotonic heap-write counter, a plain-attribute mirror of
+        #: ``_indexes.version`` (kept in sync by ``_publish`` under the
+        #: writer lock) — caches validate against it on every discovery
+        #: query, so it must cost one attribute read, not a property call
+        self.version = 0
 
     # -- relational tables ---------------------------------------------------
 
@@ -77,11 +242,12 @@ class DataStore:
         primary_key: str,
         indexes: list[str] | None = None,
     ) -> Table:
-        if name in self._tables:
-            raise InvalidRequestError(f"table already exists: {name!r}")
-        table = Table(name, columns, primary_key=primary_key, indexes=indexes or ())
-        self._tables[name] = table
-        return table
+        with self._write():
+            if name in self._tables:
+                raise InvalidRequestError(f"table already exists: {name!r}")
+            table = Table(name, columns, primary_key=primary_key, indexes=indexes or ())
+            self._tables[name] = table
+            return table
 
     def table(self, name: str) -> Table:
         try:
@@ -91,6 +257,19 @@ class DataStore:
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
+
+    # -- write lock ------------------------------------------------------------
+
+    @contextmanager
+    def _write(self) -> Iterator[None]:
+        """Acquire the writer lock, counting contended acquisitions."""
+        if not self._lock.acquire(blocking=False):
+            self.write_lock_contended += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
 
     # -- write listeners -----------------------------------------------------
 
@@ -103,92 +282,178 @@ class DataStore:
             self._listeners.remove(listener)
 
     def _notify(self, type_name: str | None, object_id: str | None) -> None:
-        self.version += 1
+        self.writes += 1
         for listener in self._listeners:
             listener(type_name, object_id)
 
-    # -- secondary index maintenance -----------------------------------------
+    # -- snapshot pinning ------------------------------------------------------
 
-    def _index_add(self, obj: RegistryObject) -> None:
-        type_name = obj.type_name
-        self._by_type.setdefault(type_name, set()).add(obj.id)
-        insort(self._sorted_ids.setdefault(type_name, []), obj.id)
-        self._name_index_add(type_name, obj.name.value, obj.id)
+    def pin_snapshot(self) -> HeapSnapshot:
+        """Pin the current generation for torn-free multi-step reads.
 
-    def _index_remove(self, obj: RegistryObject) -> None:
-        type_name = obj.type_name
-        self._by_type.get(type_name, set()).discard(obj.id)
-        ids = self._sorted_ids.get(type_name)
-        if ids is not None:
-            pos = bisect_left(ids, obj.id)
-            if pos < len(ids) and ids[pos] == obj.id:
-                ids.pop(pos)
-        self._name_index_remove(type_name, obj.name.value, obj.id)
+        Pinning takes the writer lock briefly (registration must not race a
+        concurrent publication); all reads through the returned snapshot are
+        then lock-free.  Release promptly — writers pay O(active pins) per
+        replaced/deleted object.
+        """
+        with self._write():
+            snapshot = HeapSnapshot(self)
+            self._pins.append(snapshot)
+            self.snapshots_pinned += 1
+            return snapshot
 
-    def _name_index_add(self, type_name: str, name: str, object_id: str) -> None:
-        names = self._by_name.setdefault(type_name, {})
-        bucket = names.get(name)
+    def _unpin(self, snapshot: HeapSnapshot) -> None:
+        with self._write():
+            if snapshot in self._pins:
+                self._pins.remove(snapshot)
+
+    def _preserve(self, object_id: str, old: RegistryObject) -> None:
+        """Record a pre-image into every live pinned snapshot (writer-side)."""
+        for snapshot in self._pins:
+            if object_id not in snapshot._overlay:
+                snapshot._overlay[object_id] = old
+                self.preimages_preserved += 1
+
+    def concurrency_stats(self) -> dict[str, int]:
+        """Writer-lock / snapshot counters (the telemetry surface)."""
+        return {
+            "version": self.version,
+            "writes": self.writes,
+            "write_lock_contended": self.write_lock_contended,
+            "snapshots_pinned": self.snapshots_pinned,
+            "active_pins": len(self._pins),
+            "preimages_preserved": self.preimages_preserved,
+        }
+
+    # -- index publication (writer-side, under the lock) -----------------------
+
+    def _publish(
+        self,
+        by_type: dict[str, frozenset[str]],
+        sorted_ids: dict[str, tuple[str, ...]],
+        by_name: dict[str, dict[str, frozenset[str]]],
+        sorted_names: dict[str, tuple[str, ...]],
+    ) -> None:
+        self._indexes = HeapIndexes(
+            version=self._indexes.version + 1,
+            by_type=by_type,
+            sorted_ids=sorted_ids,
+            by_name=by_name,
+            sorted_names=sorted_names,
+        )
+        self.version = self._indexes.version
+
+    def _builders(self):
+        """Shallow outer-dict copies of the current generation's indexes."""
+        idx = self._indexes
+        return (
+            dict(idx.by_type),
+            dict(idx.sorted_ids),
+            dict(idx.by_name),
+            dict(idx.sorted_names),
+        )
+
+    @staticmethod
+    def _builder_add(
+        by_type, sorted_ids, by_name, sorted_names, type_name: str, name: str, oid: str
+    ) -> None:
+        by_type[type_name] = by_type.get(type_name, _EMPTY_IDS) | {oid}
+        sorted_ids[type_name] = _tuple_insert(sorted_ids.get(type_name, ()), oid)
+        buckets = dict(by_name.get(type_name, {}))
+        bucket = buckets.get(name)
         if bucket is None:
-            names[name] = {object_id}
-            insort(self._sorted_names.setdefault(type_name, []), name)
+            buckets[name] = frozenset((oid,))
+            sorted_names[type_name] = _tuple_insert(
+                sorted_names.get(type_name, ()), name
+            )
         else:
-            bucket.add(object_id)
+            buckets[name] = bucket | {oid}
+        by_name[type_name] = buckets
 
-    def _name_index_remove(self, type_name: str, name: str, object_id: str) -> None:
-        names = self._by_name.get(type_name)
-        if names is None:
-            return
-        bucket = names.get(name)
-        if bucket is None:
-            return
-        bucket.discard(object_id)
-        if not bucket:
-            del names[name]
-            keys = self._sorted_names.get(type_name)
-            if keys is not None:
-                pos = bisect_left(keys, name)
-                if pos < len(keys) and keys[pos] == name:
-                    keys.pop(pos)
+    @staticmethod
+    def _builder_remove(
+        by_type, sorted_ids, by_name, sorted_names, type_name: str, name: str, oid: str
+    ) -> None:
+        by_type[type_name] = by_type.get(type_name, _EMPTY_IDS) - {oid}
+        sorted_ids[type_name] = _tuple_remove(sorted_ids.get(type_name, ()), oid)
+        buckets = dict(by_name.get(type_name, {}))
+        bucket = buckets.get(name)
+        if bucket is not None:
+            bucket = bucket - {oid}
+            if bucket:
+                buckets[name] = bucket
+            else:
+                del buckets[name]
+                sorted_names[type_name] = _tuple_remove(
+                    sorted_names.get(type_name, ()), name
+                )
+        by_name[type_name] = buckets
 
-    def _rebuild_indexes(self) -> None:
-        self._by_type = {}
-        self._sorted_ids = {}
-        self._by_name = {}
-        self._sorted_names = {}
+    def _rebuilt_indexes(self) -> None:
+        """Recompute and publish every index from the live heap (rollback)."""
+        by_type: dict[str, frozenset[str]] = {}
+        sorted_ids: dict[str, tuple[str, ...]] = {}
+        by_name: dict[str, dict[str, frozenset[str]]] = {}
+        sorted_names: dict[str, tuple[str, ...]] = {}
+        grouped: dict[str, list[RegistryObject]] = {}
         for obj in self._objects.values():
-            self._index_add(obj)
+            grouped.setdefault(obj.type_name, []).append(obj)
+        for type_name, objs in grouped.items():
+            objs.sort(key=lambda o: o.id)
+            by_type[type_name] = frozenset(o.id for o in objs)
+            sorted_ids[type_name] = tuple(o.id for o in objs)
+            names: dict[str, set[str]] = {}
+            for obj in objs:
+                names.setdefault(obj.name.value, set()).add(obj.id)
+            by_name[type_name] = {n: frozenset(ids) for n, ids in names.items()}
+            sorted_names[type_name] = tuple(sorted(names))
+        self._publish(by_type, sorted_ids, by_name, sorted_names)
 
     # -- object heap ---------------------------------------------------------
 
     def insert_object(self, obj: RegistryObject) -> None:
-        if obj.id in self._objects:
-            raise ObjectExistsError(obj.id)
-        stored = obj.copy()
-        self._objects[obj.id] = stored
-        self._index_add(stored)
-        self._notify(stored.type_name, stored.id)
+        with self._write():
+            if obj.id in self._objects:
+                raise ObjectExistsError(obj.id)
+            stored = obj.copy()
+            builders = self._builders()
+            self._builder_add(
+                *builders, stored.type_name, stored.name.value, stored.id
+            )
+            self._objects[obj.id] = stored
+            self._publish(*builders)
+            self._notify(stored.type_name, stored.id)
 
     def save_object(self, obj: RegistryObject) -> None:
         """Insert-or-replace; type changes for an existing id are rejected."""
-        existing = self._objects.get(obj.id)
-        if existing is not None and type(existing) is not type(obj):
-            raise InvalidRequestError(
-                f"object {obj.id} cannot change type "
-                f"{existing.type_name} → {obj.type_name}"
-            )
-        stored = obj.copy()
-        if existing is not None:
-            # id and type are unchanged; only the name index may move.
-            old_name = existing.name.value
-            new_name = stored.name.value
-            if old_name != new_name:
-                self._name_index_remove(stored.type_name, old_name, stored.id)
-                self._name_index_add(stored.type_name, new_name, stored.id)
+        with self._write():
+            existing = self._objects.get(obj.id)
+            if existing is not None and type(existing) is not type(obj):
+                raise InvalidRequestError(
+                    f"object {obj.id} cannot change type "
+                    f"{existing.type_name} → {obj.type_name}"
+                )
+            stored = obj.copy()
+            builders = self._builders()
+            if existing is not None:
+                # id and type are unchanged; only the name index may move.
+                old_name = existing.name.value
+                new_name = stored.name.value
+                if old_name != new_name:
+                    self._builder_remove(
+                        *builders, stored.type_name, old_name, stored.id
+                    )
+                    self._builder_add(
+                        *builders, stored.type_name, new_name, stored.id
+                    )
+                self._preserve(obj.id, existing)
+            else:
+                self._builder_add(
+                    *builders, stored.type_name, stored.name.value, stored.id
+                )
             self._objects[obj.id] = stored
-        else:
-            self._objects[obj.id] = stored
-            self._index_add(stored)
-        self._notify(stored.type_name, stored.id)
+            self._publish(*builders)
+            self._notify(stored.type_name, stored.id)
 
     def get_object(self, object_id: str) -> RegistryObject | None:
         obj = self._objects.get(object_id)
@@ -209,23 +474,39 @@ class DataStore:
         return obj
 
     def delete_object(self, object_id: str) -> None:
-        obj = self._objects.pop(object_id, None)
-        if obj is None:
-            raise ObjectNotFoundError(object_id)
-        self._index_remove(obj)
-        self._notify(obj.type_name, object_id)
+        with self._write():
+            obj = self._objects.get(object_id)
+            if obj is None:
+                raise ObjectNotFoundError(object_id)
+            builders = self._builders()
+            self._builder_remove(
+                *builders, obj.type_name, obj.name.value, obj.id
+            )
+            self._preserve(object_id, obj)
+            del self._objects[object_id]
+            self._publish(*builders)
+            self._notify(obj.type_name, object_id)
 
     def contains(self, object_id: str) -> bool:
         return object_id in self._objects
 
     def objects_of_type(self, type_name: str) -> list[RegistryObject]:
         """All stored objects of one ebRIM class (copies), in id order."""
-        return [self._objects[i].copy() for i in self._sorted_ids.get(type_name, ())]
+        objects = self._objects
+        out = []
+        for object_id in self._indexes.sorted_ids.get(type_name, ()):
+            obj = objects.get(object_id)
+            if obj is not None:
+                out.append(obj.copy())
+        return out
 
     def iter_views_of_type(self, type_name: str) -> Iterator[RegistryObject]:
         """Stored objects of one class in id order — read-only, no copies."""
         objects = self._objects
-        return (objects[i] for i in self._sorted_ids.get(type_name, ()))
+        for object_id in self._indexes.sorted_ids.get(type_name, ()):
+            obj = objects.get(object_id)
+            if obj is not None:
+                yield obj
 
     def select_objects(
         self,
@@ -241,15 +522,23 @@ class DataStore:
 
     def find_ids_by_name(self, type_name: str, name: str) -> list[str]:
         """Ids of objects of *type_name* whose name equals *name* (sorted)."""
-        bucket = self._by_name.get(type_name, {}).get(name)
+        bucket = self._indexes.by_name.get(type_name, {}).get(name)
         return sorted(bucket) if bucket else []
 
     def find_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
-        return [self._objects[i].copy() for i in self.find_ids_by_name(type_name, name)]
+        return [
+            obj.copy()
+            for i in self.find_ids_by_name(type_name, name)
+            if (obj := self._objects.get(i)) is not None
+        ]
 
     def find_views_by_name(self, type_name: str, name: str) -> list[RegistryObject]:
         """Read-only variant of :meth:`find_by_name` (no copies)."""
-        return [self._objects[i] for i in self.find_ids_by_name(type_name, name)]
+        return [
+            obj
+            for i in self.find_ids_by_name(type_name, name)
+            if (obj := self._objects.get(i)) is not None
+        ]
 
     def find_ids_by_names(self, type_name: str, names: Iterable[str]) -> list[str]:
         """Ids of objects of *type_name* whose name is any of *names* (sorted).
@@ -257,7 +546,7 @@ class DataStore:
         The query planner's ``name IN (...)`` probe: one bucket lookup per
         name instead of a partition scan.
         """
-        buckets = self._by_name.get(type_name)
+        buckets = self._indexes.by_name.get(type_name)
         if not buckets:
             return []
         out: set[str] = set()
@@ -275,39 +564,49 @@ class DataStore:
         The query planner's id-equality / ``id IN (...)`` probe: set
         intersection against the type partition, never a scan.
         """
-        bucket = self._by_type.get(type_name)
+        bucket = self._indexes.by_type.get(type_name)
         if not bucket:
             return []
         return sorted(bucket.intersection(candidate_ids))
 
     def find_ids_by_name_prefix(self, type_name: str, prefix: str) -> list[str]:
         """Ids of objects whose name starts with *prefix*, via a range scan."""
-        keys = self._sorted_names.get(type_name, [])
-        names = self._by_name.get(type_name, {})
+        idx = self._indexes
+        keys = idx.sorted_names.get(type_name, ())
+        names = idx.by_name.get(type_name, {})
         out: list[str] = []
         for pos in range(bisect_left(keys, prefix), len(keys)):
             key = keys[pos]
             if not key.startswith(prefix):
                 break
-            out.extend(names[key])
+            out.extend(names.get(key, ()))
         return sorted(out)
 
     def find_by_name_prefix(self, type_name: str, prefix: str) -> list[RegistryObject]:
         return [
-            self._objects[i].copy()
+            obj.copy()
             for i in self.find_ids_by_name_prefix(type_name, prefix)
+            if (obj := self._objects.get(i)) is not None
         ]
 
     def all_ids(self) -> list[str]:
-        return sorted(self._objects)
+        # derived from the published generation, not the mutable heap map,
+        # so the result is one consistent membership list
+        out: list[str] = []
+        for ids in self._indexes.sorted_ids.values():
+            out.extend(ids)
+        out.sort()
+        return out
 
     def count(self, type_name: str | None = None) -> int:
         if type_name is None:
             return len(self._objects)
-        return len(self._by_type.get(type_name, ()))
+        return len(self._indexes.by_type.get(type_name, ()))
 
     def type_names(self) -> list[str]:
-        return sorted(name for name, ids in self._by_type.items() if ids)
+        return sorted(
+            name for name, ids in self._indexes.by_type.items() if ids
+        )
 
     # -- transactions ----------------------------------------------------------
 
@@ -316,34 +615,41 @@ class DataStore:
         """Commit on success, roll back object heap *and* tables on error.
 
         Nested transactions join the outermost one (savepoints are not
-        needed by the registry's request granularity).
+        needed by the registry's request granularity).  The writer lock is
+        held for the whole transaction — writers serialize, readers keep
+        reading published generations (including the transaction's own
+        intermediate publications, exactly as before).
         """
-        if self._txn_depth == 0:
-            self._txn_object_snapshot = {
-                oid: obj.copy() for oid, obj in self._objects.items()
-            }
-            self._txn_table_snapshots = {
-                name: table.snapshot() for name, table in self._tables.items()
-            }
-        self._txn_depth += 1
-        try:
-            yield self
-        except BaseException:
-            self._txn_depth -= 1
+        with self._write():
             if self._txn_depth == 0:
-                self._rollback()
-            raise
-        else:
-            self._txn_depth -= 1
-            if self._txn_depth == 0:
-                self._txn_object_snapshot = None
-                self._txn_table_snapshots = None
+                self._txn_object_snapshot = {
+                    oid: obj.copy() for oid, obj in self._objects.items()
+                }
+                self._txn_table_snapshots = {
+                    name: table.snapshot() for name, table in self._tables.items()
+                }
+            self._txn_depth += 1
+            try:
+                yield self
+            except BaseException:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._rollback()
+                raise
+            else:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._txn_object_snapshot = None
+                    self._txn_table_snapshots = None
 
     def _rollback(self) -> None:
         assert self._txn_object_snapshot is not None
         assert self._txn_table_snapshots is not None
+        # replacing the heap map wholesale abandons the transaction's map to
+        # any snapshot pinned before/within the transaction: their reads keep
+        # resolving against it (plus their pre-image overlays), untouched
         self._objects = self._txn_object_snapshot
-        self._rebuild_indexes()
+        self._rebuilt_indexes()
         for name, snapshot in self._txn_table_snapshots.items():
             if name in self._tables:
                 self._tables[name].restore(snapshot)

@@ -9,6 +9,7 @@ which is exactly ``record_sample``'s upsert.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.persistence.datastore import DataStore
@@ -59,6 +60,14 @@ class NodeStateStore:
     the discovery path does no row copying or dataclass construction between
     monitoring sweeps — and stays correct across direct table writes,
     transaction rollback, and other facade instances over the same table.
+
+    Concurrency: the cache is a ``(version, map)`` pair published by a single
+    attribute store.  A reader that finds the pair stale swap-publishes a
+    fresh map; fills always land in the map captured *at validation time*, so
+    a racing write can at worst strand a fill in an abandoned map (a future
+    cache miss) — it can never surface a stale sample under a new version.
+    Writers serialize on a small lock so a sweep (:class:`TimeHits`) and the
+    ranking path can run concurrently with request dispatch.
     """
 
     def __init__(self, store: DataStore) -> None:
@@ -70,8 +79,9 @@ class NodeStateStore:
                 ["HOST", "LOAD", "MEMORY", "SWAPMEMORY", "UPDATED"],
                 primary_key="HOST",
             )
-        self._samples: dict[str, NodeSample] = {}
-        self._samples_version = -1
+        #: (table mutation counter, sample map) — replaced, never cleared
+        self._cache: tuple[int, dict[str, NodeSample]] = (-1, {})
+        self._write_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -79,16 +89,19 @@ class NodeStateStore:
         return self._table.mutations
 
     def _sample_cache(self) -> dict[str, NodeSample]:
-        if self._samples_version != self._table.mutations:
-            self._samples.clear()
-            self._samples_version = self._table.mutations
-        return self._samples
+        version = self._table.mutations
+        cached_version, samples = self._cache
+        if cached_version != version:
+            samples = {}
+            self._cache = (version, samples)
+        return samples
 
     def record_sample(self, sample: NodeSample) -> None:
         """Store the latest sample for a host (overwrites the previous row)."""
-        self._table.upsert(sample.as_row())
-        # prime the cache post-write (the version sync clears stale entries)
-        self._sample_cache()[sample.host] = sample
+        with self._write_lock:
+            self._table.upsert(sample.as_row())
+            # prime a fresh cache generation paired with the post-write version
+            self._cache = (self._table.mutations, {sample.host: sample})
 
     def get(self, host: str) -> NodeSample | None:
         cache = self._sample_cache()
@@ -102,8 +115,9 @@ class NodeStateStore:
         return sample
 
     def remove(self, host: str) -> None:
-        if host in self._table:
-            self._table.delete(host)
+        with self._write_lock:
+            if host in self._table:
+                self._table.delete(host)
 
     def hosts(self) -> list[str]:
         return sorted(self._table.keys())

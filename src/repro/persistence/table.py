@@ -11,6 +11,7 @@ query engine.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.util.errors import InvalidRequestError, ObjectExistsError, ObjectNotFoundError
@@ -20,7 +21,14 @@ Predicate = Callable[[Row], bool]
 
 
 class Table:
-    """A named table with a primary key and optional secondary indexes."""
+    """A named table with a primary key and optional secondary indexes.
+
+    Concurrency: mutators serialize on a per-table lock (multi-step index
+    maintenance must not interleave); point reads are lock-free single dict
+    operations, and scans capture ``list(self._rows.values())`` — one atomic
+    C-level copy under the GIL — before iterating, so a concurrent writer can
+    never resize the dict mid-scan.
+    """
 
     def __init__(
         self,
@@ -42,6 +50,7 @@ class Table:
         self.mutations = 0
         self._rows: dict[Any, Row] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        self._lock = threading.Lock()
         for column in indexes:
             self.add_index(column)
 
@@ -51,10 +60,11 @@ class Table:
         """Create a secondary (non-unique) index over *column*."""
         if column not in self.columns:
             raise InvalidRequestError(f"no column {column!r} in table {self.name!r}")
-        index: dict[Any, set[Any]] = {}
-        for key, row in self._rows.items():
-            index.setdefault(row.get(column), set()).add(key)
-        self._indexes[column] = index
+        with self._lock:
+            index: dict[Any, set[Any]] = {}
+            for key, row in self._rows.items():
+                index.setdefault(row.get(column), set()).add(key)
+            self._indexes[column] = index
 
     def _check_row(self, row: Row) -> Row:
         unknown = set(row) - set(self.columns)
@@ -75,28 +85,30 @@ class Table:
         """Insert a new row; duplicate primary key raises ObjectExistsError."""
         row = self._check_row(row)
         key = row[self.primary_key]
-        if key in self._rows:
-            raise ObjectExistsError(str(key), f"duplicate key in {self.name!r}: {key!r}")
-        self._rows[key] = row
-        self._index_add(key, row)
-        self.mutations += 1
+        with self._lock:
+            if key in self._rows:
+                raise ObjectExistsError(
+                    str(key), f"duplicate key in {self.name!r}: {key!r}"
+                )
+            self._rows[key] = row
+            self._index_add(key, row)
+            self.mutations += 1
 
     def upsert(self, row: Row) -> bool:
         """Insert-or-replace; returns True if a row was replaced."""
         row = self._check_row(row)
         key = row[self.primary_key]
-        existed = key in self._rows
-        if existed:
-            self._index_remove(key, self._rows[key])
-        self._rows[key] = row
-        self._index_add(key, row)
-        self.mutations += 1
-        return existed
+        with self._lock:
+            existed = key in self._rows
+            if existed:
+                self._index_remove(key, self._rows[key])
+            self._rows[key] = row
+            self._index_add(key, row)
+            self.mutations += 1
+            return existed
 
     def update(self, key: Any, changes: Row) -> Row:
         """Apply a partial update to the row with primary key *key*."""
-        if key not in self._rows:
-            raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
         unknown = set(changes) - set(self.columns)
         if unknown:
             raise InvalidRequestError(
@@ -104,26 +116,31 @@ class Table:
             )
         if changes.get(self.primary_key, key) != key:
             raise InvalidRequestError("primary key updates are not supported")
-        old = self._rows[key]
-        self._index_remove(key, old)
-        new = {**old, **changes}
-        self._rows[key] = new
-        self._index_add(key, new)
-        self.mutations += 1
-        return dict(new)
+        with self._lock:
+            if key not in self._rows:
+                raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
+            old = self._rows[key]
+            self._index_remove(key, old)
+            new = {**old, **changes}
+            self._rows[key] = new
+            self._index_add(key, new)
+            self.mutations += 1
+            return dict(new)
 
     def delete(self, key: Any) -> None:
-        if key not in self._rows:
-            raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
-        self._index_remove(key, self._rows[key])
-        del self._rows[key]
-        self.mutations += 1
+        with self._lock:
+            if key not in self._rows:
+                raise ObjectNotFoundError(str(key), f"no row {key!r} in {self.name!r}")
+            self._index_remove(key, self._rows[key])
+            del self._rows[key]
+            self.mutations += 1
 
     def clear(self) -> None:
-        self._rows.clear()
-        for index in self._indexes.values():
-            index.clear()
-        self.mutations += 1
+        with self._lock:
+            self._rows.clear()
+            for index in self._indexes.values():
+                index.clear()
+            self.mutations += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -147,15 +164,21 @@ class Table:
 
     def select(self, predicate: Predicate | None = None) -> list[Row]:
         """Return copies of all rows matching *predicate* (all rows if None)."""
+        rows = list(self._rows.values())  # atomic capture; iterate the copy
         if predicate is None:
-            return [dict(row) for row in self._rows.values()]
-        return [dict(row) for row in self._rows.values() if predicate(row)]
+            return [dict(row) for row in rows]
+        return [dict(row) for row in rows if predicate(row)]
 
     def select_eq(self, column: str, value: Any) -> list[Row]:
         """Equality select, using the secondary index when one exists."""
         index = self._indexes.get(column)
         if index is not None:
-            return [dict(self._rows[key]) for key in sorted(index.get(value, ()), key=str)]
+            rows = self._rows
+            return [
+                dict(row)
+                for key in sorted(index.get(value, ()), key=str)
+                if (row := rows.get(key)) is not None
+            ]
         return self.select(lambda row: row.get(column) == value)
 
     def keys(self) -> list[Any]:
@@ -165,7 +188,7 @@ class Table:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter([dict(row) for row in self._rows.values()])
+        return iter([dict(row) for row in list(self._rows.values())])
 
     def __contains__(self, key: Any) -> bool:
         return key in self._rows
@@ -174,15 +197,20 @@ class Table:
 
     def snapshot(self) -> dict[Any, Row]:
         """Cheap copy of table state for transaction rollback."""
-        return {key: dict(row) for key, row in self._rows.items()}
+        with self._lock:
+            return {key: dict(row) for key, row in self._rows.items()}
 
     def restore(self, snapshot: dict[Any, Row]) -> None:
-        self._rows = {key: dict(row) for key, row in snapshot.items()}
-        self.mutations += 1
-        columns = list(self._indexes)
-        self._indexes.clear()
-        for column in columns:
-            self.add_index(column)
+        with self._lock:
+            self._rows = {key: dict(row) for key, row in snapshot.items()}
+            self.mutations += 1
+            columns = list(self._indexes)
+            self._indexes.clear()
+            for column in columns:
+                index: dict[Any, set[Any]] = {}
+                for key, row in self._rows.items():
+                    index.setdefault(row.get(column), set()).add(key)
+                self._indexes[column] = index
 
     # -- index maintenance ---------------------------------------------------
 

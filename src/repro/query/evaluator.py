@@ -21,6 +21,7 @@ return bit-identical rows, which the ad-hoc bench asserts per query.
 from __future__ import annotations
 
 import re
+import threading
 from functools import lru_cache
 from typing import Any
 
@@ -178,7 +179,17 @@ def eval_predicate(predicate: Predicate, row: Row) -> bool:
 
 
 class QueryEngine:
-    """Executes SELECT statements against one datastore."""
+    """Executes SELECT statements against one datastore.
+
+    Safe for concurrent :meth:`execute` calls: the plan cache serializes
+    internally, and statements whose plans carry subquery cells bind and run
+    under :attr:`_subquery_lock` — cached :class:`CompiledPlan` objects are
+    shared across threads and a cell's ``values`` slot is rebound in place,
+    so bind → probe → residual must not interleave with another binder.
+    Cell-less plans (every discovery hot-path query) take no lock at all.
+    The ``stats`` counters are plain ``+=`` and may undercount by a hair
+    under contention — they are observability, not accounting.
+    """
 
     def __init__(self, store: DataStore, *, planner: bool = True) -> None:
         self.store = store
@@ -196,8 +207,12 @@ class QueryEngine:
             from repro.query.planner import PlanCache
 
             self._plans = PlanCache()
-        #: subquery Select → (heap version, materialized value set)
+        #: subquery Select → (heap version, materialized value set);
+        #: mutated only under ``_subquery_lock``
         self._subquery_cache: dict[Select, tuple[int, frozenset | tuple]] = {}
+        #: guards shared-plan cell binding and the subquery cache; re-entrant
+        #: because materializing a subquery recurses into :meth:`execute`
+        self._subquery_lock = threading.RLock()
 
     # -- row sources -----------------------------------------------------------
 
@@ -292,19 +307,13 @@ class QueryEngine:
         select = parse_select(query) if isinstance(query, str) else query
         if self.use_planner:
             plan = self._plan_for(query if isinstance(query, str) else select, select)
-            for cell in plan.cells:
-                cell.values = self._subquery_values(cell.select, cell.column)
-            fast_count = plan.fast_count(self.store)
-            if fast_count is not None:
-                return [{"count": fast_count}]
-            if plan.relational:
-                rows = self._relational_rows(select.table)
-            else:
-                rows, considered = plan.candidate_rows(self.store)
-                self.stats["rows_materialized"] += considered
-            if plan.residual is not None:
-                residual = plan.residual
-                rows = [row for row in rows if residual(row)]
+            if plan.cells:
+                # the cached plan is shared: hold the lock from cell binding
+                # through the residual filter so another thread cannot rebind
+                # cell.values mid-flight (mixed-generation semi-joins)
+                with self._subquery_lock:
+                    return self._run_plan(plan, select)
+            return self._run_plan(plan, select)
         else:
             rows = self._rows_for_table(select.table)
             where = (
@@ -314,6 +323,23 @@ class QueryEngine:
             )
             if where is not None:
                 rows = [row for row in rows if eval_predicate(where, row)]
+        return self._finish(select, rows)
+
+    def _run_plan(self, plan, select: Select) -> list[Row]:
+        """Bind subquery cells, probe, filter, finish — one plan execution."""
+        for cell in plan.cells:
+            cell.values = self._subquery_values(cell.select, cell.column)
+        fast_count = plan.fast_count(self.store)
+        if fast_count is not None:
+            return [{"count": fast_count}]
+        if plan.relational:
+            rows = self._relational_rows(select.table)
+        else:
+            rows, considered = plan.candidate_rows(self.store)
+            self.stats["rows_materialized"] += considered
+        if plan.residual is not None:
+            residual = plan.residual
+            rows = [row for row in rows if residual(row)]
         return self._finish(select, rows)
 
     def _finish(self, select: Select, rows: list[Row]) -> list[Row]:

@@ -31,7 +31,9 @@ rebound in place on each execution under that assumption.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -471,23 +473,43 @@ def build_plan(store: Any, select: Select) -> CompiledPlan:
 
 
 class PlanCache:
-    """Bounded LRU of :class:`CompiledPlan`, keyed on query text or AST."""
+    """Bounded LRU of :class:`CompiledPlan`, keyed on query text or AST.
+
+    Thread-safe: the LRU's ``move_to_end`` bookkeeping mutates the map even
+    on a *hit*, so every operation runs under a lock.  The lock is taken
+    non-blocking first purely to count contention (``contended``) — the
+    serving bench's evidence that plan lookups are not the scaling limiter.
+    """
 
     def __init__(self, maxsize: int = 512) -> None:
         self.maxsize = maxsize
         self._plans: OrderedDict[Any, CompiledPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.contended = 0
+
+    @contextmanager
+    def _locked(self):
+        if not self._lock.acquire(blocking=False):
+            self.contended += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
 
     def get(self, key: Any) -> CompiledPlan | None:
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-        return plan
+        with self._locked():
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+            return plan
 
     def put(self, key: Any, plan: CompiledPlan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+        with self._locked():
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._plans)

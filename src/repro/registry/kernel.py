@@ -46,11 +46,14 @@ level — the protocol packages depend on the kernel, never the reverse.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.util.clock import Clock, PerfClock
 from repro.util.errors import InvalidRequestError, RegistryError
+from repro.util.workers import current_worker_label
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.telemetry import Telemetry
@@ -187,6 +190,18 @@ class OperationStats:
             self.faults += 1
             self.fault_codes[fault_code] = self.fault_codes.get(fault_code, 0) + 1
 
+    def merge(self, other: "OperationStats") -> None:
+        """Fold *other*'s aggregates into this one (shard merging)."""
+        self.count += other.count
+        self.faults += other.faults
+        self.total_latency += other.total_latency
+        if other.min_latency < self.min_latency:
+            self.min_latency = other.min_latency
+        if other.max_latency > self.max_latency:
+            self.max_latency = other.max_latency
+        for code, n in other.fault_codes.items():
+            self.fault_codes[code] = self.fault_codes.get(code, 0) + n
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -200,25 +215,76 @@ class OperationStats:
 
 
 class PipelineStats:
-    """Per-edge, per-operation accounting recorded by the account stage."""
+    """Per-edge, per-operation accounting recorded by the account stage.
+
+    Sharded for the concurrent serving core: each recording thread owns a
+    private shard (``threading.local``), labelled with its worker identity,
+    so the hot path never takes a lock and counts are *exact* — no two
+    threads ever increment the same :class:`OperationStats`.  Snapshots
+    merge the shards: fleet-wide by default, or grouped per worker label
+    with ``per_worker=True``.  A snapshot taken while traffic is in flight
+    is near-consistent (a shard may be mid-record); once recording threads
+    are quiescent it is exact.
+    """
 
     def __init__(self) -> None:
-        self._by_edge: dict[str, dict[str, OperationStats]] = {}
+        self._local = threading.local()
+        #: every thread's (worker label, shard) — appended under the lock,
+        #: iterated via atomic list() capture at snapshot time
+        self._shards: list[tuple[str, dict[str, dict[str, OperationStats]]]] = []
+        self._lock = threading.Lock()
 
     def record(
         self, edge: str, operation: str, latency: float, fault_code: str | None
     ) -> None:
-        ops = self._by_edge.setdefault(edge, {})
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = {}
+            with self._lock:
+                self._shards.append((current_worker_label(), shard))
+            self._local.shard = shard
+        ops = shard.setdefault(edge, {})
         stats = ops.get(operation)
         if stats is None:
             stats = ops[operation] = OperationStats()
         stats.record(latency, fault_code)
 
-    def snapshot(self) -> dict[str, dict[str, dict[str, Any]]]:
+    @staticmethod
+    def _merge_shards(
+        shards: list[dict[str, dict[str, OperationStats]]]
+    ) -> dict[str, dict[str, dict[str, Any]]]:
+        merged: dict[str, dict[str, OperationStats]] = {}
+        for shard in shards:
+            for edge, ops in shard.items():
+                out = merged.setdefault(edge, {})
+                for op, stats in ops.items():
+                    agg = out.get(op)
+                    if agg is None:
+                        agg = out[op] = OperationStats()
+                    agg.merge(stats)
         return {
             edge: {op: stats.snapshot() for op, stats in sorted(ops.items())}
-            for edge, ops in sorted(self._by_edge.items())
+            for edge, ops in sorted(merged.items())
         }
+
+    def snapshot(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """Fleet-wide per-edge → per-operation aggregates (all shards merged)."""
+        shards = list(self._shards)
+        return self._merge_shards([shard for _, shard in shards])
+
+    def snapshot_per_worker(self) -> dict[str, dict[str, dict[str, dict[str, Any]]]]:
+        """Worker label → per-edge → per-operation aggregates."""
+        by_worker: dict[str, list[dict[str, dict[str, OperationStats]]]] = {}
+        for label, shard in list(self._shards):
+            by_worker.setdefault(label, []).append(shard)
+        return {
+            label: self._merge_shards(shards)
+            for label, shards in sorted(by_worker.items())
+        }
+
+    def workers(self) -> list[str]:
+        """Distinct worker labels that have recorded at least one request."""
+        return sorted({label for label, _ in list(self._shards)})
 
 
 # -- interceptors --------------------------------------------------------------
@@ -247,6 +313,7 @@ class _Stage:
 
 def _account_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
     ctx.started = kernel.clock.now()
+    ctx.tags.setdefault("worker", current_worker_label())
     try:
         return proceed()
     finally:
@@ -349,8 +416,13 @@ class RegistryKernel:
         self._by_http_method: dict[str, OperationSpec] = {}
         self._by_name: dict[str, OperationSpec] = {}
         self._chain: list[Interceptor] = list(DEFAULT_CHAIN)
+        #: lazily (re)composed chain.  Benign race under concurrent execute:
+        #: two threads may compose equivalent callables and one wins — chain
+        #: *edits* (add/remove_interceptor) are configuration-time only.
         self._composed: Callable[[RequestContext], Any] | None = None
-        self._request_counter = 0
+        #: atomic under the GIL — a single next() per request, so concurrent
+        #: execute() calls can never mint duplicate request ids
+        self._request_counter = itertools.count(1)
 
     # -- operation registry ----------------------------------------------------
 
@@ -455,8 +527,7 @@ class RegistryKernel:
     def new_request_id(self) -> str:
         """Cheap per-kernel monotonic request id (never touches IdFactory —
         object-id sequences must not depend on request traffic)."""
-        self._request_counter += 1
-        return f"urn:repro:request:{self._request_counter}"
+        return f"urn:repro:request:{next(self._request_counter)}"
 
     def execute(
         self,
@@ -509,6 +580,12 @@ class RegistryKernel:
 
     # -- observability ---------------------------------------------------------
 
-    def pipeline_stats(self) -> dict[str, dict[str, dict[str, Any]]]:
-        """Per-edge → per-operation counts, latency aggregates, fault tallies."""
+    def pipeline_stats(self, *, per_worker: bool = False) -> dict:
+        """Per-edge → per-operation counts, latency aggregates, fault tallies.
+
+        With ``per_worker=True`` the same tree is reported under each worker
+        label instead of fleet-merged (the ``repro stats --per-worker`` view).
+        """
+        if per_worker:
+            return self.stats.snapshot_per_worker()
         return self.stats.snapshot()

@@ -192,9 +192,13 @@ class RegistryServer:
                 f"{session.alias!r}"
             )
 
-    def pipeline_stats(self) -> dict:
-        """Kernel accounting: per-edge, per-operation counts/latency/faults."""
-        return self.kernel.pipeline_stats()
+    def pipeline_stats(self, *, per_worker: bool = False) -> dict:
+        """Kernel accounting: per-edge, per-operation counts/latency/faults.
+
+        ``per_worker=True`` groups the same aggregates by serving-worker
+        label instead of fleet-merging them.
+        """
+        return self.kernel.pipeline_stats(per_worker=per_worker)
 
     def telemetry_snapshot(self) -> dict:
         """Every mounted stats surface merged into one dict, by source name.

@@ -1,0 +1,23 @@
+"""The concurrent serving core: supervisor + N registry worker threads.
+
+The paper's load-balancing scheme steers traffic at registries that must
+actually absorb it; this package gives one registry process real request
+concurrency.  A :class:`~repro.serving.supervisor.ServingSupervisor` owns a
+bounded dispatch queue and N :class:`~repro.serving.worker.RegistryWorker`
+threads, all executing the shared
+:class:`~repro.registry.kernel.RegistryKernel` pipeline re-entrantly
+against one concurrency-safe :class:`~repro.persistence.datastore.DataStore`
+(single writer lock, atomically-published index generations, pinnable MVCC
+snapshots — see that module's docstring for the full model).
+
+Requests enter through :meth:`ServingSupervisor.submit` (a Future) or
+:meth:`ServingSupervisor.call` (blocking), flow through the ``serving``
+protocol edge, and land in the same telemetry the single-threaded edges
+feed: per-worker pipeline-stats shards, a ``worker``-labelled request
+latency histogram, and the fleet-wide ``request`` SLO.
+"""
+
+from repro.serving.supervisor import ServingConfig, ServingSupervisor
+from repro.serving.worker import RegistryWorker
+
+__all__ = ["ServingConfig", "ServingSupervisor", "RegistryWorker"]

@@ -1,0 +1,191 @@
+"""ServingSupervisor — bounded dispatch queue in front of N worker threads.
+
+The supervisor plays the acceptor role of a threaded registry server: it
+owns one bounded :class:`queue.Queue`, spawns ``config.workers``
+:class:`~repro.serving.worker.RegistryWorker` threads against the shared
+kernel, and exposes three admission surfaces:
+
+* :meth:`submit` — enqueue and return a :class:`concurrent.futures.Future`
+  (blocks while the queue is full, i.e. applies backpressure);
+* :meth:`try_submit` — non-blocking admission; a full queue rejects the
+  request (counted in ``rejected``) and returns ``None``, which is the
+  load-shedding behaviour a saturated registry node exhibits to the
+  paper's balancer;
+* :meth:`call` — submit and wait, for callers that want synchronous
+  semantics over the concurrent core.
+
+Requests execute through the ``serving`` protocol edge, which follows the
+SOAP edge's session discipline: an explicit token resolves against
+sessions registered via :meth:`register_session`, everything else falls
+back to the guest session unless the operation requires authentication.
+Faults map through :class:`~repro.soap.envelope.SoapFault` so a serving
+response is shaped exactly like its single-threaded SOAP twin — that is
+what the benchmark's parity assertion compares.
+
+The supervisor registers a ``serving`` telemetry source so ``repro stats``
+and ``/metrics``-adjacent snapshots see queue depth, admission counters,
+and per-worker served counts alongside the per-worker pipeline shards the
+kernel already maintains.
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.registry.kernel import EdgeProfile, OperationSpec, RequestContext
+from repro.serving.worker import SHUTDOWN, RegistryWorker, WorkItem
+from repro.soap.envelope import SoapFault
+from repro.util.errors import AuthenticationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.server import RegistryServer
+    from repro.security.authn import Session
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Sizing knobs for the serving core."""
+
+    #: worker threads sharing the kernel
+    workers: int = 4
+    #: dispatch queue bound; submissions beyond it block (submit) or shed
+    #: (try_submit)
+    queue_capacity: int = 1024
+    #: simulated per-request wire/IO seconds spent off-CPU in the worker
+    wire_delay_s: float = 0.0
+
+
+class ServingSupervisor:
+    """Owns the dispatch queue and worker fleet for one registry."""
+
+    def __init__(
+        self, registry: "RegistryServer", config: ServingConfig | None = None
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServingConfig()
+        if self.config.workers < 1:
+            raise ValueError("ServingConfig.workers must be >= 1")
+        self.kernel = registry.kernel
+        self._queue: "queue.Queue[WorkItem | None]" = queue.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        self._workers: list[RegistryWorker] = []
+        #: token → session, maintained via register_session (SOAP discipline)
+        self._sessions: dict[str, "Session"] = {}
+        self.edge = EdgeProfile(
+            name="serving",
+            authenticate=self._authenticate,
+            fault_mapper=SoapFault.from_error,
+        )
+        self.accepted = 0
+        self.rejected = 0
+        self.started = False
+        registry.telemetry.register_source("serving", self.serving_stats)
+
+    # -- session plumbing ------------------------------------------------------
+
+    def register_session(self, session: "Session") -> None:
+        self._sessions[session.token] = session
+
+    def _authenticate(self, ctx: RequestContext, spec: OperationSpec) -> "Session":
+        token = ctx.token
+        if token and token in self._sessions:
+            return self._sessions[token]
+        if spec.requires_session:
+            raise AuthenticationError(
+                "serving edge write access requires a registered session"
+            )
+        return self.registry.guest()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ServingSupervisor":
+        if self.started:
+            return self
+        self._workers = [
+            RegistryWorker(
+                f"worker-{index}",
+                self.kernel,
+                self._queue,
+                wire_delay_s=self.config.wire_delay_s,
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self.started = True
+        return self
+
+    def stop(self, *, timeout: float | None = 10.0) -> None:
+        """Drain the queue, retire every worker, and unblock pending futures."""
+        if not self.started:
+            return
+        for _ in self._workers:
+            self._queue.put(SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout)
+        self.started = False
+
+    def __enter__(self) -> "ServingSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def close(self) -> None:
+        """Stop the fleet and unmount the telemetry source."""
+        self.stop()
+        self.registry.telemetry.unregister_source("serving")
+
+    # -- admission -------------------------------------------------------------
+
+    def _item(self, kwargs: dict[str, Any]) -> WorkItem:
+        if not self.started:
+            raise RuntimeError("ServingSupervisor is not started")
+        return WorkItem(edge=self.edge, kwargs=kwargs)
+
+    def submit(self, **kwargs: Any) -> Future:
+        """Enqueue one request (kernel.execute kwargs); blocks when full."""
+        item = self._item(kwargs)
+        self._queue.put(item)
+        self.accepted += 1
+        return item.future
+
+    def try_submit(self, **kwargs: Any) -> Future | None:
+        """Non-blocking admission: ``None`` (and a shed count) when full."""
+        item = self._item(kwargs)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.rejected += 1
+            return None
+        self.accepted += 1
+        return item.future
+
+    def call(self, *, timeout: float | None = None, **kwargs: Any) -> Any:
+        """Submit and wait: synchronous semantics over the concurrent core."""
+        return self.submit(**kwargs).result(timeout)
+
+    def drain(self) -> None:
+        """Block until every accepted request has been executed."""
+        self._queue.join()
+
+    # -- surfaces --------------------------------------------------------------
+
+    def serving_stats(self) -> dict[str, Any]:
+        """The ``serving`` telemetry source: fleet + admission counters."""
+        return {
+            "workers": len(self._workers),
+            "started": self.started,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_capacity,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "wire_delay_s": self.config.wire_delay_s,
+            "served_per_worker": {
+                worker.label: worker.requests_served for worker in self._workers
+            },
+        }

@@ -1,0 +1,92 @@
+"""RegistryWorker — one serving thread executing the shared kernel pipeline.
+
+A worker is deliberately thin: it declares its worker label (which threads
+pipeline-stats shards, histogram labels, and structured-log fields through
+the whole observability stack), then loops taking
+:class:`WorkItem` entries off the supervisor's queue and running them
+through ``kernel.execute``.  The kernel pipeline is re-entrant — request
+ids, span stacks, and stats shards are all per-thread — so N workers share
+one kernel and one registry without coordination beyond the queue itself.
+
+``wire_delay_s`` simulates the per-request wire/IO time a real deployment
+spends off-CPU (``time.sleep`` releases the GIL), which is what lets the
+serving benchmark show throughput scaling with worker count even though
+pure-Python compute serializes on the interpreter lock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.util.workers import set_worker_label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.registry.kernel import EdgeProfile, RegistryKernel
+
+
+@dataclass
+class WorkItem:
+    """One queued request: the kernel-execute arguments plus its Future."""
+
+    edge: "EdgeProfile"
+    kwargs: dict[str, Any]
+    future: Future = field(default_factory=Future)
+
+
+#: queue sentinel telling a worker to exit its loop
+SHUTDOWN = None
+
+
+class RegistryWorker:
+    """One serving thread: label, queue loop, kernel execution."""
+
+    def __init__(
+        self,
+        label: str,
+        kernel: "RegistryKernel",
+        work_queue: "queue.Queue[WorkItem | None]",
+        *,
+        wire_delay_s: float = 0.0,
+    ) -> None:
+        self.label = label
+        self.kernel = kernel
+        self.queue = work_queue
+        self.wire_delay_s = wire_delay_s
+        self.requests_served = 0
+        self.thread = threading.Thread(target=self._run, name=label, daemon=True)
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        self.thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+    def _run(self) -> None:
+        set_worker_label(self.label)
+        while True:
+            item = self.queue.get()
+            if item is SHUTDOWN:
+                self.queue.task_done()
+                return
+            try:
+                if self.wire_delay_s > 0.0:
+                    # simulated wire/IO time; sleeps release the GIL, so
+                    # other workers compute while this request "transmits"
+                    time.sleep(self.wire_delay_s)
+                result = self.kernel.execute(item.edge, **item.kwargs)
+            except BaseException as error:  # noqa: BLE001 - delivered via Future
+                item.future.set_exception(error)
+            else:
+                item.future.set_result(result)
+            finally:
+                self.requests_served += 1
+                self.queue.task_done()

@@ -152,6 +152,26 @@ class TestStatsCommand:
         parsed = parse_exposition(out)
         assert "repro_query_plans_built_total" in parsed
 
+    def test_stats_per_worker_reshapes_pipeline(self, paths, capsys):
+        import json
+
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"], "--per-worker", "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snapshot = json.loads(out)
+        # a fresh state has no traffic: the per-worker tree is present, empty
+        assert snapshot["pipeline"] == {}
+
+    def test_top_per_worker_reports_empty_fleet(self, paths, capsys):
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["top", paths["state"], "--per-worker"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no per-worker pipeline traffic recorded" in out
+
     def test_stats_without_state_fails(self, paths):
         with pytest.raises(SystemExit, match="repro init"):
             main(["stats", paths["state"]])

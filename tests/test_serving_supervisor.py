@@ -1,0 +1,170 @@
+"""ServingSupervisor: lifecycle, admission, sessions, and telemetry surface."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serving import ServingConfig, ServingSupervisor
+from repro.soap.envelope import SoapFault
+from repro.soap.messages import (
+    AdhocQueryRequest,
+    GetServiceBindingsRequest,
+    SubmitObjectsRequest,
+)
+from repro.soap.serializer import serialize
+from repro.rim import Organization
+
+from conftest import HOSTS, publish_service_with_bindings
+
+
+@pytest.fixture
+def supervisor(registry):
+    sup = ServingSupervisor(registry, ServingConfig(workers=2))
+    yield sup
+    sup.close()
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops_workers(self, supervisor):
+        assert not supervisor.started
+        with supervisor:
+            assert supervisor.started
+            workers = supervisor.serving_stats()["workers"]
+            assert workers == 2
+        assert not supervisor.started
+
+    def test_submit_before_start_rejected(self, supervisor):
+        with pytest.raises(RuntimeError):
+            supervisor.submit(body=AdhocQueryRequest(query="SELECT id FROM Service"))
+
+    def test_start_is_idempotent(self, supervisor):
+        with supervisor:
+            supervisor.start()
+            assert supervisor.serving_stats()["workers"] == 2
+
+    def test_bad_worker_count_rejected(self, registry):
+        with pytest.raises(ValueError):
+            ServingSupervisor(registry, ServingConfig(workers=0))
+
+
+class TestAdmission:
+    def test_call_runs_discovery(self, registry, session, supervisor):
+        _, service = publish_service_with_bindings(registry, session)
+        with supervisor:
+            response = supervisor.call(body=GetServiceBindingsRequest(service.id))
+        assert response.status == "Success"
+        assert len(response.objects) == len(HOSTS)
+
+    def test_submit_returns_future(self, registry, session, supervisor):
+        publish_service_with_bindings(registry, session)
+        with supervisor:
+            future = supervisor.submit(
+                body=AdhocQueryRequest(query="SELECT id FROM Service")
+            )
+            response = future.result(timeout=30.0)
+        assert response.status == "Success"
+        assert len(response.rows) == 1
+
+    def test_try_submit_sheds_when_full(self, registry):
+        # one slow worker, a one-slot queue: the third request must shed
+        sup = ServingSupervisor(
+            registry,
+            ServingConfig(workers=1, queue_capacity=1, wire_delay_s=0.1),
+        )
+        body = AdhocQueryRequest(query="SELECT id FROM Service")
+        accepted = []
+        rejected = 0
+        try:
+            with sup:
+                for _ in range(8):
+                    future = sup.try_submit(body=body)
+                    if future is None:
+                        rejected += 1
+                    else:
+                        accepted.append(future)
+                assert rejected > 0
+                assert sup.rejected == rejected
+                assert sup.accepted == len(accepted)
+                for future in accepted:
+                    assert future.result(timeout=30.0).status == "Success"
+        finally:
+            sup.close()
+
+    def test_faults_delivered_as_values_not_raised(self, supervisor):
+        with supervisor:
+            result = supervisor.call(
+                body=AdhocQueryRequest(query="SELECT nonsense FROM Nowhere")
+            )
+        assert isinstance(result, SoapFault)
+
+
+class TestSessions:
+    def test_write_without_session_faults(self, registry, supervisor):
+        org = Organization(registry.ids.new_id(), name="Unauthorized")
+        request = SubmitObjectsRequest(objects=[serialize(org)])
+        with supervisor:
+            result = supervisor.call(body=request)
+        assert isinstance(result, SoapFault)
+        assert not registry.store.contains(org.id)
+
+    def test_registered_session_token_authenticates(
+        self, registry, session, supervisor
+    ):
+        supervisor.register_session(session)
+        org = Organization(registry.ids.new_id(), name="Authorized")
+        request = SubmitObjectsRequest(objects=[serialize(org)])
+        with supervisor:
+            result = supervisor.call(body=request, token=session.token)
+        assert result.status == "Success"
+        assert registry.store.contains(org.id)
+
+
+class TestTelemetrySurface:
+    def test_serving_source_mounted(self, registry, supervisor):
+        snapshot = registry.telemetry_snapshot()
+        assert "serving" in snapshot
+        stats = snapshot["serving"]
+        assert stats["workers"] == 0  # not started yet
+        assert stats["queue_capacity"] == ServingConfig().queue_capacity
+
+    def test_served_per_worker_counts_cover_all_traffic(
+        self, registry, session, supervisor
+    ):
+        _, service = publish_service_with_bindings(registry, session)
+        body = GetServiceBindingsRequest(service.id)
+        with supervisor:
+            futures = [supervisor.submit(body=body) for _ in range(20)]
+            for future in futures:
+                future.result(timeout=30.0)
+            supervisor.drain()
+            stats = supervisor.serving_stats()
+        assert sum(stats["served_per_worker"].values()) == 20
+        assert stats["accepted"] == 20
+        assert stats["rejected"] == 0
+        # the kernel's per-worker shards carry the same labels
+        pipeline_workers = set(registry.pipeline_stats(per_worker=True))
+        assert pipeline_workers <= {"worker-0", "worker-1"}
+        assert pipeline_workers
+
+    def test_close_unmounts_source(self, registry):
+        sup = ServingSupervisor(registry, ServingConfig(workers=1))
+        assert "serving" in registry.telemetry.sources()
+        sup.close()
+        assert "serving" not in registry.telemetry.sources()
+
+    def test_wire_delay_applied(self, registry, session):
+        publish_service_with_bindings(registry, session)
+        sup = ServingSupervisor(
+            registry, ServingConfig(workers=1, wire_delay_s=0.05)
+        )
+        body = AdhocQueryRequest(query="SELECT id FROM Service")
+        try:
+            with sup:
+                started = time.perf_counter()
+                assert sup.call(body=body).status == "Success"
+                elapsed = time.perf_counter() - started
+            assert elapsed >= 0.05
+        finally:
+            sup.close()
