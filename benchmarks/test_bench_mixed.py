@@ -1,0 +1,386 @@
+"""MIX-1 — CQRS write path: read latency/QPS under concurrent write load.
+
+PR 1–6 made reads fast (lock-free snapshots, plan + resolution caches) but
+kept coarse version-keyed invalidation: any write re-keyed every cache, so
+a mixed workload paid a full cache rebuild per write.  This bench measures
+what the changelog spine buys: incrementally maintained discovery views
+(per-record delta invalidation) plus write-behind batching.
+
+Closed-loop clients (``2 × workers`` threads, each issuing synchronous
+requests through the :class:`ServingSupervisor`) replay three fixed mixes
+against fleets of 1/2/4 workers:
+
+* **read_only** — the baseline: discovery + repeated ad-hoc text.
+* **90_10** — 10% lifecycle writes (``UpdateObjectsRequest``).
+* **50_50** — every other request is a write; the stress case.
+
+Every 10th write is submitted twice with the same idempotency key — the
+retry must replay the recorded result, not re-run (exactly-once).
+
+Asserted (the regression gate):
+
+* read p50 in the 50/50 mix is bounded at ``BENCH_MIXED_MAX_DEGRADATION``
+  (default 3×) of the read-only baseline, per fleet size;
+* zero faults; every idempotent retry suppressed and counted;
+* **parity** — after the run drains, the view-backed planner answers are
+  ``==``-identical to a planner-off scan of the same heap (the seed-path
+  oracle), and a fresh DataStore rebuilt by ``changelog.replay_into``
+  reproduces the entire heap bit-identically (serialize-compared) and
+  answers the same queries identically.
+
+Scale knobs (for the CI smoke job): ``BENCH_MIXED_SERVICES``,
+``BENCH_MIXED_REQUESTS``, ``BENCH_MIXED_WORKERS``,
+``BENCH_MIXED_MAX_DEGRADATION``.  Results merge into ``BENCH_mixed.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import threading
+import time
+
+from repro.persistence import DataStore
+from repro.persistence.nodestate import NodeSample
+from repro.query.evaluator import QueryEngine
+from repro.registry import RegistryConfig, RegistryServer
+from repro.rim import Organization, Service, ServiceBinding
+from repro.serving import ServingConfig, ServingSupervisor
+from repro.soap.messages import (
+    AdhocQueryRequest,
+    GetServiceBindingsRequest,
+    UpdateObjectsRequest,
+)
+from repro.soap.serializer import serialize
+from repro.util.clock import ManualClock
+
+SERVICES = int(os.environ.get("BENCH_MIXED_SERVICES", "120"))
+HOSTS = 16
+ORGS = 24
+REQUESTS = int(os.environ.get("BENCH_MIXED_REQUESTS", "900"))
+WORKER_COUNTS = tuple(
+    int(n) for n in os.environ.get("BENCH_MIXED_WORKERS", "1,2,4").split(",")
+)
+MAX_DEGRADATION = float(os.environ.get("BENCH_MIXED_MAX_DEGRADATION", "3.0"))
+
+#: (mix name, write ratio): the three workloads every fleet size replays
+MIXES = (("read_only", 0.0), ("90_10", 0.10), ("50_50", 0.50))
+
+#: every Nth write is submitted twice under its key (the retry must replay)
+RETRY_EVERY = 10
+
+#: distinct ad-hoc texts reads rotate through (repeats exercise the
+#: materialized result view, the way real discovery traffic repeats)
+ADHOC_TEXTS = 8
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_mixed.json"
+
+
+def build_registry() -> tuple[RegistryServer, list[str], list[str]]:
+    """A deterministic registry: same seed + manual clock ⇒ same ids."""
+    clock = ManualClock(start=11 * 3600.0)
+    registry = RegistryServer(RegistryConfig(seed=7), clock=clock)
+    hosts = [f"host{i:03d}.bench" for i in range(HOSTS)]
+    for i, host in enumerate(hosts):
+        registry.node_state.record_sample(
+            NodeSample(
+                host=host,
+                load=(i % 40) / 10.0,
+                memory=4 << 30,
+                swap_memory=1 << 30,
+                updated=clock.now(),
+            )
+        )
+    ids = registry.ids
+    service_ids: list[str] = []
+    with registry.store.batch():
+        for i in range(SERVICES):
+            service = Service(ids.new_id(), name=f"Svc{i:04d}")
+            bindings = [
+                ServiceBinding(
+                    ids.new_id(),
+                    service=service.id,
+                    access_uri=f"http://{host}:8080/svc{i}/endpoint",
+                )
+                for host in hosts[: 1 + i % 4]
+            ]
+            for binding in bindings:
+                service.binding_ids.append(binding.id)
+            registry.store.insert_object(service)
+            for binding in bindings:
+                registry.store.insert_object(binding)
+            service_ids.append(service.id)
+        org_ids = []
+        for i in range(ORGS):
+            org = Organization(ids.new_id(), name=f"Org{i:03d}")
+            registry.store.insert_object(org)
+            org_ids.append(org.id)
+    return registry, service_ids, org_ids
+
+
+def build_workload(
+    registry: RegistryServer,
+    service_ids: list[str],
+    org_ids: list[str],
+    write_ratio: float,
+    mix_name: str,
+) -> list[tuple[str, object, bool]]:
+    """The fixed (kind, body, retry) sequence for one mix.
+
+    Writes are 70% Organization churn (unrelated to discovery — the views
+    must ride through it) and 30% Service description updates (which must
+    invalidate exactly the touched service).  Payloads serialize the
+    seeded heap state so building the workload does not perturb the run.
+    """
+    rng = random.Random(42)
+    adhoc_names = [f"Svc{rng.randrange(SERVICES):04d}" for _ in range(ADHOC_TEXTS)]
+    workload: list[tuple[str, object, bool]] = []
+    writes = 0
+    for i in range(REQUESTS):
+        if rng.random() < write_ratio:
+            writes += 1
+            if rng.random() < 0.7:
+                target = registry.store.get_object(rng.choice(org_ids))
+                target.description.set(f"churn-{mix_name}-{i}")
+            else:
+                target = registry.store.get_object(rng.choice(service_ids))
+                target.description.set(f"touched-{mix_name}-{i}")
+            body = UpdateObjectsRequest(
+                objects=[serialize(target)],
+                idempotency_key=f"mix-{mix_name}-{i}",
+            )
+            workload.append(("write", body, writes % RETRY_EVERY == 0))
+        elif i % 3 == 2:
+            name = rng.choice(adhoc_names)
+            body = AdhocQueryRequest(
+                query=f"SELECT id FROM Service WHERE name = '{name}'"
+            )
+            workload.append(("read", body, False))
+        else:
+            workload.append(
+                ("read", GetServiceBindingsRequest(rng.choice(service_ids)), False)
+            )
+    return workload
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(len(sorted_values) * q))
+    return sorted_values[index]
+
+
+def assert_parity(registry: RegistryServer) -> dict:
+    """View-backed answers == scan answers == replayed-store answers."""
+    store = registry.store
+    rebuilt = DataStore()
+    applied = store.changelog.replay_into(rebuilt)
+    live_ids = sorted(store.all_ids())
+    assert live_ids == sorted(rebuilt.all_ids())
+    for object_id in live_ids:
+        assert serialize(rebuilt.get_object(object_id)) == serialize(
+            store.get_object(object_id)
+        ), object_id
+    scan_live = QueryEngine(store, planner=False)
+    scan_rebuilt = QueryEngine(rebuilt, planner=False)
+    queries = [
+        "SELECT * FROM Service ORDER BY name",
+        "SELECT * FROM ServiceBinding ORDER BY id",
+        "SELECT id FROM Service WHERE name LIKE 'Svc00%'",
+        "SELECT * FROM Organization ORDER BY name",
+    ]
+    compared = 0
+    for query in queries:
+        view_backed = registry.engine.execute(query)
+        assert view_backed == scan_live.execute(query), query
+        assert view_backed == scan_rebuilt.execute(query), query
+        compared += len(view_backed)
+    return {
+        "identical": True,
+        "records_replayed": applied,
+        "heap_objects_compared": len(live_ids),
+        "result_rows_compared": compared,
+    }
+
+
+def run_mix(workers: int, mix_name: str, write_ratio: float) -> dict:
+    """Offer one mix to one fleet via 2×workers closed-loop clients."""
+    registry, service_ids, org_ids = build_registry()
+    _, credential = registry.register_user(
+        "bench-writer", roles={"RegistryAdministrator"}
+    )
+    session = registry.login(credential)
+    workload = build_workload(registry, service_ids, org_ids, write_ratio, mix_name)
+    supervisor = ServingSupervisor(
+        registry,
+        ServingConfig(workers=workers, queue_capacity=max(64, 4 * workers)),
+    )
+    supervisor.register_session(session)
+    cursor = iter(range(len(workload)))
+    cursor_lock = threading.Lock()
+    failures: list[str] = []
+    per_client: list[dict[str, list[float]]] = []
+
+    def client() -> None:
+        latencies: dict[str, list[float]] = {"read": [], "write": []}
+        per_client.append(latencies)
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            kind, body, retry = workload[index]
+            token = session.token if kind == "write" else None
+            started = time.perf_counter()
+            response = supervisor.call(body=body, token=token, timeout=120.0)
+            latencies[kind].append(time.perf_counter() - started)
+            if response is None or not getattr(response, "is_success", False):
+                failures.append(f"{kind}@{index}: {response}")
+            if retry:  # same key again: must replay, not re-run
+                replayed = supervisor.call(body=body, token=token, timeout=120.0)
+                if getattr(replayed, "ids", None) != getattr(response, "ids", None):
+                    failures.append(f"retry@{index} diverged")
+
+    clients = [threading.Thread(target=client) for _ in range(2 * workers)]
+    started = time.perf_counter()
+    with supervisor:
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        supervisor.drain()
+        serving = supervisor.serving_stats()
+    supervisor.close()
+
+    assert not failures, failures[:5]
+    reads = sorted(lat for c in per_client for lat in c["read"])
+    writes = sorted(lat for c in per_client for lat in c["write"])
+    retries = sum(1 for _kind, _body, retry in workload if retry)
+    parity = assert_parity(registry)
+    write_stats = registry.write_stats()
+    assert write_stats["idempotent_duplicates"] == retries, write_stats
+    planner = registry.qm.query_plan_stats()
+    return {
+        "workers": workers,
+        "mix": mix_name,
+        "write_ratio": write_ratio,
+        "requests": len(workload),
+        "reads": len(reads),
+        "writes": len(writes),
+        "idempotent_retries": retries,
+        "elapsed_s": elapsed,
+        "read_qps": len(reads) / elapsed,
+        "read_p50_ms": percentile(reads, 0.50) * 1000.0,
+        "read_p99_ms": percentile(reads, 0.99) * 1000.0,
+        "write_p50_ms": percentile(writes, 0.50) * 1000.0,
+        "result_hits": planner["result_hits"],
+        "result_misses": planner["result_misses"],
+        "served": serving["accepted"],
+        "parity": parity,
+        "write_stats": write_stats,
+    }
+
+
+def run_bench() -> dict:
+    report: dict = {
+        "bench": "mixed",
+        "scale": {
+            "services": SERVICES,
+            "orgs": ORGS,
+            "hosts": HOSTS,
+            "requests": REQUESTS,
+            "worker_counts": list(WORKER_COUNTS),
+            "max_degradation": MAX_DEGRADATION,
+        },
+        "mixes": {},
+    }
+    for mix_name, write_ratio in MIXES:
+        by_workers: dict[str, dict] = {}
+        for workers in WORKER_COUNTS:
+            by_workers[str(workers)] = run_mix(workers, mix_name, write_ratio)
+        report["mixes"][mix_name] = by_workers
+    report["degradation"] = {
+        mix_name: {
+            str(workers): (
+                report["mixes"][mix_name][str(workers)]["read_p50_ms"]
+                / max(
+                    report["mixes"]["read_only"][str(workers)]["read_p50_ms"],
+                    1e-9,
+                )
+            )
+            for workers in WORKER_COUNTS
+        }
+        for mix_name, _ratio in MIXES
+        if mix_name != "read_only"
+    }
+    return report
+
+
+def test_mixed_workloads(save_artifact, bench_history_writer, benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    merged = bench_history_writer(JSON_PATH, report)
+
+    lines = [
+        f"MIX-1 — mixed read/write workloads, {REQUESTS} requests per mix, "
+        f"{SERVICES} services, fleets {list(WORKER_COUNTS)}, "
+        f"gate ≤ {MAX_DEGRADATION:.1f}× read-only p50",
+        "",
+        f"{'mix':10s} {'workers':>7s} {'read qps':>10s} {'rd p50 ms':>10s} "
+        f"{'rd p99 ms':>10s} {'wr p50 ms':>10s} {'coalesce':>9s}",
+    ]
+    for mix_name, _ratio in MIXES:
+        for workers in WORKER_COUNTS:
+            row = report["mixes"][mix_name][str(workers)]
+            lines.append(
+                f"{mix_name:10s} {workers:7d} {row['read_qps']:10.0f} "
+                f"{row['read_p50_ms']:10.3f} {row['read_p99_ms']:10.3f} "
+                f"{row['write_p50_ms']:10.3f} "
+                f"{row['write_stats']['coalesce_ratio']:9.2f}"
+            )
+    for mix_name, ratios in report["degradation"].items():
+        lines.append(
+            f"\nread p50 degradation {mix_name}: "
+            + ", ".join(f"{w}w={r:.2f}x" for w, r in sorted(ratios.items()))
+        )
+    save_artifact("MIX1_mixed_workloads", "\n".join(lines))
+
+    for mix_name, _ratio in MIXES:
+        for workers in WORKER_COUNTS:
+            row = report["mixes"][mix_name][str(workers)]
+            assert row["parity"]["identical"], (mix_name, workers)
+            assert row["served"] >= row["requests"]
+    # the regression gate: writes may not starve reads past the bound
+    for workers, ratio in report["degradation"]["50_50"].items():
+        assert ratio <= MAX_DEGRADATION, (
+            f"50/50 read p50 degraded {ratio:.2f}x with {workers} workers "
+            f"(gate: {MAX_DEGRADATION}x)"
+        )
+    benchmark.extra_info["read_p50_degradation_50_50"] = {
+        w: round(r, 2) for w, r in report["degradation"]["50_50"].items()
+    }
+    from conftest import HISTORY_KEEP
+
+    assert len(merged["history"]) <= HISTORY_KEEP
+
+
+def test_bench_json_valid():
+    """The smoke check CI runs at reduced scale: the artifact must be valid."""
+    assert JSON_PATH.exists(), "run test_mixed_workloads first"
+    data = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    assert data["bench"] == "mixed"
+    for mix_name, by_workers in data["mixes"].items():
+        for workers, row in by_workers.items():
+            assert int(workers) == row["workers"]
+            assert row["read_qps"] > 0
+            assert row["parity"]["identical"] is True
+            if mix_name != "read_only":
+                assert row["writes"] > 0
+                assert (
+                    row["write_stats"]["idempotent_duplicates"]
+                    == row["idempotent_retries"]
+                )
+    for workers, ratio in data["degradation"]["50_50"].items():
+        assert ratio <= data["scale"]["max_degradation"], (workers, ratio)

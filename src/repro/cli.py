@@ -150,14 +150,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
         sys.stdout.write(registry.telemetry.render_prometheus())
         return 0
     snapshot = registry.telemetry_snapshot()
-    if getattr(args, "per_worker", False):
+    if getattr(args, "writes", False):
+        snapshot = {"writes": snapshot["writes"]}
+    elif getattr(args, "per_worker", False):
         snapshot["pipeline"] = registry.pipeline_stats(per_worker=True)
     if args.format == "json":
         print(json.dumps(snapshot, indent=2, default=str))
         return 0
     rows = _flatten_snapshot(snapshot)
+    title = "write spine" if getattr(args, "writes", False) else "registry telemetry"
     if rows:
-        print(format_table(rows, title="registry telemetry"))
+        print(format_table(rows, title=title))
     return 0
 
 
@@ -378,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format", choices=("table", "json", "prometheus"), default="table"
+    )
+    p.add_argument(
+        "--writes",
+        action="store_true",
+        help="show only the write-spine view (changelog length, last applied "
+        "sequence, coalesce ratio, idempotent duplicates)",
     )
     p.set_defaults(func=cmd_stats)
 

@@ -174,6 +174,8 @@ class ExperimentResult:
     #: client-side retry stage accounting (transport mini-chain)
     transport_retries: int = 0
     invoke_failures: int = 0
+    #: lifecycle retries suppressed by idempotency keys (exactly-once)
+    idempotent_duplicates: int = 0
     endpoint_failures: dict[str, int] = field(default_factory=dict)
     #: merged registry telemetry snapshot (see RegistryServer.telemetry_snapshot)
     telemetry: dict = field(default_factory=dict)
@@ -275,7 +277,11 @@ class ExperimentHarness:
             ids.new_id(), name="NodeStatus", description="Service to monitor node status"
         )
         app = Service(ids.new_id(), name=cfg.service_name, description=cfg.constraint_xml)
-        self.registry.lcm.submit_objects(self.session, [org, node_status, app])
+        self.registry.lcm.submit_objects(
+            self.session,
+            [org, node_status, app],
+            idempotency_key="mtc-publish-services",
+        )
         bindings: list = []
         host_names = self.cluster.host_names()
         for host in host_names:
@@ -299,7 +305,9 @@ class ExperimentHarness:
                 association_type=AssociationType.OFFERS_SERVICE,
             )
         )
-        self.registry.lcm.submit_objects(self.session, bindings)
+        self.registry.lcm.submit_objects(
+            self.session, bindings, idempotency_key="mtc-publish-bindings"
+        )
         self.cluster.deploy_service("NodeStatus", host_names)
         self.cluster.deploy_service(cfg.service_name, host_names)
         return app.id
@@ -402,6 +410,7 @@ class ExperimentHarness:
             ),
             transport_retries=self.transport.stats.retries,
             invoke_failures=self.client.invoke_failures,
+            idempotent_duplicates=self.registry.lcm.idempotent_duplicates,
             endpoint_failures=self.transport.endpoint_failures(),
             telemetry=self.registry.telemetry_snapshot(),
             slo_timeline=list(self.registry.telemetry.slos.timeline),

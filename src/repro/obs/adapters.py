@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.persistence.dao import ServiceDAO
     from repro.registry.querymgr import QueryManager
     from repro.registry.server import RegistryServer
+    from repro.serving.supervisor import ServingSupervisor
     from repro.soap.transport import SimTransport
 
 Collector = Callable[[MetricsRegistry], None]
@@ -193,6 +194,72 @@ def uri_cache_collector(services: "ServiceDAO") -> Collector:
         metrics.gauge(
             "repro_uri_cache_entries", "Cached per-service URI resolutions."
         ).set(snap["entries"])
+
+    return collect
+
+
+def serving_collector(supervisor: "ServingSupervisor") -> Collector:
+    """Mirror the ServingSupervisor admission/queue counters."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = supervisor.serving_stats()
+        metrics.gauge(
+            "repro_serving_queue_depth", "Requests waiting in the dispatch queue."
+        ).set(snap["queue_depth"])
+        metrics.gauge(
+            "repro_serving_queue_capacity", "Dispatch queue bound."
+        ).set(snap["queue_capacity"])
+        metrics.gauge(
+            "repro_serving_workers", "Registry worker threads in the fleet."
+        ).set(snap["workers"])
+        metrics.counter(
+            "repro_serving_accepted_total", "Requests admitted to the queue."
+        ).labels().sync(snap["accepted"])
+        metrics.counter(
+            "repro_serving_rejected_total", "Requests shed at a full queue."
+        ).labels().sync(snap["rejected"])
+        served = metrics.counter(
+            "repro_serving_requests_served_total",
+            "Requests executed, per worker.",
+            ("worker",),
+        )
+        for label, count in snap["served_per_worker"].items():
+            served.labels(worker=label).sync(count)
+
+    return collect
+
+
+def writes_collector(server: "RegistryServer") -> Collector:
+    """Mirror the CQRS write-spine counters (changelog, batching, idempotency)."""
+
+    def collect(metrics: MetricsRegistry) -> None:
+        snap = server.write_stats()
+        metrics.counter(
+            "repro_writes_total", "Heap mutations committed through the store."
+        ).labels().sync(snap["writes"])
+        metrics.counter(
+            "repro_writes_batched_total", "Mutations committed inside a batch."
+        ).labels().sync(snap["batched_writes"])
+        metrics.counter(
+            "repro_writes_coalesced_total",
+            "Mutations absorbed by write-behind coalescing.",
+        ).labels().sync(snap["coalesced_writes"])
+        metrics.counter(
+            "repro_changelog_records_total", "Change records appended to the spine."
+        ).labels().sync(snap["changelog_records"])
+        metrics.counter(
+            "repro_changelog_resets_total", "Rollback barriers in the changelog."
+        ).labels().sync(snap["resets"])
+        metrics.gauge(
+            "repro_changelog_last_seq", "Sequence number of the newest record."
+        ).set(snap["last_seq"])
+        metrics.counter(
+            "repro_idempotent_duplicates_total",
+            "Lifecycle retries replayed from a recorded result.",
+        ).labels().sync(snap["idempotent_duplicates"])
+        metrics.gauge(
+            "repro_idempotency_keys", "Recorded idempotency keys retained."
+        ).set(snap["idempotency_keys"])
 
     return collect
 

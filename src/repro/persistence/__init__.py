@@ -6,7 +6,9 @@ per-request transactions, primary-key uniqueness, per-class DAO access, and
 the load-balancing scheme's ``NodeState`` table.
 """
 
+from repro.persistence.changelog import ChangeLog, ChangeRecord
 from repro.persistence.datastore import DataStore
+from repro.persistence.views import ChangelogView, QueryResultView, ServiceUriView
 from repro.persistence.dao import (
     BindingResolver,
     DAORegistry,
@@ -19,7 +21,12 @@ from repro.persistence.nodestate import NODESTATE_TABLE, NodeSample, NodeStateSt
 from repro.persistence.table import Table
 
 __all__ = [
+    "ChangeLog",
+    "ChangeRecord",
+    "ChangelogView",
     "DataStore",
+    "QueryResultView",
+    "ServiceUriView",
     "BindingResolver",
     "DAORegistry",
     "DefaultBindingResolver",

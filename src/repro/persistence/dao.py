@@ -191,12 +191,12 @@ class ServiceDAO(GenericDAO):
         #: the resolver's fingerprint method, looked up once per install —
         #: the per-query getattr was measurable on the discovery hot path
         self._fingerprint = getattr(self.resolver, "fingerprint", None)
-        #: (heap version, {service id → (resolver fingerprint, access URIs)})
-        #: — an atomically-published pair: readers that find the version
-        #: stale swap-publish a fresh map and fill the map they captured, so
-        #: a racing heap write can strand a fill (future miss) but can never
-        #: serve a pre-write answer under the post-write version
-        self._uri_cache: tuple[int, dict[str, tuple[object, list[str]]]] = (-1, {})
+        #: service id → (resolver fingerprint, access URIs), maintained
+        #: incrementally off the store's changelog: a write drops exactly
+        #: the entries it affects instead of re-keying the population
+        from repro.persistence.views import ServiceUriView
+
+        self._uri_view = ServiceUriView(store)
         self.uri_cache_hits = 0
         self.uri_cache_misses = 0
         #: optional telemetry tracer; spans the (cache-miss) resolve path only
@@ -205,7 +205,7 @@ class ServiceDAO(GenericDAO):
     def set_resolver(self, resolver: BindingResolver) -> None:
         self.resolver = resolver
         self._fingerprint = getattr(resolver, "fingerprint", None)
-        self._uri_cache = (-1, {})
+        self._uri_view.invalidate_all()
 
     def resolve_bindings(self, service: Service, *, copy: bool = True) -> list[ServiceBinding]:
         """Bindings for discovery, post-resolver (the registry's answer).
@@ -232,12 +232,14 @@ class ServiceDAO(GenericDAO):
     def resolve_access_uris(self, service: Service) -> list[str]:
         """Access URIs for discovery — what execute()/the Web UI displays.
 
-        Steady-state repeat queries are answered from a per-service cache:
-        an entry stays valid while no heap write has happened (any write
-        clears the cache) and the resolver's :meth:`fingerprint` token is
-        unchanged — for the constraint resolver that means no NodeState
-        sample landed and the clock minute is the same.  A resolver without
-        a ``fingerprint`` method disables the cache.
+        Steady-state repeat queries are answered from a changelog-backed
+        materialized view: an entry stays valid until a write actually
+        touches that service (or one of its bindings) and while the
+        resolver's :meth:`fingerprint` token is unchanged — for the
+        constraint resolver that means no NodeState sample landed and the
+        clock minute is the same.  Unrelated writes no longer evict
+        anything.  A resolver without a ``fingerprint`` method disables
+        the cache.
         """
         fingerprint = self._fingerprint
         if fingerprint is None:
@@ -246,13 +248,10 @@ class ServiceDAO(GenericDAO):
                 for b in self.resolve_bindings(service, copy=False)
                 if b.access_uri
             ]
-        heap_version = self.store.version
-        cached_version, cache = self._uri_cache
-        if cached_version != heap_version:
-            cache = {}
-            self._uri_cache = (heap_version, cache)
+        view = self._uri_view
+        as_of = view.catch_up()
         token = fingerprint()
-        cached = cache.get(service.id)
+        cached = view.get(service.id)
         if cached is not None and cached[0] == token:
             self.uri_cache_hits += 1
             return list(cached[1])
@@ -262,17 +261,20 @@ class ServiceDAO(GenericDAO):
             for b in self.resolve_bindings(service, copy=False)
             if b.access_uri
         ]
-        # fill the captured map: if the heap moved meanwhile, this entry is
-        # stranded in an abandoned generation rather than poisoning the new one
-        cache[service.id] = (token, uris)
+        # a fill that raced a write is stranded by the view (future miss)
+        # rather than caching a pre-write answer past its invalidation
+        view.put(service.id, token, uris, as_of=as_of)
         return list(uris)
 
     def uri_cache_stats(self) -> dict[str, int]:
         """Resolution-cache counters (telemetry surface): hits/misses/entries."""
+        view = self._uri_view
         return {
             "hits": self.uri_cache_hits,
             "misses": self.uri_cache_misses,
-            "entries": len(self._uri_cache[1]),
+            "entries": len(view),
+            "applied_seq": view.applied_seq,
+            "invalidations": view.invalidations,
         }
 
 

@@ -57,6 +57,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.persistence.changelog import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_RESET,
+    OP_SAVE,
+    ChangeLog,
+)
 from repro.persistence.table import Row, Table
 from repro.rim.base import RegistryObject
 from repro.util.errors import (
@@ -201,6 +208,45 @@ class HeapSnapshot:
         return len(self._indexes.by_type.get(type_name, ()))
 
 
+class _BatchState:
+    """Writer-lock-private accumulator for one write-behind batch.
+
+    Holds the batch's live index builders (ops accumulate into them; one
+    publish at batch exit) and the pending change records, coalesced by
+    object id so a burst that touches the same object N times flushes one
+    record: the post-image of the last write, the pre-image of the first.
+    """
+
+    __slots__ = ("builders", "idempotency_key", "depth", "ops", "pending")
+
+    def __init__(self, builders: tuple, idempotency_key: str | None) -> None:
+        self.builders = builders
+        self.idempotency_key = idempotency_key
+        self.depth = 1
+        self.ops = 0
+        #: object id → (op, type_name, payload, previous), insertion-ordered
+        self.pending: dict[str, tuple] = {}
+
+    def record(self, op, type_name, object_id, payload, previous) -> None:
+        self.ops += 1
+        prev = self.pending.get(object_id)
+        if prev is None:
+            self.pending[object_id] = (op, type_name, payload, previous)
+            return
+        prev_op, _, _, first_previous = prev
+        if prev_op == OP_INSERT:
+            if op == OP_DELETE:
+                # inserted and deleted in one batch: never visible outside it
+                del self.pending[object_id]
+            else:  # insert + save keeps insert, with the newest payload
+                self.pending[object_id] = (OP_INSERT, type_name, payload, None)
+        elif prev_op == OP_SAVE:
+            # save+save → save; save+delete → delete (first pre-image kept)
+            self.pending[object_id] = (op, type_name, payload, first_previous)
+        else:  # delete then re-insert: net effect is a replace
+            self.pending[object_id] = (OP_SAVE, type_name, payload, first_previous)
+
+
 class DataStore:
     """In-memory persistence for one registry instance."""
 
@@ -219,10 +265,18 @@ class DataStore:
         self._lock = threading.RLock()
         self._pins: list[HeapSnapshot] = []
         self._txn_depth = 0
-        self._txn_object_snapshot: dict[str, RegistryObject] | None = None
         self._txn_table_snapshots: dict[str, dict[Any, Row]] | None = None
+        #: the write spine: every committed heap mutation appends a record
+        self.changelog = ChangeLog()
+        #: change records buffered by an open transaction (flushed on the
+        #: outermost commit, dropped — and replaced by a barrier — on rollback)
+        self._txn_changes: list[tuple] = []
+        #: the active write-behind batch, if any (see :meth:`batch`)
+        self._batch: _BatchState | None = None
         # concurrency counters (the serving core's telemetry surface)
         self.writes = 0
+        self.batched_writes = 0
+        self.coalesced_writes = 0
         self.write_lock_contended = 0
         self.snapshots_pinned = 0
         self.preimages_preserved = 0
@@ -353,6 +407,124 @@ class DataStore:
             dict(idx.sorted_names),
         )
 
+    def _active_builders(self):
+        """The batch's accumulating builders, or fresh per-op copies."""
+        state = self._batch
+        if state is not None:
+            return state.builders
+        return self._builders()
+
+    # -- write spine (changelog + write-behind batching) -----------------------
+
+    def _commit_write(self, op, type_name, object_id, payload, previous, builders):
+        """Finish one mutator: publish + log + notify, or defer to the batch."""
+        state = self._batch
+        if state is not None:
+            state.record(op, type_name, object_id, payload, previous)
+            return
+        self._publish(*builders)
+        self._log_change(op, type_name, object_id, payload, previous, None)
+        self._notify(type_name, object_id)
+
+    def _log_change(self, op, type_name, object_id, payload, previous, key) -> None:
+        """Append one record — via the transaction buffer when one is open."""
+        if self._txn_depth > 0:
+            self._txn_changes.append(
+                (op, type_name, object_id, payload, previous, key)
+            )
+            return
+        self.changelog.append(
+            op,
+            type_name=type_name,
+            object_id=object_id,
+            payload=payload,
+            previous=previous,
+            version=self.version,
+            idempotency_key=key,
+        )
+
+    def _flush_txn_changes(self) -> None:
+        """Outermost commit: move buffered records onto the changelog."""
+        version = self.version
+        for op, type_name, object_id, payload, previous, key in self._txn_changes:
+            self.changelog.append(
+                op,
+                type_name=type_name,
+                object_id=object_id,
+                payload=payload,
+                previous=previous,
+                version=version,
+                idempotency_key=key,
+            )
+        self._txn_changes.clear()
+
+    @contextmanager
+    def batch(self, *, idempotency_key: str | None = None) -> Iterator["DataStore"]:
+        """Write-behind a burst of mutations: one publish, coalesced records.
+
+        Inside the batch every mutator updates the heap map immediately
+        (point reads stay exact) but accumulates its index changes into one
+        builder set and its change record into a per-object coalescing
+        buffer.  Batch exit publishes a *single* new index generation — one
+        version bump for N ops, so version-keyed caches re-key once — then
+        flushes the coalesced records and notifies listeners per record.
+
+        Index-driven readers during the batch see the pre-batch generation
+        over the live heap: post-batch inserts are invisible to them and
+        deleted ids resolve to nothing (the usual skip), exactly the
+        anomaly-free subset MVCC readers already tolerate between
+        generations.  The writer lock is held for the whole batch; nested
+        batches join the outermost one.  ``idempotency_key`` stamps every
+        record the batch flushes.
+        """
+        with self._write():
+            state = self._batch
+            if state is not None:
+                state.depth += 1
+                try:
+                    yield self
+                finally:
+                    state.depth -= 1
+                return
+            state = _BatchState(self._builders(), idempotency_key)
+            self._batch = state
+            try:
+                yield self
+            finally:
+                # flush even on error: the heap map already mutated, so the
+                # indexes and records must match it.  An enclosing failed
+                # transaction rolls the whole thing back afterwards.
+                self._batch = None
+                self._flush_batch(state)
+
+    def _flush_batch(self, state: _BatchState) -> None:
+        if state.ops == 0:
+            return
+        self._publish(*state.builders)
+        self.batched_writes += state.ops
+        self.coalesced_writes += state.ops - len(state.pending)
+        key = state.idempotency_key
+        for object_id, (op, type_name, payload, previous) in state.pending.items():
+            self._log_change(op, type_name, object_id, payload, previous, key)
+        for object_id, (op, type_name, _payload, _previous) in state.pending.items():
+            self._notify(type_name, object_id)
+
+    def write_stats(self) -> dict[str, Any]:
+        """The write-spine telemetry surface: changelog + batching counters."""
+        log = self.changelog
+        batched = self.batched_writes
+        coalesced = self.coalesced_writes
+        return {
+            "changelog_records": len(log),
+            "last_seq": log.last_seq,
+            "resets": log.resets,
+            "version": self.version,
+            "writes": self.writes,
+            "batched_writes": batched,
+            "coalesced_writes": coalesced,
+            "coalesce_ratio": (coalesced / batched) if batched else 0.0,
+        }
+
     @staticmethod
     def _builder_add(
         by_type, sorted_ids, by_name, sorted_names, type_name: str, name: str, oid: str
@@ -416,13 +588,14 @@ class DataStore:
             if obj.id in self._objects:
                 raise ObjectExistsError(obj.id)
             stored = obj.copy()
-            builders = self._builders()
+            builders = self._active_builders()
             self._builder_add(
                 *builders, stored.type_name, stored.name.value, stored.id
             )
             self._objects[obj.id] = stored
-            self._publish(*builders)
-            self._notify(stored.type_name, stored.id)
+            self._commit_write(
+                OP_INSERT, stored.type_name, stored.id, stored, None, builders
+            )
 
     def save_object(self, obj: RegistryObject) -> None:
         """Insert-or-replace; type changes for an existing id are rejected."""
@@ -434,7 +607,7 @@ class DataStore:
                     f"{existing.type_name} → {obj.type_name}"
                 )
             stored = obj.copy()
-            builders = self._builders()
+            builders = self._active_builders()
             if existing is not None:
                 # id and type are unchanged; only the name index may move.
                 old_name = existing.name.value
@@ -452,8 +625,10 @@ class DataStore:
                     *builders, stored.type_name, stored.name.value, stored.id
                 )
             self._objects[obj.id] = stored
-            self._publish(*builders)
-            self._notify(stored.type_name, stored.id)
+            op = OP_SAVE if existing is not None else OP_INSERT
+            self._commit_write(
+                op, stored.type_name, stored.id, stored, existing, builders
+            )
 
     def get_object(self, object_id: str) -> RegistryObject | None:
         obj = self._objects.get(object_id)
@@ -478,14 +653,15 @@ class DataStore:
             obj = self._objects.get(object_id)
             if obj is None:
                 raise ObjectNotFoundError(object_id)
-            builders = self._builders()
+            builders = self._active_builders()
             self._builder_remove(
                 *builders, obj.type_name, obj.name.value, obj.id
             )
             self._preserve(object_id, obj)
             del self._objects[object_id]
-            self._publish(*builders)
-            self._notify(obj.type_name, object_id)
+            self._commit_write(
+                OP_DELETE, obj.type_name, object_id, None, obj, builders
+            )
 
     def contains(self, object_id: str) -> bool:
         return object_id in self._objects
@@ -619,12 +795,14 @@ class DataStore:
         held for the whole transaction — writers serialize, readers keep
         reading published generations (including the transaction's own
         intermediate publications, exactly as before).
+
+        Rollback is record-driven: the buffered change records carry the
+        pre-image of every heap object the transaction touched, so undo
+        replays them in reverse instead of snapshotting the whole heap up
+        front — entering a transaction costs O(tables), not O(heap).
         """
         with self._write():
             if self._txn_depth == 0:
-                self._txn_object_snapshot = {
-                    oid: obj.copy() for oid, obj in self._objects.items()
-                }
                 self._txn_table_snapshots = {
                     name: table.snapshot() for name, table in self._tables.items()
                 }
@@ -639,20 +817,34 @@ class DataStore:
             else:
                 self._txn_depth -= 1
                 if self._txn_depth == 0:
-                    self._txn_object_snapshot = None
                     self._txn_table_snapshots = None
+                    self._flush_txn_changes()
 
     def _rollback(self) -> None:
-        assert self._txn_object_snapshot is not None
         assert self._txn_table_snapshots is not None
-        # replacing the heap map wholesale abandons the transaction's map to
-        # any snapshot pinned before/within the transaction: their reads keep
-        # resolving against it (plus their pre-image overlays), untouched
-        self._objects = self._txn_object_snapshot
+        # undo from the buffered records' pre-images, newest first: the
+        # earliest pre-image of a multiply-touched object lands last.  The
+        # restored map replaces the heap wholesale, abandoning the
+        # transaction's map to any snapshot pinned before/within it — their
+        # reads keep resolving against it (plus overlays), untouched.
+        # Stored instances are immutable by contract, so restoring the
+        # pre-image references (no copies) is safe.
+        restored = dict(self._objects)
+        for _op, _type_name, object_id, _payload, previous, _key in reversed(
+            self._txn_changes
+        ):
+            if previous is not None:  # a save or delete: put the old one back
+                restored[object_id] = previous
+            else:  # an insert: the object did not exist before
+                restored.pop(object_id, None)
+        self._objects = restored
         self._rebuilt_indexes()
         for name, snapshot in self._txn_table_snapshots.items():
             if name in self._tables:
                 self._tables[name].restore(snapshot)
-        self._txn_object_snapshot = None
         self._txn_table_snapshots = None
+        # buffered records die with the transaction; the barrier tells views
+        # that entries filled from its intermediate generations are invalid
+        self._txn_changes.clear()
+        self.changelog.append(OP_RESET, version=self.version)
         self._notify(None, None)

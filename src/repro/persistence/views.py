@@ -1,0 +1,217 @@
+"""Materialized discovery views, incrementally maintained off the changelog.
+
+PR 1–5 cached discovery answers behind coarse version keys: any heap write
+re-keyed every cache, so a mixed read/write workload rebuilt the whole
+cache population once per write.  These views replace that with
+**per-record delta application**: each view tracks an applied-sequence
+watermark into the store's :class:`~repro.persistence.changelog.ChangeLog`
+and, on :meth:`~ChangelogView.catch_up`, drops exactly the entries each
+new record affects.  A write to one service invalidates one view entry,
+not the population.
+
+Fill protocol (the swap-publish discipline, sequenced): a reader calls
+``catch_up()`` and keeps the returned watermark as its ``as_of`` token,
+computes the answer from the live heap (which, by the changelog's
+ordering contract, is at least as new as ``as_of``), then offers it via
+``put(..., as_of=...)``.  The put is rejected when the view has applied
+records past ``as_of`` — a racing write may have made the fill stale, so
+it is stranded (a future miss) rather than cached.  Records not yet
+applied at put time are harmless: the next catch-up applies them and
+drops the entry if affected.
+
+A ``"reset"`` barrier (transaction rollback) clears a view wholesale:
+entries may have been filled from the transaction's intermediate,
+since-rolled-back generations, and no per-record history of those exists.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.persistence.changelog import OP_RESET, ChangeRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.persistence.datastore import DataStore
+
+
+class ChangelogView:
+    """Base class: the watermark + catch-up loop shared by every view."""
+
+    def __init__(self, store: "DataStore") -> None:
+        self._store = store
+        self._log = store.changelog
+        #: guards entry mutation and the watermark; catch-up and put
+        #: serialize on it so a fill can never outrun an invalidation
+        self._lock = threading.Lock()
+        self._applied = self._log.last_seq
+        self.records_applied = 0
+        self.resets_applied = 0
+
+    @property
+    def applied_seq(self) -> int:
+        """The changelog watermark this view has applied up to."""
+        return self._applied
+
+    def catch_up(self) -> int:
+        """Apply every new changelog record; returns the new watermark.
+
+        The fast path — no new records — is one integer compare, so read
+        paths call this per lookup without measurable cost.
+        """
+        applied = self._applied
+        if self._log.last_seq == applied:
+            return applied
+        with self._lock:
+            pending = self._log.records_since(self._applied)
+            for record in pending:
+                if record.op == OP_RESET:
+                    self._reset()
+                    self.resets_applied += 1
+                else:
+                    self._apply(record)
+                self.records_applied += 1
+            if pending:
+                self._applied = pending[-1].seq
+            return self._applied
+
+    def invalidate_all(self) -> None:
+        """Drop every entry and fast-forward past the current log tail."""
+        with self._lock:
+            self._reset()
+            self._applied = self._log.last_seq
+
+    # -- subclass hooks (called under ``_lock``) -------------------------------
+
+    def _apply(self, record: ChangeRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _reset(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ServiceUriView(ChangelogView):
+    """service id → (resolver token, access URIs) — the discovery hot path.
+
+    Maintained deltas: a record touching a ``Service`` drops that service's
+    entry; a record touching a ``ServiceBinding`` drops the owning
+    service's entry — from the post-image *and* the pre-image, so a
+    binding re-pointed between services invalidates both sides.  Every
+    other write leaves the view intact (this is the whole point: an
+    Organization churn burst no longer costs discovery its cache).
+    """
+
+    def __init__(self, store: "DataStore") -> None:
+        super().__init__(store)
+        self._entries: dict[str, tuple[object, list[str]]] = {}
+        self.invalidations = 0
+
+    def _apply(self, record: ChangeRecord) -> None:
+        if record.type_name == "Service":
+            if self._entries.pop(record.object_id, None) is not None:
+                self.invalidations += 1
+        elif record.type_name == "ServiceBinding":
+            for obj in (record.payload, record.previous):
+                service_id = getattr(obj, "service", None)
+                if service_id and self._entries.pop(service_id, None) is not None:
+                    self.invalidations += 1
+
+    def _reset(self) -> None:
+        self._entries.clear()
+
+    def get(self, service_id: str) -> tuple[object, list[str]] | None:
+        return self._entries.get(service_id)
+
+    def put(
+        self, service_id: str, token: object, uris: list[str], *, as_of: int
+    ) -> None:
+        with self._lock:
+            if as_of < self._applied:
+                return  # a write landed since the fill started: strand it
+            self._entries[service_id] = (token, uris)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class QueryResultView(ChangelogView):
+    """query text → projected rows, for hot ad-hoc plans over virtual tables.
+
+    Entries register under every RIM type their statement (including
+    subqueries) reads — the ``RegistryObject`` union view registers under
+    ``"*"`` — and a changelog record drops exactly the entries registered
+    for its type (plus all ``"*"`` entries).  Statements touching
+    relational tables are never cached here: ``Table`` writes (NodeState
+    samples) bypass the heap and therefore the changelog.
+    """
+
+    def __init__(self, store: "DataStore", *, capacity: int = 256) -> None:
+        super().__init__(store)
+        self.capacity = capacity
+        #: query text → (registered type names, result rows); LRU-ordered
+        self._entries: "OrderedDict[str, tuple[frozenset[str], tuple]]" = (
+            OrderedDict()
+        )
+        #: reverse index: type name → keys registered for it
+        self._by_type: dict[str, set[str]] = {}
+        self.invalidations = 0
+
+    def _apply(self, record: ChangeRecord) -> None:
+        affected: set[str] = set()
+        for type_name in (record.type_name, "*"):
+            keys = self._by_type.get(type_name)
+            if keys:
+                affected.update(keys)
+        for key in affected:
+            self._drop(key)
+            self.invalidations += 1
+
+    def _drop(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for type_name in entry[0]:
+            keys = self._by_type.get(type_name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_type[type_name]
+
+    def _reset(self) -> None:
+        self._entries.clear()
+        self._by_type.clear()
+
+    def get(self, key: str) -> tuple | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[1]
+
+    def put(
+        self, key: str, type_names: Iterable[str], rows: tuple, *, as_of: int
+    ) -> None:
+        with self._lock:
+            if as_of < self._applied:
+                return
+            self._drop(key)  # re-registering: clear any old type links
+            while len(self._entries) >= self.capacity:
+                self._drop(next(iter(self._entries)))
+            names = frozenset(type_names)
+            self._entries[key] = (names, rows)
+            for type_name in names:
+                self._by_type.setdefault(type_name, set()).add(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def view_stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "applied_seq": self._applied,
+            "invalidations": self.invalidations,
+            "resets_applied": self.resets_applied,
+        }

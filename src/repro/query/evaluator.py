@@ -201,12 +201,20 @@ class QueryEngine:
             "subquery_materializations": 0,
             "subquery_hits": 0,
             "rows_materialized": 0,
+            "result_hits": 0,
+            "result_misses": 0,
         }
         self._plans = None
+        self._results = None
         if planner:
+            from repro.persistence.views import QueryResultView
             from repro.query.planner import PlanCache
 
             self._plans = PlanCache()
+            #: hot ad-hoc results, invalidated per changelog record — only
+            #: string-keyed statements over virtual tables participate; the
+            #: ``planner=False`` scan path stays the untouched parity oracle
+            self._results = QueryResultView(store)
         #: subquery Select → (heap version, materialized value set);
         #: mutated only under ``_subquery_lock``
         self._subquery_cache: dict[Select, tuple[int, frozenset | tuple]] = {}
@@ -306,14 +314,37 @@ class QueryEngine:
         """Run a query, returning projected rows."""
         select = parse_select(query) if isinstance(query, str) else query
         if self.use_planner:
-            plan = self._plan_for(query if isinstance(query, str) else select, select)
+            view = self._results
+            text_key = query if isinstance(query, str) else None
+            as_of = -1
+            if view is not None and text_key is not None:
+                as_of = view.catch_up()
+                cached = view.get(text_key)
+                if cached is not None:
+                    self.stats["result_hits"] += 1
+                    # rows are scalar-valued; a per-row shallow copy keeps
+                    # callers free to mutate their result set
+                    return [dict(row) for row in cached]
+            plan = self._plan_for(text_key if text_key is not None else select, select)
             if plan.cells:
                 # the cached plan is shared: hold the lock from cell binding
                 # through the residual filter so another thread cannot rebind
                 # cell.values mid-flight (mixed-generation semi-joins)
                 with self._subquery_lock:
-                    return self._run_plan(plan, select)
-            return self._run_plan(plan, select)
+                    rows = self._run_plan(plan, select)
+            else:
+                rows = self._run_plan(plan, select)
+            if view is not None and text_key is not None:
+                self.stats["result_misses"] += 1
+                types = self._view_types(select)
+                if types is not None and len(rows) <= 512:
+                    view.put(
+                        text_key,
+                        types,
+                        tuple(dict(row) for row in rows),
+                        as_of=as_of,
+                    )
+            return rows
         else:
             rows = self._rows_for_table(select.table)
             where = (
@@ -324,6 +355,36 @@ class QueryEngine:
             if where is not None:
                 rows = [row for row in rows if eval_predicate(where, row)]
         return self._finish(select, rows)
+
+    def _view_types(self, select: Select) -> frozenset[str] | None:
+        """RIM types a statement reads (``"*"`` for the union view), or
+        ``None`` when any table — including a subquery's — is relational:
+        relational writes bypass the changelog, so those results must not
+        be cached in the changelog-invalidated view."""
+        tables: set[str] = set()
+        if not self._collect_tables(select, tables):
+            return None
+        return frozenset(VIRTUAL_TABLES[table][0] for table in tables)
+
+    def _collect_tables(self, select: Select, acc: set[str]) -> bool:
+        key = select.table.lower()
+        if key not in VIRTUAL_TABLES:
+            return False
+        acc.add(key)
+        if select.where is None:
+            return True
+        return self._collect_predicate_tables(select.where, acc)
+
+    def _collect_predicate_tables(self, predicate: Predicate, acc: set[str]) -> bool:
+        if isinstance(predicate, InSubquery):
+            return self._collect_tables(predicate.subquery, acc)
+        if isinstance(predicate, Not):
+            return self._collect_predicate_tables(predicate.operand, acc)
+        if isinstance(predicate, (And, Or)):
+            return self._collect_predicate_tables(
+                predicate.left, acc
+            ) and self._collect_predicate_tables(predicate.right, acc)
+        return True
 
     def _run_plan(self, plan, select: Select) -> list[Row]:
         """Bind subquery cells, probe, filter, finish — one plan execution."""

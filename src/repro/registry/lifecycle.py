@@ -24,7 +24,10 @@ with either endpoint.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.persistence.dao import DAORegistry
 from repro.rim import (
@@ -72,6 +75,15 @@ class LifeCycleManager:
         self.home = home
         self._listeners: list[EventListener] = []
         self._event_sequence = 0
+        #: events buffered by open write scopes, delivered post-commit so
+        #: listeners (the subscription matcher) query *published* indexes
+        self._event_buffers: list[list[AuditableEvent]] = []
+        #: idempotency key → (operation name, recorded result); bounded
+        #: FIFO so retried requests (PR-3 RetryPolicy) are exactly-once
+        self._idempotency: "OrderedDict[str, tuple[str, Any]]" = OrderedDict()
+        self._idempotency_capacity = 1024
+        self._idempotency_lock = threading.Lock()
+        self.idempotent_duplicates = 0
         from repro.registry.versioning import VersionHistory
 
         self.versions = VersionHistory()
@@ -95,9 +107,76 @@ class LifeCycleManager:
         event.sequence = self._event_sequence
         event.owner = session.user_id
         self.daos.events.insert(event)
-        for listener in self._listeners:
-            listener(event)
+        if self._event_buffers:
+            # inside a write scope: the batch has not published yet, so
+            # defer delivery until commit — a rolled-back transaction then
+            # delivers nothing (it used to notify for undone writes)
+            self._event_buffers[-1].append(event)
+        else:
+            for listener in self._listeners:
+                listener(event)
         return event
+
+    @contextmanager
+    def _write_scope(self, idempotency_key: str | None = None) -> Iterator[None]:
+        """Transaction + write-behind batch + post-commit event delivery.
+
+        Every lifecycle write runs inside one: the store publishes a single
+        index generation for the whole request (one version bump, coalesced
+        change records) and the event bus fires only after that publication
+        is visible — never for a request that rolled back.
+        """
+        store = self.daos.store
+        events: list[AuditableEvent] = []
+        self._event_buffers.append(events)
+        try:
+            with store.transaction(), store.batch(idempotency_key=idempotency_key):
+                yield
+        finally:
+            self._event_buffers.remove(events)
+        for event in events:
+            for listener in self._listeners:
+                listener(event)
+
+    # -- idempotency ----------------------------------------------------------
+
+    _MISS = object()
+
+    def _idempotent_replay(self, key: str | None, op_name: str) -> Any:
+        """The recorded result of a duplicate request, or ``_MISS``.
+
+        A key seen before with a *different* operation is a client bug, not
+        a retry, and is rejected.
+        """
+        if key is None:
+            return self._MISS
+        with self._idempotency_lock:
+            hit = self._idempotency.get(key)
+        if hit is None:
+            return self._MISS
+        recorded_op, result = hit
+        if recorded_op != op_name:
+            raise InvalidRequestError(
+                f"idempotency key {key!r} was used by {recorded_op}, "
+                f"not {op_name}"
+            )
+        self.idempotent_duplicates += 1
+        return list(result) if isinstance(result, list) else result
+
+    def _idempotent_record(self, key: str | None, op_name: str, result: Any) -> None:
+        """Remember a *committed* result so retries replay instead of re-run."""
+        if key is None:
+            return
+        with self._idempotency_lock:
+            self._idempotency[key] = (op_name, result)
+            while len(self._idempotency) > self._idempotency_capacity:
+                self._idempotency.popitem(last=False)
+
+    def idempotency_stats(self) -> dict[str, int]:
+        return {
+            "idempotency_keys": len(self._idempotency),
+            "idempotent_duplicates": self.idempotent_duplicates,
+        }
 
     # -- authorization ---------------------------------------------------------
 
@@ -115,12 +194,19 @@ class LifeCycleManager:
     # -- submitObjects -----------------------------------------------------------
 
     def submit_objects(
-        self, session: Session, objects: Sequence[RegistryObject]
+        self,
+        session: Session,
+        objects: Sequence[RegistryObject],
+        *,
+        idempotency_key: str | None = None,
     ) -> list[str]:
         """Publish new objects (ebRS SubmitObjectsRequest). Returns their ids."""
         if not objects:
             raise InvalidRequestError("submitObjects requires at least one object")
-        with self.daos.store.transaction():
+        replay = self._idempotent_replay(idempotency_key, "submitObjects")
+        if replay is not self._MISS:
+            return replay
+        with self._write_scope(idempotency_key):
             submitted: list[str] = []
             for obj in objects:
                 obj.owner = obj.owner or session.user_id
@@ -130,7 +216,8 @@ class LifeCycleManager:
                 self._post_insert(session, obj)
                 self._audit(session, EventType.CREATED, obj.id)
                 submitted.append(obj.id)
-            return submitted
+        self._idempotent_record(idempotency_key, "submitObjects", list(submitted))
+        return submitted
 
     def _post_insert(self, session: Session, obj: RegistryObject) -> None:
         """Maintain the cached cross-references the DAOs rely on."""
@@ -190,12 +277,19 @@ class LifeCycleManager:
     # -- updateObjects ------------------------------------------------------------
 
     def update_objects(
-        self, session: Session, objects: Sequence[RegistryObject]
+        self,
+        session: Session,
+        objects: Sequence[RegistryObject],
+        *,
+        idempotency_key: str | None = None,
     ) -> list[str]:
         """Replace existing objects, bumping their version (UpdateObjectsRequest)."""
         if not objects:
             raise InvalidRequestError("updateObjects requires at least one object")
-        with self.daos.store.transaction():
+        replay = self._idempotent_replay(idempotency_key, "updateObjects")
+        if replay is not self._MISS:
+            return replay
+        with self._write_scope(idempotency_key):
             updated: list[str] = []
             for obj in objects:
                 current = self.daos.store.get_object(obj.id)
@@ -209,18 +303,43 @@ class LifeCycleManager:
                 self.daos.dao_for(obj).save(obj)
                 self._audit(session, EventType.UPDATED, obj.id)
                 updated.append(obj.id)
-            return updated
+        self._idempotent_record(idempotency_key, "updateObjects", list(updated))
+        return updated
 
     # -- status transitions ----------------------------------------------------------
 
-    def approve_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
-        return self._transition(session, ids, "approve", EventType.APPROVED)
+    def approve_objects(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        *,
+        idempotency_key: str | None = None,
+    ) -> list[str]:
+        return self._transition(
+            session, ids, "approve", EventType.APPROVED, idempotency_key
+        )
 
-    def deprecate_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
-        return self._transition(session, ids, "deprecate", EventType.DEPRECATED)
+    def deprecate_objects(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        *,
+        idempotency_key: str | None = None,
+    ) -> list[str]:
+        return self._transition(
+            session, ids, "deprecate", EventType.DEPRECATED, idempotency_key
+        )
 
-    def undeprecate_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
-        return self._transition(session, ids, "undeprecate", EventType.UNDEPRECATED)
+    def undeprecate_objects(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        *,
+        idempotency_key: str | None = None,
+    ) -> list[str]:
+        return self._transition(
+            session, ids, "undeprecate", EventType.UNDEPRECATED, idempotency_key
+        )
 
     def _transition(
         self,
@@ -228,11 +347,15 @@ class LifeCycleManager:
         ids: Iterable[str],
         verb: str,
         event_type: EventType,
+        idempotency_key: str | None = None,
     ) -> list[str]:
         ids = list(ids)
         if not ids:
             raise InvalidRequestError(f"{verb}Objects requires at least one id")
-        with self.daos.store.transaction():
+        replay = self._idempotent_replay(idempotency_key, f"{verb}Objects")
+        if replay is not self._MISS:
+            return replay
+        with self._write_scope(idempotency_key):
             changed: list[str] = []
             for object_id in ids:
                 obj = self.daos.store.get_object(object_id)
@@ -243,20 +366,31 @@ class LifeCycleManager:
                 self.daos.store.save_object(obj)
                 self._audit(session, event_type, object_id)
                 changed.append(object_id)
-            return changed
+        self._idempotent_record(idempotency_key, f"{verb}Objects", list(changed))
+        return changed
 
     # -- removeObjects -----------------------------------------------------------------
 
-    def remove_objects(self, session: Session, ids: Iterable[str]) -> list[str]:
+    def remove_objects(
+        self,
+        session: Session,
+        ids: Iterable[str],
+        *,
+        idempotency_key: str | None = None,
+    ) -> list[str]:
         """Delete objects with thesis cascade semantics. Returns all removed ids."""
         ids = list(ids)
         if not ids:
             raise InvalidRequestError("removeObjects requires at least one id")
-        with self.daos.store.transaction():
+        replay = self._idempotent_replay(idempotency_key, "removeObjects")
+        if replay is not self._MISS:
+            return replay
+        with self._write_scope(idempotency_key):
             removed: list[str] = []
             for object_id in ids:
                 self._remove_one(session, object_id, removed)
-            return removed
+        self._idempotent_record(idempotency_key, "removeObjects", list(removed))
+        return removed
 
     def _remove_one(self, session: Session, object_id: str, removed: list[str]) -> None:
         if object_id in removed:
@@ -325,8 +459,18 @@ class LifeCycleManager:
 
     # -- slots --------------------------------------------------------------------------
 
-    def add_slots(self, session: Session, object_id: str, slots: Sequence[Slot]) -> None:
-        with self.daos.store.transaction():
+    def add_slots(
+        self,
+        session: Session,
+        object_id: str,
+        slots: Sequence[Slot],
+        *,
+        idempotency_key: str | None = None,
+    ) -> None:
+        replay = self._idempotent_replay(idempotency_key, "addSlots")
+        if replay is not self._MISS:
+            return None
+        with self._write_scope(idempotency_key):
             obj = self.daos.store.get_object(object_id)
             if obj is None:
                 raise ObjectNotFoundError(object_id)
@@ -335,9 +479,20 @@ class LifeCycleManager:
                 obj.slots.add(slot)
             self.daos.store.save_object(obj)
             self._audit(session, EventType.UPDATED, object_id)
+        self._idempotent_record(idempotency_key, "addSlots", None)
 
-    def remove_slots(self, session: Session, object_id: str, names: Sequence[str]) -> None:
-        with self.daos.store.transaction():
+    def remove_slots(
+        self,
+        session: Session,
+        object_id: str,
+        names: Sequence[str],
+        *,
+        idempotency_key: str | None = None,
+    ) -> None:
+        replay = self._idempotent_replay(idempotency_key, "removeSlots")
+        if replay is not self._MISS:
+            return None
+        with self._write_scope(idempotency_key):
             obj = self.daos.store.get_object(object_id)
             if obj is None:
                 raise ObjectNotFoundError(object_id)
@@ -346,6 +501,7 @@ class LifeCycleManager:
                 obj.slots.remove(name)
             self.daos.store.save_object(obj)
             self._audit(session, EventType.UPDATED, object_id)
+        self._idempotent_record(idempotency_key, "removeSlots", None)
 
     # -- relocateObjects (federation) ---------------------------------------------------
 
@@ -359,7 +515,7 @@ class LifeCycleManager:
         """Move objects to another registry (ebRS RelocateObjectsRequest)."""
         ids = list(ids)
         moved: list[str] = []
-        with self.daos.store.transaction():
+        with self._write_scope():
             for object_id in ids:
                 obj = self.daos.store.get_object(object_id)
                 if obj is None:
@@ -388,38 +544,75 @@ class LifeCycleManager:
         from repro.soap.messages import RegistryResponse
         from repro.soap.serializer import deserialize
 
+        def request_key(ctx):
+            # requests carry an optional client-chosen idempotency key so a
+            # transport-level retry replays the recorded result exactly-once
+            return getattr(ctx.body, "idempotency_key", None)
+
         def submit(ctx):
             objects = [deserialize(data) for data in ctx.body.objects]
-            return RegistryResponse(ids=self.submit_objects(ctx.session, objects))
+            return RegistryResponse(
+                ids=self.submit_objects(
+                    ctx.session, objects, idempotency_key=request_key(ctx)
+                )
+            )
 
         def update(ctx):
             objects = [deserialize(data) for data in ctx.body.objects]
-            return RegistryResponse(ids=self.update_objects(ctx.session, objects))
+            return RegistryResponse(
+                ids=self.update_objects(
+                    ctx.session, objects, idempotency_key=request_key(ctx)
+                )
+            )
 
         def approve(ctx):
-            return RegistryResponse(ids=self.approve_objects(ctx.session, ctx.body.ids))
+            return RegistryResponse(
+                ids=self.approve_objects(
+                    ctx.session, ctx.body.ids, idempotency_key=request_key(ctx)
+                )
+            )
 
         def deprecate(ctx):
-            return RegistryResponse(ids=self.deprecate_objects(ctx.session, ctx.body.ids))
+            return RegistryResponse(
+                ids=self.deprecate_objects(
+                    ctx.session, ctx.body.ids, idempotency_key=request_key(ctx)
+                )
+            )
 
         def undeprecate(ctx):
             return RegistryResponse(
-                ids=self.undeprecate_objects(ctx.session, ctx.body.ids)
+                ids=self.undeprecate_objects(
+                    ctx.session, ctx.body.ids, idempotency_key=request_key(ctx)
+                )
             )
 
         def remove(ctx):
-            return RegistryResponse(ids=self.remove_objects(ctx.session, ctx.body.ids))
+            return RegistryResponse(
+                ids=self.remove_objects(
+                    ctx.session, ctx.body.ids, idempotency_key=request_key(ctx)
+                )
+            )
 
         def add_slots(ctx):
             slots = [
                 Slot(name=s["name"], values=s["values"], slot_type=s.get("slotType"))
                 for s in ctx.body.slots
             ]
-            self.add_slots(ctx.session, ctx.body.object_id, slots)
+            self.add_slots(
+                ctx.session,
+                ctx.body.object_id,
+                slots,
+                idempotency_key=request_key(ctx),
+            )
             return RegistryResponse(ids=[ctx.body.object_id])
 
         def remove_slots(ctx):
-            self.remove_slots(ctx.session, ctx.body.object_id, ctx.body.names)
+            self.remove_slots(
+                ctx.session,
+                ctx.body.object_id,
+                ctx.body.names,
+                idempotency_key=request_key(ctx),
+            )
             return RegistryResponse(ids=[ctx.body.object_id])
 
         for name, request_type, handler in (

@@ -110,6 +110,7 @@ class RegistryServer:
             pipeline_collector,
             planner_collector,
             uri_cache_collector,
+            writes_collector,
         )
 
         self.telemetry.register_source(
@@ -122,6 +123,9 @@ class RegistryServer:
             "uri_cache",
             self.daos.services.uri_cache_stats,
             collector=uri_cache_collector(self.daos.services),
+        )
+        self.telemetry.register_source(
+            "writes", self.write_stats, collector=writes_collector(self)
         )
         # span the DAO resolve path when tracing is on (guarded, off-hot-path)
         self.daos.services.tracer = self.telemetry.tracer
@@ -200,12 +204,18 @@ class RegistryServer:
         """
         return self.kernel.pipeline_stats(per_worker=per_worker)
 
+    def write_stats(self) -> dict:
+        """The ``writes`` telemetry source: changelog spine + idempotency."""
+        stats = self.store.write_stats()
+        stats.update(self.lcm.idempotency_stats())
+        return stats
+
     def telemetry_snapshot(self) -> dict:
         """Every mounted stats surface merged into one dict, by source name.
 
-        Always includes ``pipeline``, ``planner``, and ``uri_cache``; the
-        load-balancing core adds ``constraint_cache``, ``collector``,
-        ``load_status``, and ``transport`` when attached.
+        Always includes ``pipeline``, ``planner``, ``uri_cache``, and
+        ``writes``; the load-balancing core adds ``constraint_cache``,
+        ``collector``, ``load_status``, and ``transport`` when attached.
         """
         return self.telemetry.snapshot()
 

@@ -83,7 +83,11 @@ class ServingSupervisor:
         self.accepted = 0
         self.rejected = 0
         self.started = False
-        registry.telemetry.register_source("serving", self.serving_stats)
+        from repro.obs.adapters import serving_collector
+
+        registry.telemetry.register_source(
+            "serving", self.serving_stats, collector=serving_collector(self)
+        )
 
     # -- session plumbing ------------------------------------------------------
 

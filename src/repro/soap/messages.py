@@ -24,43 +24,53 @@ SerializedObject = dict[str, Any]
 @dataclass(frozen=True)
 class SubmitObjectsRequest:
     objects: list[SerializedObject]
+    #: optional client-chosen key: a retried request with the same key
+    #: replays the recorded result instead of re-running (exactly-once)
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class UpdateObjectsRequest:
     objects: list[SerializedObject]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class ApproveObjectsRequest:
     ids: list[str]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class DeprecateObjectsRequest:
     ids: list[str]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class UndeprecateObjectsRequest:
     ids: list[str]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class RemoveObjectsRequest:
     ids: list[str]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class AddSlotsRequest:
     object_id: str
     slots: list[dict[str, Any]]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)
 class RemoveSlotsRequest:
     object_id: str
     names: list[str]
+    idempotency_key: str | None = None
 
 
 @dataclass(frozen=True)

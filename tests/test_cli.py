@@ -164,6 +164,33 @@ class TestStatsCommand:
         # a fresh state has no traffic: the per-worker tree is present, empty
         assert snapshot["pipeline"] == {}
 
+    def test_stats_writes_filters_to_write_spine(self, paths, capsys):
+        import json
+
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"], "--writes", "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snapshot = json.loads(out)
+        assert set(snapshot) == {"writes"}
+        for key in (
+            "changelog_records",
+            "last_seq",
+            "coalesce_ratio",
+            "idempotent_duplicates",
+        ):
+            assert key in snapshot["writes"], key
+
+    def test_stats_writes_table_title(self, paths, capsys):
+        main(["init", paths["state"]])
+        capsys.readouterr()
+        rc = main(["stats", paths["state"], "--writes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "write spine" in out
+        assert "writes.coalesce_ratio" in out
+
     def test_top_per_worker_reports_empty_fleet(self, paths, capsys):
         main(["init", paths["state"]])
         capsys.readouterr()

@@ -162,13 +162,32 @@ class TestResolutionCache:
         record(registry, "hostB.test", 3.0)
         assert registry.qm.get_access_uris(service.id) == [uris[0], uris[1]]
 
-    def test_heap_write_invalidates(self):
+    def test_unrelated_heap_write_keeps_cache(self):
         registry, resolver, service, _uris = balanced_manual_registry()
         registry.qm.get_access_uris(service.id)
         resolutions = resolver.resolutions
         registry.store.insert_object(Organization(ids.new_id(), name="Unrelated"))
         registry.qm.get_access_uris(service.id)
-        assert resolver.resolutions == resolutions + 1  # conservative wholesale clear
+        # per-record view invalidation: an Organization insert does not
+        # touch the service, so its cached resolution survives
+        assert resolver.resolutions == resolutions
+
+    def test_binding_write_invalidates(self):
+        registry, resolver, service, uris = balanced_manual_registry()
+        assert registry.qm.get_access_uris(service.id) == [uris[1], uris[0]]
+        resolutions = resolver.resolutions
+        binding = registry.store.get_object(service.binding_ids[0])
+        registry.store.save_object(binding)
+        registry.qm.get_access_uris(service.id)
+        assert resolver.resolutions == resolutions + 1  # re-resolved
+
+    def test_service_write_invalidates(self):
+        registry, resolver, service, _uris = balanced_manual_registry()
+        registry.qm.get_access_uris(service.id)
+        resolutions = resolver.resolutions
+        registry.store.save_object(registry.store.get_object(service.id))
+        registry.qm.get_access_uris(service.id)
+        assert resolver.resolutions == resolutions + 1  # re-resolved
 
     def test_clock_minute_invalidates_time_window(self):
         windowed = (

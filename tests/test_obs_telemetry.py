@@ -178,7 +178,7 @@ class TestLoadBalancedDeployment:
         sim_registry, balancer = deployment
         balancer.detach(sim_registry)
         remaining = sim_registry.telemetry.sources()
-        assert remaining == ["pipeline", "planner", "uri_cache"]
+        assert remaining == ["pipeline", "planner", "uri_cache", "writes"]
 
 
 class TestHttpEdges:

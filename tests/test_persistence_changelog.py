@@ -1,0 +1,201 @@
+"""Tests for the changelog write spine: records, batching, replay."""
+
+import pytest
+
+from repro.persistence import ChangeLog, DataStore
+from repro.persistence.changelog import OP_DELETE, OP_INSERT, OP_RESET, OP_SAVE
+from repro.query.evaluator import QueryEngine
+from repro.rim import Organization, Service, ServiceBinding
+from repro.soap.serializer import serialize
+from repro.util.ids import IdFactory
+
+ids = IdFactory(77)
+
+
+@pytest.fixture
+def store() -> DataStore:
+    return DataStore()
+
+
+class TestAppend:
+    def test_sequence_numbers_are_monotonic(self):
+        log = ChangeLog()
+        first = log.append(OP_INSERT, type_name="Service", object_id="a")
+        second = log.append(OP_SAVE, type_name="Service", object_id="a")
+        assert (first.seq, second.seq) == (1, 2)
+        assert log.last_seq == 2
+        assert len(log) == 2
+
+    def test_records_since_slices_by_watermark(self):
+        log = ChangeLog()
+        for n in range(5):
+            log.append(OP_INSERT, object_id=str(n))
+        assert [r.object_id for r in log.records_since(3)] == ["3", "4"]
+        assert log.records_since(5) == []
+
+    def test_mutations_append_typed_records(self, store):
+        svc = Service(ids.new_id(), name="Svc")
+        store.insert_object(svc)
+        store.save_object(Service(svc.id, name="Svc-v2"))
+        store.delete_object(svc.id)
+        ops = [r.op for r in store.changelog.records_since(0)]
+        assert ops == [OP_INSERT, OP_SAVE, OP_DELETE]
+        insert, save, delete = store.changelog.records_since(0)
+        assert insert.payload.name.value == "Svc" and insert.previous is None
+        assert save.payload.name.value == "Svc-v2"
+        assert save.previous.name.value == "Svc"
+        assert delete.payload is None and delete.previous.name.value == "Svc-v2"
+        assert all(r.type_name == "Service" for r in (insert, save, delete))
+
+    def test_save_of_new_id_logs_as_insert(self, store):
+        svc = Service(ids.new_id(), name="fresh")
+        store.save_object(svc)
+        (record,) = store.changelog.records_since(0)
+        assert record.op == OP_INSERT
+
+    def test_records_stamped_with_published_version(self, store):
+        store.insert_object(Service(ids.new_id(), name="a"))
+        (record,) = store.changelog.records_since(0)
+        assert record.version == store.version
+
+
+class TestTransactions:
+    def test_commit_flushes_buffered_records(self, store):
+        a, b = Service(ids.new_id(), name="a"), Service(ids.new_id(), name="b")
+        with store.transaction():
+            store.insert_object(a)
+            store.insert_object(b)
+            # not visible until the outermost commit
+            assert len(store.changelog) == 0
+        assert [r.object_id for r in store.changelog.records_since(0)] == [a.id, b.id]
+        assert all(r.version == store.version for r in store.changelog.records_since(0))
+
+    def test_rollback_drops_records_and_appends_barrier(self, store):
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(Service(ids.new_id(), name="doomed"))
+                raise RuntimeError("abort")
+        (barrier,) = store.changelog.records_since(0)
+        assert barrier.op == OP_RESET
+        assert store.changelog.resets == 1
+
+
+class TestBatching:
+    def test_batch_publishes_one_generation(self, store):
+        before = store.version
+        with store.batch():
+            for n in range(4):
+                store.insert_object(Service(ids.new_id(), name=f"s{n}"))
+        assert store.version == before + 1  # one bump per burst, not per op
+        assert len(store.changelog) == 4
+
+    def test_insert_then_save_coalesces_to_insert(self, store):
+        svc = Service(ids.new_id(), name="v1")
+        with store.batch():
+            store.insert_object(svc)
+            store.save_object(Service(svc.id, name="v2"))
+        (record,) = store.changelog.records_since(0)
+        assert record.op == OP_INSERT
+        assert record.payload.name.value == "v2"
+        assert store.coalesced_writes == 1
+        assert store.batched_writes == 2
+
+    def test_insert_then_delete_coalesces_to_nothing(self, store):
+        svc = Service(ids.new_id(), name="ephemeral")
+        with store.batch():
+            store.insert_object(svc)
+            store.delete_object(svc.id)
+        assert len(store.changelog) == 0
+        assert store.get_object(svc.id) is None
+
+    def test_save_then_delete_keeps_first_preimage(self, store):
+        svc = Service(ids.new_id(), name="v1")
+        store.insert_object(svc)
+        with store.batch():
+            store.save_object(Service(svc.id, name="v2"))
+            store.delete_object(svc.id)
+        record = store.changelog.records_since(0)[-1]
+        assert record.op == OP_DELETE
+        assert record.previous.name.value == "v1"
+
+    def test_batch_records_carry_idempotency_key(self, store):
+        with store.batch(idempotency_key="req-1"):
+            store.insert_object(Service(ids.new_id(), name="keyed"))
+        (record,) = store.changelog.records_since(0)
+        assert record.idempotency_key == "req-1"
+
+    def test_nested_batches_join_outermost(self, store):
+        before = store.version
+        with store.batch():
+            store.insert_object(Service(ids.new_id(), name="outer"))
+            with store.batch():
+                store.insert_object(Service(ids.new_id(), name="inner"))
+        assert store.version == before + 1
+        assert len(store.changelog) == 2
+
+
+class TestReplay:
+    def _mixed_history(self, store):
+        svc = Service(ids.new_id(), name="Adder", description="d")
+        store.insert_object(svc)
+        for host in ("h1", "h2", "h3"):
+            store.insert_object(
+                ServiceBinding(
+                    ids.new_id(), service=svc.id, access_uri=f"http://{host}:8080/a"
+                )
+            )
+        store.insert_object(Organization(ids.new_id(), name="SDSU"))
+        store.save_object(Service(svc.id, name="Adder-v2", description="d"))
+        doomed = Service(ids.new_id(), name="doomed")
+        store.insert_object(doomed)
+        store.delete_object(doomed.id)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(Service(ids.new_id(), name="rolled-back"))
+                raise RuntimeError("abort")
+        with store.batch():
+            store.insert_object(Service(ids.new_id(), name="batched"))
+        return svc
+
+    def test_replay_reconstructs_identical_state(self, store):
+        self._mixed_history(store)
+        rebuilt = DataStore()
+        applied = store.changelog.replay_into(rebuilt)
+        assert applied == len(store.changelog) - store.changelog.resets
+        assert sorted(store.all_ids()) == sorted(rebuilt.all_ids())
+        for object_id in store.all_ids():
+            assert serialize(rebuilt.get_object(object_id)) == serialize(
+                store.get_object(object_id)
+            )
+
+    def test_replayed_store_answers_queries_bit_identically(self, store):
+        self._mixed_history(store)
+        rebuilt = DataStore()
+        store.changelog.replay_into(rebuilt)
+        queries = [
+            "SELECT * FROM Service ORDER BY name",
+            "SELECT * FROM ServiceBinding ORDER BY id",
+            "SELECT * FROM RegistryObject ORDER BY id",
+            "SELECT name FROM Service WHERE name LIKE 'Adder%'",
+        ]
+        source = QueryEngine(store, planner=True)
+        target = QueryEngine(rebuilt, planner=True)
+        for query in queries:
+            assert source.execute(query) == target.execute(query), query
+
+
+class TestWriteStats:
+    def test_write_stats_surface(self, store):
+        with store.batch():
+            svc = Service(ids.new_id(), name="a")
+            store.insert_object(svc)
+            store.save_object(Service(svc.id, name="b"))
+        stats = store.write_stats()
+        assert stats["changelog_records"] == 1
+        assert stats["last_seq"] == 1
+        assert stats["batched_writes"] == 2
+        assert stats["coalesced_writes"] == 1
+        assert stats["coalesce_ratio"] == 0.5
+        assert stats["resets"] == 0
+        # `writes` counts published generations: the whole batch is one
+        assert stats["writes"] == 1

@@ -173,14 +173,19 @@ class TestAccessPathSelection:
 
 
 class TestPlanCache:
-    def test_repeat_text_hits_cache(self, planned):
+    def test_repeat_text_hits_cache(self, planned, store):
         query = "SELECT * FROM Service WHERE name LIKE 'Svc%'"
-        planned.execute(query)
+        first = planned.execute(query)
         built = planned.stats["plans_built"]
-        planned.execute(query)
+        # verbatim repeats are answered by the materialized result view
+        # before the planner is even consulted
+        assert planned.execute(query) == first
+        assert planned.stats["result_hits"] >= 1
+        # a write drops the cached rows but not the compiled plan
+        store.insert_object(Service(ids.new_id(), name="Svc99", description="d"))
         planned.execute(query)
         assert planned.stats["plans_built"] == built
-        assert planned.stats["plan_hits"] >= 2
+        assert planned.stats["plan_hits"] >= 1
 
     def test_ast_input_hits_cache_too(self, planned):
         select = parse_select("SELECT * FROM Service WHERE name = 'Svc01'")
@@ -208,8 +213,11 @@ class TestSubqueryMaterialization:
 
     def test_materialized_once_per_version(self, planned):
         planned.execute(self.QUERY)
-        planned.execute(self.QUERY)
-        planned.execute(self.QUERY)
+        # AST inputs bypass the text-keyed result view, so they reach the
+        # planner and reuse the materialized subquery for the same version
+        select = parse_select(self.QUERY)
+        planned.execute(select)
+        planned.execute(select)
         assert planned.stats["subquery_materializations"] == 1
         assert planned.stats["subquery_hits"] == 2
 
