@@ -800,8 +800,22 @@ class DataStore:
         pre-image of every heap object the transaction touched, so undo
         replays them in reverse instead of snapshotting the whole heap up
         front — entering a transaction costs O(tables), not O(heap).
+
+        Nesting discipline: a transaction may contain a batch (the write
+        scope's ``transaction() → batch()`` ordering — batch exit routes its
+        coalesced records into the transaction buffer), but opening a
+        transaction *inside* a batch that no transaction encloses is
+        rejected: the batch would swallow the change records into its
+        pending buffer, leaving rollback with no pre-images to replay.
         """
         with self._write():
+            if self._batch is not None and self._txn_depth == 0:
+                raise InvalidRequestError(
+                    "cannot open a transaction inside an active batch: "
+                    "batched change records bypass the transaction buffer, "
+                    "so rollback could not undo them — open the transaction "
+                    "first (transaction() then batch())"
+                )
             if self._txn_depth == 0:
                 self._txn_table_snapshots = {
                     name: table.snapshot() for name, table in self._tables.items()

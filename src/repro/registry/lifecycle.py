@@ -75,12 +75,16 @@ class LifeCycleManager:
         self.home = home
         self._listeners: list[EventListener] = []
         self._event_sequence = 0
-        #: events buffered by open write scopes, delivered post-commit so
-        #: listeners (the subscription matcher) query *published* indexes
-        self._event_buffers: list[list[AuditableEvent]] = []
-        #: idempotency key → (operation name, recorded result); bounded
-        #: FIFO so retried requests (PR-3 RetryPolicy) are exactly-once
-        self._idempotency: "OrderedDict[str, tuple[str, Any]]" = OrderedDict()
+        #: per-thread stack of event buffers for open write scopes, delivered
+        #: post-commit so listeners (the subscription matcher) query
+        #: *published* indexes.  Thread-local: a concurrent writer's scope
+        #: must never capture — or pop — another thread's buffer.
+        self._event_scopes = threading.local()
+        #: (user id, idempotency key) → (operation name, recorded result);
+        #: bounded FIFO so retried requests (PR-3 RetryPolicy) are
+        #: exactly-once.  Keys are scoped per user: one session can never
+        #: replay (or probe for) another session's recorded results.
+        self._idempotency: "OrderedDict[tuple[str, str], tuple[str, Any]]" = OrderedDict()
         self._idempotency_capacity = 1024
         self._idempotency_lock = threading.Lock()
         self.idempotent_duplicates = 0
@@ -107,11 +111,12 @@ class LifeCycleManager:
         event.sequence = self._event_sequence
         event.owner = session.user_id
         self.daos.events.insert(event)
-        if self._event_buffers:
-            # inside a write scope: the batch has not published yet, so
-            # defer delivery until commit — a rolled-back transaction then
-            # delivers nothing (it used to notify for undone writes)
-            self._event_buffers[-1].append(event)
+        stack = getattr(self._event_scopes, "stack", None)
+        if stack:
+            # inside this thread's write scope: the batch has not published
+            # yet, so defer delivery until commit — a rolled-back transaction
+            # then delivers nothing (it used to notify for undone writes)
+            stack[-1].append(event)
         else:
             for listener in self._listeners:
                 listener(event)
@@ -128,12 +133,19 @@ class LifeCycleManager:
         """
         store = self.daos.store
         events: list[AuditableEvent] = []
-        self._event_buffers.append(events)
+        stack = getattr(self._event_scopes, "stack", None)
+        if stack is None:
+            stack = []
+            self._event_scopes.stack = stack
+        stack.append(events)
         try:
             with store.transaction(), store.batch(idempotency_key=idempotency_key):
                 yield
         finally:
-            self._event_buffers.remove(events)
+            # the stack is thread-local and scopes nest LIFO, so the top
+            # entry is ours by identity — never another writer's buffer
+            popped = stack.pop()
+            assert popped is events
         for event in events:
             for listener in self._listeners:
                 listener(event)
@@ -142,33 +154,41 @@ class LifeCycleManager:
 
     _MISS = object()
 
-    def _idempotent_replay(self, key: str | None, op_name: str) -> Any:
+    def _idempotent_replay(
+        self, session: Session, key: str | None, op_name: str
+    ) -> Any:
         """The recorded result of a duplicate request, or ``_MISS``.
 
-        A key seen before with a *different* operation is a client bug, not
-        a retry, and is rejected.
+        Keys are scoped to the requesting user, so a key presented by a
+        different session is a plain miss (the request runs — and is then
+        authorized — normally), never a replay of someone else's result.
+        A key this user already spent on a *different* operation is a
+        client bug, not a retry, and is rejected.
         """
         if key is None:
             return self._MISS
         with self._idempotency_lock:
-            hit = self._idempotency.get(key)
-        if hit is None:
-            return self._MISS
-        recorded_op, result = hit
+            hit = self._idempotency.get((session.user_id, key))
+            if hit is None:
+                return self._MISS
+            recorded_op, result = hit
+            if recorded_op == op_name:
+                self.idempotent_duplicates += 1
         if recorded_op != op_name:
             raise InvalidRequestError(
                 f"idempotency key {key!r} was used by {recorded_op}, "
                 f"not {op_name}"
             )
-        self.idempotent_duplicates += 1
         return list(result) if isinstance(result, list) else result
 
-    def _idempotent_record(self, key: str | None, op_name: str, result: Any) -> None:
+    def _idempotent_record(
+        self, session: Session, key: str | None, op_name: str, result: Any
+    ) -> None:
         """Remember a *committed* result so retries replay instead of re-run."""
         if key is None:
             return
         with self._idempotency_lock:
-            self._idempotency[key] = (op_name, result)
+            self._idempotency[(session.user_id, key)] = (op_name, result)
             while len(self._idempotency) > self._idempotency_capacity:
                 self._idempotency.popitem(last=False)
 
@@ -203,7 +223,7 @@ class LifeCycleManager:
         """Publish new objects (ebRS SubmitObjectsRequest). Returns their ids."""
         if not objects:
             raise InvalidRequestError("submitObjects requires at least one object")
-        replay = self._idempotent_replay(idempotency_key, "submitObjects")
+        replay = self._idempotent_replay(session, idempotency_key, "submitObjects")
         if replay is not self._MISS:
             return replay
         with self._write_scope(idempotency_key):
@@ -216,7 +236,9 @@ class LifeCycleManager:
                 self._post_insert(session, obj)
                 self._audit(session, EventType.CREATED, obj.id)
                 submitted.append(obj.id)
-        self._idempotent_record(idempotency_key, "submitObjects", list(submitted))
+        self._idempotent_record(
+            session, idempotency_key, "submitObjects", list(submitted)
+        )
         return submitted
 
     def _post_insert(self, session: Session, obj: RegistryObject) -> None:
@@ -286,7 +308,7 @@ class LifeCycleManager:
         """Replace existing objects, bumping their version (UpdateObjectsRequest)."""
         if not objects:
             raise InvalidRequestError("updateObjects requires at least one object")
-        replay = self._idempotent_replay(idempotency_key, "updateObjects")
+        replay = self._idempotent_replay(session, idempotency_key, "updateObjects")
         if replay is not self._MISS:
             return replay
         with self._write_scope(idempotency_key):
@@ -303,7 +325,9 @@ class LifeCycleManager:
                 self.daos.dao_for(obj).save(obj)
                 self._audit(session, EventType.UPDATED, obj.id)
                 updated.append(obj.id)
-        self._idempotent_record(idempotency_key, "updateObjects", list(updated))
+        self._idempotent_record(
+            session, idempotency_key, "updateObjects", list(updated)
+        )
         return updated
 
     # -- status transitions ----------------------------------------------------------
@@ -352,7 +376,7 @@ class LifeCycleManager:
         ids = list(ids)
         if not ids:
             raise InvalidRequestError(f"{verb}Objects requires at least one id")
-        replay = self._idempotent_replay(idempotency_key, f"{verb}Objects")
+        replay = self._idempotent_replay(session, idempotency_key, f"{verb}Objects")
         if replay is not self._MISS:
             return replay
         with self._write_scope(idempotency_key):
@@ -366,7 +390,9 @@ class LifeCycleManager:
                 self.daos.store.save_object(obj)
                 self._audit(session, event_type, object_id)
                 changed.append(object_id)
-        self._idempotent_record(idempotency_key, f"{verb}Objects", list(changed))
+        self._idempotent_record(
+            session, idempotency_key, f"{verb}Objects", list(changed)
+        )
         return changed
 
     # -- removeObjects -----------------------------------------------------------------
@@ -382,14 +408,16 @@ class LifeCycleManager:
         ids = list(ids)
         if not ids:
             raise InvalidRequestError("removeObjects requires at least one id")
-        replay = self._idempotent_replay(idempotency_key, "removeObjects")
+        replay = self._idempotent_replay(session, idempotency_key, "removeObjects")
         if replay is not self._MISS:
             return replay
         with self._write_scope(idempotency_key):
             removed: list[str] = []
             for object_id in ids:
                 self._remove_one(session, object_id, removed)
-        self._idempotent_record(idempotency_key, "removeObjects", list(removed))
+        self._idempotent_record(
+            session, idempotency_key, "removeObjects", list(removed)
+        )
         return removed
 
     def _remove_one(self, session: Session, object_id: str, removed: list[str]) -> None:
@@ -467,7 +495,7 @@ class LifeCycleManager:
         *,
         idempotency_key: str | None = None,
     ) -> None:
-        replay = self._idempotent_replay(idempotency_key, "addSlots")
+        replay = self._idempotent_replay(session, idempotency_key, "addSlots")
         if replay is not self._MISS:
             return None
         with self._write_scope(idempotency_key):
@@ -479,7 +507,7 @@ class LifeCycleManager:
                 obj.slots.add(slot)
             self.daos.store.save_object(obj)
             self._audit(session, EventType.UPDATED, object_id)
-        self._idempotent_record(idempotency_key, "addSlots", None)
+        self._idempotent_record(session, idempotency_key, "addSlots", None)
 
     def remove_slots(
         self,
@@ -489,7 +517,7 @@ class LifeCycleManager:
         *,
         idempotency_key: str | None = None,
     ) -> None:
-        replay = self._idempotent_replay(idempotency_key, "removeSlots")
+        replay = self._idempotent_replay(session, idempotency_key, "removeSlots")
         if replay is not self._MISS:
             return None
         with self._write_scope(idempotency_key):
@@ -501,7 +529,7 @@ class LifeCycleManager:
                 obj.slots.remove(name)
             self.daos.store.save_object(obj)
             self._audit(session, EventType.UPDATED, object_id)
-        self._idempotent_record(idempotency_key, "removeSlots", None)
+        self._idempotent_record(session, idempotency_key, "removeSlots", None)
 
     # -- relocateObjects (federation) ---------------------------------------------------
 

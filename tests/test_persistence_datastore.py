@@ -137,6 +137,26 @@ class TestTransactions:
                 store.insert_object(org)
         assert store.contains(org.id)
 
+    def test_transaction_inside_bare_batch_rejected(self, store):
+        # a batch routes change records into its pending buffer, so a
+        # transaction opened under it would have no pre-images to roll back
+        with store.batch():
+            with pytest.raises(InvalidRequestError):
+                with store.transaction():
+                    pass
+
+    def test_transaction_then_batch_then_nested_transaction_rolls_back(self, store):
+        # the write scope's ordering (transaction → batch) stays legal, and
+        # a nested transaction joining it still rolls back batched writes
+        org = Organization(ids.new_id())
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                with store.batch():
+                    with store.transaction():
+                        store.insert_object(org)
+                    raise RuntimeError("boom")
+        assert not store.contains(org.id)
+
 
 class TestTables:
     def test_create_and_get(self, store):

@@ -68,6 +68,32 @@ class TestLifecycleIdempotency:
         )
         assert result == [other.id]
 
+    def test_keys_are_scoped_per_user(self, registry, session):
+        # another session presenting a previously-used key must not replay
+        # the first session's recorded result (it would bypass authorization)
+        _, credential = registry.register_user("silver")
+        other = registry.login(credential)
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        first = registry.lcm.submit_objects(session, [org], idempotency_key="req-1")
+        mine = Organization(registry.ids.new_id(), name="Other")
+        result = registry.lcm.submit_objects(other, [mine], idempotency_key="req-1")
+        assert result == [mine.id] != first
+        assert registry.lcm.idempotent_duplicates == 0
+        assert len(registry.daos.organizations.all()) == 2
+
+    def test_other_users_key_does_not_leak_operation(self, registry, session):
+        # a different user reusing the key on a different op is a miss, not
+        # the wrong-operation error (which would leak what the key ran)
+        _, credential = registry.register_user("silver")
+        other = registry.login(credential)
+        org = Organization(registry.ids.new_id(), name="SDSU")
+        registry.lcm.submit_objects(session, [org], idempotency_key="shared")
+        theirs = Organization(registry.ids.new_id(), name="Theirs")
+        registry.lcm.submit_objects(other, [theirs], idempotency_key="probe")
+        registry.lcm.remove_objects(other, [theirs.id], idempotency_key="shared")
+        assert not registry.store.contains(theirs.id)
+        assert registry.store.contains(org.id)
+
     def test_idempotency_stats_surface(self, registry, session):
         registry.lcm.submit_objects(
             session,

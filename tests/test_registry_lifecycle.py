@@ -1,5 +1,7 @@
 """Tests for the LifeCycleManager: submit/update/status/remove/slots/cascades."""
 
+import threading
+
 import pytest
 
 from repro.rim import (
@@ -238,3 +240,37 @@ class TestEventListeners:
         registry.lcm.submit_objects(session, [org])
         registry.lcm.approve_objects(session, [org.id])
         assert [e.event_type for e in seen] == [EventType.CREATED, EventType.APPROVED]
+
+    def test_concurrent_writers_deliver_every_event_once(self, registry, session):
+        # write scopes buffer events per thread: one writer's committed
+        # events must never land in (or vanish with) another writer's scope
+        seen = []
+        seen_lock = threading.Lock()
+
+        def listener(event):
+            with seen_lock:
+                seen.append(event)
+
+        registry.lcm.add_event_listener(listener)
+        per_thread, threads = 25, 4
+        object_ids = [
+            [registry.ids.new_id() for _ in range(per_thread)]
+            for _ in range(threads)
+        ]
+
+        def writer(ids):
+            for object_id in ids:
+                registry.lcm.submit_objects(
+                    session, [Organization(object_id, name="org")]
+                )
+
+        workers = [
+            threading.Thread(target=writer, args=(ids,)) for ids in object_ids
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        delivered = sorted(e.affected_object for e in seen)
+        expected = sorted(oid for ids in object_ids for oid in ids)
+        assert delivered == expected
