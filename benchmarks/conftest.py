@@ -15,9 +15,25 @@ import time
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: how many past runs each BENCH_*.json keeps in its ``history`` list
 HISTORY_KEEP = 20
+
+#: every BENCH_*.json artifact the suite maintains (bench name → filename);
+#: all of them merge their perf trajectory through :func:`write_bench_json`
+BENCH_JSON_FILES = {
+    "adhoc": "BENCH_adhoc.json",
+    "cluster": "BENCH_cluster.json",
+    "discovery": "BENCH_discovery.json",
+    "mixed": "BENCH_mixed.json",
+    "serving": "BENCH_serving.json",
+}
+
+
+def bench_json_path(name: str) -> pathlib.Path:
+    """Repo-root path of a registered BENCH_*.json artifact."""
+    return REPO_ROOT / BENCH_JSON_FILES[name]
 
 
 def write_bench_json(path: pathlib.Path, report: dict) -> dict:

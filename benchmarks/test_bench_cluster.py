@@ -1,0 +1,282 @@
+"""CLUS-1 — federated cluster: discovery QPS vs member count, lag, parity.
+
+The cluster layer (``repro.registry.federation`` + ``repro.serving.cluster``)
+shards object ownership over a consistent-hash ring, forwards misses to the
+owning member through each kernel's ``route`` stage, and converges members
+through changelog-tailed replication links.  This bench offers the *same*
+deterministic discovery workload (``GetRegistryObjectRequest`` over a fixed
+id sequence) to clusters of 1/2/4 members, each member running a
+``wire_delay_s`` serving fleet:
+
+* **scaling** — every member adds a serving fleet, so discovery QPS must
+  climb monotonically from 1 to 4 members (the wire sleeps overlap across
+  the cluster exactly as they do across one member's workers).
+* **bounded lag** — objects are published mid-flight; the pre-pump lag is
+  recorded, then :meth:`ClusterSupervisor.pump_until_converged` must drain
+  every link to zero — under the configured ``max_replication_lag`` bound —
+  before the timed phase runs.
+* **forwarded-vs-local parity** — before replication has copied anything, a
+  request forwarded by a non-owning edge must return a response
+  ``==``-identical to asking the owner directly: routing may not change a
+  single answer.
+
+A pre-pump warmup phase routes traffic while members still miss locally,
+so the recorded ``route`` counters show real forwarding, not just local
+serves.  Scale knobs (for the CI smoke job): ``BENCH_CLUSTER_MEMBERS``,
+``BENCH_CLUSTER_OBJECTS``, ``BENCH_CLUSTER_REQUESTS``,
+``BENCH_CLUSTER_WIRE_MS``, ``BENCH_CLUSTER_MAX_LAG``.  Results merge into
+``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.registry import RegistryConfig, RegistryFederation, RegistryServer
+from repro.rim import Organization
+from repro.serving import ClusterConfig, ClusterSupervisor, ServingConfig
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.messages import GetRegistryObjectRequest
+from repro.util.clock import ManualClock
+from repro.util.ids import IdFactory
+
+MEMBER_COUNTS = tuple(
+    int(n) for n in os.environ.get("BENCH_CLUSTER_MEMBERS", "1,2,4").split(",")
+)
+OBJECTS = int(os.environ.get("BENCH_CLUSTER_OBJECTS", "96"))
+REQUESTS = int(os.environ.get("BENCH_CLUSTER_REQUESTS", "480"))
+WIRE_MS = float(os.environ.get("BENCH_CLUSTER_WIRE_MS", "2.0"))
+MAX_LAG = float(os.environ.get("BENCH_CLUSTER_MAX_LAG", "512"))
+WORKERS_PER_MEMBER = 2
+
+#: pre-pump requests that exercise the forwarding path while members miss
+WARMUP = min(REQUESTS // 4, 48)
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def build_cluster(members: int) -> tuple[RegistryFederation, list[str]]:
+    """A deterministic cluster with every object placed on its shard owner.
+
+    The object-id sequence comes from one seed-locked :class:`IdFactory`,
+    so every cluster size publishes the *same* ids and replays the same
+    request bodies — only placement (the ring) differs.
+    """
+    federation = RegistryFederation(f"bench-cluster-{members}")
+    sessions = {}
+    for index in range(members):
+        registry = RegistryServer(
+            RegistryConfig(
+                seed=7 + index,
+                home=f"http://member{index}.cluster:8080/omar/registry",
+            ),
+            clock=ManualClock(start=11 * 3600.0),
+        )
+        federation.join(registry)
+        _, cred = registry.register_user(f"publisher-{index}")
+        sessions[registry.home] = registry.login(cred)
+    ids = IdFactory(99)
+    object_ids: list[str] = []
+    for i in range(OBJECTS):
+        object_id = ids.new_id()
+        owner_home = federation.shard_map.owner(object_id)
+        owner = federation.member(owner_home)
+        owner.lcm.submit_objects(
+            sessions[owner_home], [Organization(object_id, name=f"BenchOrg{i:04d}")]
+        )
+        object_ids.append(object_id)
+    return federation, object_ids
+
+
+def build_workload(object_ids: list[str]) -> list[GetRegistryObjectRequest]:
+    rng = random.Random(42)
+    return [GetRegistryObjectRequest(rng.choice(object_ids)) for _ in range(REQUESTS)]
+
+
+def run_parity_check() -> dict:
+    """Pre-replication: forwarded responses must equal the owner's own."""
+    federation, object_ids = build_cluster(2)
+    edges = federation.members()
+    mismatches = 0
+    compared = 0
+    for object_id in object_ids:
+        responses = []
+        for registry in edges:
+            envelope = SoapEnvelope(body=GetRegistryObjectRequest(object_id=object_id))
+            responses.append(
+                federation.transport.request(
+                    federation.endpoint_for(registry.home), envelope
+                )
+            )
+        compared += 1
+        if responses[0] != responses[1]:
+            mismatches += 1
+    forwarded = sum(
+        federation.router_for(r.home).stats()["forwarded"] for r in edges
+    )
+    return {
+        "identical": mismatches == 0,
+        "responses_compared": compared,
+        "mismatches": mismatches,
+        "forwarded_requests": forwarded,
+    }
+
+
+def run_fleet(members: int, workload: list[GetRegistryObjectRequest]) -> dict:
+    federation, _object_ids = build_cluster(members)
+    cluster = ClusterSupervisor(
+        federation,
+        ClusterConfig(
+            serving=ServingConfig(
+                workers=WORKERS_PER_MEMBER,
+                queue_capacity=len(workload) + WORKERS_PER_MEMBER * members,
+                wire_delay_s=WIRE_MS / 1000.0,
+            ),
+            max_replication_lag=MAX_LAG,
+        ),
+    )
+    with cluster:
+        # warmup pre-pump: non-owning edges must forward, owners serve
+        for request in workload[:WARMUP]:
+            cluster.submit(body=request)
+        cluster.drain()
+        pre_pump_lag = cluster.replication_lag()
+        pumps = cluster.pump_until_converged()
+        post_pump_lag = cluster.replication_lag()
+
+        started = time.perf_counter()
+        futures = [cluster.submit(body=request) for request in workload]
+        responses = [future.result(timeout=120.0) for future in futures]
+        elapsed = time.perf_counter() - started
+
+        stats = cluster.cluster_stats()
+        pipeline = cluster.pipeline_stats()
+        slo_state = cluster.telemetry.slos.states()["replication-lag"]
+    cluster.close()
+
+    faults = sum(
+        1 for response in responses if getattr(response, "status", None) != "Success"
+    )
+    route_totals = {"local": 0, "forwarded": 0, "forwarded_served": 0}
+    for member in stats["members"].values():
+        for key in route_totals:
+            route_totals[key] += member["route"].get(key, 0)
+    return {
+        "members": members,
+        "workers_total": WORKERS_PER_MEMBER * members,
+        "qps": len(workload) / elapsed,
+        "discovery_qps": len(workload) / elapsed,
+        "elapsed_s": elapsed,
+        "faults": faults,
+        "pre_pump_lag": pre_pump_lag,
+        "post_pump_lag": post_pump_lag,
+        "pumps": pumps,
+        "links": len(stats["replication"]),
+        "route": route_totals,
+        "slo_replication_lag": slo_state,
+        "pipeline_total_requests": sum(
+            op["count"]
+            for ops in pipeline["total"].values()
+            for op in ops.values()
+        ),
+    }
+
+
+def run_bench() -> dict:
+    _federation, object_ids = build_cluster(1)
+    workload = build_workload(object_ids)
+    report: dict = {
+        "bench": "cluster",
+        "scale": {
+            "member_counts": list(MEMBER_COUNTS),
+            "workers_per_member": WORKERS_PER_MEMBER,
+            "objects": OBJECTS,
+            "requests": REQUESTS,
+            "warmup": WARMUP,
+            "wire_ms": WIRE_MS,
+            "max_replication_lag": MAX_LAG,
+        },
+        "parity": run_parity_check(),
+        "fleets": {
+            str(members): run_fleet(members, workload) for members in MEMBER_COUNTS
+        },
+    }
+    return report
+
+
+def test_cluster_scaling(save_artifact, bench_history_writer, benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    merged = bench_history_writer(JSON_PATH, report)
+
+    lines = [
+        f"CLUS-1 — federated cluster, {REQUESTS} discovery requests over "
+        f"{OBJECTS} objects, wire {WIRE_MS:.1f} ms, "
+        f"{WORKERS_PER_MEMBER} workers/member, clusters {list(MEMBER_COUNTS)}",
+        "",
+        f"{'members':>7s} {'disc qps':>10s} {'pre-lag':>8s} {'post-lag':>9s} "
+        f"{'pumps':>6s} {'fwd':>6s} {'local':>7s}",
+    ]
+    for members in MEMBER_COUNTS:
+        row = report["fleets"][str(members)]
+        lines.append(
+            f"{members:7d} {row['discovery_qps']:10.0f} {row['pre_pump_lag']:8d} "
+            f"{row['post_pump_lag']:9d} {row['pumps']:6d} "
+            f"{row['route']['forwarded']:6d} {row['route']['local']:7d}"
+        )
+    lines.append(
+        f"\nparity: {report['parity']['responses_compared']} forwarded/local "
+        f"response pairs compared, identical={report['parity']['identical']}"
+    )
+    save_artifact("CLUS1_cluster_scaling", "\n".join(lines))
+
+    # forwarded requests are bit-identical to local execution
+    assert report["parity"]["identical"], report["parity"]
+    assert report["parity"]["forwarded_requests"] > 0
+
+    for members in MEMBER_COUNTS:
+        row = report["fleets"][str(members)]
+        assert row["faults"] == 0, row
+        # bounded-lag contract: converged under the configured bound
+        assert row["post_pump_lag"] == 0
+        assert row["post_pump_lag"] <= MAX_LAG
+        assert row["slo_replication_lag"] == "ok"
+        if members > 1:
+            # the warmup phase really exercised cross-member forwarding
+            assert row["route"]["forwarded"] > 0, row
+            assert row["route"]["forwarded_served"] == row["route"]["forwarded"]
+            assert row["links"] == members * (members - 1)
+
+    # the tentpole claim: discovery QPS climbs monotonically 1 → 4 members
+    scaling = [
+        report["fleets"][str(members)]["discovery_qps"]
+        for members in MEMBER_COUNTS
+        if members <= 4
+    ]
+    assert all(b > a for a, b in zip(scaling, scaling[1:])), scaling
+    benchmark.extra_info["qps_by_members"] = {
+        str(members): round(report["fleets"][str(members)]["discovery_qps"], 1)
+        for members in MEMBER_COUNTS
+    }
+    from conftest import HISTORY_KEEP
+
+    assert len(merged["history"]) <= HISTORY_KEEP
+
+
+def test_bench_json_valid():
+    """The smoke check CI runs at reduced scale: the artifact must be valid."""
+    from conftest import bench_json_path
+
+    assert JSON_PATH == bench_json_path("cluster")
+    assert JSON_PATH.exists(), "run test_cluster_scaling first"
+    data = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    assert data["bench"] == "cluster"
+    assert data["parity"]["identical"] is True
+    for members, row in data["fleets"].items():
+        assert int(members) == row["members"]
+        assert row["discovery_qps"] > 0
+        assert row["post_pump_lag"] == 0
+        assert row["faults"] == 0

@@ -28,7 +28,11 @@ that workflow plus the experiment harness:
 ``repro experiment [--duration N] [--policies a,b,c]``
     run the LB-1 policy comparison and print the metrics table;
 ``repro sweep-period [--periods 5,10,25,60]``
-    run the LB-2 staleness ablation.
+    run the LB-2 staleness ablation;
+``repro cluster [--members N --objects M --requests R --max-lag L]``
+    run a deterministic federated demo cluster (shard-routed requests,
+    changelog replication) and print the member table, replication-link
+    watermarks, and the replication-lag SLO state.
 
 State files are JSON registry snapshots (:mod:`repro.persistence.snapshot`).
 """
@@ -342,6 +346,105 @@ def cmd_sweep_period(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run a deterministic demo cluster and print its operator tables."""
+    import json as _json
+    import random
+
+    from repro.registry.federation import RegistryFederation
+    from repro.rim import Organization
+    from repro.serving import ClusterConfig, ClusterSupervisor, ServingConfig
+    from repro.soap.messages import GetRegistryObjectRequest
+    from repro.util.clock import ManualClock
+
+    federation = RegistryFederation("cli-cluster")
+    registries = []
+    for index in range(args.members):
+        registry = RegistryServer(
+            RegistryConfig(
+                seed=40 + index,
+                home=f"http://member{index}.cluster:8080/omar/registry",
+            ),
+            clock=ManualClock(start=9 * 3600.0),
+        )
+        federation.join(registry)
+        registries.append(registry)
+
+    cluster = ClusterSupervisor(
+        federation,
+        ClusterConfig(
+            serving=ServingConfig(workers=args.workers),
+            max_replication_lag=args.max_lag,
+        ),
+    )
+    # place every object on its shard owner, so forwarding always lands
+    object_ids: list[str] = []
+    sessions = {}
+    for registry in registries:
+        _, cred = registry.register_user(f"publisher-{registry.home}")
+        sessions[registry.home] = registry.login(cred)
+    with cluster:
+        for i in range(args.objects):
+            object_id = registries[0].ids.new_id()
+            owner_home = federation.shard_map.owner(object_id)
+            owner = federation.member(owner_home)
+            org = Organization(object_id, name=f"ClusterOrg{i:03d}")
+            owner.lcm.submit_objects(sessions[owner_home], [org])
+            object_ids.append(object_id)
+        rng = random.Random(7)
+        futures = [
+            cluster.submit(body=GetRegistryObjectRequest(rng.choice(object_ids)))
+            for _ in range(args.requests)
+        ]
+        for future in futures:
+            future.result(timeout=60.0)
+        cluster.drain()
+        pre_pump_lag = cluster.replication_lag()
+        pumps = cluster.pump_until_converged()
+        stats = cluster.cluster_stats()
+
+    if args.format == "json":
+        print(_json.dumps(stats, indent=2, default=str))
+        return 0
+
+    member_rows = []
+    for home, member in stats["members"].items():
+        route = member["route"]
+        member_rows.append(
+            {
+                "member": home,
+                "objects": member["objects"],
+                "records": member["changelog"]["records"],
+                "accepted": member["serving"]["accepted"],
+                "local": route.get("local", 0),
+                "forwarded": route.get("forwarded", 0),
+                "served_for_peers": route.get("forwarded_served", 0),
+            }
+        )
+    print(format_table(member_rows, title="cluster members"))
+
+    link_rows = [
+        {
+            "link": f"{link['source']} -> {link['target']}",
+            "watermark": link["watermark"],
+            "lag": link["lag"],
+            "applied": link["applied"],
+            "barriers": link["skipped_barriers"],
+        }
+        for link in stats["replication"]
+    ]
+    if link_rows:
+        print(format_table(link_rows, title="replication links"))
+    slo_states = cluster.telemetry.slos.states()
+    print(
+        f"replication lag: {pre_pump_lag} record(s) before pumping, "
+        f"{stats['replication_lag']} after {pumps} pump(s) "
+        f"(bound {args.max_lag:g}); "
+        f"replication-lag SLO: {slo_states.get('replication-lag', 'ok')}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ebXML registry load-balancing toolkit"
@@ -434,6 +537,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=900.0)
     p.add_argument("--periods", default="5,10,25,60,120")
     p.set_defaults(func=cmd_sweep_period)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run a demo federated cluster and print members/watermarks/lag",
+    )
+    p.add_argument("--members", type=int, default=3)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--objects", type=int, default=24)
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument(
+        "--max-lag",
+        type=float,
+        default=64.0,
+        help="replication-lag SLO bound, in changelog records",
+    )
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(func=cmd_cluster)
 
     return parser
 

@@ -16,7 +16,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_exposition,
 )
-from repro.obs.slo import SLO, SloEngine, default_slos
+from repro.obs.slo import SLO, SloEngine, default_slos, replication_lag_slo
 from repro.obs.telemetry import Telemetry
 from repro.obs.timeseries import TimeSeries, TimeSeriesStore
 from repro.obs.trace import (
@@ -41,6 +41,7 @@ __all__ = [
     "TimeSeriesStore",
     "Tracer",
     "default_slos",
+    "replication_lag_slo",
     "format_traceparent",
     "parse_exposition",
     "parse_traceparent",

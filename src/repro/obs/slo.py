@@ -42,6 +42,7 @@ TIMELINE_CAPACITY = 256
 REQUEST_SOURCE = "request"
 PROBE_SOURCE = "probe"
 STALENESS_SOURCE = "node_staleness"
+REPLICATION_LAG_SOURCE = "replication_lag"
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,30 @@ def default_slos(
             threshold=staleness_threshold,
             windows=windows,
         ),
+    )
+
+
+def replication_lag_slo(
+    *,
+    threshold: float = 64.0,
+    objective: float = 0.99,
+    windows: tuple[float, ...] = (120.0, 600.0),
+) -> SLO:
+    """The cluster's bounded-lag objective over the replication links.
+
+    A ``staleness``-kind SLO reading the gauge registered under
+    :data:`REPLICATION_LAG_SOURCE` — the worst (highest) changelog lag, in
+    records, across a federation's replication links.  The condition burns
+    while any follower trails its source by more than *threshold* records,
+    turning the eventual-consistency promise into an alertable bound.
+    """
+    return SLO(
+        name="replication-lag",
+        kind="staleness",
+        source=REPLICATION_LAG_SOURCE,
+        objective=objective,
+        threshold=threshold,
+        windows=windows,
     )
 
 

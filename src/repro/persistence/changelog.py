@@ -31,7 +31,7 @@ records are immutable once appended).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.persistence.datastore import DataStore
@@ -72,6 +72,9 @@ class ChangeLog:
     def __init__(self) -> None:
         self._records: list[ChangeRecord] = []
         self.resets = 0
+        #: subscription id → listener called with each appended record
+        self._subscribers: dict[int, Callable[[ChangeRecord], None]] = {}
+        self._next_subscription = 1
 
     # -- append (writer-side, under the store's writer lock) -------------------
 
@@ -99,7 +102,32 @@ class ChangeLog:
         self._records.append(record)
         if op == OP_RESET:
             self.resets += 1
+        for listener in list(self._subscribers.values()):
+            listener(record)
         return record
+
+    # -- subscriptions (tail notifications) --------------------------------------
+
+    def subscribe(self, listener: Callable[[ChangeRecord], None]) -> int:
+        """Call *listener* with every record appended from now on.
+
+        Listeners run under the store's writer lock (the append path), so
+        they must be cheap and must never touch another store — a
+        replication consumer should only flag that new records exist and
+        apply them from its own pump loop (see
+        :class:`repro.registry.federation.ReplicationLink`).  Returns a
+        subscription id for :meth:`unsubscribe`.
+        """
+        subscription = self._next_subscription
+        self._next_subscription += 1
+        self._subscribers[subscription] = listener
+        return subscription
+
+    def unsubscribe(self, subscription: int) -> bool:
+        return self._subscribers.pop(subscription, None) is not None
+
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
 
     # -- reads (lock-free) -----------------------------------------------------
 
@@ -118,8 +146,29 @@ class ChangeLog:
     def tail(self, count: int) -> Sequence[ChangeRecord]:
         return self._records[-count:] if count > 0 else []
 
+    def iter_batches(
+        self, since: int = 0, *, batch_size: int = 100
+    ) -> Iterator[Sequence[ChangeRecord]]:
+        """Yield the records after *since* in contiguous batches.
+
+        Replication consumers pull the tail in bounded chunks; any batch
+        size partitions the same record sequence, so replaying the batches
+        in order is equivalent to one bulk :meth:`records_since` replay.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        position = since
+        while position < len(self._records):
+            batch = self._records[position : position + batch_size]
+            position += len(batch)
+            yield batch
+
     def stats(self) -> dict[str, int]:
-        return {"records": len(self._records), "resets": self.resets}
+        return {
+            "records": len(self._records),
+            "resets": self.resets,
+            "subscribers": len(self._subscribers),
+        }
 
     # -- replay ----------------------------------------------------------------
 

@@ -6,7 +6,13 @@ repository with validation/cataloging, federation support, and the assembled
 :class:`RegistryServer` facade.
 """
 
-from repro.registry.federation import FederatedRow, RegistryFederation
+from repro.registry.federation import (
+    FederatedRow,
+    RegistryFederation,
+    ReplicationLink,
+    RouteInterceptor,
+    ShardMap,
+)
 from repro.registry.kernel import (
     EdgeProfile,
     OperationSpec,
@@ -29,6 +35,9 @@ from repro.registry.versioning import VersionHistory, VersionRecord
 __all__ = [
     "FederatedRow",
     "RegistryFederation",
+    "ReplicationLink",
+    "RouteInterceptor",
+    "ShardMap",
     "EdgeProfile",
     "OperationSpec",
     "PipelineStats",

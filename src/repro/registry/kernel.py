@@ -541,13 +541,18 @@ class RegistryKernel:
         session: "Session | None" = None,
         spec: OperationSpec | None = None,
         traceparent: str | None = None,
+        tags: dict[str, Any] | None = None,
     ) -> Any:
         """Run one request through the pipeline and return the edge response.
 
         ``traceparent`` is the incoming W3C-style trace context, when the
         protocol edge carried one: the root ``request`` span then joins the
         caller's trace instead of starting its own, so client transport
-        spans and server pipeline spans share one trace id.
+        spans and server pipeline spans share one trace id.  ``tags`` seeds
+        the per-request tag bag before any stage runs — protocol edges use
+        it to hand interceptors wire-level context (e.g. the SOAP binding
+        marks requests another cluster member forwarded, so the ``route``
+        interceptor serves them locally instead of forwarding again).
         """
         ctx = RequestContext(
             edge=edge,
@@ -560,6 +565,8 @@ class RegistryKernel:
             session=session,
             spec=spec,
         )
+        if tags:
+            ctx.tags.update(tags)
         if self._composed is None:
             self._composed = self._compose()
         tracer = self._tracer

@@ -17,7 +17,14 @@ feed: per-worker pipeline-stats shards, a ``worker``-labelled request
 latency histogram, and the fleet-wide ``request`` SLO.
 """
 
+from repro.serving.cluster import ClusterConfig, ClusterSupervisor
 from repro.serving.supervisor import ServingConfig, ServingSupervisor
 from repro.serving.worker import RegistryWorker
 
-__all__ = ["ServingConfig", "ServingSupervisor", "RegistryWorker"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "ServingConfig",
+    "ServingSupervisor",
+    "RegistryWorker",
+]

@@ -79,11 +79,13 @@ class SoapRegistryBinding:
 
     def handle(self, envelope: SoapEnvelope) -> RegistryResponse | SoapFault:
         """Process one envelope; registry errors become SoapFaults."""
+        forwarded_by = envelope.forwarded_by
         return self.kernel.execute(
             self.edge,
             body=envelope.body,
             token=envelope.session_token,
             traceparent=envelope.traceparent,
+            tags={"forwarded_by": forwarded_by} if forwarded_by else None,
         )
 
 

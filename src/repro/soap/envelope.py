@@ -30,6 +30,11 @@ class SoapEnvelope:
     #: header key carrying the W3C-style trace context across the hop
     TRACEPARENT_HEADER = "traceparent"
 
+    #: header key carrying the home URL of the cluster member that forwarded
+    #: this request (shard routing); a receiving member serves it locally —
+    #: forwarding is single-hop, never transitive
+    FORWARDED_HEADER = "urn:repro:forwarded-by"
+
     @classmethod
     def with_session(
         cls,
@@ -52,6 +57,10 @@ class SoapEnvelope:
     @property
     def traceparent(self) -> str | None:
         return self.headers.get(self.TRACEPARENT_HEADER)
+
+    @property
+    def forwarded_by(self) -> str | None:
+        return self.headers.get(self.FORWARDED_HEADER)
 
 
 @dataclass

@@ -221,3 +221,42 @@ class TestExperimentCommands:
         assert rc == 0
         assert "TimeHits period sweep" in out
         assert "10" in out and "60" in out
+
+
+class TestClusterCommand:
+    def test_cluster_prints_member_and_link_tables(self, capsys):
+        rc = main(
+            ["cluster", "--members", "2", "--objects", "8", "--requests", "12"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster members" in out
+        assert "replication links" in out
+        assert "http://member0.cluster:8080/omar/registry" in out
+        assert "http://member1.cluster:8080/omar/registry" in out
+        # converged: the mesh drained to zero lag within the pump budget
+        assert "0 after" in out
+        assert "replication-lag SLO: ok" in out
+
+    def test_cluster_json_format(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "cluster",
+                "--members",
+                "2",
+                "--objects",
+                "6",
+                "--requests",
+                "6",
+                "--format",
+                "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        stats = json.loads(out)
+        assert len(stats["members"]) == 2
+        assert stats["replication_lag"] == 0
+        assert len(stats["replication"]) == 2  # the full 2-member mesh

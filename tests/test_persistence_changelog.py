@@ -1,6 +1,8 @@
-"""Tests for the changelog write spine: records, batching, replay."""
+"""Tests for the changelog write spine: records, batching, subscriptions, replay."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.persistence import ChangeLog, DataStore
 from repro.persistence.changelog import OP_DELETE, OP_INSERT, OP_RESET, OP_SAVE
@@ -182,6 +184,134 @@ class TestReplay:
         target = QueryEngine(rebuilt, planner=True)
         for query in queries:
             assert source.execute(query) == target.execute(query), query
+
+
+class TestSubscriptions:
+    def test_listener_sees_every_append(self, store):
+        seen = []
+        subscription = store.changelog.subscribe(seen.append)
+        store.insert_object(Service(ids.new_id(), name="a"))
+        store.insert_object(Service(ids.new_id(), name="b"))
+        assert [r.seq for r in seen] == [1, 2]
+        assert store.changelog.subscriber_count() == 1
+        assert store.changelog.unsubscribe(subscription)
+
+    def test_unsubscribed_listener_stops_receiving(self, store):
+        seen = []
+        subscription = store.changelog.subscribe(seen.append)
+        store.insert_object(Service(ids.new_id(), name="a"))
+        store.changelog.unsubscribe(subscription)
+        store.insert_object(Service(ids.new_id(), name="b"))
+        assert len(seen) == 1
+        assert not store.changelog.unsubscribe(subscription)  # already gone
+
+    def test_stats_count_subscribers(self, store):
+        store.changelog.subscribe(lambda record: None)
+        assert store.changelog.stats()["subscribers"] == 1
+
+
+class TestIterBatches:
+    def test_batches_partition_the_tail(self, store):
+        for n in range(7):
+            store.insert_object(Service(ids.new_id(), name=f"s{n}"))
+        batches = list(store.changelog.iter_batches(2, batch_size=2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+        flat = [r for batch in batches for r in batch]
+        assert flat == list(store.changelog.records_since(2))
+
+    def test_bad_batch_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            list(store.changelog.iter_batches(batch_size=0))
+
+
+def _apply_records(target: DataStore, records) -> None:
+    """Idempotent follower-style apply (mirrors ReplicationLink.pump)."""
+    for record in records:
+        if record.op == OP_RESET:
+            continue
+        if record.op in (OP_INSERT, OP_SAVE):
+            target.save_object(record.payload)
+        elif record.op == OP_DELETE and target.contains(record.object_id):
+            target.delete_object(record.object_id)
+
+
+def _assert_bit_identical(source: DataStore, rebuilt: DataStore) -> None:
+    assert sorted(source.all_ids()) == sorted(rebuilt.all_ids())
+    for object_id in source.all_ids():
+        assert serialize(rebuilt.get_object(object_id)) == serialize(
+            source.get_object(object_id)
+        )
+
+
+class TestReplayProperties:
+    """Satellite property: batch-size-agnostic replay, rollback isolation."""
+
+    def _mixed_store(self) -> DataStore:
+        store = DataStore()
+        svc = Service(ids.new_id(), name="Adder")
+        store.insert_object(svc)
+        for n in range(3):
+            store.insert_object(
+                ServiceBinding(
+                    ids.new_id(), service=svc.id, access_uri=f"http://h{n}:8080/a"
+                )
+            )
+        store.save_object(Service(svc.id, name="Adder-v2"))
+        doomed = Service(ids.new_id(), name="doomed")
+        store.insert_object(doomed)
+        store.delete_object(doomed.id)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.insert_object(Service(ids.new_id(), name="rolled-back"))
+                raise RuntimeError("abort")
+        store.insert_object(Organization(ids.new_id(), name="SDSU"))
+        return store
+
+    @settings(max_examples=30, deadline=None)
+    @given(batch_size=st.integers(min_value=1, max_value=16))
+    def test_any_batch_size_rebuilds_bit_identical_store(self, batch_size):
+        store = self._mixed_store()
+        rebuilt = DataStore()
+        for batch in store.changelog.iter_batches(0, batch_size=batch_size):
+            _apply_records(rebuilt, batch)
+        _assert_bit_identical(store, rebuilt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        txns=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=3)),
+            min_size=1,
+            max_size=6,
+        ),
+        batch_size=st.integers(min_value=1, max_value=8),
+    )
+    def test_reset_barriers_isolate_rolled_back_transactions(self, txns, batch_size):
+        store = DataStore()
+        committed_ids, rolled_back_ids = [], []
+        for n, (commit, size) in enumerate(txns):
+            objects = [
+                Service(ids.new_id(), name=f"txn{n}-{k}") for k in range(size)
+            ]
+            if commit:
+                with store.transaction():
+                    for obj in objects:
+                        store.insert_object(obj)
+                committed_ids.extend(obj.id for obj in objects)
+            else:
+                with pytest.raises(RuntimeError):
+                    with store.transaction():
+                        for obj in objects:
+                            store.insert_object(obj)
+                        raise RuntimeError("abort")
+                rolled_back_ids.extend(obj.id for obj in objects)
+        rebuilt = DataStore()
+        for batch in store.changelog.iter_batches(0, batch_size=batch_size):
+            _apply_records(rebuilt, batch)
+        # rolled-back writes never reached the log, only their barriers did
+        assert store.changelog.resets == sum(1 for commit, _ in txns if not commit)
+        assert all(not rebuilt.contains(oid) for oid in rolled_back_ids)
+        assert all(rebuilt.contains(oid) for oid in committed_ids)
+        _assert_bit_identical(store, rebuilt)
 
 
 class TestWriteStats:
