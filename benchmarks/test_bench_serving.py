@@ -35,6 +35,8 @@ import pathlib
 import random
 import time
 
+from repro.obs.metrics import parse_exposition
+from repro.obs.profile import SamplingProfiler
 from repro.persistence.nodestate import NodeSample
 from repro.registry import RegistryConfig, RegistryServer
 from repro.rim import Service, ServiceBinding
@@ -170,6 +172,105 @@ def run_fleet(
     return report, responses
 
 
+#: fleet size for the cost-attribution + profiler section
+ATTR_WORKERS = 4
+
+
+def run_attribution_profile(workload: list[tuple[str, object]]) -> dict:
+    """The cost-attribution section: a profiled, traced 4-worker cpu run.
+
+    Request wall time is measured *outside* the serving stack (submit →
+    completion callback on ``time.perf_counter``), so the acceptance gate —
+    ``queue_wait + stage + forward_hop`` accounting for ≥ 90 % of measured
+    wall time — compares the attribution plane against an independent
+    clock, not against itself.
+    """
+    registry, _service_ids = build_registry()
+    registry.enable_attribution()
+    registry.enable_tracing()
+    supervisor = ServingSupervisor(
+        registry,
+        ServingConfig(
+            workers=ATTR_WORKERS, queue_capacity=len(workload) + ATTR_WORKERS
+        ),
+    )
+    profiler = SamplingProfiler(interval_s=0.002)
+    submits: list[float] = [0.0] * len(workload)
+    completions: list[float] = [0.0] * len(workload)
+
+    def completion_recorder(index: int):
+        def record(_future) -> None:
+            completions[index] = time.perf_counter()
+
+        return record
+
+    with supervisor:
+        profiler.start()
+        try:
+            futures = []
+            for index, (_kind, body) in enumerate(workload):
+                submits[index] = time.perf_counter()
+                future = supervisor.submit(body=body)
+                future.add_done_callback(completion_recorder(index))
+                futures.append(future)
+            for future in futures:
+                future.result(timeout=120.0)
+            supervisor.drain()
+            # guarantee a non-empty profile even if the workload outran the
+            # sampling interval
+            profiler.sample_once()
+        finally:
+            profiler.stop()
+        attr = registry.telemetry.attribution_stats()
+        exemplar_series = registry.telemetry.exemplar_index()
+        exposition = registry.telemetry.render_prometheus()
+        serving = supervisor.serving_stats()
+    supervisor.close()
+
+    external_wall_s = sum(
+        done - started for started, done in zip(submits, completions)
+    )
+    # the exemplar-bearing exposition must survive the strict parser
+    parsed, parsed_exemplars = parse_exposition(exposition, return_exemplars=True)
+    latency_exemplars = parsed_exemplars.get(
+        "repro_request_latency_seconds_bucket", {}
+    )
+    round_trip = bool(latency_exemplars) and all(
+        "trace_id" in entry["labels"] and entry["value"] >= 0.0
+        for entry in latency_exemplars.values()
+    )
+    profile_stats = profiler.stats()
+    return {
+        "workers": ATTR_WORKERS,
+        "requests": attr["requests"],
+        "components_s": {
+            "queue_wait": attr["queue_wait_s"],
+            "stage": attr["stage_s"],
+            "forward_hop": attr["forward_hop_s"],
+            "wire": attr["wire_s"],
+        },
+        "stages_s": attr["stages"],
+        "attributed_s": attr["attributed_s"],
+        "total_s": attr["total_s"],
+        "coverage_internal": attr["coverage"],
+        "external_wall_s": external_wall_s,
+        "coverage_vs_wall": (
+            attr["attributed_s"] / external_wall_s if external_wall_s else 1.0
+        ),
+        "queue_wait": serving["queue_wait"],
+        "queue_depth_high_water": serving["queue_depth_high_water"],
+        "exemplar_series": len(exemplar_series),
+        "exemplar_round_trip": round_trip,
+        "exposition_families": len(parsed),
+        "profile": {
+            "samples": profile_stats["samples"],
+            "distinct_stacks": profile_stats["distinct_stacks"],
+            "threads": profile_stats["threads"],
+            "top": profiler.top_functions(5),
+        },
+    }
+
+
 def run_bench() -> tuple[dict, dict[str, dict[int, list]]]:
     registry, service_ids = build_registry()
     workload = build_workload(service_ids)
@@ -209,6 +310,7 @@ def run_bench() -> tuple[dict, dict[str, dict[int, list]]]:
         "baseline_workers": baseline_workers,
         "responses_compared": REQUESTS * len(WORKER_COUNTS) * 2,
     }
+    report["attribution"] = run_attribution_profile(workload)
     return report, responses_by_mode
 
 
@@ -236,6 +338,18 @@ def test_serving_scaling(save_artifact, bench_history_writer, benchmark):
         f"\nparity: {report['parity']['responses_compared']} responses compared, "
         f"identical={report['parity']['identical']}"
     )
+    attribution = report["attribution"]
+    components = attribution["components_s"]
+    lines.append(
+        f"attribution ({attribution['workers']} workers, cpu): "
+        f"{attribution['coverage_vs_wall'] * 100.0:.1f}% of measured wall "
+        f"(queue_wait {components['queue_wait']:.3f}s, "
+        f"stage {components['stage']:.3f}s, "
+        f"hop {components['forward_hop']:.3f}s); "
+        f"{attribution['exemplar_series']} exemplar series; "
+        f"profiler {attribution['profile']['samples']} samples / "
+        f"{attribution['profile']['distinct_stacks']} stacks"
+    )
     save_artifact("SERV1_serving_scaling", "\n".join(lines))
 
     # concurrent answers must be bit-identical to the single-worker run
@@ -260,6 +374,17 @@ def test_serving_scaling(save_artifact, bench_history_writer, benchmark):
             if workers <= 4
         ]
         assert all(b > a for a, b in zip(scaling, scaling[1:])), scaling
+    # cost-attribution acceptance: the split explains ≥ 90 % of externally
+    # measured request wall time, and exemplars round-trip the parser
+    assert attribution["requests"] == REQUESTS
+    assert attribution["coverage_vs_wall"] >= 0.9, attribution
+    assert attribution["coverage_internal"] >= 0.9, attribution
+    assert attribution["exemplar_round_trip"] is True, attribution
+    assert attribution["profile"]["samples"] > 0
+    assert attribution["profile"]["distinct_stacks"] > 0
+    benchmark.extra_info["attribution_coverage_vs_wall"] = round(
+        attribution["coverage_vs_wall"], 4
+    )
     benchmark.extra_info["wire_qps_by_workers"] = {
         str(workers): round(report["wire"][str(workers)]["qps"], 1)
         for workers in WORKER_COUNTS
@@ -281,3 +406,7 @@ def test_bench_json_valid():
             assert row["qps"] > 0
             assert row["p99_ms"] >= row["p50_ms"]
             assert row["faults"] == 0
+    attribution = data["attribution"]
+    assert attribution["coverage_vs_wall"] >= 0.9
+    assert attribution["exemplar_round_trip"] is True
+    assert attribution["profile"]["samples"] > 0

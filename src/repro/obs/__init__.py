@@ -11,11 +11,13 @@ from repro.obs.logging import StructuredLog
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
     parse_exposition,
 )
+from repro.obs.profile import SamplingProfiler
 from repro.obs.slo import SLO, SloEngine, default_slos, replication_lag_slo
 from repro.obs.telemetry import Telemetry
 from repro.obs.timeseries import TimeSeries, TimeSeriesStore
@@ -29,10 +31,12 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SLO",
+    "SamplingProfiler",
     "SloEngine",
     "Span",
     "StructuredLog",

@@ -210,6 +210,11 @@ def serving_collector(supervisor: "ServingSupervisor") -> Collector:
             "repro_serving_queue_capacity", "Dispatch queue bound."
         ).set(snap["queue_capacity"])
         metrics.gauge(
+            "repro_serving_queue_depth_high_water",
+            "Deepest dispatch queue observed at admission (saturation "
+            "early-warning; the queue-wait histogram is pushed separately).",
+        ).set(snap["queue_depth_high_water"])
+        metrics.gauge(
             "repro_serving_workers", "Registry worker threads in the fleet."
         ).set(snap["workers"])
         metrics.counter(

@@ -24,6 +24,14 @@ time, which is why :meth:`Counter.sync` exists alongside :meth:`Counter.inc`.
 :func:`parse_exposition` is the strict inverse of :meth:`render` — the
 telemetry smoke tests use it to prove ``/metrics`` output is valid
 Prometheus text format, not just non-empty.
+
+Histograms additionally carry OpenMetrics-style **exemplars**: an
+observation made with ``observe(value, exemplar={"trace_id": ...})`` pins
+its label set (and the observed value) to the bucket the observation landed
+in, rendered as a ``# {trace_id="..."} <value>`` suffix on that
+``_bucket`` line.  The strict parser round-trips them (``parse_exposition
+(text, return_exemplars=True)``), which is how a p99 bucket links back to
+the recorded trace of the request that filled it.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import math
 import re
 import threading
 from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 #: fixed log-scale latency buckets, 1 µs → 10 s (1/2.5/5 per decade)
@@ -73,6 +82,28 @@ def _render_labels(labelnames: tuple[str, ...], values: LabelValues) -> str:
         for name, value in zip(labelnames, values)
     )
     return "{" + pairs + "}"
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One exemplar: the label set and observed value pinned to a bucket.
+
+    ``labels`` correlates the sample with an external identity — in this
+    repo always ``{"trace_id": ...}``, linking a latency bucket to the span
+    tree of the request that landed there.
+    """
+
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def render(self) -> str:
+        pairs = ",".join(
+            f'{name}="{escape_label_value(value)}"' for name, value in self.labels
+        )
+        return f"# {{{pairs}}} {format_value(self.value)}"
 
 
 class Metric:
@@ -126,8 +157,14 @@ class Metric:
         """Children sorted by label values (the deterministic iteration order)."""
         return sorted(self._children.items())
 
-    def samples(self) -> Iterator[tuple[str, tuple[str, ...], LabelValues, float]]:
-        """(sample name, labelnames, labelvalues, value) per exposition line."""
+    def samples(
+        self,
+    ) -> Iterator[tuple[str, tuple[str, ...], LabelValues, float, "Exemplar | None"]]:
+        """(sample name, labelnames, labelvalues, value, exemplar) per line.
+
+        The exemplar slot is None everywhere except histogram ``_bucket``
+        samples whose bucket holds one.
+        """
         raise NotImplementedError  # pragma: no cover - subclasses override
 
 
@@ -158,7 +195,7 @@ class Counter(Metric):
 
     def samples(self):
         for values, child in self.series():
-            yield self.name, self.labelnames, values, child.value
+            yield self.name, self.labelnames, values, child.value, None
 
 
 class _GaugeChild:
@@ -188,26 +225,37 @@ class Gauge(Metric):
 
     def samples(self):
         for values, child in self.series():
-            yield self.name, self.labelnames, values, child.value
+            yield self.name, self.labelnames, values, child.value, None
 
 
 class _HistogramChild:
-    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars", "_lock")
 
     def __init__(self, buckets: tuple[float, ...]) -> None:
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # last slot: > max bucket (+Inf)
         self.sum = 0.0
         self.count = 0
+        #: bucket index → latest Exemplar observed into that bucket
+        self.exemplars: dict[int, Exemplar] = {}
         # observe is a three-field mutation; concurrent workers push the
         # request-latency histogram, and sum/count must never tear apart
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict[str, Any] | None = None) -> None:
         with self._lock:
-            self.counts[bisect_left(self.buckets, value)] += 1
+            index = bisect_left(self.buckets, value)
+            self.counts[index] += 1
             self.sum += value
             self.count += 1
+            if exemplar:
+                # latest-wins per bucket: the freshest trace that landed here
+                self.exemplars[index] = Exemplar(
+                    labels=tuple(
+                        (str(k), str(v)) for k, v in sorted(exemplar.items())
+                    ),
+                    value=float(value),
+                )
 
     def cumulative(self) -> list[int]:
         """Cumulative counts per upper bound, +Inf last (exposition shape)."""
@@ -216,6 +264,11 @@ class _HistogramChild:
             running += count
             out.append(running)
         return out
+
+    def exemplars_snapshot(self) -> dict[int, Exemplar]:
+        """Bucket index → exemplar, copied under the lock."""
+        with self._lock:
+            return dict(self.exemplars)
 
 
 class Histogram(Metric):
@@ -239,17 +292,24 @@ class Histogram(Metric):
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, exemplar: dict[str, Any] | None = None) -> None:
+        self._default_child().observe(value, exemplar)
 
     def samples(self):
         bucket_labels = self.labelnames + ("le",)
         bounds = [format_value(b) for b in self.buckets] + ["+Inf"]
         for values, child in self.series():
-            for bound, cumulative in zip(bounds, child.cumulative()):
-                yield f"{self.name}_bucket", bucket_labels, values + (bound,), cumulative
-            yield f"{self.name}_sum", self.labelnames, values, child.sum
-            yield f"{self.name}_count", self.labelnames, values, child.count
+            exemplars = child.exemplars_snapshot()
+            for index, (bound, cumulative) in enumerate(zip(bounds, child.cumulative())):
+                yield (
+                    f"{self.name}_bucket",
+                    bucket_labels,
+                    values + (bound,),
+                    cumulative,
+                    exemplars.get(index),
+                )
+            yield f"{self.name}_sum", self.labelnames, values, child.sum, None
+            yield f"{self.name}_count", self.labelnames, values, child.count, None
 
 
 class MetricsRegistry:
@@ -300,23 +360,43 @@ class MetricsRegistry:
                         "name": sample_name,
                         "labels": dict(zip(labelnames, values)),
                         "value": value,
+                        # exemplar key present only when the bucket holds one,
+                        # so exemplar-free snapshots keep their legacy shape
+                        **(
+                            {
+                                "exemplar": {
+                                    "labels": exemplar.labels_dict(),
+                                    "value": exemplar.value,
+                                }
+                            }
+                            if exemplar is not None
+                            else {}
+                        ),
                     }
-                    for sample_name, labelnames, values, value in metric.samples()
+                    for sample_name, labelnames, values, value, exemplar
+                    in metric.samples()
                 ],
             }
         return out
 
     def render(self) -> str:
-        """Prometheus text exposition format 0.0.4 for every family."""
+        """Prometheus text exposition format 0.0.4 for every family.
+
+        Histogram buckets holding an exemplar render the OpenMetrics-style
+        ``# {labels} value`` suffix after the sample value.
+        """
         lines: list[str] = []
         for metric in self.metrics():
             lines.append(f"# HELP {metric.name} {metric.help}")
             lines.append(f"# TYPE {metric.name} {metric.type_name}")
-            for sample_name, labelnames, values, value in metric.samples():
-                lines.append(
+            for sample_name, labelnames, values, value, exemplar in metric.samples():
+                line = (
                     f"{sample_name}{_render_labels(labelnames, values)} "
                     f"{format_value(value)}"
                 )
+                if exemplar is not None:
+                    line += f" {exemplar.render()}"
+                lines.append(line)
         return "\n".join(lines) + "\n"
 
 
@@ -325,7 +405,8 @@ class MetricsRegistry:
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>[^ ]+)$"
+    r" (?P<value>[^ ]+)"
+    r"(?: # \{(?P<exemplar_labels>[^}]*)\} (?P<exemplar_value>[^ ]+))?$"
 )
 _LABEL_PAIR_RE = re.compile(
     r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
@@ -340,7 +421,28 @@ def _parse_value(text: str) -> float:
     return float(text)
 
 
-def parse_exposition(text: str) -> dict[str, dict[frozenset, float]]:
+def _parse_labels(labels_text: str, lineno: int) -> dict[str, str]:
+    """Strict label-pair parse shared by sample labels and exemplar labels."""
+    labels: dict[str, str] = {}
+    consumed = 0
+    for pair in _LABEL_PAIR_RE.finditer(labels_text):
+        labels[pair.group("name")] = (
+            pair.group("value")
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        consumed += 1
+    if consumed != labels_text.count("=") or consumed == 0:
+        raise ValueError(f"line {lineno}: malformed labels: {labels_text!r}")
+    return labels
+
+
+def parse_exposition(
+    text: str, *, return_exemplars: bool = False
+) -> dict[str, dict[frozenset, float]] | tuple[
+    dict[str, dict[frozenset, float]], dict[str, dict[frozenset, dict[str, Any]]]
+]:
     """Parse Prometheus text format into ``{sample name: {labels: value}}``.
 
     Strict by design: every non-comment line must match the exposition
@@ -348,9 +450,16 @@ def parse_exposition(text: str) -> dict[str, dict[frozenset, float]]:
     ``# TYPE`` line, and duplicate series are rejected.  Raises
     :class:`ValueError` on any violation — the telemetry smoke test uses
     this as the "/metrics parses" gate.
+
+    An OpenMetrics-style ``# {labels} value`` exemplar suffix is accepted on
+    histogram ``_bucket`` samples only (rejected anywhere else).  With
+    ``return_exemplars=True`` the result is ``(samples, exemplars)`` where
+    the second dict maps ``{sample name: {labels: {"labels", "value"}}}`` —
+    the round-trip surface the exemplar tests assert against.
     """
     families: dict[str, str] = {}
     out: dict[str, dict[frozenset, float]] = {}
+    exemplars: dict[str, dict[frozenset, dict[str, Any]]] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -378,20 +487,22 @@ def parse_exposition(text: str) -> dict[str, dict[frozenset, float]]:
         labels_text = match.group("labels") or ""
         labels: dict[str, str] = {}
         if labels_text:
-            consumed = 0
-            for pair in _LABEL_PAIR_RE.finditer(labels_text):
-                labels[pair.group("name")] = (
-                    pair.group("value")
-                    .replace("\\n", "\n")
-                    .replace('\\"', '"')
-                    .replace("\\\\", "\\")
-                )
-                consumed += 1
-            if consumed != labels_text.count("=") or consumed == 0:
-                raise ValueError(f"line {lineno}: malformed labels: {labels_text!r}")
+            labels = _parse_labels(labels_text, lineno)
         key = frozenset(labels.items())
         series = out.setdefault(name, {})
         if key in series:
             raise ValueError(f"line {lineno}: duplicate series: {line!r}")
         series[key] = _parse_value(match.group("value"))
+        exemplar_labels = match.group("exemplar_labels")
+        if exemplar_labels is not None:
+            if families[family] != "histogram" or not name.endswith("_bucket"):
+                raise ValueError(
+                    f"line {lineno}: exemplar on a non-bucket sample: {line!r}"
+                )
+            exemplars.setdefault(name, {})[key] = {
+                "labels": _parse_labels(exemplar_labels, lineno),
+                "value": _parse_value(match.group("exemplar_value")),
+            }
+    if return_exemplars:
+        return out, exemplars
     return out

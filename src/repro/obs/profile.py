@@ -1,0 +1,295 @@
+"""SamplingProfiler — periodic stack sampling with flamegraph export.
+
+The cost-attribution plane says *where the wall time went* per request
+(queue wait / kernel stages / forwarding hops); the profiler says *which
+Python frames burned it*.  A background daemon thread wakes every
+``interval_s`` seconds, snapshots every live thread's stack via
+``sys._current_frames()``, and aggregates identical stacks into counts —
+the classic collapsed-stack shape flamegraph tooling consumes.
+
+Design constraints, mirroring the rest of ``repro/obs``:
+
+* **off the hot path when disabled** — the profiler touches nothing in the
+  kernel or serving code; it only *reads* interpreter state from its own
+  thread, so a stopped (or never-constructed) profiler costs the serving
+  path zero instructions;
+* **worker-thread-labelled** — stacks are attributed to the serving-worker
+  label declared via :func:`repro.util.workers.set_worker_label`
+  (cross-thread view: :func:`~repro.util.workers.worker_labels_by_ident`),
+  falling back to the thread name, so a flamegraph splits by worker exactly
+  like pipeline stats and latency histograms do;
+* **injectable clock + frame source** — wall-time bookkeeping runs over the
+  :class:`~repro.util.clock.Clock` protocol and the frame snapshot callable
+  is a constructor argument, so tests drive :meth:`sample_once`
+  deterministically with a fake frames provider.
+
+Exports:
+
+* :meth:`SamplingProfiler.export_collapsed` — ``frame;frame;frame count``
+  lines (Brendan Gregg collapsed-stack format, leaf last; feed to
+  ``flamegraph.pl`` or speedscope);
+* :meth:`SamplingProfiler.export_flamegraph_svg` — a dependency-free static
+  SVG flame graph (hover titles carry frame + sample counts).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.util.clock import Clock, PerfClock
+from repro.util.workers import worker_labels_by_ident
+
+#: default sampling period (5 ms ≈ 200 Hz, cheap enough for bench runs)
+DEFAULT_INTERVAL_S = 0.005
+
+#: frames deeper than this are truncated (collapsed output stays bounded)
+DEFAULT_MAX_DEPTH = 64
+
+
+def _frame_name(frame: Any) -> str:
+    """One collapsed-stack frame: ``func (file.py:line)``, separator-safe."""
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    name = f"{code.co_name} ({filename}:{frame.f_lineno})"
+    return name.replace(";", ":")
+
+
+def _stack_of(frame: Any, max_depth: int) -> tuple[str, ...]:
+    """Root-first frame names for one thread's current stack."""
+    frames: list[str] = []
+    while frame is not None and len(frames) < max_depth:
+        frames.append(_frame_name(frame))
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+class SamplingProfiler:
+    """Aggregating wall-clock stack sampler over every live thread."""
+
+    def __init__(
+        self,
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock: Clock | None = None,
+        frames_provider: Callable[[], dict[int, Any]] | None = None,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.interval_s = interval_s
+        self.clock: Clock = clock or PerfClock()
+        self._frames = frames_provider or sys._current_frames
+        self.max_depth = max_depth
+        #: (worker label, root-first stack) → samples observed
+        self.stacks: dict[tuple[str, tuple[str, ...]], int] = {}
+        self.samples = 0
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling --------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def sample_once(self) -> int:
+        """Take one snapshot of every thread's stack; returns threads seen.
+
+        Public so tests (and short bench runs racing a fast workload) can
+        sample deterministically without the background thread.
+        """
+        frames = self._frames()
+        labels = worker_labels_by_ident()
+        own = threading.get_ident()
+        sampler_ident = self._thread.ident if self._thread is not None else None
+        seen = 0
+        with self._lock:
+            for ident, frame in frames.items():
+                if ident in (own, sampler_ident):
+                    continue  # never profile the profiler
+                label = labels.get(ident)
+                if label is None:
+                    label = _thread_name(ident)
+                key = (label, _stack_of(frame, self.max_depth))
+                self.stacks[key] = self.stacks.get(key, 0) + 1
+                seen += 1
+            self.samples += 1
+        return seen
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self.interval_s)
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_at = self.clock.now()
+        self.stopped_at = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.stopped_at = self.clock.now()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- views -----------------------------------------------------------------
+
+    def _snapshot(self) -> dict[tuple[str, tuple[str, ...]], int]:
+        with self._lock:
+            return dict(self.stacks)
+
+    def stats(self) -> dict[str, Any]:
+        stacks = self._snapshot()
+        return {
+            "running": self.running,
+            "samples": self.samples,
+            "interval_s": self.interval_s,
+            "distinct_stacks": len(stacks),
+            "threads": sorted({label for label, _ in stacks}),
+            "wall_s": (
+                (self.stopped_at if self.stopped_at is not None else self.clock.now())
+                - self.started_at
+                if self.started_at is not None
+                else 0.0
+            ),
+        }
+
+    def top_functions(self, n: int = 10) -> list[dict[str, Any]]:
+        """Leaf frames by sample count — the "where is time going" table."""
+        leaves: dict[str, int] = {}
+        for (_, stack), count in self._snapshot().items():
+            if stack:
+                leaves[stack[-1]] = leaves.get(stack[-1], 0) + count
+        ranked = sorted(leaves.items(), key=lambda item: (-item[1], item[0]))
+        total = sum(leaves.values()) or 1
+        return [
+            {"frame": frame, "samples": count, "share": count / total}
+            for frame, count in ranked[:n]
+        ]
+
+    # -- export ----------------------------------------------------------------
+
+    def export_collapsed(self) -> str:
+        """Collapsed-stack text: ``worker;frame;...;frame count`` per line.
+
+        The worker label is the synthetic root frame, so per-worker towers
+        sit side by side in a flamegraph.  Deterministic line order.
+        """
+        lines = [
+            f"{label};{';'.join(stack)} {count}"
+            for (label, stack), count in sorted(self._snapshot().items())
+            if stack
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_flamegraph_svg(self, *, width: int = 1200, row_height: int = 16) -> str:
+        """A static, dependency-free SVG flame graph of the collapsed stacks."""
+        root = _Node("all")
+        for (label, stack), count in sorted(self._snapshot().items()):
+            root.add((label,) + stack, count)
+        depth = root.depth()
+        height = (depth + 2) * row_height
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" font-family="monospace" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="#fdf6e3"/>',
+        ]
+        if root.count:
+            _render_node(parts, root, 0.0, float(width), 0, row_height)
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+
+def _thread_name(ident: int) -> str:
+    """Fallback stack label for threads without a declared worker label."""
+    for thread in threading.enumerate():
+        if thread.ident == ident:
+            return thread.name
+    return f"thread-{ident}"
+
+
+class _Node:
+    """Flame-graph trie node: one frame, its sample count, ordered children."""
+
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.children: dict[str, "_Node"] = {}
+
+    def add(self, stack: Iterable[str], count: int) -> None:
+        self.count += count
+        node = self
+        for frame in stack:
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _Node(frame)
+            child.count += count
+            node = child
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+
+def _frame_color(name: str) -> str:
+    """Deterministic warm fill per frame name (hash-seeded, flame palette)."""
+    seed = sum(ord(c) for c in name)
+    red = 205 + seed % 50
+    green = 70 + (seed * 7) % 110
+    return f"rgb({red},{green},54)"
+
+
+def _render_node(
+    parts: list[str], node: _Node, x: float, width: float, row: int, row_height: int
+) -> None:
+    y = row * row_height
+    title = f"{node.name} ({node.count} samples)"
+    parts.append(
+        f'<g><title>{_escape(title)}</title>'
+        f'<rect x="{x:.1f}" y="{y}" width="{max(width, 0.5):.1f}" '
+        f'height="{row_height - 1}" fill="{_frame_color(node.name)}" '
+        f'stroke="#fdf6e3"/>'
+    )
+    if width > 40:
+        label = node.name if len(node.name) * 6 < width else node.name[: int(width / 6)]
+        parts.append(
+            f'<text x="{x + 2:.1f}" y="{y + row_height - 5}">{_escape(label)}</text>'
+        )
+    parts.append("</g>")
+    child_x = x
+    for name in sorted(node.children):
+        child = node.children[name]
+        child_width = width * child.count / node.count
+        _render_node(parts, child, child_x, child_width, row + 1, row_height)
+        child_x += child_width
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -32,10 +32,22 @@ PR 5 adds the longitudinal layer, all sharing the same clock:
 A **slow-request log** rides on the kernel hookup: requests whose latency
 meets :attr:`slow_request_threshold` are captured into a bounded deque,
 with the request's full span tree attached when tracing was on.
+
+PR 9 adds the **cost-attribution plane**: with :attr:`attribution_enabled`
+the kernel decomposes each request's wall time into ``queue_wait`` (serving
+dispatch queue), ``stage`` (kernel pipeline, per-stage exclusive times),
+``forward_hop`` (cross-member routing wire time), and ``wire`` (simulated
+off-CPU IO), and this facade folds the split into histogram families
+(``repro_request_cost_seconds``, ``repro_request_stage_seconds``), time
+series, and the :meth:`attribution_stats` aggregate whose ``coverage``
+field is the "attribution sums to ~total latency" acceptance gauge.
+Latency histograms carry trace-id **exemplars** whenever tracing is on, so
+a top bucket links to the recorded span tree (:meth:`exemplar_index`).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -76,6 +88,7 @@ class Telemetry:
         trace: bool = False,
         history: bool = False,
         log: bool = False,
+        attribution: bool = False,
         tracer_name: str = "registry",
     ) -> None:
         self.clock: Clock = clock or PerfClock()
@@ -97,6 +110,25 @@ class Telemetry:
             "Kernel request latency by edge, operation, and serving worker.",
             ("edge", "operation", "worker"),
         )
+        #: cost-attribution toggle — one bool the kernel layers check per
+        #: stage; off by default so the hot path stays untouched
+        self.attribution_enabled = bool(attribution)
+        # the attribution/queue-wait families are created lazily on first
+        # observation, so exposition output is unchanged until the cost
+        # plane actually records something
+        self._cost_hist = None
+        self._stage_hist = None
+        self._queue_wait_hist = None
+        self._attr_lock = threading.Lock()
+        self._attr_requests = 0
+        self._attr_totals = {
+            "queue_wait_s": 0.0,
+            "stage_s": 0.0,
+            "forward_hop_s": 0.0,
+            "wire_s": 0.0,
+            "total_s": 0.0,
+        }
+        self._attr_stages: dict[str, float] = {}
 
     # -- sources ---------------------------------------------------------------
 
@@ -136,12 +168,21 @@ class Telemetry:
         merged["timeseries"] = self.history.stats()
         merged["log"] = self.log.stats()
         merged["slo"] = self.slos.snapshot()
+        merged["attribution"] = self.attribution_stats()
         return merged
 
     def collect(self) -> MetricsRegistry:
         """Run every collector, syncing the metrics registry to the sources."""
         for name in sorted(self._collectors):
             self._collectors[name](self.metrics)
+        if self.tracer.traces_restarted:
+            # created lazily: the family appears only once a malformed
+            # traceparent has actually restarted a trace
+            self.metrics.counter(
+                "repro_trace_restarts_total",
+                "Incoming requests whose malformed traceparent restarted "
+                "the trace.",
+            ).labels().sync(self.tracer.traces_restarted)
         return self.metrics
 
     def render_prometheus(self) -> str:
@@ -185,11 +226,18 @@ class Telemetry:
     def record_request(self, ctx: "RequestContext") -> None:
         """Account one finished kernel request (called by the account stage)."""
         latency = ctx.latency
+        # exemplar: the active trace id rides on whichever bucket this
+        # observation lands in, so a p99 bucket names its slowest trace
+        exemplar = {"trace_id": ctx.trace_id} if ctx.trace_id is not None else None
         self._request_latency.labels(
             edge=ctx.edge.name,
             operation=ctx.operation,
             worker=ctx.tags.get("worker", "main"),
-        ).observe(latency)
+        ).observe(latency, exemplar)
+        if self.attribution_enabled:
+            attribution = ctx.tags.get("attribution")
+            if attribution is not None:
+                self._record_attribution(ctx, attribution, exemplar)
         if self.history.enabled:
             self.history.record(f"request.{ctx.edge.name}.latency", latency)
         if self.slos.active:
@@ -216,3 +264,147 @@ class Telemetry:
             self.slow_requests.append(entry)
             # the kernel attaches the span tree once the root span closes
             ctx.tags["slow_request"] = entry
+
+    # -- cost attribution ------------------------------------------------------
+
+    def record_queue_wait(self, worker: str, seconds: float) -> None:
+        """Account one dispatch-queue wait (serving worker pick-up hook)."""
+        hist = self._queue_wait_hist
+        if hist is None:
+            hist = self._queue_wait_hist = self.metrics.histogram(
+                "repro_serving_queue_wait_seconds",
+                "Dispatch-queue wait from enqueue to worker pick-up.",
+                ("worker",),
+            )
+        hist.labels(worker=worker).observe(seconds)
+        if self.history.enabled:
+            self.history.record("serving.queue_wait", seconds)
+
+    def _record_attribution(
+        self,
+        ctx: "RequestContext",
+        attribution: dict[str, Any],
+        exemplar: dict[str, str] | None,
+    ) -> None:
+        """Fold one request's cost split into families, series, aggregates."""
+        cost = self._cost_hist
+        if cost is None:
+            cost = self._cost_hist = self.metrics.histogram(
+                "repro_request_cost_seconds",
+                "Per-request wall-time attribution by component "
+                "(queue_wait / stage / forward_hop / wire).",
+                ("edge", "component"),
+            )
+        stage_hist = self._stage_hist
+        if stage_hist is None:
+            stage_hist = self._stage_hist = self.metrics.histogram(
+                "repro_request_stage_seconds",
+                "Exclusive kernel pipeline time per stage "
+                "(route excludes its forward hop).",
+                ("stage",),
+            )
+        edge = ctx.edge.name
+        cost.labels(edge=edge, component="queue_wait").observe(
+            attribution["queue_wait_s"], exemplar
+        )
+        cost.labels(edge=edge, component="stage").observe(
+            attribution["stage_s"], exemplar
+        )
+        # hop/wire components only exist on forwarded / wire-delayed
+        # requests; zero observations would drown the distributions
+        if attribution["forward_hop_s"]:
+            cost.labels(edge=edge, component="forward_hop").observe(
+                attribution["forward_hop_s"], exemplar
+            )
+        if attribution["wire_s"]:
+            cost.labels(edge=edge, component="wire").observe(
+                attribution["wire_s"], exemplar
+            )
+        for stage_name, seconds in attribution["stages"].items():
+            stage_hist.labels(stage=stage_name).observe(seconds)
+        with self._attr_lock:
+            self._attr_requests += 1
+            for key in self._attr_totals:
+                self._attr_totals[key] += attribution[key]
+            for stage_name, seconds in attribution["stages"].items():
+                self._attr_stages[stage_name] = (
+                    self._attr_stages.get(stage_name, 0.0) + seconds
+                )
+        if self.history.enabled:
+            self.history.record("attribution.queue_wait", attribution["queue_wait_s"])
+            self.history.record("attribution.stage", attribution["stage_s"])
+            self.history.record(
+                "attribution.forward_hop", attribution["forward_hop_s"]
+            )
+
+    def attribution_stats(self) -> dict[str, Any]:
+        """The ``attribution`` snapshot source: component sums + coverage.
+
+        ``coverage`` is the fraction of measured request wall time (queue
+        wait + wire + kernel) the named components account for — the
+        "splits sum to ~total latency" gauge the serving bench gates on.
+        """
+        with self._attr_lock:
+            totals = dict(self._attr_totals)
+            stages = dict(sorted(self._attr_stages.items()))
+            requests = self._attr_requests
+        attributed = (
+            totals["queue_wait_s"] + totals["stage_s"] + totals["forward_hop_s"]
+        )
+        total = totals["total_s"]
+        return {
+            "enabled": self.attribution_enabled,
+            "requests": requests,
+            **totals,
+            "attributed_s": attributed,
+            "coverage": (attributed / total) if total > 0 else 1.0,
+            "stages": stages,
+        }
+
+    def exemplar_index(self) -> list[dict[str, Any]]:
+        """Top-bucket exemplars across every histogram family.
+
+        One entry per series holding at least one exemplar: the *highest*
+        exemplar-bearing bucket wins (the slowest traced observation), so
+        ``repro top`` can jump from a p99 bucket to the recorded span tree.
+        Deterministic order: family name, then label values.
+        """
+        from repro.obs.metrics import format_value
+
+        out: list[dict[str, Any]] = []
+        for metric in self.metrics.metrics():
+            if metric.type_name != "histogram":
+                continue
+            for values, child in metric.series():
+                exemplars = child.exemplars_snapshot()
+                if not exemplars:
+                    continue
+                top = max(exemplars)
+                bounds = child.buckets
+                le = format_value(bounds[top]) if top < len(bounds) else "+Inf"
+                entry = exemplars[top]
+                out.append(
+                    {
+                        "metric": metric.name,
+                        "labels": dict(zip(metric.labelnames, values)),
+                        "le": le,
+                        "value": entry.value,
+                        **entry.labels_dict(),
+                    }
+                )
+        return out
+
+    def find_trace(self, trace_id: str) -> dict[str, Any] | None:
+        """The recorded span tree for *trace_id*, if any survived retention.
+
+        Slow-request entries (which persist their span tree) are searched
+        first, then the tracer's bounded root-span deque.
+        """
+        for entry in reversed(self.slow_requests):
+            trace = entry.get("trace")
+            if trace is not None and trace.get("trace_id") == trace_id:
+                return trace
+        for root in reversed(self.tracer.traces):
+            if root.trace_id == trace_id:
+                return root.to_dict()
+        return None

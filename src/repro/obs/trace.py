@@ -191,6 +191,9 @@ class Tracer:
         self.traces: deque[Span] = deque(maxlen=max_traces)
         self.spans_recorded = 0
         self.traces_started = 0
+        #: roots opened with a *present but malformed* traceparent — the
+        #: broken-propagation signal (mirrored as repro_trace_restarts_total)
+        self.traces_restarted = 0
         self._id_prefix = f"{zlib.crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
         self._trace_seq = itertools.count(1)
         self._span_seq = itertools.count(1)
@@ -240,6 +243,12 @@ class Tracer:
         fresh trace, exactly like :meth:`span`.  With an active local parent
         span the in-process context wins — nesting already propagates the
         trace id.
+
+        A *present but malformed* header must not fault the request (the
+        W3C rule), but it must not restart the trace silently either: the
+        new root is tagged ``trace_restarted`` and counted in
+        :attr:`traces_restarted`, so broken propagation shows up in both
+        the span tree and the metrics.
         """
         if not self.enabled:
             return _NoopContext(name)
@@ -247,7 +256,10 @@ class Tracer:
             return self.span(name, **tags)
         parsed = parse_traceparent(traceparent)
         if parsed is None:
-            return self.span(name, **tags)
+            self.traces_restarted += 1
+            restarted = self.span(name, **tags)
+            restarted._span.tags["trace_restarted"] = True
+            return restarted
         trace_id, parent_span_id = parsed
         span = Span(
             name=name,
@@ -264,6 +276,17 @@ class Tracer:
         if not self.enabled or not self._stack:
             return None
         return self._stack[-1].traceparent
+
+    def current_span(self) -> Span | None:
+        """The calling thread's active span (None when disabled or idle).
+
+        Lets in-stage code — the route interceptor timing its forward hop —
+        tag the span the kernel opened for its own stage.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def event(self, name: str, **tags: Any) -> None:
         """A zero-duration marker span under the current span."""
@@ -309,6 +332,7 @@ class Tracer:
             "enabled": self.enabled,
             "traces_kept": len(self.traces),
             "spans_recorded": self.spans_recorded,
+            "traces_restarted": self.traces_restarted,
         }
 
     # -- export ----------------------------------------------------------------

@@ -272,6 +272,9 @@ class RouteInterceptor:
         self.forwarded: dict[str, int] = {}
         self.forwarded_served = 0
         self.forward_faults = 0
+        #: wall time spent inside forwarding transport calls (hop component
+        #: of the cost-attribution plane; += is near-exact under the GIL)
+        self.forward_hop_total_s = 0.0
 
     def __call__(
         self, kernel: "RegistryKernel", ctx: "RequestContext", proceed: Any
@@ -309,9 +312,24 @@ class RouteInterceptor:
             ctx.body, ctx.token, traceparent=self._traceparent(kernel)
         )
         envelope.headers[self._envelope_cls.FORWARDED_HEADER] = self.registry.home
-        response = self.federation.transport.request(
-            endpoint, envelope, source=self.registry.home
-        )
+        hop_started = kernel.clock.now()
+        try:
+            response = self.federation.transport.request(
+                endpoint, envelope, source=self.registry.home
+            )
+        finally:
+            # the forward_hop cost component: wire + owner-side execution,
+            # measured on the kernel clock so it subtracts cleanly from the
+            # route stage's time; tagged on the stage:route span when tracing
+            hop = kernel.clock.now() - hop_started
+            self.forward_hop_total_s += hop
+            ctx.tags["forward_hop_s"] = ctx.tags.get("forward_hop_s", 0.0) + hop
+            tracer = kernel._tracer
+            if tracer is not None and tracer.enabled:
+                span = tracer.current_span()
+                if span is not None:
+                    span.tags["forward_hop_s"] = hop
+                    span.tags["forward_owner"] = owner
         if isinstance(response, self._fault_cls):
             self.forward_faults += 1
             response.raise_()
@@ -332,6 +350,7 @@ class RouteInterceptor:
             "forwarded_by_owner": dict(sorted(self.forwarded.items())),
             "forwarded_served": self.forwarded_served,
             "forward_faults": self.forward_faults,
+            "forward_hop_total_s": self.forward_hop_total_s,
         }
 
 

@@ -320,8 +320,14 @@ def _account_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proce
         ctx.finished = kernel.clock.now()
         fault_code = ctx.error.code if ctx.error is not None else None
         kernel.stats.record(ctx.edge.name, ctx.operation, ctx.latency, fault_code)
-        if kernel.telemetry is not None:
-            kernel.telemetry.record_request(ctx)
+        telemetry = kernel.telemetry
+        if telemetry is not None:
+            if telemetry.attribution_enabled:
+                # inner stages have recorded their inclusive times by now;
+                # fold them into the per-request cost split before telemetry
+                # accounts the request
+                ctx.tags["attribution"] = kernel._attribution(ctx)
+            telemetry.record_request(ctx)
 
 
 def _fault_map_stage(kernel: "RegistryKernel", ctx: RequestContext, proceed: Proceed) -> Any:
@@ -503,16 +509,37 @@ class RegistryKernel:
 
         composed: Callable[[RequestContext], Any] = terminal
         for stage in reversed(self._chain):
-            span_name = "stage:" + getattr(stage, "name", "interceptor")
+            stage_name = getattr(stage, "name", "interceptor")
+            span_name = "stage:" + stage_name
 
             def layer(
-                ctx: RequestContext, *, _stage=stage, _next=composed, _span=span_name
+                ctx: RequestContext,
+                *,
+                _stage=stage,
+                _next=composed,
+                _span=span_name,
+                _name=stage_name,
             ) -> Any:
-                tracer = self._tracer
-                if tracer is not None and tracer.enabled:
-                    with tracer.span(_span):
-                        return _stage(self, ctx, lambda: _next(ctx))
-                return _stage(self, ctx, lambda: _next(ctx))
+                telemetry = self.telemetry
+                attributing = (
+                    telemetry is not None and telemetry.attribution_enabled
+                )
+                if attributing:
+                    started = self.clock.now()
+                try:
+                    tracer = self._tracer
+                    if tracer is not None and tracer.enabled:
+                        with tracer.span(_span):
+                            return _stage(self, ctx, lambda: _next(ctx))
+                    return _stage(self, ctx, lambda: _next(ctx))
+                finally:
+                    if attributing:
+                        # inclusive wall time; _attribution telescopes these
+                        # into exclusive per-stage costs at account time
+                        timings = ctx.tags.get("stage_inclusive_s")
+                        if timings is None:
+                            timings = ctx.tags["stage_inclusive_s"] = {}
+                        timings[_name] = self.clock.now() - started
 
             composed = layer
         return composed
@@ -521,6 +548,46 @@ class RegistryKernel:
     def _tracer(self):
         telemetry = self.telemetry
         return telemetry.tracer if telemetry is not None else None
+
+    def _attribution(self, ctx: RequestContext) -> dict[str, Any]:
+        """Decompose one finished request's wall time into cost components.
+
+        The chain is strictly linear, so each stage's *exclusive* time is
+        its inclusive time minus the next present stage's inclusive time
+        (stages skipped by a fault simply don't appear).  The route stage's
+        exclusive time excludes its forward hop, which is reported as its
+        own component — so
+
+            queue_wait + stage + forward_hop + wire == total
+
+        holds exactly by construction, and the per-stage dict is the
+        fine-grained detail underneath ``stage``.
+        """
+        inclusive = dict(ctx.tags.get("stage_inclusive_s") or {})
+        # account's layer timing closes after this runs; its inclusive time
+        # is the request latency the stage itself measured
+        inclusive["account"] = ctx.latency
+        order = [getattr(stage, "name", "interceptor") for stage in self._chain]
+        present = [name for name in order if name in inclusive]
+        stages: dict[str, float] = {}
+        for index, name in enumerate(present):
+            inner = (
+                inclusive[present[index + 1]] if index + 1 < len(present) else 0.0
+            )
+            stages[name] = max(0.0, inclusive[name] - inner)
+        forward_hop = float(ctx.tags.get("forward_hop_s", 0.0))
+        if forward_hop and "route" in stages:
+            stages["route"] = max(0.0, stages["route"] - forward_hop)
+        queue_wait = float(ctx.tags.get("queue_wait_s", 0.0))
+        wire = float(ctx.tags.get("wire_delay_s", 0.0))
+        return {
+            "queue_wait_s": queue_wait,
+            "stage_s": max(0.0, ctx.latency - forward_hop),
+            "forward_hop_s": forward_hop,
+            "wire_s": wire,
+            "total_s": queue_wait + wire + ctx.latency,
+            "stages": stages,
+        }
 
     # -- execution -------------------------------------------------------------
 
@@ -579,6 +646,15 @@ class RegistryKernel:
                     result = self._composed(ctx)
                 finally:
                     root.tags["operation"] = ctx.operation
+                    # routing identity + the cost split ride on the root span,
+                    # so a trace alone explains where its wall time went
+                    for key in ("route", "route_owner", "forwarded_by"):
+                        value = ctx.tags.get(key)
+                        if value is not None:
+                            root.tags[key] = value
+                    attribution = ctx.tags.get("attribution")
+                    if attribution is not None:
+                        root.tags["attribution"] = attribution
             slow_entry = ctx.tags.get("slow_request")
             if slow_entry is not None:
                 slow_entry["trace"] = root.to_dict()

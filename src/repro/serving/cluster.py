@@ -198,6 +198,7 @@ class ClusterSupervisor:
                 "route": router.stats() if router is not None else {},
                 "objects": registry.store.count(),
                 "changelog": registry.store.changelog.stats(),
+                "attribution": registry.telemetry.attribution_stats(),
             }
         return {
             "started": self.started,

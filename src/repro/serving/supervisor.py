@@ -82,6 +82,9 @@ class ServingSupervisor:
         )
         self.accepted = 0
         self.rejected = 0
+        #: deepest queue observed at admission (benign races may undercount
+        #: by a submission or two; the saturation signal survives)
+        self.queue_depth_high_water = 0
         self.started = False
         from repro.obs.adapters import serving_collector
 
@@ -149,13 +152,22 @@ class ServingSupervisor:
     def _item(self, kwargs: dict[str, Any]) -> WorkItem:
         if not self.started:
             raise RuntimeError("ServingSupervisor is not started")
-        return WorkItem(edge=self.edge, kwargs=kwargs)
+        # the enqueue stamp the picking worker turns into queue_wait
+        return WorkItem(
+            edge=self.edge, kwargs=kwargs, enqueued_at=self.kernel.clock.now()
+        )
+
+    def _note_depth(self) -> None:
+        depth = self._queue.qsize()
+        if depth > self.queue_depth_high_water:
+            self.queue_depth_high_water = depth
 
     def submit(self, **kwargs: Any) -> Future:
         """Enqueue one request (kernel.execute kwargs); blocks when full."""
         item = self._item(kwargs)
         self._queue.put(item)
         self.accepted += 1
+        self._note_depth()
         return item.future
 
     def try_submit(self, **kwargs: Any) -> Future | None:
@@ -167,6 +179,7 @@ class ServingSupervisor:
             self.rejected += 1
             return None
         self.accepted += 1
+        self._note_depth()
         return item.future
 
     def call(self, *, timeout: float | None = None, **kwargs: Any) -> Any:
@@ -181,15 +194,31 @@ class ServingSupervisor:
 
     def serving_stats(self) -> dict[str, Any]:
         """The ``serving`` telemetry source: fleet + admission counters."""
+        waits = [
+            (worker.queue_wait_count, worker.queue_wait_total_s, worker.queue_wait_max_s)
+            for worker in self._workers
+        ]
+        wait_count = sum(count for count, _, _ in waits)
         return {
             "workers": len(self._workers),
             "started": self.started,
             "queue_depth": self._queue.qsize(),
+            "queue_depth_high_water": self.queue_depth_high_water,
             "queue_capacity": self.config.queue_capacity,
             "accepted": self.accepted,
             "rejected": self.rejected,
             "wire_delay_s": self.config.wire_delay_s,
             "served_per_worker": {
                 worker.label: worker.requests_served for worker in self._workers
+            },
+            "queue_wait": {
+                "count": wait_count,
+                "total_s": sum(total for _, total, _ in waits),
+                "max_s": max((peak for _, _, peak in waits), default=0.0),
+                "mean_s": (
+                    sum(total for _, total, _ in waits) / wait_count
+                    if wait_count
+                    else 0.0
+                ),
             },
         }

@@ -31,11 +31,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class WorkItem:
-    """One queued request: the kernel-execute arguments plus its Future."""
+    """One queued request: the kernel-execute arguments plus its Future.
+
+    ``enqueued_at`` is stamped from the kernel clock at admission; the
+    worker that picks the item up turns it into the request's queue-wait
+    cost component.
+    """
 
     edge: "EdgeProfile"
     kwargs: dict[str, Any]
     future: Future = field(default_factory=Future)
+    enqueued_at: float | None = None
 
 
 #: queue sentinel telling a worker to exit its loop
@@ -58,6 +64,11 @@ class RegistryWorker:
         self.queue = work_queue
         self.wire_delay_s = wire_delay_s
         self.requests_served = 0
+        # queue-wait aggregates are only ever written by this worker's own
+        # thread, so they need no lock; the supervisor snapshots them
+        self.queue_wait_count = 0
+        self.queue_wait_total_s = 0.0
+        self.queue_wait_max_s = 0.0
         self.thread = threading.Thread(target=self._run, name=label, daemon=True)
 
     def start(self) -> None:
@@ -70,6 +81,27 @@ class RegistryWorker:
     def alive(self) -> bool:
         return self.thread.is_alive()
 
+    def _measure_queue_wait(self, item: WorkItem) -> None:
+        """Turn the enqueue stamp into queue-wait accounting + request tags."""
+        wait = self.kernel.clock.now() - item.enqueued_at
+        if wait < 0.0:
+            wait = 0.0
+        self.queue_wait_count += 1
+        self.queue_wait_total_s += wait
+        if wait > self.queue_wait_max_s:
+            self.queue_wait_max_s = wait
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.record_queue_wait(self.label, wait)
+        # ride the wait (and the simulated wire time) into the kernel's
+        # per-request tag bag so the attribution split can include them
+        tags = item.kwargs.get("tags")
+        tags = dict(tags) if tags else {}
+        tags["queue_wait_s"] = wait
+        if self.wire_delay_s > 0.0:
+            tags["wire_delay_s"] = self.wire_delay_s
+        item.kwargs["tags"] = tags
+
     def _run(self) -> None:
         set_worker_label(self.label)
         while True:
@@ -78,6 +110,8 @@ class RegistryWorker:
                 self.queue.task_done()
                 return
             try:
+                if item.enqueued_at is not None:
+                    self._measure_queue_wait(item)
                 if self.wire_delay_s > 0.0:
                     # simulated wire/IO time; sleeps release the GIL, so
                     # other workers compute while this request "transmits"

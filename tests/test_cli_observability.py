@@ -82,3 +82,75 @@ class TestSloCommand:
         )
         capsys.readouterr()
         assert rc == 1
+
+
+class TestProfileCommand:
+    def test_profile_smoke_exports_and_attribution(self, tmp_path, capsys):
+        stacks = tmp_path / "stacks.txt"
+        svg = tmp_path / "flame.svg"
+        assert (
+            main(
+                [
+                    "profile",
+                    "--workers", "2",
+                    "--objects", "4",
+                    "--requests", "16",
+                    "--top", "3",
+                    "--out", str(stacks),
+                    "--svg", str(svg),
+                    "--expect-samples",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "attribution: 16 request(s)" in out
+        assert "coverage 100.0%" in out
+        collapsed = stacks.read_text()
+        assert collapsed.strip()
+        for line in collapsed.splitlines():
+            path, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in path
+        assert svg.read_text().startswith("<svg ")
+
+
+class TestTopExemplars:
+    def build_live_registry(self):
+        from repro.registry import RegistryConfig, RegistryServer
+        from repro.registry.kernel import EdgeProfile
+        from repro.rim import Organization
+        from repro.soap.messages import GetRegistryObjectRequest
+        from repro.util.clock import ManualClock
+
+        registry = RegistryServer(RegistryConfig(seed=5), monotonic=ManualClock())
+        registry.enable_tracing()
+        registry.enable_attribution()
+        _, credential = registry.register_user("publisher")
+        session = registry.login(credential)
+        org = Organization(registry.ids.new_id(), name="ExemplarOrg")
+        registry.lcm.submit_objects(session, [org])
+        edge = EdgeProfile(
+            name="test",
+            authenticate=lambda ctx, spec: registry.guest(),
+            enforce_read_gate=False,
+        )
+        registry.kernel.execute(edge, body=GetRegistryObjectRequest(org.id))
+        return registry
+
+    def test_top_links_slow_bucket_to_span_tree(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        registry = self.build_live_registry()
+        monkeypatch.setattr(cli, "_open_registry", lambda path, **kwargs: registry)
+        assert main(["top", "ignored-state.json"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-bucket exemplars" in out
+        assert "repro_request_latency_seconds" in out
+        trace_id = registry.telemetry.tracer.last_trace().trace_id
+        assert trace_id in out
+        assert f"slowest exemplar trace ({trace_id}):" in out
+        # the span tree renders the pipeline stages under the root span
+        assert "request" in out
+        assert "stage:dispatch" in out

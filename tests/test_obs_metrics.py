@@ -200,3 +200,77 @@ class TestExposition:
         )
         with pytest.raises(ValueError, match="duplicate series"):
             parse_exposition(text)
+
+
+class TestExemplars:
+    TRACE = "ab" * 16
+
+    def build(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5, exemplar={"trace_id": self.TRACE})
+        return registry
+
+    def test_render_appends_openmetrics_suffix_on_bucket_line(self):
+        text = self.build().render()
+        assert (
+            f'repro_lat_seconds_bucket{{le="1"}} 2 '
+            f'# {{trace_id="{self.TRACE}"}} 0.5\n'
+        ) in text
+        # exemplar-free buckets render exactly as before
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1\n' in text
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        registry = self.build()
+        registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(0.7, exemplar={"trace_id": "cd" * 16})
+        text = registry.render()
+        assert f'# {{trace_id="{"cd" * 16}"}} 0.7' in text
+        assert self.TRACE not in text
+
+    def test_parse_round_trips_values_and_exemplars(self):
+        text = self.build().render()
+        parsed, exemplars = parse_exposition(text, return_exemplars=True)
+        assert parsed["repro_lat_seconds_bucket"][frozenset({("le", "1")})] == 2.0
+        entry = exemplars["repro_lat_seconds_bucket"][frozenset({("le", "1")})]
+        assert entry == {"labels": {"trace_id": self.TRACE}, "value": 0.5}
+        # only the bucket holding an exemplar appears in the exemplar map
+        assert frozenset({("le", "0.1")}) not in exemplars["repro_lat_seconds_bucket"]
+
+    def test_parse_without_flag_accepts_exemplars_silently(self):
+        parsed = parse_exposition(self.build().render())
+        assert parsed["repro_lat_seconds_bucket"][frozenset({("le", "1")})] == 2.0
+
+    def test_parse_rejects_exemplar_on_counter(self):
+        text = (
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total 1 # {trace_id="ab"} 1\n'
+        )
+        with pytest.raises(ValueError, match="non-bucket"):
+            parse_exposition(text)
+
+    def test_parse_rejects_exemplar_on_histogram_sum(self):
+        text = (
+            "# TYPE repro_lat_seconds histogram\n"
+            'repro_lat_seconds_bucket{le="+Inf"} 1\n'
+            'repro_lat_seconds_sum 0.5 # {trace_id="ab"} 0.5\n'
+            "repro_lat_seconds_count 1\n"
+        )
+        with pytest.raises(ValueError, match="non-bucket"):
+            parse_exposition(text)
+
+    def test_snapshot_carries_exemplar_only_where_present(self):
+        snap = self.build().snapshot()
+        samples = snap["repro_lat_seconds"]["samples"]
+        by_labels = {
+            tuple(sorted(s["labels"].items())): s
+            for s in samples
+            if s["name"] == "repro_lat_seconds_bucket"
+        }
+        assert by_labels[(("le", "1"),)]["exemplar"] == {
+            "labels": {"trace_id": self.TRACE},
+            "value": 0.5,
+        }
+        assert "exemplar" not in by_labels[(("le", "0.1"),)]

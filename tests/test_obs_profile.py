@@ -1,0 +1,173 @@
+"""Tests for the sampling profiler: deterministic sampling + exports."""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, _frame_name, _stack_of
+from repro.util.clock import ManualClock
+from repro.util.workers import set_worker_label
+
+
+def frame(name, filename="mod.py", lineno=10, back=None):
+    """A fake interpreter frame: just the attributes the profiler reads."""
+    return SimpleNamespace(
+        f_code=SimpleNamespace(co_name=name, co_filename=f"/src/{filename}"),
+        f_lineno=lineno,
+        f_back=back,
+    )
+
+
+def stack(*names):
+    """Leaf frame for ``names`` root-first (a;b;c → returns frame c)."""
+    current = None
+    for index, name in enumerate(names):
+        current = frame(name, lineno=index + 1, back=current)
+    return current
+
+
+#: a thread ident that is never the test thread's own
+FAKE_IDENT = 987654
+
+
+class TestFrameNaming:
+    def test_frame_name_is_func_file_line(self):
+        assert _frame_name(frame("work", "kernel.py", 42)) == "work (kernel.py:42)"
+
+    def test_semicolons_sanitized(self):
+        named = frame("bad;name", "a;b.py", 1)
+        assert ";" not in _frame_name(named)
+
+    def test_stack_of_is_root_first_and_bounded(self):
+        leaf = stack("a", "b", "c", "d", "e")
+        full = _stack_of(leaf, 64)
+        assert [name.split(" ")[0] for name in full] == ["a", "b", "c", "d", "e"]
+        truncated = _stack_of(leaf, 3)
+        assert len(truncated) == 3
+        # depth-bounded collection keeps the leaf-most frames
+        assert truncated[-1].startswith("e ")
+
+
+class TestSampling:
+    def build(self, frames):
+        return SamplingProfiler(
+            clock=ManualClock(), frames_provider=lambda: dict(frames)
+        )
+
+    def test_sample_once_aggregates_identical_stacks(self):
+        profiler = self.build({FAKE_IDENT: stack("main", "work")})
+        assert profiler.sample_once() == 1
+        assert profiler.sample_once() == 1
+        assert profiler.samples == 2
+        ((key, count),) = profiler.stacks.items()
+        label, frames = key
+        assert label == f"thread-{FAKE_IDENT}"
+        assert [name.split(" ")[0] for name in frames] == ["main", "work"]
+        assert count == 2
+
+    def test_own_thread_never_profiled(self):
+        profiler = self.build({threading.get_ident(): stack("me")})
+        assert profiler.sample_once() == 0
+        assert profiler.stacks == {}
+        assert profiler.samples == 1
+
+    def test_worker_label_applies_cross_thread(self):
+        ready = threading.Event()
+        release = threading.Event()
+
+        def work():
+            set_worker_label("worker-9")
+            try:
+                ready.set()
+                release.wait(10.0)
+            finally:
+                set_worker_label(None)
+
+        thread = threading.Thread(target=work, daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        try:
+            profiler = SamplingProfiler(clock=ManualClock())
+            profiler.sample_once()
+        finally:
+            release.set()
+            thread.join(10.0)
+        assert "worker-9" in {label for label, _ in profiler.stacks}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_start_stop_lifecycle(self):
+        profiler = self.build({FAKE_IDENT: stack("loop")})
+        assert not profiler.running
+        with profiler:
+            assert profiler.running
+        assert not profiler.running
+        stats = profiler.stats()
+        assert stats["samples"] >= 1
+        assert stats["wall_s"] >= 0.0
+
+    def test_stats_shape(self):
+        profiler = self.build({FAKE_IDENT: stack("main", "work")})
+        profiler.sample_once()
+        stats = profiler.stats()
+        assert stats["running"] is False
+        assert stats["samples"] == 1
+        assert stats["distinct_stacks"] == 1
+        assert stats["threads"] == [f"thread-{FAKE_IDENT}"]
+
+
+class TestExports:
+    def build(self):
+        frames = {
+            FAKE_IDENT: stack("main", "serve", "dispatch"),
+            FAKE_IDENT + 1: stack("main", "serve", "validate"),
+        }
+        profiler = SamplingProfiler(
+            clock=ManualClock(), frames_provider=lambda: dict(frames)
+        )
+        profiler.sample_once()
+        profiler.sample_once()
+        return profiler
+
+    def test_top_functions_counts_leaves(self):
+        top = self.build().top_functions(5)
+        assert {row["frame"].split(" ")[0] for row in top} == {
+            "dispatch",
+            "validate",
+        }
+        assert all(row["samples"] == 2 for row in top)
+        assert sum(row["share"] for row in top) == pytest.approx(1.0)
+
+    def test_collapsed_stack_format(self):
+        text = self.build().export_collapsed()
+        lines = text.splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            path, count = line.rsplit(" ", 1)
+            assert count == "2"
+            parts = path.split(";")
+            assert parts[0].startswith("thread-")
+            assert parts[1].startswith("main ")
+        assert text == self.build().export_collapsed()  # deterministic
+
+    def test_empty_profile_exports_empty(self):
+        profiler = SamplingProfiler(
+            clock=ManualClock(), frames_provider=lambda: {}
+        )
+        profiler.sample_once()
+        assert profiler.export_collapsed() == ""
+        svg = profiler.export_flamegraph_svg()
+        assert svg.startswith("<svg ")
+        assert "<title>" not in svg
+
+    def test_flamegraph_svg_structure(self):
+        svg = self.build().export_flamegraph_svg()
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<title>all (4 samples)</title>" in svg
+        assert "serve" in svg
+        # shared prefix frames merge into one trie node per thread tower
+        assert svg.count("<title>dispatch") == 1

@@ -110,6 +110,7 @@ class TestDisabledTracer:
             "enabled": False,
             "traces_kept": 0,
             "spans_recorded": 0,
+            "traces_restarted": 0,
         }
 
     def test_enable_mid_flight(self, clock):
